@@ -1,0 +1,183 @@
+use crate::{ConceptEmbeddings, EdgeClassifier};
+use taxo_core::{ConceptId, Taxonomy, Vocabulary};
+use taxo_expand::LabeledPair;
+
+/// Picks the decision threshold maximising accuracy on labeled pairs.
+fn tune_threshold(scores: &[(f32, bool)]) -> f32 {
+    let mut candidates: Vec<f32> = scores.iter().map(|&(s, _)| s).collect();
+    candidates.sort_by(f32::total_cmp);
+    candidates.dedup();
+    let mut best = (0usize, 0.5f32);
+    for &t in &candidates {
+        let correct = scores
+            .iter()
+            .filter(|&&(s, label)| (s > t) == label)
+            .count();
+        if correct > best.0 {
+            best = (correct, t);
+        }
+    }
+    best.1
+}
+
+/// `Distance-Parent`: cosine similarity between the query- and item-
+/// concept embeddings, thresholded (threshold tuned on the validation
+/// split).
+#[derive(Debug, Clone)]
+pub struct DistanceParentBaseline {
+    emb: ConceptEmbeddings,
+    threshold: f32,
+}
+
+impl DistanceParentBaseline {
+    pub fn fit(emb: ConceptEmbeddings, val: &[LabeledPair]) -> Self {
+        let scores: Vec<(f32, bool)> = val
+            .iter()
+            .map(|p| (emb.cosine(p.parent, p.child), p.label))
+            .collect();
+        let threshold = if scores.is_empty() {
+            0.5
+        } else {
+            tune_threshold(&scores)
+        };
+        DistanceParentBaseline { emb, threshold }
+    }
+
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+}
+
+impl EdgeClassifier for DistanceParentBaseline {
+    fn name(&self) -> &str {
+        "Distance-Parent"
+    }
+
+    fn score(&self, _vocab: &Vocabulary, parent: ConceptId, child: ConceptId) -> f32 {
+        let sim = self.emb.cosine(parent, child);
+        // Map to a (0,1) score with the tuned threshold at 0.5.
+        0.5 + 0.5 * (sim - self.threshold).clamp(-1.0, 1.0)
+    }
+}
+
+/// `Distance-Neighbor`: like `Distance-Parent` but the query concept's
+/// semantics are complemented by its existing children — the similarity
+/// is averaged with the best child similarity (Table V shows this variant
+/// consistently beats `Distance-Parent`).
+#[derive(Debug, Clone)]
+pub struct DistanceNeighborBaseline {
+    emb: ConceptEmbeddings,
+    children: std::collections::HashMap<ConceptId, Vec<ConceptId>>,
+    threshold: f32,
+}
+
+impl DistanceNeighborBaseline {
+    pub fn fit(emb: ConceptEmbeddings, existing: &Taxonomy, val: &[LabeledPair]) -> Self {
+        let children: std::collections::HashMap<ConceptId, Vec<ConceptId>> = existing
+            .nodes()
+            .map(|n| (n, existing.children(n).to_vec()))
+            .collect();
+        let raw = |p: ConceptId, c: ConceptId| -> f32 {
+            let direct = emb.cosine(p, c);
+            let best_child = children
+                .get(&p)
+                .into_iter()
+                .flatten()
+                .map(|&ch| emb.cosine(ch, c))
+                .fold(f32::NEG_INFINITY, f32::max);
+            if best_child.is_finite() {
+                0.5 * direct + 0.5 * best_child
+            } else {
+                direct
+            }
+        };
+        let scores: Vec<(f32, bool)> = val
+            .iter()
+            .map(|p| (raw(p.parent, p.child), p.label))
+            .collect();
+        let threshold = if scores.is_empty() {
+            0.5
+        } else {
+            tune_threshold(&scores)
+        };
+        DistanceNeighborBaseline {
+            emb,
+            children,
+            threshold,
+        }
+    }
+}
+
+impl EdgeClassifier for DistanceNeighborBaseline {
+    fn name(&self) -> &str {
+        "Distance-Neighbor"
+    }
+
+    fn score(&self, _vocab: &Vocabulary, parent: ConceptId, child: ConceptId) -> f32 {
+        let direct = self.emb.cosine(parent, child);
+        let best_child = self
+            .children
+            .get(&parent)
+            .into_iter()
+            .flatten()
+            .map(|&ch| self.emb.cosine(ch, child))
+            .fold(f32::NEG_INFINITY, f32::max);
+        let sim = if best_child.is_finite() {
+            0.5 * direct + 0.5 * best_child
+        } else {
+            direct
+        };
+        0.5 + 0.5 * (sim - self.threshold).clamp(-1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxo_expand::PairKind;
+
+    fn embeddings() -> ConceptEmbeddings {
+        // Hand-built: concepts 0,1,2 cluster; 3 is far away.
+        let mut table = std::collections::HashMap::new();
+        table.insert(ConceptId(0), vec![1.0, 0.1]);
+        table.insert(ConceptId(1), vec![0.9, 0.2]);
+        table.insert(ConceptId(2), vec![0.95, 0.15]);
+        table.insert(ConceptId(3), vec![-1.0, 0.3]);
+        ConceptEmbeddings::from_table(table, 2)
+    }
+
+    fn pair(p: u32, c: u32, label: bool) -> LabeledPair {
+        LabeledPair {
+            parent: ConceptId(p),
+            child: ConceptId(c),
+            label,
+            kind: if label {
+                PairKind::PositiveOther
+            } else {
+                PairKind::NegativeReplace
+            },
+        }
+    }
+
+    #[test]
+    fn threshold_tuning_separates_clusters() {
+        let emb = embeddings();
+        let val = vec![pair(0, 1, true), pair(0, 2, true), pair(0, 3, false)];
+        let b = DistanceParentBaseline::fit(emb, &val);
+        let vocab = Vocabulary::new();
+        assert!(b.predict(&vocab, ConceptId(0), ConceptId(1)));
+        assert!(!b.predict(&vocab, ConceptId(0), ConceptId(3)));
+    }
+
+    #[test]
+    fn neighbor_variant_uses_children() {
+        let emb = embeddings();
+        let mut taxo = Taxonomy::new();
+        taxo.add_edge(ConceptId(0), ConceptId(1)).unwrap();
+        let val = vec![pair(0, 2, true), pair(0, 3, false)];
+        let b = DistanceNeighborBaseline::fit(emb, &taxo, &val);
+        let vocab = Vocabulary::new();
+        assert!(b.predict(&vocab, ConceptId(0), ConceptId(2)));
+        assert!(!b.predict(&vocab, ConceptId(0), ConceptId(3)));
+    }
+}

@@ -1,0 +1,156 @@
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use taxo_core::{ConceptId, Vocabulary};
+use taxo_expand::{LabeledPair, RelationalModel};
+use taxo_graph::cosine;
+use taxo_nn::{Adam, Matrix, Mlp};
+
+/// Precomputed per-concept embedding table shared by the embedding-based
+/// baselines. The paper gives TaxoExpan (and implicitly the other neural
+/// baselines) "BERT embedding … for a fair comparison"; we hand every
+/// baseline the same C-BERT concept vectors our method uses.
+#[derive(Debug, Clone)]
+pub struct ConceptEmbeddings {
+    table: HashMap<ConceptId, Vec<f32>>,
+    dim: usize,
+}
+
+impl ConceptEmbeddings {
+    /// Encodes every vocabulary concept with `model`.
+    pub fn from_model(vocab: &Vocabulary, model: &RelationalModel) -> Self {
+        let mut table = HashMap::with_capacity(vocab.len());
+        for (id, name) in vocab.iter() {
+            table.insert(id, model.encode_concept(name));
+        }
+        ConceptEmbeddings {
+            dim: model.dim(),
+            table,
+        }
+    }
+
+    /// Builds a table directly (used by tests and custom pipelines).
+    pub fn from_table(table: HashMap<ConceptId, Vec<f32>>, dim: usize) -> Self {
+        debug_assert!(table.values().all(|v| v.len() == dim));
+        ConceptEmbeddings { table, dim }
+    }
+
+    /// The embedding of `c` (zeros if unknown).
+    pub fn get(&self, c: ConceptId) -> Vec<f32> {
+        self.table.get(&c).cloned().unwrap_or_else(|| vec![0.0; self.dim])
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Cosine similarity of two concepts.
+    pub fn cosine(&self, a: ConceptId, b: ConceptId) -> f32 {
+        cosine(&self.get(a), &self.get(b))
+    }
+}
+
+/// Hyper-parameters shared by the trainable baselines' MLP heads.
+#[derive(Debug, Clone)]
+pub struct BaselineTrainConfig {
+    pub hidden: usize,
+    pub epochs: usize,
+    pub batch: usize,
+    pub lr: f32,
+    pub seed: u64,
+}
+
+impl Default for BaselineTrainConfig {
+    fn default() -> Self {
+        BaselineTrainConfig {
+            hidden: 64,
+            epochs: 60,
+            batch: 16,
+            lr: 3e-3,
+            seed: 0xBA5E,
+        }
+    }
+}
+
+/// Trains an MLP on arbitrary pair features with validation-based early
+/// stopping; the workhorse behind Vanilla-BERT, TaxoExpan, TMN and STEAM.
+pub fn train_feature_mlp(
+    features: &dyn Fn(ConceptId, ConceptId) -> Vec<f32>,
+    train: &[LabeledPair],
+    val: &[LabeledPair],
+    cfg: &BaselineTrainConfig,
+) -> Mlp {
+    let dim = train
+        .first()
+        .map(|p| features(p.parent, p.child).len())
+        .expect("training set must be non-empty");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut mlp = Mlp::new(dim, cfg.hidden, &mut rng);
+    let mut adam = Adam::new(cfg.lr).with_weight_decay(1e-4);
+    let mut order: Vec<usize> = (0..train.len()).collect();
+    let mut best: Option<(usize, Mlp)> = None;
+
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(cfg.batch) {
+            let mut data = Vec::with_capacity(chunk.len() * dim);
+            let mut labels = Vec::with_capacity(chunk.len());
+            for &i in chunk {
+                data.extend(features(train[i].parent, train[i].child));
+                labels.push(usize::from(train[i].label));
+            }
+            let x = Matrix::from_vec(chunk.len(), dim, data);
+            mlp.train_batch(&x, &labels);
+            adam.step(&mut mlp);
+        }
+        if !val.is_empty() {
+            let correct = val
+                .iter()
+                .filter(|p| {
+                    let x = Matrix::row_vector(features(p.parent, p.child));
+                    (mlp.predict_positive(&x) > 0.5) == p.label
+                })
+                .count();
+            if best.as_ref().is_none_or(|(b, _)| correct > *b) {
+                best = Some((correct, mlp.clone()));
+            }
+        }
+    }
+    best.map(|(_, m)| m).unwrap_or(mlp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxo_expand::PairKind;
+
+    #[test]
+    fn mlp_trainer_learns_separable_features() {
+        // Feature: +1 when parent id < child id; the labels follow it.
+        let features =
+            |p: ConceptId, c: ConceptId| vec![if p.0 < c.0 { 1.0 } else { -1.0 }, 0.5];
+        let mut train = Vec::new();
+        for i in 0..40u32 {
+            let (a, b) = (ConceptId(i), ConceptId(i + 1));
+            train.push(LabeledPair {
+                parent: a,
+                child: b,
+                label: true,
+                kind: PairKind::PositiveOther,
+            });
+            train.push(LabeledPair {
+                parent: b,
+                child: a,
+                label: false,
+                kind: PairKind::NegativeShuffle,
+            });
+        }
+        let mlp = train_feature_mlp(&features, &train, &[], &BaselineTrainConfig::default());
+        let x_pos = Matrix::row_vector(features(ConceptId(0), ConceptId(9)));
+        let x_neg = Matrix::row_vector(features(ConceptId(9), ConceptId(0)));
+        assert!(mlp.predict_positive(&x_pos) > 0.5);
+        assert!(mlp.predict_positive(&x_neg) < 0.5);
+    }
+}

@@ -1,0 +1,36 @@
+//! All comparison methods of Section IV-B4 behind one
+//! [`EdgeClassifier`] trait, plus an adapter for the trained framework
+//! itself, so the evaluation drivers treat every method uniformly.
+//!
+//! | Method | Kind | Module |
+//! |---|---|---|
+//! | Random | coin flip | [`RandomBaseline`] |
+//! | KB+Headword | rule + knowledge base | [`KbHeadwordBaseline`] |
+//! | Snowball | pattern bootstrapping | [`SnowballBaseline`] |
+//! | Substr | substring rule | [`SubstrBaseline`] |
+//! | Vanilla-BERT | no-domain-pretraining encoder | [`VanillaBertBaseline`] |
+//! | Distance-Parent | embedding threshold | [`DistanceParentBaseline`] |
+//! | Distance-Neighbor | + children complement | [`DistanceNeighborBaseline`] |
+//! | TaxoExpan | ego-net matching | [`TaxoExpanBaseline`] |
+//! | TMN | primal + auxiliary scorers | [`TmnBaseline`] |
+//! | STEAM | mini-path multi-view ensemble | [`SteamBaseline`] |
+
+mod distance;
+mod feature_util;
+mod simple;
+mod snowball;
+mod steam;
+mod taxoexpan;
+mod tmn;
+mod traits;
+mod vanilla_bert;
+
+pub use distance::{DistanceNeighborBaseline, DistanceParentBaseline};
+pub use feature_util::{train_feature_mlp, BaselineTrainConfig, ConceptEmbeddings};
+pub use simple::{KbHeadwordBaseline, RandomBaseline, SubstrBaseline};
+pub use snowball::SnowballBaseline;
+pub use steam::{lexical_features, SteamBaseline};
+pub use taxoexpan::TaxoExpanBaseline;
+pub use tmn::TmnBaseline;
+pub use traits::{EdgeClassifier, OursClassifier};
+pub use vanilla_bert::VanillaBertBaseline;

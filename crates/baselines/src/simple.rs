@@ -1,0 +1,132 @@
+use crate::EdgeClassifier;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use taxo_core::{ConceptId, Vocabulary};
+use taxo_synth::SyntheticKb;
+use taxo_text::{is_headword_edge, is_substring_edge};
+
+/// `Random`: attaches concepts by a fair coin (deterministic per pair via
+/// hashing, so evaluations are reproducible).
+#[derive(Debug, Clone)]
+pub struct RandomBaseline {
+    pub seed: u64,
+}
+
+impl RandomBaseline {
+    pub fn new(seed: u64) -> Self {
+        RandomBaseline { seed }
+    }
+}
+
+impl EdgeClassifier for RandomBaseline {
+    fn name(&self) -> &str {
+        "Random"
+    }
+
+    fn score(&self, _vocab: &Vocabulary, parent: ConceptId, child: ConceptId) -> f32 {
+        let mut h = DefaultHasher::new();
+        (self.seed, parent, child).hash(&mut h);
+        (h.finish() % 1000) as f32 / 1000.0
+    }
+}
+
+/// `KB+Headword`: the relation must be asserted by a general-purpose
+/// knowledge base *and* satisfy the headword rule. Near-perfect precision,
+/// tiny recall (Table V).
+#[derive(Debug, Clone)]
+pub struct KbHeadwordBaseline {
+    pub kb: SyntheticKb,
+}
+
+impl KbHeadwordBaseline {
+    pub fn new(kb: SyntheticKb) -> Self {
+        KbHeadwordBaseline { kb }
+    }
+}
+
+impl EdgeClassifier for KbHeadwordBaseline {
+    fn name(&self) -> &str {
+        "KB+Headword"
+    }
+
+    fn score(&self, vocab: &Vocabulary, parent: ConceptId, child: ConceptId) -> f32 {
+        let ok = self.kb.contains(parent, child)
+            && is_headword_edge(vocab.name(parent), vocab.name(child));
+        if ok {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// `Substr` (Bordea et al. 2016): `A` is `B`'s hypernym when `A` is a
+/// substring of `B`.
+#[derive(Debug, Clone, Default)]
+pub struct SubstrBaseline;
+
+impl EdgeClassifier for SubstrBaseline {
+    fn name(&self) -> &str {
+        "Substr"
+    }
+
+    fn score(&self, vocab: &Vocabulary, parent: ConceptId, child: ConceptId) -> f32 {
+        if is_substring_edge(vocab.name(parent), vocab.name(child)) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxo_synth::{World, WorldConfig};
+
+    #[test]
+    fn random_is_deterministic_and_balanced() {
+        let vocab = Vocabulary::new();
+        let r = RandomBaseline::new(1);
+        let mut positives = 0;
+        for i in 0..1000u32 {
+            let s1 = r.score(&vocab, ConceptId(i), ConceptId(i + 1));
+            let s2 = r.score(&vocab, ConceptId(i), ConceptId(i + 1));
+            assert_eq!(s1, s2);
+            if s1 > 0.5 {
+                positives += 1;
+            }
+        }
+        assert!((400..600).contains(&positives), "{positives}");
+    }
+
+    #[test]
+    fn kb_headword_requires_both_conditions() {
+        let world = World::generate(&WorldConfig::tiny(81));
+        let kb = SyntheticKb::build(&world, 1.0, 0); // full coverage
+        let b = KbHeadwordBaseline::new(kb);
+        // A true headword edge passes.
+        let mut found_positive = false;
+        for e in world.truth.edges() {
+            if is_headword_edge(world.name(e.parent), world.name(e.child)) {
+                assert!(b.predict(&world.vocab, e.parent, e.child));
+                found_positive = true;
+                // The reverse lacks both KB assertion and headword.
+                assert!(!b.predict(&world.vocab, e.child, e.parent));
+                break;
+            }
+        }
+        assert!(found_positive);
+    }
+
+    #[test]
+    fn substr_follows_names() {
+        let mut vocab = Vocabulary::new();
+        let bread = vocab.intern("breado");
+        let rye = vocab.intern("rye breado");
+        let toast = vocab.intern("toasti");
+        let b = SubstrBaseline;
+        assert!(b.predict(&vocab, bread, rye));
+        assert!(!b.predict(&vocab, rye, bread));
+        assert!(!b.predict(&vocab, bread, toast));
+    }
+}

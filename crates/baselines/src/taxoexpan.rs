@@ -1,0 +1,158 @@
+use crate::{train_feature_mlp, BaselineTrainConfig, ConceptEmbeddings, EdgeClassifier};
+use std::collections::HashMap;
+use taxo_core::{ConceptId, Taxonomy, Vocabulary};
+use taxo_expand::LabeledPair;
+use taxo_nn::{Matrix, Mlp};
+
+/// `TaxoExpan` (Shen et al., WWW 2020), simplified: the anchor (candidate
+/// parent) is represented by its *position-enhanced ego network* in the
+/// existing taxonomy — its own embedding concatenated with the mean of
+/// its children and the mean of its parents (grandparent/sibling signals)
+/// — and matched against the query embedding by an MLP. As in the paper's
+/// comparison, node features are BERT (here C-BERT) embeddings, and only
+/// taxonomy structure (no user behaviour) is used: its weakness in
+/// Table V is precisely that "it only relies on the signal of propagation
+/// among neighbors in the taxonomy".
+pub struct TaxoExpanBaseline {
+    emb: ConceptEmbeddings,
+    ego: HashMap<ConceptId, Vec<f32>>,
+    mlp: Mlp,
+    dim: usize,
+}
+
+impl TaxoExpanBaseline {
+    fn ego_vector(emb: &ConceptEmbeddings, taxo: &Taxonomy, n: ConceptId) -> Vec<f32> {
+        let d = emb.dim();
+        let own = emb.get(n);
+        let mean = |ids: &[ConceptId]| -> Vec<f32> {
+            let mut acc = vec![0.0f32; d];
+            if ids.is_empty() {
+                return acc;
+            }
+            for &i in ids {
+                for (a, b) in acc.iter_mut().zip(emb.get(i)) {
+                    *a += b;
+                }
+            }
+            let inv = 1.0 / ids.len() as f32;
+            for a in &mut acc {
+                *a *= inv;
+            }
+            acc
+        };
+        let mut v = own;
+        v.extend(mean(taxo.children(n)));
+        v.extend(mean(taxo.parents(n)));
+        v
+    }
+
+    /// Trains the matching MLP on the self-supervised dataset.
+    pub fn train(
+        emb: ConceptEmbeddings,
+        existing: &Taxonomy,
+        train: &[LabeledPair],
+        val: &[LabeledPair],
+        cfg: &BaselineTrainConfig,
+    ) -> Self {
+        let dim = emb.dim();
+        let mut ego = HashMap::new();
+        for n in existing.nodes() {
+            ego.insert(n, Self::ego_vector(&emb, existing, n));
+        }
+        let features = |p: ConceptId, c: ConceptId| -> Vec<f32> {
+            let mut v = ego
+                .get(&p)
+                .cloned()
+                .unwrap_or_else(|| vec![0.0; 3 * dim]);
+            v.extend(emb.get(c));
+            v
+        };
+        let mlp = train_feature_mlp(&features, train, val, cfg);
+        TaxoExpanBaseline { emb, ego, mlp, dim }
+    }
+
+    fn features(&self, p: ConceptId, c: ConceptId) -> Vec<f32> {
+        let mut v = self
+            .ego
+            .get(&p)
+            .cloned()
+            .unwrap_or_else(|| vec![0.0; 3 * self.dim]);
+        v.extend(self.emb.get(c));
+        v
+    }
+}
+
+impl EdgeClassifier for TaxoExpanBaseline {
+    fn name(&self) -> &str {
+        "TaxoExpan"
+    }
+
+    fn score(&self, _vocab: &Vocabulary, parent: ConceptId, child: ConceptId) -> f32 {
+        let x = Matrix::row_vector(self.features(parent, child));
+        self.mlp.predict_positive(&x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxo_expand::PairKind;
+
+    #[test]
+    fn ego_vector_reflects_neighborhood() {
+        let mut table = HashMap::new();
+        for i in 0..4u32 {
+            table.insert(ConceptId(i), vec![i as f32, 1.0]);
+        }
+        let emb = ConceptEmbeddings::from_table(table, 2);
+        let mut taxo = Taxonomy::new();
+        taxo.add_edge(ConceptId(0), ConceptId(1)).unwrap();
+        taxo.add_edge(ConceptId(0), ConceptId(2)).unwrap();
+        let v = TaxoExpanBaseline::ego_vector(&emb, &taxo, ConceptId(0));
+        assert_eq!(v.len(), 6);
+        assert_eq!(&v[..2], &[0.0, 1.0]); // own
+        assert_eq!(&v[2..4], &[1.5, 1.0]); // mean of children 1,2
+        assert_eq!(&v[4..6], &[0.0, 0.0]); // no parents
+    }
+
+    #[test]
+    fn trains_on_separable_embeddings() {
+        // Children of 0 share its direction; node 9 is opposite.
+        let mut table = HashMap::new();
+        for i in 0..8u32 {
+            table.insert(ConceptId(i), vec![1.0, i as f32 * 0.01]);
+        }
+        table.insert(ConceptId(9), vec![-1.0, 0.5]);
+        let emb = ConceptEmbeddings::from_table(table, 2);
+        let mut taxo = Taxonomy::new();
+        for i in 1..8u32 {
+            taxo.add_edge(ConceptId(0), ConceptId(i)).unwrap();
+        }
+        taxo.add_node(ConceptId(9));
+        let mut train = Vec::new();
+        for i in 1..8u32 {
+            train.push(LabeledPair {
+                parent: ConceptId(0),
+                child: ConceptId(i),
+                label: true,
+                kind: PairKind::PositiveOther,
+            });
+            train.push(LabeledPair {
+                parent: ConceptId(0),
+                child: ConceptId(9),
+                label: false,
+                kind: PairKind::NegativeReplace,
+            });
+        }
+        let b = TaxoExpanBaseline::train(
+            emb,
+            &taxo,
+            &train,
+            &[],
+            &BaselineTrainConfig::default(),
+        );
+        let vocab = Vocabulary::new();
+        assert!(b.predict(&vocab, ConceptId(0), ConceptId(3)));
+        assert!(!b.predict(&vocab, ConceptId(0), ConceptId(9)));
+    }
+}

@@ -1,0 +1,117 @@
+use crate::{train_feature_mlp, BaselineTrainConfig, ConceptEmbeddings, EdgeClassifier};
+use taxo_core::{ConceptId, Vocabulary};
+use taxo_expand::LabeledPair;
+use taxo_nn::{Matrix, Mlp};
+
+/// `TMN` — Triplet Matching Network (Zhang et al., AAAI 2021),
+/// simplified: "one primal and multiple auxiliary scorers". The primal
+/// scorer reads the concatenated pair embedding; two auxiliary scorers
+/// read the element-wise product and absolute difference. The final score
+/// averages the three. Its Table V weakness: "the primal and auxiliary
+/// scorers are limited to extracting various features" — all views here
+/// derive from the same embeddings, with no user-behaviour signal.
+pub struct TmnBaseline {
+    emb: ConceptEmbeddings,
+    primal: Mlp,
+    aux_product: Mlp,
+    aux_diff: Mlp,
+}
+
+fn concat_feat(emb: &ConceptEmbeddings, p: ConceptId, c: ConceptId) -> Vec<f32> {
+    let mut v = emb.get(p);
+    v.extend(emb.get(c));
+    v
+}
+
+fn product_feat(emb: &ConceptEmbeddings, p: ConceptId, c: ConceptId) -> Vec<f32> {
+    emb.get(p)
+        .iter()
+        .zip(emb.get(c))
+        .map(|(&a, b)| a * b)
+        .collect()
+}
+
+fn diff_feat(emb: &ConceptEmbeddings, p: ConceptId, c: ConceptId) -> Vec<f32> {
+    emb.get(p)
+        .iter()
+        .zip(emb.get(c))
+        .map(|(&a, b)| a - b)
+        .collect()
+}
+
+impl TmnBaseline {
+    /// Trains the three scorers on the self-supervised dataset.
+    pub fn train(
+        emb: ConceptEmbeddings,
+        train: &[LabeledPair],
+        val: &[LabeledPair],
+        cfg: &BaselineTrainConfig,
+    ) -> Self {
+        let primal = train_feature_mlp(&|p, c| concat_feat(&emb, p, c), train, val, cfg);
+        let aux_product = train_feature_mlp(&|p, c| product_feat(&emb, p, c), train, val, cfg);
+        let aux_diff = train_feature_mlp(&|p, c| diff_feat(&emb, p, c), train, val, cfg);
+        TmnBaseline {
+            emb,
+            primal,
+            aux_product,
+            aux_diff,
+        }
+    }
+}
+
+impl EdgeClassifier for TmnBaseline {
+    fn name(&self) -> &str {
+        "TMN"
+    }
+
+    fn score(&self, _vocab: &Vocabulary, parent: ConceptId, child: ConceptId) -> f32 {
+        let p1 = self
+            .primal
+            .predict_positive(&Matrix::row_vector(concat_feat(&self.emb, parent, child)));
+        let p2 = self
+            .aux_product
+            .predict_positive(&Matrix::row_vector(product_feat(&self.emb, parent, child)));
+        let p3 = self
+            .aux_diff
+            .predict_positive(&Matrix::row_vector(diff_feat(&self.emb, parent, child)));
+        // The primal scorer dominates; the auxiliaries refine.
+        0.5 * p1 + 0.25 * p2 + 0.25 * p3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use taxo_expand::PairKind;
+
+    #[test]
+    fn learns_direction_from_diff_view() {
+        // Parent embeddings have larger first coordinate than children.
+        let mut table = HashMap::new();
+        for i in 0..20u32 {
+            let level = f32::from(i < 10u32.min(i + 1) && i < 10); // 1 for parents 0..10
+            table.insert(ConceptId(i), vec![level, 0.3]);
+        }
+        let emb = ConceptEmbeddings::from_table(table, 2);
+        let mut train = Vec::new();
+        for i in 0..10u32 {
+            train.push(LabeledPair {
+                parent: ConceptId(i),
+                child: ConceptId(i + 10),
+                label: true,
+                kind: PairKind::PositiveOther,
+            });
+            train.push(LabeledPair {
+                parent: ConceptId(i + 10),
+                child: ConceptId(i),
+                label: false,
+                kind: PairKind::NegativeShuffle,
+            });
+        }
+        let b = TmnBaseline::train(emb, &train, &[], &BaselineTrainConfig::default());
+        let vocab = Vocabulary::new();
+        assert!(b.score(&vocab, ConceptId(2), ConceptId(12)) > 0.5);
+        assert!(b.score(&vocab, ConceptId(12), ConceptId(2)) < 0.5);
+    }
+}

@@ -1,0 +1,33 @@
+use taxo_core::{ConceptId, Vocabulary};
+
+/// The uniform interface every method (ours and all baselines) exposes to
+/// the evaluation drivers: classify a candidate hyponymy edge
+/// `<parent, child>`.
+pub trait EdgeClassifier {
+    /// Method name as it appears in the paper's tables.
+    fn name(&self) -> &str;
+
+    /// Probability-like score in `[0, 1]` that the edge holds.
+    fn score(&self, vocab: &Vocabulary, parent: ConceptId, child: ConceptId) -> f32;
+
+    /// Binary decision (default: score > 0.5).
+    fn predict(&self, vocab: &Vocabulary, parent: ConceptId, child: ConceptId) -> bool {
+        self.score(vocab, parent, child) > 0.5
+    }
+}
+
+/// Blanket adapter so the trained framework itself can be evaluated with
+/// the same drivers as the baselines.
+pub struct OursClassifier {
+    pub detector: taxo_expand::HypoDetector,
+}
+
+impl EdgeClassifier for OursClassifier {
+    fn name(&self) -> &str {
+        "Ours"
+    }
+
+    fn score(&self, vocab: &Vocabulary, parent: ConceptId, child: ConceptId) -> f32 {
+        self.detector.score(vocab, parent, child)
+    }
+}

@@ -1,0 +1,152 @@
+//! Contract tests: every baseline satisfies the `EdgeClassifier`
+//! interface invariants on a shared fixture — scores in `[0, 1]`,
+//! deterministic, and consistent with `predict`.
+
+use std::sync::OnceLock;
+use taxo_baselines::*;
+use taxo_expand::{
+    construct_graph, generate_dataset, DatasetConfig, Dataset, DetectorConfig, RelationalConfig,
+    RelationalModel,
+};
+use taxo_graph::WeightScheme;
+use taxo_synth::{ClickConfig, ClickLog, SyntheticKb, UgcConfig, UgcCorpus, World, WorldConfig};
+
+struct Fixture {
+    world: World,
+    ugc: UgcCorpus,
+    dataset: Dataset,
+    embeddings: ConceptEmbeddings,
+}
+
+fn fixture() -> &'static Fixture {
+    static FX: OnceLock<Fixture> = OnceLock::new();
+    FX.get_or_init(|| {
+        let world = World::generate(&WorldConfig {
+            target_nodes: 150,
+            ..WorldConfig::tiny(777)
+        });
+        let log = ClickLog::generate(&world, &ClickConfig::tiny(777));
+        let ugc = UgcCorpus::generate(&world, &UgcConfig::tiny(777));
+        let built = construct_graph(
+            &world.existing,
+            &world.vocab,
+            &log.records,
+            WeightScheme::IfIqf,
+        );
+        let dataset = generate_dataset(
+            &world.existing,
+            &world.vocab,
+            &built.pairs,
+            &DatasetConfig::default(),
+        );
+        let (model, _) = RelationalModel::pretrain(
+            &world.vocab,
+            &ugc.sentences,
+            &RelationalConfig::tiny(777),
+        );
+        let embeddings = ConceptEmbeddings::from_model(&world.vocab, &model);
+        Fixture {
+            world,
+            ugc,
+            dataset,
+            embeddings,
+        }
+    })
+}
+
+fn check_contract(method: &dyn EdgeClassifier) {
+    let fx = fixture();
+    let vocab = &fx.world.vocab;
+    for pair in fx.dataset.test.iter().take(30) {
+        let s1 = method.score(vocab, pair.parent, pair.child);
+        let s2 = method.score(vocab, pair.parent, pair.child);
+        assert!(
+            (0.0..=1.0).contains(&s1),
+            "{}: score {s1} out of range",
+            method.name()
+        );
+        assert_eq!(s1, s2, "{}: non-deterministic score", method.name());
+        assert_eq!(
+            method.predict(vocab, pair.parent, pair.child),
+            s1 > 0.5,
+            "{}: predict/score inconsistent",
+            method.name()
+        );
+    }
+    // Any concept of the vocabulary is scoreable, including ones absent
+    // from the taxonomy/graph (withheld new concepts).
+    let fresh = fx.world.new_concepts.first().copied();
+    if let Some(c) = fresh {
+        let s = method.score(vocab, c, c);
+        assert!((0.0..=1.0).contains(&s), "{}: {s}", method.name());
+    }
+}
+
+#[test]
+fn rule_based_methods_satisfy_contract() {
+    let fx = fixture();
+    check_contract(&RandomBaseline::new(1));
+    check_contract(&SubstrBaseline);
+    check_contract(&KbHeadwordBaseline::new(SyntheticKb::build(&fx.world, 0.1, 1)));
+    check_contract(&SnowballBaseline::bootstrap(
+        &fx.world.existing,
+        &fx.world.vocab,
+        &fx.ugc.sentences,
+        20,
+        1,
+    ));
+}
+
+#[test]
+fn embedding_methods_satisfy_contract() {
+    let fx = fixture();
+    check_contract(&DistanceParentBaseline::fit(
+        fx.embeddings.clone(),
+        &fx.dataset.val,
+    ));
+    check_contract(&DistanceNeighborBaseline::fit(
+        fx.embeddings.clone(),
+        &fx.world.existing,
+        &fx.dataset.val,
+    ));
+    let cfg = BaselineTrainConfig {
+        epochs: 8,
+        ..Default::default()
+    };
+    check_contract(&TaxoExpanBaseline::train(
+        fx.embeddings.clone(),
+        &fx.world.existing,
+        &fx.dataset.train,
+        &fx.dataset.val,
+        &cfg,
+    ));
+    check_contract(&TmnBaseline::train(
+        fx.embeddings.clone(),
+        &fx.dataset.train,
+        &fx.dataset.val,
+        &cfg,
+    ));
+    check_contract(&SteamBaseline::train(
+        fx.embeddings.clone(),
+        &fx.world.vocab,
+        &fx.world.existing,
+        &fx.dataset.train,
+        &fx.dataset.val,
+        &cfg,
+    ));
+}
+
+#[test]
+fn vanilla_bert_satisfies_contract() {
+    let fx = fixture();
+    let mut det_cfg = DetectorConfig::tiny(777);
+    det_cfg.epochs = 5;
+    check_contract(&VanillaBertBaseline::train(
+        &fx.world.vocab,
+        &fx.ugc.sentences,
+        &fx.dataset.train,
+        &fx.dataset.val,
+        &RelationalConfig::tiny(777),
+        &det_cfg,
+    ));
+}

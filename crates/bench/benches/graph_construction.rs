@@ -1,0 +1,72 @@
+//! Benchmarks of the data-side pipeline behind Tables I–III: world
+//! generation, click-log simulation, graph construction (node
+//! identification + IF·IQF² weighting) and self-supervised dataset
+//! generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use taxo_expand::{construct_graph, generate_dataset, DatasetConfig};
+use taxo_graph::WeightScheme;
+use taxo_synth::{ClickConfig, ClickLog, World, WorldConfig};
+
+fn bench_world(c: &mut Criterion) {
+    let cfg = WorldConfig::prepared_food().scaled(0.25);
+    c.bench_function("synth/world_generate_200nodes", |bench| {
+        bench.iter(|| black_box(World::generate(&cfg)))
+    });
+}
+
+fn bench_clicks(c: &mut Criterion) {
+    let world = World::generate(&WorldConfig::prepared_food().scaled(0.25));
+    let click_cfg = ClickConfig {
+        n_events: 10_000,
+        ..Default::default()
+    };
+    c.bench_function("synth/click_log_10k_events", |bench| {
+        bench.iter(|| black_box(ClickLog::generate(&world, &click_cfg)))
+    });
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let world = World::generate(&WorldConfig::snack().scaled(0.2));
+    let log = ClickLog::generate(
+        &world,
+        &ClickConfig {
+            n_events: 30_000,
+            ..Default::default()
+        },
+    );
+    c.bench_function("table1/construct_graph", |bench| {
+        bench.iter(|| {
+            black_box(construct_graph(
+                &world.existing,
+                &world.vocab,
+                &log.records,
+                WeightScheme::IfIqf,
+            ))
+        })
+    });
+    let built = construct_graph(
+        &world.existing,
+        &world.vocab,
+        &log.records,
+        WeightScheme::IfIqf,
+    );
+    c.bench_function("table3/generate_dataset", |bench| {
+        bench.iter(|| {
+            black_box(generate_dataset(
+                &world.existing,
+                &world.vocab,
+                &built.pairs,
+                &DatasetConfig::default(),
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_world, bench_clicks, bench_construction
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Benchmarks of the inference side behind Table VII, the deployment
+//! claim and the user study: top-down expansion, metric evaluation and
+//! the search simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use taxo_bench::build_snack;
+use taxo_eval::{evaluate, Scale};
+use taxo_expand::{expand_taxonomy, ExpansionConfig};
+use taxo_synth::SearchEngine;
+
+fn bench_inference(c: &mut Criterion) {
+    let ctx = build_snack(Scale::Test);
+    let ours = ctx.ours();
+
+    c.bench_function("table7/expand_taxonomy", |bench| {
+        bench.iter(|| {
+            black_box(expand_taxonomy(
+                &ours.detector,
+                &ctx.world.vocab,
+                &ctx.world.existing,
+                &ctx.construction.pairs,
+                &ExpansionConfig::default(),
+            ))
+        })
+    });
+
+    c.bench_function("table5/evaluate_test_split", |bench| {
+        bench.iter(|| {
+            black_box(evaluate(
+                &ours,
+                &ctx.world.vocab,
+                &ctx.adaptive.test,
+                &ctx.world.existing,
+            ))
+        })
+    });
+
+    let engine = SearchEngine::from_click_log(&ctx.world, &ctx.log);
+    let query = ctx.world.name(ctx.world.roots[0]).to_owned();
+    c.bench_function("user_study/search_top10", |bench| {
+        bench.iter(|| black_box(engine.search_or_popular(&query, 10)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_inference
+);
+criterion_main!(benches);
+
+// Maintenance-path benches (incremental updates, calibration, mining) are
+// in maintenance.rs.

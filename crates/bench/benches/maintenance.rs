@@ -1,0 +1,61 @@
+//! Benchmarks of the maintenance features: incremental ingestion,
+//! threshold calibration, and new-concept mining.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use taxo_bench::build_snack;
+use taxo_eval::Scale;
+use taxo_expand::{
+    mine_terms, threshold_for_precision, ExpansionConfig, IncrementalExpander, TermMiningConfig,
+};
+
+fn bench_maintenance(c: &mut Criterion) {
+    let ctx = build_snack(Scale::Test);
+    let ours = ctx.ours();
+
+    c.bench_function("maintenance/incremental_ingest", |bench| {
+        bench.iter_batched(
+            || {
+                IncrementalExpander::new(
+                    ours.detector.clone(),
+                    ctx.world.existing.clone(),
+                    ExpansionConfig::default(),
+                )
+            },
+            |mut session| black_box(session.ingest(&ctx.world.vocab, &ctx.log.records)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    let scored: Vec<(f32, bool)> = ctx
+        .adaptive
+        .val
+        .iter()
+        .map(|p| {
+            (
+                ours.detector.score(&ctx.world.vocab, p.parent, p.child),
+                p.label,
+            )
+        })
+        .collect();
+    c.bench_function("maintenance/threshold_calibration", |bench| {
+        bench.iter(|| black_box(threshold_for_precision(&scored, 0.85)))
+    });
+
+    c.bench_function("maintenance/mine_terms", |bench| {
+        bench.iter(|| {
+            black_box(mine_terms(
+                &ctx.world.vocab,
+                &ctx.log.records,
+                &TermMiningConfig::default(),
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_maintenance
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Benchmarks of the model-side pipeline behind Tables V–IX: MLM
+//! pretraining steps, contrastive pretraining, and edge-classifier
+//! training/scoring.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use taxo_bench::build_snack;
+use taxo_eval::{OursVariant, Scale};
+use taxo_graph::{pretrain_contrastive, ContrastiveConfig, GnnKind, GnnStack};
+use taxo_nn::Matrix;
+
+fn bench_contrastive(c: &mut Criterion) {
+    let ctx = build_snack(Scale::Test);
+    let mut builder = taxo_graph::HeteroGraphBuilder::new();
+    for e in ctx.world.existing.edges() {
+        builder.add_taxonomy_edge(e.parent, e.child);
+    }
+    for p in &ctx.construction.pairs {
+        builder.add_clicks(p.query, p.item, p.clicks);
+    }
+    let graph = builder.build(taxo_graph::WeightScheme::IfIqf);
+    let x0 = Matrix::from_fn(graph.node_count(), 32, |r, q| ((r * 3 + q) % 17) as f32 * 0.05);
+    let cfg = ContrastiveConfig {
+        epochs: 1,
+        ..Default::default()
+    };
+    c.bench_function("table9/contrastive_epoch", |bench| {
+        bench.iter_batched(
+            || {
+                let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+                GnnStack::new(GnnKind::Gcn, &[32, 32], &mut rng)
+            },
+            |mut stack| black_box(pretrain_contrastive(&graph, &mut stack, &x0, &cfg)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_detector(c: &mut Criterion) {
+    let ctx = build_snack(Scale::Test);
+    // Scoring throughput: this is what Tables V, VII and XII spend their
+    // time on (one forward per candidate pair).
+    let ours = ctx.ours();
+    let pair = ctx.adaptive.test[0];
+    c.bench_function("table5/score_one_pair", |bench| {
+        bench.iter(|| {
+            black_box(
+                ours.detector
+                    .score(&ctx.world.vocab, pair.parent, pair.child),
+            )
+        })
+    });
+    // One full (small) training run: Table VI/VIII rows each pay this.
+    c.bench_function("table8/train_variant_test_scale", |bench| {
+        bench.iter(|| black_box(ctx.train_variant(&OursVariant::full(ctx.scale))))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_contrastive, bench_detector
+);
+criterion_main!(benches);

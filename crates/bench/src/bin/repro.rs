@@ -1,0 +1,102 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--scale test|quick|full] [ARTEFACT...]
+//!
+//! ARTEFACTs: table1 table2 table3 table4 table5 table6 table7 table8
+//!            table9 table10 table11 table12 fig3 fig4 user-study
+//!            deployment all
+//! ```
+//!
+//! With no artefact arguments, `all` is assumed. `--scale full` matches
+//! the numbers recorded in EXPERIMENTS.md; `quick` is ~10× faster.
+
+use std::time::Instant;
+use taxo_bench::{build_domains, build_snack, parse_scale};
+use taxo_eval::{experiments, DomainContext, Scale};
+
+const ALL: &[&str] = &[
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
+    "table10", "table11", "table12", "fig3", "fig4", "user-study", "deployment",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut snack_only = false;
+    let mut artefacts: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--snack-only" => snack_only = true,
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| parse_scale(s))
+                    .unwrap_or_else(|| die("--scale takes test|quick|full"));
+            }
+            "--help" | "-h" => {
+                println!("repro [--scale test|quick|full] [--snack-only] [ARTEFACT...]");
+                println!("ARTEFACTs: {} all", ALL.join(" "));
+                return;
+            }
+            other => artefacts.push(other.to_owned()),
+        }
+        i += 1;
+    }
+    if artefacts.is_empty() || artefacts.iter().any(|a| a == "all") {
+        artefacts = ALL.iter().map(|s| (*s).to_owned()).collect();
+    }
+    for a in &artefacts {
+        if !ALL.contains(&a.as_str()) {
+            die(&format!("unknown artefact {a}; choose from: {}", ALL.join(" ")));
+        }
+    }
+
+    eprintln!("# scale: {scale:?} (snack_only: {snack_only})");
+    let t0 = Instant::now();
+    eprintln!("# generating domains…");
+    let ctxs = if snack_only {
+        vec![build_snack(scale)]
+    } else {
+        build_domains(scale)
+    };
+    eprintln!("# domains ready in {:.1?}", t0.elapsed());
+    let snack = &ctxs[0];
+
+    for a in &artefacts {
+        let t = Instant::now();
+        let output = run(a, &ctxs, snack);
+        println!("{output}");
+        eprintln!("# {a} done in {:.1?}", t.elapsed());
+    }
+    eprintln!("# total {:.1?}", t0.elapsed());
+}
+
+fn run(artefact: &str, ctxs: &[DomainContext], snack: &DomainContext) -> String {
+    match artefact {
+        "table1" => experiments::table1(ctxs).render(),
+        "table2" => experiments::table2(ctxs).1.render(),
+        "table3" => experiments::table3(ctxs).render(),
+        "table4" => experiments::table4(ctxs, &[20, 10, 10]).1.render(),
+        "table5" => experiments::table5(ctxs).1.render(),
+        "table6" => experiments::table6(ctxs).1.render(),
+        "table7" => experiments::table7(ctxs).1.render(),
+        "table8" => experiments::table8(ctxs).1.render(),
+        "table9" => experiments::table9(snack).1.render(),
+        "table10" => experiments::table10(ctxs, 5).1,
+        "table11" => experiments::table11(snack).render(),
+        "table12" => experiments::table12(snack).1.render(),
+        "fig3" => experiments::fig3(snack).1.render(),
+        "fig4" => experiments::fig4(snack).1.render(),
+        "user-study" => experiments::user_study(snack, 100).1.render(),
+        "deployment" => experiments::deployment(ctxs).1.render(),
+        other => unreachable!("validated artefact {other}"),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

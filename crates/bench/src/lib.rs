@@ -1,0 +1,44 @@
+//! Benchmark/reproduction crate: the `repro` binary regenerates every
+//! table and figure of the paper (see `repro --help`), and the Criterion
+//! benches in `benches/` measure the performance of the code paths behind
+//! each artefact.
+
+use taxo_eval::{DomainContext, Scale};
+use taxo_synth::WorldConfig;
+
+/// Builds the three paper domains at a scale.
+pub fn build_domains(scale: Scale) -> Vec<DomainContext> {
+    WorldConfig::all_domains()
+        .iter()
+        .map(|cfg| DomainContext::build(cfg, scale))
+        .collect()
+}
+
+/// Builds only the Snack domain (used by the single-domain artefacts:
+/// Tables IX, XI, XII, Figs. 3–4).
+pub fn build_snack(scale: Scale) -> DomainContext {
+    DomainContext::build(&WorldConfig::snack(), scale)
+}
+
+/// Parses a `--scale` value.
+pub fn parse_scale(s: &str) -> Option<Scale> {
+    match s {
+        "test" => Some(Scale::Test),
+        "quick" => Some(Scale::Quick),
+        "full" => Some(Scale::Full),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_scale_values() {
+        assert_eq!(parse_scale("quick"), Some(Scale::Quick));
+        assert_eq!(parse_scale("full"), Some(Scale::Full));
+        assert_eq!(parse_scale("test"), Some(Scale::Test));
+        assert_eq!(parse_scale("bogus"), None);
+    }
+}

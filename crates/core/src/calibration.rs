@@ -1,0 +1,132 @@
+//! Decision-threshold calibration against a precision target.
+//!
+//! The deployed system runs at a precision point (the paper ships at 88%
+//! precision); a fixed 0.5 cut-off is rarely that point. This module
+//! picks the expansion threshold on validation data.
+
+use crate::{HypoDetector, LabeledPair};
+use taxo_core::Vocabulary;
+
+/// Picks the *lowest* threshold whose precision on `scored`
+/// (`(score, is_positive)`) reaches `target_precision`, maximising recall
+/// at that precision. Falls back to the F1-maximising threshold when the
+/// target is unreachable.
+pub fn threshold_for_precision(scored: &[(f32, bool)], target_precision: f64) -> f32 {
+    assert!((0.0..=1.0).contains(&target_precision));
+    if scored.is_empty() {
+        return 0.5;
+    }
+    let mut sorted: Vec<(f32, bool)> = scored.to_vec();
+    // Descending by score; walking down adds predictions one at a time.
+    sorted.sort_by(|a, b| b.0.total_cmp(&a.0));
+
+    let total_pos = sorted.iter().filter(|&&(_, l)| l).count();
+    let mut tp = 0usize;
+    let mut best_target: Option<f32> = None; // lowest threshold meeting target
+    let mut best_f1 = (0.0f64, 0.5f32);
+    for (k, &(score, label)) in sorted.iter().enumerate() {
+        if label {
+            tp += 1;
+        }
+        // A threshold can only sit *between* distinct score levels: if
+        // the next item has the same score it would be admitted too, so
+        // this prefix is not a realisable selection.
+        if sorted.get(k + 1).is_some_and(|&(next, _)| next == score) {
+            continue;
+        }
+        let selected = k + 1;
+        let precision = tp as f64 / selected as f64;
+        let recall = if total_pos == 0 {
+            0.0
+        } else {
+            tp as f64 / total_pos as f64
+        };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        // Threshold just below this score admits the first k+1 items.
+        let threshold = score - f32::EPSILON;
+        if precision >= target_precision {
+            best_target = Some(threshold);
+        }
+        if f1 > best_f1.0 {
+            best_f1 = (f1, threshold);
+        }
+    }
+    best_target.unwrap_or(best_f1.1).clamp(0.0, 1.0)
+}
+
+impl HypoDetector {
+    /// Scores `pairs` and returns the threshold hitting
+    /// `target_precision` on them (see [`threshold_for_precision`]).
+    pub fn calibrate_threshold(
+        &self,
+        vocab: &Vocabulary,
+        pairs: &[LabeledPair],
+        target_precision: f64,
+    ) -> f32 {
+        let scored: Vec<(f32, bool)> = pairs
+            .iter()
+            .map(|p| (self.score(vocab, p.parent, p.child), p.label))
+            .collect();
+        threshold_for_precision(&scored, target_precision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separable_scores_hit_any_target() {
+        // Positives all above 0.8, negatives below 0.3.
+        let scored: Vec<(f32, bool)> = (0..10)
+            .map(|i| (0.8 + i as f32 * 0.01, true))
+            .chain((0..10).map(|i| (0.3 - i as f32 * 0.01, false)))
+            .collect();
+        let t = threshold_for_precision(&scored, 1.0);
+        assert!(t > 0.3 && t < 0.9, "threshold {t}");
+        // At this threshold every positive is selected, no negative.
+        let selected: Vec<_> = scored.iter().filter(|&&(s, _)| s > t).collect();
+        assert_eq!(selected.len(), 10);
+        assert!(selected.iter().all(|&&(_, l)| l));
+    }
+
+    #[test]
+    fn target_precision_trades_recall() {
+        // Interleaved: top-2 are positive, then alternating.
+        let scored = vec![
+            (0.9f32, true),
+            (0.8, true),
+            (0.7, false),
+            (0.6, true),
+            (0.5, false),
+            (0.4, true),
+        ];
+        let strict = threshold_for_precision(&scored, 1.0);
+        let loose = threshold_for_precision(&scored, 0.6);
+        assert!(strict >= loose, "strict {strict} loose {loose}");
+        // The strict threshold admits only the clean prefix.
+        let admitted = scored.iter().filter(|&&(s, _)| s > strict).count();
+        assert_eq!(admitted, 2);
+    }
+
+    #[test]
+    fn unreachable_target_falls_back_to_best_f1() {
+        // Every selection has precision 0.5: targets above that are
+        // unreachable.
+        let scored = vec![(0.9f32, true), (0.9, false), (0.1, true), (0.1, false)];
+        let t = threshold_for_precision(&scored, 0.99);
+        assert!((0.0..=1.0).contains(&t));
+        // Best-F1 point: admit everything (recall 1, precision 0.5).
+        let admitted = scored.iter().filter(|&&(s, _)| s > t).count();
+        assert_eq!(admitted, 4);
+    }
+
+    #[test]
+    fn empty_input_defaults() {
+        assert_eq!(threshold_for_precision(&[], 0.9), 0.5);
+    }
+}

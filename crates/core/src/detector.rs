@@ -1,0 +1,416 @@
+use crate::{LabeledPair, RelationalModel, StructuralModel};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use taxo_core::{ConceptId, Vocabulary};
+use taxo_nn::{losses, Adam, Matrix, Mlp};
+
+/// Configuration of the edge-classification head and its training loop
+/// (Eq. 15–16).
+#[derive(Debug, Clone)]
+pub struct DetectorConfig {
+    pub mlp_hidden: usize,
+    pub epochs: usize,
+    pub batch: usize,
+    /// Learning rate for the MLP and position embeddings.
+    pub lr: f32,
+    /// Learning rate for encoder fine-tuning (0 disables even when
+    /// `finetune_encoder` is set).
+    pub encoder_lr: f32,
+    /// Fine-tune C-BERT during classifier training (the "- Finetune"
+    /// ablation freezes it).
+    pub finetune_encoder: bool,
+    /// Decoupled weight decay applied by every optimiser.
+    pub weight_decay: f32,
+    /// Probability of zeroing each *structural* feature coordinate during
+    /// training (inverted dropout). The relational slice is left intact:
+    /// it is already regularised by the shared encoder, while the
+    /// structural slice is a fixed feature vector that otherwise lets the
+    /// MLP overfit quickly.
+    pub input_dropout: f32,
+    pub seed: u64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            mlp_hidden: 96,
+            epochs: 60,
+            batch: 16,
+            lr: 3e-3,
+            encoder_lr: 5e-4,
+            finetune_encoder: true,
+            weight_decay: 1e-4,
+            input_dropout: 0.1,
+            seed: 0xDE7EC,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// A quick configuration for tests: small batches and many epochs so
+    /// that even a ~20-pair toy dataset yields enough optimiser steps.
+    pub fn tiny(seed: u64) -> Self {
+        DetectorConfig {
+            mlp_hidden: 32,
+            epochs: 30,
+            batch: 8,
+            lr: 5e-3,
+            encoder_lr: 2e-3,
+            input_dropout: 0.05,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// The full hyponymy detection module (Section III-B): the relational
+/// representation `r`, the structural representation `s`, their
+/// concatenation `e = [r ⊕ s]` (Eq. 14), and the MLP classifier (Eq. 15).
+/// Either representation can be absent for the Table VI ablations.
+#[derive(Debug, Clone)]
+pub struct HypoDetector {
+    pub relational: Option<RelationalModel>,
+    pub structural: Option<StructuralModel>,
+    pub mlp: Mlp,
+    finetune_encoder: bool,
+}
+
+impl HypoDetector {
+    /// Assembles a detector; at least one representation must be present.
+    pub fn new(
+        relational: Option<RelationalModel>,
+        structural: Option<StructuralModel>,
+        cfg: &DetectorConfig,
+    ) -> Self {
+        let dim = relational.as_ref().map_or(0, |r| r.dim())
+            + structural.as_ref().map_or(0, |s| s.feature_dim());
+        assert!(dim > 0, "detector needs at least one representation");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        HypoDetector {
+            relational,
+            structural,
+            mlp: Mlp::new(dim, cfg.mlp_hidden, &mut rng),
+            finetune_encoder: cfg.finetune_encoder,
+        }
+    }
+
+    /// Edge-representation dimension (`|e|` in Eq. 14).
+    pub fn edge_dim(&self) -> usize {
+        self.relational.as_ref().map_or(0, |r| r.dim())
+            + self.structural.as_ref().map_or(0, |s| s.feature_dim())
+    }
+
+    fn edge_features(
+        &self,
+        vocab: &Vocabulary,
+        parent: ConceptId,
+        child: ConceptId,
+    ) -> (Matrix, Option<crate::PairCtx>) {
+        let mut parts: Vec<Matrix> = Vec::with_capacity(2);
+        let mut rel_ctx = None;
+        if let Some(rel) = &self.relational {
+            let (r, ctx) = rel.forward_pair(vocab.name(parent), vocab.name(child));
+            parts.push(r);
+            rel_ctx = Some(ctx);
+        }
+        if let Some(st) = &self.structural {
+            parts.push(st.pair_features(parent, child));
+        }
+        let refs: Vec<&Matrix> = parts.iter().collect();
+        (Matrix::hstack(&refs), rel_ctx)
+    }
+
+    /// Probability that `<parent, child>` is a hyponymy relation.
+    pub fn score(&self, vocab: &Vocabulary, parent: ConceptId, child: ConceptId) -> f32 {
+        let (e, _) = self.edge_features(vocab, parent, child);
+        self.mlp.predict_positive(&e)
+    }
+
+    /// Binary prediction at threshold 0.5.
+    pub fn predict(&self, vocab: &Vocabulary, parent: ConceptId, child: ConceptId) -> bool {
+        self.score(vocab, parent, child) > 0.5
+    }
+
+    /// Trains the classifier (and optionally fine-tunes the encoder and
+    /// position embeddings) with BCE over the training pairs (Eq. 16).
+    /// Returns the mean loss of each epoch.
+    pub fn train(
+        &mut self,
+        vocab: &Vocabulary,
+        train: &[LabeledPair],
+        cfg: &DetectorConfig,
+    ) -> Vec<f32> {
+        self.train_with_val(vocab, train, &[], cfg)
+    }
+
+    /// Like [`HypoDetector::train`], but tracks accuracy on `val` after
+    /// every epoch and restores the best-validation snapshot at the end
+    /// (the paper holds out a 20% validation split for exactly this).
+    pub fn train_with_val(
+        &mut self,
+        vocab: &Vocabulary,
+        train: &[LabeledPair],
+        val: &[LabeledPair],
+        cfg: &DetectorConfig,
+    ) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut adam_mlp = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
+        let mut adam_pos = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
+        let mut adam_enc = Adam::new(cfg.encoder_lr).with_weight_decay(cfg.weight_decay);
+        let mut best: Option<(f64, HypoDetector)> = None;
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+        let rel_dim = self.relational.as_ref().map_or(0, |r| r.dim());
+
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut total = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in order.chunks(cfg.batch) {
+                let mut rows = Vec::with_capacity(chunk.len());
+                let mut ctxs = Vec::with_capacity(chunk.len());
+                let mut labels = Vec::with_capacity(chunk.len());
+                for &idx in chunk {
+                    let p = &train[idx];
+                    let (e, ctx) = self.edge_features(vocab, p.parent, p.child);
+                    rows.push(e);
+                    ctxs.push(ctx);
+                    labels.push(usize::from(p.label));
+                }
+                let refs: Vec<&Matrix> = rows.iter().collect();
+                let mut x = Matrix::vstack(&refs);
+                // Inverted dropout on the structural slice only (see the
+                // `input_dropout` doc). When there is no relational part,
+                // the whole feature vector is structural.
+                let keep = 1.0 - cfg.input_dropout;
+                let mask = if cfg.input_dropout > 0.0 && rel_dim < x.cols() {
+                    let m = Matrix::from_fn(x.rows(), x.cols(), |_, c| {
+                        if c >= rel_dim
+                            && rng.random_range(0.0..1.0) < f64::from(cfg.input_dropout)
+                        {
+                            0.0
+                        } else if c >= rel_dim {
+                            1.0 / keep
+                        } else {
+                            1.0
+                        }
+                    });
+                    x = x.hadamard(&m);
+                    Some(m)
+                } else {
+                    None
+                };
+                let (logits, mlp_ctx) = self.mlp.forward(&x);
+                let (loss, dlogits) = losses::softmax_xent(&logits, &labels);
+                let mut dx = self.mlp.backward(&mlp_ctx, &dlogits);
+                if let Some(m) = &mask {
+                    dx = dx.hadamard(m);
+                }
+                total += loss as f64;
+                batches += 1;
+
+                // Route gradients into the representation modules.
+                for (row, ctx) in ctxs.iter().enumerate() {
+                    let d_row = dx.slice_rows(row, 1);
+                    if let (Some(rel), Some(pair_ctx), true) =
+                        (self.relational.as_mut(), ctx.as_ref(), self.finetune_encoder)
+                    {
+                        let d_r = Matrix::from_fn(1, rel_dim, |_, c| d_row[(0, c)]);
+                        rel.backward_pair(pair_ctx, &d_r);
+                    }
+                    if let Some(st) = self.structural.as_mut() {
+                        let d_s =
+                            Matrix::from_fn(1, st.feature_dim(), |_, c| d_row[(0, rel_dim + c)]);
+                        st.backward_pair(&d_s);
+                    }
+                }
+                adam_mlp.step(&mut self.mlp);
+                if let Some(st) = self.structural.as_mut() {
+                    adam_pos.step(st);
+                }
+                if self.finetune_encoder {
+                    if let Some(rel) = self.relational.as_mut() {
+                        adam_enc.step(rel);
+                    }
+                }
+            }
+            epoch_losses.push((total / batches.max(1) as f64) as f32);
+            if !val.is_empty() {
+                let acc = self.accuracy(vocab, val);
+                if best.as_ref().is_none_or(|(b, _)| acc > *b) {
+                    best = Some((acc, self.clone()));
+                }
+            }
+        }
+        if let Some((_, snapshot)) = best {
+            *self = snapshot;
+        }
+        epoch_losses
+    }
+
+    /// Accuracy over a labeled set.
+    pub fn accuracy(&self, vocab: &Vocabulary, pairs: &[LabeledPair]) -> f64 {
+        if pairs.is_empty() {
+            return 0.0;
+        }
+        let correct = pairs
+            .iter()
+            .filter(|p| self.predict(vocab, p.parent, p.child) == p.label)
+            .count();
+        correct as f64 / pairs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        construct_graph, generate_dataset, DatasetConfig, RelationalConfig, Strategy,
+        StructuralConfig,
+    };
+    use taxo_graph::WeightScheme;
+    use taxo_synth::{ClickConfig, ClickLog, UgcConfig, UgcCorpus, World, WorldConfig};
+
+    struct Fixture {
+        world: World,
+        dataset: crate::Dataset,
+        detector: HypoDetector,
+    }
+
+    fn fixture(use_relational: bool, use_structural: bool) -> Fixture {
+        // Large enough that test-set accuracy is meaningful (~60 test
+        // pairs) while staying fast in debug builds.
+        let world = World::generate(&WorldConfig {
+            target_nodes: 220,
+            max_depth: 6,
+            ..WorldConfig::tiny(51)
+        });
+        let log = ClickLog::generate(
+            &world,
+            &ClickConfig {
+                n_events: 12_000,
+                ..ClickConfig::tiny(51)
+            },
+        );
+        let ugc = UgcCorpus::generate(
+            &world,
+            &UgcConfig {
+                n_sentences: 2_500,
+                ..UgcConfig::tiny(51)
+            },
+        );
+        let built = construct_graph(
+            &world.existing,
+            &world.vocab,
+            &log.records,
+            WeightScheme::IfIqf,
+        );
+        let dataset = generate_dataset(
+            &world.existing,
+            &world.vocab,
+            &built.pairs,
+            &DatasetConfig {
+                strategy: Strategy::Adaptive,
+                ..Default::default()
+            },
+        );
+        let relational = use_relational.then(|| {
+            RelationalModel::pretrain(
+                &world.vocab,
+                &ugc.sentences,
+                &RelationalConfig::tiny(51),
+            )
+            .0
+        });
+        let structural = use_structural.then(|| {
+            StructuralModel::build(
+                &world.existing,
+                &world.vocab,
+                &built.pairs,
+                relational.as_ref(),
+                &StructuralConfig::tiny(51),
+            )
+        });
+        let detector = HypoDetector::new(relational, structural, &DetectorConfig::tiny(51));
+        Fixture {
+            world,
+            dataset,
+            detector,
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_and_beats_chance() {
+        let mut f = fixture(true, true);
+        let losses = f
+            .detector
+            .train(&f.world.vocab, &f.dataset.train, &DetectorConfig::tiny(51));
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "{losses:?}"
+        );
+        let acc = f.detector.accuracy(&f.world.vocab, &f.dataset.test);
+        assert!(acc > 0.6, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn relational_only_detector_works() {
+        let mut f = fixture(true, false);
+        f.detector
+            .train(&f.world.vocab, &f.dataset.train, &DetectorConfig::tiny(52));
+        let acc = f.detector.accuracy(&f.world.vocab, &f.dataset.test);
+        assert!(acc > 0.55, "relational-only accuracy {acc}");
+    }
+
+    #[test]
+    fn structural_only_detector_works() {
+        let mut f = fixture(false, true);
+        f.detector
+            .train(&f.world.vocab, &f.dataset.train, &DetectorConfig::tiny(53));
+        // Structural-only generalisation is weak at toy scale (and weak
+        // in the paper's Table VI as well); assert that the features are
+        // at least fittable well beyond chance.
+        let acc = f.detector.accuracy(&f.world.vocab, &f.dataset.train);
+        assert!(acc > 0.6, "structural-only train accuracy {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one representation")]
+    fn empty_detector_rejected() {
+        let _ = HypoDetector::new(None, None, &DetectorConfig::tiny(0));
+    }
+
+    #[test]
+    fn score_is_probability_and_direction_sensitive() {
+        let mut f = fixture(true, true);
+        f.detector.train_with_val(
+            &f.world.vocab,
+            &f.dataset.train,
+            &f.dataset.val,
+            &DetectorConfig::tiny(54),
+        );
+        // Over the *training* positives, the learned direction must
+        // outscore the reverse in a clear majority of cases (held-out
+        // edges are too noisy at this toy scale for a direction check).
+        let mut forward_wins = 0usize;
+        let mut total = 0usize;
+        for p in &f.dataset.train {
+            if !p.label {
+                continue;
+            }
+            let fwd = f.detector.score(&f.world.vocab, p.parent, p.child);
+            let bwd = f.detector.score(&f.world.vocab, p.child, p.parent);
+            assert!((0.0..=1.0).contains(&fwd));
+            assert!((0.0..=1.0).contains(&bwd));
+            total += 1;
+            if fwd > bwd {
+                forward_wins += 1;
+            }
+        }
+        assert!(
+            forward_wins * 5 > total * 3,
+            "forward outscored reverse only {forward_wins}/{total} times"
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Post-hoc error analysis of a trained detector — the tooling behind the
+//! paper's case-study observations (Section IV-D: strong on headword
+//! positives, residual errors on non-headword negatives and over-coarse
+//! attachments).
+
+use crate::{HypoDetector, LabeledPair, PairKind};
+use taxo_core::Vocabulary;
+
+/// Accuracy and counts for one pair kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KindBreakdown {
+    pub total: usize,
+    pub correct: usize,
+}
+
+impl KindBreakdown {
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+}
+
+/// Full per-kind error report plus the lowest-margin mistakes.
+#[derive(Debug, Clone)]
+pub struct ErrorReport {
+    pub positive_head: KindBreakdown,
+    pub positive_other: KindBreakdown,
+    pub negative_shuffle: KindBreakdown,
+    pub negative_replace: KindBreakdown,
+    /// Misclassified pairs ordered by confidence (most confident mistakes
+    /// first) — the cases worth a curator's attention.
+    pub worst_mistakes: Vec<(LabeledPair, f32)>,
+}
+
+impl ErrorReport {
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.positive_head.total
+            + self.positive_other.total
+            + self.negative_shuffle.total
+            + self.negative_replace.total;
+        let correct = self.positive_head.correct
+            + self.positive_other.correct
+            + self.negative_shuffle.correct
+            + self.negative_replace.correct;
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Renders a compact text summary.
+    pub fn render(&self, vocab: &Vocabulary, max_mistakes: usize) -> String {
+        let mut out = String::new();
+        let line = |name: &str, b: &KindBreakdown| {
+            format!(
+                "  {name:<18} {:>4}/{:<4} ({:.1}%)\n",
+                b.correct,
+                b.total,
+                100.0 * b.accuracy()
+            )
+        };
+        out.push_str("error analysis by pair kind:\n");
+        out.push_str(&line("positive/headword", &self.positive_head));
+        out.push_str(&line("positive/others", &self.positive_other));
+        out.push_str(&line("negative/shuffle", &self.negative_shuffle));
+        out.push_str(&line("negative/replace", &self.negative_replace));
+        if !self.worst_mistakes.is_empty() {
+            out.push_str("most confident mistakes:\n");
+            for (p, score) in self.worst_mistakes.iter().take(max_mistakes) {
+                out.push_str(&format!(
+                    "  {} -> {} (label {}, score {score:.2})\n",
+                    vocab.name(p.parent),
+                    vocab.name(p.child),
+                    p.label
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Scores every pair and aggregates correctness per [`PairKind`].
+pub fn analyze_errors(
+    detector: &HypoDetector,
+    vocab: &Vocabulary,
+    pairs: &[LabeledPair],
+) -> ErrorReport {
+    let mut report = ErrorReport {
+        positive_head: KindBreakdown::default(),
+        positive_other: KindBreakdown::default(),
+        negative_shuffle: KindBreakdown::default(),
+        negative_replace: KindBreakdown::default(),
+        worst_mistakes: Vec::new(),
+    };
+    for p in pairs {
+        let score = detector.score(vocab, p.parent, p.child);
+        let predicted = score > 0.5;
+        let correct = predicted == p.label;
+        let slot = match p.kind {
+            PairKind::PositiveHead => &mut report.positive_head,
+            PairKind::PositiveOther => &mut report.positive_other,
+            PairKind::NegativeShuffle => &mut report.negative_shuffle,
+            PairKind::NegativeReplace => &mut report.negative_replace,
+        };
+        slot.total += 1;
+        if correct {
+            slot.correct += 1;
+        } else {
+            // Confidence of the wrong decision.
+            let confidence = if predicted { score } else { 1.0 - score };
+            report.worst_mistakes.push((*p, confidence));
+        }
+    }
+    report
+        .worst_mistakes
+        .sort_by(|a, b| b.1.total_cmp(&a.1));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DetectorConfig, RelationalConfig, RelationalModel};
+    use taxo_core::ConceptId;
+    use taxo_synth::{UgcConfig, UgcCorpus, World, WorldConfig};
+
+    fn pair(p: u32, c: u32, label: bool, kind: PairKind) -> LabeledPair {
+        LabeledPair {
+            parent: ConceptId(p),
+            child: ConceptId(c),
+            label,
+            kind,
+        }
+    }
+
+    #[test]
+    fn breakdown_counts_and_mistake_ordering() {
+        // An untrained detector on a tiny world: we only check the
+        // bookkeeping, not the quality.
+        let world = World::generate(&WorldConfig::tiny(303));
+        let ugc = UgcCorpus::generate(&world, &UgcConfig::tiny(303));
+        let rel = RelationalModel::vanilla(
+            &world.vocab,
+            &ugc.sentences,
+            &RelationalConfig::tiny(303),
+        );
+        let detector = HypoDetector::new(Some(rel), None, &DetectorConfig::tiny(303));
+        let nodes: Vec<ConceptId> = world.truth.nodes().collect();
+        let pairs = vec![
+            pair(nodes[0].0, nodes[1].0, true, PairKind::PositiveHead),
+            pair(nodes[1].0, nodes[0].0, false, PairKind::NegativeShuffle),
+            pair(nodes[0].0, nodes[2].0, true, PairKind::PositiveOther),
+            pair(nodes[0].0, nodes[3].0, false, PairKind::NegativeReplace),
+        ];
+        let report = analyze_errors(&detector, &world.vocab, &pairs);
+        let total = report.positive_head.total
+            + report.positive_other.total
+            + report.negative_shuffle.total
+            + report.negative_replace.total;
+        assert_eq!(total, 4);
+        assert_eq!(report.positive_head.total, 1);
+        // accuracy() is consistent with the slots.
+        let correct_sum = report.positive_head.correct
+            + report.positive_other.correct
+            + report.negative_shuffle.correct
+            + report.negative_replace.correct;
+        assert!((report.accuracy() - correct_sum as f64 / 4.0).abs() < 1e-9);
+        // Mistakes are sorted by descending confidence.
+        for w in report.worst_mistakes.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // Render mentions every category.
+        let text = report.render(&world.vocab, 3);
+        assert!(text.contains("positive/headword"));
+        assert!(text.contains("negative/replace"));
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let world = World::generate(&WorldConfig::tiny(304));
+        let ugc = UgcCorpus::generate(&world, &UgcConfig::tiny(304));
+        let rel = RelationalModel::vanilla(
+            &world.vocab,
+            &ugc.sentences,
+            &RelationalConfig::tiny(304),
+        );
+        let detector = HypoDetector::new(Some(rel), None, &DetectorConfig::tiny(304));
+        let report = analyze_errors(&detector, &world.vocab, &[]);
+        assert_eq!(report.accuracy(), 0.0);
+        assert!(report.worst_mistakes.is_empty());
+    }
+}

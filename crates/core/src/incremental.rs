@@ -1,0 +1,204 @@
+//! Continuous taxonomy maintenance — the deployment mode the paper
+//! highlights as its "most remarkable advantage": the taxonomy keeps
+//! updating "as user behavior information grows day by day".
+//!
+//! [`IncrementalExpander`] owns the current taxonomy and an accumulated
+//! click-pair store; each call to [`IncrementalExpander::ingest`] merges
+//! a new batch of click records (e.g. one day of logs), re-mines
+//! candidates, and expands from the *current* state, so concepts attached
+//! yesterday can receive children today.
+
+use crate::{expand_taxonomy, CandidatePair, ExpansionConfig, ExpansionResult, HypoDetector};
+use std::collections::HashMap;
+use taxo_core::{ConceptId, Edge, Taxonomy, Vocabulary};
+use taxo_synth::ClickRecord;
+use taxo_text::ConceptMatcher;
+
+/// A running expansion session over a stream of click-log batches.
+pub struct IncrementalExpander {
+    detector: HypoDetector,
+    taxonomy: Taxonomy,
+    /// Accumulated (query, item) click counts across all ingested batches.
+    pair_counts: HashMap<(ConceptId, ConceptId), u64>,
+    cfg: ExpansionConfig,
+    batches: usize,
+}
+
+/// What one ingested batch changed.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// Batch sequence number (1-based).
+    pub batch: usize,
+    /// Distinct candidate pairs known after this batch.
+    pub known_pairs: usize,
+    /// Relations newly attached by this batch.
+    pub attached: Vec<Edge>,
+    /// Total relations in the maintained taxonomy afterwards.
+    pub total_relations: usize,
+}
+
+impl IncrementalExpander {
+    /// Starts a session from a trained detector and the current taxonomy.
+    pub fn new(detector: HypoDetector, initial: Taxonomy, cfg: ExpansionConfig) -> Self {
+        IncrementalExpander {
+            detector,
+            taxonomy: initial,
+            pair_counts: HashMap::new(),
+            cfg,
+            batches: 0,
+        }
+    }
+
+    /// Merges one batch of click records, re-runs top-down expansion from
+    /// the current taxonomy, and adopts the result.
+    pub fn ingest(&mut self, vocab: &Vocabulary, records: &[ClickRecord]) -> IngestReport {
+        self.batches += 1;
+        let matcher = ConceptMatcher::new(vocab);
+        for r in records {
+            let Some(item) = matcher.identify(&r.item_text) else {
+                continue;
+            };
+            if item == r.query {
+                continue;
+            }
+            *self.pair_counts.entry((r.query, item)).or_insert(0) += r.count;
+        }
+        let mut pairs: Vec<CandidatePair> = self
+            .pair_counts
+            .iter()
+            .map(|(&(query, item), &clicks)| CandidatePair {
+                query,
+                item,
+                clicks,
+            })
+            .collect();
+        pairs.sort_by_key(|p| (p.query, p.item));
+
+        let result: ExpansionResult =
+            expand_taxonomy(&self.detector, vocab, &self.taxonomy, &pairs, &self.cfg);
+        let attached = result.surviving_edges();
+        self.taxonomy = result.expanded;
+        IngestReport {
+            batch: self.batches,
+            known_pairs: pairs.len(),
+            attached,
+            total_relations: self.taxonomy.edge_count(),
+        }
+    }
+
+    /// The maintained taxonomy.
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    /// The trained detector in use.
+    pub fn detector(&self) -> &HypoDetector {
+        &self.detector
+    }
+
+    /// Batches ingested so far.
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        construct_graph, generate_dataset, DatasetConfig, DetectorConfig, RelationalConfig,
+        RelationalModel, StructuralConfig, StructuralModel,
+    };
+    use taxo_graph::WeightScheme;
+    use taxo_synth::{ClickConfig, ClickLog, UgcConfig, UgcCorpus, World, WorldConfig};
+
+    fn trained_world() -> (World, HypoDetector, ClickLog) {
+        let world = World::generate(&WorldConfig {
+            target_nodes: 150,
+            ..WorldConfig::tiny(121)
+        });
+        let log = ClickLog::generate(
+            &world,
+            &ClickConfig {
+                n_events: 8_000,
+                ..ClickConfig::tiny(121)
+            },
+        );
+        let ugc = UgcCorpus::generate(
+            &world,
+            &UgcConfig {
+                n_sentences: 1_500,
+                ..UgcConfig::tiny(121)
+            },
+        );
+        let built = construct_graph(
+            &world.existing,
+            &world.vocab,
+            &log.records,
+            WeightScheme::IfIqf,
+        );
+        let ds = generate_dataset(
+            &world.existing,
+            &world.vocab,
+            &built.pairs,
+            &DatasetConfig::default(),
+        );
+        let (rel, _) =
+            RelationalModel::pretrain(&world.vocab, &ugc.sentences, &RelationalConfig::tiny(121));
+        let st = StructuralModel::build(
+            &world.existing,
+            &world.vocab,
+            &built.pairs,
+            Some(&rel),
+            &StructuralConfig::tiny(121),
+        );
+        let mut det = HypoDetector::new(Some(rel), Some(st), &DetectorConfig::tiny(121));
+        det.train_with_val(&world.vocab, &ds.train, &ds.val, &DetectorConfig::tiny(121));
+        (world, det, log)
+    }
+
+    #[test]
+    fn batches_accumulate_and_taxonomy_grows_monotonically() {
+        let (world, det, log) = trained_world();
+        let mut session = IncrementalExpander::new(
+            det,
+            world.existing.clone(),
+            ExpansionConfig {
+                threshold: 0.6,
+                ..Default::default()
+            },
+        );
+        let mid = log.records.len() / 2;
+        let r1 = session.ingest(&world.vocab, &log.records[..mid]);
+        let after_first = session.taxonomy().edge_count();
+        let r2 = session.ingest(&world.vocab, &log.records[mid..]);
+        assert_eq!(r1.batch, 1);
+        assert_eq!(r2.batch, 2);
+        assert!(r2.known_pairs >= r1.known_pairs, "pair store accumulates");
+        assert!(
+            session.taxonomy().edge_count() >= after_first,
+            "taxonomy never shrinks"
+        );
+        assert_eq!(r2.total_relations, session.taxonomy().edge_count());
+        // Every original relation survives both rounds.
+        for e in world.existing.edges() {
+            assert!(session.taxonomy().contains_edge(e.parent, e.child));
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_fixpoint() {
+        let (world, det, log) = trained_world();
+        let mut session =
+            IncrementalExpander::new(det, world.existing.clone(), ExpansionConfig::default());
+        session.ingest(&world.vocab, &log.records);
+        let before = session.taxonomy().edge_count();
+        let report = session.ingest(&world.vocab, &[]);
+        assert_eq!(session.taxonomy().edge_count(), before);
+        assert!(
+            report.attached.is_empty(),
+            "no new data, no new attachments: {:?}",
+            report.attached
+        );
+    }
+}

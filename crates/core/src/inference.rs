@@ -1,0 +1,238 @@
+use crate::{candidates_by_query, CandidatePair, HypoDetector};
+use std::collections::{HashMap, HashSet, VecDeque};
+use taxo_core::{ConceptId, Edge, LevelOrder, Taxonomy, Vocabulary};
+
+/// Configuration of top-down expansion (Section III-C3, Fig. 2).
+#[derive(Debug, Clone)]
+pub struct ExpansionConfig {
+    /// Classifier probability above which an edge is attached.
+    pub threshold: f32,
+    /// Attach only concepts *outside* the existing taxonomy, as in
+    /// Problem 1 ("attach the appropriate concept c ∈ C to the existing
+    /// taxonomy"). Disabling this also lets the expander add new edges
+    /// between existing concepts, at a precision cost: clicked pairs of
+    /// two existing concepts are dominated by intention drift.
+    pub only_new_concepts: bool,
+    /// Cap on candidates scored per query node, keeping only the
+    /// most-clicked items (the head of the click distribution carries
+    /// the signal; Section IV-A4).
+    pub max_candidates_per_query: usize,
+}
+
+impl Default for ExpansionConfig {
+    fn default() -> Self {
+        // Deployment-oriented defaults: the candidate stream is ~90%
+        // noise (Table IV), so expansion only scores the head of each
+        // query's click distribution (where the paper observes the true
+        // hyponyms live) and attaches at high confidence. Lower the
+        // threshold / raise the cap to trade precision for volume.
+        ExpansionConfig {
+            threshold: 0.8,
+            only_new_concepts: true,
+            max_candidates_per_query: 8,
+        }
+    }
+}
+
+/// Result of one expansion run.
+#[derive(Debug, Clone)]
+pub struct ExpansionResult {
+    /// The enriched taxonomy `T*`.
+    pub expanded: Taxonomy,
+    /// New hyponymy edges attached (before pruning).
+    pub added: Vec<Edge>,
+    /// Redundant edges removed by transitive pruning.
+    pub pruned: Vec<Edge>,
+}
+
+impl ExpansionResult {
+    /// Edges that survived pruning.
+    pub fn surviving_edges(&self) -> Vec<Edge> {
+        let pruned: HashSet<Edge> = self.pruned.iter().copied().collect();
+        self.added
+            .iter()
+            .copied()
+            .filter(|e| !pruned.contains(e))
+            .collect()
+    }
+}
+
+/// Expands `existing` with the trained detector using the paper's
+/// top-down strategy: traverse in level-order, classify each query node's
+/// clicked candidates, attach positives, let newly attached nodes join
+/// the frontier for the next layer, and finally prune transitively
+/// redundant edges.
+pub fn expand_taxonomy(
+    detector: &HypoDetector,
+    vocab: &Vocabulary,
+    existing: &Taxonomy,
+    pairs: &[CandidatePair],
+    cfg: &ExpansionConfig,
+) -> ExpansionResult {
+    let by_query: HashMap<ConceptId, Vec<CandidatePair>> = candidates_by_query(pairs);
+    let mut expanded = existing.clone();
+    let mut added = Vec::new();
+
+    // Seed the frontier with the existing taxonomy in level order; newly
+    // attached nodes are appended and processed afterwards (Fig. 2).
+    let mut queue: VecDeque<ConceptId> = LevelOrder::new(existing).iter().collect();
+    let mut visited: HashSet<ConceptId> = queue.iter().copied().collect();
+
+    while let Some(query) = queue.pop_front() {
+        let Some(candidates) = by_query.get(&query) else {
+            continue;
+        };
+        for cand in candidates.iter().take(cfg.max_candidates_per_query) {
+            let item = cand.item;
+            if item == query
+                || (cfg.only_new_concepts && existing.contains_node(item))
+                || expanded.contains_edge(query, item)
+                || expanded.is_ancestor(item, query)
+            {
+                continue;
+            }
+            if detector.score(vocab, query, item) > cfg.threshold
+                && expanded.add_edge(query, item).is_ok()
+            {
+                added.push(Edge::new(query, item));
+                if visited.insert(item) {
+                    queue.push_back(item);
+                }
+            }
+        }
+    }
+
+    // Considering the transitive property of taxonomies, prune redundant
+    // edges inferable from a path — but never remove an edge of the
+    // original taxonomy.
+    let original: HashSet<Edge> = existing.edges().collect();
+    let mut pruned = Vec::new();
+    for e in expanded.transitive_reduction() {
+        if original.contains(&e) {
+            // Restore: the existing taxonomy is not ours to edit.
+            expanded
+                .add_edge(e.parent, e.child)
+                .expect("restoring an original edge cannot cycle");
+        } else {
+            pruned.push(e);
+        }
+    }
+
+    ExpansionResult {
+        expanded,
+        added,
+        pruned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        construct_graph, generate_dataset, DatasetConfig, DetectorConfig, RelationalConfig,
+        RelationalModel, StructuralConfig, StructuralModel,
+    };
+    use taxo_graph::WeightScheme;
+    use taxo_synth::{ClickConfig, ClickLog, UgcConfig, UgcCorpus, World, WorldConfig};
+
+    fn trained_fixture() -> (World, HypoDetector, Vec<CandidatePair>) {
+        let world = World::generate(&WorldConfig::tiny(61));
+        let log = ClickLog::generate(&world, &ClickConfig::tiny(61));
+        let ugc = UgcCorpus::generate(&world, &UgcConfig::tiny(61));
+        let built = construct_graph(
+            &world.existing,
+            &world.vocab,
+            &log.records,
+            WeightScheme::IfIqf,
+        );
+        let dataset = generate_dataset(
+            &world.existing,
+            &world.vocab,
+            &built.pairs,
+            &DatasetConfig::default(),
+        );
+        let (relational, _) = RelationalModel::pretrain(
+            &world.vocab,
+            &ugc.sentences,
+            &RelationalConfig::tiny(61),
+        );
+        let structural = StructuralModel::build(
+            &world.existing,
+            &world.vocab,
+            &built.pairs,
+            Some(&relational),
+            &StructuralConfig::tiny(61),
+        );
+        let mut detector = HypoDetector::new(
+            Some(relational),
+            Some(structural),
+            &DetectorConfig::tiny(61),
+        );
+        detector.train(&world.vocab, &dataset.train, &DetectorConfig::tiny(61));
+        (world, detector, built.pairs)
+    }
+
+    #[test]
+    fn expansion_enlarges_taxonomy_without_breaking_invariants() {
+        let (world, detector, pairs) = trained_fixture();
+        let result = expand_taxonomy(
+            &detector,
+            &world.vocab,
+            &world.existing,
+            &pairs,
+            &ExpansionConfig::default(),
+        );
+        assert!(
+            result.expanded.edge_count() >= world.existing.edge_count(),
+            "expansion must not lose edges"
+        );
+        // Original edges all survive.
+        for e in world.existing.edges() {
+            assert!(result.expanded.contains_edge(e.parent, e.child));
+        }
+        // Pruned edges really are redundant (still reachable).
+        for e in &result.pruned {
+            assert!(result.expanded.is_ancestor(e.parent, e.child));
+        }
+        // Expansion should attach at least one new relation in a tiny
+        // world with a trained detector.
+        assert!(!result.added.is_empty(), "no edges attached");
+    }
+
+    #[test]
+    fn high_threshold_attaches_nothing() {
+        let (world, detector, pairs) = trained_fixture();
+        let result = expand_taxonomy(
+            &detector,
+            &world.vocab,
+            &world.existing,
+            &pairs,
+            &ExpansionConfig {
+                threshold: 1.1,
+                ..Default::default()
+            },
+        );
+        assert!(result.added.is_empty());
+        assert_eq!(result.expanded.edge_count(), world.existing.edge_count());
+        assert!(result.surviving_edges().is_empty());
+    }
+
+    #[test]
+    fn newly_attached_nodes_join_frontier() {
+        let (world, detector, pairs) = trained_fixture();
+        let result = expand_taxonomy(
+            &detector,
+            &world.vocab,
+            &world.existing,
+            &pairs,
+            &ExpansionConfig::default(),
+        );
+        // Any edge whose parent is itself a new concept proves the
+        // frontier grew; tolerate absence in tiny worlds but check the
+        // mechanism at least leaves the structure valid.
+        for e in &result.added {
+            assert!(result.expanded.contains_node(e.parent));
+            assert!(result.expanded.contains_node(e.child));
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! `taxo-expand` — the paper's contribution: a self-supervised,
+//! user-behavior-oriented product taxonomy expansion framework
+//! (Cheng et al., ICDE 2022).
+//!
+//! The pipeline (Fig. 1 of the paper):
+//!
+//! 1. **Graph construction** ([`construct_graph`], Section III-A) — mine
+//!    candidate hyponymy pairs from user click logs, resolve clicked item
+//!    strings to vocabulary concepts by longest-common-substring
+//!    matching, and fuse taxonomy + click edges into a heterogeneous
+//!    graph weighted by IF·IQF².
+//! 2. **Hyponymy detection** ([`HypoDetector`], Section III-B) — classify
+//!    each candidate edge using a *relational* representation from a
+//!    domain-pretrained MLM ([`RelationalModel`], "C-BERT") applied to a
+//!    `"<i> is a <q>"` template, concatenated with a *structural*
+//!    representation from a contrastively pretrained GNN over the
+//!    heterogeneous graph ([`StructuralModel`]).
+//! 3. **Self-supervision** ([`generate_dataset`], Section III-C1) —
+//!    balanced training data from the existing taxonomy, rebalancing the
+//!    ~9:1 headword skew to 3:7 and generating shuffle/replace negatives.
+//! 4. **Top-down inference** ([`expand_taxonomy`], Section III-C3) —
+//!    level-order expansion with transitive-redundancy pruning, so both
+//!    width and depth of the taxonomy grow.
+//!
+//! [`TrainedPipeline::train`] runs all of it end to end:
+//!
+//! ```
+//! use taxo_expand::{ExpansionConfig, PipelineConfig, TrainedPipeline};
+//! use taxo_synth::{ClickConfig, ClickLog, UgcConfig, UgcCorpus, World, WorldConfig};
+//!
+//! let world = World::generate(&WorldConfig::tiny(1));
+//! let log = ClickLog::generate(&world, &ClickConfig::tiny(1));
+//! let ugc = UgcCorpus::generate(&world, &UgcConfig::tiny(1));
+//!
+//! let trained = TrainedPipeline::train(
+//!     &world.existing, &world.vocab, &log.records, &ugc.sentences,
+//!     &PipelineConfig::tiny(1));
+//! let result = trained.expand(&world.existing, &world.vocab, &ExpansionConfig::default());
+//! assert!(result.expanded.node_count() >= world.existing.node_count());
+//! ```
+
+mod calibration;
+mod detector;
+mod error_analysis;
+mod graph_construction;
+mod incremental;
+mod inference;
+mod pipeline;
+mod relational;
+mod report;
+mod selfsup;
+mod structural;
+mod term_mining;
+
+pub use calibration::threshold_for_precision;
+pub use detector::{DetectorConfig, HypoDetector};
+pub use error_analysis::{analyze_errors, ErrorReport, KindBreakdown};
+pub use incremental::{IncrementalExpander, IngestReport};
+pub use graph_construction::{
+    candidates_by_query, collect_all_pairs, construct_graph, CandidatePair, ConstructionResult,
+    ConstructionStats,
+};
+pub use inference::{expand_taxonomy, ExpansionConfig, ExpansionResult};
+pub use pipeline::{PipelineConfig, TrainedPipeline};
+pub use relational::{PairCtx, RelationalConfig, RelationalModel};
+pub use report::{render_markdown, summarize, ExpansionSummary};
+pub use selfsup::{
+    generate_dataset, Dataset, DatasetConfig, DatasetStats, LabeledPair, PairKind, Strategy,
+};
+pub use structural::{StructuralConfig, StructuralModel};
+pub use term_mining::{mine_terms, MinedTerm, TermMiningConfig};

@@ -1,0 +1,231 @@
+use crate::{
+    construct_graph, expand_taxonomy, generate_dataset, ConstructionResult, Dataset,
+    DatasetConfig, DetectorConfig, ExpansionConfig, ExpansionResult, HypoDetector,
+    RelationalConfig, RelationalModel, StructuralConfig, StructuralModel,
+};
+use taxo_core::{Taxonomy, Vocabulary};
+use taxo_graph::WeightScheme;
+use taxo_synth::ClickRecord;
+
+/// End-to-end configuration of the expansion framework, with every
+/// ablation switch the paper's Tables VI, VIII and IX exercise.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    pub weight_scheme: WeightScheme,
+    pub relational: RelationalConfig,
+    pub structural: StructuralConfig,
+    pub dataset: DatasetConfig,
+    pub detector: DetectorConfig,
+    pub expansion: ExpansionConfig,
+    /// Feed the relational representation to the classifier.
+    pub use_relational: bool,
+    /// Feed the structural representation to the classifier.
+    pub use_structural: bool,
+    /// Run MLM pretraining on UGC (otherwise the encoder is random-
+    /// initialised, as in `Vanilla-BERT`).
+    pub pretrain_relational: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            weight_scheme: WeightScheme::IfIqf,
+            relational: RelationalConfig::default(),
+            structural: StructuralConfig::default(),
+            dataset: DatasetConfig::default(),
+            detector: DetectorConfig::default(),
+            expansion: ExpansionConfig::default(),
+            use_relational: true,
+            use_structural: true,
+            pretrain_relational: true,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A fast configuration for tests and smoke runs.
+    pub fn tiny(seed: u64) -> Self {
+        PipelineConfig {
+            relational: RelationalConfig::tiny(seed),
+            structural: StructuralConfig::tiny(seed),
+            detector: DetectorConfig::tiny(seed),
+            dataset: DatasetConfig {
+                seed,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// A trained instance of the full framework, plus everything produced on
+/// the way (construction stats for Table I, the self-supervised dataset
+/// for Table III, loss curves).
+#[derive(Debug, Clone)]
+pub struct TrainedPipeline {
+    pub detector: HypoDetector,
+    pub dataset: Dataset,
+    pub construction: ConstructionResult,
+    /// MLM pretraining losses per epoch (empty if pretraining disabled).
+    pub mlm_losses: Vec<f32>,
+    /// Edge-classifier training losses per epoch.
+    pub train_losses: Vec<f32>,
+}
+
+impl TrainedPipeline {
+    /// Runs the complete training side of Fig. 1: graph construction,
+    /// C-BERT pretraining, structural pretraining, self-supervised
+    /// dataset generation, and classifier training.
+    pub fn train(
+        existing: &Taxonomy,
+        vocab: &Vocabulary,
+        records: &[ClickRecord],
+        ugc: &[String],
+        cfg: &PipelineConfig,
+    ) -> TrainedPipeline {
+        let construction = construct_graph(existing, vocab, records, cfg.weight_scheme);
+
+        // The relational model is needed either as a classifier input or
+        // as the structural initialiser (S_C-BERT).
+        let need_relational =
+            cfg.use_relational || (cfg.use_structural && cfg.structural.init_cbert);
+        let (relational, mlm_losses) = if need_relational {
+            if cfg.pretrain_relational {
+                let (m, losses) = RelationalModel::pretrain(vocab, ugc, &cfg.relational);
+                (Some(m), losses)
+            } else {
+                (
+                    Some(RelationalModel::vanilla(vocab, ugc, &cfg.relational)),
+                    Vec::new(),
+                )
+            }
+        } else {
+            (None, Vec::new())
+        };
+
+        let structural = cfg.use_structural.then(|| {
+            StructuralModel::build(
+                existing,
+                vocab,
+                &construction.pairs,
+                relational.as_ref(),
+                &cfg.structural,
+            )
+        });
+
+        let dataset = generate_dataset(existing, vocab, &construction.pairs, &cfg.dataset);
+
+        let mut detector = HypoDetector::new(
+            cfg.use_relational.then_some(relational).flatten(),
+            structural,
+            &cfg.detector,
+        );
+        let train_losses =
+            detector.train_with_val(vocab, &dataset.train, &dataset.val, &cfg.detector);
+
+        TrainedPipeline {
+            detector,
+            dataset,
+            construction,
+            mlm_losses,
+            train_losses,
+        }
+    }
+
+    /// Expands `existing` using the candidates mined during construction.
+    pub fn expand(
+        &self,
+        existing: &Taxonomy,
+        vocab: &Vocabulary,
+        cfg: &ExpansionConfig,
+    ) -> ExpansionResult {
+        expand_taxonomy(
+            &self.detector,
+            vocab,
+            existing,
+            &self.construction.pairs,
+            cfg,
+        )
+    }
+
+    /// Test-set accuracy of the trained detector.
+    pub fn test_accuracy(&self, vocab: &Vocabulary) -> f64 {
+        self.detector.accuracy(vocab, &self.dataset.test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxo_synth::{ClickConfig, ClickLog, UgcConfig, UgcCorpus, World, WorldConfig};
+
+    fn run(cfg: &PipelineConfig) -> (World, TrainedPipeline) {
+        let world = World::generate(&WorldConfig {
+            target_nodes: 220,
+            max_depth: 6,
+            ..WorldConfig::tiny(71)
+        });
+        let log = ClickLog::generate(
+            &world,
+            &ClickConfig {
+                n_events: 12_000,
+                ..ClickConfig::tiny(71)
+            },
+        );
+        let ugc = UgcCorpus::generate(
+            &world,
+            &UgcConfig {
+                n_sentences: 2_500,
+                ..UgcConfig::tiny(71)
+            },
+        );
+        let trained = TrainedPipeline::train(
+            &world.existing,
+            &world.vocab,
+            &log.records,
+            &ugc.sentences,
+            cfg,
+        );
+        (world, trained)
+    }
+
+    #[test]
+    fn full_pipeline_trains_and_expands() {
+        let (world, trained) = run(&PipelineConfig::tiny(71));
+        assert!(!trained.mlm_losses.is_empty());
+        assert!(!trained.train_losses.is_empty());
+        let acc = trained.test_accuracy(&world.vocab);
+        assert!(acc > 0.55, "test accuracy {acc}");
+
+        let result = trained.expand(&world.existing, &world.vocab, &ExpansionConfig::default());
+        assert!(result.expanded.edge_count() >= world.existing.edge_count());
+    }
+
+    #[test]
+    fn s_random_configuration_skips_relational() {
+        let cfg = PipelineConfig {
+            use_relational: false,
+            structural: StructuralConfig {
+                init_cbert: false,
+                ..StructuralConfig::tiny(72)
+            },
+            ..PipelineConfig::tiny(72)
+        };
+        let (_, trained) = run(&cfg);
+        assert!(trained.detector.relational.is_none());
+        assert!(trained.detector.structural.is_some());
+        assert!(trained.mlm_losses.is_empty());
+    }
+
+    #[test]
+    fn vanilla_configuration_skips_pretraining_only() {
+        let cfg = PipelineConfig {
+            pretrain_relational: false,
+            use_structural: false,
+            ..PipelineConfig::tiny(73)
+        };
+        let (_, trained) = run(&cfg);
+        assert!(trained.detector.relational.is_some());
+        assert!(trained.mlm_losses.is_empty());
+    }
+}

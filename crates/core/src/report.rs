@@ -1,0 +1,177 @@
+//! Human-readable expansion reports — the review artefact a taxonomy
+//! curator inspects before merging an automated expansion into
+//! production (the paper's deployment keeps "two and above taxonomists"
+//! in the loop for evaluation; this is what they would read).
+
+use crate::ExpansionResult;
+use std::fmt::Write as _;
+use taxo_core::{Taxonomy, Vocabulary};
+use taxo_text::is_headword_edge;
+
+/// Summary numbers of one expansion run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpansionSummary {
+    pub relations_before: usize,
+    pub relations_after: usize,
+    pub attached: usize,
+    pub pruned_redundant: usize,
+    pub new_concepts: usize,
+    /// Attached relations whose child name embeds the parent (headword).
+    pub headword_attached: usize,
+    /// Attached relations of the harder, non-headword kind.
+    pub other_attached: usize,
+    /// Depth before/after (level count).
+    pub depth_before: usize,
+    pub depth_after: usize,
+}
+
+/// Builds the summary for an expansion of `before`.
+pub fn summarize(
+    before: &Taxonomy,
+    result: &ExpansionResult,
+    vocab: &Vocabulary,
+) -> ExpansionSummary {
+    let surviving = result.surviving_edges();
+    let headword_attached = surviving
+        .iter()
+        .filter(|e| is_headword_edge(vocab.name(e.parent), vocab.name(e.child)))
+        .count();
+    let new_concepts = result.expanded.node_count() - before.node_count();
+    ExpansionSummary {
+        relations_before: before.edge_count(),
+        relations_after: result.expanded.edge_count(),
+        attached: surviving.len(),
+        pruned_redundant: result.pruned.len(),
+        new_concepts,
+        headword_attached,
+        other_attached: surviving.len() - headword_attached,
+        depth_before: before.depth(),
+        depth_after: result.expanded.depth(),
+    }
+}
+
+/// Renders a markdown review report: the summary plus the attached
+/// relations grouped by parent (up to `max_parents` groups of
+/// `max_children` children each).
+pub fn render_markdown(
+    before: &Taxonomy,
+    result: &ExpansionResult,
+    vocab: &Vocabulary,
+    max_parents: usize,
+    max_children: usize,
+) -> String {
+    let s = summarize(before, result, vocab);
+    let mut out = String::new();
+    let _ = writeln!(out, "# Taxonomy expansion report\n");
+    let _ = writeln!(
+        out,
+        "- relations: **{} → {}** (+{} attached, {} pruned as redundant)",
+        s.relations_before, s.relations_after, s.attached, s.pruned_redundant
+    );
+    let _ = writeln!(out, "- new concepts attached: **{}**", s.new_concepts);
+    let _ = writeln!(
+        out,
+        "- attachment mix: {} headword / {} non-headword",
+        s.headword_attached, s.other_attached
+    );
+    let _ = writeln!(
+        out,
+        "- depth: {} → {}\n",
+        s.depth_before, s.depth_after
+    );
+
+    // Group attached edges by parent, busiest parents first.
+    let mut by_parent: std::collections::HashMap<taxo_core::ConceptId, Vec<taxo_core::ConceptId>> =
+        std::collections::HashMap::new();
+    for e in result.surviving_edges() {
+        by_parent.entry(e.parent).or_default().push(e.child);
+    }
+    let mut groups: Vec<_> = by_parent.into_iter().collect();
+    groups.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
+
+    let _ = writeln!(out, "## Attached relations\n");
+    for (parent, mut children) in groups.iter().take(max_parents).cloned() {
+        children.sort();
+        let _ = writeln!(out, "### {}\n", vocab.name(parent));
+        for c in children.iter().take(max_children) {
+            let _ = writeln!(out, "- {}", vocab.name(*c));
+        }
+        if children.len() > max_children {
+            let _ = writeln!(out, "- … and {} more", children.len() - max_children);
+        }
+        out.push('\n');
+    }
+    if groups.len() > max_parents {
+        let _ = writeln!(
+            out,
+            "_… and {} more parents with attachments._",
+            groups.len() - max_parents
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxo_core::{ConceptId, Edge};
+
+    fn fixture() -> (Taxonomy, ExpansionResult, Vocabulary) {
+        let mut vocab = Vocabulary::new();
+        let food = vocab.intern("food");
+        let bread = vocab.intern("breado");
+        let rye = vocab.intern("rye breado");
+        let toast = vocab.intern("toasti");
+        let mut before = Taxonomy::new();
+        before.add_edge(food, bread).unwrap();
+        let mut expanded = before.clone();
+        expanded.add_edge(bread, rye).unwrap();
+        expanded.add_edge(bread, toast).unwrap();
+        let result = ExpansionResult {
+            expanded,
+            added: vec![Edge::new(bread, rye), Edge::new(bread, toast)],
+            pruned: vec![],
+        };
+        (before, result, vocab)
+    }
+
+    #[test]
+    fn summary_counts_everything() {
+        let (before, result, vocab) = fixture();
+        let s = summarize(&before, &result, &vocab);
+        assert_eq!(s.relations_before, 1);
+        assert_eq!(s.relations_after, 3);
+        assert_eq!(s.attached, 2);
+        assert_eq!(s.new_concepts, 2);
+        assert_eq!(s.headword_attached, 1); // "rye breado"
+        assert_eq!(s.other_attached, 1); // "toasti"
+        assert_eq!(s.depth_before, 2);
+        assert_eq!(s.depth_after, 3);
+        assert_eq!(s.pruned_redundant, 0);
+    }
+
+    #[test]
+    fn markdown_mentions_groups_and_truncates() {
+        let (before, result, vocab) = fixture();
+        let md = render_markdown(&before, &result, &vocab, 10, 1);
+        assert!(md.contains("# Taxonomy expansion report"));
+        assert!(md.contains("**1 → 3**"));
+        assert!(md.contains("### breado"));
+        assert!(md.contains("and 1 more"), "{md}");
+    }
+
+    #[test]
+    fn empty_expansion_reports_zero() {
+        let (before, _, vocab) = fixture();
+        let result = ExpansionResult {
+            expanded: before.clone(),
+            added: vec![],
+            pruned: vec![],
+        };
+        let s = summarize(&before, &result, &vocab);
+        assert_eq!(s.attached, 0);
+        assert_eq!(s.new_concepts, 0);
+        let md = render_markdown(&before, &result, &vocab, 5, 5);
+        assert!(md.contains("+0 attached"));
+    }
+}

@@ -1,0 +1,385 @@
+use crate::CandidatePair;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashSet;
+use taxo_core::{ConceptId, Taxonomy, Vocabulary};
+use taxo_text::is_headword_edge;
+
+/// Which self-supervision strategy generates the dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// The paper's adaptive strategy (Section III-C1): keep every
+    /// non-headword positive, subsample headword positives (preferring
+    /// ones corroborated by user clicks) to a balanced ratio.
+    Adaptive,
+    /// The conventional strategy of prior work (TaxoExpan/STEAM et al.):
+    /// use every edge, inheriting the taxonomy's 9:1 headword skew
+    /// (Tables XI/XII, Fig. 4 compare the two).
+    Previous,
+}
+
+/// Fine-grained provenance of a labeled pair (the column breakdown of
+/// Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairKind {
+    /// Positive edge detectable by headword.
+    PositiveHead,
+    /// Positive edge not detectable by headword.
+    PositiveOther,
+    /// Negative built by swapping the edge's direction.
+    NegativeShuffle,
+    /// Negative built by replacing the item with an unrelated concept.
+    NegativeReplace,
+}
+
+impl PairKind {
+    pub fn is_positive(self) -> bool {
+        matches!(self, PairKind::PositiveHead | PairKind::PositiveOther)
+    }
+}
+
+/// One self-supervised training example.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabeledPair {
+    pub parent: ConceptId,
+    pub child: ConceptId,
+    pub label: bool,
+    pub kind: PairKind,
+}
+
+/// Counts per [`PairKind`] (the columns of Tables III and XI).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DatasetStats {
+    pub positives: usize,
+    pub negatives: usize,
+    pub head: usize,
+    pub others: usize,
+    pub shuffle: usize,
+    pub replace: usize,
+}
+
+/// A train/validation/test split of labeled pairs (60/20/20 as in the
+/// paper).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    pub train: Vec<LabeledPair>,
+    pub val: Vec<LabeledPair>,
+    pub test: Vec<LabeledPair>,
+}
+
+impl Dataset {
+    /// Statistics over all three splits.
+    pub fn stats(&self) -> DatasetStats {
+        let mut s = DatasetStats::default();
+        for p in self.all() {
+            match p.kind {
+                PairKind::PositiveHead => {
+                    s.positives += 1;
+                    s.head += 1;
+                }
+                PairKind::PositiveOther => {
+                    s.positives += 1;
+                    s.others += 1;
+                }
+                PairKind::NegativeShuffle => {
+                    s.negatives += 1;
+                    s.shuffle += 1;
+                }
+                PairKind::NegativeReplace => {
+                    s.negatives += 1;
+                    s.replace += 1;
+                }
+            }
+        }
+        s
+    }
+
+    /// Iterates over every pair of every split.
+    pub fn all(&self) -> impl Iterator<Item = &LabeledPair> {
+        self.train.iter().chain(&self.val).chain(&self.test)
+    }
+
+    /// Total size.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Configuration of self-supervised dataset generation.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    pub strategy: Strategy,
+    /// Target headword:other ratio among positives, as (head, other) —
+    /// the paper uses 3:7 (Table III).
+    pub head_ratio: (usize, usize),
+    pub seed: u64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig {
+            strategy: Strategy::Adaptive,
+            head_ratio: (3, 7),
+            seed: 0xDA7A,
+        }
+    }
+}
+
+/// Generates the self-supervised dataset from the existing taxonomy
+/// (Section III-C1): balanced positives plus one negative per positive,
+/// alternating shuffle and replace, split 60/20/20.
+pub fn generate_dataset(
+    existing: &Taxonomy,
+    vocab: &Vocabulary,
+    click_pairs: &[CandidatePair],
+    cfg: &DatasetConfig,
+) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Classify every edge of the existing taxonomy.
+    let mut head_edges = Vec::new();
+    let mut other_edges = Vec::new();
+    for e in existing.edges() {
+        if is_headword_edge(vocab.name(e.parent), vocab.name(e.child)) {
+            head_edges.push(e);
+        } else {
+            other_edges.push(e);
+        }
+    }
+
+    let clicked: HashSet<(ConceptId, ConceptId)> = click_pairs
+        .iter()
+        .map(|p| (p.query, p.item))
+        .collect();
+
+    // Positive selection.
+    let positives: Vec<(taxo_core::Edge, PairKind)> = match cfg.strategy {
+        Strategy::Previous => head_edges
+            .iter()
+            .map(|&e| (e, PairKind::PositiveHead))
+            .chain(other_edges.iter().map(|&e| (e, PairKind::PositiveOther)))
+            .collect(),
+        Strategy::Adaptive => {
+            // Keep all non-headword edges; subsample headword edges to the
+            // target ratio, preferring click-corroborated ones.
+            let target_head = (other_edges.len() * cfg.head_ratio.0) / cfg.head_ratio.1.max(1);
+            head_edges.shuffle(&mut rng);
+            head_edges.sort_by_key(|e| !clicked.contains(&(e.parent, e.child)));
+            head_edges
+                .iter()
+                .take(target_head.max(1))
+                .map(|&e| (e, PairKind::PositiveHead))
+                .chain(other_edges.iter().map(|&e| (e, PairKind::PositiveOther)))
+                .collect()
+        }
+    };
+
+    // Replacement pools: the paper fixes the query concept and samples
+    // replacement items "from user click logs, which are nodes in the
+    // filtered taxonomy but neither parents nor descendants of c_q" — we
+    // read that as items clicked *under that query*: intention-drifted
+    // relatives, i.e. semantically close, *hard* negatives (a random
+    // unrelated concept would be trivially separable by embedding
+    // distance alone). A global pool backs up queries with no usable
+    // clicked items.
+    let mut per_query_pool: std::collections::HashMap<ConceptId, Vec<ConceptId>> =
+        std::collections::HashMap::new();
+    let mut global_pool: Vec<ConceptId> = Vec::new();
+    for p in click_pairs {
+        if existing.contains_node(p.item) {
+            per_query_pool.entry(p.query).or_default().push(p.item);
+            global_pool.push(p.item);
+        }
+    }
+    global_pool.sort();
+    global_pool.dedup();
+    if global_pool.is_empty() {
+        global_pool = existing.nodes().collect();
+    }
+
+    // Negative generation: one per positive, alternating strategies.
+    let mut examples: Vec<LabeledPair> = Vec::with_capacity(positives.len() * 2);
+    for (k, &(e, kind)) in positives.iter().enumerate() {
+        examples.push(LabeledPair {
+            parent: e.parent,
+            child: e.child,
+            label: true,
+            kind,
+        });
+        if k % 2 == 0 {
+            // Shuffle: reverse the direction.
+            examples.push(LabeledPair {
+                parent: e.child,
+                child: e.parent,
+                label: false,
+                kind: PairKind::NegativeShuffle,
+            });
+        } else {
+            // Replace: same query, an item clicked under it that is not
+            // actually related.
+            let mut negative = None;
+            let local = per_query_pool.get(&e.parent);
+            for attempt in 0..30 {
+                let pool: &[ConceptId] = match local {
+                    // Prefer the query's own clicked items; fall back to
+                    // the global pool for the last attempts.
+                    Some(p) if attempt < 20 && !p.is_empty() => p,
+                    _ => &global_pool,
+                };
+                let cand = pool[rng.random_range(0..pool.len())];
+                if cand != e.parent
+                    && cand != e.child
+                    && !existing.is_ancestor(e.parent, cand)
+                    && !existing.is_ancestor(cand, e.parent)
+                {
+                    negative = Some(cand);
+                    break;
+                }
+            }
+            match negative {
+                Some(cand) => examples.push(LabeledPair {
+                    parent: e.parent,
+                    child: cand,
+                    label: false,
+                    kind: PairKind::NegativeReplace,
+                }),
+                None => examples.push(LabeledPair {
+                    parent: e.child,
+                    child: e.parent,
+                    label: false,
+                    kind: PairKind::NegativeShuffle,
+                }),
+            }
+        }
+    }
+
+    examples.shuffle(&mut rng);
+    let n = examples.len();
+    let train_end = (n * 6) / 10;
+    let val_end = (n * 8) / 10;
+    Dataset {
+        train: examples[..train_end].to_vec(),
+        val: examples[train_end..val_end].to_vec(),
+        test: examples[val_end..].to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct_graph;
+    use taxo_graph::WeightScheme;
+    use taxo_synth::{ClickConfig, ClickLog, World, WorldConfig};
+
+    fn setup(strategy: Strategy) -> (World, Dataset) {
+        let world = World::generate(&WorldConfig::tiny(41));
+        let log = ClickLog::generate(&world, &ClickConfig::tiny(41));
+        let built = construct_graph(
+            &world.existing,
+            &world.vocab,
+            &log.records,
+            WeightScheme::IfIqf,
+        );
+        let ds = generate_dataset(
+            &world.existing,
+            &world.vocab,
+            &built.pairs,
+            &DatasetConfig {
+                strategy,
+                ..Default::default()
+            },
+        );
+        (world, ds)
+    }
+
+    #[test]
+    fn positives_negatives_balanced_one_to_one() {
+        let (_, ds) = setup(Strategy::Adaptive);
+        let s = ds.stats();
+        assert_eq!(s.positives, s.negatives);
+        assert!(s.positives > 0);
+    }
+
+    #[test]
+    fn adaptive_enforces_head_ratio() {
+        let (_, ds) = setup(Strategy::Adaptive);
+        let s = ds.stats();
+        // Head:other ≈ 3:7 (integer rounding tolerance).
+        let expected = (s.others * 3) / 7;
+        assert!(
+            s.head <= expected + 1 && s.head + 1 >= expected.min(s.head + 1),
+            "head {} others {} expected ~{expected}",
+            s.head,
+            s.others
+        );
+        assert!(s.head < s.others);
+    }
+
+    #[test]
+    fn previous_strategy_is_head_skewed() {
+        let (_, ds) = setup(Strategy::Previous);
+        let s = ds.stats();
+        assert!(
+            s.head > s.others,
+            "previous strategy keeps the headword skew: {s:?}"
+        );
+    }
+
+    #[test]
+    fn shuffle_replace_roughly_balanced() {
+        let (_, ds) = setup(Strategy::Adaptive);
+        let s = ds.stats();
+        let diff = s.shuffle.abs_diff(s.replace);
+        assert!(
+            diff <= s.negatives / 3 + 2,
+            "shuffle {} vs replace {}",
+            s.shuffle,
+            s.replace
+        );
+    }
+
+    #[test]
+    fn split_is_60_20_20() {
+        let (_, ds) = setup(Strategy::Adaptive);
+        let n = ds.len() as f64;
+        assert!((ds.train.len() as f64 / n - 0.6).abs() < 0.02);
+        assert!((ds.val.len() as f64 / n - 0.2).abs() < 0.02);
+        assert!((ds.test.len() as f64 / n - 0.2).abs() < 0.02);
+    }
+
+    #[test]
+    fn positive_labels_are_true_edges() {
+        let (world, ds) = setup(Strategy::Adaptive);
+        for p in ds.all() {
+            if p.label {
+                assert!(world.existing.contains_edge(p.parent, p.child));
+            } else {
+                assert!(!world.existing.contains_edge(p.parent, p.child));
+            }
+        }
+    }
+
+    #[test]
+    fn negatives_are_not_ancestor_related() {
+        let (world, ds) = setup(Strategy::Adaptive);
+        for p in ds.all() {
+            if p.kind == PairKind::NegativeReplace {
+                assert!(!world.existing.is_ancestor(p.parent, p.child));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let (_, a) = setup(Strategy::Adaptive);
+        let (_, b) = setup(Strategy::Adaptive);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+}

@@ -1,0 +1,245 @@
+//! Automatic extraction of *new concept candidates* from clicked item
+//! strings — the extension the paper explicitly defers ("we first try to
+//! attach these concepts to the existing taxonomy and leave automatically
+//! extracting concepts from user click logs in the future",
+//! Section IV-A4).
+//!
+//! The miner looks at item strings that the concept vocabulary cannot
+//! explain (the #IOthers mass of Table I), extracts frequent contiguous
+//! token n-grams, and keeps the maximal ones with enough support across
+//! distinct queries. The output is a ranked list of candidate vocabulary
+//! entries a curator (or the expansion pipeline itself) can adopt.
+
+use std::collections::{HashMap, HashSet};
+use taxo_core::{ConceptId, Vocabulary};
+use taxo_synth::ClickRecord;
+use taxo_text::{tokenize, ConceptMatcher};
+
+/// Configuration for [`mine_terms`].
+#[derive(Debug, Clone)]
+pub struct TermMiningConfig {
+    /// Minimum total click count of an n-gram.
+    pub min_support: u64,
+    /// Minimum number of *distinct queries* under which the n-gram was
+    /// clicked (an analogue of the IQF intuition: a candidate concept
+    /// should matter to more than one query context — but appearing under
+    /// *every* query marks a decoration word, not a concept).
+    pub min_queries: usize,
+    /// Maximum fraction of all mined queries an n-gram may appear under
+    /// before it is considered a decoration/stop token.
+    pub max_query_fraction: f64,
+    /// N-gram length bounds (tokens).
+    pub min_tokens: usize,
+    pub max_tokens: usize,
+    /// Maximum number of candidates returned.
+    pub top_k: usize,
+}
+
+impl Default for TermMiningConfig {
+    fn default() -> Self {
+        TermMiningConfig {
+            min_support: 5,
+            min_queries: 2,
+            max_query_fraction: 0.3,
+            min_tokens: 1,
+            max_tokens: 4,
+            top_k: 200,
+        }
+    }
+}
+
+/// One mined concept candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinedTerm {
+    pub text: String,
+    /// Total clicks on items containing the n-gram.
+    pub support: u64,
+    /// Distinct query concepts that clicked it.
+    pub query_count: usize,
+    /// support × ln(1 + query_count): frequent *and* broadly wanted.
+    pub score: f64,
+}
+
+/// Mines candidate new concepts from item strings not covered by the
+/// existing vocabulary.
+pub fn mine_terms(
+    vocab: &Vocabulary,
+    records: &[ClickRecord],
+    cfg: &TermMiningConfig,
+) -> Vec<MinedTerm> {
+    let matcher = ConceptMatcher::new(vocab);
+    // (ngram -> (clicks, distinct queries)).
+    let mut stats: HashMap<String, (u64, HashSet<ConceptId>)> = HashMap::new();
+    let mut total_queries: HashSet<ConceptId> = HashSet::new();
+
+    for r in records {
+        // Only unexplained items feed the miner.
+        if matcher.identify(&r.item_text).is_some() {
+            continue;
+        }
+        total_queries.insert(r.query);
+        let tokens = tokenize(&r.item_text);
+        for start in 0..tokens.len() {
+            for len in cfg.min_tokens..=cfg.max_tokens.min(tokens.len() - start) {
+                let gram = tokens[start..start + len].join(" ");
+                let entry = stats.entry(gram).or_default();
+                entry.0 += r.count;
+                entry.1.insert(r.query);
+            }
+        }
+    }
+
+    let query_cap =
+        ((total_queries.len() as f64) * cfg.max_query_fraction).max(cfg.min_queries as f64);
+    let mut candidates: Vec<MinedTerm> = stats
+        .iter()
+        .filter(|(_, (support, queries))| {
+            *support >= cfg.min_support
+                && queries.len() >= cfg.min_queries
+                && (queries.len() as f64) <= query_cap
+        })
+        .map(|(gram, (support, queries))| MinedTerm {
+            text: gram.clone(),
+            support: *support,
+            query_count: queries.len(),
+            score: *support as f64 * (1.0 + queries.len() as f64).ln(),
+        })
+        .collect();
+
+    // Keep only *maximal* candidates: drop an n-gram contained in another
+    // surviving n-gram carrying at least 90% of its support (sub-grams of
+    // a real concept name carry nearly the same counts, whereas a
+    // decorated variant like "fresh X" holds only a slice of X's total).
+    let kept: Vec<MinedTerm> = {
+        let mut sorted = candidates.clone();
+        sorted.sort_by_key(|c| std::cmp::Reverse(c.text.len()));
+        let mut out: Vec<MinedTerm> = Vec::new();
+        for c in sorted {
+            let shadowed = out.iter().any(|longer| {
+                longer.text.split(' ').collect::<Vec<_>>().windows(
+                    c.text.split(' ').count(),
+                ).any(|w| w.join(" ") == c.text)
+                    && longer.support * 10 >= c.support * 9
+            });
+            if !shadowed {
+                out.push(c);
+            }
+        }
+        out
+    };
+    candidates = kept;
+    candidates.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.text.cmp(&b.text)));
+    candidates.truncate(cfg.top_k);
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(query: u32, item: &str, count: u64) -> ClickRecord {
+        ClickRecord {
+            query: ConceptId(query),
+            item_text: item.to_owned(),
+            count,
+        }
+    }
+
+    fn base_vocab() -> Vocabulary {
+        let mut v = Vocabulary::new();
+        v.intern("breado");
+        v
+    }
+
+    #[test]
+    fn recovers_an_unknown_concept() {
+        let vocab = base_vocab();
+        // "matcha latte" is a real concept missing from the vocabulary;
+        // it appears decorated under two different queries.
+        let records = vec![
+            record(1, "iced matcha latte", 4),
+            record(1, "matcha latte grande", 3),
+            record(2, "matcha latte", 5),
+            record(2, "random fluff", 1),
+        ];
+        let mined = mine_terms(&vocab, &records, &TermMiningConfig::default());
+        assert!(
+            mined.iter().any(|m| m.text == "matcha latte"),
+            "mined: {mined:?}"
+        );
+        let hit = mined.iter().find(|m| m.text == "matcha latte").unwrap();
+        assert_eq!(hit.support, 12);
+        assert_eq!(hit.query_count, 2);
+    }
+
+    #[test]
+    fn known_concepts_do_not_feed_the_miner() {
+        let vocab = base_vocab();
+        // Items containing "breado" are explained by the vocabulary.
+        let records = vec![
+            record(1, "fresh breado", 50),
+            record(2, "breado deal", 50),
+        ];
+        let mined = mine_terms(&vocab, &records, &TermMiningConfig::default());
+        assert!(mined.is_empty(), "{mined:?}");
+    }
+
+    #[test]
+    fn subgrams_are_absorbed_by_maximal_terms() {
+        let vocab = base_vocab();
+        let records = vec![
+            record(1, "matcha latte", 6),
+            record(2, "matcha latte", 6),
+        ];
+        let mined = mine_terms(&vocab, &records, &TermMiningConfig::default());
+        // "matcha" and "latte" alone are shadowed by "matcha latte".
+        assert!(mined.iter().any(|m| m.text == "matcha latte"));
+        assert!(!mined.iter().any(|m| m.text == "matcha"));
+        assert!(!mined.iter().any(|m| m.text == "latte"));
+    }
+
+    #[test]
+    fn ubiquitous_tokens_are_rejected_as_decorations() {
+        let vocab = base_vocab();
+        // "promo" occurs under every query → decoration, not a concept.
+        let mut records = Vec::new();
+        for q in 0..10u32 {
+            records.push(record(q, &format!("promo thing{q}"), 10));
+        }
+        records.push(record(0, "matcha latte", 10));
+        records.push(record(1, "matcha latte", 10));
+        let cfg = TermMiningConfig {
+            max_query_fraction: 0.4,
+            ..Default::default()
+        };
+        let mined = mine_terms(&vocab, &records, &cfg);
+        assert!(!mined.iter().any(|m| m.text == "promo"), "{mined:?}");
+        assert!(mined.iter().any(|m| m.text == "matcha latte"));
+    }
+
+    #[test]
+    fn support_threshold_filters_noise() {
+        let vocab = base_vocab();
+        let records = vec![
+            record(1, "rare thing", 1),
+            record(2, "rare thing", 1),
+        ];
+        let mined = mine_terms(&vocab, &records, &TermMiningConfig::default());
+        assert!(mined.is_empty());
+    }
+
+    #[test]
+    fn ranked_by_score() {
+        let vocab = base_vocab();
+        let records = vec![
+            record(1, "alpha snack", 50),
+            record(2, "alpha snack", 50),
+            record(1, "beta snack", 5),
+            record(2, "beta snack", 5),
+        ];
+        let mined = mine_terms(&vocab, &records, &TermMiningConfig::default());
+        assert!(!mined.is_empty());
+        assert!(mined[0].score >= mined.last().unwrap().score);
+        assert!(mined[0].text.contains("alpha"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for self-supervised dataset generation.
+
+use proptest::prelude::*;
+use taxo_expand::{
+    construct_graph, generate_dataset, DatasetConfig, PairKind, Strategy,
+};
+use taxo_graph::WeightScheme;
+use taxo_synth::{ClickConfig, ClickLog, World, WorldConfig};
+
+fn build(seed: u64, strategy: Strategy) -> (World, taxo_expand::Dataset) {
+    let world = World::generate(&WorldConfig::tiny(seed));
+    let log = ClickLog::generate(&world, &ClickConfig::tiny(seed));
+    let built = construct_graph(
+        &world.existing,
+        &world.vocab,
+        &log.records,
+        WeightScheme::IfIqf,
+    );
+    let ds = generate_dataset(
+        &world.existing,
+        &world.vocab,
+        &built.pairs,
+        &DatasetConfig {
+            strategy,
+            seed,
+            ..Default::default()
+        },
+    );
+    (world, ds)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn balance_invariants_hold_for_any_seed(seed in 0u64..300) {
+        let (world, ds) = build(seed, Strategy::Adaptive);
+        let s = ds.stats();
+        // Positives and negatives are exactly 1:1.
+        prop_assert_eq!(s.positives, s.negatives);
+        // Shuffle and replace differ by at most the fallback slack.
+        prop_assert!(s.shuffle.abs_diff(s.replace) <= s.negatives / 2 + 1);
+        // Every positive is a real edge, every negative is not.
+        for p in ds.all() {
+            prop_assert_eq!(p.label, world.existing.contains_edge(p.parent, p.child));
+            prop_assert_eq!(p.label, p.kind.is_positive());
+        }
+        // Split proportions are 60/20/20 within rounding.
+        let n = ds.len();
+        prop_assert!(ds.train.len().abs_diff(n * 6 / 10) <= 1);
+        prop_assert!(ds.val.len().abs_diff(n / 5) <= 2);
+    }
+
+    #[test]
+    fn shuffle_negatives_are_reversed_true_edges(seed in 0u64..300) {
+        let (world, ds) = build(seed, Strategy::Adaptive);
+        for p in ds.all() {
+            if p.kind == PairKind::NegativeShuffle {
+                prop_assert!(
+                    world.existing.contains_edge(p.child, p.parent),
+                    "shuffle negative must be a reversed edge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn previous_strategy_contains_every_edge(seed in 0u64..300) {
+        let (world, ds) = build(seed, Strategy::Previous);
+        let positives: std::collections::HashSet<(u32, u32)> = ds
+            .all()
+            .filter(|p| p.label)
+            .map(|p| (p.parent.0, p.child.0))
+            .collect();
+        for e in world.existing.edges() {
+            prop_assert!(positives.contains(&(e.parent.0, e.child.0)));
+        }
+    }
+
+    #[test]
+    fn adaptive_positives_are_subset_of_previous(seed in 0u64..300) {
+        let (_, adaptive) = build(seed, Strategy::Adaptive);
+        let (_, previous) = build(seed, Strategy::Previous);
+        let prev_set: std::collections::HashSet<(u32, u32)> = previous
+            .all()
+            .filter(|p| p.label)
+            .map(|p| (p.parent.0, p.child.0))
+            .collect();
+        for p in adaptive.all().filter(|p| p.label) {
+            prop_assert!(prev_set.contains(&(p.parent.0, p.child.0)));
+        }
+        prop_assert!(adaptive.stats().positives <= previous.stats().positives);
+    }
+}

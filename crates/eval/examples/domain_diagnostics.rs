@@ -1,0 +1,65 @@
+//! Diagnostic report for one synthetic domain: dataset composition,
+//! pretraining losses, detector quality, and per-pattern error analysis.
+//!
+//! ```text
+//! cargo run --release -p taxo-eval --example domain_diagnostics [-- quick|full]
+//! ```
+
+use taxo_eval::{accuracy_ci, evaluate, DomainContext, Scale};
+use taxo_expand::analyze_errors;
+use taxo_synth::WorldConfig;
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("full") => Scale::Full,
+        Some("test") => Scale::Test,
+        _ => Scale::Quick,
+    };
+    let ctx = DomainContext::build(&WorldConfig::snack(), scale);
+    println!(
+        "domain {}: existing {} nodes / {} edges; {} candidate pairs",
+        ctx.name(),
+        ctx.world.existing.node_count(),
+        ctx.world.existing.edge_count(),
+        ctx.construction.pairs.len()
+    );
+    let stats = ctx.adaptive.stats();
+    println!(
+        "dataset: {} pairs (head {} / others {} | shuffle {} / replace {})",
+        ctx.adaptive.len(),
+        stats.head,
+        stats.others,
+        stats.shuffle,
+        stats.replace
+    );
+
+    let ours = ctx.ours();
+    println!("mlm loss curve: {:?}", ctx.cbert_losses());
+
+    let scores = evaluate(
+        &ours,
+        &ctx.world.vocab,
+        &ctx.adaptive.test,
+        &ctx.world.truth,
+    );
+    let ci = accuracy_ci(
+        &ours,
+        &ctx.world.vocab,
+        &ctx.adaptive.test,
+        &ctx.world.truth,
+        0.95,
+        500,
+        7,
+    );
+    println!(
+        "test: acc {:.1}% (95% CI {:.1}-{:.1}), edge-F1 {:.1}%, ancestor-F1 {:.1}%",
+        100.0 * scores.accuracy,
+        100.0 * ci.low,
+        100.0 * ci.high,
+        100.0 * scores.edge_f1,
+        100.0 * scores.ancestor_f1
+    );
+
+    let report = analyze_errors(&ours.detector, &ctx.world.vocab, &ctx.adaptive.test);
+    println!("{}", report.render(&ctx.world.vocab, 8));
+}

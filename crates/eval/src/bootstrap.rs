@@ -1,0 +1,135 @@
+//! Bootstrap confidence intervals for the evaluation metrics.
+//!
+//! Our down-scaled test splits hold hundreds of pairs, so point estimates
+//! carry visible sampling noise; the experiment drivers and EXPERIMENTS.md
+//! quote percentile-bootstrap intervals to make that explicit.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use taxo_baselines::EdgeClassifier;
+use taxo_core::{Taxonomy, Vocabulary};
+use taxo_expand::LabeledPair;
+
+/// A two-sided percentile confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    pub low: f64,
+    pub high: f64,
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.high - self.low
+    }
+
+    /// Whether the interval contains `x`.
+    pub fn contains(&self, x: f64) -> bool {
+        (self.low..=self.high).contains(&x)
+    }
+}
+
+/// Percentile bootstrap over per-sample statistics: resamples `values`
+/// with replacement, computes the mean of each resample, and returns the
+/// central `confidence` interval of the means.
+pub fn bootstrap_mean_ci(
+    values: &[f64],
+    confidence: f64,
+    resamples: usize,
+    seed: u64,
+) -> ConfidenceInterval {
+    assert!((0.0..1.0).contains(&confidence) || confidence == 0.0 || confidence < 1.0);
+    assert!(resamples >= 10, "too few resamples for a percentile CI");
+    if values.is_empty() {
+        return ConfidenceInterval {
+            low: 0.0,
+            high: 0.0,
+            confidence,
+        };
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = values.len();
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut acc = 0.0;
+        for _ in 0..n {
+            acc += values[rng.random_range(0..n)];
+        }
+        means.push(acc / n as f64);
+    }
+    means.sort_by(f64::total_cmp);
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((resamples as f64) * alpha).floor() as usize;
+    let hi_idx = (((resamples as f64) * (1.0 - alpha)).ceil() as usize).min(resamples - 1);
+    ConfidenceInterval {
+        low: means[lo_idx],
+        high: means[hi_idx],
+        confidence,
+    }
+}
+
+/// Bootstrap CI of a classifier's *accuracy* on a labeled pair set.
+pub fn accuracy_ci(
+    method: &dyn EdgeClassifier,
+    vocab: &Vocabulary,
+    pairs: &[LabeledPair],
+    _reference: &Taxonomy,
+    confidence: f64,
+    resamples: usize,
+    seed: u64,
+) -> ConfidenceInterval {
+    let correct: Vec<f64> = pairs
+        .iter()
+        .map(|p| f64::from(method.predict(vocab, p.parent, p.child) == p.label))
+        .collect();
+    bootstrap_mean_ci(&correct, confidence, resamples, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_inputs() {
+        let ci = bootstrap_mean_ci(&[], 0.95, 100, 0);
+        assert_eq!((ci.low, ci.high), (0.0, 0.0));
+        let ci = bootstrap_mean_ci(&[1.0; 50], 0.95, 100, 0);
+        assert_eq!((ci.low, ci.high), (1.0, 1.0));
+        assert!(ci.contains(1.0));
+        assert_eq!(ci.width(), 0.0);
+    }
+
+    #[test]
+    fn interval_brackets_the_mean() {
+        let values: Vec<f64> = (0..200).map(|i| f64::from(i % 2 == 0)).collect();
+        let ci = bootstrap_mean_ci(&values, 0.95, 500, 7);
+        assert!(ci.contains(0.5), "{ci:?}");
+        assert!(ci.width() > 0.0 && ci.width() < 0.3, "{ci:?}");
+    }
+
+    #[test]
+    fn more_data_tightens_the_interval() {
+        let small: Vec<f64> = (0..30).map(|i| f64::from(i % 2 == 0)).collect();
+        let big: Vec<f64> = (0..3000).map(|i| f64::from(i % 2 == 0)).collect();
+        let ci_small = bootstrap_mean_ci(&small, 0.95, 400, 1);
+        let ci_big = bootstrap_mean_ci(&big, 0.95, 400, 1);
+        assert!(ci_big.width() < ci_small.width());
+    }
+
+    #[test]
+    fn higher_confidence_widens_the_interval() {
+        let values: Vec<f64> = (0..100).map(|i| f64::from(i % 3 == 0)).collect();
+        let ci90 = bootstrap_mean_ci(&values, 0.90, 600, 3);
+        let ci99 = bootstrap_mean_ci(&values, 0.99, 600, 3);
+        assert!(ci99.width() >= ci90.width());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let values: Vec<f64> = (0..64).map(|i| (i % 5) as f64).collect();
+        let a = bootstrap_mean_ci(&values, 0.95, 200, 11);
+        let b = bootstrap_mean_ci(&values, 0.95, 200, 11);
+        assert_eq!(a, b);
+    }
+}

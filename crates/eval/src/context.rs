@@ -1,0 +1,500 @@
+use std::sync::OnceLock;
+use taxo_baselines::{
+    BaselineTrainConfig, ConceptEmbeddings, DistanceNeighborBaseline, DistanceParentBaseline,
+    EdgeClassifier, KbHeadwordBaseline, OursClassifier, RandomBaseline, SnowballBaseline,
+    SteamBaseline, SubstrBaseline, TaxoExpanBaseline, TmnBaseline, VanillaBertBaseline,
+};
+use taxo_expand::{
+    construct_graph, generate_dataset, ConstructionResult, Dataset, DatasetConfig,
+    DetectorConfig, HypoDetector, RelationalConfig, RelationalModel, Strategy, StructuralConfig,
+    StructuralModel,
+};
+use taxo_graph::{ContrastiveConfig, WeightScheme};
+use taxo_synth::{ClickConfig, ClickLog, SyntheticKb, UgcConfig, UgcCorpus, World, WorldConfig};
+
+/// How much compute an experiment run spends. `Full` reproduces the
+/// numbers reported in EXPERIMENTS.md; `Quick` is for smoke runs and
+/// benches; `Test` keeps integration tests fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Test,
+    Quick,
+    Full,
+}
+
+impl Scale {
+    pub fn world_factor(self) -> f64 {
+        match self {
+            Scale::Test => 0.10,
+            Scale::Quick => 0.35,
+            Scale::Full => 1.0,
+        }
+    }
+
+    pub fn clicks_per_node(self) -> usize {
+        match self {
+            Scale::Test => 40,
+            Scale::Quick => 50,
+            Scale::Full => 65,
+        }
+    }
+
+    pub fn ugc_per_edge(self) -> usize {
+        match self {
+            Scale::Test => 8,
+            Scale::Quick => 10,
+            Scale::Full => 14,
+        }
+    }
+
+    pub fn mlm_epochs(self) -> usize {
+        match self {
+            Scale::Test => 2,
+            Scale::Quick => 5,
+            Scale::Full => 6,
+        }
+    }
+
+    pub fn detector_epochs(self) -> usize {
+        match self {
+            Scale::Test => 20,
+            Scale::Quick => 40,
+            Scale::Full => 40,
+        }
+    }
+
+    pub fn contrastive_epochs(self) -> usize {
+        match self {
+            Scale::Test => 3,
+            Scale::Quick => 8,
+            Scale::Full => 10,
+        }
+    }
+}
+
+/// Which encoder a model variant starts from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelSource {
+    /// C-BERT: concept-level-masked MLM pretraining (the paper's model).
+    Pretrained,
+    /// Token-level-masked pretraining ("- Concept-level Masking").
+    TokenMasked,
+    /// No pretraining at all (`Vanilla-BERT`).
+    Vanilla,
+}
+
+/// A fully specified configuration of *our* model, parameterising every
+/// ablation of Tables VI, VIII and IX.
+#[derive(Debug, Clone)]
+pub struct OursVariant {
+    pub use_relational: bool,
+    pub use_structural: bool,
+    pub relational_source: RelSource,
+    pub use_template: bool,
+    pub finetune_encoder: bool,
+    pub structural: StructuralConfig,
+    pub detector_overrides: DetectorTweaks,
+}
+
+/// Detector settings that ablation rows may override.
+#[derive(Debug, Clone, Default)]
+pub struct DetectorTweaks {
+    pub lr: Option<f32>,
+    pub epochs: Option<usize>,
+    pub input_dropout: Option<f32>,
+}
+
+impl OursVariant {
+    /// The paper's full model.
+    pub fn full(scale: Scale) -> Self {
+        OursVariant {
+            use_relational: true,
+            use_structural: true,
+            relational_source: RelSource::Pretrained,
+            use_template: true,
+            finetune_encoder: true,
+            structural: StructuralConfig {
+                contrastive: ContrastiveConfig {
+                    epochs: scale.contrastive_epochs(),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            detector_overrides: DetectorTweaks::default(),
+        }
+    }
+
+    /// Tuned settings for structural-only rows (they prefer a higher
+    /// learning rate and lighter dropout).
+    pub fn structural_only(scale: Scale, init_cbert: bool) -> Self {
+        OursVariant {
+            use_relational: false,
+            use_structural: true,
+            structural: StructuralConfig {
+                init_cbert,
+                contrastive: ContrastiveConfig {
+                    epochs: scale.contrastive_epochs(),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            detector_overrides: DetectorTweaks {
+                lr: Some(5e-3),
+                epochs: Some(scale.detector_epochs().min(40)),
+                input_dropout: Some(0.05),
+            },
+            ..OursVariant::full(scale)
+        }
+    }
+}
+
+/// Everything one synthetic domain needs across every table: the world,
+/// the behaviour data, the constructed graph, both dataset strategies,
+/// and lazily pretrained shared models (pretraining is the dominant cost,
+/// so ablation rows share it whenever the paper's setup allows).
+pub struct DomainContext {
+    pub scale: Scale,
+    pub world: World,
+    pub log: ClickLog,
+    pub ugc: UgcCorpus,
+    pub construction: ConstructionResult,
+    /// The paper's adaptively balanced dataset.
+    pub adaptive: Dataset,
+    /// The prior-work dataset (full headword skew), for Tables XI/XII and Fig. 4.
+    pub previous: Dataset,
+    cbert: OnceLock<(RelationalModel, Vec<f32>)>,
+    cbert_token: OnceLock<RelationalModel>,
+    embeddings: OnceLock<ConceptEmbeddings>,
+    ours_detector: OnceLock<HypoDetector>,
+}
+
+impl DomainContext {
+    /// Generates the domain at the given scale.
+    pub fn build(cfg: &WorldConfig, scale: Scale) -> Self {
+        let world_cfg = cfg.clone().scaled(scale.world_factor());
+        let world = World::generate(&world_cfg);
+        let log = ClickLog::generate(
+            &world,
+            &ClickConfig {
+                seed: world_cfg.seed ^ 0x11,
+                n_events: world.truth.node_count() * scale.clicks_per_node(),
+                ..Default::default()
+            },
+        );
+        let ugc = UgcCorpus::generate(
+            &world,
+            &UgcConfig {
+                seed: world_cfg.seed ^ 0x22,
+                n_sentences: world.truth.edge_count() * scale.ugc_per_edge(),
+                ..Default::default()
+            },
+        );
+        let construction = construct_graph(
+            &world.existing,
+            &world.vocab,
+            &log.records,
+            WeightScheme::IfIqf,
+        );
+        let adaptive = generate_dataset(
+            &world.existing,
+            &world.vocab,
+            &construction.pairs,
+            &DatasetConfig {
+                strategy: Strategy::Adaptive,
+                ..Default::default()
+            },
+        );
+        let previous = generate_dataset(
+            &world.existing,
+            &world.vocab,
+            &construction.pairs,
+            &DatasetConfig {
+                strategy: Strategy::Previous,
+                ..Default::default()
+            },
+        );
+        DomainContext {
+            scale,
+            world,
+            log,
+            ugc,
+            construction,
+            adaptive,
+            previous,
+            cbert: OnceLock::new(),
+            cbert_token: OnceLock::new(),
+            embeddings: OnceLock::new(),
+            ours_detector: OnceLock::new(),
+        }
+    }
+
+    /// The domain's name.
+    pub fn name(&self) -> &str {
+        self.world.config.name
+    }
+
+    fn relational_cfg(&self, concept_masking: bool) -> RelationalConfig {
+        RelationalConfig {
+            pretrain_epochs: self.scale.mlm_epochs(),
+            concept_level_masking: concept_masking,
+            seed: self.world.config.seed ^ 0x33,
+            ..Default::default()
+        }
+    }
+
+    /// Default detector configuration at this scale.
+    pub fn detector_cfg(&self) -> DetectorConfig {
+        DetectorConfig {
+            epochs: self.scale.detector_epochs(),
+            seed: self.world.config.seed ^ 0x44,
+            ..Default::default()
+        }
+    }
+
+    /// The shared concept-level-masked C-BERT (pretrained on first use).
+    pub fn cbert(&self) -> &RelationalModel {
+        &self
+            .cbert
+            .get_or_init(|| {
+                RelationalModel::pretrain(
+                    &self.world.vocab,
+                    &self.ugc.sentences,
+                    &self.relational_cfg(true),
+                )
+            })
+            .0
+    }
+
+    /// MLM loss curve of the shared C-BERT.
+    pub fn cbert_losses(&self) -> &[f32] {
+        self.cbert();
+        &self.cbert.get().expect("initialised above").1
+    }
+
+    /// The token-level-masked encoder (baseline embeddings and the
+    /// Table VIII "- Concept-level Masking" ablation). Pretrained at half
+    /// the epoch budget: it is a utility encoder, and the masking-strategy
+    /// comparison of Table VIII is dominated by the objective, not the
+    /// final epochs (the loss plateaus well before).
+    pub fn cbert_token_masked(&self) -> &RelationalModel {
+        self.cbert_token.get_or_init(|| {
+            let mut cfg = self.relational_cfg(false);
+            cfg.pretrain_epochs = (cfg.pretrain_epochs / 2).max(2);
+            RelationalModel::pretrain(&self.world.vocab, &self.ugc.sentences, &cfg).0
+        })
+    }
+
+    /// Shared concept embeddings for the embedding-based baselines.
+    ///
+    /// The paper gives TaxoExpan (and implicitly the other neural
+    /// baselines) "BERT embedding … for a fair comparison" — i.e. a
+    /// *generically pretrained* encoder, not their C-BERT. The analogue
+    /// here is the token-level-masked MLM (standard BERT objective on the
+    /// same corpus); concept-level masking is part of the paper's
+    /// contribution and stays exclusive to our model.
+    pub fn embeddings(&self) -> &ConceptEmbeddings {
+        self.embeddings.get_or_init(|| {
+            ConceptEmbeddings::from_model(&self.world.vocab, self.cbert_token_masked())
+        })
+    }
+
+    /// Trains one configuration of our model on the adaptive dataset.
+    pub fn train_variant(&self, v: &OursVariant) -> HypoDetector {
+        self.train_variant_on(v, &self.adaptive)
+    }
+
+    /// Trains one configuration of our model on an explicit dataset
+    /// (Tables XI/XII and Fig. 4 train on the *previous*-strategy data),
+    /// reusing the cached pretrained encoders.
+    pub fn train_variant_on(&self, v: &OursVariant, dataset: &Dataset) -> HypoDetector {
+        let relational = if v.use_relational || v.structural.init_cbert {
+            let mut model = match v.relational_source {
+                RelSource::Pretrained => self.cbert().clone(),
+                RelSource::TokenMasked => self.cbert_token_masked().clone(),
+                RelSource::Vanilla => RelationalModel::vanilla(
+                    &self.world.vocab,
+                    &self.ugc.sentences,
+                    &self.relational_cfg(true),
+                ),
+            };
+            model.use_template = v.use_template;
+            Some(model)
+        } else {
+            None
+        };
+        let structural = v.use_structural.then(|| {
+            StructuralModel::build(
+                &self.world.existing,
+                &self.world.vocab,
+                &self.construction.pairs,
+                relational.as_ref(),
+                &v.structural,
+            )
+        });
+        let mut cfg = self.detector_cfg();
+        cfg.finetune_encoder = v.finetune_encoder;
+        if let Some(lr) = v.detector_overrides.lr {
+            cfg.lr = lr;
+        }
+        if let Some(e) = v.detector_overrides.epochs {
+            cfg.epochs = e;
+        }
+        if let Some(d) = v.detector_overrides.input_dropout {
+            cfg.input_dropout = d;
+        }
+        let mut detector = HypoDetector::new(
+            v.use_relational.then_some(relational).flatten(),
+            structural,
+            &cfg,
+        );
+        detector.train_with_val(&self.world.vocab, &dataset.train, &dataset.val, &cfg);
+        detector
+    }
+
+    /// Trains the full model ("Ours"), cached after the first call so
+    /// every table reuses one trained instance.
+    pub fn ours(&self) -> OursClassifier {
+        let detector = self
+            .ours_detector
+            .get_or_init(|| self.train_variant(&OursVariant::full(self.scale)));
+        OursClassifier {
+            detector: detector.clone(),
+        }
+    }
+
+    fn baseline_train_cfg(&self) -> BaselineTrainConfig {
+        BaselineTrainConfig {
+            epochs: self.scale.detector_epochs(),
+            seed: self.world.config.seed ^ 0x55,
+            ..Default::default()
+        }
+    }
+
+    /// Builds a baseline by table name.
+    ///
+    /// # Panics
+    /// Panics on an unknown name.
+    pub fn baseline(&self, name: &str) -> Box<dyn EdgeClassifier> {
+        let vocab = &self.world.vocab;
+        let train = &self.adaptive.train;
+        let val = &self.adaptive.val;
+        match name {
+            "Random" => Box::new(RandomBaseline::new(42)),
+            "KB+Headword" => Box::new(KbHeadwordBaseline::new(SyntheticKb::build(
+                &self.world,
+                0.04,
+                7,
+            ))),
+            "Snowball" => Box::new(SnowballBaseline::bootstrap(
+                &self.world.existing,
+                vocab,
+                &self.ugc.sentences,
+                60,
+                7,
+            )),
+            "Substr" => Box::new(SubstrBaseline),
+            "Vanilla-BERT" => Box::new(VanillaBertBaseline::train(
+                vocab,
+                &self.ugc.sentences,
+                train,
+                val,
+                &self.relational_cfg(true),
+                &self.detector_cfg(),
+            )),
+            "Distance-Parent" => Box::new(DistanceParentBaseline::fit(
+                self.embeddings().clone(),
+                val,
+            )),
+            "Distance-Neighbor" => Box::new(DistanceNeighborBaseline::fit(
+                self.embeddings().clone(),
+                &self.world.existing,
+                val,
+            )),
+            "TaxoExpan" => Box::new(TaxoExpanBaseline::train(
+                self.embeddings().clone(),
+                &self.world.existing,
+                train,
+                val,
+                &self.baseline_train_cfg(),
+            )),
+            "TMN" => Box::new(TmnBaseline::train(
+                self.embeddings().clone(),
+                train,
+                val,
+                &self.baseline_train_cfg(),
+            )),
+            "STEAM" => Box::new(SteamBaseline::train(
+                self.embeddings().clone(),
+                vocab,
+                &self.world.existing,
+                train,
+                val,
+                &self.baseline_train_cfg(),
+            )),
+            "Ours" => Box::new(self.ours()),
+            other => panic!("unknown method {other}"),
+        }
+    }
+
+    /// The Table V method list, in the paper's order.
+    pub fn method_names() -> &'static [&'static str] {
+        &[
+            "Random",
+            "KB+Headword",
+            "Snowball",
+            "Substr",
+            "Distance-Parent",
+            "Distance-Neighbor",
+            "Vanilla-BERT",
+            "TaxoExpan",
+            "TMN",
+            "STEAM",
+            "Ours",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_ctx() -> DomainContext {
+        DomainContext::build(&WorldConfig::fruits(), Scale::Test)
+    }
+
+    #[test]
+    fn context_builds_all_artifacts() {
+        let ctx = test_ctx();
+        assert!(ctx.world.truth.node_count() > 50);
+        assert!(ctx.log.total_events() > 0);
+        assert!(!ctx.ugc.is_empty());
+        assert!(!ctx.construction.pairs.is_empty());
+        assert!(!ctx.adaptive.train.is_empty());
+        assert!(ctx.previous.len() >= ctx.adaptive.len());
+    }
+
+    #[test]
+    fn cbert_is_cached() {
+        let ctx = test_ctx();
+        let a = ctx.cbert() as *const _;
+        let b = ctx.cbert() as *const _;
+        assert_eq!(a, b);
+        assert!(!ctx.cbert_losses().is_empty());
+    }
+
+    #[test]
+    fn cheap_baselines_construct() {
+        let ctx = test_ctx();
+        for name in ["Random", "KB+Headword", "Substr"] {
+            let b = ctx.baseline(name);
+            assert_eq!(b.name(), name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown method")]
+    fn unknown_baseline_panics() {
+        let ctx = test_ctx();
+        let _ = ctx.baseline("Nonsense");
+    }
+}

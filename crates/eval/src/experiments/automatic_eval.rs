@@ -1,0 +1,241 @@
+//! Table V (automatic evaluation of all methods), Table VI (feature
+//! ablation), Table VIII (design-choice ablations) and Table IX (GNN /
+//! contrastive-learning variants).
+
+use crate::{evaluate, DomainContext, EvalScores, OursVariant, RelSource, Scale, TextTable};
+use taxo_baselines::{EdgeClassifier, OursClassifier};
+use taxo_graph::{ContrastiveConfig, GnnKind, WeightScheme};
+
+/// Scores of one method across the three domains.
+#[derive(Debug, Clone)]
+pub struct MethodScores {
+    pub method: String,
+    pub per_domain: Vec<(String, EvalScores)>,
+}
+
+fn score_method(method: &dyn EdgeClassifier, ctx: &DomainContext) -> EvalScores {
+    // Ancestor-F1 relaxes the gold set against the *ground-truth*
+    // taxonomy, so a prediction that hits a true ancestor (rather than
+    // the direct parent) still gets credit (Eq. 19).
+    evaluate(
+        method,
+        &ctx.world.vocab,
+        &ctx.adaptive.test,
+        &ctx.world.truth,
+    )
+}
+
+fn scores_table(title: &str, ctxs: &[DomainContext], results: &[MethodScores]) -> TextTable {
+    let mut headers: Vec<String> = vec!["Method".into()];
+    for ctx in ctxs {
+        headers.push(format!("{} Acc", ctx.name()));
+        headers.push(format!("{} Edge-F1", ctx.name()));
+        headers.push(format!("{} Anc-F1", ctx.name()));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = TextTable::new(title, &header_refs);
+    for r in results {
+        let mut row = vec![r.method.clone()];
+        for (_, s) in &r.per_domain {
+            row.push(TextTable::pct(s.accuracy));
+            row.push(TextTable::pct(s.edge_f1));
+            row.push(TextTable::pct(s.ancestor_f1));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Runs every method of Table V over every domain.
+pub fn table5(ctxs: &[DomainContext]) -> (Vec<MethodScores>, TextTable) {
+    let mut results = Vec::new();
+    for name in DomainContext::method_names() {
+        let mut per_domain = Vec::new();
+        for ctx in ctxs {
+            let method = ctx.baseline(name);
+            per_domain.push((ctx.name().to_owned(), score_method(method.as_ref(), ctx)));
+        }
+        results.push(MethodScores {
+            method: (*name).to_owned(),
+            per_domain,
+        });
+    }
+    let t = scores_table("Table V — automatic evaluation", ctxs, &results);
+    (results, t)
+}
+
+fn run_variant(ctx: &DomainContext, v: &OursVariant) -> EvalScores {
+    let classifier = OursClassifier {
+        detector: ctx.train_variant(v),
+    };
+    score_method(&classifier, ctx)
+}
+
+/// Table VI: `S_Random`, `S_C-BERT`, `R`, `Overall`.
+pub fn table6(ctxs: &[DomainContext]) -> (Vec<MethodScores>, TextTable) {
+    let scale = ctxs[0].scale;
+    let variants: Vec<(&str, OursVariant)> = vec![
+        ("S_Random", OursVariant::structural_only(scale, false)),
+        ("S_C-BERT", OursVariant::structural_only(scale, true)),
+        (
+            "R",
+            OursVariant {
+                use_structural: false,
+                ..OursVariant::full(scale)
+            },
+        ),
+        ("Overall", OursVariant::full(scale)),
+    ];
+    let mut results = Vec::new();
+    for (name, v) in &variants {
+        let per_domain = ctxs
+            .iter()
+            .map(|ctx| (ctx.name().to_owned(), run_variant(ctx, v)))
+            .collect();
+        results.push(MethodScores {
+            method: (*name).to_owned(),
+            per_domain,
+        });
+    }
+    let t = scores_table("Table VI — feature ablation", ctxs, &results);
+    (results, t)
+}
+
+/// The Table VIII ablation rows.
+pub fn table8_variants(scale: Scale) -> Vec<(&'static str, OursVariant)> {
+    let full = OursVariant::full(scale);
+    vec![
+        ("Overall", full.clone()),
+        (
+            "- Template",
+            OursVariant {
+                use_template: false,
+                ..full.clone()
+            },
+        ),
+        (
+            "- Finetune",
+            OursVariant {
+                finetune_encoder: false,
+                ..full.clone()
+            },
+        ),
+        (
+            "- Concept-level Masking",
+            OursVariant {
+                relational_source: RelSource::TokenMasked,
+                ..full.clone()
+            },
+        ),
+        (
+            "- Edge Attribute",
+            OursVariant {
+                structural: taxo_expand::StructuralConfig {
+                    weight_scheme: WeightScheme::Uniform,
+                    ..full.structural.clone()
+                },
+                ..full.clone()
+            },
+        ),
+        (
+            "- User Click Graph",
+            OursVariant {
+                structural: taxo_expand::StructuralConfig {
+                    use_click_graph: false,
+                    ..full.structural.clone()
+                },
+                ..full.clone()
+            },
+        ),
+        (
+            "- Contrastive Learning",
+            OursVariant {
+                structural: taxo_expand::StructuralConfig {
+                    use_contrastive: false,
+                    ..full.structural.clone()
+                },
+                ..full.clone()
+            },
+        ),
+        (
+            "- Position Embedding",
+            OursVariant {
+                structural: taxo_expand::StructuralConfig {
+                    use_position: false,
+                    ..full.structural.clone()
+                },
+                ..full
+            },
+        ),
+    ]
+}
+
+/// Table VIII: remove one design choice at a time.
+pub fn table8(ctxs: &[DomainContext]) -> (Vec<MethodScores>, TextTable) {
+    let mut results = Vec::new();
+    for (name, v) in table8_variants(ctxs[0].scale) {
+        let per_domain = ctxs
+            .iter()
+            .map(|ctx| (ctx.name().to_owned(), run_variant(ctx, &v)))
+            .collect();
+        results.push(MethodScores {
+            method: name.to_owned(),
+            per_domain,
+        });
+    }
+    let t = scores_table("Table VIII — ablation of design choices", ctxs, &results);
+    (results, t)
+}
+
+/// Table IX: GNN hop count, aggregator, and contrastive negative rate, on
+/// one domain (the paper uses Snack).
+pub fn table9(ctx: &DomainContext) -> (Vec<MethodScores>, TextTable) {
+    let scale = ctx.scale;
+    let full = OursVariant::full(scale);
+    let with_structural = |f: &dyn Fn(&mut taxo_expand::StructuralConfig)| {
+        let mut v = full.clone();
+        f(&mut v.structural);
+        v
+    };
+    let mut rows: Vec<(String, OursVariant)> = vec![
+        ("One-hop".into(), full.clone()),
+        (
+            "Two-hop".into(),
+            with_structural(&|s| s.hops = 2),
+        ),
+        ("GCN".into(), full.clone()),
+        (
+            "GAT".into(),
+            with_structural(&|s| s.gnn_kind = GnnKind::Gat),
+        ),
+        (
+            "GraphSAGE".into(),
+            with_structural(&|s| s.gnn_kind = GnnKind::Sage),
+        ),
+    ];
+    for rate in [0.8f32, 1.0, 1.2, 1.5, 2.0] {
+        rows.push((
+            format!("negative rate {rate:.1}"),
+            with_structural(&|s| {
+                s.contrastive = ContrastiveConfig {
+                    negative_rate: rate,
+                    epochs: scale.contrastive_epochs(),
+                    ..Default::default()
+                }
+            }),
+        ));
+    }
+    let mut results = Vec::new();
+    for (name, v) in &rows {
+        results.push(MethodScores {
+            method: name.clone(),
+            per_domain: vec![(ctx.name().to_owned(), run_variant(ctx, v))],
+        });
+    }
+    let t = scores_table(
+        &format!("Table IX — GNN and contrastive variants ({})", ctx.name()),
+        std::slice::from_ref(ctx),
+        &results,
+    );
+    (results, t)
+}

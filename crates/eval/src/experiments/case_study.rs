@@ -1,0 +1,93 @@
+//! Table X — case study: clicked items and hyponym predictions for one
+//! query concept per domain.
+
+use crate::DomainContext;
+use taxo_baselines::EdgeClassifier;
+use taxo_core::ConceptId;
+use taxo_expand::candidates_by_query;
+
+/// The case study for one domain.
+#[derive(Debug, Clone)]
+pub struct CaseStudy {
+    pub domain: String,
+    pub query: String,
+    /// Example clicked item strings.
+    pub clicked_items: Vec<String>,
+    /// Predicted hyponyms with the oracle verdict (`true` = correct).
+    pub positive: Vec<(String, bool)>,
+    /// Rejected candidates with the oracle verdict (`true` = correctly
+    /// rejected).
+    pub negative: Vec<(String, bool)>,
+}
+
+/// Picks the busiest query of each domain and records the trained model's
+/// predictions over its clicked candidates, judged against ground truth.
+pub fn table10(ctxs: &[DomainContext], per_list: usize) -> (Vec<CaseStudy>, String) {
+    let mut studies = Vec::new();
+    for ctx in ctxs {
+        let ours = ctx.ours();
+        let by_query = candidates_by_query(&ctx.construction.pairs);
+        // Busiest query with true children (a category concept).
+        let Some((&query, cands)) = by_query
+            .iter()
+            .filter(|(q, _)| !ctx.world.truth.children(**q).is_empty())
+            .max_by_key(|(_, v)| v.len())
+        else {
+            continue;
+        };
+        let clicked_items: Vec<String> = ctx
+            .log
+            .records
+            .iter()
+            .filter(|r| r.query == query)
+            .take(per_list)
+            .map(|r| r.item_text.clone())
+            .collect();
+        let mut positive = Vec::new();
+        let mut negative = Vec::new();
+        for cand in cands {
+            let name = ctx.world.name(cand.item).to_owned();
+            let truth = ctx.world.is_true_hypernym(query, cand.item);
+            if ours.predict(&ctx.world.vocab, query, cand.item) {
+                if positive.len() < per_list {
+                    positive.push((name, truth));
+                }
+            } else if negative.len() < per_list {
+                negative.push((name, !truth));
+            }
+        }
+        studies.push(CaseStudy {
+            domain: ctx.name().to_owned(),
+            query: ctx.world.name(query).to_owned(),
+            clicked_items,
+            positive,
+            negative,
+        });
+    }
+
+    let mut out = String::from("== Table X — case study ==\n");
+    for s in &studies {
+        out.push_str(&format!(
+            "\nDomain: {} | Query concept: \"{}\"\n",
+            s.domain, s.query
+        ));
+        out.push_str("  Clicked item examples:\n");
+        for item in &s.clicked_items {
+            out.push_str(&format!("    - {item}\n"));
+        }
+        out.push_str("  Predicted hyponyms (positive):\n");
+        for (name, ok) in &s.positive {
+            out.push_str(&format!("    {} {}\n", if *ok { "[Y]" } else { "[N]" }, name));
+        }
+        out.push_str("  Rejected candidates (negative):\n");
+        for (name, ok) in &s.negative {
+            out.push_str(&format!("    {} {}\n", if *ok { "[Y]" } else { "[N]" }, name));
+        }
+    }
+    (studies, out)
+}
+
+/// Convenience: the oracle verdict of a prediction (used by tests).
+pub fn verdict(ctx: &DomainContext, query: ConceptId, item: ConceptId, predicted: bool) -> bool {
+    ctx.world.is_true_hypernym(query, item) == predicted
+}

@@ -1,0 +1,63 @@
+//! Table III (self-supervised dataset statistics) and Table XI (previous
+//! vs. ours dataset statistics).
+
+use crate::{DomainContext, TextTable};
+use taxo_expand::Dataset;
+
+fn dataset_row(name: &str, ds: &Dataset) -> Vec<String> {
+    let s = ds.stats();
+    vec![
+        name.to_owned(),
+        ds.len().to_string(),
+        s.positives.to_string(),
+        s.negatives.to_string(),
+        s.head.to_string(),
+        s.others.to_string(),
+        s.shuffle.to_string(),
+        s.replace.to_string(),
+        ds.train.len().to_string(),
+        ds.val.len().to_string(),
+        ds.test.len().to_string(),
+    ]
+}
+
+/// Renders Table III over the adaptively generated datasets.
+pub fn table3(ctxs: &[DomainContext]) -> TextTable {
+    let mut t = TextTable::new(
+        "Table III — self-supervised generated dataset statistics",
+        &[
+            "Dataset", "|E_All|", "|E_Pos|", "|E_Neg|", "|E_Head|", "|E_Others|", "|E_Shuffle|",
+            "|E_Replace|", "|E_Train|", "|E_Val|", "|E_Test|",
+        ],
+    );
+    for ctx in ctxs {
+        t.row(dataset_row(ctx.name(), &ctx.adaptive));
+    }
+    t
+}
+
+/// Renders Table XI: the previous (skew-inheriting) strategy vs. ours on
+/// one domain (the paper uses Snack).
+pub fn table11(ctx: &DomainContext) -> TextTable {
+    let mut t = TextTable::new(
+        &format!(
+            "Table XI — self-supervised dataset statistics, {} domain",
+            ctx.name()
+        ),
+        &[
+            "Method", "|E_Head|", "|E_Others|", "|E_Train|", "|E_Val|", "|E_Test|",
+        ],
+    );
+    for (name, ds) in [("Previous", &ctx.previous), ("Ours", &ctx.adaptive)] {
+        let s = ds.stats();
+        t.row(vec![
+            name.into(),
+            s.head.to_string(),
+            s.others.to_string(),
+            ds.train.len().to_string(),
+            ds.val.len().to_string(),
+            ds.test.len().to_string(),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,19 @@
+//! One driver per paper artefact; see DESIGN.md's experiment index.
+
+mod automatic_eval;
+mod case_study;
+mod datasets;
+mod manual_eval;
+mod selfsup_analysis;
+mod taxonomy_stats;
+mod term_extraction;
+mod user_study;
+
+pub use automatic_eval::{table5, table6, table8, table8_variants, table9, MethodScores};
+pub use case_study::{table10, verdict, CaseStudy};
+pub use datasets::{table11, table3};
+pub use manual_eval::{deployment, table12, table7, DeploymentSummary, Table12Row, Table7Row};
+pub use selfsup_analysis::{fig4, Fig4Row};
+pub use taxonomy_stats::{table2, Table2Row};
+pub use term_extraction::{fig3, table1, table4, Fig3Breakdown, Table4Row};
+pub use user_study::{user_study, UserStudyResult};

@@ -1,0 +1,63 @@
+//! Table II — taxonomy statistics.
+
+use crate::{DomainContext, TextTable};
+
+/// One Table II row.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    pub domain: String,
+    pub depth: usize,
+    pub nodes: usize,
+    pub edges: usize,
+    pub head_edges: usize,
+    pub other_edges: usize,
+}
+
+/// Computes depth, node/edge counts and the headword/other edge breakdown
+/// of every domain's existing taxonomy, plus an Overall row.
+pub fn table2(ctxs: &[DomainContext]) -> (Vec<Table2Row>, TextTable) {
+    let mut rows = Vec::new();
+    let mut overall = Table2Row {
+        domain: "Overall".into(),
+        depth: 0,
+        nodes: 0,
+        edges: 0,
+        head_edges: 0,
+        other_edges: 0,
+    };
+    for ctx in ctxs {
+        let taxo = &ctx.world.existing;
+        let (head, other) = ctx.world.edge_breakdown(taxo);
+        let row = Table2Row {
+            domain: ctx.name().to_owned(),
+            depth: taxo.depth(),
+            nodes: taxo.node_count(),
+            edges: taxo.edge_count(),
+            head_edges: head,
+            other_edges: other,
+        };
+        overall.depth = overall.depth.max(row.depth);
+        overall.nodes += row.nodes;
+        overall.edges += row.edges;
+        overall.head_edges += row.head_edges;
+        overall.other_edges += row.other_edges;
+        rows.push(row);
+    }
+    rows.insert(0, overall);
+
+    let mut t = TextTable::new(
+        "Table II — taxonomy statistics",
+        &["Taxonomy", "|D|", "|N|", "|E|", "|E_Head|", "|E_Others|"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.domain.clone(),
+            r.depth.to_string(),
+            r.nodes.to_string(),
+            r.edges.to_string(),
+            r.head_edges.to_string(),
+            r.other_edges.to_string(),
+        ]);
+    }
+    (rows, t)
+}

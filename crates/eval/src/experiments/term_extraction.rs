@@ -1,0 +1,151 @@
+//! Table I (term-extraction statistics), Table IV (term-extraction
+//! accuracy) and Figure 3 (uncovered-node breakdown).
+
+use crate::{DomainContext, TextTable};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashSet;
+use taxo_core::ConceptId;
+use taxo_expand::candidates_by_query;
+use taxo_synth::Panel;
+
+/// Renders Table I from the construction statistics of each domain.
+pub fn table1(ctxs: &[DomainContext]) -> TextTable {
+    let mut t = TextTable::new(
+        "Table I — statistics of term extraction",
+        &[
+            "Taxonomy", "#Items", "#Nodes", "CNode", "#IEdge", "#Edges", "CEdge", "#Concepts",
+            "#INewEdge", "#NewEdge", "#IOthers",
+        ],
+    );
+    for ctx in ctxs {
+        let s = &ctx.construction.stats;
+        t.row(vec![
+            ctx.name().into(),
+            s.n_items.to_string(),
+            s.n_nodes_covered.to_string(),
+            TextTable::num(s.c_node),
+            s.n_iedge.to_string(),
+            s.n_edges_covered.to_string(),
+            TextTable::num(s.c_edge),
+            s.n_new_concepts.to_string(),
+            s.n_inew_edge.to_string(),
+            s.n_new_edge.to_string(),
+            s.n_iothers.to_string(),
+        ]);
+    }
+    t
+}
+
+/// One Table IV row.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    pub domain: String,
+    pub n_sampled_queries: usize,
+    pub n_new_edges: usize,
+    /// Oracle-judged percentage of sampled query-item pairs that are true
+    /// hyponymy relations (the paper finds ~8–13%).
+    pub accuracy: f64,
+}
+
+/// Samples query concepts, collects their candidate pairs and has the
+/// oracle panel judge them — reproducing the manual accuracy study of
+/// Table IV.
+pub fn table4(ctxs: &[DomainContext], queries_per_domain: &[usize]) -> (Vec<Table4Row>, TextTable) {
+    let mut rows = Vec::new();
+    for (ctx, &n_queries) in ctxs.iter().zip(queries_per_domain) {
+        let by_query = candidates_by_query(&ctx.construction.pairs);
+        let mut queries: Vec<ConceptId> = by_query.keys().copied().collect();
+        queries.sort();
+        let mut rng = StdRng::seed_from_u64(0x7AB4);
+        queries.shuffle(&mut rng);
+        queries.truncate(n_queries);
+
+        let mut panel = Panel::new(3, 0.08, 0x7AB4);
+        let mut total = 0usize;
+        let mut correct = 0usize;
+        for &q in &queries {
+            for cand in &by_query[&q] {
+                // Only *new* potential relations count (pairs already in
+                // the existing taxonomy are not "extracted").
+                if ctx.world.existing.contains_edge(q, cand.item) {
+                    continue;
+                }
+                total += 1;
+                let truth = ctx.world.is_true_hypernym(q, cand.item);
+                if panel.majority(truth) {
+                    correct += 1;
+                }
+            }
+        }
+        rows.push(Table4Row {
+            domain: ctx.name().to_owned(),
+            n_sampled_queries: queries.len(),
+            n_new_edges: total,
+            accuracy: 100.0 * correct as f64 / total.max(1) as f64,
+        });
+    }
+    let mut t = TextTable::new(
+        "Table IV — accuracy of term extraction",
+        &["Taxonomy", "#Nodes", "#NewEdge", "Accuracy"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.domain.clone(),
+            r.n_sampled_queries.to_string(),
+            r.n_new_edges.to_string(),
+            TextTable::num(r.accuracy),
+        ]);
+    }
+    (rows, t)
+}
+
+/// The Figure 3 pie: why existing-taxonomy nodes are not covered by the
+/// click log.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig3Breakdown {
+    pub uncovered: usize,
+    pub leaf_pct: f64,
+    pub not_interested_pct: f64,
+    pub other_pct: f64,
+}
+
+/// Analyses the uncovered nodes of a domain (the paper: 77% leaves, 18%
+/// "users not interested", 5% other, in Snack).
+pub fn fig3(ctx: &DomainContext) -> (Fig3Breakdown, TextTable) {
+    let covered: HashSet<ConceptId> = ctx.construction.pairs.iter().map(|p| p.query).collect();
+    let queried_at_all: HashSet<ConceptId> = ctx.log.queries().into_iter().collect();
+    let mut uncovered = 0usize;
+    let mut leaves = 0usize;
+    let mut not_interested = 0usize;
+    for n in ctx.world.existing.nodes() {
+        if covered.contains(&n) {
+            continue;
+        }
+        uncovered += 1;
+        if ctx.world.existing.children(n).is_empty() {
+            leaves += 1;
+        } else if !queried_at_all.contains(&n) {
+            not_interested += 1;
+        }
+    }
+    let pct = |x: usize| 100.0 * x as f64 / uncovered.max(1) as f64;
+    let b = Fig3Breakdown {
+        uncovered,
+        leaf_pct: pct(leaves),
+        not_interested_pct: pct(not_interested),
+        other_pct: pct(uncovered - leaves - not_interested),
+    };
+    let mut t = TextTable::new(
+        &format!("Figure 3 — uncovered nodes in {} ({} nodes)", ctx.name(), b.uncovered),
+        &["Cause", "Share (%)"],
+    );
+    t.row(vec!["Leaf nodes".into(), TextTable::num(b.leaf_pct)]);
+    t.row(vec![
+        "Users not interested".into(),
+        TextTable::num(b.not_interested_pct),
+    ]);
+    t.row(vec!["Other".into(), TextTable::num(b.other_pct)]);
+    (b, t)
+}

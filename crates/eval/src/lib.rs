@@ -1,0 +1,28 @@
+//! Evaluation layer: the paper's metrics (Accuracy, Edge-F1, Ancestor-F1,
+//! Eq. 17–19), a shared per-domain experiment context with cached
+//! pretrained artefacts, and one driver per table/figure of the paper
+//! (see the experiment index in DESIGN.md).
+//!
+//! ```no_run
+//! use taxo_eval::{experiments, DomainContext, Scale};
+//! use taxo_synth::WorldConfig;
+//!
+//! let ctxs: Vec<DomainContext> = WorldConfig::all_domains()
+//!     .iter()
+//!     .map(|cfg| DomainContext::build(cfg, Scale::Quick))
+//!     .collect();
+//! println!("{}", experiments::table1(&ctxs).render());
+//! let (_, t5) = experiments::table5(&ctxs);
+//! println!("{}", t5.render());
+//! ```
+
+mod bootstrap;
+mod context;
+pub mod experiments;
+mod metrics;
+mod render;
+
+pub use bootstrap::{accuracy_ci, bootstrap_mean_ci, ConfidenceInterval};
+pub use context::{DetectorTweaks, DomainContext, OursVariant, RelSource, Scale};
+pub use metrics::{accuracy_where, evaluate, EvalScores};
+pub use render::TextTable;

@@ -1,0 +1,212 @@
+use taxo_baselines::EdgeClassifier;
+use taxo_core::{ConceptId, Taxonomy, Vocabulary};
+use taxo_expand::LabeledPair;
+
+/// The evaluation criteria of Section IV-B3.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EvalScores {
+    /// Eq. 17: exact prediction-label agreement.
+    pub accuracy: f64,
+    /// Eq. 18 F1 over predicted vs. gold edges.
+    pub edge_f1: f64,
+    /// Eq. 19 F1 with the gold set relaxed to the ancestor closure.
+    pub ancestor_f1: f64,
+    /// Edge precision (used by Table VII).
+    pub precision: f64,
+    /// Edge recall.
+    pub recall: f64,
+}
+
+fn f1(p: f64, r: f64) -> f64 {
+    if p + r > 0.0 {
+        2.0 * p * r / (p + r)
+    } else {
+        0.0
+    }
+}
+
+/// Evaluates a classifier on a labeled pair set.
+///
+/// * `Acc` counts exact agreement.
+/// * `Edge-F1` treats the labeled positives as the gold edge set `E_gt`
+///   and the predicted positives as `E_pred`.
+/// * `Ancestor-F1` relaxes the gold set to `E*_gt`: a predicted pair also
+///   counts as correct when the parent is an *ancestor* (not necessarily
+///   the direct parent) of the child in `reference` — the paper extends
+///   "all the ancestor-child edges as ground truth edges".
+pub fn evaluate(
+    method: &dyn EdgeClassifier,
+    vocab: &Vocabulary,
+    pairs: &[LabeledPair],
+    reference: &Taxonomy,
+) -> EvalScores {
+    if pairs.is_empty() {
+        return EvalScores::default();
+    }
+    let mut correct = 0usize;
+    let mut tp = 0usize; // predicted ∧ gold edge
+    let mut pred_pos = 0usize;
+    let mut gold_pos = 0usize;
+    let mut tp_anc = 0usize; // predicted ∧ ancestor-gold
+    let mut gold_anc = 0usize;
+
+    let is_ancestor_pair = |p: ConceptId, c: ConceptId| {
+        reference.contains_edge(p, c) || reference.is_ancestor(p, c)
+    };
+
+    for pair in pairs {
+        let pred = method.predict(vocab, pair.parent, pair.child);
+        if pred == pair.label {
+            correct += 1;
+        }
+        let anc = is_ancestor_pair(pair.parent, pair.child);
+        if pair.label {
+            gold_pos += 1;
+        }
+        if anc {
+            gold_anc += 1;
+        }
+        if pred {
+            pred_pos += 1;
+            if pair.label {
+                tp += 1;
+            }
+            if anc {
+                tp_anc += 1;
+            }
+        }
+    }
+
+    let precision = tp as f64 / pred_pos.max(1) as f64;
+    let recall = tp as f64 / gold_pos.max(1) as f64;
+    let p_anc = tp_anc as f64 / pred_pos.max(1) as f64;
+    let r_anc = tp_anc as f64 / gold_anc.max(1) as f64;
+    EvalScores {
+        accuracy: correct as f64 / pairs.len() as f64,
+        edge_f1: f1(precision, recall),
+        ancestor_f1: f1(p_anc, r_anc),
+        precision,
+        recall,
+    }
+}
+
+/// Accuracy restricted to pairs matching `filter` (used by Fig. 4's
+/// per-pattern breakdown).
+pub fn accuracy_where(
+    method: &dyn EdgeClassifier,
+    vocab: &Vocabulary,
+    pairs: &[LabeledPair],
+    filter: impl Fn(&LabeledPair) -> bool,
+) -> f64 {
+    let selected: Vec<&LabeledPair> = pairs.iter().filter(|p| filter(p)).collect();
+    if selected.is_empty() {
+        return 0.0;
+    }
+    let correct = selected
+        .iter()
+        .filter(|p| method.predict(vocab, p.parent, p.child) == p.label)
+        .count();
+    correct as f64 / selected.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxo_expand::PairKind;
+
+    /// A classifier wrapping a fixed predicate.
+    struct Fixed(Box<dyn Fn(ConceptId, ConceptId) -> bool>);
+    impl EdgeClassifier for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn score(&self, _: &Vocabulary, p: ConceptId, c: ConceptId) -> f32 {
+            if (self.0)(p, c) {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+
+    fn pair(p: u32, c: u32, label: bool) -> LabeledPair {
+        LabeledPair {
+            parent: ConceptId(p),
+            child: ConceptId(c),
+            label,
+            kind: if label {
+                PairKind::PositiveOther
+            } else {
+                PairKind::NegativeReplace
+            },
+        }
+    }
+
+    fn chain_taxonomy() -> Taxonomy {
+        let mut t = Taxonomy::new();
+        t.add_edge(ConceptId(0), ConceptId(1)).unwrap();
+        t.add_edge(ConceptId(1), ConceptId(2)).unwrap();
+        t
+    }
+
+    #[test]
+    fn perfect_classifier_scores_one() {
+        let t = chain_taxonomy();
+        let vocab = Vocabulary::new();
+        let pairs = vec![pair(0, 1, true), pair(1, 2, true), pair(2, 0, false)];
+        let perfect = Fixed(Box::new(|p, c| (p.0, c.0) != (2, 0)));
+        let s = evaluate(&perfect, &vocab, &pairs, &t);
+        assert_eq!(s.accuracy, 1.0);
+        assert_eq!(s.edge_f1, 1.0);
+        assert_eq!(s.ancestor_f1, 1.0);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+    }
+
+    #[test]
+    fn always_negative_has_zero_f1_but_some_accuracy() {
+        let t = chain_taxonomy();
+        let vocab = Vocabulary::new();
+        let pairs = vec![pair(0, 1, true), pair(2, 0, false)];
+        let never = Fixed(Box::new(|_, _| false));
+        let s = evaluate(&never, &vocab, &pairs, &t);
+        assert_eq!(s.accuracy, 0.5);
+        assert_eq!(s.edge_f1, 0.0);
+        assert_eq!(s.recall, 0.0);
+    }
+
+    #[test]
+    fn ancestor_f1_rewards_grandparent_predictions() {
+        let t = chain_taxonomy();
+        let vocab = Vocabulary::new();
+        // (0, 2) is labeled negative as a direct edge, but 0 IS an
+        // ancestor of 2 — Ancestor-F1 must credit it while Edge-F1 must
+        // not.
+        let pairs = vec![pair(0, 1, true), pair(0, 2, false)];
+        let predicts_both = Fixed(Box::new(|_, _| true));
+        let s = evaluate(&predicts_both, &vocab, &pairs, &t);
+        assert!(s.ancestor_f1 > s.edge_f1);
+        assert_eq!(s.ancestor_f1, 1.0);
+    }
+
+    #[test]
+    fn accuracy_where_filters() {
+        let vocab = Vocabulary::new();
+        let pairs = vec![pair(0, 1, true), pair(5, 6, false)];
+        let yes = Fixed(Box::new(|_, _| true));
+        let only_pos = accuracy_where(&yes, &vocab, &pairs, |p| p.label);
+        assert_eq!(only_pos, 1.0);
+        let only_neg = accuracy_where(&yes, &vocab, &pairs, |p| !p.label);
+        assert_eq!(only_neg, 0.0);
+        let none = accuracy_where(&yes, &vocab, &pairs, |_| false);
+        assert_eq!(none, 0.0);
+    }
+
+    #[test]
+    fn empty_pairs_default() {
+        let t = chain_taxonomy();
+        let vocab = Vocabulary::new();
+        let never = Fixed(Box::new(|_, _| false));
+        assert_eq!(evaluate(&never, &vocab, &[], &t), EvalScores::default());
+    }
+}

@@ -1,0 +1,133 @@
+use std::fmt::Write as _;
+
+/// A minimal fixed-width text table, used to print every reproduced paper
+/// table in a uniform format.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        TextTable {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; lengths shorter than the header are padded.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Formats a float with two decimals.
+    pub fn num(x: f64) -> String {
+        format!("{x:.2}")
+    }
+
+    /// Formats a ratio as a percentage with two decimals.
+    pub fn pct(x: f64) -> String {
+        format!("{:.2}", 100.0 * x)
+    }
+
+    /// Renders the table as CSV (header row first, RFC-4180 quoting).
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let line = |cells: &[String]| {
+            cells.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row));
+        }
+        out
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut first = true;
+            for (w, cell) in widths.iter().zip(cells) {
+                if !first {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<w$}");
+                first = false;
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new("Demo", &["Method", "Acc"]);
+        t.row(vec!["Random".into(), TextTable::num(50.01)]);
+        t.row(vec!["Ours".into(), TextTable::num(75.64)]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("Random"));
+        assert!(s.contains("75.64"));
+        // Columns align: both data lines have the same offset for col 2.
+        let lines: Vec<&str> = s.lines().collect();
+        let pos1 = lines[3].find("50.01").unwrap();
+        let pos2 = lines[4].find("75.64").unwrap();
+        assert_eq!(pos1, pos2);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new("x", &["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        assert_eq!(t.rows[0].len(), 3);
+        assert!(t.render().contains('1'));
+    }
+
+    #[test]
+    fn pct_and_num() {
+        assert_eq!(TextTable::pct(0.8812), "88.12");
+        assert_eq!(TextTable::num(13.177), "13.18");
+    }
+
+    #[test]
+    fn csv_escapes_and_round_trips_structure() {
+        let mut t = TextTable::new("x", &["Method", "Note"]);
+        t.row(vec!["A, \"B\"".into(), "plain".into()]);
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("Method,Note"));
+        assert_eq!(lines.next(), Some("\"A, \"\"B\"\"\",plain"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the evaluation metrics.
+
+use proptest::prelude::*;
+use taxo_baselines::EdgeClassifier;
+use taxo_core::{ConceptId, Taxonomy, Vocabulary};
+use taxo_eval::evaluate;
+use taxo_expand::{LabeledPair, PairKind};
+
+/// Deterministic pseudo-random classifier parameterised by a seed.
+struct HashClassifier(u64);
+impl EdgeClassifier for HashClassifier {
+    fn name(&self) -> &str {
+        "hash"
+    }
+    fn score(&self, _: &Vocabulary, p: ConceptId, c: ConceptId) -> f32 {
+        use std::hash::{DefaultHasher, Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        (self.0, p, c).hash(&mut h);
+        (h.finish() % 1000) as f32 / 1000.0
+    }
+}
+
+fn pairs_strategy() -> impl Strategy<Value = Vec<LabeledPair>> {
+    proptest::collection::vec((0u32..20, 0u32..20, any::<bool>()), 1..60).prop_map(|v| {
+        v.into_iter()
+            .filter(|(p, c, _)| p != c)
+            .map(|(p, c, label)| LabeledPair {
+                parent: ConceptId(p),
+                child: ConceptId(c),
+                label,
+                kind: if label {
+                    PairKind::PositiveOther
+                } else {
+                    PairKind::NegativeReplace
+                },
+            })
+            .collect()
+    })
+}
+
+fn chain() -> Taxonomy {
+    let mut t = Taxonomy::new();
+    for i in 0..19u32 {
+        t.add_edge(ConceptId(i), ConceptId(i + 1)).unwrap();
+    }
+    t
+}
+
+proptest! {
+    #[test]
+    fn metrics_are_bounded(pairs in pairs_strategy(), seed in 0u64..100) {
+        prop_assume!(!pairs.is_empty());
+        let s = evaluate(&HashClassifier(seed), &Vocabulary::new(), &pairs, &chain());
+        for v in [s.accuracy, s.edge_f1, s.ancestor_f1, s.precision, s.recall] {
+            prop_assert!((0.0..=1.0).contains(&v), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn ancestor_f1_dominates_edge_f1_on_chain_pairs(seed in 0u64..100) {
+        // On a chain, every labeled-positive direct edge is also an
+        // ancestor pair, so the relaxed metric can only gain pairs.
+        let mut pairs = Vec::new();
+        for i in 0..19u32 {
+            pairs.push(LabeledPair {
+                parent: ConceptId(i),
+                child: ConceptId(i + 1),
+                label: true,
+                kind: PairKind::PositiveOther,
+            });
+            // Reverse pairs are negatives and non-ancestors.
+            pairs.push(LabeledPair {
+                parent: ConceptId(i + 1),
+                child: ConceptId(i),
+                label: false,
+                kind: PairKind::NegativeShuffle,
+            });
+        }
+        // Add grandparent pairs labeled negative (edge-wrong,
+        // ancestor-right).
+        for i in 0..18u32 {
+            pairs.push(LabeledPair {
+                parent: ConceptId(i),
+                child: ConceptId(i + 2),
+                label: false,
+                kind: PairKind::NegativeReplace,
+            });
+        }
+        let s = evaluate(&HashClassifier(seed), &Vocabulary::new(), &pairs, &chain());
+        prop_assert!(s.ancestor_f1 >= s.edge_f1 - 1e-9, "{s:?}");
+    }
+
+    #[test]
+    fn perfect_and_inverted_classifiers_bracket_random(pairs in pairs_strategy()) {
+        prop_assume!(pairs.len() >= 10);
+        struct Oracle<'a>(&'a [LabeledPair], bool);
+        impl EdgeClassifier for Oracle<'_> {
+            fn name(&self) -> &str {
+                "oracle"
+            }
+            fn score(&self, _: &Vocabulary, p: ConceptId, c: ConceptId) -> f32 {
+                let truth = self
+                    .0
+                    .iter()
+                    .find(|x| x.parent == p && x.child == c)
+                    .map(|x| x.label)
+                    .unwrap_or(false);
+                if truth == self.1 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+        let vocab = Vocabulary::new();
+        let t = chain();
+        // Deduplicate conflicting labels for the oracle to be well-defined.
+        let mut seen = std::collections::HashSet::new();
+        let pairs: Vec<LabeledPair> = pairs
+            .into_iter()
+            .filter(|p| seen.insert((p.parent, p.child)))
+            .collect();
+        let perfect = evaluate(&Oracle(&pairs, true), &vocab, &pairs, &t);
+        let inverted = evaluate(&Oracle(&pairs, false), &vocab, &pairs, &t);
+        prop_assert!((perfect.accuracy - 1.0).abs() < 1e-9);
+        prop_assert!(inverted.accuracy < 1e-9);
+        prop_assert!(perfect.edge_f1 >= inverted.edge_f1);
+    }
+}

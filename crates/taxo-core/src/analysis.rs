@@ -1,0 +1,254 @@
+use crate::{ConceptId, Edge, Taxonomy};
+use std::collections::{HashMap, HashSet};
+
+/// Summary statistics of a taxonomy's shape (used by reports and the
+/// Table II driver, and handy when calibrating synthetic worlds against
+/// a real taxonomy dump).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaxonomyStats {
+    pub nodes: usize,
+    pub edges: usize,
+    pub roots: usize,
+    pub leaves: usize,
+    pub depth: usize,
+    /// Mean number of children over internal (non-leaf) nodes.
+    pub mean_branching: f64,
+    /// Number of nodes with more than one parent.
+    pub multi_parent_nodes: usize,
+    /// nodes-per-level histogram, `histogram[0]` = roots.
+    pub level_histogram: Vec<usize>,
+}
+
+/// The difference between two taxonomies over the same concept space —
+/// exactly what an expansion run produces and a reviewer wants to see.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaxonomyDiff {
+    pub added_nodes: Vec<ConceptId>,
+    pub removed_nodes: Vec<ConceptId>,
+    pub added_edges: Vec<Edge>,
+    pub removed_edges: Vec<Edge>,
+}
+
+impl TaxonomyDiff {
+    /// Whether the two taxonomies were identical.
+    pub fn is_empty(&self) -> bool {
+        self.added_nodes.is_empty()
+            && self.removed_nodes.is_empty()
+            && self.added_edges.is_empty()
+            && self.removed_edges.is_empty()
+    }
+}
+
+impl Taxonomy {
+    /// Computes shape statistics.
+    pub fn stats(&self) -> TaxonomyStats {
+        let lo = crate::LevelOrder::new(self);
+        let level_histogram: Vec<usize> = lo.levels().iter().map(Vec::len).collect();
+        let leaves = self.leaves().len();
+        let internal = self.node_count().saturating_sub(leaves);
+        let mean_branching = if internal == 0 {
+            0.0
+        } else {
+            self.edge_count() as f64 / internal as f64
+        };
+        TaxonomyStats {
+            nodes: self.node_count(),
+            edges: self.edge_count(),
+            roots: self.roots().len(),
+            leaves,
+            depth: level_histogram.len(),
+            mean_branching,
+            multi_parent_nodes: self.nodes().filter(|&n| self.parents(n).len() > 1).count(),
+            level_histogram,
+        }
+    }
+
+    /// The lowest common ancestors of `a` and `b`: the common ancestors
+    /// (a node counts as its own ancestor here) not dominated by another
+    /// common ancestor. Multiple results are possible in a DAG; an empty
+    /// result means the nodes live in disjoint trees.
+    pub fn lowest_common_ancestors(&self, a: ConceptId, b: ConceptId) -> Vec<ConceptId> {
+        if !self.contains_node(a) || !self.contains_node(b) {
+            return Vec::new();
+        }
+        let up = |n: ConceptId| -> HashSet<ConceptId> {
+            let mut set: HashSet<ConceptId> = self.ancestors(n).into_iter().collect();
+            set.insert(n);
+            set
+        };
+        let common: HashSet<ConceptId> = up(a).intersection(&up(b)).copied().collect();
+        let mut lca: Vec<ConceptId> = common
+            .iter()
+            .filter(|&&c| {
+                // c is lowest iff no child of c is also a common ancestor.
+                !self.children(c).iter().any(|ch| common.contains(ch))
+            })
+            .copied()
+            .collect();
+        lca.sort();
+        lca
+    }
+
+    /// One shortest parent-path from `node` up to a root (root first).
+    /// Empty for non-members.
+    pub fn root_path(&self, node: ConceptId) -> Vec<ConceptId> {
+        if !self.contains_node(node) {
+            return Vec::new();
+        }
+        // BFS upward to find a nearest root.
+        let mut prev: HashMap<ConceptId, ConceptId> = HashMap::new();
+        let mut queue = std::collections::VecDeque::from([node]);
+        let mut seen: HashSet<ConceptId> = HashSet::from([node]);
+        let mut root = node;
+        'outer: while let Some(n) = queue.pop_front() {
+            if self.parents(n).is_empty() {
+                root = n;
+                break 'outer;
+            }
+            for &p in self.parents(n) {
+                if seen.insert(p) {
+                    prev.insert(p, n);
+                    queue.push_back(p);
+                }
+            }
+        }
+        let mut path = vec![root];
+        let mut cur = root;
+        while cur != node {
+            cur = prev[&cur];
+            path.push(cur);
+        }
+        path
+    }
+
+    /// Extracts the sub-taxonomy rooted at `root` (the node itself plus
+    /// all descendants and the edges among them).
+    pub fn subtree(&self, root: ConceptId) -> Taxonomy {
+        let mut keep: HashSet<ConceptId> = self.descendants(root).into_iter().collect();
+        keep.insert(root);
+        let mut out = Taxonomy::new();
+        for &n in &keep {
+            out.add_node(n);
+        }
+        for e in self.edges() {
+            if keep.contains(&e.parent) && keep.contains(&e.child) {
+                out.add_edge(e.parent, e.child)
+                    .expect("sub-DAG of a DAG is acyclic");
+            }
+        }
+        out
+    }
+
+    /// Structural diff `other - self`: what was added to / removed from
+    /// `self` to obtain `other`.
+    pub fn diff(&self, other: &Taxonomy) -> TaxonomyDiff {
+        let mine: HashSet<ConceptId> = self.nodes().collect();
+        let theirs: HashSet<ConceptId> = other.nodes().collect();
+        let my_edges: HashSet<Edge> = self.edges().collect();
+        let their_edges: HashSet<Edge> = other.edges().collect();
+        let mut d = TaxonomyDiff {
+            added_nodes: theirs.difference(&mine).copied().collect(),
+            removed_nodes: mine.difference(&theirs).copied().collect(),
+            added_edges: their_edges.difference(&my_edges).copied().collect(),
+            removed_edges: my_edges.difference(&their_edges).copied().collect(),
+        };
+        d.added_nodes.sort();
+        d.removed_nodes.sort();
+        d.added_edges.sort();
+        d.removed_edges.sort();
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Taxonomy {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3, 1 -> 4.
+        let mut t = Taxonomy::new();
+        for &(p, c) in &[(0u32, 1u32), (0, 2), (1, 3), (2, 3), (1, 4)] {
+            t.add_edge(ConceptId(p), ConceptId(c)).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn stats_of_diamond() {
+        let s = diamond().stats();
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.edges, 5);
+        assert_eq!(s.roots, 1);
+        assert_eq!(s.leaves, 2); // 3 and 4
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.multi_parent_nodes, 1); // node 3
+        assert_eq!(s.level_histogram, vec![1, 2, 2]);
+        assert!((s.mean_branching - 5.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lca_in_diamond() {
+        let t = diamond();
+        // LCA of the two middle nodes is the root.
+        assert_eq!(
+            t.lowest_common_ancestors(ConceptId(1), ConceptId(2)),
+            vec![ConceptId(0)]
+        );
+        // LCA of 3 and 4: both 1 (common parent/grandparent chain).
+        assert_eq!(
+            t.lowest_common_ancestors(ConceptId(3), ConceptId(4)),
+            vec![ConceptId(1)]
+        );
+        // A node with its ancestor: the ancestor itself.
+        assert_eq!(
+            t.lowest_common_ancestors(ConceptId(0), ConceptId(3)),
+            vec![ConceptId(0)]
+        );
+        // Unknown node: empty.
+        assert!(t
+            .lowest_common_ancestors(ConceptId(0), ConceptId(99))
+            .is_empty());
+    }
+
+    #[test]
+    fn root_path_reaches_root() {
+        let t = diamond();
+        let path = t.root_path(ConceptId(3));
+        assert_eq!(path.first(), Some(&ConceptId(0)));
+        assert_eq!(path.last(), Some(&ConceptId(3)));
+        // Consecutive entries are edges.
+        for w in path.windows(2) {
+            assert!(t.contains_edge(w[0], w[1]));
+        }
+        assert_eq!(t.root_path(ConceptId(0)), vec![ConceptId(0)]);
+        assert!(t.root_path(ConceptId(42)).is_empty());
+    }
+
+    #[test]
+    fn subtree_extracts_descendant_closure() {
+        let t = diamond();
+        let sub = t.subtree(ConceptId(1));
+        assert_eq!(sub.node_count(), 3); // 1, 3, 4
+        assert!(sub.contains_edge(ConceptId(1), ConceptId(3)));
+        assert!(sub.contains_edge(ConceptId(1), ConceptId(4)));
+        assert!(!sub.contains_node(ConceptId(2)));
+        // The cross-edge 2 -> 3 is dropped because 2 is outside.
+        assert_eq!(sub.edge_count(), 2);
+    }
+
+    #[test]
+    fn diff_detects_expansion() {
+        let before = diamond();
+        let mut after = before.clone();
+        after.add_edge(ConceptId(4), ConceptId(7)).unwrap();
+        let d = before.diff(&after);
+        assert_eq!(d.added_nodes, vec![ConceptId(7)]);
+        assert_eq!(d.added_edges, vec![Edge::new(ConceptId(4), ConceptId(7))]);
+        assert!(d.removed_nodes.is_empty());
+        assert!(d.removed_edges.is_empty());
+        assert!(before.diff(&before).is_empty());
+        // Symmetric direction reports removals.
+        let back = after.diff(&before);
+        assert_eq!(back.removed_nodes, vec![ConceptId(7)]);
+    }
+}

@@ -1,0 +1,130 @@
+use crate::{ConceptId, Taxonomy, Vocabulary};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Options for [`Taxonomy::to_dot`].
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name.
+    pub name: String,
+    /// Highlight these nodes (e.g. freshly attached concepts).
+    pub highlight: HashSet<ConceptId>,
+    /// Limit the rendered node count (breadth-first from the roots);
+    /// `None` renders everything.
+    pub max_nodes: Option<usize>,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "taxonomy".to_owned(),
+            highlight: HashSet::new(),
+            max_nodes: None,
+        }
+    }
+}
+
+fn escape(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl Taxonomy {
+    /// Renders the taxonomy as Graphviz DOT, suitable for
+    /// `dot -Tsvg taxonomy.dot`. Highlighted nodes are filled; when
+    /// `max_nodes` truncates, a comment records how many nodes were
+    /// dropped.
+    pub fn to_dot(&self, vocab: &Vocabulary, opts: &DotOptions) -> String {
+        // Breadth-first selection keeps the rendered fragment connected.
+        let lo = crate::LevelOrder::new(self);
+        let selected: Vec<ConceptId> = match opts.max_nodes {
+            Some(k) => lo.iter().take(k).collect(),
+            None => lo.iter().collect(),
+        };
+        let selected_set: HashSet<ConceptId> = selected.iter().copied().collect();
+
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", escape(&opts.name));
+        let _ = writeln!(out, "  rankdir=TB;");
+        let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+        for &n in &selected {
+            let style = if opts.highlight.contains(&n) {
+                ", style=filled, fillcolor=\"#ffd7a8\""
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}\"{}];",
+                n.0,
+                escape(vocab.name(n)),
+                style
+            );
+        }
+        for e in self.edges() {
+            if selected_set.contains(&e.parent) && selected_set.contains(&e.child) {
+                let _ = writeln!(out, "  n{} -> n{};", e.parent.0, e.child.0);
+            }
+        }
+        if selected.len() < self.node_count() {
+            let _ = writeln!(
+                out,
+                "  // {} nodes omitted by max_nodes",
+                self.node_count() - selected.len()
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Taxonomy, Vocabulary) {
+        let mut vocab = Vocabulary::new();
+        let a = vocab.intern("food");
+        let b = vocab.intern("breado \"special\"");
+        let c = vocab.intern("toasti");
+        let mut t = Taxonomy::new();
+        t.add_edge(a, b).unwrap();
+        t.add_edge(b, c).unwrap();
+        (t, vocab)
+    }
+
+    #[test]
+    fn renders_nodes_edges_and_escapes_quotes() {
+        let (t, vocab) = setup();
+        let dot = t.to_dot(&vocab, &DotOptions::default());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("n1 -> n2;"));
+        assert!(dot.contains("breado \\\"special\\\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn highlight_changes_style() {
+        let (t, vocab) = setup();
+        let mut opts = DotOptions::default();
+        opts.highlight.insert(ConceptId(2));
+        let dot = t.to_dot(&vocab, &opts);
+        assert!(dot.contains("n2 [label=\"toasti\", style=filled"));
+        assert!(!dot.contains("n0 [label=\"food\", style=filled"));
+    }
+
+    #[test]
+    fn max_nodes_truncates_breadth_first() {
+        let (t, vocab) = setup();
+        let dot = t.to_dot(
+            &vocab,
+            &DotOptions {
+                max_nodes: Some(2),
+                ..Default::default()
+            },
+        );
+        assert!(dot.contains("n0 ->"));
+        assert!(!dot.contains("n2 [label"));
+        assert!(dot.contains("1 nodes omitted"));
+    }
+}

@@ -1,0 +1,59 @@
+use crate::ConceptId;
+use std::fmt;
+
+/// Errors raised by taxonomy mutation and parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaxoError {
+    /// Adding the edge would create a directed cycle.
+    WouldCycle { parent: ConceptId, child: ConceptId },
+    /// An edge from a node to itself was requested.
+    SelfLoop(ConceptId),
+    /// The edge is already present.
+    DuplicateEdge { parent: ConceptId, child: ConceptId },
+    /// A TSV line could not be parsed.
+    Parse { line: usize, message: String },
+}
+
+impl fmt::Display for TaxoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaxoError::WouldCycle { parent, child } => {
+                write!(f, "edge {parent} -> {child} would create a cycle")
+            }
+            TaxoError::SelfLoop(id) => write!(f, "self-loop on concept {id}"),
+            TaxoError::DuplicateEdge { parent, child } => {
+                write!(f, "edge {parent} -> {child} already present")
+            }
+            TaxoError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaxoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TaxoError::WouldCycle {
+            parent: ConceptId(1),
+            child: ConceptId(2),
+        };
+        assert!(e.to_string().contains("cycle"));
+        assert!(TaxoError::SelfLoop(ConceptId(3)).to_string().contains("self-loop"));
+        let d = TaxoError::DuplicateEdge {
+            parent: ConceptId(1),
+            child: ConceptId(2),
+        };
+        assert!(d.to_string().contains("already present"));
+        let p = TaxoError::Parse {
+            line: 9,
+            message: "bad".into(),
+        };
+        assert!(p.to_string().contains("line 9"));
+    }
+}

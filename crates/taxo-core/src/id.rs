@@ -1,0 +1,69 @@
+use std::fmt;
+
+/// A compact handle for an interned concept name.
+///
+/// Concept ids are dense `u32` indices assigned by a [`crate::Vocabulary`]
+/// in interning order, so they double as array indices throughout the
+/// workspace (taxonomies, graphs, and embedding tables all store per-concept
+/// state in flat `Vec`s indexed by `ConceptId`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConceptId(pub u32);
+
+impl ConceptId {
+    /// The id as a `usize` array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `ConceptId` from an array index.
+    ///
+    /// # Panics
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        ConceptId(u32::try_from(index).expect("concept index overflows u32"))
+    }
+}
+
+impl fmt::Debug for ConceptId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for ConceptId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for i in [0usize, 1, 42, 65_535, 1_000_000] {
+            assert_eq!(ConceptId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(ConceptId(1) < ConceptId(2));
+        assert_eq!(ConceptId(7), ConceptId(7));
+    }
+
+    #[test]
+    fn debug_and_display() {
+        assert_eq!(format!("{:?}", ConceptId(3)), "c3");
+        assert_eq!(format!("{}", ConceptId(3)), "3");
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn from_index_overflow_panics() {
+        let _ = ConceptId::from_index(u32::MAX as usize + 1);
+    }
+}

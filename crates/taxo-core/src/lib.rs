@@ -1,0 +1,46 @@
+//! Taxonomy substrate: concept identifiers, interned vocabularies, and
+//! DAG-shaped taxonomies with the traversal and pruning operations the
+//! expansion framework needs.
+//!
+//! A [`Taxonomy`] is a multi-parent directed acyclic graph in which each
+//! directed edge `<parent, child>` asserts a hyponymy relation ("child IsA
+//! parent"), following Definition 1 of the paper. The paper treats the
+//! existing taxonomy as a tree but explicitly drops the single-parent
+//! assumption during expansion (Section II-B), so the data structure allows
+//! multiple parents from the start.
+//!
+//! # Example
+//!
+//! ```
+//! use taxo_core::{Taxonomy, Vocabulary};
+//!
+//! let mut vocab = Vocabulary::new();
+//! let food = vocab.intern("food");
+//! let bread = vocab.intern("bread");
+//! let toast = vocab.intern("toast");
+//!
+//! let mut taxo = Taxonomy::new();
+//! taxo.add_edge(food, bread).unwrap();
+//! taxo.add_edge(bread, toast).unwrap();
+//!
+//! assert!(taxo.is_ancestor(food, toast));
+//! assert_eq!(taxo.roots(), vec![food]);
+//! ```
+
+mod analysis;
+mod dot;
+mod error;
+mod id;
+mod reduction;
+mod taxonomy;
+mod traversal;
+mod tsv;
+mod vocab;
+
+pub use analysis::{TaxonomyDiff, TaxonomyStats};
+pub use dot::DotOptions;
+pub use error::TaxoError;
+pub use id::ConceptId;
+pub use taxonomy::{Edge, Taxonomy};
+pub use traversal::LevelOrder;
+pub use vocab::Vocabulary;

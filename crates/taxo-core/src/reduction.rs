@@ -1,0 +1,108 @@
+use crate::{Edge, Taxonomy};
+
+impl Taxonomy {
+    /// Removes every edge `<p, c>` for which another directed path from
+    /// `p` to `c` exists — the redundancy pruning the paper applies after
+    /// top-down expansion ("we prune the expanded taxonomy to assure that
+    /// there is no redundant edge that can infer from the path",
+    /// Section III-C3, citing the transitivity of hyponymy).
+    ///
+    /// Returns the removed edges.
+    pub fn transitive_reduction(&mut self) -> Vec<Edge> {
+        let candidates: Vec<Edge> = self.edges().collect();
+        let mut removed = Vec::new();
+        for e in candidates {
+            // Temporarily drop the edge; if the parent still reaches the
+            // child, the edge was redundant.
+            self.remove_edge(e.parent, e.child);
+            if self.is_ancestor(e.parent, e.child) {
+                removed.push(e);
+            } else {
+                self.add_edge(e.parent, e.child)
+                    .expect("re-adding a just-removed edge cannot fail");
+            }
+        }
+        removed
+    }
+
+    /// Whether the taxonomy contains no transitively redundant edge.
+    pub fn is_transitively_reduced(&self) -> bool {
+        self.edges().all(|e| {
+            // An edge is redundant iff some other child of `parent` is an
+            // ancestor of `child`.
+            !self
+                .children(e.parent)
+                .iter()
+                .any(|&mid| mid != e.child && self.is_ancestor(mid, e.child))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ConceptId, Edge, Taxonomy};
+
+    fn ids(n: u32) -> Vec<ConceptId> {
+        (0..n).map(ConceptId).collect()
+    }
+
+    #[test]
+    fn removes_shortcut_edge() {
+        let c = ids(3);
+        let mut t = Taxonomy::new();
+        t.add_edge(c[0], c[1]).unwrap();
+        t.add_edge(c[1], c[2]).unwrap();
+        t.add_edge(c[0], c[2]).unwrap(); // redundant shortcut
+        let removed = t.transitive_reduction();
+        assert_eq!(removed, vec![Edge::new(c[0], c[2])]);
+        assert_eq!(t.edge_count(), 2);
+        assert!(t.is_transitively_reduced());
+    }
+
+    #[test]
+    fn keeps_diamond_edges() {
+        // 0 -> 1 -> 3 and 0 -> 2 -> 3: nothing is redundant.
+        let c = ids(4);
+        let mut t = Taxonomy::new();
+        t.add_edge(c[0], c[1]).unwrap();
+        t.add_edge(c[0], c[2]).unwrap();
+        t.add_edge(c[1], c[3]).unwrap();
+        t.add_edge(c[2], c[3]).unwrap();
+        assert!(t.transitive_reduction().is_empty());
+        assert_eq!(t.edge_count(), 4);
+    }
+
+    #[test]
+    fn long_shortcut() {
+        let c = ids(4);
+        let mut t = Taxonomy::new();
+        t.add_edge(c[0], c[1]).unwrap();
+        t.add_edge(c[1], c[2]).unwrap();
+        t.add_edge(c[2], c[3]).unwrap();
+        t.add_edge(c[0], c[3]).unwrap(); // skips two levels
+        let removed = t.transitive_reduction();
+        assert_eq!(removed, vec![Edge::new(c[0], c[3])]);
+    }
+
+    #[test]
+    fn idempotent() {
+        let c = ids(4);
+        let mut t = Taxonomy::new();
+        t.add_edge(c[0], c[1]).unwrap();
+        t.add_edge(c[1], c[2]).unwrap();
+        t.add_edge(c[0], c[2]).unwrap();
+        t.transitive_reduction();
+        assert!(t.transitive_reduction().is_empty());
+    }
+
+    #[test]
+    fn reduced_predicate_detects_redundancy() {
+        let c = ids(3);
+        let mut t = Taxonomy::new();
+        t.add_edge(c[0], c[1]).unwrap();
+        t.add_edge(c[1], c[2]).unwrap();
+        assert!(t.is_transitively_reduced());
+        t.add_edge(c[0], c[2]).unwrap();
+        assert!(!t.is_transitively_reduced());
+    }
+}

@@ -1,0 +1,422 @@
+use crate::{ConceptId, TaxoError};
+use std::collections::HashSet;
+
+/// A directed hyponymy edge `<parent, child>`: "child IsA parent".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    pub parent: ConceptId,
+    pub child: ConceptId,
+}
+
+impl Edge {
+    pub fn new(parent: ConceptId, child: ConceptId) -> Self {
+        Edge { parent, child }
+    }
+}
+
+/// A multi-parent DAG taxonomy over [`ConceptId`]s.
+///
+/// Nodes are added implicitly by [`Taxonomy::add_edge`] or explicitly by
+/// [`Taxonomy::add_node`] (isolated nodes are legal: a freshly attached
+/// concept starts with no children). Acyclicity is an enforced invariant:
+/// `add_edge` rejects self-loops and edges that would close a directed
+/// cycle.
+///
+/// Adjacency is stored in dense per-node `Vec`s indexed by the concept id,
+/// which makes membership, parent, and child queries O(1)/O(degree) without
+/// hashing — the taxonomy is traversed millions of times during training.
+#[derive(Debug, Clone, Default)]
+pub struct Taxonomy {
+    /// children[i] = hyponyms of concept i (only meaningful if member[i]).
+    children: Vec<Vec<ConceptId>>,
+    /// parents[i] = hypernyms of concept i.
+    parents: Vec<Vec<ConceptId>>,
+    /// member[i] = whether concept i is a node of this taxonomy.
+    member: Vec<bool>,
+    node_count: usize,
+    edge_count: usize,
+}
+
+impl Taxonomy {
+    /// Creates an empty taxonomy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure_slot(&mut self, id: ConceptId) {
+        let need = id.index() + 1;
+        if self.children.len() < need {
+            self.children.resize_with(need, Vec::new);
+            self.parents.resize_with(need, Vec::new);
+            self.member.resize(need, false);
+        }
+    }
+
+    /// Adds `id` as an (initially isolated) node. Idempotent.
+    pub fn add_node(&mut self, id: ConceptId) {
+        self.ensure_slot(id);
+        if !self.member[id.index()] {
+            self.member[id.index()] = true;
+            self.node_count += 1;
+        }
+    }
+
+    /// Adds the hyponymy edge `<parent, child>`, inserting both endpoints
+    /// as nodes if necessary.
+    ///
+    /// # Errors
+    /// * [`TaxoError::SelfLoop`] if `parent == child`;
+    /// * [`TaxoError::DuplicateEdge`] if the edge already exists;
+    /// * [`TaxoError::WouldCycle`] if `parent` is already a descendant of
+    ///   `child`.
+    pub fn add_edge(&mut self, parent: ConceptId, child: ConceptId) -> Result<(), TaxoError> {
+        if parent == child {
+            return Err(TaxoError::SelfLoop(parent));
+        }
+        self.add_node(parent);
+        self.add_node(child);
+        if self.children[parent.index()].contains(&child) {
+            return Err(TaxoError::DuplicateEdge { parent, child });
+        }
+        // The edge parent -> child closes a cycle iff child already reaches
+        // parent through existing edges.
+        if self.is_ancestor(child, parent) {
+            return Err(TaxoError::WouldCycle { parent, child });
+        }
+        self.children[parent.index()].push(child);
+        self.parents[child.index()].push(parent);
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Removes the edge if present; returns whether it was removed.
+    pub fn remove_edge(&mut self, parent: ConceptId, child: ConceptId) -> bool {
+        if !self.contains_node(parent) || !self.contains_node(child) {
+            return false;
+        }
+        let kids = &mut self.children[parent.index()];
+        let Some(pos) = kids.iter().position(|&c| c == child) else {
+            return false;
+        };
+        kids.remove(pos);
+        let pars = &mut self.parents[child.index()];
+        let ppos = pars
+            .iter()
+            .position(|&p| p == parent)
+            .expect("parent/child adjacency out of sync");
+        pars.remove(ppos);
+        self.edge_count -= 1;
+        true
+    }
+
+    /// Whether `id` is a node of this taxonomy.
+    pub fn contains_node(&self, id: ConceptId) -> bool {
+        self.member.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Whether the edge `<parent, child>` exists.
+    pub fn contains_edge(&self, parent: ConceptId, child: ConceptId) -> bool {
+        self.contains_node(parent) && self.children[parent.index()].contains(&child)
+    }
+
+    /// Direct hyponyms of `id` (empty slice for non-members).
+    pub fn children(&self, id: ConceptId) -> &[ConceptId] {
+        if self.contains_node(id) {
+            &self.children[id.index()]
+        } else {
+            &[]
+        }
+    }
+
+    /// Direct hypernyms of `id` (empty slice for non-members).
+    pub fn parents(&self, id: ConceptId) -> &[ConceptId] {
+        if self.contains_node(id) {
+            &self.parents[id.index()]
+        } else {
+            &[]
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterates over all nodes in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = ConceptId> + '_ {
+        self.member
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| ConceptId::from_index(i))
+    }
+
+    /// Iterates over all edges (parent-id order, then insertion order).
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.nodes().flat_map(move |p| {
+            self.children[p.index()]
+                .iter()
+                .map(move |&c| Edge::new(p, c))
+        })
+    }
+
+    /// Nodes with no parents.
+    pub fn roots(&self) -> Vec<ConceptId> {
+        self.nodes()
+            .filter(|id| self.parents[id.index()].is_empty())
+            .collect()
+    }
+
+    /// Nodes with no children.
+    pub fn leaves(&self) -> Vec<ConceptId> {
+        self.nodes()
+            .filter(|id| self.children[id.index()].is_empty())
+            .collect()
+    }
+
+    /// Whether `ancestor` reaches `node` through one or more edges.
+    ///
+    /// `is_ancestor(x, x)` is `false`: a node is not its own ancestor.
+    pub fn is_ancestor(&self, ancestor: ConceptId, node: ConceptId) -> bool {
+        if !self.contains_node(ancestor) || !self.contains_node(node) {
+            return false;
+        }
+        // DFS upward from `node`; taxonomies are shallow so this is cheap.
+        let mut stack: Vec<ConceptId> = self.parents[node.index()].clone();
+        let mut seen: HashSet<ConceptId> = stack.iter().copied().collect();
+        while let Some(p) = stack.pop() {
+            if p == ancestor {
+                return true;
+            }
+            for &gp in &self.parents[p.index()] {
+                if seen.insert(gp) {
+                    stack.push(gp);
+                }
+            }
+        }
+        false
+    }
+
+    /// All strict ancestors of `id` (unordered).
+    pub fn ancestors(&self, id: ConceptId) -> Vec<ConceptId> {
+        let mut out = Vec::new();
+        if !self.contains_node(id) {
+            return out;
+        }
+        let mut seen = HashSet::new();
+        let mut stack: Vec<ConceptId> = self.parents[id.index()].clone();
+        while let Some(p) = stack.pop() {
+            if seen.insert(p) {
+                out.push(p);
+                stack.extend(self.parents[p.index()].iter().copied());
+            }
+        }
+        out
+    }
+
+    /// All strict descendants of `id` (unordered).
+    pub fn descendants(&self, id: ConceptId) -> Vec<ConceptId> {
+        let mut out = Vec::new();
+        if !self.contains_node(id) {
+            return out;
+        }
+        let mut seen = HashSet::new();
+        let mut stack: Vec<ConceptId> = self.children[id.index()].clone();
+        while let Some(c) = stack.pop() {
+            if seen.insert(c) {
+                out.push(c);
+                stack.extend(self.children[c.index()].iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Depth of a node: 1 for roots, otherwise 1 + max parent depth.
+    /// Returns 0 for non-members.
+    pub fn node_depth(&self, id: ConceptId) -> usize {
+        if !self.contains_node(id) {
+            return 0;
+        }
+        let mut best = 0usize;
+        for &p in &self.parents[id.index()] {
+            best = best.max(self.node_depth(p));
+        }
+        best + 1
+    }
+
+    /// Depth of the taxonomy: the number of levels (`|D|` in Table II).
+    pub fn depth(&self) -> usize {
+        crate::traversal::LevelOrder::new(self).levels().len()
+    }
+
+    /// The set of all ancestor-descendant pairs as edges — the relaxed
+    /// ground truth `E*_gt` used by Ancestor-F1 (Eq. 19).
+    pub fn ancestor_closure(&self) -> HashSet<Edge> {
+        let mut closure = HashSet::with_capacity(self.edge_count * 2);
+        for n in self.nodes() {
+            for a in self.ancestors(n) {
+                closure.insert(Edge::new(a, n));
+            }
+        }
+        closure
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: u32) -> Vec<ConceptId> {
+        (0..n).map(ConceptId).collect()
+    }
+
+    #[test]
+    fn build_small_chain() {
+        let c = ids(3);
+        let mut t = Taxonomy::new();
+        t.add_edge(c[0], c[1]).unwrap();
+        t.add_edge(c[1], c[2]).unwrap();
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.edge_count(), 2);
+        assert_eq!(t.children(c[0]), &[c[1]]);
+        assert_eq!(t.parents(c[2]), &[c[1]]);
+        assert_eq!(t.roots(), vec![c[0]]);
+        assert_eq!(t.leaves(), vec![c[2]]);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut t = Taxonomy::new();
+        assert_eq!(
+            t.add_edge(ConceptId(0), ConceptId(0)),
+            Err(TaxoError::SelfLoop(ConceptId(0)))
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let c = ids(2);
+        let mut t = Taxonomy::new();
+        t.add_edge(c[0], c[1]).unwrap();
+        assert!(matches!(
+            t.add_edge(c[0], c[1]),
+            Err(TaxoError::DuplicateEdge { .. })
+        ));
+        assert_eq!(t.edge_count(), 1);
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let c = ids(3);
+        let mut t = Taxonomy::new();
+        t.add_edge(c[0], c[1]).unwrap();
+        t.add_edge(c[1], c[2]).unwrap();
+        assert!(matches!(
+            t.add_edge(c[2], c[0]),
+            Err(TaxoError::WouldCycle { .. })
+        ));
+        // Direct back-edge is also a cycle.
+        assert!(matches!(
+            t.add_edge(c[1], c[0]),
+            Err(TaxoError::WouldCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_parent_allowed() {
+        let c = ids(3);
+        let mut t = Taxonomy::new();
+        t.add_edge(c[0], c[2]).unwrap();
+        t.add_edge(c[1], c[2]).unwrap();
+        let mut parents = t.parents(c[2]).to_vec();
+        parents.sort();
+        assert_eq!(parents, vec![c[0], c[1]]);
+    }
+
+    #[test]
+    fn ancestor_queries() {
+        let c = ids(4);
+        let mut t = Taxonomy::new();
+        t.add_edge(c[0], c[1]).unwrap();
+        t.add_edge(c[1], c[2]).unwrap();
+        t.add_edge(c[1], c[3]).unwrap();
+        assert!(t.is_ancestor(c[0], c[2]));
+        assert!(t.is_ancestor(c[0], c[3]));
+        assert!(!t.is_ancestor(c[2], c[0]));
+        assert!(!t.is_ancestor(c[2], c[2]), "a node is not its own ancestor");
+        let mut anc = t.ancestors(c[2]);
+        anc.sort();
+        assert_eq!(anc, vec![c[0], c[1]]);
+        let mut desc = t.descendants(c[0]);
+        desc.sort();
+        assert_eq!(desc, vec![c[1], c[2], c[3]]);
+    }
+
+    #[test]
+    fn remove_edge_keeps_counts_consistent() {
+        let c = ids(2);
+        let mut t = Taxonomy::new();
+        t.add_edge(c[0], c[1]).unwrap();
+        assert!(t.remove_edge(c[0], c[1]));
+        assert!(!t.remove_edge(c[0], c[1]));
+        assert_eq!(t.edge_count(), 0);
+        assert_eq!(t.node_count(), 2);
+        assert!(!t.contains_edge(c[0], c[1]));
+        // After removal, re-adding is fine (no stale cycle/dup state).
+        t.add_edge(c[0], c[1]).unwrap();
+        assert_eq!(t.edge_count(), 1);
+    }
+
+    #[test]
+    fn depth_and_node_depth() {
+        let c = ids(4);
+        let mut t = Taxonomy::new();
+        t.add_edge(c[0], c[1]).unwrap();
+        t.add_edge(c[1], c[2]).unwrap();
+        t.add_edge(c[0], c[3]).unwrap();
+        assert_eq!(t.node_depth(c[0]), 1);
+        assert_eq!(t.node_depth(c[2]), 3);
+        assert_eq!(t.depth(), 3);
+    }
+
+    #[test]
+    fn ancestor_closure_contains_transitive_pairs() {
+        let c = ids(3);
+        let mut t = Taxonomy::new();
+        t.add_edge(c[0], c[1]).unwrap();
+        t.add_edge(c[1], c[2]).unwrap();
+        let closure = t.ancestor_closure();
+        assert!(closure.contains(&Edge::new(c[0], c[2])));
+        assert!(closure.contains(&Edge::new(c[0], c[1])));
+        assert!(closure.contains(&Edge::new(c[1], c[2])));
+        assert_eq!(closure.len(), 3);
+    }
+
+    #[test]
+    fn isolated_node() {
+        let mut t = Taxonomy::new();
+        t.add_node(ConceptId(5));
+        assert!(t.contains_node(ConceptId(5)));
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.roots(), vec![ConceptId(5)]);
+        assert_eq!(t.leaves(), vec![ConceptId(5)]);
+        assert_eq!(t.children(ConceptId(99)), &[] as &[ConceptId]);
+    }
+
+    #[test]
+    fn edges_iterator_matches_count() {
+        let c = ids(4);
+        let mut t = Taxonomy::new();
+        t.add_edge(c[0], c[1]).unwrap();
+        t.add_edge(c[0], c[2]).unwrap();
+        t.add_edge(c[2], c[3]).unwrap();
+        let edges: Vec<_> = t.edges().collect();
+        assert_eq!(edges.len(), t.edge_count());
+        assert!(edges.contains(&Edge::new(c[2], c[3])));
+    }
+}

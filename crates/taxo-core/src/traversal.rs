@@ -1,0 +1,128 @@
+use crate::{ConceptId, Taxonomy};
+
+/// Level-order (breadth-first, by depth) view of a taxonomy.
+///
+/// The top-down inference strategy of the paper (Fig. 2) "traverses the
+/// existing taxonomy in level-order", attaching predictions level by level
+/// so that newly attached nodes are themselves considered when the next
+/// level is processed.
+///
+/// A node with multiple parents is placed on the level of its *deepest*
+/// parent plus one, i.e. levels are computed with longest-path depth, so a
+/// node is visited only after all of its parents.
+#[derive(Debug, Clone)]
+pub struct LevelOrder {
+    levels: Vec<Vec<ConceptId>>,
+}
+
+impl LevelOrder {
+    /// Computes the level decomposition of `taxo`.
+    pub fn new(taxo: &Taxonomy) -> Self {
+        // Kahn-style longest-path layering.
+        let max_index = taxo.nodes().map(|n| n.index()).max().map_or(0, |m| m + 1);
+        let mut level = vec![0usize; max_index];
+        let mut indeg = vec![0usize; max_index];
+        for n in taxo.nodes() {
+            indeg[n.index()] = taxo.parents(n).len();
+        }
+        let mut queue: Vec<ConceptId> = taxo
+            .nodes()
+            .filter(|n| indeg[n.index()] == 0)
+            .collect();
+        let mut head = 0;
+        while head < queue.len() {
+            let n = queue[head];
+            head += 1;
+            for &c in taxo.children(n) {
+                level[c.index()] = level[c.index()].max(level[n.index()] + 1);
+                indeg[c.index()] -= 1;
+                if indeg[c.index()] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        let max_level = taxo.nodes().map(|n| level[n.index()]).max().unwrap_or(0);
+        let mut levels = vec![Vec::new(); if taxo.node_count() == 0 { 0 } else { max_level + 1 }];
+        for n in taxo.nodes() {
+            levels[level[n.index()]].push(n);
+        }
+        LevelOrder { levels }
+    }
+
+    /// The nodes grouped by level, roots first.
+    pub fn levels(&self) -> &[Vec<ConceptId>] {
+        &self.levels
+    }
+
+    /// Flattened level-order iteration.
+    pub fn iter(&self) -> impl Iterator<Item = ConceptId> + '_ {
+        self.levels.iter().flatten().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_levels() {
+        let mut t = Taxonomy::new();
+        let c: Vec<_> = (0..3).map(ConceptId).collect();
+        t.add_edge(c[0], c[1]).unwrap();
+        t.add_edge(c[1], c[2]).unwrap();
+        let lo = LevelOrder::new(&t);
+        assert_eq!(lo.levels(), &[vec![c[0]], vec![c[1]], vec![c[2]]]);
+    }
+
+    #[test]
+    fn diamond_places_node_after_deepest_parent() {
+        // 0 -> 1 -> 3, 0 -> 3: node 3 must be on level 2, after node 1.
+        let mut t = Taxonomy::new();
+        let c: Vec<_> = (0..4).map(ConceptId).collect();
+        t.add_edge(c[0], c[1]).unwrap();
+        t.add_edge(c[1], c[3]).unwrap();
+        t.add_edge(c[0], c[3]).unwrap();
+        t.add_edge(c[0], c[2]).unwrap();
+        let lo = LevelOrder::new(&t);
+        assert_eq!(lo.levels()[0], vec![c[0]]);
+        assert!(lo.levels()[1].contains(&c[1]));
+        assert!(lo.levels()[1].contains(&c[2]));
+        assert_eq!(lo.levels()[2], vec![c[3]]);
+    }
+
+    #[test]
+    fn every_node_after_its_parents() {
+        let mut t = Taxonomy::new();
+        let c: Vec<_> = (0..7).map(ConceptId).collect();
+        for &(p, ch) in &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (1, 5), (5, 6)] {
+            t.add_edge(c[p], c[ch]).unwrap();
+        }
+        let lo = LevelOrder::new(&t);
+        let pos: std::collections::HashMap<_, _> = lo
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n, i))
+            .collect();
+        for e in t.edges() {
+            assert!(pos[&e.parent] < pos[&e.child], "{e:?} out of order");
+        }
+        assert_eq!(pos.len(), t.node_count());
+    }
+
+    #[test]
+    fn empty_taxonomy() {
+        let lo = LevelOrder::new(&Taxonomy::new());
+        assert!(lo.levels().is_empty());
+        assert_eq!(lo.iter().count(), 0);
+    }
+
+    #[test]
+    fn forest_roots_on_level_zero() {
+        let mut t = Taxonomy::new();
+        t.add_edge(ConceptId(0), ConceptId(1)).unwrap();
+        t.add_node(ConceptId(2));
+        let lo = LevelOrder::new(&t);
+        assert!(lo.levels()[0].contains(&ConceptId(0)));
+        assert!(lo.levels()[0].contains(&ConceptId(2)));
+    }
+}

@@ -1,0 +1,107 @@
+use crate::{TaxoError, Taxonomy, Vocabulary};
+use std::fmt::Write as _;
+
+impl Taxonomy {
+    /// Serialises the taxonomy as one `parent\tchild` line per edge, with
+    /// isolated nodes emitted as single-column lines. Names are resolved
+    /// through `vocab`.
+    pub fn to_tsv(&self, vocab: &Vocabulary) -> String {
+        let mut out = String::new();
+        for e in self.edges() {
+            let _ = writeln!(out, "{}\t{}", vocab.name(e.parent), vocab.name(e.child));
+        }
+        for n in self.nodes() {
+            if self.parents(n).is_empty() && self.children(n).is_empty() {
+                let _ = writeln!(out, "{}", vocab.name(n));
+            }
+        }
+        out
+    }
+
+    /// Parses a taxonomy from the format produced by [`Taxonomy::to_tsv`],
+    /// interning names into `vocab`. Blank lines are skipped.
+    pub fn from_tsv(text: &str, vocab: &mut Vocabulary) -> Result<Self, TaxoError> {
+        let mut taxo = Taxonomy::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim_end_matches('\r');
+            if line.is_empty() {
+                continue;
+            }
+            let mut cols = line.split('\t');
+            let first = cols.next().expect("split yields at least one item");
+            match cols.next() {
+                None => taxo.add_node(vocab.intern(first)),
+                Some(second) => {
+                    if cols.next().is_some() {
+                        return Err(TaxoError::Parse {
+                            line: i + 1,
+                            message: "more than two columns".into(),
+                        });
+                    }
+                    let p = vocab.intern(first);
+                    let c = vocab.intern(second);
+                    taxo.add_edge(p, c).map_err(|e| TaxoError::Parse {
+                        line: i + 1,
+                        message: e.to_string(),
+                    })?;
+                }
+            }
+        }
+        Ok(taxo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut vocab = Vocabulary::new();
+        let food = vocab.intern("food");
+        let bread = vocab.intern("bread");
+        let toast = vocab.intern("toast");
+        let lonely = vocab.intern("lonely");
+        let mut t = Taxonomy::new();
+        t.add_edge(food, bread).unwrap();
+        t.add_edge(bread, toast).unwrap();
+        t.add_node(lonely);
+
+        let tsv = t.to_tsv(&vocab);
+        let mut vocab2 = Vocabulary::new();
+        let t2 = Taxonomy::from_tsv(&tsv, &mut vocab2).unwrap();
+        assert_eq!(t2.node_count(), 4);
+        assert_eq!(t2.edge_count(), 2);
+        let bread2 = vocab2.get("bread").unwrap();
+        let toast2 = vocab2.get("toast").unwrap();
+        assert!(t2.contains_edge(bread2, toast2));
+        assert!(t2.contains_node(vocab2.get("lonely").unwrap()));
+    }
+
+    #[test]
+    fn rejects_three_columns() {
+        let mut vocab = Vocabulary::new();
+        let err = Taxonomy::from_tsv("a\tb\tc\n", &mut vocab).unwrap_err();
+        assert!(matches!(err, TaxoError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_cycle_with_line_number() {
+        let mut vocab = Vocabulary::new();
+        let err = Taxonomy::from_tsv("a\tb\nb\ta\n", &mut vocab).unwrap_err();
+        match err {
+            TaxoError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("cycle"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let mut vocab = Vocabulary::new();
+        let t = Taxonomy::from_tsv("a\tb\n\n\nb\tc\n", &mut vocab).unwrap();
+        assert_eq!(t.edge_count(), 2);
+    }
+}

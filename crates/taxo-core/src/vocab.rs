@@ -1,0 +1,123 @@
+use crate::ConceptId;
+use std::collections::HashMap;
+
+/// An interner mapping concept surface strings to dense [`ConceptId`]s.
+///
+/// Every component of the system — taxonomies, click graphs, embedding
+/// tables, dataset generators — shares one vocabulary so that a concept is
+/// identified by the same id everywhere. Definition 2 of the paper calls
+/// this the *clean concept vocabulary* `C`.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    names: Vec<String>,
+    index: HashMap<String, ConceptId>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty vocabulary with room for `cap` concepts.
+    pub fn with_capacity(cap: usize) -> Self {
+        Vocabulary {
+            names: Vec::with_capacity(cap),
+            index: HashMap::with_capacity(cap),
+        }
+    }
+
+    /// Interns `name`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> ConceptId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = ConceptId::from_index(self.names.len());
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned concept.
+    pub fn get(&self, name: &str) -> Option<ConceptId> {
+        self.index.get(name).copied()
+    }
+
+    /// Returns the surface string of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this vocabulary.
+    pub fn name(&self, id: ConceptId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned concepts.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (ConceptId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (ConceptId::from_index(i), n.as_str()))
+    }
+
+    /// All ids in interning order.
+    pub fn ids(&self) -> impl Iterator<Item = ConceptId> + '_ {
+        (0..self.names.len()).map(ConceptId::from_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("bread");
+        let b = v.intern("bread");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut v = Vocabulary::new();
+        let ids: Vec<_> = ["a", "b", "c"].iter().map(|s| v.intern(s)).collect();
+        assert_eq!(ids, vec![ConceptId(0), ConceptId(1), ConceptId(2)]);
+        assert_eq!(v.ids().collect::<Vec<_>>(), ids);
+    }
+
+    #[test]
+    fn name_round_trip() {
+        let mut v = Vocabulary::new();
+        let id = v.intern("cheese bun");
+        assert_eq!(v.name(id), "cheese bun");
+        assert_eq!(v.get("cheese bun"), Some(id));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut v = Vocabulary::new();
+        v.intern("x");
+        v.intern("y");
+        let pairs: Vec<_> = v.iter().map(|(id, n)| (id.0, n.to_owned())).collect();
+        assert_eq!(pairs, vec![(0, "x".to_owned()), (1, "y".to_owned())]);
+    }
+
+    #[test]
+    fn empty_checks() {
+        let v = Vocabulary::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the taxonomy substrate.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use taxo_core::{ConceptId, Edge, Taxonomy, Vocabulary};
+
+/// Builds a random DAG from a list of (a, b) pairs by always directing
+/// edges from the smaller to the larger id, which guarantees acyclicity of
+/// the *intended* edge set; duplicates/self-loops are skipped.
+fn build_dag(pairs: &[(u32, u32)]) -> Taxonomy {
+    let mut t = Taxonomy::new();
+    for &(a, b) in pairs {
+        let (p, c) = if a < b { (a, b) } else { (b, a) };
+        if p == c {
+            continue;
+        }
+        let _ = t.add_edge(ConceptId(p), ConceptId(c));
+    }
+    t
+}
+
+fn edge_pairs() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0u32..24, 0u32..24), 0..80)
+}
+
+proptest! {
+    #[test]
+    fn dag_has_topological_order(pairs in edge_pairs()) {
+        let t = build_dag(&pairs);
+        let lo = taxo_core::LevelOrder::new(&t);
+        // Every node appears exactly once.
+        let seen: Vec<_> = lo.iter().collect();
+        prop_assert_eq!(seen.len(), t.node_count());
+        let pos: std::collections::HashMap<_, _> =
+            seen.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for e in t.edges() {
+            prop_assert!(pos[&e.parent] < pos[&e.child]);
+        }
+    }
+
+    #[test]
+    fn ancestor_closure_superset_of_edges(pairs in edge_pairs()) {
+        let t = build_dag(&pairs);
+        let closure = t.ancestor_closure();
+        for e in t.edges() {
+            prop_assert!(closure.contains(&e));
+        }
+    }
+
+    #[test]
+    fn transitive_reduction_preserves_reachability(pairs in edge_pairs()) {
+        let mut t = build_dag(&pairs);
+        let before: HashSet<Edge> = t.ancestor_closure();
+        t.transitive_reduction();
+        let after: HashSet<Edge> = t.ancestor_closure();
+        prop_assert_eq!(before, after);
+        prop_assert!(t.is_transitively_reduced());
+    }
+
+    #[test]
+    fn transitive_reduction_idempotent(pairs in edge_pairs()) {
+        let mut t = build_dag(&pairs);
+        t.transitive_reduction();
+        let second = t.transitive_reduction();
+        prop_assert!(second.is_empty());
+    }
+
+    #[test]
+    fn is_ancestor_matches_closure(pairs in edge_pairs()) {
+        let t = build_dag(&pairs);
+        let closure = t.ancestor_closure();
+        for a in t.nodes() {
+            for b in t.nodes() {
+                let via_query = t.is_ancestor(a, b);
+                let via_closure = closure.contains(&Edge::new(a, b));
+                prop_assert_eq!(via_query, via_closure, "a={} b={}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn tsv_round_trip_preserves_structure(pairs in edge_pairs()) {
+        let t = build_dag(&pairs);
+        let mut vocab = Vocabulary::new();
+        // Names must exist for every node id up to the max index.
+        let max = t.nodes().map(|n| n.index()).max().unwrap_or(0);
+        for i in 0..=max {
+            vocab.intern(&format!("concept-{i}"));
+        }
+        let tsv = t.to_tsv(&vocab);
+        let mut vocab2 = Vocabulary::new();
+        let t2 = Taxonomy::from_tsv(&tsv, &mut vocab2).unwrap();
+        prop_assert_eq!(t2.node_count(), t.node_count());
+        prop_assert_eq!(t2.edge_count(), t.edge_count());
+        // Edge sets match after name translation.
+        let edges1: HashSet<(String, String)> = t
+            .edges()
+            .map(|e| (vocab.name(e.parent).to_owned(), vocab.name(e.child).to_owned()))
+            .collect();
+        let edges2: HashSet<(String, String)> = t2
+            .edges()
+            .map(|e| (vocab2.name(e.parent).to_owned(), vocab2.name(e.child).to_owned()))
+            .collect();
+        prop_assert_eq!(edges1, edges2);
+    }
+
+    #[test]
+    fn vocabulary_intern_get_agree(names in proptest::collection::vec("[a-z]{1,8}", 1..40)) {
+        let mut v = Vocabulary::new();
+        let ids: Vec<_> = names.iter().map(|n| v.intern(n)).collect();
+        for (name, id) in names.iter().zip(&ids) {
+            prop_assert_eq!(v.get(name), Some(*id));
+            prop_assert_eq!(v.name(*id), name.as_str());
+        }
+        let distinct: HashSet<_> = names.iter().collect();
+        prop_assert_eq!(v.len(), distinct.len());
+    }
+}

@@ -1,0 +1,404 @@
+use std::collections::HashMap;
+use taxo_core::ConceptId;
+
+/// How click-edge attributes are assigned (Section III-A4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightScheme {
+    /// `a_{q,i} = softmax_i( IF_{q,i} · IQF_i² )` per query concept
+    /// (Eq. 3–5): importance × squared novelty, normalised over the items
+    /// clicked under the same query.
+    IfIqf,
+    /// All click edges weighted equally under each query — the
+    /// "- Edge Attribute" ablation of Table VIII.
+    Uniform,
+}
+
+/// The type of a heterogeneous edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeType {
+    /// From the existing taxonomy; attribute fixed to 1 (Section III-A4).
+    Taxonomy,
+    /// From user click logs, query concept → item concept.
+    Click,
+}
+
+/// One directed edge record of the heterogeneous graph.
+#[derive(Debug, Clone, Copy)]
+pub struct HeteroEdge {
+    pub from: usize,
+    pub to: usize,
+    pub weight: f32,
+    pub kind: EdgeType,
+}
+
+/// The heterogeneous edge-weighted graph `G_h` of Section III-A, fusing
+/// the existing taxonomy with the user click graph.
+///
+/// Nodes are dense indices (`0..n`) mapped to/from [`ConceptId`]s;
+/// [`HeteroGraph::neighbors`] exposes a CSR-like *undirected* adjacency
+/// with propagation weights (row-normalised, with self-loops) for the
+/// GNN layers, while [`HeteroGraph::edges`] keeps the directed typed
+/// records for edge enumeration and candidate generation.
+#[derive(Debug, Clone)]
+pub struct HeteroGraph {
+    concepts: Vec<ConceptId>,
+    index: HashMap<ConceptId, usize>,
+    edges: Vec<HeteroEdge>,
+    /// CSR offsets and (neighbor, weight) pairs, including a self-loop.
+    adj_offsets: Vec<usize>,
+    adj: Vec<(usize, f32)>,
+}
+
+/// Incrementally accumulates taxonomy edges and click counts, then
+/// computes IF·IQF² attributes and the normalised adjacency.
+#[derive(Debug, Clone, Default)]
+pub struct HeteroGraphBuilder {
+    concepts: Vec<ConceptId>,
+    index: HashMap<ConceptId, usize>,
+    taxonomy_edges: Vec<(usize, usize)>,
+    /// (query, item) -> click count.
+    clicks: HashMap<(usize, usize), u64>,
+}
+
+impl HeteroGraphBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn node(&mut self, c: ConceptId) -> usize {
+        if let Some(&i) = self.index.get(&c) {
+            return i;
+        }
+        let i = self.concepts.len();
+        self.concepts.push(c);
+        self.index.insert(c, i);
+        i
+    }
+
+    /// Registers a node even if no edge mentions it.
+    pub fn add_node(&mut self, c: ConceptId) {
+        self.node(c);
+    }
+
+    /// Adds a taxonomy hyponymy edge (attribute 1).
+    pub fn add_taxonomy_edge(&mut self, parent: ConceptId, child: ConceptId) {
+        let p = self.node(parent);
+        let c = self.node(child);
+        self.taxonomy_edges.push((p, c));
+    }
+
+    /// Accumulates `count` clicks of item concept `item` under query
+    /// concept `query`.
+    pub fn add_clicks(&mut self, query: ConceptId, item: ConceptId, count: u64) {
+        let q = self.node(query);
+        let i = self.node(item);
+        *self.clicks.entry((q, i)).or_insert(0) += count;
+    }
+
+    /// Computes click-edge attributes under `scheme` and freezes the graph.
+    pub fn build(self, scheme: WeightScheme) -> HeteroGraph {
+        let n = self.concepts.len();
+
+        // IF denominator: total clicks under each query (Eq. 3).
+        let mut query_total: HashMap<usize, u64> = HashMap::new();
+        // IQF: how many distinct queries click each item (Eq. 4).
+        let mut item_query_count: HashMap<usize, u32> = HashMap::new();
+        let mut queries: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        for (&(q, i), &cnt) in &self.clicks {
+            *query_total.entry(q).or_insert(0) += cnt;
+            *item_query_count.entry(i).or_insert(0) += 1;
+            queries.insert(q);
+        }
+        let n_queries = queries.len().max(1) as f32;
+
+        // Raw score IF · IQF² per click edge, grouped by query for the
+        // softmax of Eq. 5.
+        let mut by_query: HashMap<usize, Vec<(usize, f32)>> = HashMap::new();
+        for (&(q, i), &cnt) in &self.clicks {
+            let score = match scheme {
+                WeightScheme::IfIqf => {
+                    let iff = cnt as f32 / query_total[&q] as f32;
+                    // `ln((1+|C_q|)/count)` — Eq. 4 with add-one
+                    // smoothing so a corpus with few queries does not
+                    // collapse every IQF to exactly zero (which would
+                    // erase the IF signal entirely).
+                    let iqf = ((1.0 + n_queries) / item_query_count[&i] as f32).ln();
+                    iff * iqf * iqf
+                }
+                WeightScheme::Uniform => 0.0, // softmax of constants = uniform
+            };
+            by_query.entry(q).or_default().push((i, score));
+        }
+
+        let mut edges = Vec::with_capacity(self.taxonomy_edges.len() + self.clicks.len());
+        for &(p, c) in &self.taxonomy_edges {
+            edges.push(HeteroEdge {
+                from: p,
+                to: c,
+                weight: 1.0,
+                kind: EdgeType::Taxonomy,
+            });
+        }
+        for (q, mut items) in by_query {
+            // Deterministic order for reproducibility.
+            items.sort_by_key(|&(i, _)| i);
+            let mut scores: Vec<f32> = items.iter().map(|&(_, s)| s).collect();
+            taxo_nn::softmax_in_place(&mut scores);
+            for ((i, _), a) in items.into_iter().zip(scores) {
+                edges.push(HeteroEdge {
+                    from: q,
+                    to: i,
+                    weight: a,
+                    kind: EdgeType::Click,
+                });
+            }
+        }
+        edges.sort_by_key(|e| (e.from, e.to, e.kind == EdgeType::Click));
+
+        // Undirected weighted adjacency with self-loops, row-normalised.
+        let mut raw: Vec<Vec<(usize, f32)>> = vec![Vec::new(); n];
+        for e in &edges {
+            raw[e.from].push((e.to, e.weight));
+            raw[e.to].push((e.from, e.weight));
+        }
+        let mut adj_offsets = Vec::with_capacity(n + 1);
+        let mut adj = Vec::new();
+        adj_offsets.push(0);
+        for (u, mut neigh) in raw.into_iter().enumerate() {
+            neigh.push((u, 1.0)); // self-loop
+            neigh.sort_by_key(|&(v, _)| v);
+            // Merge duplicate neighbor entries (e.g. an edge that is both
+            // a taxonomy and a click edge).
+            let mut merged: Vec<(usize, f32)> = Vec::with_capacity(neigh.len());
+            for (v, w) in neigh {
+                match merged.last_mut() {
+                    Some((lv, lw)) if *lv == v => *lw += w,
+                    _ => merged.push((v, w)),
+                }
+            }
+            let total: f32 = merged.iter().map(|&(_, w)| w).sum();
+            for (v, w) in merged {
+                adj.push((v, w / total));
+            }
+            adj_offsets.push(adj.len());
+        }
+
+        HeteroGraph {
+            concepts: self.concepts,
+            index: self.index,
+            edges,
+            adj_offsets,
+            adj,
+        }
+    }
+}
+
+impl HeteroGraph {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// Dense node index of a concept, if present.
+    pub fn node_of(&self, c: ConceptId) -> Option<usize> {
+        self.index.get(&c).copied()
+    }
+
+    /// Concept of a dense node index.
+    pub fn concept_of(&self, node: usize) -> ConceptId {
+        self.concepts[node]
+    }
+
+    /// All directed typed edges.
+    pub fn edges(&self) -> &[HeteroEdge] {
+        &self.edges
+    }
+
+    /// Directed click edges only (the candidate hyponymy search space).
+    pub fn click_edges(&self) -> impl Iterator<Item = &HeteroEdge> {
+        self.edges.iter().filter(|e| e.kind == EdgeType::Click)
+    }
+
+    /// Normalised undirected neighborhood of `u`, self-loop included.
+    pub fn neighbors(&self, u: usize) -> &[(usize, f32)] {
+        &self.adj[self.adj_offsets[u]..self.adj_offsets[u + 1]]
+    }
+
+    /// Neighbor node indices of `u` *excluding* the self-loop — the
+    /// positive set `N(u)` for contrastive pretraining (Eq. 10).
+    pub fn neighbor_nodes(&self, u: usize) -> Vec<usize> {
+        self.neighbors(u)
+            .iter()
+            .map(|&(v, _)| v)
+            .filter(|&v| v != u)
+            .collect()
+    }
+
+    /// Propagates features one hop: `out = Â · h` where Â is the
+    /// row-normalised adjacency. `h` is `n × d`.
+    pub fn propagate(&self, h: &taxo_nn::Matrix) -> taxo_nn::Matrix {
+        assert_eq!(h.rows(), self.node_count());
+        let mut out = taxo_nn::Matrix::zeros(h.rows(), h.cols());
+        for u in 0..self.node_count() {
+            let out_row = out.row_mut(u);
+            for &(v, w) in self.neighbors(u) {
+                for (o, &x) in out_row.iter_mut().zip(h.row(v)) {
+                    *o += w * x;
+                }
+            }
+        }
+        out
+    }
+
+    /// The adjoint of [`HeteroGraph::propagate`]: `out = Âᵀ · d`.
+    pub fn propagate_transpose(&self, d: &taxo_nn::Matrix) -> taxo_nn::Matrix {
+        assert_eq!(d.rows(), self.node_count());
+        let mut out = taxo_nn::Matrix::zeros(d.rows(), d.cols());
+        for u in 0..self.node_count() {
+            let d_row = d.row(u);
+            for &(v, w) in self.neighbors(u) {
+                let out_row = out.row_mut(v);
+                for (o, &x) in out_row.iter_mut().zip(d_row) {
+                    *o += w * x;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxo_nn::Matrix;
+
+    fn cid(i: u32) -> ConceptId {
+        ConceptId(i)
+    }
+
+    #[test]
+    fn builder_assigns_dense_indices() {
+        let mut b = HeteroGraphBuilder::new();
+        b.add_taxonomy_edge(cid(10), cid(20));
+        b.add_clicks(cid(10), cid(30), 5);
+        let g = b.build(WeightScheme::IfIqf);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.node_of(cid(10)), Some(0));
+        assert_eq!(g.concept_of(2), cid(30));
+        assert_eq!(g.node_of(cid(99)), None);
+    }
+
+    #[test]
+    fn click_weights_sum_to_one_per_query() {
+        let mut b = HeteroGraphBuilder::new();
+        b.add_clicks(cid(0), cid(1), 10);
+        b.add_clicks(cid(0), cid(2), 30);
+        b.add_clicks(cid(0), cid(3), 60);
+        b.add_clicks(cid(5), cid(1), 7);
+        let g = b.build(WeightScheme::IfIqf);
+        let sum: f32 = g
+            .click_edges()
+            .filter(|e| e.from == g.node_of(cid(0)).unwrap())
+            .map(|e| e.weight)
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-5, "per-query softmax: {sum}");
+    }
+
+    #[test]
+    fn iqf_penalises_common_items() {
+        // Item 100 is clicked under every query ("sweet soup"); item 101
+        // only under query 0. With equal counts, the rare item must get
+        // more weight under query 0.
+        let mut b = HeteroGraphBuilder::new();
+        for q in 0..5 {
+            b.add_clicks(cid(q), cid(100), 10);
+        }
+        b.add_clicks(cid(0), cid(101), 10);
+        let g = b.build(WeightScheme::IfIqf);
+        let q0 = g.node_of(cid(0)).unwrap();
+        let common = g.node_of(cid(100)).unwrap();
+        let rare = g.node_of(cid(101)).unwrap();
+        let w = |to: usize| {
+            g.click_edges()
+                .find(|e| e.from == q0 && e.to == to)
+                .unwrap()
+                .weight
+        };
+        assert!(w(rare) > w(common), "{} vs {}", w(rare), w(common));
+    }
+
+    #[test]
+    fn if_prefers_frequent_items_same_novelty() {
+        // Two items each clicked under only this query; the one clicked
+        // more often ("doughnut", intention-consistent) must outweigh the
+        // intention-drifted one.
+        let mut b = HeteroGraphBuilder::new();
+        b.add_clicks(cid(0), cid(1), 45);
+        b.add_clicks(cid(0), cid(2), 2);
+        let g = b.build(WeightScheme::IfIqf);
+        let e1 = g.click_edges().find(|e| e.to == 1).unwrap().weight;
+        let e2 = g.click_edges().find(|e| e.to == 2).unwrap().weight;
+        assert!(e1 > e2);
+    }
+
+    #[test]
+    fn uniform_scheme_equalises_weights() {
+        let mut b = HeteroGraphBuilder::new();
+        b.add_clicks(cid(0), cid(1), 100);
+        b.add_clicks(cid(0), cid(2), 1);
+        let g = b.build(WeightScheme::Uniform);
+        let ws: Vec<f32> = g.click_edges().map(|e| e.weight).collect();
+        assert!((ws[0] - ws[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn neighbors_are_normalised_with_self_loop() {
+        let mut b = HeteroGraphBuilder::new();
+        b.add_taxonomy_edge(cid(0), cid(1));
+        b.add_taxonomy_edge(cid(0), cid(2));
+        let g = b.build(WeightScheme::IfIqf);
+        for u in 0..3 {
+            let total: f32 = g.neighbors(u).iter().map(|&(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-5);
+            assert!(g.neighbors(u).iter().any(|&(v, _)| v == u), "self-loop");
+        }
+        // Node 0 sees both children; node 1 sees only 0 and itself.
+        assert_eq!(g.neighbor_nodes(0), vec![1, 2]);
+        assert_eq!(g.neighbor_nodes(1), vec![0]);
+    }
+
+    #[test]
+    fn propagate_and_transpose_are_adjoint() {
+        let mut b = HeteroGraphBuilder::new();
+        b.add_taxonomy_edge(cid(0), cid(1));
+        b.add_clicks(cid(1), cid(2), 3);
+        b.add_clicks(cid(0), cid(2), 1);
+        let g = b.build(WeightScheme::IfIqf);
+        let n = g.node_count();
+        let x = Matrix::from_fn(n, 3, |r, c| (r * 3 + c) as f32 * 0.1 + 0.1);
+        let y = Matrix::from_fn(n, 3, |r, c| ((r + c) % 3) as f32 * 0.2 - 0.1);
+        // <Ax, y> == <x, Aᵀy>
+        let ax = g.propagate(&x);
+        let aty = g.propagate_transpose(&y);
+        let lhs: f32 = ax.data().iter().zip(y.data()).map(|(&a, &b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(aty.data()).map(|(&a, &b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn duplicate_taxonomy_and_click_edge_merges() {
+        let mut b = HeteroGraphBuilder::new();
+        b.add_taxonomy_edge(cid(0), cid(1));
+        b.add_clicks(cid(0), cid(1), 4);
+        let g = b.build(WeightScheme::IfIqf);
+        // Two directed records...
+        assert_eq!(g.edges().len(), 2);
+        // ...but the adjacency merges them into one neighbor entry.
+        let entries = g
+            .neighbors(0)
+            .iter()
+            .filter(|&&(v, _)| v == 1)
+            .count();
+        assert_eq!(entries, 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! Graph substrate: the heterogeneous click+taxonomy graph of Section
+//! III-A with IF·IQF² edge attributes, GCN/GAT/GraphSAGE layers with
+//! manual backpropagation, contrastive (InfoNCE) pretraining, and the
+//! parent/child position embeddings of Eq. 13.
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use taxo_core::ConceptId;
+//! use taxo_graph::{GnnKind, GnnStack, HeteroGraphBuilder, WeightScheme};
+//! use taxo_nn::Matrix;
+//!
+//! let mut b = HeteroGraphBuilder::new();
+//! b.add_taxonomy_edge(ConceptId(0), ConceptId(1));
+//! b.add_clicks(ConceptId(1), ConceptId(2), 5);
+//! let graph = b.build(WeightScheme::IfIqf);
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let stack = GnnStack::new(GnnKind::Gcn, &[8, 8], &mut rng);
+//! let x = Matrix::zeros(graph.node_count(), 8);
+//! let (h, _) = stack.forward(&graph, &x);
+//! assert_eq!(h.rows(), 3);
+//! ```
+
+mod contrastive;
+mod gnn;
+mod hetero;
+mod position;
+
+pub use contrastive::{cosine, pretrain_contrastive, ContrastiveConfig};
+pub use gnn::{
+    GatCtx, GatLayer, GcnCtx, GcnLayer, GnnKind, GnnLayer, GnnLayerCtx, GnnStack, GnnStackCtx,
+    SageCtx, SageLayer,
+};
+pub use hetero::{EdgeType, HeteroEdge, HeteroGraph, HeteroGraphBuilder, WeightScheme};
+pub use position::PositionEmbeddings;

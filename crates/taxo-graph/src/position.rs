@@ -1,0 +1,55 @@
+use rand::rngs::StdRng;
+use taxo_nn::{Module, Param};
+
+/// The learnable `p_parent` / `p_child` position embeddings of Eq. 13,
+/// concatenated onto the query- and item-concept structural vectors so the
+/// (undirected) GNN representation becomes direction-aware. Table VIII's
+/// "- Position Embedding" row ablates exactly this component.
+#[derive(Debug, Clone)]
+pub struct PositionEmbeddings {
+    pub parent: Param,
+    pub child: Param,
+}
+
+impl PositionEmbeddings {
+    /// Two `1 × dim` embeddings.
+    pub fn new(dim: usize, rng: &mut StdRng) -> Self {
+        PositionEmbeddings {
+            parent: Param::normal_init(1, dim, 0.1, rng),
+            child: Param::normal_init(1, dim, 0.1, rng),
+        }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.parent.value.cols()
+    }
+}
+
+impl Module for PositionEmbeddings {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.parent);
+        f(&mut self.child);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn embeddings_differ_and_have_right_dim() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let pe = PositionEmbeddings::new(6, &mut rng);
+        assert_eq!(pe.dim(), 6);
+        assert_ne!(pe.parent.value.data(), pe.child.value.data());
+    }
+
+    #[test]
+    fn module_exposes_both_params() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut pe = PositionEmbeddings::new(4, &mut rng);
+        assert_eq!(pe.param_count(), 8);
+    }
+}

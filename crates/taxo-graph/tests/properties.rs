@@ -1,0 +1,96 @@
+//! Property-based tests for the heterogeneous graph substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use taxo_core::ConceptId;
+use taxo_graph::{cosine, GnnKind, GnnStack, HeteroGraphBuilder, WeightScheme};
+use taxo_nn::Matrix;
+
+fn click_triples() -> impl Strategy<Value = Vec<(u32, u32, u64)>> {
+    proptest::collection::vec((0u32..12, 0u32..12, 1u64..50), 1..40)
+}
+
+fn build(clicks: &[(u32, u32, u64)], scheme: WeightScheme) -> taxo_graph::HeteroGraph {
+    let mut b = HeteroGraphBuilder::new();
+    for &(q, i, n) in clicks {
+        if q != i {
+            b.add_clicks(ConceptId(q), ConceptId(i), n);
+        }
+    }
+    b.add_taxonomy_edge(ConceptId(100), ConceptId(101));
+    b.build(scheme)
+}
+
+proptest! {
+    #[test]
+    fn click_weights_form_per_query_distributions(clicks in click_triples()) {
+        let g = build(&clicks, WeightScheme::IfIqf);
+        let mut per_query: std::collections::HashMap<usize, f32> = Default::default();
+        for e in g.click_edges() {
+            prop_assert!(e.weight > 0.0 && e.weight <= 1.0 + 1e-5);
+            *per_query.entry(e.from).or_default() += e.weight;
+        }
+        for (&q, &total) in &per_query {
+            prop_assert!((total - 1.0).abs() < 1e-4, "query {q}: {total}");
+        }
+    }
+
+    #[test]
+    fn adjacency_rows_are_normalised(clicks in click_triples()) {
+        let g = build(&clicks, WeightScheme::IfIqf);
+        for u in 0..g.node_count() {
+            let total: f32 = g.neighbors(u).iter().map(|&(_, w)| w).sum();
+            prop_assert!((total - 1.0).abs() < 1e-4);
+            // Self-loop present exactly once.
+            let selfs = g.neighbors(u).iter().filter(|&&(v, _)| v == u).count();
+            prop_assert_eq!(selfs, 1);
+        }
+    }
+
+    #[test]
+    fn propagate_transpose_is_adjoint(clicks in click_triples()) {
+        let g = build(&clicks, WeightScheme::Uniform);
+        let n = g.node_count();
+        let x = Matrix::from_fn(n, 3, |r, c| ((r * 5 + c * 3) % 7) as f32 * 0.2 - 0.5);
+        let y = Matrix::from_fn(n, 3, |r, c| ((r + c) % 5) as f32 * 0.25 - 0.4);
+        let lhs: f32 = g
+            .propagate(&x)
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .data()
+            .iter()
+            .zip(g.propagate_transpose(&y).data())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn gnn_outputs_are_bounded_by_tanh(clicks in click_triples(), seed in 0u64..50) {
+        let g = build(&clicks, WeightScheme::IfIqf);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stack = GnnStack::new(GnnKind::Gcn, &[4, 4], &mut rng);
+        let x = Matrix::from_fn(g.node_count(), 4, |r, c| ((r + 2 * c) % 9) as f32 - 4.0);
+        let (h, _) = stack.forward(&g, &x);
+        prop_assert!(h.data().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn cosine_bounds_and_symmetry(
+        a in proptest::collection::vec(-3.0f32..3.0, 5),
+        b in proptest::collection::vec(-3.0f32..3.0, 5),
+    ) {
+        let ab = cosine(&a, &b);
+        prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&ab));
+        prop_assert!((ab - cosine(&b, &a)).abs() < 1e-6);
+        let norm: f32 = a.iter().map(|x| x * x).sum();
+        if norm > 1e-6 {
+            prop_assert!((cosine(&a, &a) - 1.0).abs() < 1e-4);
+        }
+    }
+}

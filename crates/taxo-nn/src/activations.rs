@@ -1,0 +1,115 @@
+use crate::Matrix;
+
+/// GELU with the tanh approximation (as in BERT).
+#[inline]
+pub fn gelu(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// d GELU / dx for the tanh approximation.
+#[inline]
+pub fn gelu_grad(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let x3 = 0.044715 * x * x * x;
+    let t = (C * (x + x3)).tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044715 * x * x)
+}
+
+/// Logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// d sigmoid / dx expressed through the output `s = sigmoid(x)`.
+#[inline]
+pub fn sigmoid_grad_from_output(s: f32) -> f32 {
+    s * (1.0 - s)
+}
+
+/// ReLU.
+#[inline]
+pub fn relu(x: f32) -> f32 {
+    x.max(0.0)
+}
+
+/// d ReLU / dx (0 at the kink).
+#[inline]
+pub fn relu_grad(x: f32) -> f32 {
+    if x > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Applies GELU element-wise, returning output and keeping `x` for the
+/// backward pass.
+pub fn gelu_forward(x: &Matrix) -> Matrix {
+    x.map(gelu)
+}
+
+/// dL/dx given dL/dy and the forward input.
+pub fn gelu_backward(x: &Matrix, dy: &Matrix) -> Matrix {
+    let mut dx = x.map(gelu_grad);
+    dx = dx.hadamard(dy);
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_grad(f: impl Fn(f32) -> f32, x: f32) -> f32 {
+        let h = 1e-3;
+        (f(x + h) - f(x - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        assert!((gelu(0.0)).abs() < 1e-6);
+        assert!((gelu(100.0) - 100.0).abs() < 1e-3);
+        assert!(gelu(-100.0).abs() < 1e-3);
+        // gelu(1) ~ 0.8412
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_grad_matches_numeric() {
+        for &x in &[-3.0f32, -1.0, -0.1, 0.0, 0.1, 1.0, 3.0] {
+            let a = gelu_grad(x);
+            let n = numeric_grad(gelu, x);
+            assert!((a - n).abs() < 1e-2, "x={x}: {a} vs {n}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(10.0) > 0.999);
+        assert!(sigmoid(-10.0) < 0.001);
+        let s = sigmoid(0.3);
+        let n = numeric_grad(sigmoid, 0.3);
+        assert!((sigmoid_grad_from_output(s) - n).abs() < 1e-3);
+    }
+
+    #[test]
+    fn relu_and_grad() {
+        assert_eq!(relu(-2.0), 0.0);
+        assert_eq!(relu(2.0), 2.0);
+        assert_eq!(relu_grad(-1.0), 0.0);
+        assert_eq!(relu_grad(1.0), 1.0);
+    }
+
+    #[test]
+    fn matrix_wrappers() {
+        let x = Matrix::from_vec(1, 3, vec![-1.0, 0.0, 2.0]);
+        let y = gelu_forward(&x);
+        assert!((y[(0, 1)]).abs() < 1e-6);
+        let dy = Matrix::from_vec(1, 3, vec![1.0, 1.0, 1.0]);
+        let dx = gelu_backward(&x, &dy);
+        assert!((dx[(0, 2)] - gelu_grad(2.0)).abs() < 1e-6);
+    }
+}

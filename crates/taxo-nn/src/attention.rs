@@ -1,0 +1,228 @@
+use crate::{Linear, LinearCtx, Matrix, Module, Param};
+use rand::rngs::StdRng;
+
+/// Multi-head scaled-dot-product self-attention over one sequence.
+#[derive(Debug, Clone)]
+pub struct MultiHeadSelfAttention {
+    pub wq: Linear,
+    pub wk: Linear,
+    pub wv: Linear,
+    pub wo: Linear,
+    n_heads: usize,
+}
+
+/// Saved activations for one attention forward pass.
+#[derive(Debug, Clone)]
+pub struct AttentionCtx {
+    q_ctx: LinearCtx,
+    k_ctx: LinearCtx,
+    v_ctx: LinearCtx,
+    o_ctx: LinearCtx,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    /// Per-head attention probabilities, each `n × n`.
+    probs: Vec<Matrix>,
+}
+
+impl MultiHeadSelfAttention {
+    /// `d_model` must be divisible by `n_heads`.
+    pub fn new(d_model: usize, n_heads: usize, rng: &mut StdRng) -> Self {
+        assert_eq!(d_model % n_heads, 0, "d_model must divide into heads");
+        MultiHeadSelfAttention {
+            wq: Linear::new(d_model, d_model, rng),
+            wk: Linear::new(d_model, d_model, rng),
+            wv: Linear::new(d_model, d_model, rng),
+            wo: Linear::new(d_model, d_model, rng),
+            n_heads,
+        }
+    }
+
+    fn head_dim(&self) -> usize {
+        self.wq.output_dim() / self.n_heads
+    }
+
+    /// `x: n × d_model` → `n × d_model`.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, AttentionCtx) {
+        let n = x.rows();
+        let dh = self.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let (q, q_ctx) = self.wq.forward(x);
+        let (k, k_ctx) = self.wk.forward(x);
+        let (v, v_ctx) = self.wv.forward(x);
+
+        let mut concat = Matrix::zeros(n, self.wq.output_dim());
+        let mut probs = Vec::with_capacity(self.n_heads);
+        for h in 0..self.n_heads {
+            let off = h * dh;
+            // scores = Qh · Khᵀ * scale
+            let mut scores = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    let mut acc = 0.0;
+                    for c in 0..dh {
+                        acc += q[(i, off + c)] * k[(j, off + c)];
+                    }
+                    scores[(i, j)] = acc * scale;
+                }
+            }
+            scores.softmax_rows();
+            // Oh = A · Vh
+            for i in 0..n {
+                for j in 0..n {
+                    let a = scores[(i, j)];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    for c in 0..dh {
+                        concat[(i, off + c)] += a * v[(j, off + c)];
+                    }
+                }
+            }
+            probs.push(scores);
+        }
+        let (y, o_ctx) = self.wo.forward(&concat);
+        (
+            y,
+            AttentionCtx {
+                q_ctx,
+                k_ctx,
+                v_ctx,
+                o_ctx,
+                q,
+                k,
+                v,
+                probs,
+            },
+        )
+    }
+
+    /// Accumulates all projection gradients and returns dx.
+    pub fn backward(&mut self, ctx: &AttentionCtx, dy: &Matrix) -> Matrix {
+        let n = dy.rows();
+        let dh = self.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        // Back through the output projection.
+        let dconcat = self.wo.backward(&ctx.o_ctx, dy);
+
+        let mut dq = Matrix::zeros(n, self.wq.output_dim());
+        let mut dk = Matrix::zeros(n, self.wk.output_dim());
+        let mut dv = Matrix::zeros(n, self.wv.output_dim());
+
+        for h in 0..self.n_heads {
+            let off = h * dh;
+            let probs = &ctx.probs[h];
+
+            // dV_h = Aᵀ · dO_h ; dA = dO_h · V_hᵀ
+            let mut d_scores = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    let a = probs[(i, j)];
+                    let mut d_a = 0.0;
+                    for c in 0..dh {
+                        let d_o = dconcat[(i, off + c)];
+                        dv[(j, off + c)] += a * d_o;
+                        d_a += d_o * ctx.v[(j, off + c)];
+                    }
+                    d_scores[(i, j)] = d_a;
+                }
+            }
+            // Softmax backward per row: ds_j = a_j (dA_j - Σ_k dA_k a_k).
+            for i in 0..n {
+                let row_a = probs.row(i);
+                let dot: f32 = d_scores
+                    .row(i)
+                    .iter()
+                    .zip(row_a)
+                    .map(|(&d, &a)| d * a)
+                    .sum();
+                let ds_row = d_scores.row_mut(i);
+                for (ds, &a) in ds_row.iter_mut().zip(row_a) {
+                    *ds = a * (*ds - dot);
+                }
+            }
+            // dQ_h = dS · K_h * scale ; dK_h = dSᵀ · Q_h * scale.
+            for i in 0..n {
+                for j in 0..n {
+                    let ds = d_scores[(i, j)] * scale;
+                    if ds == 0.0 {
+                        continue;
+                    }
+                    for c in 0..dh {
+                        dq[(i, off + c)] += ds * ctx.k[(j, off + c)];
+                        dk[(j, off + c)] += ds * ctx.q[(i, off + c)];
+                    }
+                }
+            }
+        }
+
+        let mut dx = self.wq.backward(&ctx.q_ctx, &dq);
+        dx.add_assign(&self.wk.backward(&ctx.k_ctx, &dk));
+        dx.add_assign(&self.wv.backward(&ctx.v_ctx, &dv));
+        dx
+    }
+}
+
+impl Module for MultiHeadSelfAttention {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.wq.visit_params(f);
+        self.wk.visit_params(f);
+        self.wv.visit_params(f);
+        self.wo.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let attn = MultiHeadSelfAttention::new(8, 2, &mut rng);
+        let x = Matrix::from_fn(5, 8, |r, c| ((r * 8 + c) as f32).sin() * 0.3);
+        let (y, ctx) = attn.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (5, 8));
+        // Attention rows are distributions.
+        for p in &ctx.probs {
+            for r in 0..5 {
+                let s: f32 = p.row(r).iter().sum();
+                assert!((s - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "heads")]
+    fn rejects_indivisible_heads() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = MultiHeadSelfAttention::new(7, 2, &mut rng);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let attn = MultiHeadSelfAttention::new(6, 2, &mut rng);
+        let x = Matrix::from_fn(3, 6, |r, c| 0.2 * ((r + 2 * c) as f32).cos());
+        check_gradients(
+            attn,
+            x,
+            |layer, input| layer.forward(input),
+            |layer, ctx, dy| layer.backward(ctx, dy),
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn single_token_sequence_attends_to_itself() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let attn = MultiHeadSelfAttention::new(4, 1, &mut rng);
+        let x = Matrix::from_vec(1, 4, vec![0.1, -0.2, 0.3, 0.4]);
+        let (_, ctx) = attn.forward(&x);
+        assert_eq!(ctx.probs[0][(0, 0)], 1.0);
+    }
+}

@@ -1,0 +1,100 @@
+use crate::{Matrix, Module, Param};
+use rand::rngs::StdRng;
+
+/// A lookup table mapping ids to `dim`-dimensional rows.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    pub table: Param,
+}
+
+/// Saved ids for one [`Embedding::forward`] call.
+#[derive(Debug, Clone)]
+pub struct EmbeddingCtx {
+    ids: Vec<u32>,
+}
+
+impl Embedding {
+    /// A BERT-style σ=0.02 normal-initialised table.
+    pub fn new(vocab: usize, dim: usize, rng: &mut StdRng) -> Self {
+        Embedding {
+            table: Param::normal_init(vocab, dim, 0.02, rng),
+        }
+    }
+
+    /// Gathers rows for `ids` into an `ids.len() × dim` matrix.
+    pub fn forward(&self, ids: &[u32]) -> (Matrix, EmbeddingCtx) {
+        let dim = self.table.value.cols();
+        let mut out = Matrix::zeros(ids.len(), dim);
+        for (r, &id) in ids.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(self.table.value.row(id as usize));
+        }
+        (
+            out,
+            EmbeddingCtx {
+                ids: ids.to_vec(),
+            },
+        )
+    }
+
+    /// Scatters `dout` rows back into the table gradient.
+    pub fn backward(&mut self, ctx: &EmbeddingCtx, dout: &Matrix) {
+        for (r, &id) in ctx.ids.iter().enumerate() {
+            let grad_row = self.table.grad.row_mut(id as usize);
+            for (g, &d) in grad_row.iter_mut().zip(dout.row(r)) {
+                *g += d;
+            }
+        }
+    }
+
+    /// Number of embeddings.
+    pub fn vocab_size(&self) -> usize {
+        self.table.value.rows()
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.table.value.cols()
+    }
+}
+
+impl Module for Embedding {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.table);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gather_returns_table_rows() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let emb = Embedding::new(5, 3, &mut rng);
+        let (out, _) = emb.forward(&[2, 2, 4]);
+        assert_eq!(out.row(0), emb.table.value.row(2));
+        assert_eq!(out.row(1), emb.table.value.row(2));
+        assert_eq!(out.row(2), emb.table.value.row(4));
+    }
+
+    #[test]
+    fn backward_scatters_and_accumulates_repeats() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut emb = Embedding::new(4, 2, &mut rng);
+        let (_, ctx) = emb.forward(&[1, 1, 3]);
+        let dout = Matrix::from_vec(3, 2, vec![1., 2., 10., 20., 5., 6.]);
+        emb.backward(&ctx, &dout);
+        assert_eq!(emb.table.grad.row(1), &[11., 22.]);
+        assert_eq!(emb.table.grad.row(3), &[5., 6.]);
+        assert_eq!(emb.table.grad.row(0), &[0., 0.]);
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let emb = Embedding::new(10, 7, &mut rng);
+        assert_eq!(emb.vocab_size(), 10);
+        assert_eq!(emb.dim(), 7);
+    }
+}

@@ -1,0 +1,78 @@
+use crate::activations::{gelu_backward, gelu_forward};
+use crate::{Linear, LinearCtx, Matrix, Module, Param};
+use rand::rngs::StdRng;
+
+/// The position-wise feed-forward block: `Linear → GELU → Linear`.
+#[derive(Debug, Clone)]
+pub struct FeedForward {
+    pub lin1: Linear,
+    pub lin2: Linear,
+}
+
+/// Saved activations for one [`FeedForward::forward`] call.
+#[derive(Debug, Clone)]
+pub struct FeedForwardCtx {
+    ctx1: LinearCtx,
+    ctx2: LinearCtx,
+    pre_act: Matrix,
+}
+
+impl FeedForward {
+    /// `d_model → hidden → d_model`.
+    pub fn new(d_model: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        FeedForward {
+            lin1: Linear::new(d_model, hidden, rng),
+            lin2: Linear::new(hidden, d_model, rng),
+        }
+    }
+
+    pub fn forward(&self, x: &Matrix) -> (Matrix, FeedForwardCtx) {
+        let (pre_act, ctx1) = self.lin1.forward(x);
+        let act = gelu_forward(&pre_act);
+        let (y, ctx2) = self.lin2.forward(&act);
+        (y, FeedForwardCtx { ctx1, ctx2, pre_act })
+    }
+
+    pub fn backward(&mut self, ctx: &FeedForwardCtx, dy: &Matrix) -> Matrix {
+        let d_act = self.lin2.backward(&ctx.ctx2, dy);
+        let d_pre = gelu_backward(&ctx.pre_act, &d_act);
+        self.lin1.backward(&ctx.ctx1, &d_pre)
+    }
+}
+
+impl Module for FeedForward {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.lin1.visit_params(f);
+        self.lin2.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let ffn = FeedForward::new(4, 16, &mut rng);
+        let x = Matrix::zeros(3, 4);
+        let (y, _) = ffn.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (3, 4));
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let ffn = FeedForward::new(4, 8, &mut rng);
+        let x = Matrix::from_fn(2, 4, |r, c| 0.25 * (r as f32) - 0.15 * (c as f32) + 0.05);
+        check_gradients(
+            ffn,
+            x,
+            |layer, input| layer.forward(input),
+            |layer, ctx, dy| layer.backward(ctx, dy),
+            3e-2,
+        );
+    }
+}

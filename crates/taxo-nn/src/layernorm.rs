@@ -1,0 +1,135 @@
+use crate::{Matrix, Module, Param};
+
+/// Layer normalisation over the last dimension with learnable scale γ and
+/// shift β, as used throughout the Transformer encoder.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    pub gamma: Param,
+    pub beta: Param,
+    pub eps: f32,
+}
+
+/// Saved statistics for one [`LayerNorm::forward`] call.
+#[derive(Debug, Clone)]
+pub struct LayerNormCtx {
+    /// Normalised input x̂ (before γ/β).
+    normalized: Matrix,
+    /// Per-row 1/σ.
+    inv_std: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// γ=1, β=0 layer over vectors of size `dim`.
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: Param::constant(1, dim, 1.0),
+            beta: Param::zeros(1, dim),
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalises each row of `x`.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, LayerNormCtx) {
+        let (n, d) = (x.rows(), x.cols());
+        let mut normalized = Matrix::zeros(n, d);
+        let mut inv_std = Vec::with_capacity(n);
+        let mut out = Matrix::zeros(n, d);
+        for r in 0..n {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|&v| (v - mean).powi(2)).sum::<f32>() / d as f32;
+            let istd = 1.0 / (var + self.eps).sqrt();
+            inv_std.push(istd);
+            for c in 0..d {
+                let xh = (row[c] - mean) * istd;
+                normalized[(r, c)] = xh;
+                out[(r, c)] = xh * self.gamma.value[(0, c)] + self.beta.value[(0, c)];
+            }
+        }
+        (out, LayerNormCtx { normalized, inv_std })
+    }
+
+    /// Accumulates dγ, dβ and returns dx.
+    pub fn backward(&mut self, ctx: &LayerNormCtx, dout: &Matrix) -> Matrix {
+        let (n, d) = (dout.rows(), dout.cols());
+        let mut dx = Matrix::zeros(n, d);
+        for r in 0..n {
+            let xh = ctx.normalized.row(r);
+            let dy = dout.row(r);
+            // dγ, dβ.
+            for c in 0..d {
+                self.gamma.grad[(0, c)] += dy[c] * xh[c];
+                self.beta.grad[(0, c)] += dy[c];
+            }
+            // dx̂ = dy ⊙ γ; standard LayerNorm backward:
+            // dx = (1/σ)(dx̂ - mean(dx̂) - x̂ · mean(dx̂ ⊙ x̂)).
+            let mut dxh = vec![0.0f32; d];
+            for c in 0..d {
+                dxh[c] = dy[c] * self.gamma.value[(0, c)];
+            }
+            let mean_dxh = dxh.iter().sum::<f32>() / d as f32;
+            let mean_dxh_xh = dxh
+                .iter()
+                .zip(xh)
+                .map(|(&a, &b)| a * b)
+                .sum::<f32>()
+                / d as f32;
+            let istd = ctx.inv_std[r];
+            for c in 0..d {
+                dx[(r, c)] = istd * (dxh[c] - mean_dxh - xh[c] * mean_dxh_xh);
+            }
+        }
+        dx
+    }
+}
+
+impl Module for LayerNorm {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+
+    #[test]
+    fn rows_are_standardised() {
+        let ln = LayerNorm::new(4);
+        let x = Matrix::from_vec(2, 4, vec![1., 2., 3., 4., -1., 0., 1., 2.]);
+        let (y, _) = ln.forward(&x);
+        for r in 0..2 {
+            let mean: f32 = y.row(r).iter().sum::<f32>() / 4.0;
+            let var: f32 = y.row(r).iter().map(|&v| (v - mean).powi(2)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn gamma_beta_applied() {
+        let mut ln = LayerNorm::new(2);
+        ln.gamma.value = Matrix::from_vec(1, 2, vec![2.0, 2.0]);
+        ln.beta.value = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let x = Matrix::from_vec(1, 2, vec![0.0, 2.0]);
+        let (y, _) = ln.forward(&x);
+        // normalised = [-1, 1] (up to eps), scaled to [-2,2], shifted to [-1,3].
+        assert!((y[(0, 0)] + 1.0).abs() < 1e-2);
+        assert!((y[(0, 1)] - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let ln = LayerNorm::new(5);
+        let x = Matrix::from_fn(3, 5, |r, c| (r as f32) * 0.7 - (c as f32) * 0.3 + 0.05);
+        check_gradients(
+            ln,
+            x,
+            |layer, input| layer.forward(input),
+            |layer, ctx, dy| layer.backward(ctx, dy),
+            2e-2,
+        );
+    }
+}

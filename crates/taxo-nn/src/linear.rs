@@ -1,0 +1,119 @@
+use crate::{Matrix, Module, Param};
+use rand::rngs::StdRng;
+
+/// A fully connected layer `y = x·Wᵀ + b` with `W: out × in`.
+///
+/// Layers are *stateless across calls*: `forward` returns a [`LinearCtx`]
+/// capturing what `backward` needs, so one layer can appear several times
+/// in a computation graph (e.g. the four projections of attention applied
+/// to every sequence in a batch) without aliasing issues.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    pub w: Param,
+    pub b: Param,
+}
+
+/// Saved activations for one [`Linear::forward`] call.
+#[derive(Debug, Clone)]
+pub struct LinearCtx {
+    input: Matrix,
+}
+
+impl Linear {
+    /// Xavier-initialised layer mapping `input_dim` → `output_dim`.
+    pub fn new(input_dim: usize, output_dim: usize, rng: &mut StdRng) -> Self {
+        Linear {
+            w: Param::xavier(output_dim, input_dim, rng),
+            b: Param::zeros(1, output_dim),
+        }
+    }
+
+    /// `x: n × in` → `n × out`.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, LinearCtx) {
+        let mut y = x.matmul_nt(&self.w.value);
+        y.add_row_broadcast(&self.b.value);
+        (y, LinearCtx { input: x.clone() })
+    }
+
+    /// Accumulates `dW`, `db` and returns `dx`.
+    pub fn backward(&mut self, ctx: &LinearCtx, dy: &Matrix) -> Matrix {
+        // dW = dyᵀ · x  (out × in), db = Σ rows of dy, dx = dy · W.
+        self.w.grad.add_assign(&dy.matmul_tn(&ctx.input));
+        self.b.grad.add_assign(&dy.sum_rows());
+        dy.matmul(&self.w.value)
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.w.value.cols()
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.w.value.rows()
+    }
+}
+
+impl Module for Linear {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lin = Linear::new(3, 2, &mut rng);
+        lin.b.value = Matrix::from_vec(1, 2, vec![1.0, -1.0]);
+        let x = Matrix::zeros(4, 3);
+        let (y, _) = lin.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (4, 2));
+        // Zero input -> bias only.
+        for r in 0..4 {
+            assert_eq!(y.row(r), &[1.0, -1.0]);
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let lin = Linear::new(4, 3, &mut rng);
+        let x = Matrix::from_fn(2, 4, |r, c| 0.3 * (r as f32) - 0.2 * (c as f32) + 0.1);
+        check_gradients(
+            lin,
+            x,
+            |layer, input| layer.forward(input),
+            |layer, ctx, dy| layer.backward(ctx, dy),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn backward_accumulates_over_calls() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lin = Linear::new(2, 2, &mut rng);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let (_, ctx) = lin.forward(&x);
+        let dy = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        lin.backward(&ctx, &dy);
+        let g1 = lin.w.grad.clone();
+        lin.backward(&ctx, &dy);
+        let mut doubled = g1.clone();
+        doubled.scale(2.0);
+        assert_eq!(lin.w.grad, doubled);
+    }
+
+    #[test]
+    fn module_param_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lin = Linear::new(5, 3, &mut rng);
+        assert_eq!(lin.param_count(), 5 * 3 + 3);
+    }
+}

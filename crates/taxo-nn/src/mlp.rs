@@ -1,0 +1,140 @@
+use crate::activations::{sigmoid, sigmoid_grad_from_output};
+use crate::{losses, Linear, LinearCtx, Matrix, Module, Param};
+use rand::rngs::StdRng;
+
+/// The edge classifier of Eq. 15:
+/// `f(e) = softmax(W2 · σ(W1 · e + B1) + B2)` with σ the logistic sigmoid
+/// and two output classes (class 1 = "is a hyponymy relation").
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    pub lin1: Linear,
+    pub lin2: Linear,
+}
+
+/// Saved activations for one [`Mlp::forward`] call.
+#[derive(Debug, Clone)]
+pub struct MlpCtx {
+    ctx1: LinearCtx,
+    ctx2: LinearCtx,
+    hidden_act: Matrix,
+}
+
+impl Mlp {
+    /// `input_dim → hidden → 2` classifier.
+    pub fn new(input_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        Mlp {
+            lin1: Linear::new(input_dim, hidden, rng),
+            lin2: Linear::new(hidden, 2, rng),
+        }
+    }
+
+    /// Produces class *logits* (`n × 2`); apply softmax for probabilities.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, MlpCtx) {
+        let (pre, ctx1) = self.lin1.forward(x);
+        let hidden_act = pre.map(sigmoid);
+        let (logits, ctx2) = self.lin2.forward(&hidden_act);
+        (
+            logits,
+            MlpCtx {
+                ctx1,
+                ctx2,
+                hidden_act,
+            },
+        )
+    }
+
+    /// Backpropagates `dlogits`, accumulating gradients; returns dx.
+    pub fn backward(&mut self, ctx: &MlpCtx, dlogits: &Matrix) -> Matrix {
+        let d_hidden = self.lin2.backward(&ctx.ctx2, dlogits);
+        let d_pre = Matrix::from_fn(d_hidden.rows(), d_hidden.cols(), |r, c| {
+            d_hidden[(r, c)] * sigmoid_grad_from_output(ctx.hidden_act[(r, c)])
+        });
+        self.lin1.backward(&ctx.ctx1, &d_pre)
+    }
+
+    /// Probability of the positive class for a single edge representation.
+    pub fn predict_positive(&self, x: &Matrix) -> f32 {
+        let (mut logits, _) = self.forward(x);
+        logits.softmax_rows();
+        logits[(0, 1)]
+    }
+
+    /// One supervised step on a batch: `x` is `n × input_dim`, `labels`
+    /// are 0/1. Accumulates gradients and returns `(loss, dx)`.
+    pub fn train_batch(&mut self, x: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+        let (logits, ctx) = self.forward(x);
+        let (loss, dlogits) = losses::softmax_xent(&logits, labels);
+        let dx = self.backward(&ctx, &dlogits);
+        (loss, dx)
+    }
+}
+
+impl Module for Mlp {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.lin1.visit_params(f);
+        self.lin2.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+    use crate::Adam;
+    use rand::RngExt;
+    use rand::SeedableRng;
+
+    #[test]
+    fn predict_positive_is_probability() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new(4, 8, &mut rng);
+        let x = Matrix::from_vec(1, 4, vec![0.5, -0.3, 0.2, 0.9]);
+        let p = mlp.predict_positive(&x);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mlp = Mlp::new(3, 5, &mut rng);
+        let x = Matrix::from_fn(2, 3, |r, c| 0.4 * (r as f32) - 0.2 * (c as f32) + 0.1);
+        check_gradients(
+            mlp,
+            x,
+            |layer, input| layer.forward(input),
+            |layer, ctx, dy| layer.backward(ctx, dy),
+            3e-2,
+        );
+    }
+
+    /// The classifier must learn a linearly separable rule.
+    #[test]
+    fn learns_linear_rule() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut mlp = Mlp::new(2, 8, &mut rng);
+        let mut adam = Adam::new(1e-2);
+        for _ in 0..400 {
+            let mut xs = Vec::new();
+            let mut labels = Vec::new();
+            for _ in 0..16 {
+                let a: f32 = rng.random_range(-1.0..1.0);
+                let b: f32 = rng.random_range(-1.0..1.0);
+                xs.extend_from_slice(&[a, b]);
+                labels.push(usize::from(a + b > 0.0));
+            }
+            let x = Matrix::from_vec(16, 2, xs);
+            mlp.train_batch(&x, &labels);
+            adam.step(&mut mlp);
+        }
+        let mut correct = 0;
+        for _ in 0..100 {
+            let a: f32 = rng.random_range(-1.0..1.0);
+            let b: f32 = rng.random_range(-1.0..1.0);
+            let p = mlp.predict_positive(&Matrix::from_vec(1, 2, vec![a, b]));
+            if (p > 0.5) == (a + b > 0.0) {
+                correct += 1;
+            }
+        }
+        assert!(correct > 90, "accuracy {correct}/100");
+    }
+}

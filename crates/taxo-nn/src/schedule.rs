@@ -1,0 +1,136 @@
+//! Training utilities: learning-rate schedules and gradient clipping.
+
+use crate::{Module, Param};
+
+/// A learning-rate schedule mapping a step index to a multiplier of the
+/// base learning rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant multiplier 1.
+    Constant,
+    /// Linear warmup over `warmup` steps, then constant.
+    Warmup { warmup: u64 },
+    /// Linear warmup then cosine decay to `floor` at `total` steps
+    /// (the usual Transformer pretraining shape).
+    WarmupCosine { warmup: u64, total: u64, floor: f32 },
+}
+
+impl LrSchedule {
+    /// The multiplier at `step` (0-based).
+    pub fn multiplier(&self, step: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Warmup { warmup } => {
+                if warmup == 0 || step >= warmup {
+                    1.0
+                } else {
+                    (step + 1) as f32 / warmup as f32
+                }
+            }
+            LrSchedule::WarmupCosine {
+                warmup,
+                total,
+                floor,
+            } => {
+                if warmup > 0 && step < warmup {
+                    return (step + 1) as f32 / warmup as f32;
+                }
+                if total <= warmup || step >= total {
+                    return floor;
+                }
+                let progress = (step - warmup) as f32 / (total - warmup) as f32;
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+                floor + (1.0 - floor) * cos
+            }
+        }
+    }
+
+    /// The absolute learning rate at `step` for a base rate.
+    pub fn lr_at(&self, base_lr: f32, step: u64) -> f32 {
+        base_lr * self.multiplier(step)
+    }
+}
+
+/// Rescales all gradients of `module` so that their *global* L2 norm does
+/// not exceed `max_norm`. Returns the pre-clipping norm. Standard
+/// stabiliser for Transformer fine-tuning.
+pub fn clip_grad_norm(module: &mut dyn Module, max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let mut sq = 0.0f64;
+    module.visit_params(&mut |p: &mut Param| {
+        sq += p.grad.data().iter().map(|&g| (g as f64) * (g as f64)).sum::<f64>();
+    });
+    let norm = (sq as f32).sqrt();
+    if norm > max_norm && norm.is_finite() {
+        let scale = max_norm / norm;
+        module.visit_params(&mut |p: &mut Param| p.grad.scale(scale));
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Matrix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_schedule() {
+        let s = LrSchedule::Constant;
+        assert_eq!(s.multiplier(0), 1.0);
+        assert_eq!(s.lr_at(3e-4, 1_000_000), 3e-4);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::Warmup { warmup: 10 };
+        assert!((s.multiplier(0) - 0.1).abs() < 1e-6);
+        assert!((s.multiplier(4) - 0.5).abs() < 1e-6);
+        assert_eq!(s.multiplier(10), 1.0);
+        assert_eq!(s.multiplier(999), 1.0);
+    }
+
+    #[test]
+    fn warmup_cosine_shape() {
+        let s = LrSchedule::WarmupCosine {
+            warmup: 10,
+            total: 110,
+            floor: 0.1,
+        };
+        // Ramp up…
+        assert!(s.multiplier(0) < s.multiplier(5));
+        // …peak right after warmup…
+        assert!((s.multiplier(10) - 1.0).abs() < 0.02);
+        // …monotone decay…
+        assert!(s.multiplier(40) > s.multiplier(80));
+        // …to the floor.
+        assert!((s.multiplier(110) - 0.1).abs() < 1e-6);
+        assert_eq!(s.multiplier(10_000), 0.1);
+        // Midpoint of the cosine is halfway between floor and 1.
+        let mid = s.multiplier(60);
+        assert!((mid - 0.55).abs() < 0.02, "mid {mid}");
+    }
+
+    #[test]
+    fn clipping_caps_global_norm() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lin = Linear::new(4, 4, &mut rng);
+        lin.w.grad = Matrix::from_fn(4, 4, |_, _| 10.0);
+        lin.b.grad = Matrix::from_fn(1, 4, |_, _| 10.0);
+        let before = clip_grad_norm(&mut lin, 1.0);
+        assert!(before > 1.0);
+        let after = clip_grad_norm(&mut lin, 1.0);
+        assert!((after - 1.0).abs() < 1e-4, "clipped norm {after}");
+    }
+
+    #[test]
+    fn small_gradients_untouched() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lin = Linear::new(2, 2, &mut rng);
+        lin.w.grad = Matrix::from_fn(2, 2, |_, _| 0.01);
+        let snapshot = lin.w.grad.clone();
+        clip_grad_norm(&mut lin, 5.0);
+        assert_eq!(lin.w.grad, snapshot);
+    }
+}

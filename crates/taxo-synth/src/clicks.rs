@@ -1,0 +1,364 @@
+use crate::{ClickConfig, World};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use taxo_core::ConceptId;
+
+/// A cumulative-distribution Zipf sampler over ranks `0..n`
+/// (probability ∝ 1/(rank+1)^s). Click popularity is strongly long-tailed
+/// in the paper ("the clicked items show a long-tail distribution
+/// according to clicked frequency", Section IV-A4).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over zero ranks");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Draws a rank.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// One aggregated click-log entry: users issuing `query` clicked an item
+/// described by `item_text` a total of `count` times (Definition 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClickRecord {
+    pub query: ConceptId,
+    pub item_text: String,
+    pub count: u64,
+}
+
+/// A synthetic user click log aggregated to (query, item string) pairs.
+#[derive(Debug, Clone)]
+pub struct ClickLog {
+    pub records: Vec<ClickRecord>,
+}
+
+impl ClickLog {
+    /// Simulates `cfg.n_events` click events over `world`.
+    ///
+    /// The generative process realises the paper's observations:
+    /// * users query category-level concepts; leaves are rarely queried
+    ///   (Fig. 3's uncovered-node breakdown);
+    /// * most clicks under a query land on true hyponyms, Zipf-weighted
+    ///   (the head of the distribution is correct, the tail is noisy);
+    /// * two explicit noise modes — intention drift (clicking a relative
+    ///   that is not a hyponym) and common-but-non-sense items — plus
+    ///   item strings that mention no known concept at all.
+    pub fn generate(world: &World, cfg: &ClickConfig) -> ClickLog {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Decide which nodes are active in the query stream.
+        let mut active: Vec<ConceptId> = Vec::new();
+        for n in world.truth.nodes() {
+            let is_leaf = world.truth.children(n).is_empty();
+            let p = if is_leaf {
+                cfg.p_leaf_query
+            } else {
+                cfg.p_node_active
+            };
+            if rng.random_range(0.0..1.0) < p {
+                active.push(n);
+            }
+        }
+        if active.is_empty() {
+            return ClickLog {
+                records: Vec::new(),
+            };
+        }
+
+        // Query popularity ∝ subtree size (category pages attract volume).
+        let mut weights: Vec<f64> = active
+            .iter()
+            .map(|&q| (1 + world.truth.descendants(q).len()) as f64)
+            .collect();
+        let total_w: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= total_w;
+        }
+        let mut query_cdf = weights.clone();
+        for i in 1..query_cdf.len() {
+            query_cdf[i] += query_cdf[i - 1];
+        }
+
+        // Per-query descendant pools, Zipf-ordered deterministically.
+        let pools: Vec<Vec<ConceptId>> = active
+            .iter()
+            .map(|&q| {
+                let mut d = world.truth.descendants(q);
+                d.sort();
+                d
+            })
+            .collect();
+
+        let all_nodes: Vec<ConceptId> = world.truth.nodes().collect();
+        let mut counts: HashMap<(ConceptId, String), u64> = HashMap::new();
+
+        for _ in 0..cfg.n_events {
+            let u: f64 = rng.random_range(0.0..1.0);
+            let qi = query_cdf.partition_point(|&c| c < u).min(active.len() - 1);
+            let query = active[qi];
+            let pool = &pools[qi];
+
+            let roll: f64 = rng.random_range(0.0..1.0);
+            let item_text = if roll < cfg.p_true && !pool.is_empty() {
+                // A true hyponym, Zipf-ranked.
+                let zipf = ZipfSampler::new(pool.len(), cfg.zipf_s);
+                let concept = pool[zipf.sample(&mut rng)];
+                decorate(world, concept, &mut rng)
+            } else if roll < cfg.p_true + cfg.p_drift {
+                // Intention drift: a random node that is NOT a descendant.
+                let mut concept = all_nodes[rng.random_range(0..all_nodes.len())];
+                for _ in 0..5 {
+                    if concept != query && !world.truth.is_ancestor(query, concept) {
+                        break;
+                    }
+                    concept = all_nodes[rng.random_range(0..all_nodes.len())];
+                }
+                decorate(world, concept, &mut rng)
+            } else if roll < cfg.p_true + cfg.p_drift + cfg.p_common && !world.common.is_empty() {
+                // Common-but-non-sense item.
+                let concept = world.common[rng.random_range(0..world.common.len())];
+                decorate(world, concept, &mut rng)
+            } else {
+                // No recognisable concept at all.
+                let k = rng.random_range(2..5);
+                (0..k)
+                    .map(|_| world.decorations[rng.random_range(0..world.decorations.len())].as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            *counts.entry((query, item_text)).or_insert(0) += 1;
+        }
+
+        let mut records: Vec<ClickRecord> = counts
+            .into_iter()
+            .map(|((query, item_text), count)| ClickRecord {
+                query,
+                item_text,
+                count,
+            })
+            .collect();
+        records.sort_by(|a, b| {
+            (a.query, &a.item_text)
+                .cmp(&(b.query, &b.item_text))
+        });
+        ClickLog { records }
+    }
+
+    /// Total number of simulated click events.
+    pub fn total_events(&self) -> u64 {
+        self.records.iter().map(|r| r.count).sum()
+    }
+
+    /// Number of distinct (query, item string) pairs (Table I's #Items
+    /// after aggregation).
+    pub fn distinct_pairs(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Serialises the log as `query\titem\tcount` lines (queries by
+    /// name, resolved through `vocab`) — an interchange format for
+    /// plugging in real click data.
+    pub fn to_tsv(&self, vocab: &taxo_core::Vocabulary) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in &self.records {
+            let _ = writeln!(out, "{}\t{}\t{}", vocab.name(r.query), r.item_text, r.count);
+        }
+        out
+    }
+
+    /// Parses the format produced by [`ClickLog::to_tsv`]; query names are
+    /// interned into `vocab`. Malformed lines are reported by number.
+    pub fn from_tsv(
+        text: &str,
+        vocab: &mut taxo_core::Vocabulary,
+    ) -> Result<ClickLog, String> {
+        let mut records = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut cols = line.split('\t');
+            let (Some(q), Some(item), Some(count)) = (cols.next(), cols.next(), cols.next())
+            else {
+                return Err(format!("line {}: expected 3 tab-separated columns", i + 1));
+            };
+            let count: u64 = count
+                .parse()
+                .map_err(|e| format!("line {}: bad count: {e}", i + 1))?;
+            records.push(ClickRecord {
+                query: vocab.intern(q),
+                item_text: item.to_owned(),
+                count,
+            });
+        }
+        Ok(ClickLog { records })
+    }
+
+    /// The distinct query concepts present in the log.
+    pub fn queries(&self) -> Vec<ConceptId> {
+        let mut qs: Vec<ConceptId> = self.records.iter().map(|r| r.query).collect();
+        qs.sort();
+        qs.dedup();
+        qs
+    }
+}
+
+/// Decorates a concept name into a merchant-style item string with
+/// 0–2 decoration tokens ("kema toasti rupo" ≈ "Well-known Cheese Bun -
+/// 6 in a bag").
+fn decorate(world: &World, concept: ConceptId, rng: &mut StdRng) -> String {
+    let name = world.name(concept);
+    let deco = |rng: &mut StdRng| {
+        world.decorations[rng.random_range(0..world.decorations.len())].clone()
+    };
+    match rng.random_range(0..4u8) {
+        0 => name.to_owned(),
+        1 => format!("{} {name}", deco(rng)),
+        2 => format!("{name} {}", deco(rng)),
+        _ => format!("{} {name} {}", deco(rng), deco(rng)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorldConfig;
+
+    fn setup() -> (World, ClickLog) {
+        let world = World::generate(&WorldConfig::tiny(2));
+        let log = ClickLog::generate(&world, &ClickConfig::tiny(2));
+        (world, log)
+    }
+
+    #[test]
+    fn zipf_is_monotone_decreasing() {
+        let z = ZipfSampler::new(10, 1.2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[3]);
+        assert!(counts[3] > counts[9]);
+        assert!(counts[0] > 20_000 / 4, "head rank dominates: {counts:?}");
+    }
+
+    #[test]
+    fn log_event_count_matches_config() {
+        let (_, log) = setup();
+        assert_eq!(log.total_events(), 4_000);
+        assert!(log.distinct_pairs() > 100);
+        assert_eq!(log.distinct_pairs(), log.records.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let world = World::generate(&WorldConfig::tiny(2));
+        let a = ClickLog::generate(&world, &ClickConfig::tiny(9));
+        let b = ClickLog::generate(&world, &ClickConfig::tiny(9));
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn click_volume_concentrates_on_internal_nodes() {
+        let (world, log) = setup();
+        // Leaves may appear in the query stream, but category concepts
+        // (with descendants) attract the bulk of the click volume.
+        let mut leaf_mass = 0u64;
+        let mut internal_mass = 0u64;
+        for r in &log.records {
+            if world.truth.children(r.query).is_empty() {
+                leaf_mass += r.count;
+            } else {
+                internal_mass += r.count;
+            }
+        }
+        assert!(
+            internal_mass > leaf_mass,
+            "internal {internal_mass} vs leaf {leaf_mass}"
+        );
+    }
+
+    #[test]
+    fn true_hyponyms_dominate_click_mass() {
+        let (world, log) = setup();
+        // Among records whose item string contains exactly one known
+        // concept, the majority of click *mass* goes to true hyponyms.
+        let matcher = taxo_text::ConceptMatcher::new(&world.vocab);
+        let mut true_mass = 0u64;
+        let mut total_mass = 0u64;
+        for r in &log.records {
+            if let Some(c) = matcher.identify(&r.item_text) {
+                total_mass += r.count;
+                if world.is_true_hypernym(r.query, c) {
+                    true_mass += r.count;
+                }
+            }
+        }
+        assert!(total_mass > 0);
+        assert!(
+            true_mass * 2 > total_mass,
+            "{true_mass}/{total_mass} of concept-bearing click mass is true"
+        );
+    }
+
+    #[test]
+    fn tsv_round_trip() {
+        let (world, log) = setup();
+        let tsv = log.to_tsv(&world.vocab);
+        let mut vocab2 = taxo_core::Vocabulary::new();
+        let log2 = ClickLog::from_tsv(&tsv, &mut vocab2).unwrap();
+        assert_eq!(log2.records.len(), log.records.len());
+        assert_eq!(log2.total_events(), log.total_events());
+        // Query names survive the round trip.
+        for (a, b) in log.records.iter().zip(&log2.records) {
+            assert_eq!(world.vocab.name(a.query), vocab2.name(b.query));
+            assert_eq!(a.item_text, b.item_text);
+            assert_eq!(a.count, b.count);
+        }
+    }
+
+    #[test]
+    fn tsv_rejects_malformed_lines() {
+        let mut vocab = taxo_core::Vocabulary::new();
+        assert!(ClickLog::from_tsv("only-one-column\n", &mut vocab)
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(ClickLog::from_tsv("a\tb\tnot-a-number\n", &mut vocab)
+            .unwrap_err()
+            .contains("bad count"));
+    }
+
+    #[test]
+    fn some_items_mention_no_concept() {
+        let (world, log) = setup();
+        let matcher = taxo_text::ConceptMatcher::new(&world.vocab);
+        let unknown = log
+            .records
+            .iter()
+            .filter(|r| matcher.identify(&r.item_text).is_none())
+            .count();
+        assert!(unknown > 0, "expected some #IOthers items");
+    }
+}

@@ -1,0 +1,235 @@
+/// Parameters of one synthetic product domain, with presets matching the
+/// three Meituan domains of Table II at roughly 1:15 scale.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    pub name: &'static str,
+    pub seed: u64,
+    /// Number of top-level categories.
+    pub n_roots: usize,
+    /// Target node count of the *full* ground-truth taxonomy.
+    pub target_nodes: usize,
+    /// Maximum depth (|D| of Table II).
+    pub max_depth: usize,
+    /// Fraction of child names formed with the head-final convention
+    /// ("rye breado" IsA "breado"); the rest are aliases ("toasti").
+    /// Table II: ~95% (Snack), ~89% (Fruits), ~86% (Prepared Food).
+    pub headword_ratio: f64,
+    /// Fraction of non-root nodes withheld from the existing taxonomy to
+    /// act as *new concepts* awaiting attachment (Table I's New Concepts).
+    pub new_concept_ratio: f64,
+    /// Fraction of nodes that receive an extra (second) parent, exercising
+    /// multi-parent attachment.
+    pub multi_parent_ratio: f64,
+    /// Number of "common but non-sense" concepts (the "Sweet Soup"
+    /// phenomenon of Section III-A4).
+    pub n_common_concepts: usize,
+    /// Mean children per expanded node.
+    pub mean_children: f64,
+}
+
+impl WorldConfig {
+    /// Snack: the deepest, largest domain (paper: 29,758 nodes, 12 levels).
+    pub fn snack() -> Self {
+        WorldConfig {
+            name: "Snack",
+            seed: 0x5AACC,
+            n_roots: 10,
+            target_nodes: 3000,
+            max_depth: 12,
+            // Table II reports ~95% headword edges; we lower the ratio one
+            // notch so that, after ~1:10 down-scaling, the balanced
+            // self-supervised datasets stay large enough to train on
+            // (see DESIGN.md / EXPERIMENTS.md).
+            headword_ratio: 0.85,
+            new_concept_ratio: 0.30,
+            multi_parent_ratio: 0.03,
+            n_common_concepts: 6,
+            mean_children: 4.5,
+        }
+    }
+
+    /// Fruits: shallow and small (paper: 4,857 nodes, 6 levels).
+    pub fn fruits() -> Self {
+        WorldConfig {
+            name: "Fruits",
+            seed: 0xF2715,
+            n_roots: 6,
+            target_nodes: 1600,
+            max_depth: 6,
+            headword_ratio: 0.78,
+            new_concept_ratio: 0.32,
+            multi_parent_ratio: 0.03,
+            n_common_concepts: 4,
+            mean_children: 4.0,
+        }
+    }
+
+    /// Prepared Food (paper: 4,135 nodes, 7 levels).
+    pub fn prepared_food() -> Self {
+        WorldConfig {
+            name: "Prepared Food",
+            seed: 0x9EEF0,
+            n_roots: 6,
+            target_nodes: 1500,
+            max_depth: 7,
+            headword_ratio: 0.72,
+            new_concept_ratio: 0.32,
+            multi_parent_ratio: 0.03,
+            n_common_concepts: 4,
+            mean_children: 4.0,
+        }
+    }
+
+    /// All three domain presets, in the paper's order.
+    pub fn all_domains() -> Vec<WorldConfig> {
+        vec![Self::snack(), Self::fruits(), Self::prepared_food()]
+    }
+
+    /// A miniature domain for unit/integration tests (fast to generate
+    /// and train on).
+    pub fn tiny(seed: u64) -> Self {
+        WorldConfig {
+            name: "Tiny",
+            seed,
+            n_roots: 3,
+            target_nodes: 60,
+            max_depth: 4,
+            headword_ratio: 0.7,
+            new_concept_ratio: 0.25,
+            multi_parent_ratio: 0.05,
+            n_common_concepts: 2,
+            mean_children: 3.0,
+        }
+    }
+
+    /// Returns a copy scaled to `factor` of the node budget (for
+    /// quick-mode experiment runs).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.target_nodes = ((self.target_nodes as f64 * factor) as usize).max(30);
+        self
+    }
+}
+
+/// Parameters of the synthetic user click log (Definition 3 / Table I).
+#[derive(Debug, Clone)]
+pub struct ClickConfig {
+    pub seed: u64,
+    /// Total click events to simulate (the paper has tens of millions
+    /// over six months; we scale down proportionally).
+    pub n_events: usize,
+    /// Probability that a click is a *true* hyponym of the query.
+    pub p_true: f64,
+    /// Probability of an intention-drifted click (a relative that is not
+    /// a descendant, e.g. a "sibling" product).
+    pub p_drift: f64,
+    /// Probability of a common-but-non-sense click ("Sweet Soup").
+    pub p_common: f64,
+    /// Probability the clicked item string mentions no known concept at
+    /// all (Table I's #IOthers).
+    pub p_unknown_item: f64,
+    /// Zipf exponent for the popularity of true hyponyms.
+    pub zipf_s: f64,
+    /// Probability that a *leaf* concept is ever queried. Leaves are
+    /// queried far less than categories, which makes them the bulk of the
+    /// uncovered nodes (Fig. 3: 77% of uncovered nodes are leaves), while
+    /// still keeping overall node coverage near the paper's ~64%
+    /// (Table I CNode).
+    pub p_leaf_query: f64,
+    /// Probability that a non-leaf node is present in the query stream at
+    /// all (Fig. 3's "users not interested" slice).
+    pub p_node_active: f64,
+}
+
+impl Default for ClickConfig {
+    fn default() -> Self {
+        ClickConfig {
+            seed: 0xC11C5,
+            n_events: 120_000,
+            p_true: 0.45,
+            p_drift: 0.25,
+            p_common: 0.12,
+            p_unknown_item: 0.18,
+            zipf_s: 1.1,
+            p_leaf_query: 0.55,
+            p_node_active: 0.82,
+        }
+    }
+}
+
+impl ClickConfig {
+    /// A small log for tests.
+    pub fn tiny(seed: u64) -> Self {
+        ClickConfig {
+            seed,
+            n_events: 4_000,
+            ..Default::default()
+        }
+    }
+}
+
+/// Parameters of the synthetic user-generated content corpus
+/// (Definition 4).
+#[derive(Debug, Clone)]
+pub struct UgcConfig {
+    pub seed: u64,
+    /// Number of review sentences.
+    pub n_sentences: usize,
+    /// Probability a sentence expresses a true hyponymy pair (implicitly
+    /// or via a quasi-Hearst wording).
+    pub p_relational: f64,
+    /// Among relational sentences, probability of an explicit
+    /// ("X is a kind of Y") rather than implicit wording.
+    pub p_explicit: f64,
+}
+
+impl Default for UgcConfig {
+    fn default() -> Self {
+        UgcConfig {
+            seed: 0x06C0,
+            n_sentences: 12_000,
+            p_relational: 0.55,
+            p_explicit: 0.35,
+        }
+    }
+}
+
+impl UgcConfig {
+    /// A small corpus for tests.
+    pub fn tiny(seed: u64) -> Self {
+        UgcConfig {
+            seed,
+            n_sentences: 800,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_reflect_paper_ordering() {
+        let s = WorldConfig::snack();
+        let f = WorldConfig::fruits();
+        let p = WorldConfig::prepared_food();
+        assert!(s.target_nodes > f.target_nodes);
+        assert!(s.max_depth > f.max_depth);
+        assert!(s.headword_ratio > f.headword_ratio);
+        assert!(f.headword_ratio > p.headword_ratio);
+        assert_eq!(WorldConfig::all_domains().len(), 3);
+    }
+
+    #[test]
+    fn click_probabilities_are_a_distribution() {
+        let c = ClickConfig::default();
+        let total = c.p_true + c.p_drift + c.p_common + c.p_unknown_item;
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn scaled_keeps_minimum() {
+        let w = WorldConfig::fruits().scaled(0.001);
+        assert!(w.target_nodes >= 30);
+    }
+}

@@ -1,0 +1,210 @@
+//! Synthetic merchant layer — the paper's second named extension source
+//! ("much other information can be incorporated into the model, such as
+//! image and merchant information", Section VI).
+//!
+//! Items on the platform are sold by merchants; a merchant's menu is
+//! category-coherent (a bakery sells breads, not fruit). Co-merchant
+//! statistics therefore carry hyponymy-adjacent signal: a candidate
+//! hyponym tends to be sold by merchants that also sell its hypernym's
+//! other products. [`MerchantWorld`] simulates menus;
+//! `taxo-expand::merchant_affinity` (see that crate) turns them into a
+//! pair feature ready to concatenate into the edge representation
+//! (Eq. 14).
+
+use crate::World;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use taxo_core::ConceptId;
+
+/// Identifier of a synthetic merchant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MerchantId(pub u32);
+
+/// Configuration of the merchant simulation.
+#[derive(Debug, Clone)]
+pub struct MerchantConfig {
+    pub seed: u64,
+    /// Number of merchants.
+    pub n_merchants: usize,
+    /// Mean menu size (concepts per merchant).
+    pub mean_menu: usize,
+    /// Probability that a menu item is drawn from the merchant's home
+    /// category (subtree) rather than anywhere on the platform.
+    pub p_home_category: f64,
+}
+
+impl Default for MerchantConfig {
+    fn default() -> Self {
+        MerchantConfig {
+            seed: 0x3E2C,
+            n_merchants: 120,
+            mean_menu: 12,
+            p_home_category: 0.85,
+        }
+    }
+}
+
+/// Merchants with category-coherent menus over a [`World`].
+#[derive(Debug, Clone)]
+pub struct MerchantWorld {
+    /// menus[m] = the concepts merchant m sells.
+    menus: Vec<Vec<ConceptId>>,
+    /// concept -> merchants selling it.
+    sellers: HashMap<ConceptId, Vec<MerchantId>>,
+}
+
+impl MerchantWorld {
+    /// Assigns each merchant a home category (a random depth-2 node's
+    /// subtree) and samples its menu mostly from there.
+    pub fn generate(world: &World, cfg: &MerchantConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let all: Vec<ConceptId> = world.truth.nodes().collect();
+        // Home categories: children of roots (depth-2 nodes).
+        let homes: Vec<ConceptId> = world
+            .roots
+            .iter()
+            .flat_map(|&r| world.truth.children(r).iter().copied().collect::<Vec<_>>())
+            .collect();
+        let mut menus = Vec::with_capacity(cfg.n_merchants);
+        let mut sellers: HashMap<ConceptId, Vec<MerchantId>> = HashMap::new();
+        for m in 0..cfg.n_merchants {
+            let mid = MerchantId(m as u32);
+            let home = if homes.is_empty() {
+                all[rng.random_range(0..all.len())]
+            } else {
+                homes[rng.random_range(0..homes.len())]
+            };
+            let mut home_pool = world.truth.descendants(home);
+            home_pool.push(home);
+            home_pool.sort();
+            let size = 1 + rng.random_range(0..cfg.mean_menu * 2);
+            let mut menu: HashSet<ConceptId> = HashSet::new();
+            for _ in 0..size {
+                let c = if rng.random_range(0.0..1.0) < cfg.p_home_category {
+                    home_pool[rng.random_range(0..home_pool.len())]
+                } else {
+                    all[rng.random_range(0..all.len())]
+                };
+                menu.insert(c);
+            }
+            let mut menu: Vec<ConceptId> = menu.into_iter().collect();
+            menu.sort();
+            for &c in &menu {
+                sellers.entry(c).or_default().push(mid);
+            }
+            menus.push(menu);
+        }
+        MerchantWorld { menus, sellers }
+    }
+
+    /// Number of merchants.
+    pub fn merchant_count(&self) -> usize {
+        self.menus.len()
+    }
+
+    /// The menu of merchant `m`.
+    pub fn menu(&self, m: MerchantId) -> &[ConceptId] {
+        &self.menus[m.0 as usize]
+    }
+
+    /// The merchants selling concept `c` (empty if nobody does).
+    pub fn sellers(&self, c: ConceptId) -> &[MerchantId] {
+        self.sellers.get(&c).map_or(&[], Vec::as_slice)
+    }
+
+    /// Jaccard overlap of the two concepts' seller sets — the co-merchant
+    /// affinity feature. 0 when either concept has no sellers.
+    pub fn co_merchant_affinity(&self, a: ConceptId, b: ConceptId) -> f64 {
+        let sa: HashSet<MerchantId> = self.sellers(a).iter().copied().collect();
+        let sb: HashSet<MerchantId> = self.sellers(b).iter().copied().collect();
+        if sa.is_empty() || sb.is_empty() {
+            return 0.0;
+        }
+        let inter = sa.intersection(&sb).count();
+        let union = sa.union(&sb).count();
+        inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorldConfig;
+
+    fn setup() -> (World, MerchantWorld) {
+        let world = World::generate(&WorldConfig {
+            target_nodes: 150,
+            ..WorldConfig::tiny(909)
+        });
+        let merchants = MerchantWorld::generate(&world, &MerchantConfig::default());
+        (world, merchants)
+    }
+
+    #[test]
+    fn menus_and_sellers_are_consistent() {
+        let (_, mw) = setup();
+        assert_eq!(mw.merchant_count(), 120);
+        for m in 0..mw.merchant_count() {
+            let mid = MerchantId(m as u32);
+            for &c in mw.menu(mid) {
+                assert!(
+                    mw.sellers(c).contains(&mid),
+                    "seller index must mirror menus"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn affinity_is_bounded_and_symmetric() {
+        let (world, mw) = setup();
+        let nodes: Vec<ConceptId> = world.truth.nodes().take(20).collect();
+        for &a in &nodes {
+            for &b in &nodes {
+                let ab = mw.co_merchant_affinity(a, b);
+                assert!((0.0..=1.0).contains(&ab));
+                assert!((ab - mw.co_merchant_affinity(b, a)).abs() < 1e-12);
+            }
+            if !mw.sellers(a).is_empty() {
+                assert!((mw.co_merchant_affinity(a, a) - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn related_concepts_share_more_merchants_than_unrelated() {
+        let (world, mw) = setup();
+        // Average affinity of true parent-child pairs vs random pairs.
+        let mut related = Vec::new();
+        for e in world.truth.edges() {
+            related.push(mw.co_merchant_affinity(e.parent, e.child));
+        }
+        let nodes: Vec<ConceptId> = world.truth.nodes().collect();
+        let mut unrelated = Vec::new();
+        for (i, &a) in nodes.iter().enumerate() {
+            let b = nodes[(i * 17 + 5) % nodes.len()];
+            if a != b
+                && !world.truth.is_ancestor(a, b)
+                && !world.truth.is_ancestor(b, a)
+            {
+                unrelated.push(mw.co_merchant_affinity(a, b));
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(
+            mean(&related) > mean(&unrelated),
+            "related {:.4} vs unrelated {:.4}",
+            mean(&related),
+            mean(&unrelated)
+        );
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let world = World::generate(&WorldConfig::tiny(910));
+        let a = MerchantWorld::generate(&world, &MerchantConfig::default());
+        let b = MerchantWorld::generate(&world, &MerchantConfig::default());
+        assert_eq!(a.menus, b.menus);
+    }
+}

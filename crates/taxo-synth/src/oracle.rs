@@ -1,0 +1,106 @@
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A simulated human annotator with a per-judgment error rate — the
+/// substitution for the paper's taxonomists (Tables IV and VII use three
+/// judges with majority vote; Section IV-E uses three relevance judges).
+#[derive(Debug)]
+pub struct Judge {
+    error_rate: f64,
+    rng: StdRng,
+}
+
+impl Judge {
+    pub fn new(error_rate: f64, seed: u64) -> Self {
+        assert!((0.0..0.5).contains(&error_rate), "judges must beat chance");
+        Judge {
+            error_rate,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Returns the judge's verdict for a fact whose ground truth is
+    /// `truth` (flipped with probability `error_rate`).
+    pub fn assess(&mut self, truth: bool) -> bool {
+        if self.rng.random_range(0.0..1.0) < self.error_rate {
+            !truth
+        } else {
+            truth
+        }
+    }
+}
+
+/// A panel of independent judges decided by majority vote ("the predicted
+/// hyponymy relation is correct when two and above taxonomists approve").
+#[derive(Debug)]
+pub struct Panel {
+    judges: Vec<Judge>,
+}
+
+impl Panel {
+    /// A panel of `n` judges sharing `error_rate` with distinct streams.
+    pub fn new(n: usize, error_rate: f64, seed: u64) -> Self {
+        assert!(n % 2 == 1, "use an odd panel so majority is defined");
+        Panel {
+            judges: (0..n)
+                .map(|k| Judge::new(error_rate, seed.wrapping_add(k as u64 * 7919)))
+                .collect(),
+        }
+    }
+
+    /// Majority verdict on a fact with ground truth `truth`.
+    pub fn majority(&mut self, truth: bool) -> bool {
+        let yes = self
+            .judges
+            .iter_mut()
+            .filter(|_| true)
+            .map(|j| j.assess(truth))
+            .filter(|&v| v)
+            .count();
+        yes * 2 > self.judges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_error_judge_is_ground_truth() {
+        let mut j = Judge::new(0.0, 1);
+        for _ in 0..50 {
+            assert!(j.assess(true));
+            assert!(!j.assess(false));
+        }
+    }
+
+    #[test]
+    fn noisy_judge_errs_at_configured_rate() {
+        let mut j = Judge::new(0.2, 2);
+        let errors = (0..10_000).filter(|_| !j.assess(true)).count();
+        let rate = errors as f64 / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn panel_majority_beats_individual_judges() {
+        let mut panel = Panel::new(3, 0.2, 3);
+        let errors = (0..10_000).filter(|_| !panel.majority(true)).count();
+        let rate = errors as f64 / 10_000.0;
+        // P(majority wrong) = 3·0.2²·0.8 + 0.2³ = 0.104 < 0.2.
+        assert!(rate < 0.13, "panel error {rate}");
+        assert!(rate > 0.07, "panel error suspiciously low: {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_panels_rejected() {
+        let _ = Panel::new(2, 0.1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chance")]
+    fn bad_error_rate_rejected() {
+        let _ = Judge::new(0.7, 0);
+    }
+}

@@ -1,0 +1,206 @@
+use crate::{ClickLog, World};
+use std::collections::HashSet;
+use taxo_core::ConceptId;
+use taxo_text::{tokenize, ConceptMatcher};
+
+/// One indexed item document.
+#[derive(Debug, Clone)]
+pub struct Doc {
+    pub text: String,
+    /// The concept the item actually is (via longest-match identification),
+    /// if any — used only by the relevance oracle, never by ranking.
+    pub concept: Option<ConceptId>,
+    /// Total clicks this item received (popularity fallback ranking).
+    pub popularity: u64,
+}
+
+/// A deliberately naive token-overlap search engine over item documents,
+/// standing in for the Meituan take-out search engine in the offline
+/// query-rewriting user study (Section IV-E).
+///
+/// Ranking is plain token overlap, so it shares the real engine's failure
+/// mode the study exploits: "search engines do not recognise and
+/// understand most fine-grained concepts" — a fine-grained query only
+/// matches items that repeat its exact rare tokens, while rewriting the
+/// query with its hypernym recalls the category's items.
+#[derive(Debug, Clone)]
+pub struct SearchEngine {
+    docs: Vec<Doc>,
+}
+
+impl SearchEngine {
+    /// Indexes every distinct item string of a click log, accumulating
+    /// click counts as document popularity.
+    pub fn from_click_log(world: &World, log: &ClickLog) -> Self {
+        let matcher = ConceptMatcher::new(&world.vocab);
+        let mut index: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        let mut docs: Vec<Doc> = Vec::new();
+        for r in &log.records {
+            match index.get(&r.item_text) {
+                Some(&i) => docs[i].popularity += r.count,
+                None => {
+                    index.insert(r.item_text.clone(), docs.len());
+                    docs.push(Doc {
+                        concept: matcher.identify(&r.item_text),
+                        text: r.item_text.clone(),
+                        popularity: r.count,
+                    });
+                }
+            }
+        }
+        SearchEngine { docs }
+    }
+
+    /// Indexes an explicit document list.
+    pub fn from_docs(docs: Vec<Doc>) -> Self {
+        SearchEngine { docs }
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Top-`k` documents by token overlap with `query` (ties broken by
+    /// index order for determinism). Documents with zero overlap are
+    /// never returned.
+    pub fn search(&self, query: &str, k: usize) -> Vec<&Doc> {
+        let q_tokens: HashSet<&str> = tokenize(query).into_iter().collect();
+        if q_tokens.is_empty() {
+            return Vec::new();
+        }
+        let mut scored: Vec<(usize, usize)> = self
+            .docs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| {
+                let overlap = tokenize(&d.text)
+                    .into_iter()
+                    .collect::<HashSet<_>>()
+                    .intersection(&q_tokens)
+                    .count();
+                (overlap > 0).then_some((overlap, i))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(_, i)| &self.docs[i])
+            .collect()
+    }
+
+    /// Like [`SearchEngine::search`], but always returns `k` results when
+    /// the index has them: positions the query cannot fill are padded with
+    /// globally popular items, the way production engines avoid empty
+    /// result pages. This is what makes unrecognised fine-grained queries
+    /// imprecise (Section IV-E).
+    pub fn search_or_popular(&self, query: &str, k: usize) -> Vec<&Doc> {
+        let mut hits = self.search(query, k);
+        if hits.len() < k {
+            let chosen: HashSet<*const Doc> = hits.iter().map(|d| *d as *const Doc).collect();
+            let mut rest: Vec<&Doc> = self
+                .docs
+                .iter()
+                .filter(|d| !chosen.contains(&(*d as *const Doc)))
+                .collect();
+            rest.sort_by(|a, b| b.popularity.cmp(&a.popularity).then(a.text.cmp(&b.text)));
+            hits.extend(rest.into_iter().take(k - hits.len()));
+        }
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClickConfig, WorldConfig};
+
+    #[test]
+    fn indexes_distinct_items() {
+        let world = World::generate(&WorldConfig::tiny(5));
+        let log = ClickLog::generate(&world, &ClickConfig::tiny(5));
+        let engine = SearchEngine::from_click_log(&world, &log);
+        assert!(!engine.is_empty());
+        assert!(engine.len() <= log.distinct_pairs());
+    }
+
+    #[test]
+    fn overlap_ranking_prefers_more_shared_tokens() {
+        let engine = SearchEngine::from_docs(vec![
+            Doc {
+                text: "fresh rye breado pack".into(),
+                concept: None,
+                popularity: 5,
+            },
+            Doc {
+                text: "rye crackers".into(),
+                concept: None,
+                popularity: 3,
+            },
+            Doc {
+                text: "unrelated thing".into(),
+                concept: None,
+                popularity: 99,
+            },
+        ]);
+        let hits = engine.search("rye breado", 10);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].text, "fresh rye breado pack");
+        assert_eq!(hits[1].text, "rye crackers");
+    }
+
+    #[test]
+    fn zero_overlap_returns_nothing() {
+        let engine = SearchEngine::from_docs(vec![Doc {
+            text: "abc def".into(),
+            concept: None,
+            popularity: 1,
+        }]);
+        assert!(engine.search("xyz", 5).is_empty());
+        assert!(engine.search("", 5).is_empty());
+    }
+
+    #[test]
+    fn popular_padding_fills_k() {
+        let engine = SearchEngine::from_docs(vec![
+            Doc {
+                text: "toasti snack".into(),
+                concept: None,
+                popularity: 1,
+            },
+            Doc {
+                text: "megahit item".into(),
+                concept: None,
+                popularity: 100,
+            },
+            Doc {
+                text: "minor item".into(),
+                concept: None,
+                popularity: 2,
+            },
+        ]);
+        let hits = engine.search_or_popular("toasti", 2);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].text, "toasti snack");
+        assert_eq!(hits[1].text, "megahit item", "padded by popularity");
+    }
+
+    #[test]
+    fn k_caps_results() {
+        let docs = (0..20)
+            .map(|i| Doc {
+                text: format!("breado item{i}"),
+                concept: None,
+                popularity: i,
+            })
+            .collect();
+        let engine = SearchEngine::from_docs(docs);
+        assert_eq!(engine.search("breado", 10).len(), 10);
+    }
+}

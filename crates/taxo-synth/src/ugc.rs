@@ -1,0 +1,175 @@
+use crate::{UgcConfig, World};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use taxo_core::{ConceptId, Edge};
+
+/// A synthetic user-generated-content corpus (Definition 4): review-style
+/// sentences whose concept co-occurrence statistics carry the taxonomy's
+/// hyponymy relations *implicitly* — exactly the signal C-BERT's
+/// concept-level MLM pretraining is meant to absorb (Section III-B1).
+#[derive(Debug, Clone)]
+pub struct UgcCorpus {
+    pub sentences: Vec<String>,
+}
+
+/// Implicit hyponymy-bearing templates (reviews mentioning a child and
+/// its hypernym without a clean pattern — the common case the paper
+/// argues defeats Hearst-style extraction).
+const IMPLICIT: &[(&str, &str)] = &[
+    ("the ", " in this shop is the best "),
+    ("ordered ", " again truly a fine "),
+    ("this place makes a lovely ", " my favourite "),
+    ("their ", " beats any other "),
+];
+
+/// Explicit quasi-Hearst templates (rarer).
+const EXPLICIT_CHILD_FIRST: &[&str] = &[" is a kind of ", " is a type of "];
+const EXPLICIT_PARENT_FIRST: &[&str] = &[" such as "];
+
+const CHATTER: &[&str] = &[
+    "delivery was quick and the packaging held up",
+    "prices went up again this month",
+    "the shop owner is very friendly",
+    "will definitely order here again soon",
+];
+
+impl UgcCorpus {
+    /// Generates `cfg.n_sentences` review sentences over `world`.
+    pub fn generate(world: &World, cfg: &UgcConfig) -> UgcCorpus {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let edges: Vec<Edge> = world.truth.edges().collect();
+        let nodes: Vec<ConceptId> = world.truth.nodes().collect();
+        assert!(!edges.is_empty(), "world has no relations to verbalise");
+
+        let mut sentences = Vec::with_capacity(cfg.n_sentences);
+        for _ in 0..cfg.n_sentences {
+            let roll: f64 = rng.random_range(0.0..1.0);
+            let s = if roll < cfg.p_relational {
+                // Verbalise a true relation: usually a direct edge,
+                // sometimes an ancestor pair.
+                let (parent, child) = if rng.random_range(0.0..1.0) < 0.85 {
+                    let e = edges[rng.random_range(0..edges.len())];
+                    (e.parent, e.child)
+                } else {
+                    let n = nodes[rng.random_range(0..nodes.len())];
+                    let anc = world.truth.ancestors(n);
+                    if anc.is_empty() {
+                        let e = edges[rng.random_range(0..edges.len())];
+                        (e.parent, e.child)
+                    } else {
+                        (anc[rng.random_range(0..anc.len())], n)
+                    }
+                };
+                let p = world.name(parent);
+                let c = world.name(child);
+                if rng.random_range(0.0..1.0) < cfg.p_explicit {
+                    if rng.random_range(0.0..1.0) < 0.7 {
+                        let t =
+                            EXPLICIT_CHILD_FIRST[rng.random_range(0..EXPLICIT_CHILD_FIRST.len())];
+                        format!("{c}{t}{p}")
+                    } else {
+                        let t =
+                            EXPLICIT_PARENT_FIRST[rng.random_range(0..EXPLICIT_PARENT_FIRST.len())];
+                        format!("we sell {p}{t}{c} every day")
+                    }
+                } else {
+                    let (pre, mid) = IMPLICIT[rng.random_range(0..IMPLICIT.len())];
+                    format!("{pre}{c}{mid}{p}")
+                }
+            } else if roll < cfg.p_relational + 0.25 {
+                // Co-occurrence noise: two arbitrary concepts.
+                let a = nodes[rng.random_range(0..nodes.len())];
+                let b = nodes[rng.random_range(0..nodes.len())];
+                format!(
+                    "{} and {} arrived cold",
+                    world.name(a),
+                    world.name(b)
+                )
+            } else if roll < cfg.p_relational + 0.35 {
+                let a = nodes[rng.random_range(0..nodes.len())];
+                format!("the {} was fine i guess", world.name(a))
+            } else {
+                CHATTER[rng.random_range(0..CHATTER.len())].to_owned()
+            };
+            sentences.push(s);
+        }
+        UgcCorpus { sentences }
+    }
+
+    /// Number of sentences.
+    pub fn len(&self) -> usize {
+        self.sentences.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sentences.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorldConfig;
+    use taxo_text::{ConceptMatcher, HearstMatcher};
+
+    fn setup() -> (World, UgcCorpus) {
+        let world = World::generate(&WorldConfig::tiny(3));
+        let corpus = UgcCorpus::generate(&world, &UgcConfig::tiny(3));
+        (world, corpus)
+    }
+
+    #[test]
+    fn corpus_size_matches_config() {
+        let (_, corpus) = setup();
+        assert_eq!(corpus.len(), 800);
+        assert!(!corpus.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let world = World::generate(&WorldConfig::tiny(3));
+        let a = UgcCorpus::generate(&world, &UgcConfig::tiny(1));
+        let b = UgcCorpus::generate(&world, &UgcConfig::tiny(1));
+        assert_eq!(a.sentences, b.sentences);
+    }
+
+    #[test]
+    fn relational_sentences_mention_true_pairs() {
+        let (world, corpus) = setup();
+        let matcher = ConceptMatcher::new(&world.vocab);
+        // Count sentences containing a (hyper, hypo) true pair in either
+        // order.
+        let mut with_true_pair = 0;
+        for s in &corpus.sentences {
+            let mentions = matcher.identify_all(s);
+            let found = mentions.iter().any(|&(_, _, a)| {
+                mentions
+                    .iter()
+                    .any(|&(_, _, b)| a != b && world.is_true_hypernym(a, b))
+            });
+            if found {
+                with_true_pair += 1;
+            }
+        }
+        // p_relational = 0.55 of 800 ≈ 440; allow generous slack (some
+        // noise pairs are accidentally true as well).
+        assert!(
+            with_true_pair > 300,
+            "only {with_true_pair} relation-bearing sentences"
+        );
+    }
+
+    #[test]
+    fn hearst_patterns_fire_on_explicit_sentences() {
+        let (world, corpus) = setup();
+        let matcher = ConceptMatcher::new(&world.vocab);
+        let hearst = HearstMatcher::default_catalogue();
+        let extractions: usize = corpus
+            .sentences
+            .iter()
+            .map(|s| hearst.extract(&matcher, s).len())
+            .sum();
+        assert!(extractions > 20, "only {extractions} Hearst hits");
+    }
+}

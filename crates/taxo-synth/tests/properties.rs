@@ -1,0 +1,76 @@
+//! Property-based tests for the synthetic world generator.
+
+use proptest::prelude::*;
+use taxo_synth::{ClickConfig, ClickLog, UgcConfig, UgcCorpus, World, WorldConfig, ZipfSampler};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn worlds_respect_structural_invariants(seed in 0u64..500) {
+        let w = World::generate(&WorldConfig::tiny(seed));
+        // The taxonomy is a DAG rooted at the declared roots.
+        prop_assert_eq!(w.roots.len(), w.config.n_roots);
+        for &r in &w.roots {
+            prop_assert!(w.truth.parents(r).is_empty());
+        }
+        // Every non-root node has at least one parent.
+        for n in w.truth.nodes() {
+            if !w.roots.contains(&n) {
+                prop_assert!(!w.truth.parents(n).is_empty(), "orphan {n:?}");
+            }
+        }
+        // Depth matches the configuration.
+        prop_assert_eq!(w.truth.depth(), w.config.max_depth);
+        // The existing taxonomy is an induced sub-DAG.
+        for e in w.existing.edges() {
+            prop_assert!(w.truth.contains_edge(e.parent, e.child));
+        }
+        // New concepts are exactly the withheld nodes.
+        for &c in &w.new_concepts {
+            prop_assert!(!w.existing.contains_node(c));
+            prop_assert!(w.truth.contains_node(c));
+        }
+        // Every concept has a unique, non-empty name.
+        let mut names = std::collections::HashSet::new();
+        for (_, name) in w.vocab.iter() {
+            prop_assert!(!name.is_empty());
+            prop_assert!(names.insert(name.to_owned()), "duplicate {name}");
+        }
+    }
+
+    #[test]
+    fn click_logs_conserve_events(seed in 0u64..200) {
+        let w = World::generate(&WorldConfig::tiny(seed));
+        let cfg = ClickConfig { n_events: 2_000, seed, ..Default::default() };
+        let log = ClickLog::generate(&w, &cfg);
+        prop_assert_eq!(log.total_events(), 2_000);
+        // Aggregation: no duplicate (query, item) rows.
+        let mut seen = std::collections::HashSet::new();
+        for r in &log.records {
+            prop_assert!(r.count > 0);
+            prop_assert!(seen.insert((r.query, r.item_text.clone())));
+        }
+    }
+
+    #[test]
+    fn ugc_sentences_are_nonempty_ascii(seed in 0u64..200) {
+        let w = World::generate(&WorldConfig::tiny(seed));
+        let corpus = UgcCorpus::generate(&w, &UgcConfig { n_sentences: 300, seed, ..Default::default() });
+        prop_assert_eq!(corpus.len(), 300);
+        for s in &corpus.sentences {
+            prop_assert!(!s.trim().is_empty());
+            prop_assert!(s.is_ascii());
+        }
+    }
+
+    #[test]
+    fn zipf_cdf_is_valid(n in 1usize..200, s in 0.2f64..2.5) {
+        let z = ZipfSampler::new(n, s);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+        for _ in 0..100 {
+            let r = z.sample(&mut rng);
+            prop_assert!(r < n);
+        }
+    }
+}

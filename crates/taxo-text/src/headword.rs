@@ -1,0 +1,69 @@
+use crate::tokenize;
+
+/// The headword of a concept name: its final whitespace token.
+///
+/// In the paper, ~93–96% of hyponymy relations are detectable because the
+/// hyponym's name ends with the hypernym ("Rye Bread" IsA "Bread"); our
+/// pseudo-language follows the same head-final convention.
+pub fn headword(name: &str) -> &str {
+    tokenize(name).last().copied().unwrap_or("")
+}
+
+/// Whether the edge `parent -> child` is detectable by the headword rule:
+/// the parent's token sequence is a strict suffix of the child's token
+/// sequence. `("breado", "rye breado")` → true; `("breado", "toasti")` →
+/// false; `("breado", "breado")` → false (not strict).
+pub fn is_headword_edge(parent: &str, child: &str) -> bool {
+    let p = tokenize(parent);
+    let c = tokenize(child);
+    if p.is_empty() || c.len() <= p.len() {
+        return false;
+    }
+    c[c.len() - p.len()..] == p[..]
+}
+
+/// Whether `parent` occurs as a substring of `child` — the `Substr`
+/// baseline's rule (Bordea et al., SemEval-2016 task 13). Looser than
+/// [`is_headword_edge`]: matches anywhere, not only the head position.
+pub fn is_substring_edge(parent: &str, child: &str) -> bool {
+    parent != child && !parent.is_empty() && child.contains(parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headword_is_last_token() {
+        assert_eq!(headword("rye breado"), "breado");
+        assert_eq!(headword("breado"), "breado");
+        assert_eq!(headword(""), "");
+    }
+
+    #[test]
+    fn headword_edge_requires_suffix() {
+        assert!(is_headword_edge("breado", "rye breado"));
+        assert!(is_headword_edge("rye breado", "golden rye breado"));
+        assert!(!is_headword_edge("breado", "toasti"));
+        assert!(!is_headword_edge("breado", "breado"));
+        // prefix, not suffix:
+        assert!(!is_headword_edge("rye", "rye breado"));
+        // suffix must align on token boundary:
+        assert!(!is_headword_edge("eado", "rye breado"));
+    }
+
+    #[test]
+    fn headword_edge_rejects_shorter_child() {
+        assert!(!is_headword_edge("golden rye breado", "rye breado"));
+        assert!(!is_headword_edge("", "rye breado"));
+    }
+
+    #[test]
+    fn substring_edge() {
+        assert!(is_substring_edge("breado", "rye breado"));
+        assert!(is_substring_edge("rye", "rye breado"));
+        assert!(!is_substring_edge("breado", "breado"));
+        assert!(!is_substring_edge("toasti", "rye breado"));
+        assert!(!is_substring_edge("", "anything"));
+    }
+}

@@ -1,0 +1,25 @@
+//! Text substrate: tokenisation, token vocabularies, headword analysis,
+//! longest-common-substring concept identification, and lexico-syntactic
+//! relation patterns.
+//!
+//! The paper's pipeline is text-heavy even though its models are neural:
+//! * graph construction identifies concept nodes inside free-form clicked
+//!   item strings via longest-common-substring matching (Section III-A2);
+//! * self-supervised data generation must decide whether a hyponymy edge is
+//!   detectable from the child's *headword* (Section III-C1);
+//! * the `Substr` and `Snowball` baselines are purely lexical
+//!   (Section IV-B4).
+//!
+//! The paper operates on Chinese; our synthetic world is a whitespace-
+//! separated pseudo-language, so the tokeniser is a whitespace splitter and
+//! the headword convention is "last token of the name".
+
+mod headword;
+mod matching;
+mod patterns;
+mod tokenize;
+
+pub use headword::{headword, is_headword_edge, is_substring_edge};
+pub use matching::{identify_concept, longest_common_substring, ConceptMatcher};
+pub use patterns::{HearstMatcher, Pattern, PatternExtraction, SnowballConfig, SnowballEngine};
+pub use tokenize::{tokenize, TokenId, TokenVocab, CLS, MASK, PAD, SEP, UNK};

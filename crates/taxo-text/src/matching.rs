@@ -1,0 +1,199 @@
+use crate::tokenize;
+use std::collections::HashMap;
+use taxo_core::{ConceptId, Vocabulary};
+
+/// Length of the longest common substring (in bytes, over ASCII) of `a`
+/// and `b`, via the classic O(|a|·|b|) dynamic program with a rolling row.
+pub fn longest_common_substring(a: &str, b: &str) -> usize {
+    let a = a.as_bytes();
+    let b = b.as_bytes();
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    let mut best = 0;
+    for &ca in a {
+        for (j, &cb) in b.iter().enumerate() {
+            cur[j + 1] = if ca == cb { prev[j] + 1 } else { 0 };
+            best = best.max(cur[j + 1]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    best
+}
+
+/// Identifies which vocabulary concept a clicked-item string refers to
+/// (Graph Construction step 2, Section III-A2).
+///
+/// Token-indexed implementation of the paper's "longest common sub-string
+/// matching": every contiguous token span of the item string is looked up
+/// in the concept vocabulary and the *longest* matching span (most tokens,
+/// ties broken by byte length then smaller id) wins. For example, with
+/// vocabulary {"bun", "cheese bun"}, the item "well-known cheese bun - 6
+/// pack" resolves to "cheese bun", not "bun".
+#[derive(Debug, Clone)]
+pub struct ConceptMatcher {
+    /// Concept name (joined tokens) -> id.
+    by_name: HashMap<String, ConceptId>,
+    /// Longest concept length in tokens, bounding span enumeration.
+    max_tokens: usize,
+}
+
+impl ConceptMatcher {
+    /// Builds a matcher over every concept in `vocab`.
+    pub fn new(vocab: &Vocabulary) -> Self {
+        let mut by_name = HashMap::with_capacity(vocab.len());
+        let mut max_tokens = 1;
+        for (id, name) in vocab.iter() {
+            max_tokens = max_tokens.max(tokenize(name).len());
+            by_name.insert(name.to_owned(), id);
+        }
+        ConceptMatcher {
+            by_name,
+            max_tokens,
+        }
+    }
+
+    /// Builds a matcher over an explicit subset of concepts.
+    pub fn from_concepts<'a>(concepts: impl Iterator<Item = (ConceptId, &'a str)>) -> Self {
+        let mut by_name = HashMap::new();
+        let mut max_tokens = 1;
+        for (id, name) in concepts {
+            max_tokens = max_tokens.max(tokenize(name).len());
+            by_name.insert(name.to_owned(), id);
+        }
+        ConceptMatcher {
+            by_name,
+            max_tokens,
+        }
+    }
+
+    /// Finds the longest concept mentioned in `item_text`, if any.
+    pub fn identify(&self, item_text: &str) -> Option<ConceptId> {
+        let tokens = tokenize(item_text);
+        let mut best: Option<(usize, usize, ConceptId)> = None; // (tokens, bytes, id)
+        let mut span = String::new();
+        for start in 0..tokens.len() {
+            span.clear();
+            let top = (start + self.max_tokens).min(tokens.len());
+            for (extra, token) in tokens[start..top].iter().enumerate() {
+                if extra > 0 {
+                    span.push(' ');
+                }
+                span.push_str(token);
+                if let Some(&id) = self.by_name.get(span.as_str()) {
+                    let key = (extra + 1, span.len(), id);
+                    let better = match best {
+                        None => true,
+                        Some((t, b, old)) => {
+                            (key.0, key.1) > (t, b) || ((key.0, key.1) == (t, b) && id < old)
+                        }
+                    };
+                    if better {
+                        best = Some(key);
+                    }
+                }
+            }
+        }
+        best.map(|(_, _, id)| id)
+    }
+
+    /// Finds *all* distinct concepts mentioned in `text`, longest-match
+    /// left-to-right (used for concept-level masking over UGC sentences).
+    /// Returns `(start_token, token_len, id)` triples, non-overlapping.
+    pub fn identify_all(&self, text: &str) -> Vec<(usize, usize, ConceptId)> {
+        let tokens = tokenize(text);
+        let mut out = Vec::new();
+        let mut start = 0;
+        let mut span = String::new();
+        while start < tokens.len() {
+            let mut found: Option<(usize, ConceptId)> = None;
+            span.clear();
+            let top = (start + self.max_tokens).min(tokens.len());
+            for (extra, token) in tokens[start..top].iter().enumerate() {
+                if extra > 0 {
+                    span.push(' ');
+                }
+                span.push_str(token);
+                if let Some(&id) = self.by_name.get(span.as_str()) {
+                    found = Some((extra + 1, id)); // keep the longest
+                }
+            }
+            if let Some((len, id)) = found {
+                out.push((start, len, id));
+                start += len;
+            } else {
+                start += 1;
+            }
+        }
+        out
+    }
+}
+
+/// Convenience one-shot wrapper around [`ConceptMatcher::identify`].
+pub fn identify_concept(vocab: &Vocabulary, item_text: &str) -> Option<ConceptId> {
+    ConceptMatcher::new(vocab).identify(item_text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab_of(names: &[&str]) -> (Vocabulary, Vec<ConceptId>) {
+        let mut v = Vocabulary::new();
+        let ids = names.iter().map(|n| v.intern(n)).collect();
+        (v, ids)
+    }
+
+    #[test]
+    fn lcs_basic() {
+        assert_eq!(longest_common_substring("cheese bun", "well cheese bun 6"), 10);
+        assert_eq!(longest_common_substring("abc", "xbcy"), 2);
+        assert_eq!(longest_common_substring("", "abc"), 0);
+        assert_eq!(longest_common_substring("abc", "abc"), 3);
+        assert_eq!(longest_common_substring("abc", "def"), 0);
+    }
+
+    #[test]
+    fn identify_prefers_longest_concept() {
+        let (v, ids) = vocab_of(&["bun", "cheese bun"]);
+        let m = ConceptMatcher::new(&v);
+        assert_eq!(m.identify("wellknown cheese bun - 6 pack"), Some(ids[1]));
+        assert_eq!(m.identify("plain bun today"), Some(ids[0]));
+        assert_eq!(m.identify("nothing relevant"), None);
+    }
+
+    #[test]
+    fn identify_requires_exact_token_spans() {
+        let (v, _) = vocab_of(&["cheese bun"]);
+        let m = ConceptMatcher::new(&v);
+        // "cheesebun" is a single token that is not in the vocabulary.
+        assert_eq!(m.identify("a cheesebun thing"), None);
+    }
+
+    #[test]
+    fn identify_all_non_overlapping_longest_first() {
+        let (v, ids) = vocab_of(&["breado", "rye breado", "toasti"]);
+        let m = ConceptMatcher::new(&v);
+        let hits = m.identify_all("the rye breado beats any toasti here");
+        let got: Vec<ConceptId> = hits.iter().map(|&(_, _, id)| id).collect();
+        assert_eq!(got, vec![ids[1], ids[2]]);
+        // Span metadata points at the right tokens.
+        assert_eq!(hits[0], (1, 2, ids[1]));
+        assert_eq!(hits[1], (5, 1, ids[2]));
+    }
+
+    #[test]
+    fn one_shot_helper() {
+        let (v, ids) = vocab_of(&["melonix"]);
+        assert_eq!(identify_concept(&v, "iced melonix 750ml"), Some(ids[0]));
+    }
+
+    #[test]
+    fn subset_matcher() {
+        let (v, ids) = vocab_of(&["a", "b"]);
+        let m = ConceptMatcher::from_concepts(std::iter::once((ids[1], v.name(ids[1]))));
+        assert_eq!(m.identify("a b"), Some(ids[1]));
+    }
+}

@@ -1,0 +1,345 @@
+use crate::matching::ConceptMatcher;
+use std::collections::{HashMap, HashSet};
+use taxo_core::ConceptId;
+
+/// A lexico-syntactic pattern: the token sequence *between* two concept
+/// mentions, plus the direction in which the pair is read.
+///
+/// With `hyper_first == true` the textual order is `<HYPER> middle <HYPO>`
+/// ("breado such as toasti"); with `false` it is `<HYPO> middle <HYPER>`
+/// ("toasti is a kind of breado").
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    pub middle: String,
+    pub hyper_first: bool,
+}
+
+impl Pattern {
+    pub fn new(middle: &str, hyper_first: bool) -> Self {
+        Pattern {
+            middle: middle.to_owned(),
+            hyper_first,
+        }
+    }
+}
+
+/// A hypernym–hyponym pair extracted from text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PatternExtraction {
+    pub hyper: ConceptId,
+    pub hypo: ConceptId,
+}
+
+/// A pair of concept mentions in one sentence with the tokens between them.
+#[derive(Debug, Clone)]
+struct MentionContext {
+    first: ConceptId,
+    second: ConceptId,
+    middle: String,
+}
+
+fn contexts_in(matcher: &ConceptMatcher, sentence: &str, max_gap: usize) -> Vec<MentionContext> {
+    let tokens = crate::tokenize(sentence);
+    let mentions = matcher.identify_all(sentence);
+    let mut out = Vec::new();
+    for i in 0..mentions.len() {
+        for j in (i + 1)..mentions.len() {
+            let (s1, l1, c1) = mentions[i];
+            let (s2, _, c2) = mentions[j];
+            if c1 == c2 {
+                continue;
+            }
+            let gap_start = s1 + l1;
+            if s2 < gap_start || s2 - gap_start > max_gap {
+                continue;
+            }
+            out.push(MentionContext {
+                first: c1,
+                second: c2,
+                middle: tokens[gap_start..s2].join(" "),
+            });
+        }
+    }
+    out
+}
+
+/// Matches a fixed catalogue of Hearst-style patterns against sentences
+/// (Hearst 1992; used by the paper to argue pattern methods are too brittle
+/// for UGC, and by the `Snowball` baseline as seed patterns).
+#[derive(Debug, Clone)]
+pub struct HearstMatcher {
+    patterns: Vec<Pattern>,
+    max_gap: usize,
+}
+
+impl HearstMatcher {
+    /// A matcher with an explicit pattern catalogue.
+    pub fn new(patterns: Vec<Pattern>) -> Self {
+        let max_gap = patterns
+            .iter()
+            .map(|p| crate::tokenize(&p.middle).len())
+            .max()
+            .unwrap_or(0);
+        HearstMatcher { patterns, max_gap }
+    }
+
+    /// The default catalogue, mirroring classic Hearst templates in the
+    /// synthetic pseudo-language's grammar.
+    pub fn default_catalogue() -> Self {
+        Self::new(vec![
+            Pattern::new("is a kind of", false),
+            Pattern::new("is a type of", false),
+            Pattern::new("is a", false),
+            Pattern::new("such as", true),
+            Pattern::new("like the", true),
+        ])
+    }
+
+    /// Extracts every pattern-supported pair from `sentence`.
+    pub fn extract(&self, matcher: &ConceptMatcher, sentence: &str) -> Vec<PatternExtraction> {
+        let mut out = Vec::new();
+        for ctx in contexts_in(matcher, sentence, self.max_gap) {
+            for p in &self.patterns {
+                if ctx.middle == p.middle {
+                    let (hyper, hypo) = if p.hyper_first {
+                        (ctx.first, ctx.second)
+                    } else {
+                        (ctx.second, ctx.first)
+                    };
+                    out.push(PatternExtraction { hyper, hypo });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Configuration for [`SnowballEngine`].
+#[derive(Debug, Clone)]
+pub struct SnowballConfig {
+    /// Bootstrapping rounds.
+    pub iterations: usize,
+    /// A pattern must match at least this many *distinct* pairs.
+    pub min_pattern_support: usize,
+    /// Minimum pattern confidence (seed hits / total distinct pairs).
+    pub min_confidence: f64,
+    /// Maximum token gap between two mentions.
+    pub max_gap: usize,
+}
+
+impl Default for SnowballConfig {
+    fn default() -> Self {
+        SnowballConfig {
+            iterations: 3,
+            min_pattern_support: 2,
+            min_confidence: 0.6,
+            max_gap: 5,
+        }
+    }
+}
+
+/// Snowball-style bootstrapped relation extraction (Agichtein & Gravano,
+/// 2000), simplified to exact-middle patterns: starting from seed pairs,
+/// learn the contexts in which seeds co-occur, score them by how selective
+/// they are, then harvest new pairs matched by confident patterns.
+#[derive(Debug, Clone)]
+pub struct SnowballEngine {
+    config: SnowballConfig,
+}
+
+impl SnowballEngine {
+    pub fn new(config: SnowballConfig) -> Self {
+        SnowballEngine { config }
+    }
+
+    /// Runs bootstrapping over `corpus` starting from `seeds`
+    /// (hyper→hypo pairs). Returns all extracted pairs, seeds excluded.
+    pub fn run(
+        &self,
+        matcher: &ConceptMatcher,
+        corpus: &[String],
+        seeds: &[PatternExtraction],
+    ) -> Vec<PatternExtraction> {
+        // Pre-compute all mention contexts once.
+        let contexts: Vec<MentionContext> = corpus
+            .iter()
+            .flat_map(|s| contexts_in(matcher, s, self.config.max_gap))
+            .collect();
+
+        let mut known: HashSet<PatternExtraction> = seeds.iter().copied().collect();
+        let mut harvested: HashSet<PatternExtraction> = HashSet::new();
+
+        for _ in 0..self.config.iterations {
+            // 1. Induce patterns from contexts that realise a known pair.
+            //    pattern -> (distinct matching pairs, distinct known pairs)
+            let mut stats: HashMap<Pattern, (HashSet<(ConceptId, ConceptId)>, usize)> =
+                HashMap::new();
+            for ctx in &contexts {
+                for hyper_first in [true, false] {
+                    let (hyper, hypo) = if hyper_first {
+                        (ctx.first, ctx.second)
+                    } else {
+                        (ctx.second, ctx.first)
+                    };
+                    let pattern = Pattern {
+                        middle: ctx.middle.clone(),
+                        hyper_first,
+                    };
+                    let entry = stats.entry(pattern).or_default();
+                    let fresh = entry.0.insert((hyper, hypo));
+                    if fresh && known.contains(&PatternExtraction { hyper, hypo }) {
+                        entry.1 += 1;
+                    }
+                }
+            }
+            // 2. Keep confident patterns.
+            let confident: HashSet<Pattern> = stats
+                .iter()
+                .filter(|(_, (pairs, seed_hits))| {
+                    *seed_hits >= self.config.min_pattern_support
+                        && (*seed_hits as f64 / pairs.len() as f64) >= self.config.min_confidence
+                })
+                .map(|(p, _)| p.clone())
+                .collect();
+            if confident.is_empty() {
+                break;
+            }
+            // 3. Harvest new pairs from confident patterns.
+            let mut grew = false;
+            for (pattern, (pairs, _)) in &stats {
+                if !confident.contains(pattern) {
+                    continue;
+                }
+                for &(hyper, hypo) in pairs {
+                    let pair = PatternExtraction { hyper, hypo };
+                    if known.insert(pair) {
+                        harvested.insert(pair);
+                        grew = true;
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        let mut out: Vec<_> = harvested.into_iter().collect();
+        out.sort_by_key(|p| (p.hyper, p.hypo));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxo_core::Vocabulary;
+
+    fn setup() -> (Vocabulary, Vec<ConceptId>, ConceptMatcher) {
+        let mut v = Vocabulary::new();
+        let ids: Vec<ConceptId> = ["breado", "toasti", "bagela", "melonix"]
+            .iter()
+            .map(|n| v.intern(n))
+            .collect();
+        let m = ConceptMatcher::new(&v);
+        (v, ids, m)
+    }
+
+    #[test]
+    fn hearst_extracts_directed_pair() {
+        let (_, ids, m) = setup();
+        let h = HearstMatcher::default_catalogue();
+        let hits = h.extract(&m, "honestly toasti is a kind of breado");
+        assert_eq!(
+            hits,
+            vec![PatternExtraction {
+                hyper: ids[0],
+                hypo: ids[1]
+            }]
+        );
+        let hits = h.extract(&m, "we sell breado such as bagela every day");
+        assert_eq!(
+            hits,
+            vec![PatternExtraction {
+                hyper: ids[0],
+                hypo: ids[2]
+            }]
+        );
+    }
+
+    #[test]
+    fn hearst_ignores_unrelated_sentences() {
+        let (_, _, m) = setup();
+        let h = HearstMatcher::default_catalogue();
+        assert!(h.extract(&m, "toasti near breado tastes fine").is_empty());
+        assert!(h.extract(&m, "no concepts here at all").is_empty());
+    }
+
+    #[test]
+    fn snowball_bootstraps_from_seeds() {
+        let (_, ids, m) = setup();
+        // Seeds: breado -> toasti. Corpus repeats a "X is a kind of Y"
+        // context for both the seed and a new pair (breado -> bagela),
+        // plus a noisy context that must not be learned.
+        let corpus: Vec<String> = vec![
+            "toasti is a kind of breado".into(),
+            "toasti is a kind of breado".into(),
+            "bagela is a kind of breado".into(),
+            "toasti beside melonix".into(),
+            "bagela beside melonix".into(),
+        ];
+        let seeds = [PatternExtraction {
+            hyper: ids[0],
+            hypo: ids[1],
+        }];
+        let engine = SnowballEngine::new(SnowballConfig {
+            min_pattern_support: 1,
+            min_confidence: 0.5,
+            ..Default::default()
+        });
+        let found = engine.run(&m, &corpus, &seeds);
+        assert!(found.contains(&PatternExtraction {
+            hyper: ids[0],
+            hypo: ids[2]
+        }));
+        // The noisy "beside" pattern pairs must not be harvested.
+        assert!(!found
+            .iter()
+            .any(|p| p.hyper == ids[3] || p.hypo == ids[3]));
+        // Seeds are not re-reported.
+        assert!(!found.contains(&seeds[0]));
+    }
+
+    #[test]
+    fn snowball_with_no_seed_matches_is_empty() {
+        let (_, ids, m) = setup();
+        let corpus = vec!["nothing of note".to_owned()];
+        let engine = SnowballEngine::new(SnowballConfig::default());
+        let seeds = [PatternExtraction {
+            hyper: ids[0],
+            hypo: ids[1],
+        }];
+        assert!(engine.run(&m, &corpus, &seeds).is_empty());
+    }
+
+    #[test]
+    fn snowball_confidence_filters_generic_patterns() {
+        let (_, ids, m) = setup();
+        // "and" joins everything, including non-hyponym pairs, so its
+        // confidence is low and it must be rejected.
+        let corpus: Vec<String> = vec![
+            "toasti and breado".into(),
+            "melonix and breado".into(),
+            "bagela and melonix".into(),
+            "toasti and melonix".into(),
+        ];
+        let seeds = [PatternExtraction {
+            hyper: ids[0],
+            hypo: ids[1],
+        }];
+        let engine = SnowballEngine::new(SnowballConfig {
+            min_pattern_support: 1,
+            min_confidence: 0.6,
+            ..Default::default()
+        });
+        assert!(engine.run(&m, &corpus, &seeds).is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+use std::collections::HashMap;
+
+/// A dense token identifier (distinct from `taxo_core::ConceptId`: one
+/// concept name may span several tokens).
+pub type TokenId = u32;
+
+/// Reserved id for the padding token.
+pub const PAD: TokenId = 0;
+/// Reserved id for the classification token prepended to every sequence.
+pub const CLS: TokenId = 1;
+/// Reserved id for the separator token.
+pub const SEP: TokenId = 2;
+/// Reserved id for the mask token used by MLM pretraining.
+pub const MASK: TokenId = 3;
+/// Reserved id for out-of-vocabulary tokens.
+pub const UNK: TokenId = 4;
+
+const SPECIALS: [(&str, TokenId); 5] = [
+    ("[PAD]", PAD),
+    ("[CLS]", CLS),
+    ("[SEP]", SEP),
+    ("[MASK]", MASK),
+    ("[UNK]", UNK),
+];
+
+/// Splits text on ASCII whitespace. The synthetic pseudo-language is
+/// whitespace-delimited, standing in for the paper's Chinese word
+/// segmentation tool.
+pub fn tokenize(text: &str) -> Vec<&str> {
+    text.split_ascii_whitespace().collect()
+}
+
+/// A token-level vocabulary with the five reserved special tokens at fixed
+/// ids `0..5`, used to feed the neural encoder.
+#[derive(Debug, Clone)]
+pub struct TokenVocab {
+    tokens: Vec<String>,
+    index: HashMap<String, TokenId>,
+}
+
+impl Default for TokenVocab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TokenVocab {
+    /// Creates a vocabulary containing only the special tokens.
+    pub fn new() -> Self {
+        let mut v = TokenVocab {
+            tokens: Vec::new(),
+            index: HashMap::new(),
+        };
+        for (name, id) in SPECIALS {
+            debug_assert_eq!(v.tokens.len() as TokenId, id);
+            v.tokens.push(name.to_owned());
+            v.index.insert(name.to_owned(), id);
+        }
+        v
+    }
+
+    /// Interns one token.
+    pub fn intern(&mut self, token: &str) -> TokenId {
+        if let Some(&id) = self.index.get(token) {
+            return id;
+        }
+        let id = self.tokens.len() as TokenId;
+        self.tokens.push(token.to_owned());
+        self.index.insert(token.to_owned(), id);
+        id
+    }
+
+    /// Interns every whitespace token of `text` and returns the ids.
+    pub fn intern_text(&mut self, text: &str) -> Vec<TokenId> {
+        tokenize(text).into_iter().map(|t| self.intern(t)).collect()
+    }
+
+    /// Encodes `text` without growing the vocabulary; unknown tokens map
+    /// to [`UNK`].
+    pub fn encode(&self, text: &str) -> Vec<TokenId> {
+        tokenize(text)
+            .into_iter()
+            .map(|t| self.index.get(t).copied().unwrap_or(UNK))
+            .collect()
+    }
+
+    /// Id of a single token if known.
+    pub fn get(&self, token: &str) -> Option<TokenId> {
+        self.index.get(token).copied()
+    }
+
+    /// Surface form of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn token(&self, id: TokenId) -> &str {
+        &self.tokens[id as usize]
+    }
+
+    /// Total number of tokens (including the 5 specials).
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Always false: the specials are always present.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials_occupy_fixed_ids() {
+        let v = TokenVocab::new();
+        assert_eq!(v.get("[PAD]"), Some(PAD));
+        assert_eq!(v.get("[CLS]"), Some(CLS));
+        assert_eq!(v.get("[SEP]"), Some(SEP));
+        assert_eq!(v.get("[MASK]"), Some(MASK));
+        assert_eq!(v.get("[UNK]"), Some(UNK));
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn tokenize_splits_on_whitespace() {
+        assert_eq!(tokenize("rye  breado\tfresh\n"), vec!["rye", "breado", "fresh"]);
+        assert!(tokenize("   ").is_empty());
+    }
+
+    #[test]
+    fn intern_and_encode() {
+        let mut v = TokenVocab::new();
+        let ids = v.intern_text("rye breado rye");
+        assert_eq!(ids[0], ids[2]);
+        assert_ne!(ids[0], ids[1]);
+        assert_eq!(v.encode("rye breado"), vec![ids[0], ids[1]]);
+        assert_eq!(v.encode("unseen"), vec![UNK]);
+    }
+
+    #[test]
+    fn token_round_trip() {
+        let mut v = TokenVocab::new();
+        let id = v.intern("melonix");
+        assert_eq!(v.token(id), "melonix");
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the text substrate.
+
+use proptest::prelude::*;
+use taxo_core::Vocabulary;
+use taxo_text::{
+    headword, is_headword_edge, is_substring_edge, longest_common_substring, tokenize,
+    ConceptMatcher, TokenVocab, UNK,
+};
+
+fn word() -> impl Strategy<Value = String> {
+    "[a-z]{2,8}"
+}
+
+proptest! {
+    #[test]
+    fn tokenize_never_yields_empty_tokens(s in "[a-z ]{0,40}") {
+        for t in tokenize(&s) {
+            prop_assert!(!t.is_empty());
+            prop_assert!(!t.contains(' '));
+        }
+    }
+
+    #[test]
+    fn lcs_is_symmetric_and_bounded(a in word(), b in word()) {
+        let ab = longest_common_substring(&a, &b);
+        let ba = longest_common_substring(&b, &a);
+        prop_assert_eq!(ab, ba);
+        prop_assert!(ab <= a.len().min(b.len()));
+        prop_assert_eq!(longest_common_substring(&a, &a), a.len());
+    }
+
+    #[test]
+    fn lcs_detects_containment(a in word(), prefix in word(), suffix in word()) {
+        let b = format!("{prefix}{a}{suffix}");
+        prop_assert!(longest_common_substring(&a, &b) >= a.len());
+    }
+
+    #[test]
+    fn headword_edge_from_construction(parent in word(), modifier in word()) {
+        let child = format!("{modifier} {parent}");
+        prop_assert!(is_headword_edge(&parent, &child));
+        prop_assert!(!is_headword_edge(&child, &parent));
+        prop_assert_eq!(headword(&child), parent.as_str());
+        // Headword implies substring.
+        prop_assert!(is_substring_edge(&parent, &child));
+    }
+
+    #[test]
+    fn token_vocab_encode_round_trips(words in proptest::collection::vec(word(), 1..12)) {
+        let text = words.join(" ");
+        let mut v = TokenVocab::new();
+        let ids = v.intern_text(&text);
+        prop_assert_eq!(v.encode(&text), ids.clone());
+        prop_assert!(ids.iter().all(|&id| id != UNK));
+        // Decoding each id gives back a token of the text.
+        for (id, tok) in ids.iter().zip(tokenize(&text)) {
+            prop_assert_eq!(v.token(*id), tok);
+        }
+    }
+
+    #[test]
+    fn matcher_identifies_planted_concept(
+        concept in word(),
+        deco1 in word(),
+        deco2 in word(),
+    ) {
+        // Guard against the decoration accidentally *being* the concept.
+        prop_assume!(deco1 != concept && deco2 != concept);
+        let mut vocab = Vocabulary::new();
+        let id = vocab.intern(&concept);
+        let matcher = ConceptMatcher::new(&vocab);
+        let item = format!("{deco1} {concept} {deco2}");
+        prop_assert_eq!(matcher.identify(&item), Some(id));
+    }
+
+    #[test]
+    fn identify_all_spans_are_disjoint_and_sorted(
+        names in proptest::collection::vec(word(), 1..6),
+        text_words in proptest::collection::vec(word(), 0..12),
+    ) {
+        let mut vocab = Vocabulary::new();
+        for n in &names {
+            vocab.intern(n);
+        }
+        let matcher = ConceptMatcher::new(&vocab);
+        let text = text_words.join(" ");
+        let hits = matcher.identify_all(&text);
+        let mut last_end = 0usize;
+        for &(start, len, _) in &hits {
+            prop_assert!(start >= last_end, "overlapping spans");
+            prop_assert!(len >= 1);
+            last_end = start + len;
+        }
+        prop_assert!(last_end <= tokenize(&text).len());
+    }
+}

@@ -1,0 +1,83 @@
+//! Using the library on *your own* data (no synthetic world): build a
+//! taxonomy and click log by hand, run graph construction, self-supervised
+//! dataset generation and training, then expand.
+//!
+//! This is the integration path a platform team would take: replace the
+//! hand-written lists below with your taxonomy dump, query-click
+//! aggregates and review corpus.
+//!
+//! ```text
+//! cargo run --release --example custom_taxonomy
+//! ```
+
+use product_taxonomy_expansion::prelude::*;
+use product_taxonomy_expansion::synth::ClickRecord;
+
+fn main() {
+    // 1. The concept vocabulary and the existing taxonomy (TSV-style).
+    let mut vocab = Vocabulary::new();
+    let existing_tsv = "\
+food\tbreado
+food\tdrinko
+breado\trye breado
+breado\tsweet breado
+drinko\tcold drinko
+drinko\thot drinko
+";
+    let existing = Taxonomy::from_tsv(existing_tsv, &mut vocab).expect("valid TSV");
+    // New concepts the taxonomy does not know yet.
+    for name in ["toasti", "golden rye breado", "icy cold drinko", "mocha"] {
+        vocab.intern(name);
+    }
+
+    // 2. Click logs: (query concept, clicked item string, count).
+    let mut records = Vec::new();
+    let mut click = |q: &str, item: &str, count: u64| {
+        records.push(ClickRecord {
+            query: vocab.get(q).expect("query is a known concept"),
+            item_text: item.to_owned(),
+            count,
+        });
+    };
+    click("breado", "fresh toasti pack", 40);
+    click("breado", "toasti", 25);
+    click("breado", "golden rye breado deal", 30);
+    click("rye breado", "golden rye breado", 22);
+    click("breado", "icy cold drinko", 2); // intention drift
+    click("drinko", "icy cold drinko", 35);
+    click("drinko", "mocha grande", 28);
+    click("hot drinko", "mocha", 18);
+    click("drinko", "toasti", 1); // drift the other way
+
+    // 3. Reviews (user-generated content).
+    let reviews: Vec<String> = vec![
+        "toasti is a kind of breado".into(),
+        "the toasti in this shop is the best breado around".into(),
+        "ordered golden rye breado again truly a fine rye breado".into(),
+        "their icy cold drinko beats any other cold drinko".into(),
+        "mocha is a kind of hot drinko".into(),
+        "we sell breado such as toasti every day".into(),
+        "delivery was quick and the packaging held up".into(),
+    ];
+    // Small data needs many passes.
+    let reviews: Vec<String> = (0..60).flat_map(|_| reviews.clone()).collect();
+
+    // 4. Train and expand.
+    let mut cfg = PipelineConfig::tiny(7);
+    cfg.expansion = ExpansionConfig {
+        threshold: 0.6,
+        ..Default::default()
+    };
+    let trained = TrainedPipeline::train(&existing, &vocab, &records, &reviews, &cfg);
+    let result = trained.expand(&existing, &vocab, &cfg.expansion);
+
+    println!(
+        "expanded {} -> {} relations:",
+        existing.edge_count(),
+        result.expanded.edge_count()
+    );
+    for e in result.surviving_edges() {
+        println!("  {} -> {}", vocab.name(e.parent), vocab.name(e.child));
+    }
+    println!("\nexpanded taxonomy:\n{}", result.expanded.to_tsv(&vocab));
+}

@@ -1,0 +1,106 @@
+//! Quickstart: generate a small product domain, train the expansion
+//! framework, and attach new concepts to the taxonomy.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use product_taxonomy_expansion::expand::RelationalConfig;
+use product_taxonomy_expansion::prelude::*;
+
+fn main() {
+    // 1. A synthetic product domain: a ground-truth taxonomy, an
+    //    *existing* (incomplete) taxonomy, user click logs and reviews.
+    let world = World::generate(&WorldConfig {
+        target_nodes: 700,
+        max_depth: 7,
+        ..WorldConfig::tiny(2024)
+    });
+    let clicks = ClickLog::generate(
+        &world,
+        &ClickConfig {
+            n_events: 45_000,
+            ..ClickConfig::tiny(2024)
+        },
+    );
+    let reviews = UgcCorpus::generate(
+        &world,
+        &UgcConfig {
+            n_sentences: 11_000,
+            ..UgcConfig::tiny(2024)
+        },
+    );
+    println!(
+        "world: {} concepts, existing taxonomy {} nodes / {} edges, {} withheld new concepts",
+        world.vocab.len(),
+        world.existing.node_count(),
+        world.existing.edge_count(),
+        world.new_concepts.len()
+    );
+    println!(
+        "behaviour data: {} click events, {} review sentences",
+        clicks.total_events(),
+        reviews.len()
+    );
+
+    // 2. Train the framework: graph construction, C-BERT pretraining,
+    //    contrastive GNN pretraining, self-supervised dataset generation,
+    //    and edge-classifier training.
+    // Tiny worlds still benefit from the full-size encoder; only the
+    // pretraining epochs are reduced to keep this example snappy.
+    let cfg = PipelineConfig {
+        relational: RelationalConfig {
+            pretrain_epochs: 5,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let trained = TrainedPipeline::train(
+        &world.existing,
+        &world.vocab,
+        &clicks.records,
+        &reviews.sentences,
+        &cfg,
+    );
+    println!(
+        "trained: {} candidate pairs mined, test accuracy {:.1}%",
+        trained.construction.pairs.len(),
+        100.0 * trained.test_accuracy(&world.vocab)
+    );
+
+    // 3. Expand the taxonomy top-down.
+    let result = trained.expand(&world.existing, &world.vocab, &cfg.expansion);
+    println!(
+        "expansion: {} -> {} relations ({} attached, {} pruned as redundant)",
+        world.existing.edge_count(),
+        result.expanded.edge_count(),
+        result.added.len(),
+        result.pruned.len()
+    );
+
+    // 4. Measure attachment precision against the (normally hidden)
+    //    ground truth, and show a few attached relations.
+    let surviving = result.surviving_edges();
+    let correct = surviving
+        .iter()
+        .filter(|e| world.is_true_hypernym(e.parent, e.child))
+        .count();
+    println!(
+        "attachment precision: {correct}/{} = {:.1}%",
+        surviving.len(),
+        100.0 * correct as f64 / surviving.len().max(1) as f64
+    );
+    println!("\nsample attached relations:");
+    for e in surviving.iter().take(10) {
+        let verdict = if world.is_true_hypernym(e.parent, e.child) {
+            "correct"
+        } else {
+            "wrong"
+        };
+        println!(
+            "  {:30} -> {:30} [{verdict}]",
+            world.name(e.parent),
+            world.name(e.child)
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Domain scenario: expand the Snack taxonomy — the paper's main testbed
+//! — and compare our framework against the strongest baselines on the
+//! held-out test split, mirroring one column of Table V.
+//!
+//! ```text
+//! cargo run --release --example snack_expansion [-- quick|full]
+//! ```
+
+use product_taxonomy_expansion::eval::{evaluate, DomainContext, Scale};
+use product_taxonomy_expansion::synth::WorldConfig;
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("full") => Scale::Full,
+        _ => Scale::Quick,
+    };
+    println!("# building the Snack domain at {scale:?} scale…");
+    let ctx = DomainContext::build(&WorldConfig::snack(), scale);
+    println!(
+        "# existing taxonomy: {} nodes, {} edges; {} candidate pairs mined from clicks",
+        ctx.world.existing.node_count(),
+        ctx.world.existing.edge_count(),
+        ctx.construction.pairs.len()
+    );
+
+    println!("\nMethod               Acc     Edge-F1  Ancestor-F1");
+    println!("--------------------------------------------------");
+    for name in ["Substr", "Distance-Neighbor", "STEAM", "Ours"] {
+        let method = ctx.baseline(name);
+        let s = evaluate(
+            method.as_ref(),
+            &ctx.world.vocab,
+            &ctx.adaptive.test,
+            &ctx.world.existing,
+        );
+        println!(
+            "{name:20} {:6.2}  {:7.2}  {:7.2}",
+            100.0 * s.accuracy,
+            100.0 * s.edge_f1,
+            100.0 * s.ancestor_f1
+        );
+    }
+
+    // Show what the trained model attaches for the busiest query.
+    let ours = ctx.ours();
+    let by_query = product_taxonomy_expansion::expand::candidates_by_query(&ctx.construction.pairs);
+    if let Some((&query, cands)) = by_query
+        .iter()
+        .filter(|(q, _)| !ctx.world.truth.children(**q).is_empty())
+        .max_by_key(|(_, v)| v.len())
+    {
+        println!(
+            "\nbusiest query concept: \"{}\" ({} clicked candidates)",
+            ctx.world.name(query),
+            cands.len()
+        );
+        for cand in cands.iter().take(8) {
+            let p = ours.detector.score(&ctx.world.vocab, query, cand.item);
+            let truth = ctx.world.is_true_hypernym(query, cand.item);
+            println!(
+                "  {:30} clicks={:5}  score={p:.2}  truth={truth}",
+                ctx.world.name(cand.item),
+                cand.clicks
+            );
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Product Taxonomy Expansion with User Behaviors Supervision — a full
+//! Rust reproduction of Cheng et al. (ICDE 2022).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] (`taxo_core`) — taxonomy data structures;
+//! * [`text`] (`taxo_text`) — tokenisation, headwords, patterns;
+//! * [`nn`] (`taxo_nn`) — the from-scratch neural substrate;
+//! * [`graph`] (`taxo_graph`) — heterogeneous graph + GNNs + contrastive;
+//! * [`synth`] (`taxo_synth`) — the synthetic e-commerce world;
+//! * [`expand`] (`taxo_expand`) — the paper's expansion framework;
+//! * [`baselines`] (`taxo_baselines`) — the ten comparison methods;
+//! * [`eval`] (`taxo_eval`) — metrics and experiment drivers.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use product_taxonomy_expansion::prelude::*;
+//!
+//! // Generate a small synthetic product domain…
+//! let world = World::generate(&WorldConfig::tiny(7));
+//! let log = ClickLog::generate(&world, &ClickConfig::tiny(7));
+//! let ugc = UgcCorpus::generate(&world, &UgcConfig::tiny(7));
+//!
+//! // …train the full framework on it…
+//! let trained = TrainedPipeline::train(
+//!     &world.existing, &world.vocab, &log.records, &ugc.sentences,
+//!     &PipelineConfig::tiny(7));
+//!
+//! // …and expand the taxonomy top-down.
+//! let result = trained.expand(&world.existing, &world.vocab, &ExpansionConfig::default());
+//! assert!(result.expanded.edge_count() >= world.existing.edge_count());
+//! ```
+
+pub use taxo_baselines as baselines;
+pub use taxo_core as core;
+pub use taxo_eval as eval;
+pub use taxo_expand as expand;
+pub use taxo_graph as graph;
+pub use taxo_nn as nn;
+pub use taxo_synth as synth;
+pub use taxo_text as text;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use taxo_core::{ConceptId, Edge, Taxonomy, Vocabulary};
+    pub use taxo_expand::{
+        ExpansionConfig, ExpansionResult, HypoDetector, PipelineConfig, TrainedPipeline,
+    };
+    pub use taxo_synth::{
+        ClickConfig, ClickLog, UgcConfig, UgcCorpus, World, WorldConfig,
+    };
+}
