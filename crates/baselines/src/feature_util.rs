@@ -38,7 +38,10 @@ impl ConceptEmbeddings {
 
     /// The embedding of `c` (zeros if unknown).
     pub fn get(&self, c: ConceptId) -> Vec<f32> {
-        self.table.get(&c).cloned().unwrap_or_else(|| vec![0.0; self.dim])
+        self.table
+            .get(&c)
+            .cloned()
+            .unwrap_or_else(|| vec![0.0; self.dim])
     }
 
     /// Embedding dimension.
@@ -129,8 +132,7 @@ mod tests {
     #[test]
     fn mlp_trainer_learns_separable_features() {
         // Feature: +1 when parent id < child id; the labels follow it.
-        let features =
-            |p: ConceptId, c: ConceptId| vec![if p.0 < c.0 { 1.0 } else { -1.0 }, 0.5];
+        let features = |p: ConceptId, c: ConceptId| vec![if p.0 < c.0 { 1.0 } else { -1.0 }, 0.5];
         let mut train = Vec::new();
         for i in 0..40u32 {
             let (a, b) = (ConceptId(i), ConceptId(i + 1));

@@ -42,11 +42,7 @@ pub fn lexical_features(vocab: &Vocabulary, p: ConceptId, c: ConceptId) -> Vec<f
 }
 
 impl SteamBaseline {
-    fn path_context(
-        emb: &ConceptEmbeddings,
-        taxo: &Taxonomy,
-        n: ConceptId,
-    ) -> (Vec<f32>, f32) {
+    fn path_context(emb: &ConceptEmbeddings, taxo: &Taxonomy, n: ConceptId) -> (Vec<f32>, f32) {
         let d = emb.dim();
         let ancestors = taxo.ancestors(n);
         let mut acc = vec![0.0f32; d];
@@ -78,8 +74,7 @@ impl SteamBaseline {
         for n in existing.nodes() {
             path_ctx.insert(n, Self::path_context(&emb, existing, n));
         }
-        let lexical =
-            train_feature_mlp(&|p, c| lexical_features(vocab, p, c), train, val, cfg);
+        let lexical = train_feature_mlp(&|p, c| lexical_features(vocab, p, c), train, val, cfg);
         let distributional = train_feature_mlp(
             &|p, c| {
                 let mut v = emb.get(p);
@@ -128,7 +123,9 @@ impl EdgeClassifier for SteamBaseline {
             .predict_positive(&Matrix::row_vector(lexical_features(vocab, parent, child)));
         let mut dv = self.emb.get(parent);
         dv.extend(self.emb.get(child));
-        let dist = self.distributional.predict_positive(&Matrix::row_vector(dv));
+        let dist = self
+            .distributional
+            .predict_positive(&Matrix::row_vector(dv));
         let (anc, depth) = self
             .path_ctx
             .get(&parent)

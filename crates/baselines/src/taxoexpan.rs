@@ -60,10 +60,7 @@ impl TaxoExpanBaseline {
             ego.insert(n, Self::ego_vector(&emb, existing, n));
         }
         let features = |p: ConceptId, c: ConceptId| -> Vec<f32> {
-            let mut v = ego
-                .get(&p)
-                .cloned()
-                .unwrap_or_else(|| vec![0.0; 3 * dim]);
+            let mut v = ego.get(&p).cloned().unwrap_or_else(|| vec![0.0; 3 * dim]);
             v.extend(emb.get(c));
             v
         };
@@ -144,13 +141,7 @@ mod tests {
                 kind: PairKind::NegativeReplace,
             });
         }
-        let b = TaxoExpanBaseline::train(
-            emb,
-            &taxo,
-            &train,
-            &[],
-            &BaselineTrainConfig::default(),
-        );
+        let b = TaxoExpanBaseline::train(emb, &taxo, &train, &[], &BaselineTrainConfig::default());
         let vocab = Vocabulary::new();
         assert!(b.predict(&vocab, ConceptId(0), ConceptId(3)));
         assert!(!b.predict(&vocab, ConceptId(0), ConceptId(9)));

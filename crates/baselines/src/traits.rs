@@ -3,7 +3,11 @@ use taxo_core::{ConceptId, Vocabulary};
 /// The uniform interface every method (ours and all baselines) exposes to
 /// the evaluation drivers: classify a candidate hyponymy edge
 /// `<parent, child>`.
-pub trait EdgeClassifier {
+///
+/// `Send + Sync` is a supertrait so the evaluation drivers can score
+/// candidate pairs from several threads; every implementation is plain
+/// data (no interior mutability), so the bound costs nothing.
+pub trait EdgeClassifier: Send + Sync {
     /// Method name as it appears in the paper's tables.
     fn name(&self) -> &str;
 

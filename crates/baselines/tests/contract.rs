@@ -5,7 +5,7 @@
 use std::sync::OnceLock;
 use taxo_baselines::*;
 use taxo_expand::{
-    construct_graph, generate_dataset, DatasetConfig, Dataset, DetectorConfig, RelationalConfig,
+    construct_graph, generate_dataset, Dataset, DatasetConfig, DetectorConfig, RelationalConfig,
     RelationalModel,
 };
 use taxo_graph::WeightScheme;
@@ -39,11 +39,8 @@ fn fixture() -> &'static Fixture {
             &built.pairs,
             &DatasetConfig::default(),
         );
-        let (model, _) = RelationalModel::pretrain(
-            &world.vocab,
-            &ugc.sentences,
-            &RelationalConfig::tiny(777),
-        );
+        let (model, _) =
+            RelationalModel::pretrain(&world.vocab, &ugc.sentences, &RelationalConfig::tiny(777));
         let embeddings = ConceptEmbeddings::from_model(&world.vocab, &model);
         Fixture {
             world,
@@ -87,7 +84,9 @@ fn rule_based_methods_satisfy_contract() {
     let fx = fixture();
     check_contract(&RandomBaseline::new(1));
     check_contract(&SubstrBaseline);
-    check_contract(&KbHeadwordBaseline::new(SyntheticKb::build(&fx.world, 0.1, 1)));
+    check_contract(&KbHeadwordBaseline::new(SyntheticKb::build(
+        &fx.world, 0.1, 1,
+    )));
     check_contract(&SnowballBaseline::bootstrap(
         &fx.world.existing,
         &fx.world.vocab,

@@ -45,7 +45,11 @@ fn mid_graph() -> taxo_graph::HeteroGraph {
     let mut b = HeteroGraphBuilder::new();
     for i in 0..500u32 {
         b.add_taxonomy_edge(ConceptId(i / 4), ConceptId(i + 1));
-        b.add_clicks(ConceptId(i / 4), ConceptId((i * 13) % 501), 1 + u64::from(i % 9));
+        b.add_clicks(
+            ConceptId(i / 4),
+            ConceptId((i * 13) % 501),
+            1 + u64::from(i % 9),
+        );
     }
     b.build(WeightScheme::IfIqf)
 }

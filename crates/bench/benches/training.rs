@@ -19,7 +19,9 @@ fn bench_contrastive(c: &mut Criterion) {
         builder.add_clicks(p.query, p.item, p.clicks);
     }
     let graph = builder.build(taxo_graph::WeightScheme::IfIqf);
-    let x0 = Matrix::from_fn(graph.node_count(), 32, |r, q| ((r * 3 + q) % 17) as f32 * 0.05);
+    let x0 = Matrix::from_fn(graph.node_count(), 32, |r, q| {
+        ((r * 3 + q) % 17) as f32 * 0.05
+    });
     let cfg = ContrastiveConfig {
         epochs: 1,
         ..Default::default()

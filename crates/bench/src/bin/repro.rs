@@ -16,8 +16,22 @@ use taxo_bench::{build_domains, build_snack, parse_scale};
 use taxo_eval::{experiments, DomainContext, Scale};
 
 const ALL: &[&str] = &[
-    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
-    "table10", "table11", "table12", "fig3", "fig4", "user-study", "deployment",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+    "table11",
+    "table12",
+    "fig3",
+    "fig4",
+    "user-study",
+    "deployment",
 ];
 
 fn main() {
@@ -50,7 +64,10 @@ fn main() {
     }
     for a in &artefacts {
         if !ALL.contains(&a.as_str()) {
-            die(&format!("unknown artefact {a}; choose from: {}", ALL.join(" ")));
+            die(&format!(
+                "unknown artefact {a}; choose from: {}",
+                ALL.join(" ")
+            ));
         }
     }
 

@@ -168,15 +168,21 @@ impl HypoDetector {
             let mut total = 0.0f64;
             let mut batches = 0usize;
             for chunk in order.chunks(cfg.batch) {
+                // Data-parallel forward: `edge_features` is pure (`&self`,
+                // no rng), so batch elements run concurrently and come
+                // back in index order — thread-count invariant.
+                let this: &HypoDetector = &*self;
                 let mut rows = Vec::with_capacity(chunk.len());
                 let mut ctxs = Vec::with_capacity(chunk.len());
                 let mut labels = Vec::with_capacity(chunk.len());
-                for &idx in chunk {
-                    let p = &train[idx];
-                    let (e, ctx) = self.edge_features(vocab, p.parent, p.child);
+                for (e, ctx, label) in taxo_nn::parallel::par_map(chunk.len(), |j| {
+                    let p = &train[chunk[j]];
+                    let (e, ctx) = this.edge_features(vocab, p.parent, p.child);
+                    (e, ctx, usize::from(p.label))
+                }) {
                     rows.push(e);
                     ctxs.push(ctx);
-                    labels.push(usize::from(p.label));
+                    labels.push(label);
                 }
                 let refs: Vec<&Matrix> = rows.iter().collect();
                 let mut x = Matrix::vstack(&refs);
@@ -186,8 +192,7 @@ impl HypoDetector {
                 let keep = 1.0 - cfg.input_dropout;
                 let mask = if cfg.input_dropout > 0.0 && rel_dim < x.cols() {
                     let m = Matrix::from_fn(x.rows(), x.cols(), |_, c| {
-                        if c >= rel_dim
-                            && rng.random_range(0.0..1.0) < f64::from(cfg.input_dropout)
+                        if c >= rel_dim && rng.random_range(0.0..1.0) < f64::from(cfg.input_dropout)
                         {
                             0.0
                         } else if c >= rel_dim {
@@ -213,9 +218,11 @@ impl HypoDetector {
                 // Route gradients into the representation modules.
                 for (row, ctx) in ctxs.iter().enumerate() {
                     let d_row = dx.slice_rows(row, 1);
-                    if let (Some(rel), Some(pair_ctx), true) =
-                        (self.relational.as_mut(), ctx.as_ref(), self.finetune_encoder)
-                    {
+                    if let (Some(rel), Some(pair_ctx), true) = (
+                        self.relational.as_mut(),
+                        ctx.as_ref(),
+                        self.finetune_encoder,
+                    ) {
                         let d_r = Matrix::from_fn(1, rel_dim, |_, c| d_row[(0, c)]);
                         rel.backward_pair(pair_ctx, &d_r);
                     }
@@ -254,10 +261,15 @@ impl HypoDetector {
         if pairs.is_empty() {
             return 0.0;
         }
-        let correct = pairs
-            .iter()
-            .filter(|p| self.predict(vocab, p.parent, p.child) == p.label)
-            .count();
+        // Each prediction is independent; evaluate them in parallel and
+        // count matches from the index-ordered results.
+        let correct = taxo_nn::parallel::par_map(pairs.len(), |i| {
+            let p = &pairs[i];
+            self.predict(vocab, p.parent, p.child) == p.label
+        })
+        .into_iter()
+        .filter(|&ok| ok)
+        .count();
         correct as f64 / pairs.len() as f64
     }
 }
@@ -316,12 +328,7 @@ mod tests {
             },
         );
         let relational = use_relational.then(|| {
-            RelationalModel::pretrain(
-                &world.vocab,
-                &ugc.sentences,
-                &RelationalConfig::tiny(51),
-            )
-            .0
+            RelationalModel::pretrain(&world.vocab, &ugc.sentences, &RelationalConfig::tiny(51)).0
         });
         let structural = use_structural.then(|| {
             StructuralModel::build(

@@ -116,9 +116,7 @@ pub fn analyze_errors(
             report.worst_mistakes.push((*p, confidence));
         }
     }
-    report
-        .worst_mistakes
-        .sort_by(|a, b| b.1.total_cmp(&a.1));
+    report.worst_mistakes.sort_by(|a, b| b.1.total_cmp(&a.1));
     report
 }
 
@@ -144,11 +142,8 @@ mod tests {
         // bookkeeping, not the quality.
         let world = World::generate(&WorldConfig::tiny(303));
         let ugc = UgcCorpus::generate(&world, &UgcConfig::tiny(303));
-        let rel = RelationalModel::vanilla(
-            &world.vocab,
-            &ugc.sentences,
-            &RelationalConfig::tiny(303),
-        );
+        let rel =
+            RelationalModel::vanilla(&world.vocab, &ugc.sentences, &RelationalConfig::tiny(303));
         let detector = HypoDetector::new(Some(rel), None, &DetectorConfig::tiny(303));
         let nodes: Vec<ConceptId> = world.truth.nodes().collect();
         let pairs = vec![
@@ -184,11 +179,8 @@ mod tests {
     fn empty_input_is_safe() {
         let world = World::generate(&WorldConfig::tiny(304));
         let ugc = UgcCorpus::generate(&world, &UgcConfig::tiny(304));
-        let rel = RelationalModel::vanilla(
-            &world.vocab,
-            &ugc.sentences,
-            &RelationalConfig::tiny(304),
-        );
+        let rel =
+            RelationalModel::vanilla(&world.vocab, &ugc.sentences, &RelationalConfig::tiny(304));
         let detector = HypoDetector::new(Some(rel), None, &DetectorConfig::tiny(304));
         let report = analyze_errors(&detector, &world.vocab, &[]);
         assert_eq!(report.accuracy(), 0.0);

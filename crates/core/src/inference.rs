@@ -82,18 +82,27 @@ pub fn expand_taxonomy(
         let Some(candidates) = by_query.get(&query) else {
             continue;
         };
-        for cand in candidates.iter().take(cfg.max_candidates_per_query) {
-            let item = cand.item;
-            if item == query
-                || (cfg.only_new_concepts && existing.contains_node(item))
-                || expanded.contains_edge(query, item)
-                || expanded.is_ancestor(item, query)
-            {
+        // Split scoring from attachment: the state-independent filters
+        // run first, the surviving candidates are scored in parallel
+        // (`score` is pure), and the attachment pass below re-checks the
+        // taxonomy-state conditions sequentially in candidate order — so
+        // the expansion is identical at any thread count.
+        let eligible: Vec<ConceptId> = candidates
+            .iter()
+            .take(cfg.max_candidates_per_query)
+            .map(|c| c.item)
+            .filter(|&item| {
+                item != query && !(cfg.only_new_concepts && existing.contains_node(item))
+            })
+            .collect();
+        let scores = taxo_nn::parallel::par_map(eligible.len(), |i| {
+            detector.score(vocab, query, eligible[i])
+        });
+        for (&item, &score) in eligible.iter().zip(&scores) {
+            if expanded.contains_edge(query, item) || expanded.is_ancestor(item, query) {
                 continue;
             }
-            if detector.score(vocab, query, item) > cfg.threshold
-                && expanded.add_edge(query, item).is_ok()
-            {
+            if score > cfg.threshold && expanded.add_edge(query, item).is_ok() {
                 added.push(Edge::new(query, item));
                 if visited.insert(item) {
                     queue.push_back(item);
@@ -151,11 +160,8 @@ mod tests {
             &built.pairs,
             &DatasetConfig::default(),
         );
-        let (relational, _) = RelationalModel::pretrain(
-            &world.vocab,
-            &ugc.sentences,
-            &RelationalConfig::tiny(61),
-        );
+        let (relational, _) =
+            RelationalModel::pretrain(&world.vocab, &ugc.sentences, &RelationalConfig::tiny(61));
         let structural = StructuralModel::build(
             &world.existing,
             &world.vocab,

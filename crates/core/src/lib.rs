@@ -55,11 +55,11 @@ mod term_mining;
 pub use calibration::threshold_for_precision;
 pub use detector::{DetectorConfig, HypoDetector};
 pub use error_analysis::{analyze_errors, ErrorReport, KindBreakdown};
-pub use incremental::{IncrementalExpander, IngestReport};
 pub use graph_construction::{
     candidates_by_query, collect_all_pairs, construct_graph, CandidatePair, ConstructionResult,
     ConstructionStats,
 };
+pub use incremental::{IncrementalExpander, IngestReport};
 pub use inference::{expand_taxonomy, ExpansionConfig, ExpansionResult};
 pub use pipeline::{PipelineConfig, TrainedPipeline};
 pub use relational::{PairCtx, RelationalConfig, RelationalModel};

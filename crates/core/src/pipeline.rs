@@ -1,7 +1,7 @@
 use crate::{
-    construct_graph, expand_taxonomy, generate_dataset, ConstructionResult, Dataset,
-    DatasetConfig, DetectorConfig, ExpansionConfig, ExpansionResult, HypoDetector,
-    RelationalConfig, RelationalModel, StructuralConfig, StructuralModel,
+    construct_graph, expand_taxonomy, generate_dataset, ConstructionResult, Dataset, DatasetConfig,
+    DetectorConfig, ExpansionConfig, ExpansionResult, HypoDetector, RelationalConfig,
+    RelationalModel, StructuralConfig, StructuralModel,
 };
 use taxo_core::{Taxonomy, Vocabulary};
 use taxo_graph::WeightScheme;

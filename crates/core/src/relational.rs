@@ -67,6 +67,41 @@ impl RelationalConfig {
     }
 }
 
+/// One prepared MLM example: the masked token ids and the
+/// `(position, original id)` recovery targets.
+type MlmExample = (Vec<u32>, Vec<(usize, u32)>);
+
+/// Drains one gradient-accumulation window: data-parallel MLM forwards
+/// (pure, against frozen parameter values), then a sequential gradient
+/// reduction in example order and one optimiser step. Returns the summed
+/// loss. No-op on an empty window.
+fn flush_mlm_window(
+    encoder: &mut TransformerEncoder,
+    adam: &mut Adam,
+    pending: &mut Vec<MlmExample>,
+) -> f64 {
+    if pending.is_empty() {
+        return 0.0;
+    }
+    let results = {
+        let enc: &TransformerEncoder = encoder;
+        taxo_nn::parallel::par_map(pending.len(), |i| {
+            let (masked, targets) = &pending[i];
+            enc.mlm_forward(masked, targets)
+        })
+    };
+    let mut total = 0.0f64;
+    for (loss, grads) in &results {
+        total += f64::from(*loss);
+        if let Some(g) = grads {
+            encoder.mlm_apply(g);
+        }
+    }
+    adam.step(encoder);
+    pending.clear();
+    total
+}
+
 /// Forward cache of one pair encoding, consumed by
 /// [`RelationalModel::backward_pair`] during fine-tuning.
 #[derive(Debug, Clone)]
@@ -151,7 +186,14 @@ impl RelationalModel {
             order.shuffle(&mut rng);
             let mut total = 0.0f64;
             let mut counted = 0usize;
-            let mut since_step = 0usize;
+            // One gradient-accumulation window of prepared examples.
+            // Masks are sampled sequentially (keeping the rng stream
+            // identical to the fused loop); each full window runs its
+            // forwards in parallel and reduces gradients in index order,
+            // so results are thread-count invariant: within a window the
+            // parameters are constant (only `adam.step` mutates values),
+            // making the parallel forwards equal to the sequential ones.
+            let mut pending: Vec<MlmExample> = Vec::with_capacity(cfg.accum);
             for &si in &order {
                 let sentence = &corpus[si];
                 let body = model.tokens.encode(sentence);
@@ -199,18 +241,13 @@ impl RelationalModel {
                 if targets.is_empty() {
                     continue;
                 }
-                let loss = model.encoder.mlm_step(&masked, &targets);
-                total += loss as f64;
+                pending.push((masked, targets));
                 counted += 1;
-                since_step += 1;
-                if since_step >= cfg.accum {
-                    adam.step(&mut model.encoder);
-                    since_step = 0;
+                if pending.len() >= cfg.accum {
+                    total += flush_mlm_window(&mut model.encoder, &mut adam, &mut pending);
                 }
             }
-            if since_step > 0 {
-                adam.step(&mut model.encoder);
-            }
+            total += flush_mlm_window(&mut model.encoder, &mut adam, &mut pending);
             epoch_losses.push((total / counted.max(1) as f64) as f32);
         }
         (model, epoch_losses)
@@ -242,9 +279,7 @@ impl RelationalModel {
         }
         ids.push(SEP);
         let boundary = 1 + i.len();
-        let segments = (0..ids.len())
-            .map(|t| u32::from(t >= boundary))
-            .collect();
+        let segments = (0..ids.len()).map(|t| u32::from(t >= boundary)).collect();
         (ids, segments)
     }
 
@@ -258,8 +293,7 @@ impl RelationalModel {
         let (hidden, enc_ctx) = self.encoder.forward_with_segments(&ids, &segments);
         let n = hidden.rows();
         let r = Matrix::from_fn(1, hidden.cols(), |_, c| {
-            let mean: f32 =
-                (0..n).map(|t| hidden[(t, c)]).sum::<f32>() / n as f32;
+            let mean: f32 = (0..n).map(|t| hidden[(t, c)]).sum::<f32>() / n as f32;
             0.5 * hidden[(0, c)] + 0.5 * mean
         });
         let ctx = PairCtx {
@@ -325,10 +359,7 @@ mod tests {
         };
         let (_, losses) = RelationalModel::pretrain(&world.vocab, &corpus.sentences, &cfg);
         assert_eq!(losses.len(), 3);
-        assert!(
-            losses[2] < losses[0],
-            "MLM loss should fall: {losses:?}"
-        );
+        assert!(losses[2] < losses[0], "MLM loss should fall: {losses:?}");
     }
 
     #[test]
@@ -365,11 +396,8 @@ mod tests {
     #[test]
     fn pair_representation_is_direction_sensitive() {
         let (world, corpus) = setup();
-        let (model, _) = RelationalModel::pretrain(
-            &world.vocab,
-            &corpus.sentences,
-            &RelationalConfig::tiny(3),
-        );
+        let (model, _) =
+            RelationalModel::pretrain(&world.vocab, &corpus.sentences, &RelationalConfig::tiny(3));
         let root = world.name(world.roots[0]);
         let child_id = world.truth.children(world.roots[0])[0];
         let child = world.name(child_id);

@@ -74,11 +74,7 @@ pub fn render_markdown(
         "- attachment mix: {} headword / {} non-headword",
         s.headword_attached, s.other_attached
     );
-    let _ = writeln!(
-        out,
-        "- depth: {} → {}\n",
-        s.depth_before, s.depth_after
-    );
+    let _ = writeln!(out, "- depth: {} → {}\n", s.depth_before, s.depth_after);
 
     // Group attached edges by parent, busiest parents first.
     let mut by_parent: std::collections::HashMap<taxo_core::ConceptId, Vec<taxo_core::ConceptId>> =
@@ -114,7 +110,7 @@ pub fn render_markdown(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use taxo_core::{ConceptId, Edge};
+    use taxo_core::Edge;
 
     fn fixture() -> (Taxonomy, ExpansionResult, Vocabulary) {
         let mut vocab = Vocabulary::new();

@@ -153,10 +153,8 @@ pub fn generate_dataset(
         }
     }
 
-    let clicked: HashSet<(ConceptId, ConceptId)> = click_pairs
-        .iter()
-        .map(|p| (p.query, p.item))
-        .collect();
+    let clicked: HashSet<(ConceptId, ConceptId)> =
+        click_pairs.iter().map(|p| (p.query, p.item)).collect();
 
     // Positive selection.
     let positives: Vec<(taxo_core::Edge, PairKind)> = match cfg.strategy {

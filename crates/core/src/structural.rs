@@ -187,7 +187,12 @@ impl StructuralModel {
 
     /// Dimension of [`StructuralModel::pair_features`].
     pub fn feature_dim(&self) -> usize {
-        2 * self.h.cols() + if self.use_position { 2 * self.pos.dim() } else { 0 }
+        2 * self.h.cols()
+            + if self.use_position {
+                2 * self.pos.dim()
+            } else {
+                0
+            }
     }
 
     /// Accumulates the gradient of a pair feature into the position

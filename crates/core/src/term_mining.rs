@@ -116,9 +116,12 @@ pub fn mine_terms(
         let mut out: Vec<MinedTerm> = Vec::new();
         for c in sorted {
             let shadowed = out.iter().any(|longer| {
-                longer.text.split(' ').collect::<Vec<_>>().windows(
-                    c.text.split(' ').count(),
-                ).any(|w| w.join(" ") == c.text)
+                longer
+                    .text
+                    .split(' ')
+                    .collect::<Vec<_>>()
+                    .windows(c.text.split(' ').count())
+                    .any(|w| w.join(" ") == c.text)
                     && longer.support * 10 >= c.support * 9
             });
             if !shadowed {
@@ -176,10 +179,7 @@ mod tests {
     fn known_concepts_do_not_feed_the_miner() {
         let vocab = base_vocab();
         // Items containing "breado" are explained by the vocabulary.
-        let records = vec![
-            record(1, "fresh breado", 50),
-            record(2, "breado deal", 50),
-        ];
+        let records = vec![record(1, "fresh breado", 50), record(2, "breado deal", 50)];
         let mined = mine_terms(&vocab, &records, &TermMiningConfig::default());
         assert!(mined.is_empty(), "{mined:?}");
     }
@@ -187,10 +187,7 @@ mod tests {
     #[test]
     fn subgrams_are_absorbed_by_maximal_terms() {
         let vocab = base_vocab();
-        let records = vec![
-            record(1, "matcha latte", 6),
-            record(2, "matcha latte", 6),
-        ];
+        let records = vec![record(1, "matcha latte", 6), record(2, "matcha latte", 6)];
         let mined = mine_terms(&vocab, &records, &TermMiningConfig::default());
         // "matcha" and "latte" alone are shadowed by "matcha latte".
         assert!(mined.iter().any(|m| m.text == "matcha latte"));
@@ -220,10 +217,7 @@ mod tests {
     #[test]
     fn support_threshold_filters_noise() {
         let vocab = base_vocab();
-        let records = vec![
-            record(1, "rare thing", 1),
-            record(2, "rare thing", 1),
-        ];
+        let records = vec![record(1, "rare thing", 1), record(2, "rare thing", 1)];
         let mined = mine_terms(&vocab, &records, &TermMiningConfig::default());
         assert!(mined.is_empty());
     }

@@ -1,9 +1,7 @@
 //! Property-based tests for self-supervised dataset generation.
 
 use proptest::prelude::*;
-use taxo_expand::{
-    construct_graph, generate_dataset, DatasetConfig, PairKind, Strategy,
-};
+use taxo_expand::{construct_graph, generate_dataset, DatasetConfig, PairKind, Strategy};
 use taxo_graph::WeightScheme;
 use taxo_synth::{ClickConfig, ClickLog, World, WorldConfig};
 

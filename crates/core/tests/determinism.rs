@@ -1,0 +1,100 @@
+//! Regression test for the parallel-execution determinism contract:
+//! every training and inference path must produce **bitwise identical**
+//! results at any thread count (`TAXO_THREADS=1` vs many threads).
+//!
+//! The whole comparison lives in one `#[test]` so the global thread-count
+//! override never races with another test in this binary.
+
+use taxo_expand::{
+    construct_graph, expand_taxonomy, generate_dataset, DatasetConfig, DetectorConfig,
+    ExpansionConfig, HypoDetector, RelationalConfig, RelationalModel, StructuralConfig,
+    StructuralModel,
+};
+use taxo_graph::WeightScheme;
+use taxo_nn::parallel;
+use taxo_synth::{ClickConfig, ClickLog, UgcConfig, UgcCorpus, World, WorldConfig};
+
+/// Runs the full training stack (MLM pretraining, structural build with
+/// contrastive GNN pretraining, detector training, expansion) on a tiny
+/// seeded world and fingerprints every float as raw bits.
+fn run_fixture() -> Vec<u32> {
+    let world = World::generate(&WorldConfig::tiny(91));
+    let log = ClickLog::generate(&world, &ClickConfig::tiny(91));
+    let ugc = UgcCorpus::generate(&world, &UgcConfig::tiny(91));
+    let built = construct_graph(
+        &world.existing,
+        &world.vocab,
+        &log.records,
+        WeightScheme::IfIqf,
+    );
+    let dataset = generate_dataset(
+        &world.existing,
+        &world.vocab,
+        &built.pairs,
+        &DatasetConfig::default(),
+    );
+    let (relational, mlm_losses) =
+        RelationalModel::pretrain(&world.vocab, &ugc.sentences, &RelationalConfig::tiny(91));
+    let structural = StructuralModel::build(
+        &world.existing,
+        &world.vocab,
+        &built.pairs,
+        Some(&relational),
+        &StructuralConfig::tiny(91),
+    );
+    let mut detector = HypoDetector::new(
+        Some(relational),
+        Some(structural),
+        &DetectorConfig::tiny(91),
+    );
+    let train_losses = detector.train(&world.vocab, &dataset.train, &DetectorConfig::tiny(91));
+
+    let mut bits = Vec::new();
+    bits.extend(mlm_losses.iter().map(|l| l.to_bits()));
+    bits.extend(train_losses.iter().map(|l| l.to_bits()));
+    for p in dataset.test.iter().take(32) {
+        bits.push(detector.score(&world.vocab, p.parent, p.child).to_bits());
+    }
+    let result = expand_taxonomy(
+        &detector,
+        &world.vocab,
+        &world.existing,
+        &built.pairs,
+        &ExpansionConfig::default(),
+    );
+    for e in &result.added {
+        bits.push(e.parent.0);
+        bits.push(e.child.0);
+    }
+    bits
+}
+
+#[test]
+fn training_is_thread_count_invariant() {
+    parallel::set_threads(1);
+    let sequential = run_fixture();
+    assert!(
+        sequential.len() > 10,
+        "fixture produced too little signal: {} values",
+        sequential.len()
+    );
+
+    parallel::set_threads(8);
+    let threaded = run_fixture();
+    parallel::set_threads(1);
+
+    assert_eq!(
+        sequential.len(),
+        threaded.len(),
+        "loss/score/edge counts diverged between thread counts"
+    );
+    for (i, (s, t)) in sequential.iter().zip(&threaded).enumerate() {
+        assert_eq!(
+            s,
+            t,
+            "value {i} differs: {:?} (1 thread) vs {:?} (8 threads)",
+            f32::from_bits(*s),
+            f32::from_bits(*t)
+        );
+    }
+}

@@ -5,9 +5,8 @@ use taxo_baselines::{
     SteamBaseline, SubstrBaseline, TaxoExpanBaseline, TmnBaseline, VanillaBertBaseline,
 };
 use taxo_expand::{
-    construct_graph, generate_dataset, ConstructionResult, Dataset, DatasetConfig,
-    DetectorConfig, HypoDetector, RelationalConfig, RelationalModel, Strategy, StructuralConfig,
-    StructuralModel,
+    construct_graph, generate_dataset, ConstructionResult, Dataset, DatasetConfig, DetectorConfig,
+    HypoDetector, RelationalConfig, RelationalModel, Strategy, StructuralConfig, StructuralModel,
 };
 use taxo_graph::{ContrastiveConfig, WeightScheme};
 use taxo_synth::{ClickConfig, ClickLog, SyntheticKb, UgcConfig, UgcCorpus, World, WorldConfig};
@@ -401,10 +400,9 @@ impl DomainContext {
                 &self.relational_cfg(true),
                 &self.detector_cfg(),
             )),
-            "Distance-Parent" => Box::new(DistanceParentBaseline::fit(
-                self.embeddings().clone(),
-                val,
-            )),
+            "Distance-Parent" => {
+                Box::new(DistanceParentBaseline::fit(self.embeddings().clone(), val))
+            }
             "Distance-Neighbor" => Box::new(DistanceNeighborBaseline::fit(
                 self.embeddings().clone(),
                 &self.world.existing,

@@ -46,15 +46,17 @@ fn scores_table(title: &str, ctxs: &[DomainContext], results: &[MethodScores]) -
     t
 }
 
-/// Runs every method of Table V over every domain.
+/// Runs every method of Table V over every domain, fanning out over the
+/// domains in parallel (each `DomainContext` is independent; its lazy
+/// caches are `OnceLock`s, so concurrent first access is safe).
 pub fn table5(ctxs: &[DomainContext]) -> (Vec<MethodScores>, TextTable) {
     let mut results = Vec::new();
     for name in DomainContext::method_names() {
-        let mut per_domain = Vec::new();
-        for ctx in ctxs {
+        let per_domain = taxo_nn::parallel::par_map(ctxs.len(), |i| {
+            let ctx = &ctxs[i];
             let method = ctx.baseline(name);
-            per_domain.push((ctx.name().to_owned(), score_method(method.as_ref(), ctx)));
-        }
+            (ctx.name().to_owned(), score_method(method.as_ref(), ctx))
+        });
         results.push(MethodScores {
             method: (*name).to_owned(),
             per_domain,
@@ -88,10 +90,10 @@ pub fn table6(ctxs: &[DomainContext]) -> (Vec<MethodScores>, TextTable) {
     ];
     let mut results = Vec::new();
     for (name, v) in &variants {
-        let per_domain = ctxs
-            .iter()
-            .map(|ctx| (ctx.name().to_owned(), run_variant(ctx, v)))
-            .collect();
+        let per_domain = taxo_nn::parallel::par_map(ctxs.len(), |i| {
+            let ctx = &ctxs[i];
+            (ctx.name().to_owned(), run_variant(ctx, v))
+        });
         results.push(MethodScores {
             method: (*name).to_owned(),
             per_domain,
@@ -174,10 +176,10 @@ pub fn table8_variants(scale: Scale) -> Vec<(&'static str, OursVariant)> {
 pub fn table8(ctxs: &[DomainContext]) -> (Vec<MethodScores>, TextTable) {
     let mut results = Vec::new();
     for (name, v) in table8_variants(ctxs[0].scale) {
-        let per_domain = ctxs
-            .iter()
-            .map(|ctx| (ctx.name().to_owned(), run_variant(ctx, &v)))
-            .collect();
+        let per_domain = taxo_nn::parallel::par_map(ctxs.len(), |i| {
+            let ctx = &ctxs[i];
+            (ctx.name().to_owned(), run_variant(ctx, &v))
+        });
         results.push(MethodScores {
             method: name.to_owned(),
             per_domain,
@@ -199,10 +201,7 @@ pub fn table9(ctx: &DomainContext) -> (Vec<MethodScores>, TextTable) {
     };
     let mut rows: Vec<(String, OursVariant)> = vec![
         ("One-hop".into(), full.clone()),
-        (
-            "Two-hop".into(),
-            with_structural(&|s| s.hops = 2),
-        ),
+        ("Two-hop".into(), with_structural(&|s| s.hops = 2)),
         ("GCN".into(), full.clone()),
         (
             "GAT".into(),
@@ -225,13 +224,15 @@ pub fn table9(ctx: &DomainContext) -> (Vec<MethodScores>, TextTable) {
             }),
         ));
     }
-    let mut results = Vec::new();
-    for (name, v) in &rows {
-        results.push(MethodScores {
+    // One domain, many variants: fan out over the rows instead. Each
+    // `run_variant` trains from the same shared (read-only) context.
+    let results = taxo_nn::parallel::par_map(rows.len(), |i| {
+        let (name, v) = &rows[i];
+        MethodScores {
             method: name.clone(),
             per_domain: vec![(ctx.name().to_owned(), run_variant(ctx, v))],
-        });
-    }
+        }
+    });
     let t = scores_table(
         &format!("Table IX — GNN and contrastive variants ({})", ctx.name()),
         std::slice::from_ref(ctx),

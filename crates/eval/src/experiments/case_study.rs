@@ -77,11 +77,19 @@ pub fn table10(ctxs: &[DomainContext], per_list: usize) -> (Vec<CaseStudy>, Stri
         }
         out.push_str("  Predicted hyponyms (positive):\n");
         for (name, ok) in &s.positive {
-            out.push_str(&format!("    {} {}\n", if *ok { "[Y]" } else { "[N]" }, name));
+            out.push_str(&format!(
+                "    {} {}\n",
+                if *ok { "[Y]" } else { "[N]" },
+                name
+            ));
         }
         out.push_str("  Rejected candidates (negative):\n");
         for (name, ok) in &s.negative {
-            out.push_str(&format!("    {} {}\n", if *ok { "[Y]" } else { "[N]" }, name));
+            out.push_str(&format!(
+                "    {} {}\n",
+                if *ok { "[Y]" } else { "[N]" },
+                name
+            ));
         }
     }
     (studies, out)

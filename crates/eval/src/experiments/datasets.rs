@@ -26,8 +26,17 @@ pub fn table3(ctxs: &[DomainContext]) -> TextTable {
     let mut t = TextTable::new(
         "Table III — self-supervised generated dataset statistics",
         &[
-            "Dataset", "|E_All|", "|E_Pos|", "|E_Neg|", "|E_Head|", "|E_Others|", "|E_Shuffle|",
-            "|E_Replace|", "|E_Train|", "|E_Val|", "|E_Test|",
+            "Dataset",
+            "|E_All|",
+            "|E_Pos|",
+            "|E_Neg|",
+            "|E_Head|",
+            "|E_Others|",
+            "|E_Shuffle|",
+            "|E_Replace|",
+            "|E_Train|",
+            "|E_Val|",
+            "|E_Test|",
         ],
     );
     for ctx in ctxs {
@@ -45,7 +54,12 @@ pub fn table11(ctx: &DomainContext) -> TextTable {
             ctx.name()
         ),
         &[
-            "Method", "|E_Head|", "|E_Others|", "|E_Train|", "|E_Val|", "|E_Test|",
+            "Method",
+            "|E_Head|",
+            "|E_Others|",
+            "|E_Train|",
+            "|E_Val|",
+            "|E_Test|",
         ],
     );
     for (name, ds) in [("Previous", &ctx.previous), ("Ours", &ctx.adaptive)] {

@@ -8,9 +8,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use taxo_baselines::{EdgeClassifier, OursClassifier};
 use taxo_core::ConceptId;
-use taxo_expand::{
-    collect_all_pairs, expand_taxonomy, threshold_for_precision, ExpansionConfig,
-};
+use taxo_expand::{collect_all_pairs, expand_taxonomy, threshold_for_precision, ExpansionConfig};
 use taxo_synth::Panel;
 use taxo_text::is_headword_edge;
 
@@ -163,7 +161,13 @@ pub fn deployment(ctxs: &[DomainContext]) -> (Vec<DeploymentSummary>, TextTable)
     }
     let mut t = TextTable::new(
         "Deployment — taxonomy enlargement by top-down expansion",
-        &["Taxonomy", "Relations before", "Relations after", "Added", "Precision"],
+        &[
+            "Taxonomy",
+            "Relations before",
+            "Relations after",
+            "Added",
+            "Precision",
+        ],
     );
     for r in &rows {
         t.row(vec![

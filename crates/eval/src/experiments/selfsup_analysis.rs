@@ -42,10 +42,7 @@ pub fn fig4(ctx: &DomainContext) -> (Vec<Fig4Row>, TextTable) {
         });
     }
     let mut t = TextTable::new(
-        &format!(
-            "Figure 4 — accuracy on positive samples ({})",
-            ctx.name()
-        ),
+        &format!("Figure 4 — accuracy on positive samples ({})", ctx.name()),
         &["Strategy", "Overall", "Headword", "Others"],
     );
     for r in &rows {

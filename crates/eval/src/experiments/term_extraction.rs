@@ -15,8 +15,17 @@ pub fn table1(ctxs: &[DomainContext]) -> TextTable {
     let mut t = TextTable::new(
         "Table I — statistics of term extraction",
         &[
-            "Taxonomy", "#Items", "#Nodes", "CNode", "#IEdge", "#Edges", "CEdge", "#Concepts",
-            "#INewEdge", "#NewEdge", "#IOthers",
+            "Taxonomy",
+            "#Items",
+            "#Nodes",
+            "CNode",
+            "#IEdge",
+            "#Edges",
+            "CEdge",
+            "#Concepts",
+            "#INewEdge",
+            "#NewEdge",
+            "#IOthers",
         ],
     );
     for ctx in ctxs {
@@ -138,7 +147,11 @@ pub fn fig3(ctx: &DomainContext) -> (Fig3Breakdown, TextTable) {
         other_pct: pct(uncovered - leaves - not_interested),
     };
     let mut t = TextTable::new(
-        &format!("Figure 3 — uncovered nodes in {} ({} nodes)", ctx.name(), b.uncovered),
+        &format!(
+            "Figure 3 — uncovered nodes in {} ({} nodes)",
+            ctx.name(),
+            b.uncovered
+        ),
         &["Cause", "Share (%)"],
     );
     t.row(vec!["Leaf nodes".into(), TextTable::num(b.leaf_pct)]);

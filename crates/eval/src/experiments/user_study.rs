@@ -55,23 +55,18 @@ pub fn user_study(ctx: &DomainContext, n_queries: usize) -> (UserStudyResult, Te
     // engine already recalls their category; alias names ("toasti") are
     // exactly the fine-grained concepts "search engines do not recognise
     // and understand" (Section IV-E).
-    let mut candidates: Vec<ConceptId> = ctx
-        .world
-        .truth
-        .nodes()
-        .filter(|&c| {
-            ctx.world.truth.node_depth(c) >= 3
-                && !expanded.parents(c).is_empty()
-                && ctx
-                    .world
-                    .truth
-                    .parents(c)
-                    .iter()
-                    .all(|&p| {
+    let mut candidates: Vec<ConceptId> =
+        ctx.world
+            .truth
+            .nodes()
+            .filter(|&c| {
+                ctx.world.truth.node_depth(c) >= 3
+                    && !expanded.parents(c).is_empty()
+                    && ctx.world.truth.parents(c).iter().all(|&p| {
                         !taxo_text::is_headword_edge(ctx.world.name(p), ctx.world.name(c))
                     })
-        })
-        .collect();
+            })
+            .collect();
     // Keep only queries the engine covers sparsely (fewer than 10 exact
     // matches): the synthetic pseudo-language has no lexical ambiguity,
     // so well-covered queries retrieve perfectly and the study would

@@ -50,12 +50,15 @@ pub fn evaluate(
     let mut tp_anc = 0usize; // predicted ∧ ancestor-gold
     let mut gold_anc = 0usize;
 
-    let is_ancestor_pair = |p: ConceptId, c: ConceptId| {
-        reference.contains_edge(p, c) || reference.is_ancestor(p, c)
-    };
+    let is_ancestor_pair =
+        |p: ConceptId, c: ConceptId| reference.contains_edge(p, c) || reference.is_ancestor(p, c);
 
-    for pair in pairs {
-        let pred = method.predict(vocab, pair.parent, pair.child);
+    // Predictions are independent pure calls: score them in parallel,
+    // then accumulate the counters sequentially in pair order.
+    let preds = taxo_nn::parallel::par_map(pairs.len(), |i| {
+        method.predict(vocab, pairs[i].parent, pairs[i].child)
+    });
+    for (pair, pred) in pairs.iter().zip(preds) {
         if pred == pair.label {
             correct += 1;
         }
@@ -102,10 +105,13 @@ pub fn accuracy_where(
     if selected.is_empty() {
         return 0.0;
     }
-    let correct = selected
-        .iter()
-        .filter(|p| method.predict(vocab, p.parent, p.child) == p.label)
-        .count();
+    let correct = taxo_nn::parallel::par_map(selected.len(), |i| {
+        let p = selected[i];
+        method.predict(vocab, p.parent, p.child) == p.label
+    })
+    .into_iter()
+    .filter(|&ok| ok)
+    .count();
     correct as f64 / selected.len() as f64
 }
 
@@ -115,7 +121,7 @@ mod tests {
     use taxo_expand::PairKind;
 
     /// A classifier wrapping a fixed predicate.
-    struct Fixed(Box<dyn Fn(ConceptId, ConceptId) -> bool>);
+    struct Fixed(Box<dyn Fn(ConceptId, ConceptId) -> bool + Send + Sync>);
     impl EdgeClassifier for Fixed {
         fn name(&self) -> &str {
             "fixed"

@@ -46,9 +46,7 @@ impl TextTable {
             }
         };
         let mut out = String::new();
-        let line = |cells: &[String]| {
-            cells.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
-        };
+        let line = |cells: &[String]| cells.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",");
         let _ = writeln!(out, "{}", line(&self.headers));
         for row in &self.rows {
             let _ = writeln!(out, "{}", line(row));

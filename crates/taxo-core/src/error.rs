@@ -44,7 +44,9 @@ mod tests {
             child: ConceptId(2),
         };
         assert!(e.to_string().contains("cycle"));
-        assert!(TaxoError::SelfLoop(ConceptId(3)).to_string().contains("self-loop"));
+        assert!(TaxoError::SelfLoop(ConceptId(3))
+            .to_string()
+            .contains("self-loop"));
         let d = TaxoError::DuplicateEdge {
             parent: ConceptId(1),
             child: ConceptId(2),

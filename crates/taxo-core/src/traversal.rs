@@ -25,10 +25,7 @@ impl LevelOrder {
         for n in taxo.nodes() {
             indeg[n.index()] = taxo.parents(n).len();
         }
-        let mut queue: Vec<ConceptId> = taxo
-            .nodes()
-            .filter(|n| indeg[n.index()] == 0)
-            .collect();
+        let mut queue: Vec<ConceptId> = taxo.nodes().filter(|n| indeg[n.index()] == 0).collect();
         let mut head = 0;
         while head < queue.len() {
             let n = queue[head];
@@ -42,7 +39,14 @@ impl LevelOrder {
             }
         }
         let max_level = taxo.nodes().map(|n| level[n.index()]).max().unwrap_or(0);
-        let mut levels = vec![Vec::new(); if taxo.node_count() == 0 { 0 } else { max_level + 1 }];
+        let mut levels = vec![
+            Vec::new();
+            if taxo.node_count() == 0 {
+                0
+            } else {
+                max_level + 1
+            }
+        ];
         for n in taxo.nodes() {
             levels[level[n.index()]].push(n);
         }
@@ -98,11 +102,8 @@ mod tests {
             t.add_edge(c[p], c[ch]).unwrap();
         }
         let lo = LevelOrder::new(&t);
-        let pos: std::collections::HashMap<_, _> = lo
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (n, i))
-            .collect();
+        let pos: std::collections::HashMap<_, _> =
+            lo.iter().enumerate().map(|(i, n)| (n, i)).collect();
         for e in t.edges() {
             assert!(pos[&e.parent] < pos[&e.child], "{e:?} out of order");
         }

@@ -88,17 +88,17 @@ pub fn pretrain_contrastive(
         for batch in order.chunks(cfg.batch_size) {
             let (z, ctx) = stack.forward(graph, x0);
             let mut dz = Matrix::zeros(n, z.cols());
-            let mut batch_loss = 0.0f64;
-            let mut anchors = 0usize;
+            // Phase 1 (sequential): negative sampling, preserving the rng
+            // draw order of the fused loop. Each job is one anchor with
+            // its candidate list (positives first) and positive count.
+            let mut jobs: Vec<(usize, Vec<usize>, usize)> = Vec::with_capacity(batch.len());
             for &u in batch {
                 let positives = graph.neighbor_nodes(u);
                 if positives.is_empty() {
                     continue;
                 }
-                let n_neg =
-                    ((positives.len() as f32 * cfg.negative_rate).ceil() as usize).max(1);
-                let pos_set: std::collections::HashSet<usize> =
-                    positives.iter().copied().collect();
+                let n_neg = ((positives.len() as f32 * cfg.negative_rate).ceil() as usize).max(1);
+                let pos_set: std::collections::HashSet<usize> = positives.iter().copied().collect();
                 let mut negatives = Vec::with_capacity(n_neg);
                 let mut guard = 0;
                 while negatives.len() < n_neg && guard < n_neg * 20 {
@@ -111,31 +111,56 @@ pub fn pretrain_contrastive(
                 if negatives.is_empty() {
                     continue;
                 }
-                let candidates: Vec<usize> =
-                    positives.iter().copied().chain(negatives).collect();
-                let inv_temp = 1.0 / cfg.temperature;
+                let n_pos = positives.len();
+                let candidates: Vec<usize> = positives.iter().copied().chain(negatives).collect();
+                jobs.push((u, candidates, n_pos));
+            }
+            if jobs.is_empty() {
+                continue;
+            }
+            // Phase 2 (parallel): per-anchor InfoNCE loss and cosine
+            // gradient contributions, pure over the frozen embeddings
+            // `z`. Each contribution records the exact row delta the
+            // fused loop would have added, in the same per-candidate
+            // order.
+            let inv_temp = 1.0 / cfg.temperature;
+            let zref = &z;
+            let results = taxo_nn::parallel::par_map(jobs.len(), |a| {
+                let (u, candidates, n_pos) = &jobs[a];
+                let u = *u;
                 let sims = Matrix::from_fn(1, candidates.len(), |_, j| {
-                    cosine(z.row(u), z.row(candidates[j])) * inv_temp
+                    cosine(zref.row(u), zref.row(candidates[j])) * inv_temp
                 });
-                let pos_idx: Vec<usize> = (0..positives.len()).collect();
+                let pos_idx: Vec<usize> = (0..*n_pos).collect();
                 let (loss, dsim) = losses::info_nce(&sims, &[pos_idx]);
-                batch_loss += loss as f64;
-                anchors += 1;
-                // Route dsim back through the cosine into dz.
+                let d = zref.cols();
+                let mut contribs: Vec<(usize, Vec<f32>)> = Vec::new();
                 for (j, &v) in candidates.iter().enumerate() {
                     let ds = dsim[(0, j)] * inv_temp;
                     if ds == 0.0 {
                         continue;
                     }
                     // d/d z_u and d/d z_v.
-                    let zu = z.row(u).to_vec();
-                    let zv = z.row(v).to_vec();
-                    cosine_backward_into(&zu, &zv, ds, dz.row_mut(u));
-                    cosine_backward_into(&zv, &zu, ds, dz.row_mut(v));
+                    let mut du = vec![0.0f32; d];
+                    cosine_backward_into(zref.row(u), zref.row(v), ds, &mut du);
+                    let mut dv = vec![0.0f32; d];
+                    cosine_backward_into(zref.row(v), zref.row(u), ds, &mut dv);
+                    contribs.push((u, du));
+                    contribs.push((v, dv));
                 }
-            }
-            if anchors == 0 {
-                continue;
+                (loss, contribs)
+            });
+            // Phase 3 (sequential): reduce into dz in anchor-then-
+            // candidate order — fixed regardless of thread count.
+            let anchors = results.len();
+            let mut batch_loss = 0.0f64;
+            for (loss, contribs) in &results {
+                batch_loss += f64::from(*loss);
+                for (row, delta) in contribs {
+                    for (o, &g) in dz.row_mut(*row).iter_mut().zip(delta) {
+                        *o += g;
+                    }
+                }
             }
             dz.scale(1.0 / anchors as f32);
             stack.backward(graph, &ctx, &dz);

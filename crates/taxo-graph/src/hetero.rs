@@ -394,11 +394,7 @@ mod tests {
         // Two directed records...
         assert_eq!(g.edges().len(), 2);
         // ...but the adjacency merges them into one neighbor entry.
-        let entries = g
-            .neighbors(0)
-            .iter()
-            .filter(|&&(v, _)| v == 1)
-            .count();
+        let entries = g.neighbors(0).iter().filter(|&&(v, _)| v == 1).count();
         assert_eq!(entries, 1);
     }
 }

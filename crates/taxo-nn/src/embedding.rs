@@ -26,14 +26,10 @@ impl Embedding {
         let dim = self.table.value.cols();
         let mut out = Matrix::zeros(ids.len(), dim);
         for (r, &id) in ids.iter().enumerate() {
-            out.row_mut(r).copy_from_slice(self.table.value.row(id as usize));
+            out.row_mut(r)
+                .copy_from_slice(self.table.value.row(id as usize));
         }
-        (
-            out,
-            EmbeddingCtx {
-                ids: ids.to_vec(),
-            },
-        )
+        (out, EmbeddingCtx { ids: ids.to_vec() })
     }
 
     /// Scatters `dout` rows back into the table gradient.

@@ -73,6 +73,21 @@ pub struct EncoderCtx {
     final_ln_ctx: LayerNormCtx,
 }
 
+/// One MLM example's pending gradients, produced by the pure
+/// [`TransformerEncoder::mlm_forward`] and folded into the parameters by
+/// [`TransformerEncoder::mlm_apply`]. Splitting the fused step this way
+/// lets a pretraining window run its forwards in parallel while the
+/// gradient reduction stays in fixed example order.
+pub struct MlmGrads {
+    ctx: EncoderCtx,
+    /// Gradient w.r.t. the encoder output (masked rows scattered back).
+    d_hidden: Matrix,
+    /// Tied-head gradient for the token embedding table.
+    d_tok_table: Matrix,
+    /// Gradient for the MLM output bias.
+    d_mlm_bias: Matrix,
+}
+
 impl TransformerEncoder {
     pub fn new(config: EncoderConfig, rng: &mut StdRng) -> Self {
         TransformerEncoder {
@@ -81,7 +96,9 @@ impl TransformerEncoder {
             pos: Embedding::new(config.max_len, config.d_model, rng),
             seg: Embedding::new(2, config.d_model, rng),
             blocks: (0..config.n_layers)
-                .map(|_| TransformerBlock::new(config.d_model, config.n_heads, config.ff_hidden, rng))
+                .map(|_| {
+                    TransformerBlock::new(config.d_model, config.n_heads, config.ff_hidden, rng)
+                })
                 .collect(),
             final_ln: LayerNorm::new(config.d_model),
             mlm_bias: Param::zeros(1, config.vocab_size),
@@ -164,6 +181,25 @@ impl TransformerEncoder {
     /// gradients for all parameters (including the MLM head) and returns
     /// the mean cross-entropy over the masked slots.
     pub fn mlm_step(&mut self, masked_ids: &[u32], targets: &[(usize, u32)]) -> f32 {
+        let (loss, grads) = self.mlm_forward(masked_ids, targets);
+        if let Some(g) = &grads {
+            self.mlm_apply(g);
+        }
+        loss
+    }
+
+    /// The pure (`&self`) half of [`TransformerEncoder::mlm_step`]:
+    /// forward pass plus head-gradient computation, with **no** parameter
+    /// mutation. Returns `(loss, None)` when no target position survives
+    /// truncation. Several examples can run concurrently; applying the
+    /// returned [`MlmGrads`] in a fixed order via
+    /// [`TransformerEncoder::mlm_apply`] keeps accumulation deterministic
+    /// at any thread count.
+    pub fn mlm_forward(
+        &self,
+        masked_ids: &[u32],
+        targets: &[(usize, u32)],
+    ) -> (f32, Option<MlmGrads>) {
         let (hidden, ctx) = self.forward(masked_ids);
         let usable: Vec<(usize, u32)> = targets
             .iter()
@@ -171,22 +207,18 @@ impl TransformerEncoder {
             .filter(|&(p, _)| p < hidden.rows())
             .collect();
         if usable.is_empty() {
-            return 0.0;
+            return (0.0, None);
         }
         // Gather hidden rows at masked positions.
-        let gathered = Matrix::from_fn(usable.len(), hidden.cols(), |r, c| {
-            hidden[(usable[r].0, c)]
-        });
+        let gathered =
+            Matrix::from_fn(usable.len(), hidden.cols(), |r, c| hidden[(usable[r].0, c)]);
         let logits = self.mlm_logits(&gathered);
         let target_ids: Vec<usize> = usable.iter().map(|&(_, t)| t as usize).collect();
         let (loss, dlogits) = losses::softmax_xent(&logits, &target_ids);
-        // Tied-head backward: d_gathered = dlogits · E, dE += dlogitsᵀ · h.
+        // Tied-head backward: d_gathered = dlogits · E, dE = dlogitsᵀ · h.
         let d_gathered = dlogits.matmul(&self.tok.table.value);
-        self.tok
-            .table
-            .grad
-            .add_assign(&dlogits.matmul_tn(&gathered));
-        self.mlm_bias.grad.add_assign(&dlogits.sum_rows());
+        let d_tok_table = dlogits.matmul_tn(&gathered);
+        let d_mlm_bias = dlogits.sum_rows();
         // Scatter back to a full d_hidden.
         let mut d_hidden = Matrix::zeros(hidden.rows(), hidden.cols());
         for (r, &(p, _)) in usable.iter().enumerate() {
@@ -194,8 +226,25 @@ impl TransformerEncoder {
                 d_hidden[(p, c)] += d_gathered[(r, c)];
             }
         }
-        self.backward(&ctx, &d_hidden);
-        loss
+        (
+            loss,
+            Some(MlmGrads {
+                ctx,
+                d_hidden,
+                d_tok_table,
+                d_mlm_bias,
+            }),
+        )
+    }
+
+    /// The mutating half of [`TransformerEncoder::mlm_step`]: folds one
+    /// example's [`MlmGrads`] into the parameter gradients, matching the
+    /// accumulation order of the original fused step (head gradients
+    /// first, then the encoder backward pass).
+    pub fn mlm_apply(&mut self, grads: &MlmGrads) {
+        self.tok.table.grad.add_assign(&grads.d_tok_table);
+        self.mlm_bias.grad.add_assign(&grads.d_mlm_bias);
+        self.backward(&grads.ctx, &grads.d_hidden);
     }
 
     /// Predicted distribution over the vocabulary at `position` of the

@@ -30,7 +30,14 @@ impl FeedForward {
         let (pre_act, ctx1) = self.lin1.forward(x);
         let act = gelu_forward(&pre_act);
         let (y, ctx2) = self.lin2.forward(&act);
-        (y, FeedForwardCtx { ctx1, ctx2, pre_act })
+        (
+            y,
+            FeedForwardCtx {
+                ctx1,
+                ctx2,
+                pre_act,
+            },
+        )
     }
 
     pub fn backward(&mut self, ctx: &FeedForwardCtx, dy: &Matrix) -> Matrix {

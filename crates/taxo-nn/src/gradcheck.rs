@@ -107,7 +107,9 @@ fn sample_indices(len: usize) -> Vec<usize> {
         (0..len).collect()
     } else {
         let stride = len / 40;
-        (0..40).map(|k| (k * stride + k * k % stride.max(1)) % len).collect()
+        (0..40)
+            .map(|k| (k * stride + k * k % stride.max(1)) % len)
+            .collect()
     }
 }
 

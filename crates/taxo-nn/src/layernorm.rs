@@ -46,7 +46,13 @@ impl LayerNorm {
                 out[(r, c)] = xh * self.gamma.value[(0, c)] + self.beta.value[(0, c)];
             }
         }
-        (out, LayerNormCtx { normalized, inv_std })
+        (
+            out,
+            LayerNormCtx {
+                normalized,
+                inv_std,
+            },
+        )
     }
 
     /// Accumulates dγ, dβ and returns dx.
@@ -68,12 +74,7 @@ impl LayerNorm {
                 dxh[c] = dy[c] * self.gamma.value[(0, c)];
             }
             let mean_dxh = dxh.iter().sum::<f32>() / d as f32;
-            let mean_dxh_xh = dxh
-                .iter()
-                .zip(xh)
-                .map(|(&a, &b)| a * b)
-                .sum::<f32>()
-                / d as f32;
+            let mean_dxh_xh = dxh.iter().zip(xh).map(|(&a, &b)| a * b).sum::<f32>() / d as f32;
             let istd = ctx.inv_std[r];
             for c in 0..d {
                 dx[(r, c)] = istd * (dxh[c] - mean_dxh - xh[c] * mean_dxh_xh);

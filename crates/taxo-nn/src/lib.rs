@@ -40,6 +40,7 @@ pub mod losses;
 mod matrix;
 mod mlp;
 mod optim;
+pub mod parallel;
 mod param;
 mod schedule;
 mod serialize;
@@ -47,13 +48,14 @@ mod serialize;
 pub use attention::{AttentionCtx, MultiHeadSelfAttention};
 pub use block::{BlockCtx, TransformerBlock};
 pub use embedding::{Embedding, EmbeddingCtx};
-pub use encoder::{EncoderConfig, EncoderCtx, TransformerEncoder};
+pub use encoder::{EncoderConfig, EncoderCtx, MlmGrads, TransformerEncoder};
 pub use ffn::{FeedForward, FeedForwardCtx};
 pub use layernorm::{LayerNorm, LayerNormCtx};
 pub use linear::{Linear, LinearCtx};
 pub use matrix::{softmax_in_place, Matrix};
 pub use mlp::{Mlp, MlpCtx};
 pub use optim::{Adam, Sgd};
+pub use parallel::Parallelism;
 pub use param::{Module, Param};
 pub use schedule::{clip_grad_norm, LrSchedule};
 pub use serialize::{load_params, save_params, LoadError};

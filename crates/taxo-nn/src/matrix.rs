@@ -1,6 +1,49 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+use crate::parallel;
+
+/// Minimum multiply-accumulate count before a matmul kernel spawns
+/// threads. Below this the spawn overhead of a scoped-thread fan-out
+/// (tens of microseconds) dominates the arithmetic, so the kernels fall
+/// back to the sequential loop. `1 << 20` MACs is roughly a
+/// `128 × 64 · 64 × 128` product.
+const PAR_MIN_MACS: usize = 1 << 20;
+
+/// Tile edge for the blocked [`Matrix::transpose`]: 32×32 f32 tiles (4 KiB
+/// read + 4 KiB write) sit comfortably in L1 on every current core.
+const TRANSPOSE_BLOCK: usize = 32;
+
+/// One output row of `a · b`: `out_row[j] = Σ_k a_row[k] * b[k][j]`,
+/// accumulated in ascending `k` — the shared inner kernel of the
+/// sequential and row-parallel `matmul` paths, so both produce bitwise
+/// identical rows. Dense: no zero-skip branch, the inner loop
+/// auto-vectorises instead of branching per scalar.
+#[inline]
+fn matmul_row(a_row: &[f32], b: &Matrix, out_row: &mut [f32]) {
+    for (k, &a) in a_row.iter().enumerate() {
+        let b_row = b.row(k);
+        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+            *o += a * bv;
+        }
+    }
+}
+
+/// One output row of `a · bᵀ`: independent dot products, ascending-index
+/// accumulation. Shared by the sequential and row-parallel `matmul_nt`
+/// paths.
+#[inline]
+fn matmul_nt_row(a_row: &[f32], b: &Matrix, out_row: &mut [f32]) {
+    for (j, o) in out_row.iter_mut().enumerate() {
+        let b_row = b.row(j);
+        let mut acc = 0.0;
+        for (&a, &bv) in a_row.iter().zip(b_row) {
+            acc += a * bv;
+        }
+        *o = acc;
+    }
+}
+
 /// A dense row-major `f32` matrix — the only tensor type the workspace
 /// needs. Sequences are `(len × d_model)`, parameter matrices are
 /// `(out × in)`, node-embedding tables are `(nodes × d)`.
@@ -84,6 +127,11 @@ impl Matrix {
 
     /// Matrix product `self · other`.
     ///
+    /// Row-parallel above [`PAR_MIN_MACS`] multiply-accumulates: each
+    /// thread owns a contiguous block of output rows and runs the same
+    /// i-k-j row kernel as the sequential path, so the result is bitwise
+    /// identical at any thread count.
+    ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
@@ -93,24 +141,29 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order: streams through `other` rows, cache friendly.
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        let cols = other.cols;
+        let macs = self.rows * self.cols * cols;
+        if parallel::threads() > 1 && macs >= PAR_MIN_MACS && self.rows > 1 {
+            parallel::par_row_chunks_mut(&mut out.data, cols, |first_row, chunk| {
+                for (r, out_row) in chunk.chunks_mut(cols).enumerate() {
+                    matmul_row(self.row(first_row + r), other, out_row);
                 }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
+            });
+        } else {
+            // i-k-j loop order: streams through `other` rows, cache friendly.
+            for i in 0..self.rows {
+                let out_row = &mut out.data[i * cols..(i + 1) * cols];
+                matmul_row(self.row(i), other, out_row);
             }
         }
         out
     }
 
     /// `self · otherᵀ` without materialising the transpose.
+    ///
+    /// Row-parallel above [`PAR_MIN_MACS`] multiply-accumulates; each
+    /// output row is a set of dot products owned by one thread, bitwise
+    /// identical to the sequential path.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
@@ -118,21 +171,31 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
+        let cols = other.rows;
+        let macs = self.rows * self.cols * cols;
+        if parallel::threads() > 1 && macs >= PAR_MIN_MACS && self.rows > 1 {
+            parallel::par_row_chunks_mut(&mut out.data, cols, |first_row, chunk| {
+                for (r, out_row) in chunk.chunks_mut(cols).enumerate() {
+                    matmul_nt_row(self.row(first_row + r), other, out_row);
                 }
-                out[(i, j)] = acc;
+            });
+        } else {
+            for i in 0..self.rows {
+                let out_row = &mut out.data[i * cols..(i + 1) * cols];
+                matmul_nt_row(self.row(i), other, out_row);
             }
         }
         out
     }
 
     /// `selfᵀ · other` without materialising the transpose.
+    ///
+    /// Keeps the `a == 0.0` skip: this kernel's main caller is the
+    /// embedding/MLM-head backward pass, where `self` is a one-hot-ish
+    /// gather matrix and skipping zero scalars elides whole row updates.
+    /// Parallel path: each thread owns a contiguous block of *output*
+    /// rows and scans `k` ascending within it, matching the sequential
+    /// per-row accumulation order exactly (bitwise identical).
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, other.rows,
@@ -140,25 +203,59 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = other.row(k);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        let cols = other.cols;
+        let macs = self.cols * cols * self.rows;
+        if parallel::threads() > 1 && macs >= PAR_MIN_MACS && self.cols > 1 {
+            parallel::par_row_chunks_mut(&mut out.data, cols, |first_row, chunk| {
+                for k in 0..self.rows {
+                    let a_row = self.row(k);
+                    let b_row = other.row(k);
+                    for (r, out_row) in chunk.chunks_mut(cols).enumerate() {
+                        let a = a_row[first_row + r];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                            *o += a * bv;
+                        }
+                    }
                 }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+            });
+        } else {
+            for k in 0..self.rows {
+                let a_row = self.row(k);
+                let b_row = other.row(k);
+                for (i, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut out.data[i * cols..(i + 1) * cols];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
         }
         out
     }
 
-    /// Explicit transpose.
+    /// Explicit transpose, tiled in [`TRANSPOSE_BLOCK`]-square blocks so
+    /// both the strided reads and the contiguous writes stay within one
+    /// cache-resident tile at a time.
     pub fn transpose(&self) -> Matrix {
-        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for rb in (0..self.rows).step_by(TRANSPOSE_BLOCK) {
+            let r_end = (rb + TRANSPOSE_BLOCK).min(self.rows);
+            for cb in (0..self.cols).step_by(TRANSPOSE_BLOCK) {
+                let c_end = (cb + TRANSPOSE_BLOCK).min(self.cols);
+                for r in rb..r_end {
+                    for c in cb..c_end {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Element-wise `self += other`.
@@ -206,6 +303,23 @@ impl Matrix {
             rows: self.rows,
             cols: self.cols,
             data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` element-wise in place — the allocation-free counterpart
+    /// of [`Matrix::map`] for hot paths that no longer need the input.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Element-wise `self *= other` — the allocation-free counterpart of
+    /// [`Matrix::hadamard`].
+    pub fn hadamard_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a *= b;
         }
     }
 
@@ -447,5 +561,85 @@ mod tests {
         a.add_scaled(&g, 0.5);
         a.add_scaled(&g, 0.5);
         assert_eq!(a.data(), &[1., 2.]);
+    }
+
+    #[test]
+    fn map_in_place_matches_map() {
+        let a = m(2, 3, &[1., -2., 3., 0., 5., -6.]);
+        let mut b = a.clone();
+        b.map_in_place(|x| x * x + 1.0);
+        assert_eq!(b, a.map(|x| x * x + 1.0));
+    }
+
+    #[test]
+    fn hadamard_assign_matches_hadamard() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        let b = m(2, 2, &[0.5, -1., 2., 0.]);
+        let mut c = a.clone();
+        c.hadamard_assign(&b);
+        assert_eq!(c, a.hadamard(&b));
+    }
+
+    /// Pseudo-random matrix with zeros sprinkled in, so the `matmul_tn`
+    /// zero-skip branch is exercised.
+    fn pseudo_random(rows: usize, cols: usize, seed: u32) -> Matrix {
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            if state.is_multiple_of(7) {
+                0.0
+            } else {
+                (state >> 8) as f32 / (1u32 << 24) as f32 - 0.5
+            }
+        })
+    }
+
+    /// Above [`PAR_MIN_MACS`], all three kernels must produce bitwise
+    /// identical output at 1 and many threads (each output row is owned
+    /// by one thread with sequential accumulation order).
+    #[test]
+    fn parallel_kernels_bitwise_match_sequential() {
+        let _guard = crate::parallel::test_lock();
+        // 128³ = 2 MiMACs: comfortably above the parallel threshold.
+        let a = pseudo_random(128, 128, 1);
+        let b = pseudo_random(128, 128, 2);
+
+        crate::parallel::set_threads(1);
+        let mm_seq = a.matmul(&b);
+        let nt_seq = a.matmul_nt(&b);
+        let tn_seq = a.matmul_tn(&b);
+
+        crate::parallel::set_threads(5);
+        let mm_par = a.matmul(&b);
+        let nt_par = a.matmul_nt(&b);
+        let tn_par = a.matmul_tn(&b);
+        crate::parallel::set_threads(1);
+
+        // Matrix: PartialEq compares the f32 buffers exactly; all inputs
+        // are finite and no NaNs are produced, so == is bitwise here.
+        assert_eq!(mm_seq, mm_par, "matmul");
+        assert_eq!(nt_seq, nt_par, "matmul_nt");
+        assert_eq!(tn_seq, tn_par, "matmul_tn");
+    }
+
+    /// The naive index-by-index transpose the blocked kernel replaced;
+    /// kept as the property-test oracle.
+    fn naive_transpose(a: &Matrix) -> Matrix {
+        Matrix::from_fn(a.cols(), a.rows(), |r, c| a[(c, r)])
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn blocked_transpose_matches_naive(
+            rows in 1usize..70,
+            cols in 1usize..70,
+            seed in 0u32..1000,
+        ) {
+            let a = pseudo_random(rows, cols, seed);
+            let t = a.transpose();
+            proptest::prop_assert_eq!(&t, &naive_transpose(&a));
+            // Involution: transposing twice restores the original.
+            proptest::prop_assert_eq!(&t.transpose(), &a);
+        }
     }
 }

@@ -31,7 +31,10 @@ impl Mlp {
     /// Produces class *logits* (`n × 2`); apply softmax for probabilities.
     pub fn forward(&self, x: &Matrix) -> (Matrix, MlpCtx) {
         let (pre, ctx1) = self.lin1.forward(x);
-        let hidden_act = pre.map(sigmoid);
+        // Fused in-place activation: `pre` is not needed past this point,
+        // so reuse its buffer instead of allocating a mapped copy.
+        let mut hidden_act = pre;
+        hidden_act.map_in_place(sigmoid);
         let (logits, ctx2) = self.lin2.forward(&hidden_act);
         (
             logits,
@@ -45,10 +48,12 @@ impl Mlp {
 
     /// Backpropagates `dlogits`, accumulating gradients; returns dx.
     pub fn backward(&mut self, ctx: &MlpCtx, dlogits: &Matrix) -> Matrix {
-        let d_hidden = self.lin2.backward(&ctx.ctx2, dlogits);
-        let d_pre = Matrix::from_fn(d_hidden.rows(), d_hidden.cols(), |r, c| {
-            d_hidden[(r, c)] * sigmoid_grad_from_output(ctx.hidden_act[(r, c)])
-        });
+        // Fused: scale the owned d_hidden buffer by σ′ in place rather
+        // than building a second matrix element-by-element.
+        let mut d_pre = self.lin2.backward(&ctx.ctx2, dlogits);
+        for (d, &h) in d_pre.data_mut().iter_mut().zip(ctx.hidden_act.data()) {
+            *d *= sigmoid_grad_from_output(h);
+        }
         self.lin1.backward(&ctx.ctx1, &d_pre)
     }
 

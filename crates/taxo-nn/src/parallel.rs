@@ -1,0 +1,254 @@
+//! Workspace-wide parallel execution layer.
+//!
+//! Every parallel code path in the workspace — threaded matmul kernels,
+//! data-parallel training batches, candidate-pair scoring — is built on
+//! the two primitives here ([`par_row_chunks_mut`] and [`par_map`]) and
+//! governed by one thread-count knob:
+//!
+//! * `TAXO_THREADS=<n>` environment variable (checked once, lazily);
+//!   `TAXO_THREADS=1` forces fully sequential execution.
+//! * [`set_threads`] for programmatic override (used by the determinism
+//!   regression tests to pin 1 vs N threads inside one process).
+//! * Otherwise `std::thread::available_parallelism()`.
+//!
+//! # Determinism contract
+//!
+//! Parallel sections must produce results that are **independent of the
+//! thread count**. The primitives support this by construction:
+//!
+//! * [`par_row_chunks_mut`] gives each thread an exclusive contiguous
+//!   block of output rows, so each output row is written by exactly one
+//!   thread with the same per-row accumulation order as the sequential
+//!   kernel — results are bitwise identical to `TAXO_THREADS=1`.
+//! * [`par_map`] evaluates a pure function at every index and returns
+//!   results in index order; callers reduce the returned `Vec` in that
+//!   fixed order, so floating-point accumulation order never depends on
+//!   scheduling.
+//!
+//! Threads are spawned per call via [`std::thread::scope`] rather than a
+//! persistent pool; the matrix kernels amortise the spawn cost with a
+//! FLOP-count threshold (see `matrix.rs`), and the training/eval layers
+//! parallelise at batch granularity where each unit of work is far larger
+//! than a thread spawn.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolved thread count; 0 means "not yet initialised".
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn resolve_default() -> usize {
+    match std::env::var("TAXO_THREADS") {
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or(1),
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// The thread count all parallel sections use. Reads `TAXO_THREADS` on
+/// first call; later calls return the cached (or [`set_threads`]) value.
+pub fn threads() -> usize {
+    let cur = THREADS.load(Ordering::Relaxed);
+    if cur != 0 {
+        return cur;
+    }
+    let n = resolve_default();
+    // A concurrent first call may race; both compute the same default, so
+    // a plain store is fine.
+    THREADS.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Overrides the thread count for the rest of the process (clamped to at
+/// least 1). Intended for tests; library code should rely on
+/// `TAXO_THREADS`.
+pub fn set_threads(n: usize) {
+    THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Snapshot of the parallelism configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    pub threads: usize,
+}
+
+impl Parallelism {
+    /// The configuration parallel sections will run under right now.
+    pub fn current() -> Self {
+        Parallelism { threads: threads() }
+    }
+
+    /// True when every parallel section degenerates to a plain loop.
+    pub fn is_sequential(&self) -> bool {
+        self.threads <= 1
+    }
+}
+
+/// Splits `data` into per-thread contiguous blocks of whole rows
+/// (`row_len` elements each) and runs `f(first_row, block)` on each block
+/// concurrently. The first block runs on the calling thread.
+///
+/// Each row lands in exactly one block, so a kernel that fills rows
+/// independently produces bitwise-identical output at any thread count.
+///
+/// # Panics
+/// Panics if `row_len` does not divide `data.len()`.
+pub fn par_row_chunks_mut<F>(data: &mut [f32], row_len: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(
+        row_len > 0 && data.len().is_multiple_of(row_len),
+        "par_row_chunks_mut: row_len {row_len} must divide buffer length {}",
+        data.len()
+    );
+    let rows = data.len() / row_len;
+    let t = threads().min(rows.max(1));
+    if t <= 1 {
+        f(0, data);
+        return;
+    }
+    let chunk_rows = rows.div_ceil(t);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = data;
+        let mut row0 = 0usize;
+        let mut first: Option<(usize, &mut [f32])> = None;
+        while !rest.is_empty() {
+            let take = chunk_rows.min(rest.len() / row_len);
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut(take * row_len);
+            if first.is_none() {
+                first = Some((row0, head));
+            } else {
+                let start = row0;
+                scope.spawn(move || f(start, head));
+            }
+            row0 += take;
+            rest = tail;
+        }
+        if let Some((start, head)) = first {
+            f(start, head);
+        }
+    });
+}
+
+/// Evaluates `f(0), f(1), …, f(n-1)` across the configured threads and
+/// returns the results **in index order**, like
+/// `(0..n).map(f).collect()` but parallel.
+///
+/// `f` must be pure with respect to index order (no shared mutation);
+/// callers that reduce the returned `Vec` sequentially get the same
+/// floating-point accumulation order at any thread count.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let t = threads().min(n.max(1));
+    if t <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let chunk = n.div_ceil(t);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest: &mut [Option<T>] = &mut out;
+        let mut start = 0usize;
+        let mut first: Option<(usize, &mut [Option<T>])> = None;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut(take);
+            if first.is_none() {
+                first = Some((start, head));
+            } else {
+                let s = start;
+                scope.spawn(move || {
+                    for (i, slot) in head.iter_mut().enumerate() {
+                        *slot = Some(f(s + i));
+                    }
+                });
+            }
+            start += take;
+            rest = tail;
+        }
+        if let Some((s, head)) = first {
+            for (i, slot) in head.iter_mut().enumerate() {
+                *slot = Some(f(s + i));
+            }
+        }
+    });
+    out.into_iter()
+        .map(|x| x.expect("par_map: every index filled"))
+        .collect()
+}
+
+/// Serialises tests (across this crate's test binary) that mutate the
+/// global thread count via [`set_threads`], so concurrently running tests
+/// never observe each other's overrides.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        let _guard = test_lock();
+        set_threads(4);
+        let got = par_map(37, |i| i * i);
+        set_threads(1);
+        assert_eq!(got, (0..37).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_handles_small_and_empty_inputs() {
+        let _guard = test_lock();
+        set_threads(8);
+        assert_eq!(par_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(1, |i| i + 1), vec![1]);
+        set_threads(1);
+    }
+
+    #[test]
+    fn par_row_chunks_mut_covers_every_row_once() {
+        let _guard = test_lock();
+        set_threads(4);
+        let rows = 13;
+        let cols = 3;
+        let mut buf = vec![0.0f32; rows * cols];
+        par_row_chunks_mut(&mut buf, cols, |first_row, chunk| {
+            for (r, row) in chunk.chunks_mut(cols).enumerate() {
+                for x in row.iter_mut() {
+                    *x += (first_row + r) as f32;
+                }
+            }
+        });
+        set_threads(1);
+        for r in 0..rows {
+            for c in 0..cols {
+                assert_eq!(buf[r * cols + c], r as f32, "row {r} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallelism_snapshot_reflects_override() {
+        let _guard = test_lock();
+        set_threads(3);
+        let p = Parallelism::current();
+        assert_eq!(p.threads, 3);
+        assert!(!p.is_sequential());
+        set_threads(1);
+        assert!(Parallelism::current().is_sequential());
+    }
+}

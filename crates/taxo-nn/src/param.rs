@@ -112,7 +112,13 @@ mod tests {
         let p = Param::normal_init(64, 64, 0.02, &mut rng);
         let n = p.value.data().len() as f32;
         let mean: f32 = p.value.data().iter().sum::<f32>() / n;
-        let var: f32 = p.value.data().iter().map(|&x| (x - mean).powi(2)).sum::<f32>() / n;
+        let var: f32 = p
+            .value
+            .data()
+            .iter()
+            .map(|&x| (x - mean).powi(2))
+            .sum::<f32>()
+            / n;
         assert!(mean.abs() < 0.005, "mean {mean}");
         assert!((var.sqrt() - 0.02).abs() < 0.01, "std {}", var.sqrt());
     }

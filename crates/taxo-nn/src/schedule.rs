@@ -58,7 +58,12 @@ pub fn clip_grad_norm(module: &mut dyn Module, max_norm: f32) -> f32 {
     assert!(max_norm > 0.0, "max_norm must be positive");
     let mut sq = 0.0f64;
     module.visit_params(&mut |p: &mut Param| {
-        sq += p.grad.data().iter().map(|&g| (g as f64) * (g as f64)).sum::<f64>();
+        sq += p
+            .grad
+            .data()
+            .iter()
+            .map(|&g| (g as f64) * (g as f64))
+            .sum::<f64>();
     });
     let norm = (sq as f32).sqrt();
     if norm > max_norm && norm.is_finite() {

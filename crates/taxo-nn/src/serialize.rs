@@ -186,7 +186,10 @@ mod tests {
     fn rejects_garbage() {
         let mut rng = StdRng::seed_from_u64(0);
         let mut mlp = Mlp::new(3, 4, &mut rng);
-        assert_eq!(load_params(&mut mlp, b"not a stream"), Err(LoadError::BadHeader));
+        assert_eq!(
+            load_params(&mut mlp, b"not a stream"),
+            Err(LoadError::BadHeader)
+        );
         let mut bytes = save_params(&mut mlp);
         bytes.truncate(bytes.len() - 3);
         assert_eq!(load_params(&mut mlp, &bytes), Err(LoadError::Truncated));
@@ -202,8 +205,7 @@ mod tests {
             Err(LoadError::ShapeMismatch { index: 0, .. }) => {}
             other => panic!("unexpected {other:?}"),
         }
-        let mut tiny_enc =
-            TransformerEncoder::new(EncoderConfig::tiny(10), &mut rng);
+        let mut tiny_enc = TransformerEncoder::new(EncoderConfig::tiny(10), &mut rng);
         match load_params(&mut tiny_enc, &bytes) {
             Err(LoadError::CountMismatch { .. }) => {}
             other => panic!("unexpected {other:?}"),

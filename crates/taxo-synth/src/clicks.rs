@@ -142,7 +142,9 @@ impl ClickLog {
                 // No recognisable concept at all.
                 let k = rng.random_range(2..5);
                 (0..k)
-                    .map(|_| world.decorations[rng.random_range(0..world.decorations.len())].as_str())
+                    .map(|_| {
+                        world.decorations[rng.random_range(0..world.decorations.len())].as_str()
+                    })
                     .collect::<Vec<_>>()
                     .join(" ")
             };
@@ -157,10 +159,7 @@ impl ClickLog {
                 count,
             })
             .collect();
-        records.sort_by(|a, b| {
-            (a.query, &a.item_text)
-                .cmp(&(b.query, &b.item_text))
-        });
+        records.sort_by(|a, b| (a.query, &a.item_text).cmp(&(b.query, &b.item_text)));
         ClickLog { records }
     }
 
@@ -189,18 +188,14 @@ impl ClickLog {
 
     /// Parses the format produced by [`ClickLog::to_tsv`]; query names are
     /// interned into `vocab`. Malformed lines are reported by number.
-    pub fn from_tsv(
-        text: &str,
-        vocab: &mut taxo_core::Vocabulary,
-    ) -> Result<ClickLog, String> {
+    pub fn from_tsv(text: &str, vocab: &mut taxo_core::Vocabulary) -> Result<ClickLog, String> {
         let mut records = Vec::new();
         for (i, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
             let mut cols = line.split('\t');
-            let (Some(q), Some(item), Some(count)) = (cols.next(), cols.next(), cols.next())
-            else {
+            let (Some(q), Some(item), Some(count)) = (cols.next(), cols.next(), cols.next()) else {
                 return Err(format!("line {}: expected 3 tab-separated columns", i + 1));
             };
             let count: u64 = count
@@ -229,9 +224,8 @@ impl ClickLog {
 /// 6 in a bag").
 fn decorate(world: &World, concept: ConceptId, rng: &mut StdRng) -> String {
     let name = world.name(concept);
-    let deco = |rng: &mut StdRng| {
-        world.decorations[rng.random_range(0..world.decorations.len())].clone()
-    };
+    let deco =
+        |rng: &mut StdRng| world.decorations[rng.random_range(0..world.decorations.len())].clone();
     match rng.random_range(0..4u8) {
         0 => name.to_owned(),
         1 => format!("{} {name}", deco(rng)),

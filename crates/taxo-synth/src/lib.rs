@@ -33,8 +33,8 @@
 mod clicks;
 mod config;
 mod kb;
-mod merchants;
 mod lexicon;
+mod merchants;
 mod oracle;
 mod search;
 mod ugc;

@@ -64,7 +64,7 @@ impl MerchantWorld {
         let homes: Vec<ConceptId> = world
             .roots
             .iter()
-            .flat_map(|&r| world.truth.children(r).iter().copied().collect::<Vec<_>>())
+            .flat_map(|&r| world.truth.children(r).to_vec())
             .collect();
         let mut menus = Vec::with_capacity(cfg.n_merchants);
         let mut sellers: HashMap<ConceptId, Vec<MerchantId>> = HashMap::new();
@@ -184,10 +184,7 @@ mod tests {
         let mut unrelated = Vec::new();
         for (i, &a) in nodes.iter().enumerate() {
             let b = nodes[(i * 17 + 5) % nodes.len()];
-            if a != b
-                && !world.truth.is_ancestor(a, b)
-                && !world.truth.is_ancestor(b, a)
-            {
+            if a != b && !world.truth.is_ancestor(a, b) && !world.truth.is_ancestor(b, a) {
                 unrelated.push(mw.co_merchant_affinity(a, b));
             }
         }

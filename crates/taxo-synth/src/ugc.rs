@@ -80,11 +80,7 @@ impl UgcCorpus {
                 // Co-occurrence noise: two arbitrary concepts.
                 let a = nodes[rng.random_range(0..nodes.len())];
                 let b = nodes[rng.random_range(0..nodes.len())];
-                format!(
-                    "{} and {} arrived cold",
-                    world.name(a),
-                    world.name(b)
-                )
+                format!("{} and {} arrived cold", world.name(a), world.name(b))
             } else if roll < cfg.p_relational + 0.35 {
                 let a = nodes[rng.random_range(0..nodes.len())];
                 format!("the {} was fine i guess", world.name(a))

@@ -72,13 +72,20 @@ impl World {
                 pick -= w;
             }
             let (parent, d) = expandable.swap_remove(idx);
-            let n_children = 1 + rng.random_range(0..(cfg.mean_children * 2.0) as usize).max(1);
+            let n_children = 1 + rng
+                .random_range(0..(cfg.mean_children * 2.0) as usize)
+                .max(1);
             for _ in 0..n_children {
                 if truth.node_count() >= cfg.target_nodes {
                     break;
                 }
-                let child =
-                    Self::make_child(parent, cfg.headword_ratio, &mut vocab, &mut factory, &mut rng);
+                let child = Self::make_child(
+                    parent,
+                    cfg.headword_ratio,
+                    &mut vocab,
+                    &mut factory,
+                    &mut rng,
+                );
                 if truth.add_edge(parent, child).is_ok() {
                     depth_of.push((child, d + 1));
                     if d + 1 < cfg.max_depth {
@@ -138,10 +145,7 @@ impl World {
         }
 
         // Withhold subtrees as new concepts.
-        let non_roots: Vec<ConceptId> = truth
-            .nodes()
-            .filter(|n| !roots.contains(n))
-            .collect();
+        let non_roots: Vec<ConceptId> = truth.nodes().filter(|n| !roots.contains(n)).collect();
         let target_new = (non_roots.len() as f64 * cfg.new_concept_ratio) as usize;
         let mut is_new = vec![false; vocab.len()];
         let mut n_new = 0usize;
@@ -181,10 +185,7 @@ impl World {
                     .expect("subset of a DAG stays acyclic");
             }
         }
-        let new_concepts: Vec<ConceptId> = truth
-            .nodes()
-            .filter(|n| is_new[n.index()])
-            .collect();
+        let new_concepts: Vec<ConceptId> = truth.nodes().filter(|n| is_new[n.index()]).collect();
 
         let decorations: Vec<String> = (0..24).map(|_| factory.word(&mut rng)).collect();
 
@@ -337,11 +338,7 @@ mod tests {
         let w = tiny_world();
         assert_eq!(w.common.len(), w.config.n_common_concepts);
         for &c in &w.common {
-            assert!(w
-                .truth
-                .parents(c)
-                .iter()
-                .any(|p| w.roots.contains(p)));
+            assert!(w.truth.parents(c).iter().any(|p| w.roots.contains(p)));
         }
     }
 

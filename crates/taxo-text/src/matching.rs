@@ -148,7 +148,10 @@ mod tests {
 
     #[test]
     fn lcs_basic() {
-        assert_eq!(longest_common_substring("cheese bun", "well cheese bun 6"), 10);
+        assert_eq!(
+            longest_common_substring("cheese bun", "well cheese bun 6"),
+            10
+        );
         assert_eq!(longest_common_substring("abc", "xbcy"), 2);
         assert_eq!(longest_common_substring("", "abc"), 0);
         assert_eq!(longest_common_substring("abc", "abc"), 3);

@@ -301,9 +301,7 @@ mod tests {
             hypo: ids[2]
         }));
         // The noisy "beside" pattern pairs must not be harvested.
-        assert!(!found
-            .iter()
-            .any(|p| p.hyper == ids[3] || p.hypo == ids[3]));
+        assert!(!found.iter().any(|p| p.hyper == ids[3] || p.hypo == ids[3]));
         // Seeds are not re-reported.
         assert!(!found.contains(&seeds[0]));
     }

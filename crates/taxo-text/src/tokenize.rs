@@ -125,7 +125,10 @@ mod tests {
 
     #[test]
     fn tokenize_splits_on_whitespace() {
-        assert_eq!(tokenize("rye  breado\tfresh\n"), vec!["rye", "breado", "fresh"]);
+        assert_eq!(
+            tokenize("rye  breado\tfresh\n"),
+            vec!["rye", "breado", "fresh"]
+        );
         assert!(tokenize("   ").is_empty());
     }
 

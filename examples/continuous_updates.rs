@@ -58,11 +58,9 @@ fn main() {
     );
 
     // Calibrate the attachment threshold to ~90% validation precision.
-    let threshold = trained.detector.calibrate_threshold(
-        &world.vocab,
-        &trained.dataset.val,
-        0.75,
-    );
+    let threshold = trained
+        .detector
+        .calibrate_threshold(&world.vocab, &trained.dataset.val, 0.75);
     println!("calibrated attachment threshold: {threshold:.3}");
 
     // Maintain the taxonomy over the week.

@@ -34,11 +34,10 @@ fn main() {
         &ctx.construction.pairs,
         &ExpansionConfig::default(),
     );
-    let Some(query) = ctx
-        .world
-        .truth
-        .nodes()
-        .find(|&c| ctx.world.truth.node_depth(c) >= 3 && !expansion.expanded.parents(c).is_empty())
+    let Some(query) =
+        ctx.world.truth.nodes().find(|&c| {
+            ctx.world.truth.node_depth(c) >= 3 && !expansion.expanded.parents(c).is_empty()
+        })
     else {
         println!("no fine-grained query available at this scale");
         return;

@@ -47,7 +47,5 @@ pub mod prelude {
     pub use taxo_expand::{
         ExpansionConfig, ExpansionResult, HypoDetector, PipelineConfig, TrainedPipeline,
     };
-    pub use taxo_synth::{
-        ClickConfig, ClickLog, UgcConfig, UgcCorpus, World, WorldConfig,
-    };
+    pub use taxo_synth::{ClickConfig, ClickLog, UgcConfig, UgcCorpus, World, WorldConfig};
 }

@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: the full pipeline from synthetic world
 //! generation to taxonomy expansion, exercised through the public facade.
 
-use product_taxonomy_expansion::expand::{
-    collect_all_pairs, DatasetConfig, Strategy,
-};
+use product_taxonomy_expansion::expand::{collect_all_pairs, DatasetConfig, Strategy};
 use product_taxonomy_expansion::prelude::*;
 
 fn small_world(seed: u64) -> (World, ClickLog, UgcCorpus) {
@@ -159,11 +157,8 @@ fn trained_encoder_weights_round_trip_through_serialization() {
     use product_taxonomy_expansion::nn::{load_params, save_params};
 
     let (world, _, ugc) = small_world(13);
-    let (mut trained, _) = RelationalModel::pretrain(
-        &world.vocab,
-        &ugc.sentences,
-        &RelationalConfig::tiny(13),
-    );
+    let (mut trained, _) =
+        RelationalModel::pretrain(&world.vocab, &ugc.sentences, &RelationalConfig::tiny(13));
     let bytes = save_params(&mut trained);
 
     // A fresh model with the same architecture but different seed…

@@ -28,10 +28,7 @@ fn table1_and_2_and_3_render_consistently() {
     // Overall row aggregates the others.
     let overall = &rows2[0];
     assert_eq!(overall.nodes, rows2[1].nodes + rows2[2].nodes);
-    assert_eq!(
-        overall.edges,
-        rows2[1].edges + rows2[2].edges
-    );
+    assert_eq!(overall.edges, rows2[1].edges + rows2[2].edges);
     for r in &rows2[1..] {
         assert_eq!(r.edges, r.head_edges + r.other_edges);
     }
@@ -89,7 +86,11 @@ fn cheap_table5_methods_beat_or_match_random() {
     assert!((random.accuracy - 0.5).abs() < 0.2);
     // Substr is reliably above chance level (comparing against the
     // *sampled* Random would be flaky at smoke-test sizes).
-    assert!(substr.accuracy > 0.55, "substr accuracy {}", substr.accuracy);
+    assert!(
+        substr.accuracy > 0.55,
+        "substr accuracy {}",
+        substr.accuracy
+    );
     // KB+Headword: near-perfect precision, terrible recall.
     assert!(kb.recall < 0.5);
     if kb.precision > 0.0 {

@@ -1,0 +1,239 @@
+//! A minimal, dependency-free stand-in for the [`criterion`] crate.
+//!
+//! The build environment is fully offline, so the real `criterion` cannot
+//! be fetched. This crate implements the declaration surface the
+//! workspace's benches use (`criterion_group!` / `criterion_main!`,
+//! `Criterion::bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, `sample_size`) and measures wall-clock time with
+//! `std::time::Instant`.
+//!
+//! Output is one line per bench in criterion's familiar shape:
+//!
+//! ```text
+//! matrix/matmul_64x64     time: [12.3 µs 12.5 µs 13.1 µs]
+//! ```
+//!
+//! reporting the min / median / max of the collected samples. There is no
+//! statistical outlier analysis; this is a tracking harness, not a
+//! measurement lab. Honour `--bench` style filters: any non-flag CLI
+//! argument is treated as a substring filter on bench names, as with real
+//! criterion.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The stand-in runs one routine
+/// call per setup call for every variant, so the distinction only affects
+/// API compatibility, not semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark driver: collects samples and prints a summary line.
+pub struct Criterion {
+    sample_size: usize,
+    /// Soft cap on time spent per bench (the sample loop stops early once
+    /// exceeded, keeping heavyweight benches bounded).
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Criterion {
+            sample_size: 30,
+            measurement_time: Duration::from_secs(5),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per bench.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Soft cap on the per-bench measurement loop.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        report(name, &mut b.samples);
+        self
+    }
+}
+
+/// Passed to each bench closure; runs and times the measured routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: fill caches and JIT-like lazy paths before sampling.
+        black_box(routine());
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+            if budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+fn report(name: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{name:<40} time: [no samples]");
+        return;
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let med = samples[samples.len() / 2];
+    let max = samples[samples.len() - 1];
+    println!(
+        "{name:<40} time: [{} {} {}]",
+        fmt_duration(min),
+        fmt_duration(med),
+        fmt_duration(max)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a bench group, in either criterion form:
+/// `criterion_group!(name, target1, target2)` or
+/// `criterion_group!(name = n; config = expr; targets = t1, t2)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        c.filter = None;
+        let mut runs = 0;
+        c.bench_function("smoke/iter", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(2u64.pow(10))
+            })
+        });
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default().sample_size(2);
+        c.filter = None;
+        let mut setups = 0;
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::LargeInput,
+            )
+        });
+        assert_eq!(setups, 3);
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert!(fmt_duration(Duration::from_nanos(500)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(500)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(500)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with('s'));
+    }
+}

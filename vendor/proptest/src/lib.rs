@@ -1,0 +1,324 @@
+//! A minimal, dependency-free stand-in for the [`proptest`] crate.
+//!
+//! The build environment is fully offline, so the real `proptest` cannot
+//! be fetched. This vendored crate implements the subset its property
+//! tests rely on:
+//!
+//! * [`Strategy`] with `prop_map`, implemented for numeric ranges, tuples,
+//!   `Just`, character-class string patterns (`"[a-z]{1,8}"`), and
+//!   [`collection::vec`];
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//!   plus `prop_assert!`, `prop_assert_eq!`, `prop_assume!` and
+//!   [`prop_oneof!`];
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Semantics differ from real proptest in one deliberate way: there is no
+//! shrinking. Failing inputs are reported verbatim by the panicking
+//! assertion. Generation is deterministic per test (fixed seed), so a
+//! failure always reproduces.
+
+use rand::rngs::StdRng;
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+pub mod collection;
+mod strings;
+
+/// Runner configuration: how many random cases each property runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; this workspace's properties are
+        // heavy (they build worlds and train models), so the stand-in
+        // keeps the default modest. Individual tests override via
+        // `#![proptest_config(ProptestConfig::with_cases(n))]`.
+        ProptestConfig { cases: 24 }
+    }
+}
+
+/// A generator of random values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    /// Draws one value. Must be deterministic in the `rng` stream.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Boxes a strategy, erasing its concrete type (used by [`prop_oneof!`]).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// A uniform choice between boxed strategies of one value type.
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        use rand::RngExt;
+        let idx = rng.random_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+/// `any::<T>()` for the types the workspace asks for.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy behind `any::<bool>()`.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        use rand::RngCore;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for core::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                use rand::RngExt;
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f32, f64, u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        strings::generate_from_pattern(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Declares property tests. Each `arg in strategy` parameter is drawn
+/// freshly per case from a deterministic per-test stream.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                // One fixed stream per test function: failures reproduce.
+                let mut __rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>
+                    ::seed_from_u64(0x5052_4F50_5445_5354);
+                for __case in 0..__cfg.cases {
+                    $(let $p = $crate::Strategy::generate(&($s), &mut __rng);)+
+                    let mut __case_body = move || { $body };
+                    __case_body();
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// A uniform choice between the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($s)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, 5usize..6), x in -1.0f32..1.0) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, 5);
+            prop_assert!((-1.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn strings_match_class(s in "[a-z]{2,8}") {
+            prop_assert!((2..=8).contains(&s.len()));
+            prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn vec_and_map(v in crate::collection::vec(0u32..5, 1..10).prop_map(|mut v| { v.sort_unstable(); v })) {
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+
+        #[test]
+        fn oneof_and_assume(x in prop_oneof![Just(0.0f32), Just(1.0f32)], flag in any::<bool>()) {
+            prop_assume!(flag || x == 0.0);
+            prop_assert!(x == 0.0 || x == 1.0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+        #[test]
+        fn config_applies(seed in 0u64..1000) {
+            prop_assert!(seed < 1000);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! String generation from the tiny regex dialect the workspace's tests
+//! use: one character class with a repetition count, e.g. `"[a-z]{1,8}"`,
+//! `"[a-z ]{0,40}"`, or a bare literal with no metacharacters.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Expands `pattern` into one random matching string.
+///
+/// # Panics
+/// Panics on syntax outside the supported `[class]{m}` / `[class]{m,n}` /
+/// literal subset — loudly, so an unsupported test pattern is caught the
+/// first time it runs rather than silently mis-generating.
+pub fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let bytes = pattern.as_bytes();
+    if !pattern.contains('[') {
+        assert!(
+            !pattern.contains(|c| "{}()*+?|\\.".contains(c)),
+            "unsupported regex pattern {pattern:?}: only `[class]{{m,n}}` and literals are implemented"
+        );
+        return pattern.to_owned();
+    }
+    assert!(
+        bytes.first() == Some(&b'['),
+        "unsupported regex pattern {pattern:?}"
+    );
+    let close = pattern
+        .find(']')
+        .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+    let class = expand_class(&pattern[1..close]);
+    let (min, max) = parse_reps(&pattern[close + 1..], pattern);
+    let len = if min == max {
+        min
+    } else {
+        rng.random_range(min..=max)
+    };
+    (0..len)
+        .map(|_| class[rng.random_range(0..class.len())])
+        .collect()
+}
+
+/// `a-z0-9 _` → the list of concrete characters.
+fn expand_class(class: &str) -> Vec<char> {
+    let chars: Vec<char> = class.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            assert!(lo <= hi, "inverted class range {lo}-{hi}");
+            for c in lo..=hi {
+                out.push(c);
+            }
+            i += 3;
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(!out.is_empty(), "empty character class");
+    out
+}
+
+/// `{m,n}` or `{m}` → inclusive length bounds.
+fn parse_reps(reps: &str, pattern: &str) -> (usize, usize) {
+    let inner = reps
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("expected {{m,n}} after class in {pattern:?}"));
+    match inner.split_once(',') {
+        Some((m, n)) => (
+            m.trim().parse().expect("repetition lower bound"),
+            n.trim().parse().expect("repetition upper bound"),
+        ),
+        None => {
+            let m = inner.trim().parse().expect("repetition count");
+            (m, m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_range_and_literal_space() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z ]{0,40}", &mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn exact_reps() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = generate_from_pattern("[0-9]{4}", &mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s.chars().all(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn literal_passthrough() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(generate_from_pattern("hello", &mut rng), "hello");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex")]
+    fn unsupported_syntax_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = generate_from_pattern("a+b*", &mut rng);
+    }
+}

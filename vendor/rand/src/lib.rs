@@ -1,0 +1,175 @@
+//! A minimal, dependency-free stand-in for the [`rand`] crate.
+//!
+//! The build environment for this repository is fully offline, so the real
+//! `rand` crate cannot be fetched from a registry. This vendored crate
+//! implements exactly the API surface the workspace uses — `StdRng`,
+//! `SeedableRng::seed_from_u64`, `RngExt::{random_range, random_bool}`,
+//! and `seq::SliceRandom::shuffle` — with a deterministic xoshiro256++
+//! generator seeded through SplitMix64.
+//!
+//! Determinism contract: for a given seed, every sequence of calls yields
+//! the same values on every platform and at every optimisation level. The
+//! whole reproduction (and its `TAXO_THREADS` invariance tests) relies on
+//! this.
+//!
+//! [`rand`]: https://crates.io/crates/rand
+
+pub mod rngs;
+pub mod seq;
+
+/// Core pseudo-random number generation: a stream of `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (expanded via SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// A uniform sample from `range` (half-open for `a..b`).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// A range that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    // 53 uniform mantissa bits in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[inline]
+fn unit_f32(bits: u64) -> f32 {
+    // 24 uniform mantissa bits in [0, 1).
+    ((bits >> 40) as u32) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+macro_rules! impl_float_range {
+    ($ty:ty, $unit:ident) => {
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty float range");
+                let u = $unit(rng.next_u64());
+                self.start + (self.end - self.start) * u
+            }
+        }
+    };
+}
+
+impl_float_range!(f32, unit_f32);
+impl_float_range!(f64, unit_f64);
+
+macro_rules! impl_int_range {
+    ($ty:ty) => {
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty integer range");
+                let width = (self.end as u128).wrapping_sub(self.start as u128);
+                let draw = (rng.next_u64() as u128) % width;
+                self.start.wrapping_add(draw as $ty)
+            }
+        }
+
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty inclusive range");
+                let width = (end as u128).wrapping_sub(start as u128).wrapping_add(1);
+                if width == 0 {
+                    // Full-domain range: every value is fair game.
+                    return rng.next_u64() as $ty;
+                }
+                let draw = (rng.next_u64() as u128) % width;
+                start.wrapping_add(draw as $ty)
+            }
+        }
+    };
+}
+
+impl_int_range!(u8);
+impl_int_range!(u16);
+impl_int_range!(u32);
+impl_int_range!(u64);
+impl_int_range!(usize);
+impl_int_range!(i32);
+impl_int_range!(i64);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f32 = rng.random_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            let y = rng.random_range(3usize..10);
+            assert!((3..10).contains(&y));
+            let z = rng.random_range(0u64..1);
+            assert_eq!(z, 0);
+        }
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+
+    #[test]
+    fn float_range_covers_span() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (mut lo, mut hi) = (f64::MAX, f64::MIN);
+        for _ in 0..2000 {
+            let x: f64 = rng.random_range(0.0..1.0);
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        assert!(lo < 0.05 && hi > 0.95, "lo {lo} hi {hi}");
+    }
+}
