@@ -1,6 +1,7 @@
-//! All comparison methods of Section IV-B4 behind one
-//! [`EdgeClassifier`] trait, plus an adapter for the trained framework
-//! itself, so the evaluation drivers treat every method uniformly.
+//! All comparison methods of Section IV-B4 behind the core
+//! [`EdgeClassifier`] trait (defined in `taxo_expand`, where the trained
+//! framework implements it directly), so the evaluation drivers treat
+//! every method uniformly.
 //!
 //! | Method | Kind | Module |
 //! |---|---|---|
@@ -22,7 +23,6 @@ mod snowball;
 mod steam;
 mod taxoexpan;
 mod tmn;
-mod traits;
 mod vanilla_bert;
 
 pub use distance::{DistanceNeighborBaseline, DistanceParentBaseline};
@@ -32,5 +32,7 @@ pub use snowball::SnowballBaseline;
 pub use steam::{lexical_features, SteamBaseline};
 pub use taxoexpan::TaxoExpanBaseline;
 pub use tmn::TmnBaseline;
-pub use traits::{EdgeClassifier, OursClassifier};
+// The shared interface lives in the core crate; re-exported here so
+// `taxo_baselines::EdgeClassifier` keeps working.
+pub use taxo_expand::EdgeClassifier;
 pub use vanilla_bert::VanillaBertBaseline;

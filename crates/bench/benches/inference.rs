@@ -16,7 +16,7 @@ fn bench_inference(c: &mut Criterion) {
     c.bench_function("table7/expand_taxonomy", |bench| {
         bench.iter(|| {
             black_box(expand_taxonomy(
-                &ours.detector,
+                &ours,
                 &ctx.world.vocab,
                 &ctx.world.existing,
                 &ctx.construction.pairs,

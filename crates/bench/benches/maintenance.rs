@@ -17,7 +17,7 @@ fn bench_maintenance(c: &mut Criterion) {
         bench.iter_batched(
             || {
                 IncrementalExpander::new(
-                    ours.detector.clone(),
+                    ours.clone(),
                     ctx.world.existing.clone(),
                     ExpansionConfig::default(),
                 )
@@ -31,12 +31,7 @@ fn bench_maintenance(c: &mut Criterion) {
         .adaptive
         .val
         .iter()
-        .map(|p| {
-            (
-                ours.detector.score(&ctx.world.vocab, p.parent, p.child),
-                p.label,
-            )
-        })
+        .map(|p| (ours.score(&ctx.world.vocab, p.parent, p.child), p.label))
         .collect();
     c.bench_function("maintenance/threshold_calibration", |bench| {
         bench.iter(|| black_box(threshold_for_precision(&scored, 0.85)))

@@ -45,12 +45,7 @@ fn bench_detector(c: &mut Criterion) {
     let ours = ctx.ours();
     let pair = ctx.adaptive.test[0];
     c.bench_function("table5/score_one_pair", |bench| {
-        bench.iter(|| {
-            black_box(
-                ours.detector
-                    .score(&ctx.world.vocab, pair.parent, pair.child),
-            )
-        })
+        bench.iter(|| black_box(ours.score(&ctx.world.vocab, pair.parent, pair.child)))
     });
     // One full (small) training run: Table VI/VIII rows each pay this.
     c.bench_function("table8/train_variant_test_scale", |bench| {

@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale test|quick|full] [ARTEFACT...]
+//! repro [--scale test|quick|full] [--metrics-json PATH] [ARTEFACT...]
 //!
 //! ARTEFACTs: table1 table2 table3 table4 table5 table6 table7 table8
 //!            table9 table10 table11 table12 fig3 fig4 user-study
@@ -10,6 +10,12 @@
 //!
 //! With no artefact arguments, `all` is assumed. `--scale full` matches
 //! the numbers recorded in EXPERIMENTS.md; `quick` is ~10× faster.
+//!
+//! `--metrics-json PATH` writes the end-of-run metrics snapshot
+//! (per-phase wall time, mining/expansion counters) as JSON-lines;
+//! `TAXO_METRICS=text|json` additionally dumps it to stderr, and
+//! `TAXO_LOG=text|json` streams span closes live (see the `taxo_obs`
+//! crate docs).
 
 use std::time::Instant;
 use taxo_bench::{build_domains, build_snack, parse_scale};
@@ -38,6 +44,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Quick;
     let mut snack_only = false;
+    let mut metrics_json: Option<std::path::PathBuf> = None;
     let mut artefacts: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -50,8 +57,18 @@ fn main() {
                     .and_then(|s| parse_scale(s))
                     .unwrap_or_else(|| die("--scale takes test|quick|full"));
             }
+            "--metrics-json" => {
+                i += 1;
+                let path = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--metrics-json takes a file path"));
+                metrics_json = Some(std::path::PathBuf::from(path));
+            }
             "--help" | "-h" => {
-                println!("repro [--scale test|quick|full] [--snack-only] [ARTEFACT...]");
+                println!(
+                    "repro [--scale test|quick|full] [--snack-only] \
+                     [--metrics-json PATH] [ARTEFACT...]"
+                );
                 println!("ARTEFACTs: {} all", ALL.join(" "));
                 return;
             }
@@ -74,21 +91,36 @@ fn main() {
     eprintln!("# scale: {scale:?} (snack_only: {snack_only})");
     let t0 = Instant::now();
     eprintln!("# generating domains…");
-    let ctxs = if snack_only {
-        vec![build_snack(scale)]
-    } else {
-        build_domains(scale)
+    let ctxs = {
+        let _g = taxo_obs::span!("repro.build_domains");
+        if snack_only {
+            vec![build_snack(scale)]
+        } else {
+            build_domains(scale)
+        }
     };
     eprintln!("# domains ready in {:.1?}", t0.elapsed());
     let snack = &ctxs[0];
 
     for a in &artefacts {
         let t = Instant::now();
-        let output = run(a, &ctxs, snack);
+        let output = {
+            let _g = taxo_obs::span::enter(&format!("repro.{a}"));
+            run(a, &ctxs, snack)
+        };
         println!("{output}");
         eprintln!("# {a} done in {:.1?}", t.elapsed());
     }
     eprintln!("# total {:.1?}", t0.elapsed());
+
+    if let Some(path) = &metrics_json {
+        match taxo_obs::report::write_json_lines(path) {
+            Ok(()) => eprintln!("# metrics written to {}", path.display()),
+            Err(e) => die(&format!("writing {}: {e}", path.display())),
+        }
+    }
+    // Honour TAXO_METRICS for a stderr dump, independent of the file.
+    taxo_obs::report::report_if_configured();
 }
 
 fn run(artefact: &str, ctxs: &[DomainContext], snack: &DomainContext) -> String {

@@ -1,0 +1,71 @@
+//! The uniform edge-classification interface.
+//!
+//! [`EdgeClassifier`] is the contract a serving layer (and the
+//! evaluation drivers) program against: score a candidate hyponymy edge
+//! `<parent, child>`. It lives here — next to [`HypoDetector`], its
+//! primary implementation — rather than in the baselines crate, so that
+//! downstream crates depend on the core surface instead of an
+//! eval-harness crate defining the shared interface.
+
+use crate::HypoDetector;
+use taxo_core::{ConceptId, Vocabulary};
+
+/// The uniform interface every method (the trained framework and all
+/// baselines) exposes to expansion and evaluation drivers: classify a
+/// candidate hyponymy edge `<parent, child>`.
+///
+/// `Send + Sync` is a supertrait so drivers can score candidate pairs
+/// from several threads; every implementation is plain data (no interior
+/// mutability), so the bound costs nothing.
+pub trait EdgeClassifier: Send + Sync {
+    /// Method name as it appears in the paper's tables.
+    fn name(&self) -> &str;
+
+    /// Probability-like score in `[0, 1]` that the edge holds.
+    fn score(&self, vocab: &Vocabulary, parent: ConceptId, child: ConceptId) -> f32;
+
+    /// Binary decision (default: score > 0.5).
+    fn predict(&self, vocab: &Vocabulary, parent: ConceptId, child: ConceptId) -> bool {
+        self.score(vocab, parent, child) > 0.5
+    }
+}
+
+/// The trained framework is itself an [`EdgeClassifier`] — no adapter
+/// wrapper needed.
+impl EdgeClassifier for HypoDetector {
+    fn name(&self) -> &str {
+        "Ours"
+    }
+
+    fn score(&self, vocab: &Vocabulary, parent: ConceptId, child: ConceptId) -> f32 {
+        HypoDetector::score(self, vocab, parent, child)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_object_safety_and_name() {
+        fn takes_dyn(c: &dyn EdgeClassifier) -> &str {
+            c.name()
+        }
+        // Compile-time: HypoDetector coerces to &dyn EdgeClassifier.
+        fn _coerces(d: &HypoDetector) -> &dyn EdgeClassifier {
+            d
+        }
+        struct Fixed;
+        impl EdgeClassifier for Fixed {
+            fn name(&self) -> &str {
+                "Fixed"
+            }
+            fn score(&self, _: &Vocabulary, _: ConceptId, _: ConceptId) -> f32 {
+                0.9
+            }
+        }
+        assert_eq!(takes_dyn(&Fixed), "Fixed");
+        let v = Vocabulary::new();
+        assert!(Fixed.predict(&v, ConceptId(0), ConceptId(1)));
+    }
+}

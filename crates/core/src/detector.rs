@@ -4,6 +4,7 @@ use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
 use taxo_core::{ConceptId, Vocabulary};
 use taxo_nn::{losses, Adam, Matrix, Mlp};
+use taxo_obs::counter;
 
 /// Configuration of the edge-classification head and its training loop
 /// (Eq. 15–16).
@@ -106,7 +107,7 @@ impl HypoDetector {
         vocab: &Vocabulary,
         parent: ConceptId,
         child: ConceptId,
-    ) -> (Matrix, Option<crate::PairCtx>) {
+    ) -> (Matrix, Option<crate::relational::PairCtx>) {
         let mut parts: Vec<Matrix> = Vec::with_capacity(2);
         let mut rel_ctx = None;
         if let Some(rel) = &self.relational {
@@ -164,6 +165,7 @@ impl HypoDetector {
         let rel_dim = self.relational.as_ref().map_or(0, |r| r.dim());
 
         for _ in 0..cfg.epochs {
+            counter!("train.detector.epochs").inc();
             order.shuffle(&mut rng);
             let mut total = 0.0f64;
             let mut batches = 0usize;
@@ -214,6 +216,7 @@ impl HypoDetector {
                 }
                 total += loss as f64;
                 batches += 1;
+                counter!("train.detector.batches").inc();
 
                 // Route gradients into the representation modules.
                 for (row, ctx) in ctxs.iter().enumerate() {

@@ -1,6 +1,7 @@
 use std::collections::{HashMap, HashSet};
 use taxo_core::{ConceptId, Taxonomy, Vocabulary};
 use taxo_graph::{HeteroGraph, HeteroGraphBuilder, WeightScheme};
+use taxo_obs::{counter, span};
 use taxo_synth::ClickRecord;
 use taxo_text::ConceptMatcher;
 
@@ -68,6 +69,7 @@ pub fn construct_graph(
     records: &[ClickRecord],
     scheme: WeightScheme,
 ) -> ConstructionResult {
+    let _g = span!("construct.run");
     let matcher = ConceptMatcher::new(vocab);
 
     let mut stats = ConstructionStats::default();
@@ -105,6 +107,14 @@ pub fn construct_graph(
         // Step 3: edge connection (aggregated).
         *pair_clicks.entry((r.query, item)).or_insert(0) += r.count;
     }
+
+    // Mirror the Table I tallies into the metrics registry; recorded
+    // values are work counts only, so they are thread-count invariant.
+    counter!("construct.records_resolved").add(stats.n_items - stats.n_iothers);
+    counter!("construct.records_dropped").add(stats.n_iothers);
+    counter!("construct.pairs_mined").add(pair_clicks.len() as u64);
+    counter!("construct.pairs_new").add(new_pairs.len() as u64);
+    counter!("construct.new_concepts").add(new_concepts.len() as u64);
 
     stats.n_nodes_covered = covered_nodes.len();
     stats.c_node = 100.0 * covered_nodes.len() as f64 / existing.node_count().max(1) as f64;

@@ -11,6 +11,7 @@
 use crate::{expand_taxonomy, CandidatePair, ExpansionConfig, ExpansionResult, HypoDetector};
 use std::collections::HashMap;
 use taxo_core::{ConceptId, Edge, Taxonomy, Vocabulary};
+use taxo_obs::{counter, gauge, span};
 use taxo_synth::ClickRecord;
 use taxo_text::ConceptMatcher;
 
@@ -52,7 +53,10 @@ impl IncrementalExpander {
     /// Merges one batch of click records, re-runs top-down expansion from
     /// the current taxonomy, and adopts the result.
     pub fn ingest(&mut self, vocab: &Vocabulary, records: &[ClickRecord]) -> IngestReport {
+        let _g = span!("incremental.ingest");
         self.batches += 1;
+        counter!("incremental.batches").inc();
+        counter!("incremental.records").add(records.len() as u64);
         let matcher = ConceptMatcher::new(vocab);
         for r in records {
             let Some(item) = matcher.identify(&r.item_text) else {
@@ -78,6 +82,9 @@ impl IncrementalExpander {
             expand_taxonomy(&self.detector, vocab, &self.taxonomy, &pairs, &self.cfg);
         let attached = result.surviving_edges();
         self.taxonomy = result.expanded;
+        counter!("incremental.attached").add(attached.len() as u64);
+        gauge!("incremental.known_pairs").set(pairs.len() as i64);
+        gauge!("incremental.total_relations").set(self.taxonomy.edge_count() as i64);
         IngestReport {
             batch: self.batches,
             known_pairs: pairs.len(),
@@ -183,6 +190,50 @@ mod tests {
         // Every original relation survives both rounds.
         for e in world.existing.edges() {
             assert!(session.taxonomy().contains_edge(e.parent, e.child));
+        }
+    }
+
+    #[test]
+    fn multi_batch_stream_is_monotone() {
+        let (world, det, log) = trained_world();
+        let mut session = IncrementalExpander::new(
+            det,
+            world.existing.clone(),
+            ExpansionConfig::builder().threshold(0.6).build().unwrap(),
+        );
+        // Four "days" of logs, ingested in order.
+        let chunk = (log.records.len() / 4).max(1);
+        let mut reports: Vec<IngestReport> = Vec::new();
+        for (day, batch) in log.records.chunks(chunk).take(4).enumerate() {
+            let report = session.ingest(&world.vocab, batch);
+            assert_eq!(report.batch, day + 1);
+            reports.push(report);
+        }
+        assert!(reports.len() >= 2, "need at least two batches");
+        // The pair store and the maintained taxonomy never shrink across
+        // the stream, and every report's totals agree with the session.
+        for pair in reports.windows(2) {
+            assert!(
+                pair[1].known_pairs >= pair[0].known_pairs,
+                "known_pairs must be monotone: {} then {}",
+                pair[0].known_pairs,
+                pair[1].known_pairs
+            );
+            assert!(
+                pair[1].total_relations >= pair[0].total_relations,
+                "total_relations must be monotone: {} then {}",
+                pair[0].total_relations,
+                pair[1].total_relations
+            );
+        }
+        let last = reports.last().unwrap();
+        assert_eq!(last.batch, session.batches());
+        assert_eq!(last.total_relations, session.taxonomy().edge_count());
+        // Attached edges reported per batch all live in the final state.
+        for report in &reports {
+            for e in &report.attached {
+                assert!(session.taxonomy().contains_edge(e.parent, e.child));
+            }
         }
     }
 

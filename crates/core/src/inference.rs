@@ -1,6 +1,7 @@
 use crate::{candidates_by_query, CandidatePair, HypoDetector};
 use std::collections::{HashMap, HashSet, VecDeque};
-use taxo_core::{ConceptId, Edge, LevelOrder, Taxonomy, Vocabulary};
+use taxo_core::{ConceptId, Edge, LevelOrder, TaxoError, Taxonomy, Vocabulary};
+use taxo_obs::{counter, histogram, span};
 
 /// Configuration of top-down expansion (Section III-C3, Fig. 2).
 #[derive(Debug, Clone)]
@@ -17,6 +18,70 @@ pub struct ExpansionConfig {
     /// most-clicked items (the head of the click distribution carries
     /// the signal; Section IV-A4).
     pub max_candidates_per_query: usize,
+}
+
+impl ExpansionConfig {
+    /// Starts a validating builder seeded with the defaults.
+    pub fn builder() -> ExpansionConfigBuilder {
+        ExpansionConfigBuilder {
+            cfg: ExpansionConfig::default(),
+        }
+    }
+
+    /// Validates the configuration (the check behind
+    /// [`ExpansionConfigBuilder::build`]).
+    pub fn validate(&self) -> Result<(), TaxoError> {
+        if !(self.threshold.is_finite() && (0.0..=1.0).contains(&self.threshold)) {
+            return Err(TaxoError::invalid_config(
+                "expansion.threshold",
+                "must lie in [0, 1]",
+            ));
+        }
+        if self.max_candidates_per_query == 0 {
+            return Err(TaxoError::invalid_config(
+                "expansion.max_candidates_per_query",
+                "must be at least 1",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`ExpansionConfig`]; construct via
+/// [`ExpansionConfig::builder`].
+///
+/// ```
+/// use taxo_expand::ExpansionConfig;
+/// let cfg = ExpansionConfig::builder().threshold(0.6).build().unwrap();
+/// assert_eq!(cfg.threshold, 0.6);
+/// assert!(ExpansionConfig::builder().threshold(1.5).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExpansionConfigBuilder {
+    cfg: ExpansionConfig,
+}
+
+impl ExpansionConfigBuilder {
+    pub fn threshold(mut self, threshold: f32) -> Self {
+        self.cfg.threshold = threshold;
+        self
+    }
+
+    pub fn only_new_concepts(mut self, on: bool) -> Self {
+        self.cfg.only_new_concepts = on;
+        self
+    }
+
+    pub fn max_candidates_per_query(mut self, cap: usize) -> Self {
+        self.cfg.max_candidates_per_query = cap;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<ExpansionConfig, TaxoError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
 }
 
 impl Default for ExpansionConfig {
@@ -69,6 +134,7 @@ pub fn expand_taxonomy(
     pairs: &[CandidatePair],
     cfg: &ExpansionConfig,
 ) -> ExpansionResult {
+    let _run = span!("expand.run");
     let by_query: HashMap<ConceptId, Vec<CandidatePair>> = candidates_by_query(pairs);
     let mut expanded = existing.clone();
     let mut added = Vec::new();
@@ -79,6 +145,7 @@ pub fn expand_taxonomy(
     let mut visited: HashSet<ConceptId> = queue.iter().copied().collect();
 
     while let Some(query) = queue.pop_front() {
+        counter!("expand.queries_visited").inc();
         let Some(candidates) = by_query.get(&query) else {
             continue;
         };
@@ -95,6 +162,8 @@ pub fn expand_taxonomy(
                 item != query && !(cfg.only_new_concepts && existing.contains_node(item))
             })
             .collect();
+        counter!("expand.candidates_scored").add(eligible.len() as u64);
+        histogram!("expand.candidates_per_query").observe(eligible.len() as u64);
         let scores = taxo_nn::parallel::par_map(eligible.len(), |i| {
             detector.score(vocab, query, eligible[i])
         });
@@ -103,6 +172,7 @@ pub fn expand_taxonomy(
                 continue;
             }
             if score > cfg.threshold && expanded.add_edge(query, item).is_ok() {
+                counter!("expand.attached").inc();
                 added.push(Edge::new(query, item));
                 if visited.insert(item) {
                     queue.push_back(item);
@@ -126,6 +196,7 @@ pub fn expand_taxonomy(
             pruned.push(e);
         }
     }
+    counter!("expand.pruned").add(pruned.len() as u64);
 
     ExpansionResult {
         expanded,
@@ -203,6 +274,27 @@ mod tests {
         // Expansion should attach at least one new relation in a tiny
         // world with a trained detector.
         assert!(!result.added.is_empty(), "no edges attached");
+    }
+
+    #[test]
+    fn expansion_builder_validates() {
+        let cfg = ExpansionConfig::builder()
+            .threshold(0.55)
+            .only_new_concepts(false)
+            .max_candidates_per_query(4)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.threshold, 0.55);
+        assert!(!cfg.only_new_concepts);
+        assert!(ExpansionConfig::builder().threshold(-0.1).build().is_err());
+        assert!(ExpansionConfig::builder()
+            .threshold(f32::NAN)
+            .build()
+            .is_err());
+        assert!(ExpansionConfig::builder()
+            .max_candidates_per_query(0)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -40,19 +40,27 @@
 //! ```
 
 mod calibration;
+mod classifier;
 mod detector;
 mod error_analysis;
 mod graph_construction;
 mod incremental;
 mod inference;
 mod pipeline;
-mod relational;
+pub mod relational;
 mod report;
 mod selfsup;
 mod structural;
 mod term_mining;
 
+/// Re-export of the observability layer: `taxo_expand::obs::snapshot()`,
+/// the `counter!`/`gauge!`/`histogram!`/`span!` macros, and the
+/// `TAXO_LOG` / `TAXO_METRICS` reporters. Recording is always on;
+/// see [`taxo_obs`] for the determinism contract.
+pub use taxo_obs as obs;
+
 pub use calibration::threshold_for_precision;
+pub use classifier::EdgeClassifier;
 pub use detector::{DetectorConfig, HypoDetector};
 pub use error_analysis::{analyze_errors, ErrorReport, KindBreakdown};
 pub use graph_construction::{
@@ -60,12 +68,36 @@ pub use graph_construction::{
     ConstructionStats,
 };
 pub use incremental::{IncrementalExpander, IngestReport};
-pub use inference::{expand_taxonomy, ExpansionConfig, ExpansionResult};
-pub use pipeline::{PipelineConfig, TrainedPipeline};
-pub use relational::{PairCtx, RelationalConfig, RelationalModel};
+pub use inference::{expand_taxonomy, ExpansionConfig, ExpansionConfigBuilder, ExpansionResult};
+pub use pipeline::{PipelineConfig, PipelineConfigBuilder, TrainedPipeline};
+// `relational::PairCtx` (the encoder's backward context) is deliberately
+// *not* re-exported at the top level: it is an implementation detail of
+// encoder fine-tuning, reachable under [`relational`] for the rare caller
+// that drives `forward_pair` / `backward_pair` by hand.
+pub use relational::{RelationalConfig, RelationalModel};
 pub use report::{render_markdown, summarize, ExpansionSummary};
 pub use selfsup::{
     generate_dataset, Dataset, DatasetConfig, DatasetStats, LabeledPair, PairKind, Strategy,
 };
 pub use structural::{StructuralConfig, StructuralModel};
 pub use term_mining::{mine_terms, MinedTerm, TermMiningConfig};
+
+/// The curated import surface: everything a typical consumer (training a
+/// pipeline, expanding a taxonomy, serving scores, watching metrics)
+/// needs, and nothing internal.
+///
+/// ```
+/// use taxo_expand::prelude::*;
+/// let cfg = PipelineConfig::builder().seed(1).build().unwrap();
+/// let exp = ExpansionConfig::builder().threshold(0.8).build().unwrap();
+/// # let _ = (cfg, exp);
+/// ```
+pub mod prelude {
+    pub use crate::classifier::EdgeClassifier;
+    pub use crate::incremental::{IncrementalExpander, IngestReport};
+    pub use crate::inference::{
+        expand_taxonomy, ExpansionConfig, ExpansionConfigBuilder, ExpansionResult,
+    };
+    pub use crate::pipeline::{PipelineConfig, PipelineConfigBuilder, TrainedPipeline};
+    pub use taxo_obs::{MetricsSnapshot, SpanSnapshot};
+}

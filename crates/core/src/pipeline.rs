@@ -3,8 +3,9 @@ use crate::{
     DetectorConfig, ExpansionConfig, ExpansionResult, HypoDetector, RelationalConfig,
     RelationalModel, StructuralConfig, StructuralModel,
 };
-use taxo_core::{Taxonomy, Vocabulary};
+use taxo_core::{TaxoError, Taxonomy, Vocabulary};
 use taxo_graph::WeightScheme;
+use taxo_obs::span;
 use taxo_synth::ClickRecord;
 
 /// End-to-end configuration of the expansion framework, with every
@@ -56,6 +57,148 @@ impl PipelineConfig {
             ..Default::default()
         }
     }
+
+    /// Starts a validating builder seeded with the defaults. Prefer this
+    /// over struct literals in new code: [`PipelineConfigBuilder::build`]
+    /// rejects configurations the pipeline would silently mistrain on
+    /// (zero epochs, NaN learning rates, no representation enabled, …).
+    pub fn builder() -> PipelineConfigBuilder {
+        PipelineConfigBuilder {
+            cfg: PipelineConfig::default(),
+        }
+    }
+
+    /// Validates an assembled configuration (the check behind
+    /// [`PipelineConfigBuilder::build`], also usable on hand-built
+    /// configs).
+    pub fn validate(&self) -> Result<(), TaxoError> {
+        if !self.use_relational && !self.use_structural {
+            return Err(TaxoError::invalid_config(
+                "use_relational/use_structural",
+                "at least one representation must be enabled",
+            ));
+        }
+        if self.detector.epochs == 0 {
+            return Err(TaxoError::invalid_config(
+                "detector.epochs",
+                "must be at least 1",
+            ));
+        }
+        if self.detector.batch == 0 {
+            return Err(TaxoError::invalid_config(
+                "detector.batch",
+                "must be at least 1",
+            ));
+        }
+        if !(self.detector.lr.is_finite() && self.detector.lr > 0.0) {
+            return Err(TaxoError::invalid_config(
+                "detector.lr",
+                "must be finite and positive",
+            ));
+        }
+        if !(0.0..1.0).contains(&self.detector.input_dropout) {
+            return Err(TaxoError::invalid_config(
+                "detector.input_dropout",
+                "must lie in [0, 1)",
+            ));
+        }
+        if self.pretrain_relational && self.relational.pretrain_epochs == 0 {
+            return Err(TaxoError::invalid_config(
+                "relational.pretrain_epochs",
+                "must be at least 1 when pretrain_relational is set",
+            ));
+        }
+        self.expansion.validate()
+    }
+}
+
+/// Validating builder for [`PipelineConfig`]; construct via
+/// [`PipelineConfig::builder`].
+///
+/// ```
+/// use taxo_expand::PipelineConfig;
+/// let cfg = PipelineConfig::builder().seed(7).build().unwrap();
+/// assert_eq!(cfg.dataset.seed, 7);
+/// assert!(PipelineConfig::builder().detector_epochs(0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelineConfigBuilder {
+    cfg: PipelineConfig,
+}
+
+impl PipelineConfigBuilder {
+    /// Sets one seed across every sub-configuration (dataset sampling,
+    /// encoder init, detector init).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.relational.seed = seed;
+        self.cfg.structural.seed = seed;
+        self.cfg.detector.seed = seed;
+        self.cfg.dataset.seed = seed;
+        self
+    }
+
+    pub fn weight_scheme(mut self, scheme: WeightScheme) -> Self {
+        self.cfg.weight_scheme = scheme;
+        self
+    }
+
+    pub fn relational(mut self, relational: RelationalConfig) -> Self {
+        self.cfg.relational = relational;
+        self
+    }
+
+    pub fn structural(mut self, structural: StructuralConfig) -> Self {
+        self.cfg.structural = structural;
+        self
+    }
+
+    pub fn dataset(mut self, dataset: DatasetConfig) -> Self {
+        self.cfg.dataset = dataset;
+        self
+    }
+
+    pub fn detector(mut self, detector: DetectorConfig) -> Self {
+        self.cfg.detector = detector;
+        self
+    }
+
+    pub fn expansion(mut self, expansion: ExpansionConfig) -> Self {
+        self.cfg.expansion = expansion;
+        self
+    }
+
+    /// Shortcut for the most commonly tuned knob.
+    pub fn detector_epochs(mut self, epochs: usize) -> Self {
+        self.cfg.detector.epochs = epochs;
+        self
+    }
+
+    /// Shortcut for MLM pretraining length.
+    pub fn pretrain_epochs(mut self, epochs: usize) -> Self {
+        self.cfg.relational.pretrain_epochs = epochs;
+        self
+    }
+
+    pub fn use_relational(mut self, on: bool) -> Self {
+        self.cfg.use_relational = on;
+        self
+    }
+
+    pub fn use_structural(mut self, on: bool) -> Self {
+        self.cfg.use_structural = on;
+        self
+    }
+
+    pub fn pretrain_relational(mut self, on: bool) -> Self {
+        self.cfg.pretrain_relational = on;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<PipelineConfig, TaxoError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
 }
 
 /// A trained instance of the full framework, plus everything produced on
@@ -83,7 +226,11 @@ impl TrainedPipeline {
         ugc: &[String],
         cfg: &PipelineConfig,
     ) -> TrainedPipeline {
-        let construction = construct_graph(existing, vocab, records, cfg.weight_scheme);
+        let train_guard = span!("pipeline.train");
+        let construction = {
+            let _g = span!("pipeline.construct_graph");
+            construct_graph(existing, vocab, records, cfg.weight_scheme)
+        };
 
         // The relational model is needed either as a classifier input or
         // as the structural initialiser (S_C-BERT).
@@ -91,6 +238,7 @@ impl TrainedPipeline {
             cfg.use_relational || (cfg.use_structural && cfg.structural.init_cbert);
         let (relational, mlm_losses) = if need_relational {
             if cfg.pretrain_relational {
+                let _g = span!("pipeline.mlm_pretrain");
                 let (m, losses) = RelationalModel::pretrain(vocab, ugc, &cfg.relational);
                 (Some(m), losses)
             } else {
@@ -104,6 +252,7 @@ impl TrainedPipeline {
         };
 
         let structural = cfg.use_structural.then(|| {
+            let _g = span!("pipeline.structural_pretrain");
             StructuralModel::build(
                 existing,
                 vocab,
@@ -113,8 +262,12 @@ impl TrainedPipeline {
             )
         });
 
-        let dataset = generate_dataset(existing, vocab, &construction.pairs, &cfg.dataset);
+        let dataset = {
+            let _g = span!("pipeline.dataset");
+            generate_dataset(existing, vocab, &construction.pairs, &cfg.dataset)
+        };
 
+        let detector_guard = span!("pipeline.detector_train");
         let mut detector = HypoDetector::new(
             cfg.use_relational.then_some(relational).flatten(),
             structural,
@@ -122,6 +275,8 @@ impl TrainedPipeline {
         );
         let train_losses =
             detector.train_with_val(vocab, &dataset.train, &dataset.val, &cfg.detector);
+        drop(detector_guard);
+        drop(train_guard);
 
         TrainedPipeline {
             detector,
@@ -199,6 +354,42 @@ mod tests {
 
         let result = trained.expand(&world.existing, &world.vocab, &ExpansionConfig::default());
         assert!(result.expanded.edge_count() >= world.existing.edge_count());
+    }
+
+    #[test]
+    fn builder_validates() {
+        let cfg = PipelineConfig::builder().seed(5).build().unwrap();
+        assert_eq!(cfg.detector.seed, 5);
+        assert_eq!(cfg.relational.seed, 5);
+
+        let err = PipelineConfig::builder()
+            .detector_epochs(0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("detector.epochs"), "{err}");
+
+        let err = PipelineConfig::builder()
+            .use_relational(false)
+            .use_structural(false)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("representation"), "{err}");
+
+        let err = PipelineConfig::builder()
+            .pretrain_epochs(0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("pretrain_epochs"), "{err}");
+
+        let mut bad = PipelineConfig::default();
+        bad.detector.lr = f32::NAN;
+        assert!(bad.validate().is_err());
+        bad = PipelineConfig::default();
+        bad.detector.input_dropout = 1.0;
+        assert!(bad.validate().is_err());
+        bad = PipelineConfig::default();
+        bad.detector.batch = 0;
+        assert!(bad.validate().is_err());
     }
 
     #[test]

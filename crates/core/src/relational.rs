@@ -3,6 +3,7 @@ use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
 use taxo_core::Vocabulary;
 use taxo_nn::{Adam, EncoderConfig, EncoderCtx, Matrix, Module, TransformerEncoder};
+use taxo_obs::counter;
 use taxo_text::{ConceptMatcher, TokenVocab, CLS, MASK, SEP};
 
 /// Configuration of the relational representation (Section III-B1).
@@ -248,6 +249,8 @@ impl RelationalModel {
                 }
             }
             total += flush_mlm_window(&mut model.encoder, &mut adam, &mut pending);
+            counter!("train.mlm.epochs").inc();
+            counter!("train.mlm.examples").add(counted as u64);
             epoch_losses.push((total / counted.max(1) as f64) as f32);
         }
         (model, epoch_losses)

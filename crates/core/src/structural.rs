@@ -100,6 +100,7 @@ impl StructuralModel {
         relational: Option<&RelationalModel>,
         cfg: &StructuralConfig,
     ) -> Self {
+        let _g = taxo_obs::span!("train.structural_build");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut builder = HeteroGraphBuilder::new();
         for e in existing.edges() {

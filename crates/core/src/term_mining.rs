@@ -67,6 +67,7 @@ pub fn mine_terms(
     records: &[ClickRecord],
     cfg: &TermMiningConfig,
 ) -> Vec<MinedTerm> {
+    let _g = taxo_obs::span!("mining.run");
     let matcher = ConceptMatcher::new(vocab);
     // (ngram -> (clicks, distinct queries)).
     let mut stats: HashMap<String, (u64, HashSet<ConceptId>)> = HashMap::new();
@@ -133,6 +134,8 @@ pub fn mine_terms(
     candidates = kept;
     candidates.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.text.cmp(&b.text)));
     candidates.truncate(cfg.top_k);
+    taxo_obs::counter!("mining.ngrams_considered").add(stats.len() as u64);
+    taxo_obs::counter!("mining.terms_mined").add(candidates.len() as u64);
     candidates
 }
 

@@ -1,0 +1,98 @@
+//! Regression test for the observability determinism contract: with
+//! metrics recording always on, the counter / gauge / histogram portion
+//! of the snapshot must be **identical** at any thread count — only span
+//! wall-times (excluded by `MetricsSnapshot::deterministic`) may differ.
+//!
+//! One `#[test]` only: both the global thread-count override and the
+//! global metric registry reset must not race with other tests in this
+//! binary.
+
+use taxo_expand::obs;
+use taxo_expand::{
+    construct_graph, expand_taxonomy, generate_dataset, DatasetConfig, DetectorConfig,
+    ExpansionConfig, HypoDetector, RelationalConfig, RelationalModel, StructuralConfig,
+    StructuralModel,
+};
+use taxo_graph::WeightScheme;
+use taxo_nn::parallel;
+use taxo_synth::{ClickConfig, ClickLog, UgcConfig, UgcCorpus, World, WorldConfig};
+
+/// Runs the instrumented stack end to end on a tiny seeded world.
+fn run_fixture() {
+    let world = World::generate(&WorldConfig::tiny(92));
+    let log = ClickLog::generate(&world, &ClickConfig::tiny(92));
+    let ugc = UgcCorpus::generate(&world, &UgcConfig::tiny(92));
+    let built = construct_graph(
+        &world.existing,
+        &world.vocab,
+        &log.records,
+        WeightScheme::IfIqf,
+    );
+    let dataset = generate_dataset(
+        &world.existing,
+        &world.vocab,
+        &built.pairs,
+        &DatasetConfig::default(),
+    );
+    let (relational, _) =
+        RelationalModel::pretrain(&world.vocab, &ugc.sentences, &RelationalConfig::tiny(92));
+    let structural = StructuralModel::build(
+        &world.existing,
+        &world.vocab,
+        &built.pairs,
+        Some(&relational),
+        &StructuralConfig::tiny(92),
+    );
+    let mut detector = HypoDetector::new(
+        Some(relational),
+        Some(structural),
+        &DetectorConfig::tiny(92),
+    );
+    detector.train(&world.vocab, &dataset.train, &DetectorConfig::tiny(92));
+    expand_taxonomy(
+        &detector,
+        &world.vocab,
+        &world.existing,
+        &built.pairs,
+        &ExpansionConfig::default(),
+    );
+}
+
+#[test]
+fn metrics_are_thread_count_invariant() {
+    parallel::set_threads(1);
+    obs::reset();
+    run_fixture();
+    let sequential = obs::snapshot().deterministic();
+
+    parallel::set_threads(8);
+    obs::reset();
+    run_fixture();
+    let threaded = obs::snapshot().deterministic();
+    parallel::set_threads(1);
+
+    // The instrumentation actually fired.
+    for name in [
+        "construct.pairs_mined",
+        "train.mlm.epochs",
+        "train.detector.epochs",
+        "expand.queries_visited",
+        "nn.optim.steps",
+    ] {
+        assert!(
+            sequential.counter(name) > 0,
+            "counter {name} never recorded; snapshot: {sequential:?}"
+        );
+    }
+    assert!(
+        !sequential.histograms.is_empty(),
+        "expected at least one histogram"
+    );
+    // Spans are stripped by `deterministic()`; what remains must be
+    // bit-identical across thread counts.
+    assert!(sequential.spans.is_empty() && threaded.spans.is_empty());
+    assert_eq!(
+        sequential, threaded,
+        "counters/gauges/histograms diverged between 1 and 8 threads"
+    );
+}

@@ -60,6 +60,6 @@ fn main() {
         100.0 * scores.ancestor_f1
     );
 
-    let report = analyze_errors(&ours.detector, &ctx.world.vocab, &ctx.adaptive.test);
+    let report = analyze_errors(&ours, &ctx.world.vocab, &ctx.adaptive.test);
     println!("{}", report.render(&ctx.world.vocab, 8));
 }

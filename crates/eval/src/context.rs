@@ -1,8 +1,8 @@
 use std::sync::OnceLock;
 use taxo_baselines::{
     BaselineTrainConfig, ConceptEmbeddings, DistanceNeighborBaseline, DistanceParentBaseline,
-    EdgeClassifier, KbHeadwordBaseline, OursClassifier, RandomBaseline, SnowballBaseline,
-    SteamBaseline, SubstrBaseline, TaxoExpanBaseline, TmnBaseline, VanillaBertBaseline,
+    EdgeClassifier, KbHeadwordBaseline, RandomBaseline, SnowballBaseline, SteamBaseline,
+    SubstrBaseline, TaxoExpanBaseline, TmnBaseline, VanillaBertBaseline,
 };
 use taxo_expand::{
     construct_graph, generate_dataset, ConstructionResult, Dataset, DatasetConfig, DetectorConfig,
@@ -351,14 +351,12 @@ impl DomainContext {
     }
 
     /// Trains the full model ("Ours"), cached after the first call so
-    /// every table reuses one trained instance.
-    pub fn ours(&self) -> OursClassifier {
-        let detector = self
-            .ours_detector
-            .get_or_init(|| self.train_variant(&OursVariant::full(self.scale)));
-        OursClassifier {
-            detector: detector.clone(),
-        }
+    /// every table reuses one trained instance. The detector implements
+    /// [`EdgeClassifier`] directly — no adapter.
+    pub fn ours(&self) -> HypoDetector {
+        self.ours_detector
+            .get_or_init(|| self.train_variant(&OursVariant::full(self.scale)))
+            .clone()
     }
 
     fn baseline_train_cfg(&self) -> BaselineTrainConfig {

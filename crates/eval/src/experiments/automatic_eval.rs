@@ -3,7 +3,7 @@
 //! contrastive-learning variants).
 
 use crate::{evaluate, DomainContext, EvalScores, OursVariant, RelSource, Scale, TextTable};
-use taxo_baselines::{EdgeClassifier, OursClassifier};
+use taxo_baselines::EdgeClassifier;
 use taxo_graph::{ContrastiveConfig, GnnKind, WeightScheme};
 
 /// Scores of one method across the three domains.
@@ -50,8 +50,10 @@ fn scores_table(title: &str, ctxs: &[DomainContext], results: &[MethodScores]) -
 /// domains in parallel (each `DomainContext` is independent; its lazy
 /// caches are `OnceLock`s, so concurrent first access is safe).
 pub fn table5(ctxs: &[DomainContext]) -> (Vec<MethodScores>, TextTable) {
+    let _g = taxo_obs::span!("eval.table5");
     let mut results = Vec::new();
     for name in DomainContext::method_names() {
+        taxo_obs::counter!("eval.methods_scored").inc();
         let per_domain = taxo_nn::parallel::par_map(ctxs.len(), |i| {
             let ctx = &ctxs[i];
             let method = ctx.baseline(name);
@@ -67,10 +69,8 @@ pub fn table5(ctxs: &[DomainContext]) -> (Vec<MethodScores>, TextTable) {
 }
 
 fn run_variant(ctx: &DomainContext, v: &OursVariant) -> EvalScores {
-    let classifier = OursClassifier {
-        detector: ctx.train_variant(v),
-    };
-    score_method(&classifier, ctx)
+    let detector = ctx.train_variant(v);
+    score_method(&detector, ctx)
 }
 
 /// Table VI: `S_Random`, `S_C-BERT`, `R`, `Overall`.

@@ -2,7 +2,6 @@
 //! query concept per domain.
 
 use crate::DomainContext;
-use taxo_baselines::EdgeClassifier;
 use taxo_core::ConceptId;
 use taxo_expand::candidates_by_query;
 

@@ -6,7 +6,7 @@ use crate::{DomainContext, OursVariant, TextTable};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use taxo_baselines::{EdgeClassifier, OursClassifier};
+use taxo_baselines::EdgeClassifier;
 use taxo_core::ConceptId;
 use taxo_expand::{collect_all_pairs, expand_taxonomy, threshold_for_precision, ExpansionConfig};
 use taxo_synth::Panel;
@@ -135,12 +135,12 @@ pub fn deployment(ctxs: &[DomainContext]) -> (Vec<DeploymentSummary>, TextTable)
         // unfiltered pair list so concepts attached during the traversal
         // can act as queries themselves (depth expansion).
         let all_pairs = collect_all_pairs(&ctx.world.vocab, &ctx.log.records);
-        let cfg = ExpansionConfig {
-            threshold: calibrated_threshold(&ours, ctx),
-            ..Default::default()
-        };
+        let cfg = ExpansionConfig::builder()
+            .threshold(calibrated_threshold(&ours, ctx).clamp(0.0, 1.0))
+            .build()
+            .expect("calibrated threshold is in range");
         let result = expand_taxonomy(
-            &ours.detector,
+            &ours,
             &ctx.world.vocab,
             &ctx.world.existing,
             &all_pairs,
@@ -197,8 +197,7 @@ pub fn table12(ctx: &DomainContext) -> (Vec<Table12Row>, TextTable) {
     let mut rows = Vec::new();
     for (name, dataset) in [("Previous", &ctx.previous), ("Ours", &ctx.adaptive)] {
         let detector = ctx.train_variant_on(&OursVariant::full(scale), dataset);
-        let classifier = OursClassifier { detector };
-        let relations = predicted_relations(&classifier, ctx);
+        let relations = predicted_relations(&detector, ctx);
         let head = relations
             .iter()
             .filter(|&&(p, c)| is_headword_edge(ctx.world.name(p), ctx.world.name(c)))

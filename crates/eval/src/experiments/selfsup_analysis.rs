@@ -2,7 +2,6 @@
 //! adaptive self-supervision strategies, broken down by pattern.
 
 use crate::{accuracy_where, DomainContext, OursVariant, TextTable};
-use taxo_baselines::OursClassifier;
 use taxo_expand::PairKind;
 
 /// Per-strategy positive-sample accuracies.
@@ -24,14 +23,13 @@ pub fn fig4(ctx: &DomainContext) -> (Vec<Fig4Row>, TextTable) {
     let mut rows = Vec::new();
     for (name, dataset) in [("Previous", &ctx.previous), ("Ours", &ctx.adaptive)] {
         let detector = ctx.train_variant_on(&OursVariant::full(scale), dataset);
-        let classifier = OursClassifier { detector };
         let vocab = &ctx.world.vocab;
         let positives = |p: &taxo_expand::LabeledPair| p.label;
-        let overall = accuracy_where(&classifier, vocab, &dataset.test, positives);
-        let head = accuracy_where(&classifier, vocab, &dataset.test, |p| {
+        let overall = accuracy_where(&detector, vocab, &dataset.test, positives);
+        let head = accuracy_where(&detector, vocab, &dataset.test, |p| {
             p.kind == PairKind::PositiveHead
         });
-        let others = accuracy_where(&classifier, vocab, &dataset.test, |p| {
+        let others = accuracy_where(&detector, vocab, &dataset.test, |p| {
             p.kind == PairKind::PositiveOther
         });
         rows.push(Fig4Row {

@@ -40,7 +40,7 @@ pub fn user_study(ctx: &DomainContext, n_queries: usize) -> (UserStudyResult, Te
     let ours = ctx.ours();
     let all_pairs = collect_all_pairs(&ctx.world.vocab, &ctx.log.records);
     let expansion = expand_taxonomy(
-        &ours.detector,
+        &ours,
         &ctx.world.vocab,
         &ctx.world.existing,
         &all_pairs,

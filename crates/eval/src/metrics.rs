@@ -43,6 +43,8 @@ pub fn evaluate(
     if pairs.is_empty() {
         return EvalScores::default();
     }
+    let _g = taxo_obs::span!("eval.evaluate");
+    taxo_obs::counter!("eval.pairs_scored").add(pairs.len() as u64);
     let mut correct = 0usize;
     let mut tp = 0usize; // predicted ∧ gold edge
     let mut pred_pos = 0usize;

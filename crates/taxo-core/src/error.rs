@@ -12,6 +12,18 @@ pub enum TaxoError {
     DuplicateEdge { parent: ConceptId, child: ConceptId },
     /// A TSV line could not be parsed.
     Parse { line: usize, message: String },
+    /// A configuration builder was given an out-of-range value.
+    InvalidConfig { field: String, message: String },
+}
+
+impl TaxoError {
+    /// Convenience constructor for configuration-validation failures.
+    pub fn invalid_config(field: impl Into<String>, message: impl Into<String>) -> Self {
+        TaxoError::InvalidConfig {
+            field: field.into(),
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for TaxoError {
@@ -26,6 +38,9 @@ impl fmt::Display for TaxoError {
             }
             TaxoError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
+            }
+            TaxoError::InvalidConfig { field, message } => {
+                write!(f, "invalid config: {field}: {message}")
             }
         }
     }
@@ -57,5 +72,8 @@ mod tests {
             message: "bad".into(),
         };
         assert!(p.to_string().contains("line 9"));
+        let c = TaxoError::invalid_config("expansion.threshold", "must lie in [0, 1]");
+        assert!(c.to_string().contains("expansion.threshold"));
+        assert!(c.to_string().contains("[0, 1]"));
     }
 }

@@ -74,6 +74,8 @@ pub fn pretrain_contrastive(
     x0: &Matrix,
     cfg: &ContrastiveConfig,
 ) -> Vec<f32> {
+    let _g = taxo_obs::span!("graph.contrastive_pretrain");
+    taxo_obs::counter!("graph.contrastive_epochs").add(cfg.epochs as u64);
     let n = graph.node_count();
     assert_eq!(x0.rows(), n, "feature rows must match node count");
     let mut rng = StdRng::seed_from_u64(cfg.seed);

@@ -34,6 +34,7 @@ impl Adam {
     /// Applies one update to every parameter of `module` and clears the
     /// gradients.
     pub fn step(&mut self, module: &mut dyn Module) {
+        taxo_obs::counter!("nn.optim.steps").inc();
         self.t += 1;
         let t = self.t as f32;
         let bc1 = 1.0 - self.beta1.powf(t);

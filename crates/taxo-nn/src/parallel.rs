@@ -149,6 +149,8 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    taxo_obs::counter!("nn.parallel.par_map_calls").inc();
+    taxo_obs::counter!("nn.parallel.par_map_items").add(n as u64);
     let t = threads().min(n.max(1));
     if t <= 1 || n <= 1 {
         return (0..n).map(f).collect();

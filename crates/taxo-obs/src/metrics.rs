@@ -1,0 +1,372 @@
+//! The metric primitives and the process-global registry.
+//!
+//! All three instrument kinds are plain atomics, so recording from
+//! `taxo_nn::parallel` worker threads needs no locking; the registry's
+//! mutex is touched only on first lookup of a name (the `counter!` family
+//! of macros caches that lookup in a `static`).
+
+use crate::MetricsSnapshot;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time signed value (sizes, levels, last-seen quantities).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Default histogram bucket upper bounds (`value <= bound`), roughly
+/// ×2/×4 spaced: wide enough for per-query candidate counts at one end
+/// and corpus sizes at the other. An implicit overflow bucket catches
+/// everything above the last bound.
+pub const DEFAULT_BOUNDS: &[u64] = &[
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536,
+];
+
+/// A fixed-bucket histogram of `u64` observations. Bucket counts and the
+/// integer sum are exact and order-independent, so histograms of
+/// deterministic values compare equal across thread counts.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// One per bound, plus the overflow bucket at the end.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        let mut buckets = Vec::with_capacity(bounds.len() + 1);
+        buckets.resize_with(bounds.len() + 1, AtomicU64::default);
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = self
+            .bounds
+            .partition_point(|&b| b < v)
+            .min(self.buckets.len() - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Snapshot of one counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    pub name: String,
+    pub value: u64,
+}
+
+/// Snapshot of one gauge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    pub name: String,
+    pub value: i64,
+}
+
+/// Snapshot of one histogram. `buckets[i]` counts observations with
+/// `value <= bounds[i]`; the final extra entry is the overflow bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub bounds: Vec<u64>,
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+}
+
+/// The registry: name → instrument, one per kind. Names are dotted paths
+/// (`<subsystem>.<phase>.<what>`, see DESIGN.md's naming scheme); the
+/// same name may exist independently as a counter and a histogram, but
+/// by convention each name is used for exactly one kind.
+#[derive(Debug, Default)]
+pub struct MetricRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricRegistry {
+    /// The counter registered under `name`, creating it at zero on first
+    /// use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Counter::default())),
+        )
+    }
+
+    /// The gauge registered under `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Gauge::default())),
+        )
+    }
+
+    /// The histogram registered under `name` with [`DEFAULT_BOUNDS`].
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, DEFAULT_BOUNDS)
+    }
+
+    /// The histogram registered under `name`, using `bounds` if this is
+    /// the first registration (an existing histogram keeps its original
+    /// bounds — bucket layouts must stay stable within a process).
+    pub fn histogram_with(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Copies every metric, sorted by name (`BTreeMap` order). Span
+    /// aggregates are added by [`crate::snapshot`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = {
+            let map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+            map.iter()
+                .map(|(name, c)| CounterSnapshot {
+                    name: name.clone(),
+                    value: c.get(),
+                })
+                .collect()
+        };
+        let gauges = {
+            let map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+            map.iter()
+                .map(|(name, g)| GaugeSnapshot {
+                    name: name.clone(),
+                    value: g.get(),
+                })
+                .collect()
+        };
+        let histograms = {
+            let map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+            map.iter()
+                .map(|(name, h)| HistogramSnapshot {
+                    name: name.clone(),
+                    bounds: h.bounds.clone(),
+                    buckets: h
+                        .buckets
+                        .iter()
+                        .map(|b| b.load(Ordering::Relaxed))
+                        .collect(),
+                    count: h.count(),
+                    sum: h.sum(),
+                })
+                .collect()
+        };
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Zeroes every registered value in place (handles stay valid).
+    pub fn reset(&self) {
+        for c in self
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            c.reset();
+        }
+        for g in self
+            .gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            g.reset();
+        }
+        for h in self
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            h.reset();
+        }
+    }
+}
+
+/// The process-global registry every instrumented crate records into.
+pub fn registry() -> &'static MetricRegistry {
+    static GLOBAL: OnceLock<MetricRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricRegistry::default)
+}
+
+/// A counter handle with the registry lookup cached in a `static`; the
+/// hot path is a single relaxed atomic add.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::registry().counter($name))
+    }};
+}
+
+/// A gauge handle with the registry lookup cached in a `static`.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Gauge>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::registry().gauge($name))
+    }};
+}
+
+/// A histogram handle (default bounds) with the registry lookup cached
+/// in a `static`.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::registry().histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_across_handles() {
+        let a = registry().counter("test.metrics.shared");
+        let b = registry().counter("test.metrics.shared");
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn gauge_sets_and_adds() {
+        let g = registry().gauge("test.metrics.gauge");
+        g.set(10);
+        g.add(-4);
+        assert_eq!(g.get(), 6);
+    }
+
+    #[test]
+    fn histogram_buckets_by_upper_bound() {
+        let h = registry().histogram_with("test.metrics.hist", &[1, 4, 16]);
+        for v in [0, 1, 2, 4, 5, 16, 17, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 1045);
+        let snap = registry().snapshot();
+        let hs = snap
+            .histograms
+            .iter()
+            .find(|s| s.name == "test.metrics.hist")
+            .expect("registered");
+        // <=1: {0,1}; <=4: {2,4}; <=16: {5,16}; overflow: {17,1000}.
+        assert_eq!(hs.buckets, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn histogram_keeps_first_bounds() {
+        let a = registry().histogram_with("test.metrics.stable", &[10]);
+        let b = registry().histogram_with("test.metrics.stable", &[99, 100]);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.bounds, vec![10]);
+    }
+
+    #[test]
+    fn macros_cache_one_handle() {
+        let c1: *const Counter = counter!("test.metrics.macro");
+        let c2: *const Counter = counter!("test.metrics.macro");
+        // Two *expansion sites* have two statics, but both must resolve
+        // to the same underlying counter.
+        counter!("test.metrics.macro").add(5);
+        assert_eq!(unsafe { (*c1).get() }, 5);
+        assert_eq!(unsafe { (*c2).get() }, 5);
+    }
+}

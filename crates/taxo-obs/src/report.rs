@@ -1,0 +1,312 @@
+//! Reporters: render a [`MetricsSnapshot`] as human-readable text or
+//! JSON-lines, and the `TAXO_LOG` / `TAXO_METRICS` environment knobs.
+//!
+//! * `TAXO_LOG=text|json` — emit one line to stderr every time a span
+//!   closes (live phase timing). Unset, empty or `0` disables.
+//! * `TAXO_METRICS=text|json` — [`report_if_configured`] (called by the
+//!   `repro` binary and other drivers at the end of a run) dumps the
+//!   full snapshot to stderr in that format. Unset disables the dump;
+//!   recording itself is always on.
+//!
+//! The JSON-lines format is one self-contained object per line, so the
+//! file can be consumed with nothing fancier than a line-by-line parser:
+//!
+//! ```text
+//! {"type":"counter","name":"expand.attached","value":42}
+//! {"type":"gauge","name":"incremental.known_pairs","value":1093}
+//! {"type":"histogram","name":"expand.candidates_per_query","count":57,"sum":303,"buckets":[{"le":1,"count":3},…,{"le":null,"count":0}]}
+//! {"type":"span","name":"pipeline.mlm_pretrain","count":1,"total_ms":1482.112,"max_ms":1482.112}
+//! ```
+
+use crate::MetricsSnapshot;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::OnceLock;
+
+/// Output format of a reporter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    Text,
+    JsonLines,
+}
+
+fn parse_format(value: &str) -> Option<Format> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "" | "0" | "off" | "false" => None,
+        "json" | "jsonl" | "json-lines" => Some(Format::JsonLines),
+        // Any other truthy value means "give me something readable".
+        _ => Some(Format::Text),
+    }
+}
+
+fn env_format(var: &str) -> Option<Format> {
+    std::env::var(var).ok().as_deref().and_then(parse_format)
+}
+
+/// The live span-logging format (`TAXO_LOG`), read once per process.
+pub fn log_format() -> Option<Format> {
+    static FMT: OnceLock<Option<Format>> = OnceLock::new();
+    *FMT.get_or_init(|| env_format("TAXO_LOG"))
+}
+
+/// The end-of-run report format (`TAXO_METRICS`), read once per process.
+pub fn metrics_format() -> Option<Format> {
+    static FMT: OnceLock<Option<Format>> = OnceLock::new();
+    *FMT.get_or_init(|| env_format("TAXO_METRICS"))
+}
+
+/// Called by span guards on drop; emits a live line when `TAXO_LOG` asks
+/// for one. Never touches the recorded aggregates.
+pub(crate) fn log_span_close(path: &str, ns: u64) {
+    let Some(fmt) = log_format() else {
+        return;
+    };
+    let ms = ns as f64 / 1e6;
+    match fmt {
+        Format::Text => eprintln!("[taxo-obs] {path} {ms:.3}ms"),
+        Format::JsonLines => eprintln!(
+            "{{\"type\":\"span_close\",\"name\":{},\"ms\":{ms:.3}}}",
+            json_string(path)
+        ),
+    }
+}
+
+/// Minimal JSON string encoder (the workspace is dependency-free, so no
+/// serde): escapes quotes, backslashes and control characters.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Human-readable report: spans as a wall-time table (hierarchy shown by
+/// the dotted paths), then counters, gauges and histograms.
+pub fn render_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !snap.spans.is_empty() {
+        out.push_str("== spans (wall time) ==\n");
+        let width = snap.spans.iter().map(|s| s.path.len()).max().unwrap_or(0);
+        for s in &snap.spans {
+            let _ = writeln!(
+                out,
+                "{:width$}  x{:<6} total {:>12.3}ms  max {:>12.3}ms",
+                s.path,
+                s.count,
+                s.total_ms(),
+                s.max_ns as f64 / 1e6,
+            );
+        }
+    }
+    if !snap.counters.is_empty() {
+        out.push_str("== counters ==\n");
+        let width = snap
+            .counters
+            .iter()
+            .map(|c| c.name.len())
+            .max()
+            .unwrap_or(0);
+        for c in &snap.counters {
+            let _ = writeln!(out, "{:width$}  {}", c.name, c.value);
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("== gauges ==\n");
+        let width = snap.gauges.iter().map(|g| g.name.len()).max().unwrap_or(0);
+        for g in &snap.gauges {
+            let _ = writeln!(out, "{:width$}  {}", g.name, g.value);
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("== histograms ==\n");
+        for h in &snap.histograms {
+            let mean = if h.count > 0 {
+                h.sum as f64 / h.count as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{}  n={} sum={} mean={mean:.2}",
+                h.name, h.count, h.sum
+            );
+            for (i, &count) in h.buckets.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                match h.bounds.get(i) {
+                    Some(b) => {
+                        let _ = writeln!(out, "  <= {b:<8} {count}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "  >  {:<8} {count}", h.bounds.last().unwrap_or(&0));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// JSON-lines report: one object per metric (see the module docs for the
+/// line shapes). Deterministically ordered (counters, gauges,
+/// histograms, spans; each sorted by name).
+pub fn render_json_lines(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for c in &snap.counters {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":{},\"value\":{}}}",
+            json_string(&c.name),
+            c.value
+        );
+    }
+    for g in &snap.gauges {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"name\":{},\"value\":{}}}",
+            json_string(&g.name),
+            g.value
+        );
+    }
+    for h in &snap.histograms {
+        let mut buckets = String::new();
+        for (i, &count) in h.buckets.iter().enumerate() {
+            if i > 0 {
+                buckets.push(',');
+            }
+            match h.bounds.get(i) {
+                Some(b) => {
+                    let _ = write!(buckets, "{{\"le\":{b},\"count\":{count}}}");
+                }
+                None => {
+                    let _ = write!(buckets, "{{\"le\":null,\"count\":{count}}}");
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\"buckets\":[{buckets}]}}",
+            json_string(&h.name),
+            h.count,
+            h.sum
+        );
+    }
+    for s in &snap.spans {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"span\",\"name\":{},\"count\":{},\"total_ms\":{:.3},\"max_ms\":{:.3}}}",
+            json_string(&s.path),
+            s.count,
+            s.total_ms(),
+            s.max_ns as f64 / 1e6
+        );
+    }
+    out
+}
+
+/// Dumps the current snapshot to stderr in the `TAXO_METRICS` format, if
+/// one is configured. Drivers call this once at the end of a run.
+pub fn report_if_configured() {
+    let Some(fmt) = metrics_format() else {
+        return;
+    };
+    let snap = crate::snapshot();
+    let rendered = match fmt {
+        Format::Text => render_text(&snap),
+        Format::JsonLines => render_json_lines(&snap),
+    };
+    let mut stderr = std::io::stderr().lock();
+    let _ = stderr.write_all(rendered.as_bytes());
+}
+
+/// Writes the current snapshot to `path` as JSON-lines (the
+/// `repro --metrics-json` backend).
+pub fn write_json_lines(path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, render_json_lines(&crate::snapshot()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, SpanSnapshot};
+
+    fn sample() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![CounterSnapshot {
+                name: "a.count".into(),
+                value: 7,
+            }],
+            gauges: vec![GaugeSnapshot {
+                name: "b.gauge".into(),
+                value: -3,
+            }],
+            histograms: vec![HistogramSnapshot {
+                name: "c.hist".into(),
+                bounds: vec![1, 4],
+                buckets: vec![2, 1, 0],
+                count: 3,
+                sum: 6,
+            }],
+            spans: vec![SpanSnapshot {
+                path: "d.span".into(),
+                count: 2,
+                total_ns: 1_500_000,
+                max_ns: 1_000_000,
+            }],
+        }
+    }
+
+    #[test]
+    fn text_report_mentions_every_metric() {
+        let text = render_text(&sample());
+        for needle in ["a.count", "b.gauge", "c.hist", "d.span", "x2"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn json_lines_are_one_object_per_line() {
+        let out = render_json_lines(&sample());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(out.contains("\"type\":\"counter\""));
+        assert!(out.contains("\"le\":null"));
+        assert!(out.contains("\"total_ms\":1.500"));
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn format_parsing() {
+        assert_eq!(parse_format(""), None);
+        assert_eq!(parse_format("0"), None);
+        assert_eq!(parse_format("off"), None);
+        assert_eq!(parse_format("json"), Some(Format::JsonLines));
+        assert_eq!(parse_format("JSONL"), Some(Format::JsonLines));
+        assert_eq!(parse_format("text"), Some(Format::Text));
+        assert_eq!(parse_format("1"), Some(Format::Text));
+    }
+}

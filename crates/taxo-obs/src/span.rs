@@ -1,0 +1,194 @@
+//! Hierarchical wall-time spans with RAII guards.
+//!
+//! A span measures one phase: create a guard with [`crate::span!`], and
+//! its wall time is merged into the global per-path aggregate when the
+//! guard drops. Aggregation is keyed by the dotted path, not by thread,
+//! so a span opened inside a `taxo_nn::parallel` worker contributes to
+//! the same aggregate as one opened on the main thread.
+//!
+//! Hierarchy has two forms:
+//!
+//! * **Absolute** paths carry their hierarchy in the name
+//!   (`"pipeline.mlm_pretrain"` is a child of `"pipeline"` by naming
+//!   convention) — this is what all workspace instrumentation uses, and
+//!   it is deterministic no matter which thread the span runs on.
+//! * **Relative** names (leading `.`, e.g. `span!(".score")`) append to
+//!   the innermost span currently open *on this thread*, for ad-hoc
+//!   drill-down without repeating the parent path.
+//!
+//! Span wall-times are the one observability output that is *not*
+//! thread-count invariant; determinism comparisons must use
+//! [`crate::MetricsSnapshot::deterministic`], which drops them.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SpanStat {
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+fn store() -> &'static Mutex<BTreeMap<String, SpanStat>> {
+    static STORE: OnceLock<Mutex<BTreeMap<String, SpanStat>>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+thread_local! {
+    /// Paths of the spans currently open on this thread, outermost first.
+    static ACTIVE: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregated timings of one span path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    pub path: String,
+    /// Times the span was entered.
+    pub count: u64,
+    /// Summed wall time across entries, nanoseconds.
+    pub total_ns: u64,
+    /// Longest single entry, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanSnapshot {
+    /// Total wall time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns as f64 / 1e6
+    }
+}
+
+/// RAII timer for one span entry; records on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    path: String,
+    start: Instant,
+}
+
+/// Opens a span. Prefer the [`crate::span!`] macro, which reads as
+/// instrumentation at the call site.
+pub fn enter(name: &str) -> SpanGuard {
+    let path = if let Some(rel) = name.strip_prefix('.') {
+        ACTIVE.with(|stack| match stack.borrow().last() {
+            Some(parent) => format!("{parent}.{rel}"),
+            None => rel.to_owned(),
+        })
+    } else {
+        name.to_owned()
+    };
+    ACTIVE.with(|stack| stack.borrow_mut().push(path.clone()));
+    SpanGuard {
+        path,
+        start: Instant::now(),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        ACTIVE.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards normally drop LIFO; tolerate out-of-order drops by
+            // removing the last matching entry.
+            if let Some(pos) = stack.iter().rposition(|p| *p == self.path) {
+                stack.remove(pos);
+            }
+        });
+        {
+            let mut map = store().lock().unwrap_or_else(|e| e.into_inner());
+            let stat = map.entry(self.path.clone()).or_default();
+            stat.count += 1;
+            stat.total_ns = stat.total_ns.saturating_add(ns);
+            stat.max_ns = stat.max_ns.max(ns);
+        }
+        crate::report::log_span_close(&self.path, ns);
+    }
+}
+
+/// Opens a wall-time span for the enclosing scope:
+/// `let _guard = span!("pipeline.mlm_pretrain");`. Binding the guard to
+/// `_` drops it immediately and times nothing — always name the binding.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::enter($name)
+    };
+}
+
+/// Sorted copy of every span aggregate.
+pub fn snapshot_spans() -> Vec<SpanSnapshot> {
+    let map = store().lock().unwrap_or_else(|e| e.into_inner());
+    map.iter()
+        .map(|(path, s)| SpanSnapshot {
+            path: path.clone(),
+            count: s.count,
+            total_ns: s.total_ns,
+            max_ns: s.max_ns,
+        })
+        .collect()
+}
+
+/// Clears every span aggregate (open guards still record on drop).
+pub fn reset_spans() {
+    store().lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(path: &str) -> Option<SpanSnapshot> {
+        snapshot_spans().into_iter().find(|s| s.path == path)
+    }
+
+    #[test]
+    fn span_records_count_and_time() {
+        {
+            let _g = enter("test.span.timed");
+        }
+        {
+            let _g = enter("test.span.timed");
+        }
+        let s = stat("test.span.timed").expect("recorded");
+        assert_eq!(s.count, 2);
+        assert!(s.max_ns <= s.total_ns);
+    }
+
+    #[test]
+    fn relative_spans_nest_under_the_active_path() {
+        {
+            let _outer = enter("test.span.outer");
+            let _inner = enter(".inner");
+            let _leaf = enter(".leaf");
+        }
+        assert!(stat("test.span.outer").is_some());
+        assert!(stat("test.span.outer.inner").is_some());
+        assert!(stat("test.span.outer.inner.leaf").is_some());
+    }
+
+    #[test]
+    fn relative_span_without_parent_is_absolute() {
+        {
+            let _g = enter(".test_span_orphan");
+        }
+        assert!(stat("test_span_orphan").is_some());
+    }
+
+    #[test]
+    fn worker_thread_spans_merge_into_the_same_aggregate() {
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let _g = enter("test.span.worker");
+                });
+            }
+        });
+        {
+            let _g = enter("test.span.worker");
+        }
+        assert!(stat("test.span.worker").expect("recorded").count >= 5);
+    }
+}

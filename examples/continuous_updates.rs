@@ -9,9 +9,7 @@
 //! cargo run --release --example continuous_updates
 //! ```
 
-use product_taxonomy_expansion::expand::{
-    mine_terms, IncrementalExpander, RelationalConfig, TermMiningConfig,
-};
+use product_taxonomy_expansion::expand::{mine_terms, IncrementalExpander, TermMiningConfig};
 use product_taxonomy_expansion::prelude::*;
 
 fn main() {
@@ -42,13 +40,10 @@ fn main() {
         .collect();
 
     // Train once on day 0's data (full-size encoder, short pretraining).
-    let cfg = PipelineConfig {
-        relational: RelationalConfig {
-            pretrain_epochs: 4,
-            ..Default::default()
-        },
-        ..Default::default()
-    };
+    let cfg = PipelineConfig::builder()
+        .pretrain_epochs(4)
+        .build()
+        .expect("valid pipeline config");
     let trained = TrainedPipeline::train(
         &world.existing,
         &world.vocab,
@@ -67,10 +62,10 @@ fn main() {
     let mut session = IncrementalExpander::new(
         trained.detector.clone(),
         world.existing.clone(),
-        ExpansionConfig {
-            threshold,
-            ..Default::default()
-        },
+        ExpansionConfig::builder()
+            .threshold(threshold.clamp(0.0, 1.0))
+            .build()
+            .expect("valid expansion config"),
     );
     println!("\nday  new-pairs  attached  total-relations");
     for (day, log) in days.iter().enumerate() {

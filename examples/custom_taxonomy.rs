@@ -64,10 +64,10 @@ drinko\thot drinko
 
     // 4. Train and expand.
     let mut cfg = PipelineConfig::tiny(7);
-    cfg.expansion = ExpansionConfig {
-        threshold: 0.6,
-        ..Default::default()
-    };
+    cfg.expansion = ExpansionConfig::builder()
+        .threshold(0.6)
+        .build()
+        .expect("valid expansion config");
     let trained = TrainedPipeline::train(&existing, &vocab, &records, &reviews, &cfg);
     let result = trained.expand(&existing, &vocab, &cfg.expansion);
 

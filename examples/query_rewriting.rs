@@ -28,7 +28,7 @@ fn main() {
     let engine = SearchEngine::from_click_log(&ctx.world, &ctx.log);
     let ours = ctx.ours();
     let expansion = expand_taxonomy(
-        &ours.detector,
+        &ours,
         &ctx.world.vocab,
         &ctx.world.existing,
         &ctx.construction.pairs,

@@ -5,7 +5,6 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use product_taxonomy_expansion::expand::RelationalConfig;
 use product_taxonomy_expansion::prelude::*;
 
 fn main() {
@@ -48,13 +47,10 @@ fn main() {
     //    and edge-classifier training.
     // Tiny worlds still benefit from the full-size encoder; only the
     // pretraining epochs are reduced to keep this example snappy.
-    let cfg = PipelineConfig {
-        relational: RelationalConfig {
-            pretrain_epochs: 5,
-            ..Default::default()
-        },
-        ..Default::default()
-    };
+    let cfg = PipelineConfig::builder()
+        .pretrain_epochs(5)
+        .build()
+        .expect("valid pipeline config");
     let trained = TrainedPipeline::train(
         &world.existing,
         &world.vocab,

@@ -55,7 +55,7 @@ fn main() {
             cands.len()
         );
         for cand in cands.iter().take(8) {
-            let p = ours.detector.score(&ctx.world.vocab, query, cand.item);
+            let p = ours.score(&ctx.world.vocab, query, cand.item);
             let truth = ctx.world.is_true_hypernym(query, cand.item);
             println!(
                 "  {:30} clicks={:5}  score={p:.2}  truth={truth}",

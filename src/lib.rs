@@ -10,7 +10,9 @@
 //! * [`synth`] (`taxo_synth`) — the synthetic e-commerce world;
 //! * [`expand`] (`taxo_expand`) — the paper's expansion framework;
 //! * [`baselines`] (`taxo_baselines`) — the ten comparison methods;
-//! * [`eval`] (`taxo_eval`) — metrics and experiment drivers.
+//! * [`eval`] (`taxo_eval`) — metrics and experiment drivers;
+//! * [`obs`] (`taxo_obs`) — zero-dependency metrics and span timing
+//!   (`TAXO_LOG` / `TAXO_METRICS` env knobs).
 //!
 //! # Quickstart
 //!
@@ -36,6 +38,7 @@ pub use taxo_baselines as baselines;
 pub use taxo_core as core;
 pub use taxo_eval as eval;
 pub use taxo_expand as expand;
+pub use taxo_expand::obs;
 pub use taxo_graph as graph;
 pub use taxo_nn as nn;
 pub use taxo_synth as synth;
@@ -44,8 +47,7 @@ pub use taxo_text as text;
 /// The most common imports in one place.
 pub mod prelude {
     pub use taxo_core::{ConceptId, Edge, Taxonomy, Vocabulary};
-    pub use taxo_expand::{
-        ExpansionConfig, ExpansionResult, HypoDetector, PipelineConfig, TrainedPipeline,
-    };
+    pub use taxo_expand::prelude::*;
+    pub use taxo_expand::HypoDetector;
     pub use taxo_synth::{ClickConfig, ClickLog, UgcConfig, UgcCorpus, World, WorldConfig};
 }

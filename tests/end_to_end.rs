@@ -46,10 +46,10 @@ fn pipeline_end_to_end_expands_and_respects_invariants() {
     let result = trained.expand(
         &world.existing,
         &world.vocab,
-        &ExpansionConfig {
-            threshold: 0.7,
-            ..Default::default()
-        },
+        &ExpansionConfig::builder()
+            .threshold(0.7)
+            .build()
+            .expect("valid expansion config"),
     );
     // The expansion is a superset of the existing taxonomy…
     for e in world.existing.edges() {
