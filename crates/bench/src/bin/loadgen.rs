@@ -1,0 +1,344 @@
+//! `loadgen` — deterministic load generator for a taxo-serve server.
+//!
+//! ```text
+//! loadgen [--addr 127.0.0.1:7878] [--seed 42] [--connections 8]
+//!         [--requests 10000] [--k 8] [--max-candidates 16]
+//!         [--verify] [--shutdown] [--metrics-json PATH]
+//! ```
+//!
+//! Opens `--connections` concurrent connections and round-trips
+//! `--requests` successful `score` requests in total, retrying `busy`
+//! sheds until every request completes. Query terms are drawn by a
+//! seeded xorshift per connection from the same deterministic world the
+//! server trained on, so `--verify` can rebuild the server's version-0
+//! snapshot offline and check every response is **bit-identical**
+//! (scores compared via `f32::to_bits`). `--verify` assumes a
+//! score-only run against a freshly started server (no ingests have
+//! swapped the snapshot).
+//!
+//! Latencies are recorded into the `loadgen.latency_us` histogram;
+//! p50/p99 are reported as bucket upper bounds from its snapshot.
+//! Exits nonzero on any protocol error, verify mismatch, or incomplete
+//! run — `busy` sheds are expected backpressure, never a failure.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use taxo_bench::{serving_expansion_config, serving_pipeline};
+use taxo_serve::{candidate_key, expected_key, Client, Reply, ServeSnapshot};
+
+/// Bucket upper bounds for `loadgen.latency_us`, in microseconds:
+/// 50µs .. ~1.6s, ×2 spaced.
+const LATENCY_BOUNDS_US: &[u64] = &[
+    50, 100, 200, 400, 800, 1_600, 3_200, 6_400, 12_800, 25_600, 51_200, 102_400, 204_800, 409_600,
+    819_200, 1_638_400,
+];
+
+/// One planned query: its term and (under `--verify`) the expected
+/// response key — `(term, score bits, attached)` per ranked candidate.
+type PlannedQuery = (String, Vec<(String, u32, bool)>);
+
+#[derive(Default)]
+struct ConnStats {
+    ok: u64,
+    busy_retries: u64,
+    protocol_errors: u64,
+    verify_mismatches: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut seed = 42u64;
+    let mut connections = 8usize;
+    let mut requests = 10_000u64;
+    let mut k = 8usize;
+    let mut max_candidates = 16usize;
+    let mut verify = false;
+    let mut shutdown = false;
+    let mut metrics_json: Option<std::path::PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = take(&args, &mut i, "--addr"),
+            "--seed" => seed = parse(&take(&args, &mut i, "--seed")),
+            "--connections" => connections = parse(&take(&args, &mut i, "--connections")),
+            "--requests" => requests = parse(&take(&args, &mut i, "--requests")),
+            "--k" => k = parse(&take(&args, &mut i, "--k")),
+            "--max-candidates" => max_candidates = parse(&take(&args, &mut i, "--max-candidates")),
+            "--verify" => verify = true,
+            "--shutdown" => shutdown = true,
+            "--metrics-json" => {
+                metrics_json = Some(std::path::PathBuf::from(take(
+                    &args,
+                    &mut i,
+                    "--metrics-json",
+                )));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "loadgen [--addr HOST:PORT] [--seed N] [--connections N] [--requests N] \
+                     [--k N] [--max-candidates N] [--verify] [--shutdown] [--metrics-json PATH]"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if connections == 0 || requests == 0 {
+        die("--connections and --requests must be at least 1");
+    }
+
+    // Rebuild the server's exact version-0 serving state offline: the
+    // query universe (terms with at least one mined candidate) and, for
+    // --verify, the expected ranked response per query.
+    eprintln!("# rebuilding offline baseline (seed {seed})…");
+    let (world, trained) = serving_pipeline(seed);
+    let expander = trained.into_expander(&world.existing, serving_expansion_config());
+    let pairs = expander.candidate_pairs();
+    let vocab = Arc::new(world.vocab);
+    let snapshot = ServeSnapshot::build(
+        0,
+        Arc::clone(&vocab),
+        Arc::new(expander.detector().clone()),
+        expander.taxonomy().clone(),
+        &pairs,
+    );
+    let mut queries: Vec<taxo_core::ConceptId> = pairs.iter().map(|p| p.query).collect();
+    queries.sort_unstable();
+    queries.dedup();
+    queries.retain(|&q| !snapshot.eligible(q, max_candidates).is_empty());
+    if queries.is_empty() {
+        die("offline baseline has no scorable queries; wrong --seed?");
+    }
+    let plan: Vec<PlannedQuery> = queries
+        .iter()
+        .map(|&q| {
+            let expected = if verify {
+                expected_key(&vocab, &snapshot.score_query(q, max_candidates, k))
+            } else {
+                Vec::new()
+            };
+            (vocab.name(q).to_owned(), expected)
+        })
+        .collect();
+    eprintln!("# {} scorable queries", plan.len());
+
+    // Fan out: each connection gets its own quota and xorshift stream.
+    let base = requests / connections as u64;
+    let rem = requests % connections as u64;
+    let latency = taxo_obs::registry().histogram_with("loadgen.latency_us", LATENCY_BOUNDS_US);
+    let plan = Arc::new(plan);
+    let t0 = Instant::now();
+    let stats: Vec<ConnStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|conn| {
+                let quota = base + u64::from((conn as u64) < rem);
+                let plan = Arc::clone(&plan);
+                let latency = Arc::clone(&latency);
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    run_connection(&addr, seed, conn, quota, k, verify, &plan, &latency)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("connection thread panicked"))
+            .collect()
+    });
+    let elapsed = t0.elapsed();
+
+    let ok: u64 = stats.iter().map(|s| s.ok).sum();
+    let busy: u64 = stats.iter().map(|s| s.busy_retries).sum();
+    let proto: u64 = stats.iter().map(|s| s.protocol_errors).sum();
+    let mismatches: u64 = stats.iter().map(|s| s.verify_mismatches).sum();
+    taxo_obs::counter!("loadgen.requests.ok").add(ok);
+    taxo_obs::counter!("loadgen.requests.busy_retries").add(busy);
+    taxo_obs::counter!("loadgen.errors.protocol").add(proto);
+    taxo_obs::counter!("loadgen.errors.verify_mismatch").add(mismatches);
+
+    // Final health + stats over a fresh connection, and the optional
+    // shutdown request.
+    match Client::connect(addr.as_str()) {
+        Ok(mut c) => {
+            if let Ok(Reply::Ok(h)) = c.health() {
+                eprintln!(
+                    "# server health: version {} / {} nodes / {} edges",
+                    fmt_u64(h.get("version")),
+                    fmt_u64(h.get("nodes")),
+                    fmt_u64(h.get("edges"))
+                );
+            }
+            if let Ok(Reply::Ok(s)) = c.stats() {
+                let batches = s
+                    .get("histograms")
+                    .and_then(|h| h.get("serve.batch.jobs"))
+                    .map(|b| (fmt_u64(b.get("count")), fmt_u64(b.get("sum"))));
+                if let Some((count, sum)) = batches {
+                    eprintln!("# server batching: {count} batches / {sum} jobs");
+                }
+            }
+            if shutdown {
+                match c.shutdown() {
+                    Ok(_) => eprintln!("# shutdown requested"),
+                    Err(e) => eprintln!("# shutdown request failed: {e}"),
+                }
+            }
+        }
+        Err(e) => eprintln!("# post-run stats connection failed: {e}"),
+    }
+
+    let (p50, p99) = percentiles(&latency_snapshot());
+    println!(
+        "loadgen: {ok}/{requests} ok over {connections} connections in {elapsed:.1?} \
+         ({:.0} req/s), {busy} busy retries, p50 <= {p50}, p99 <= {p99}",
+        ok as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    if verify {
+        println!("verify: {mismatches} mismatches across {ok} responses");
+    }
+    if proto > 0 {
+        println!("protocol errors: {proto}");
+    }
+
+    if let Some(path) = &metrics_json {
+        match taxo_obs::report::write_json_lines(path) {
+            Ok(()) => eprintln!("# metrics written to {}", path.display()),
+            Err(e) => die(&format!("writing {}: {e}", path.display())),
+        }
+    }
+    taxo_obs::report::report_if_configured();
+
+    if proto > 0 || mismatches > 0 || ok < requests {
+        std::process::exit(1);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_connection(
+    addr: &str,
+    seed: u64,
+    conn: usize,
+    quota: u64,
+    k: usize,
+    verify: bool,
+    plan: &[PlannedQuery],
+    latency: &taxo_obs::Histogram,
+) -> ConnStats {
+    let mut stats = ConnStats::default();
+    let mut client = match Client::connect_retry(addr, Duration::from_secs(10)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("# conn {conn}: connect failed: {e}");
+            stats.protocol_errors += quota;
+            return stats;
+        }
+    };
+    let mut rng = Xorshift::new(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(conn as u64 + 1)));
+    while stats.ok < quota {
+        let (query, expected) = &plan[(rng.next() % plan.len() as u64) as usize];
+        let t = Instant::now();
+        match client.score(query, Some(k)) {
+            Ok(Reply::Ok(v)) => {
+                latency.observe(t.elapsed().as_micros() as u64);
+                stats.ok += 1;
+                if verify && candidate_key(&v).as_deref() != Some(expected.as_slice()) {
+                    stats.verify_mismatches += 1;
+                    if stats.verify_mismatches == 1 {
+                        eprintln!("# conn {conn}: first mismatch on query {query:?}");
+                    }
+                }
+            }
+            Ok(reply) if reply.is_busy() => {
+                // Expected backpressure: back off briefly and retry the
+                // stream's next draw (fairness over strict replay).
+                stats.busy_retries += 1;
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            Ok(Reply::Err { code, detail }) => {
+                eprintln!("# conn {conn}: server error {code}: {detail:?}");
+                stats.protocol_errors += 1;
+                stats.ok += 1; // consume the slot so the run terminates
+            }
+            Err(e) => {
+                eprintln!("# conn {conn}: transport error: {e}");
+                stats.protocol_errors += quota - stats.ok;
+                break;
+            }
+        }
+    }
+    stats
+}
+
+/// xorshift64* — tiny deterministic stream, one per connection.
+struct Xorshift(u64);
+
+impl Xorshift {
+    fn new(seed: u64) -> Self {
+        Xorshift(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+fn latency_snapshot() -> taxo_obs::HistogramSnapshot {
+    taxo_obs::registry()
+        .snapshot()
+        .histograms
+        .into_iter()
+        .find(|h| h.name == "loadgen.latency_us")
+        .expect("latency histogram is registered before any observation")
+}
+
+/// Estimates (p50, p99) as the bucket upper bound covering each quantile;
+/// observations past the last bound report as `> <last bound>`.
+fn percentiles(h: &taxo_obs::HistogramSnapshot) -> (String, String) {
+    let quantile = |q: f64| -> String {
+        if h.count == 0 {
+            return String::from("n/a");
+        }
+        let target = (q * h.count as f64).ceil() as u64;
+        let mut cumulative = 0u64;
+        for (i, &bucket) in h.buckets.iter().enumerate() {
+            cumulative += bucket;
+            if cumulative >= target {
+                return match h.bounds.get(i) {
+                    Some(bound) => format!("{bound}us"),
+                    None => format!("> {}us", h.bounds.last().copied().unwrap_or(0)),
+                };
+            }
+        }
+        String::from("n/a")
+    };
+    (quantile(0.50), quantile(0.99))
+}
+
+fn fmt_u64(v: Option<&taxo_serve::json::Value>) -> String {
+    v.and_then(taxo_serve::json::Value::as_u64)
+        .map_or_else(|| String::from("?"), |n| n.to_string())
+}
+
+fn take(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    args.get(*i)
+        .unwrap_or_else(|| die(&format!("{flag} takes a value")))
+        .clone()
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("invalid numeric value {s:?}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

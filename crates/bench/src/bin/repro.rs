@@ -1,7 +1,8 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale test|quick|full] [--metrics-json PATH] [ARTEFACT...]
+//! repro [--scale test|quick|full] [--threads N] [--metrics-json PATH]
+//!       [ARTEFACT...]
 //!
 //! ARTEFACTs: table1 table2 table3 table4 table5 table6 table7 table8
 //!            table9 table10 table11 table12 fig3 fig4 user-study
@@ -64,9 +65,21 @@ fn main() {
                     .unwrap_or_else(|| die("--metrics-json takes a file path"));
                 metrics_json = Some(std::path::PathBuf::from(path));
             }
+            "--threads" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--threads takes a positive integer"));
+                // The TAXO_THREADS env knob wins when set, matching how
+                // every other tool in the workspace reads it.
+                if std::env::var_os("TAXO_THREADS").is_none() {
+                    taxo_nn::parallel::set_threads(n);
+                }
+            }
             "--help" | "-h" => {
                 println!(
-                    "repro [--scale test|quick|full] [--snack-only] \
+                    "repro [--scale test|quick|full] [--snack-only] [--threads N] \
                      [--metrics-json PATH] [ARTEFACT...]"
                 );
                 println!("ARTEFACTs: {} all", ALL.join(" "));

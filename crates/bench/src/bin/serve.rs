@@ -1,0 +1,100 @@
+//! `serve` — trains the tiny demo pipeline and serves it over the
+//! taxo-serve line protocol.
+//!
+//! ```text
+//! serve [--addr 127.0.0.1:7878] [--seed 42] [--threads N]
+//!       [--workers N] [--batch-max N] [--queue-cap N]
+//!       [--max-candidates N] [--metrics-json PATH]
+//! ```
+//!
+//! Prints `taxo-serve listening on <addr>` once ready, then serves until
+//! a `shutdown` request arrives. `--metrics-json PATH` writes the final
+//! taxo-obs snapshot (request counters, queue gauges, batch-size
+//! histograms, per-kind latency spans) after shutdown. `--threads` sets
+//! the compute thread count unless `TAXO_THREADS` is set (env wins).
+
+use std::sync::Arc;
+use taxo_bench::{serving_expansion_config, serving_pipeline};
+use taxo_serve::{ServeConfig, Server};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut seed = 42u64;
+    let mut threads: Option<usize> = None;
+    let mut cfg = ServeConfig::default();
+    let mut metrics_json: Option<std::path::PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = take(&args, &mut i, "--addr"),
+            "--seed" => seed = parse(&take(&args, &mut i, "--seed")),
+            "--threads" => threads = Some(parse(&take(&args, &mut i, "--threads"))),
+            "--workers" => cfg.workers = parse(&take(&args, &mut i, "--workers")),
+            "--batch-max" => cfg.batch_max = parse(&take(&args, &mut i, "--batch-max")),
+            "--queue-cap" => cfg.score_queue_cap = parse(&take(&args, &mut i, "--queue-cap")),
+            "--max-candidates" => {
+                cfg.max_candidates = parse(&take(&args, &mut i, "--max-candidates"));
+            }
+            "--metrics-json" => {
+                metrics_json = Some(std::path::PathBuf::from(take(
+                    &args,
+                    &mut i,
+                    "--metrics-json",
+                )));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "serve [--addr HOST:PORT] [--seed N] [--threads N] [--workers N] \
+                     [--batch-max N] [--queue-cap N] [--max-candidates N] [--metrics-json PATH]"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    // The env knob wins when set, as everywhere else in the workspace.
+    if let Some(n) = threads {
+        if std::env::var_os("TAXO_THREADS").is_none() {
+            taxo_nn::parallel::set_threads(n);
+        }
+    }
+
+    eprintln!("# training tiny serving pipeline (seed {seed})…");
+    let t0 = std::time::Instant::now();
+    let (world, trained) = serving_pipeline(seed);
+    let expander = trained.into_expander(&world.existing, serving_expansion_config());
+    eprintln!("# trained in {:.1?}", t0.elapsed());
+
+    let handle = Server::start(expander, Arc::new(world.vocab), cfg, addr.as_str())
+        .unwrap_or_else(|e| die(&format!("binding {addr}: {e}")));
+    println!("taxo-serve listening on {}", handle.addr());
+    handle.join();
+    eprintln!("# shut down cleanly");
+
+    if let Some(path) = &metrics_json {
+        match taxo_obs::report::write_json_lines(path) {
+            Ok(()) => eprintln!("# metrics written to {}", path.display()),
+            Err(e) => die(&format!("writing {}: {e}", path.display())),
+        }
+    }
+    taxo_obs::report::report_if_configured();
+}
+
+fn take(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    args.get(*i)
+        .unwrap_or_else(|| die(&format!("{flag} takes a value")))
+        .clone()
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("invalid numeric value {s:?}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

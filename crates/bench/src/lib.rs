@@ -20,6 +20,63 @@ pub fn build_snack(scale: Scale) -> DomainContext {
     DomainContext::build(&WorldConfig::snack(), scale)
 }
 
+/// The synthetic world both `serve` and `loadgen` derive from one seed.
+/// Keeping this in one place is what lets `loadgen --verify` rebuild the
+/// server's exact serving state offline: world generation and pipeline
+/// training are fully deterministic given the seed.
+pub fn serving_world(
+    seed: u64,
+) -> (
+    taxo_synth::World,
+    taxo_synth::ClickLog,
+    taxo_synth::UgcCorpus,
+) {
+    use taxo_synth::{ClickConfig, ClickLog, UgcConfig, UgcCorpus, World, WorldConfig};
+    let world = World::generate(&WorldConfig {
+        target_nodes: 150,
+        ..WorldConfig::tiny(seed)
+    });
+    let log = ClickLog::generate(
+        &world,
+        &ClickConfig {
+            n_events: 8_000,
+            ..ClickConfig::tiny(seed)
+        },
+    );
+    let ugc = UgcCorpus::generate(
+        &world,
+        &UgcConfig {
+            n_sentences: 1_500,
+            ..UgcConfig::tiny(seed)
+        },
+    );
+    (world, log, ugc)
+}
+
+/// Trains the tiny serving pipeline on [`serving_world`] — the model
+/// behind the `serve` bin and the `loadgen --verify` offline baseline.
+pub fn serving_pipeline(seed: u64) -> (taxo_synth::World, taxo_expand::TrainedPipeline) {
+    let (world, log, ugc) = serving_world(seed);
+    let trained = taxo_expand::TrainedPipeline::train(
+        &world.existing,
+        &world.vocab,
+        &log.records,
+        &ugc.sentences,
+        &taxo_expand::PipelineConfig::tiny(seed),
+    );
+    (world, trained)
+}
+
+/// The expansion configuration the serving session runs under (shared by
+/// `serve` and `loadgen --verify`; threshold 0.6 so tiny-world ingests
+/// visibly attach edges).
+pub fn serving_expansion_config() -> taxo_expand::ExpansionConfig {
+    taxo_expand::ExpansionConfig::builder()
+        .threshold(0.6)
+        .build()
+        .expect("static serving expansion config is valid")
+}
+
 /// Parses a `--scale` value.
 pub fn parse_scale(s: &str) -> Option<Scale> {
     match s {

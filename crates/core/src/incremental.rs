@@ -50,6 +50,23 @@ impl IncrementalExpander {
         }
     }
 
+    /// Like [`IncrementalExpander::new`], but seeds the candidate store
+    /// with already-mined pairs (e.g. the construction-time pairs of a
+    /// [`crate::TrainedPipeline`]), so the first snapshot a serving layer
+    /// extracts already has candidates to score.
+    pub fn with_pairs(
+        detector: HypoDetector,
+        initial: Taxonomy,
+        pairs: &[CandidatePair],
+        cfg: ExpansionConfig,
+    ) -> Self {
+        let mut session = IncrementalExpander::new(detector, initial, cfg);
+        for p in pairs {
+            *session.pair_counts.entry((p.query, p.item)).or_insert(0) += p.clicks;
+        }
+        session
+    }
+
     /// Merges one batch of click records, re-runs top-down expansion from
     /// the current taxonomy, and adopts the result.
     pub fn ingest(&mut self, vocab: &Vocabulary, records: &[ClickRecord]) -> IngestReport {
@@ -67,16 +84,7 @@ impl IncrementalExpander {
             }
             *self.pair_counts.entry((r.query, item)).or_insert(0) += r.count;
         }
-        let mut pairs: Vec<CandidatePair> = self
-            .pair_counts
-            .iter()
-            .map(|(&(query, item), &clicks)| CandidatePair {
-                query,
-                item,
-                clicks,
-            })
-            .collect();
-        pairs.sort_by_key(|p| (p.query, p.item));
+        let pairs = self.candidate_pairs();
 
         let result: ExpansionResult =
             expand_taxonomy(&self.detector, vocab, &self.taxonomy, &pairs, &self.cfg);
@@ -96,6 +104,28 @@ impl IncrementalExpander {
     /// The maintained taxonomy.
     pub fn taxonomy(&self) -> &Taxonomy {
         &self.taxonomy
+    }
+
+    /// The accumulated candidate store as a deterministically ordered
+    /// pair list (sorted by query then item) — the snapshot-extraction
+    /// surface a serving layer freezes after each ingest.
+    pub fn candidate_pairs(&self) -> Vec<CandidatePair> {
+        let mut pairs: Vec<CandidatePair> = self
+            .pair_counts
+            .iter()
+            .map(|(&(query, item), &clicks)| CandidatePair {
+                query,
+                item,
+                clicks,
+            })
+            .collect();
+        pairs.sort_by_key(|p| (p.query, p.item));
+        pairs
+    }
+
+    /// The expansion configuration each ingest expands under.
+    pub fn expansion_config(&self) -> &ExpansionConfig {
+        &self.cfg
     }
 
     /// The trained detector in use.

@@ -307,6 +307,23 @@ impl TrainedPipeline {
     pub fn test_accuracy(&self, vocab: &Vocabulary) -> f64 {
         self.detector.accuracy(vocab, &self.dataset.test)
     }
+
+    /// Converts the trained pipeline into a maintenance/serving session:
+    /// an [`crate::IncrementalExpander`] over `existing`, seeded with the
+    /// candidate pairs mined during graph construction. This is the
+    /// bridge from offline training to the online serving layer.
+    pub fn into_expander(
+        self,
+        existing: &Taxonomy,
+        cfg: ExpansionConfig,
+    ) -> crate::IncrementalExpander {
+        crate::IncrementalExpander::with_pairs(
+            self.detector,
+            existing.clone(),
+            &self.construction.pairs,
+            cfg,
+        )
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,222 @@
+//! Bounded work queues and the micro-batched scoring engine.
+//!
+//! Connection workers never score candidates themselves: they enqueue a
+//! [`ScoreJob`] and wait on its reply channel. A dedicated scorer thread
+//! drains **every queued job at once** (up to `batch_max`), flattens all
+//! their candidate pairs into one index space, and scores the lot with a
+//! single [`taxo_nn::parallel::par_map`] call — so concurrent requests
+//! coalesce into one parallel kernel sweep instead of fighting for
+//! threads. Each job is scored against the snapshot `Arc` it arrived
+//! with, so coalescing never mixes taxonomy versions within a response.
+//!
+//! Queues are bounded and never block producers: [`BoundedQueue::try_push`]
+//! fails fast when full (the server sheds with a `busy` response) or
+//! closed (drain phase of shutdown). [`BoundedQueue::drain`] blocks
+//! consumers until work arrives, and returns `None` only once the queue
+//! is closed **and** empty — which is exactly the graceful-shutdown
+//! contract: close, then keep draining until dry.
+
+use crate::snapshot::ServeSnapshot;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use taxo_core::ConceptId;
+use taxo_obs::{histogram, span};
+
+/// Why [`BoundedQueue::try_push`] rejected an item; the item is handed
+/// back so the caller can respond to its originator.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity — backpressure; shed with `busy`.
+    Full(T),
+    /// The queue is closed — the server is draining; shed with
+    /// `shutting_down`.
+    Closed(T),
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue with explicit backpressure and close-then-drain
+/// shutdown. Producers never block; consumers block in [`BoundedQueue::drain`].
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    readable: Condvar,
+    cap: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "queue capacity must be at least 1");
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            readable: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Enqueues `item` unless the queue is full or closed. Returns the
+    /// queue depth after the push.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.cap {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        let depth = state.items.len();
+        drop(state);
+        self.readable.notify_one();
+        Ok(depth)
+    }
+
+    /// Takes up to `max` items, blocking while the queue is open and
+    /// empty. `None` means closed and fully drained — the consumer
+    /// should exit.
+    pub fn drain(&self, max: usize) -> Option<Vec<T>> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if !state.items.is_empty() {
+                let take = state.items.len().min(max.max(1));
+                return Some(state.items.drain(..take).collect());
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.readable.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: further pushes fail, consumers drain what is
+    /// left and then see `None`.
+    pub fn close(&self) {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.readable.notify_all();
+    }
+
+    /// Current depth (for gauges; racy by nature).
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .items
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One queued `score` request: the snapshot it must be answered from,
+/// the query, its eligible candidate items, and the channel the scores
+/// go back on (in `items` order).
+pub struct ScoreJob {
+    pub snapshot: Arc<ServeSnapshot>,
+    pub query: ConceptId,
+    pub items: Vec<ConceptId>,
+    pub reply: mpsc::Sender<Vec<f32>>,
+}
+
+/// Scores one coalesced batch of jobs with a single `par_map` sweep over
+/// the flattened (job, candidate) pairs, then routes each job's scores
+/// back on its reply channel.
+///
+/// `EdgeClassifier::score` is pure and `par_map` returns results in index
+/// order, so every score is bit-identical to scoring the same pair alone
+/// on one thread — batching and `TAXO_THREADS` are invisible in the
+/// responses.
+pub fn score_batch(jobs: Vec<ScoreJob>) {
+    let _g = span!("serve.batch");
+    histogram!("serve.batch.jobs").observe(jobs.len() as u64);
+
+    // Flatten: offsets[j] is the first flat index of job j's pairs.
+    let mut offsets = Vec::with_capacity(jobs.len() + 1);
+    let mut total = 0usize;
+    for job in &jobs {
+        offsets.push(total);
+        total += job.items.len();
+    }
+    offsets.push(total);
+    histogram!("serve.batch.pairs").observe(total as u64);
+
+    let scores = taxo_nn::parallel::par_map(total, |flat| {
+        // Binary search the owning job; offsets is sorted and small.
+        let j = offsets.partition_point(|&o| o <= flat) - 1;
+        let job = &jobs[j];
+        let item = job.items[flat - offsets[j]];
+        job.snapshot
+            .detector
+            .score(&job.snapshot.vocab, job.query, item)
+    });
+
+    for (j, job) in jobs.iter().enumerate() {
+        let slice = scores[offsets[j]..offsets[j + 1]].to_vec();
+        // A dead receiver means the connection worker gave up (client
+        // disconnected mid-request); nothing to do.
+        let _ = job.reply.send(slice);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_and_backpressure() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        match q.try_push(3) {
+            Err(PushError::Full(3)) => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(q.drain(8), Some(vec![1, 2]));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_then_drain_until_dry() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        match q.try_push(3) {
+            Err(PushError::Closed(3)) => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(q.drain(1), Some(vec![1]));
+        assert_eq!(q.drain(1), Some(vec![2]));
+        assert_eq!(q.drain(1), None, "closed and dry");
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_push_and_close() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(items) = q.drain(2) {
+                    got.extend(items);
+                }
+                got
+            })
+        };
+        for i in 0..5 {
+            while matches!(q.try_push(i), Err(PushError::Full(_))) {
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+}

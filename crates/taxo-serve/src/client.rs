@@ -1,0 +1,207 @@
+//! A small blocking client for the line protocol, used by `loadgen`,
+//! the integration tests, and anyone scripting against a server.
+
+use crate::json::{self, Value};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// One connection to a taxo-serve server.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+}
+
+/// A parsed response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// `ok:true` — the full parsed object.
+    Ok(Value),
+    /// `ok:false` — the error code (e.g. `busy`) and optional detail.
+    Err {
+        code: String,
+        detail: Option<String>,
+    },
+}
+
+impl Reply {
+    /// The error code, if this is an error reply.
+    pub fn error_code(&self) -> Option<&str> {
+        match self {
+            Reply::Err { code, .. } => Some(code),
+            Reply::Ok(_) => None,
+        }
+    }
+
+    /// True when the server shed this request under backpressure.
+    pub fn is_busy(&self) -> bool {
+        self.error_code() == Some("busy")
+    }
+}
+
+impl Client {
+    /// Connects once.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client {
+            writer,
+            reader,
+            next_id: 0,
+        })
+    }
+
+    /// Connects, retrying for up to `timeout` — for racing a server that
+    /// is still binding (CI smoke jobs).
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs + Copy,
+        timeout: Duration,
+    ) -> std::io::Result<Client> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Sends one raw request line and reads one response line.
+    pub fn call_raw(&mut self, line: &str) -> std::io::Result<String> {
+        debug_assert!(!line.contains('\n'));
+        self.writer.write_all(format!("{line}\n").as_bytes())?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end_matches(['\n', '\r']).to_owned())
+    }
+
+    /// Sends a request line and parses the response, checking that the
+    /// echoed `id` matches (frame integrity).
+    pub fn call(&mut self, line: &str, expect_id: Option<u64>) -> std::io::Result<Reply> {
+        let raw = self.call_raw(line)?;
+        let v = json::parse(&raw)
+            .map_err(|e| protocol_error(format!("unparseable response {raw:?}: {e}")))?;
+        let got_id = v.get("id").and_then(Value::as_u64);
+        if got_id != expect_id {
+            return Err(protocol_error(format!(
+                "response id {got_id:?} does not match request id {expect_id:?}: {raw}"
+            )));
+        }
+        match v.get("ok") {
+            Some(Value::Bool(true)) => Ok(Reply::Ok(v)),
+            Some(Value::Bool(false)) => Ok(Reply::Err {
+                code: v
+                    .get("error")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unknown")
+                    .to_owned(),
+                detail: v.get("detail").and_then(Value::as_str).map(str::to_owned),
+            }),
+            _ => Err(protocol_error(format!("response without ok field: {raw}"))),
+        }
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// `score` round trip.
+    pub fn score(&mut self, query: &str, k: Option<usize>) -> std::io::Result<Reply> {
+        let id = self.fresh_id();
+        let mut w = json::ObjWriter::new();
+        w.str("kind", "score").u64("id", id).str("query", query);
+        if let Some(k) = k {
+            w.u64("k", k as u64);
+        }
+        self.call(&w.finish(), Some(id))
+    }
+
+    /// `ingest` round trip.
+    pub fn ingest(&mut self, records: &[(String, String, u64)]) -> std::io::Result<Reply> {
+        let id = self.fresh_id();
+        let mut arr = String::from("[");
+        for (i, (query, item, count)) in records.iter().enumerate() {
+            if i > 0 {
+                arr.push(',');
+            }
+            let mut r = json::ObjWriter::new();
+            r.str("query", query).str("item", item).u64("count", *count);
+            arr.push_str(&r.finish());
+        }
+        arr.push(']');
+        let mut w = json::ObjWriter::new();
+        w.str("kind", "ingest").u64("id", id).raw("records", &arr);
+        self.call(&w.finish(), Some(id))
+    }
+
+    /// `health` round trip.
+    pub fn health(&mut self) -> std::io::Result<Reply> {
+        let id = self.fresh_id();
+        let mut w = json::ObjWriter::new();
+        w.str("kind", "health").u64("id", id);
+        self.call(&w.finish(), Some(id))
+    }
+
+    /// `stats` round trip.
+    pub fn stats(&mut self) -> std::io::Result<Reply> {
+        let id = self.fresh_id();
+        let mut w = json::ObjWriter::new();
+        w.str("kind", "stats").u64("id", id);
+        self.call(&w.finish(), Some(id))
+    }
+
+    /// `shutdown` round trip.
+    pub fn shutdown(&mut self) -> std::io::Result<Reply> {
+        let id = self.fresh_id();
+        let mut w = json::ObjWriter::new();
+        w.str("kind", "shutdown").u64("id", id);
+        self.call(&w.finish(), Some(id))
+    }
+}
+
+fn protocol_error(msg: String) -> std::io::Error {
+    std::io::Error::new(ErrorKind::InvalidData, msg)
+}
+
+/// The comparable content of a `score` response's candidate list:
+/// `(term, score bits, attached)` per candidate, in ranked order. Scores
+/// compare by `f32::to_bits`, making "bit-identical" literal.
+pub fn candidate_key(reply: &Value) -> Option<Vec<(String, u32, bool)>> {
+    let items = reply.get("candidates")?.items()?;
+    let mut out = Vec::with_capacity(items.len());
+    for c in items {
+        out.push((
+            c.get("term")?.as_str()?.to_owned(),
+            c.get("score")?.as_f32()?.to_bits(),
+            match c.get("attached")? {
+                Value::Bool(b) => *b,
+                _ => return None,
+            },
+        ));
+    }
+    Some(out)
+}
+
+/// The same key computed offline from a snapshot's ranked candidates —
+/// what [`candidate_key`] must equal when server and snapshot agree.
+pub fn expected_key(
+    vocab: &taxo_core::Vocabulary,
+    ranked: &[crate::snapshot::ScoredCandidate],
+) -> Vec<(String, u32, bool)> {
+    ranked
+        .iter()
+        .map(|c| (vocab.name(c.item).to_owned(), c.score.to_bits(), c.attached))
+        .collect()
+}

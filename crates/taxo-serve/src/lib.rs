@@ -1,0 +1,57 @@
+//! `taxo-serve` — the online query-serving subsystem.
+//!
+//! The offline side of the workspace trains a pipeline and expands a
+//! taxonomy in one shot; this crate is the deployment shape the paper
+//! describes — a continuously maintained taxonomy answering live
+//! traffic. It is std-only (no tokio, no serde), matching the
+//! workspace's vendored-deps constraint:
+//!
+//! * **Wire protocol** ([`protocol`]): line-delimited JSON over TCP with
+//!   request kinds `score` (query term → ranked attachment candidates),
+//!   `ingest` (new query–click evidence), `health`, `stats` (the
+//!   taxo-obs snapshot), and `shutdown`.
+//! * **Micro-batching** ([`batch`]): concurrent `score` requests
+//!   coalesce into one batched [`taxo_nn::parallel`] scoring sweep.
+//! * **Hot-swapped snapshots** ([`snapshot`]): an immutable
+//!   model+taxonomy [`ServeSnapshot`] behind a version-stamped store;
+//!   the ingest thread rebuilds and atomically publishes, readers
+//!   revalidate with one atomic load and never block on a swap.
+//! * **Backpressure** ([`batch::BoundedQueue`]): every queue is bounded;
+//!   overload sheds with a `busy` response instead of stalling sockets.
+//! * **Graceful shutdown**: queues close-then-drain, so every accepted
+//!   request gets a response before the threads exit.
+//!
+//! # Determinism contract
+//!
+//! Served scores are **bit-identical** to offline
+//! [`taxo_expand::EdgeClassifier`] scoring of the same pairs, at any
+//! `TAXO_THREADS` setting and any batching: scoring is pure, `par_map`
+//! preserves index order, ranking ties break on item id, and `f32`
+//! scores travel as shortest round-trip decimals.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use taxo_serve::{Client, Server, ServeConfig};
+//! # let (expander, vocab): (taxo_expand::IncrementalExpander, Arc<taxo_core::Vocabulary>) = todo!();
+//!
+//! let handle = Server::start(expander, vocab, ServeConfig::default(), "127.0.0.1:0")?;
+//! let mut client = Client::connect(handle.addr())?;
+//! let reply = client.score("potato chips", Some(5))?;
+//! println!("{reply:?}");
+//! client.shutdown()?;
+//! handle.join();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+pub mod batch;
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+
+pub use batch::{BoundedQueue, PushError, ScoreJob};
+pub use client::{candidate_key, expected_key, Client, Reply};
+pub use protocol::{IngestRecord, IngestSummary, Request};
+pub use server::{ServeConfig, Server, ServerHandle};
+pub use snapshot::{ScoredCandidate, ServeSnapshot, SnapshotReader, SnapshotStore};

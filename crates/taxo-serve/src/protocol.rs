@@ -1,0 +1,397 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! Every request and response is one JSON object on one line. Requests
+//! carry a `kind` and an optional numeric `id` the server echoes back,
+//! so clients can pipeline:
+//!
+//! ```text
+//! → {"kind":"score","id":1,"query":"potato chips","k":5}
+//! ← {"id":1,"ok":true,"kind":"score","version":0,"candidates":[{"term":"crisps","score":0.91,"attached":false}]}
+//! → {"kind":"ingest","id":2,"records":[{"query":"snack","item":"banana chips","count":4}]}
+//! ← {"id":2,"ok":true,"kind":"ingest","batch":1,"matched":1,"skipped":0,"attached":2,"known_pairs":312,"total_relations":160,"version":1}
+//! → {"kind":"health","id":3}
+//! ← {"id":3,"ok":true,"kind":"health","status":"serving","version":1,"nodes":150,"edges":160,"batches":1}
+//! → {"kind":"stats","id":4}
+//! ← {"id":4,"ok":true,"kind":"stats","counters":{…},"gauges":{…},"histograms":{…},"spans":{…}}
+//! → {"kind":"shutdown","id":5}
+//! ← {"id":5,"ok":true,"kind":"shutdown"}
+//! ```
+//!
+//! Failures are `{"id":…,"ok":false,"error":"<code>"}` with codes
+//! `busy` (backpressure shed — retry later), `unknown_term`,
+//! `bad_request` (plus a `detail` member), and `shutting_down`.
+
+use crate::json::{self, ObjWriter, Value};
+use crate::snapshot::ScoredCandidate;
+use taxo_core::Vocabulary;
+use taxo_obs::MetricsSnapshot;
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Score {
+        id: Option<u64>,
+        query: String,
+        /// Maximum candidates to return (server default when absent).
+        k: Option<usize>,
+    },
+    Ingest {
+        id: Option<u64>,
+        records: Vec<IngestRecord>,
+    },
+    Health {
+        id: Option<u64>,
+    },
+    Stats {
+        id: Option<u64>,
+    },
+    Shutdown {
+        id: Option<u64>,
+    },
+}
+
+impl Request {
+    pub fn id(&self) -> Option<u64> {
+        match self {
+            Request::Score { id, .. }
+            | Request::Ingest { id, .. }
+            | Request::Health { id }
+            | Request::Stats { id }
+            | Request::Shutdown { id } => *id,
+        }
+    }
+
+    /// The request kind as a metric label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Score { .. } => "score",
+            Request::Ingest { .. } => "ingest",
+            Request::Health { .. } => "health",
+            Request::Stats { .. } => "stats",
+            Request::Shutdown { .. } => "shutdown",
+        }
+    }
+}
+
+/// One click-evidence record of an `ingest` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestRecord {
+    /// Query concept name (must exist in the serving vocabulary).
+    pub query: String,
+    /// Clicked item text, matched against the vocabulary server-side.
+    pub item: String,
+    pub count: u64,
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = json::parse(line)?;
+    let id = v.get("id").and_then(Value::as_u64);
+    let kind = v
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or("missing \"kind\"")?;
+    match kind {
+        "score" => {
+            let query = v
+                .get("query")
+                .and_then(Value::as_str)
+                .ok_or("score needs a \"query\" string")?
+                .to_owned();
+            let k = match v.get("k") {
+                None | Some(Value::Null) => None,
+                Some(k) => Some(
+                    k.as_u64()
+                        .and_then(|k| usize::try_from(k).ok())
+                        .filter(|&k| k >= 1)
+                        .ok_or("\"k\" must be a positive integer")?,
+                ),
+            };
+            Ok(Request::Score { id, query, k })
+        }
+        "ingest" => {
+            let items = v
+                .get("records")
+                .and_then(Value::items)
+                .ok_or("ingest needs a \"records\" array")?;
+            let mut records = Vec::with_capacity(items.len());
+            for r in items {
+                records.push(IngestRecord {
+                    query: r
+                        .get("query")
+                        .and_then(Value::as_str)
+                        .ok_or("record needs a \"query\" string")?
+                        .to_owned(),
+                    item: r
+                        .get("item")
+                        .and_then(Value::as_str)
+                        .ok_or("record needs an \"item\" string")?
+                        .to_owned(),
+                    count: r.get("count").and_then(Value::as_u64).unwrap_or(1),
+                });
+            }
+            Ok(Request::Ingest { id, records })
+        }
+        "health" => Ok(Request::Health { id }),
+        "stats" => Ok(Request::Stats { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        other => Err(format!("unknown kind {other:?}")),
+    }
+}
+
+fn base(id: Option<u64>, ok: bool) -> ObjWriter {
+    let mut w = ObjWriter::new();
+    match id {
+        Some(id) => w.u64("id", id),
+        None => w.raw("id", "null"),
+    };
+    w.bool("ok", ok);
+    w
+}
+
+/// Renders an error response.
+pub fn error_response(id: Option<u64>, code: &str, detail: Option<&str>) -> String {
+    let mut w = base(id, false);
+    w.str("error", code);
+    if let Some(d) = detail {
+        w.str("detail", d);
+    }
+    w.finish()
+}
+
+/// Renders a `score` response. Candidate order is the ranked order
+/// produced by [`crate::snapshot::ServeSnapshot::rank`]; scores are
+/// emitted with `f32::Display` so they parse back bit-identical.
+pub fn score_response(
+    id: Option<u64>,
+    query: &str,
+    version: u64,
+    vocab: &Vocabulary,
+    candidates: &[ScoredCandidate],
+) -> String {
+    let mut arr = String::from("[");
+    for (i, c) in candidates.iter().enumerate() {
+        if i > 0 {
+            arr.push(',');
+        }
+        let mut item = ObjWriter::new();
+        item.str("term", vocab.name(c.item))
+            .f32("score", c.score)
+            .bool("attached", c.attached);
+        arr.push_str(&item.finish());
+    }
+    arr.push(']');
+    let mut w = base(id, true);
+    w.str("kind", "score")
+        .str("query", query)
+        .u64("version", version)
+        .raw("candidates", &arr);
+    w.finish()
+}
+
+/// Summary of what one ingest request changed, for its response.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestSummary {
+    /// Ingest batch sequence number.
+    pub batch: u64,
+    /// Records whose query term resolved in the vocabulary.
+    pub matched: u64,
+    /// Records dropped because the query term is unknown.
+    pub skipped: u64,
+    /// Edges newly attached by this batch (surviving pruning).
+    pub attached: u64,
+    /// Distinct candidate pairs known after this batch.
+    pub known_pairs: u64,
+    /// Total relations in the maintained taxonomy afterwards.
+    pub total_relations: u64,
+    /// Snapshot version this batch published.
+    pub version: u64,
+}
+
+/// Renders an `ingest` response.
+pub fn ingest_response(id: Option<u64>, s: &IngestSummary) -> String {
+    let mut w = base(id, true);
+    w.str("kind", "ingest")
+        .u64("batch", s.batch)
+        .u64("matched", s.matched)
+        .u64("skipped", s.skipped)
+        .u64("attached", s.attached)
+        .u64("known_pairs", s.known_pairs)
+        .u64("total_relations", s.total_relations)
+        .u64("version", s.version);
+    w.finish()
+}
+
+/// Renders a `health` response from the current snapshot's shape.
+pub fn health_response(
+    id: Option<u64>,
+    version: u64,
+    nodes: usize,
+    edges: usize,
+    batches: u64,
+    draining: bool,
+) -> String {
+    let mut w = base(id, true);
+    w.str("kind", "health")
+        .str("status", if draining { "draining" } else { "serving" })
+        .u64("version", version)
+        .u64("nodes", nodes as u64)
+        .u64("edges", edges as u64)
+        .u64("batches", batches);
+    w.finish()
+}
+
+/// Renders a `stats` response embedding the full taxo-obs snapshot:
+/// counters and gauges as name→value objects, histograms as
+/// name→`{count,sum}`, spans as name→`{count,total_ms,max_ms}`.
+pub fn stats_response(id: Option<u64>, snap: &MetricsSnapshot) -> String {
+    let mut counters = String::from("{");
+    for (i, c) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            counters.push(',');
+        }
+        json::encode_str(&c.name, &mut counters);
+        counters.push_str(&format!(":{}", c.value));
+    }
+    counters.push('}');
+
+    let mut gauges = String::from("{");
+    for (i, g) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            gauges.push(',');
+        }
+        json::encode_str(&g.name, &mut gauges);
+        gauges.push_str(&format!(":{}", g.value));
+    }
+    gauges.push('}');
+
+    let mut hists = String::from("{");
+    for (i, h) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            hists.push(',');
+        }
+        json::encode_str(&h.name, &mut hists);
+        hists.push_str(&format!(":{{\"count\":{},\"sum\":{}}}", h.count, h.sum));
+    }
+    hists.push('}');
+
+    let mut spans = String::from("{");
+    for (i, s) in snap.spans.iter().enumerate() {
+        if i > 0 {
+            spans.push(',');
+        }
+        json::encode_str(&s.path, &mut spans);
+        spans.push_str(&format!(
+            ":{{\"count\":{},\"total_ms\":{:.3},\"max_ms\":{:.3}}}",
+            s.count,
+            s.total_ms(),
+            s.max_ns as f64 / 1e6
+        ));
+    }
+    spans.push('}');
+
+    let mut w = base(id, true);
+    w.str("kind", "stats")
+        .raw("counters", &counters)
+        .raw("gauges", &gauges)
+        .raw("histograms", &hists)
+        .raw("spans", &spans);
+    w.finish()
+}
+
+/// Renders a `shutdown` acknowledgement.
+pub fn shutdown_response(id: Option<u64>) -> String {
+    let mut w = base(id, true);
+    w.str("kind", "shutdown");
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_request_kind() {
+        assert_eq!(
+            parse_request(r#"{"kind":"score","id":3,"query":"chips","k":2}"#).unwrap(),
+            Request::Score {
+                id: Some(3),
+                query: "chips".into(),
+                k: Some(2)
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"kind":"score","query":"chips"}"#).unwrap(),
+            Request::Score {
+                id: None,
+                query: "chips".into(),
+                k: None
+            }
+        );
+        let ingest = parse_request(
+            r#"{"kind":"ingest","id":1,"records":[{"query":"snack","item":"banana chips","count":4},{"query":"x","item":"y"}]}"#,
+        )
+        .unwrap();
+        match ingest {
+            Request::Ingest { id, records } => {
+                assert_eq!(id, Some(1));
+                assert_eq!(records.len(), 2);
+                assert_eq!(records[0].count, 4);
+                assert_eq!(records[1].count, 1, "count defaults to 1");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            parse_request(r#"{"kind":"health"}"#).unwrap(),
+            Request::Health { id: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"kind":"stats","id":9}"#).unwrap(),
+            Request::Stats { id: Some(9) }
+        );
+        assert_eq!(
+            parse_request(r#"{"kind":"shutdown"}"#).unwrap(),
+            Request::Shutdown { id: None }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"id":1}"#).is_err());
+        assert!(parse_request(r#"{"kind":"nope"}"#).is_err());
+        assert!(parse_request(r#"{"kind":"score"}"#).is_err());
+        assert!(parse_request(r#"{"kind":"score","query":"x","k":0}"#).is_err());
+        assert!(parse_request(r#"{"kind":"ingest"}"#).is_err());
+        assert!(parse_request(r#"{"kind":"ingest","records":[{"item":"y"}]}"#).is_err());
+    }
+
+    #[test]
+    fn responses_are_single_line_json() {
+        let mut vocab = Vocabulary::new();
+        let chips = vocab.intern("crisps");
+        let cands = vec![ScoredCandidate {
+            item: chips,
+            score: 0.25,
+            attached: true,
+        }];
+        for line in [
+            score_response(Some(1), "snack", 2, &vocab, &cands),
+            error_response(None, "busy", None),
+            error_response(Some(2), "bad_request", Some("nope")),
+            health_response(Some(3), 1, 10, 9, 0, false),
+            stats_response(Some(4), &taxo_obs::snapshot()),
+            shutdown_response(Some(5)),
+        ] {
+            assert!(!line.contains('\n'), "{line}");
+            let v = crate::json::parse(&line).expect(&line);
+            assert!(v.get("ok").is_some(), "{line}");
+        }
+        let score = score_response(Some(1), "snack", 2, &vocab, &cands);
+        let v = crate::json::parse(&score).unwrap();
+        let c = &v.get("candidates").unwrap().items().unwrap()[0];
+        assert_eq!(c.get("term").unwrap().as_str(), Some("crisps"));
+        assert_eq!(c.get("score").unwrap().as_f32(), Some(0.25));
+        assert_eq!(c.get("attached"), Some(&Value::Bool(true)));
+    }
+}

@@ -1,0 +1,525 @@
+//! The TCP server: acceptor, connection-worker pool, micro-batching
+//! scorer, and the single ingest/rebuild thread.
+//!
+//! Thread layout (all plain `std::thread`, started by [`Server::start`]):
+//!
+//! ```text
+//! acceptor ──► conn queue ──► worker 0..N   (parse + respond)
+//!                               │   ▲
+//!                    score jobs ▼   │ scores (per-job mpsc)
+//!                            scorer thread   (one par_map per batch)
+//!                               ┆
+//! workers ──► ingest queue ──► ingest thread (IncrementalExpander +
+//!                                             snapshot rebuild + publish)
+//! ```
+//!
+//! Every queue is a [`BoundedQueue`]: when one fills up the server sheds
+//! the request with a `busy` response instead of stalling the socket.
+//! Shutdown (a `shutdown` request or [`ServerHandle::shutdown`]) closes
+//! the queues; consumers drain what was already accepted, so no accepted
+//! request is ever dropped without a response.
+
+use crate::batch::{score_batch, BoundedQueue, PushError, ScoreJob};
+use crate::protocol::{self, IngestRecord, IngestSummary, Request};
+use crate::snapshot::{ServeSnapshot, SnapshotReader, SnapshotStore};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use taxo_core::Vocabulary;
+use taxo_expand::IncrementalExpander;
+use taxo_obs::{counter, gauge, histogram, span};
+use taxo_synth::ClickRecord;
+
+/// Server sizing knobs. The defaults suit the tiny demo pipeline; every
+/// field must be at least 1.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Connection-worker pool size (each worker serves one connection at
+    /// a time, many requests per connection).
+    pub workers: usize,
+    /// Maximum `score` jobs coalesced into one batched scoring call.
+    pub batch_max: usize,
+    /// `score` queue capacity; beyond it requests shed with `busy`.
+    pub score_queue_cap: usize,
+    /// `ingest` queue capacity.
+    pub ingest_queue_cap: usize,
+    /// Accepted-connection backlog; beyond it connections are refused
+    /// with a single `busy` line.
+    pub conn_backlog: usize,
+    /// Candidate items scored per query (most-clicked first).
+    pub max_candidates: usize,
+    /// Default `k` (returned candidates) when a request names none.
+    pub default_k: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 8,
+            batch_max: 64,
+            score_queue_cap: 256,
+            ingest_queue_cap: 16,
+            conn_backlog: 64,
+            max_candidates: 16,
+            default_k: 8,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("workers", self.workers),
+            ("batch_max", self.batch_max),
+            ("score_queue_cap", self.score_queue_cap),
+            ("ingest_queue_cap", self.ingest_queue_cap),
+            ("conn_backlog", self.conn_backlog),
+            ("max_candidates", self.max_candidates),
+            ("default_k", self.default_k),
+        ] {
+            if v == 0 {
+                return Err(format!("ServeConfig.{name} must be at least 1"));
+            }
+        }
+        Ok(())
+    }
+}
+
+struct IngestJob {
+    records: Vec<IngestRecord>,
+    reply: mpsc::Sender<IngestSummary>,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    store: Arc<SnapshotStore>,
+    score_queue: BoundedQueue<ScoreJob>,
+    ingest_queue: BoundedQueue<IngestJob>,
+    conn_queue: BoundedQueue<TcpStream>,
+    shutdown: AtomicBool,
+    /// Ingest batches applied so far (served in `health`).
+    batches: AtomicU64,
+}
+
+impl Shared {
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        counter!("serve.shutdowns").inc();
+        self.conn_queue.close();
+        self.score_queue.close();
+        self.ingest_queue.close();
+    }
+}
+
+/// Handle to a running server: its bound address and the shutdown/join
+/// controls. Dropping the handle does **not** stop the server; call
+/// [`ServerHandle::shutdown_and_join`] (or send a `shutdown` request).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves `:0` ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The snapshot store (for tests that publish or inspect directly).
+    pub fn store(&self) -> Arc<SnapshotStore> {
+        Arc::clone(&self.shared.store)
+    }
+
+    /// Begins graceful shutdown: stop accepting, refuse new requests,
+    /// drain everything already queued.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until every server thread has exited.
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// [`ServerHandle::shutdown`] then [`ServerHandle::join`].
+    pub fn shutdown_and_join(self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+/// The serving subsystem entry point.
+pub struct Server;
+
+impl Server {
+    /// Starts serving `expander`'s taxonomy on `addr` (use port 0 for an
+    /// ephemeral port; read it back from [`ServerHandle::addr`]).
+    ///
+    /// The expander is consumed: it moves onto the ingest thread, which
+    /// owns all mutable state. The initial snapshot (version 0) is built
+    /// from the expander's current taxonomy and candidate store.
+    pub fn start(
+        expander: IncrementalExpander,
+        vocab: Arc<Vocabulary>,
+        cfg: ServeConfig,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<ServerHandle> {
+        cfg.validate()
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidInput, e))?;
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        // The detector never changes after training: one Arc is shared by
+        // every snapshot the ingest thread will ever publish.
+        let detector = Arc::new(expander.detector().clone());
+        let initial = ServeSnapshot::build(
+            0,
+            Arc::clone(&vocab),
+            Arc::clone(&detector),
+            expander.taxonomy().clone(),
+            &expander.candidate_pairs(),
+        );
+        let shared = Arc::new(Shared {
+            score_queue: BoundedQueue::new(cfg.score_queue_cap),
+            ingest_queue: BoundedQueue::new(cfg.ingest_queue_cap),
+            conn_queue: BoundedQueue::new(cfg.conn_backlog),
+            store: Arc::new(SnapshotStore::new(initial)),
+            shutdown: AtomicBool::new(false),
+            batches: AtomicU64::new(expander.batches() as u64),
+            cfg,
+        });
+
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-acceptor".into())
+                    .spawn(move || acceptor_loop(&listener, &shared))?,
+            );
+        }
+        for i in 0..shared.cfg.workers {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-scorer".into())
+                    .spawn(move || scorer_loop(&shared))?,
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            let vocab = Arc::clone(&vocab);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-ingest".into())
+                    .spawn(move || ingest_loop(expander, &detector, &vocab, &shared))?,
+            );
+        }
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            threads,
+        })
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                counter!("serve.connections.accepted").inc();
+                match shared.conn_queue.try_push(stream) {
+                    Ok(depth) => gauge!("serve.queue.conn_depth").set(depth as i64),
+                    Err(PushError::Full(mut stream)) => {
+                        counter!("serve.shed.conn").inc();
+                        let line =
+                            protocol::error_response(None, "busy", Some("connection backlog full"));
+                        let _ = stream.write_all(format!("{line}\n").as_bytes());
+                        // stream drops → connection closes.
+                    }
+                    Err(PushError::Closed(_)) => return,
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if shared.is_shutdown() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                if shared.is_shutdown() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut reader = shared.store.reader();
+    while let Some(mut conns) = shared.conn_queue.drain(1) {
+        let stream = conns.pop().expect("drain(1) returns one item");
+        gauge!("serve.connections.active").add(1);
+        handle_conn(stream, shared, &mut reader);
+        gauge!("serve.connections.active").add(-1);
+    }
+}
+
+/// Serves one connection until EOF, error, or shutdown. Frames are split
+/// on `\n` by hand so a read timeout can never tear a frame: bytes
+/// accumulate in `buf` across reads and only complete lines are parsed.
+fn handle_conn(mut stream: TcpStream, shared: &Shared, reader: &mut SnapshotReader) {
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+    {
+        return;
+    }
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Serve every complete line already buffered, even mid-shutdown:
+        // accepted bytes get responses.
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line);
+            let line = line.trim_end_matches(['\n', '\r']);
+            if line.is_empty() {
+                continue;
+            }
+            let (response, close) = handle_line(line, shared, reader);
+            if stream
+                .write_all(format!("{response}\n").as_bytes())
+                .is_err()
+                || close
+            {
+                return;
+            }
+        }
+        if shared.is_shutdown() {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // EOF
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Dispatches one request line; returns the response line and whether to
+/// close the connection afterwards.
+fn handle_line(line: &str, shared: &Shared, reader: &mut SnapshotReader) -> (String, bool) {
+    let req = match protocol::parse_request(line) {
+        Ok(req) => req,
+        Err(e) => {
+            counter!("serve.errors.bad_request").inc();
+            return (
+                protocol::error_response(None, "bad_request", Some(&e)),
+                false,
+            );
+        }
+    };
+    let id = req.id();
+    match req {
+        Request::Score { query, k, .. } => {
+            counter!("serve.requests.score").inc();
+            let _g = span!("serve.request.score");
+            (score_request(id, &query, k, shared, reader), false)
+        }
+        Request::Ingest { records, .. } => {
+            counter!("serve.requests.ingest").inc();
+            let _g = span!("serve.request.ingest");
+            (ingest_request(id, records, shared), false)
+        }
+        Request::Health { .. } => {
+            counter!("serve.requests.health").inc();
+            let _g = span!("serve.request.health");
+            let snap = reader.current();
+            (
+                protocol::health_response(
+                    id,
+                    snap.version,
+                    snap.taxonomy.node_count(),
+                    snap.taxonomy.edge_count(),
+                    shared.batches.load(Ordering::Relaxed),
+                    shared.is_shutdown(),
+                ),
+                false,
+            )
+        }
+        Request::Stats { .. } => {
+            counter!("serve.requests.stats").inc();
+            let _g = span!("serve.request.stats");
+            (protocol::stats_response(id, &taxo_obs::snapshot()), false)
+        }
+        Request::Shutdown { .. } => {
+            counter!("serve.requests.shutdown").inc();
+            shared.begin_shutdown();
+            // Respond, then close; other workers finish buffered work.
+            (protocol::shutdown_response(id), true)
+        }
+    }
+}
+
+fn score_request(
+    id: Option<u64>,
+    query: &str,
+    k: Option<usize>,
+    shared: &Shared,
+    reader: &mut SnapshotReader,
+) -> String {
+    let snapshot = Arc::clone(reader.current());
+    let Some(query_id) = snapshot.vocab.get(query) else {
+        counter!("serve.errors.unknown_term").inc();
+        return protocol::error_response(id, "unknown_term", Some(query));
+    };
+    let items = snapshot.eligible(query_id, shared.cfg.max_candidates);
+    histogram!("serve.score.candidates").observe(items.len() as u64);
+    let k = k.unwrap_or(shared.cfg.default_k);
+    if items.is_empty() {
+        return protocol::score_response(id, query, snapshot.version, &snapshot.vocab, &[]);
+    }
+
+    let (tx, rx) = mpsc::channel();
+    let job = ScoreJob {
+        snapshot: Arc::clone(&snapshot),
+        query: query_id,
+        items: items.clone(),
+        reply: tx,
+    };
+    match shared.score_queue.try_push(job) {
+        Ok(depth) => gauge!("serve.queue.score_depth").set(depth as i64),
+        Err(PushError::Full(_)) => {
+            counter!("serve.shed.score").inc();
+            return protocol::error_response(id, "busy", None);
+        }
+        Err(PushError::Closed(_)) => {
+            return protocol::error_response(id, "shutting_down", None);
+        }
+    }
+
+    match rx.recv() {
+        Ok(scores) => {
+            let ranked = snapshot.rank(query_id, &items, &scores, k);
+            protocol::score_response(id, query, snapshot.version, &snapshot.vocab, &ranked)
+        }
+        // The scorer drains every accepted job before exiting, so a dead
+        // channel can only mean teardown raced us mid-drain.
+        Err(_) => protocol::error_response(id, "shutting_down", None),
+    }
+}
+
+fn ingest_request(id: Option<u64>, records: Vec<IngestRecord>, shared: &Shared) -> String {
+    counter!("serve.ingest.records_offered").add(records.len() as u64);
+    let (tx, rx) = mpsc::channel();
+    match shared
+        .ingest_queue
+        .try_push(IngestJob { records, reply: tx })
+    {
+        Ok(depth) => gauge!("serve.queue.ingest_depth").set(depth as i64),
+        Err(PushError::Full(_)) => {
+            counter!("serve.shed.ingest").inc();
+            return protocol::error_response(id, "busy", None);
+        }
+        Err(PushError::Closed(_)) => {
+            return protocol::error_response(id, "shutting_down", None);
+        }
+    }
+    match rx.recv() {
+        Ok(summary) => protocol::ingest_response(id, &summary),
+        Err(_) => protocol::error_response(id, "shutting_down", None),
+    }
+}
+
+fn scorer_loop(shared: &Shared) {
+    while let Some(jobs) = shared.score_queue.drain(shared.cfg.batch_max) {
+        gauge!("serve.queue.score_depth").set(shared.score_queue.len() as i64);
+        score_batch(jobs);
+    }
+}
+
+/// The single writer: applies ingest batches to the owned
+/// [`IncrementalExpander`], rebuilds an immutable snapshot, and publishes
+/// it. Readers keep serving the previous snapshot throughout.
+fn ingest_loop(
+    mut expander: IncrementalExpander,
+    detector: &Arc<taxo_expand::HypoDetector>,
+    vocab: &Arc<Vocabulary>,
+    shared: &Shared,
+) {
+    while let Some(jobs) = shared.ingest_queue.drain(1) {
+        for job in jobs {
+            let _g = span!("serve.ingest.apply");
+            let mut matched = 0u64;
+            let mut skipped = 0u64;
+            let mut records = Vec::with_capacity(job.records.len());
+            for r in &job.records {
+                match vocab.get(&r.query) {
+                    Some(query) => {
+                        matched += 1;
+                        records.push(ClickRecord {
+                            query,
+                            item_text: r.item.clone(),
+                            count: r.count,
+                        });
+                    }
+                    None => skipped += 1,
+                }
+            }
+            counter!("serve.ingest.records_matched").add(matched);
+            counter!("serve.ingest.records_skipped").add(skipped);
+
+            let report = expander.ingest(vocab, &records);
+            shared.batches.store(report.batch as u64, Ordering::Relaxed);
+
+            let version = shared.store.version() + 1;
+            let next = {
+                let _g = span!("serve.ingest.rebuild");
+                ServeSnapshot::build(
+                    version,
+                    Arc::clone(vocab),
+                    Arc::clone(detector),
+                    expander.taxonomy().clone(),
+                    &expander.candidate_pairs(),
+                )
+            };
+            shared.store.publish(Arc::new(next));
+
+            let summary = IngestSummary {
+                batch: report.batch as u64,
+                matched,
+                skipped,
+                attached: report.attached.len() as u64,
+                known_pairs: report.known_pairs as u64,
+                total_relations: report.total_relations as u64,
+                version,
+            };
+            let _ = job.reply.send(summary);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Immutable serving snapshots and the hot-swap store.
+//!
+//! A [`ServeSnapshot`] is everything a `score` request reads — detector,
+//! vocabulary, taxonomy, and the mined candidate index — frozen at one
+//! version. Snapshots are immutable once built: the ingest thread builds
+//! a **new** snapshot after every [`taxo_expand::IncrementalExpander`]
+//! batch and publishes it through [`SnapshotStore`]; requests in flight
+//! keep the `Arc` they started with, so every response is internally
+//! consistent (entirely old state or entirely new state, never a mix).
+//!
+//! Readers are wait-free in the steady state: each worker holds a
+//! [`SnapshotReader`] that caches the current `Arc` and revalidates it
+//! with a single atomic version load per request; the store's mutex is
+//! touched only on the request *after* a swap (and swaps are rare —
+//! one per ingest batch).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use taxo_core::{ConceptId, Taxonomy, Vocabulary};
+use taxo_expand::{CandidatePair, HypoDetector};
+
+/// One scored attachment candidate of a `score` response, ranked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredCandidate {
+    pub item: ConceptId,
+    /// Detector probability that `<query, item>` is a hyponymy edge.
+    pub score: f32,
+    /// Whether the snapshot's taxonomy already contains the edge (i.e. a
+    /// previous ingest attached it).
+    pub attached: bool,
+}
+
+/// The immutable state one `score` request is answered from.
+#[derive(Debug)]
+pub struct ServeSnapshot {
+    /// Monotonically increasing snapshot version (0 = initial).
+    pub version: u64,
+    pub vocab: Arc<Vocabulary>,
+    pub detector: Arc<HypoDetector>,
+    pub taxonomy: Taxonomy,
+    /// Candidate items per query, sorted by clicks desc then item id —
+    /// the same order `taxo_expand::candidates_by_query` produces.
+    by_query: HashMap<ConceptId, Vec<CandidatePair>>,
+}
+
+impl ServeSnapshot {
+    /// Freezes one serving state from its parts. `pairs` is the full
+    /// mined candidate set (e.g. [`taxo_expand::IncrementalExpander::candidate_pairs`]).
+    pub fn build(
+        version: u64,
+        vocab: Arc<Vocabulary>,
+        detector: Arc<HypoDetector>,
+        taxonomy: Taxonomy,
+        pairs: &[CandidatePair],
+    ) -> ServeSnapshot {
+        ServeSnapshot {
+            version,
+            vocab,
+            detector,
+            taxonomy,
+            by_query: taxo_expand::candidates_by_query(pairs),
+        }
+    }
+
+    /// The scoring workload for `query`: its most-clicked candidate items,
+    /// capped at `cap`, self-pairs removed. Empty when the query has no
+    /// mined candidates (or is unknown).
+    pub fn eligible(&self, query: ConceptId, cap: usize) -> Vec<ConceptId> {
+        self.by_query
+            .get(&query)
+            .map(|list| {
+                list.iter()
+                    .take(cap)
+                    .map(|p| p.item)
+                    .filter(|&item| item != query)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Assembles the ranked response from pre-computed scores (one per
+    /// item of [`ServeSnapshot::eligible`], in the same order): sort by
+    /// score descending with item id as the deterministic tie-break, keep
+    /// the top `k`.
+    pub fn rank(
+        &self,
+        query: ConceptId,
+        items: &[ConceptId],
+        scores: &[f32],
+        k: usize,
+    ) -> Vec<ScoredCandidate> {
+        debug_assert_eq!(items.len(), scores.len());
+        let mut out: Vec<ScoredCandidate> = items
+            .iter()
+            .zip(scores)
+            .map(|(&item, &score)| ScoredCandidate {
+                item,
+                score,
+                attached: self.taxonomy.contains_edge(query, item),
+            })
+            .collect();
+        out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.item.cmp(&b.item)));
+        out.truncate(k);
+        out
+    }
+
+    /// Scores one query end to end on the calling thread — the offline
+    /// reference the micro-batched server path must match bit for bit
+    /// (both call the same pure [`taxo_expand::EdgeClassifier`] scoring
+    /// per pair).
+    pub fn score_query(&self, query: ConceptId, cap: usize, k: usize) -> Vec<ScoredCandidate> {
+        let items = self.eligible(query, cap);
+        let scores: Vec<f32> = items
+            .iter()
+            .map(|&item| self.detector.score(&self.vocab, query, item))
+            .collect();
+        self.rank(query, &items, &scores, k)
+    }
+}
+
+/// The published-snapshot cell: one writer (the ingest thread), many
+/// cached readers.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    /// Version of the snapshot in `slot`, readable without the lock.
+    version: AtomicU64,
+    slot: Mutex<Arc<ServeSnapshot>>,
+}
+
+impl SnapshotStore {
+    pub fn new(initial: ServeSnapshot) -> Self {
+        let initial = Arc::new(initial);
+        SnapshotStore {
+            version: AtomicU64::new(initial.version),
+            slot: Mutex::new(initial),
+        }
+    }
+
+    /// Atomically publishes `next` as the current snapshot. Readers that
+    /// already hold the previous `Arc` keep serving from it; new requests
+    /// observe the version bump and refresh.
+    pub fn publish(&self, next: Arc<ServeSnapshot>) {
+        let version = next.version;
+        *self.slot.lock().unwrap_or_else(|e| e.into_inner()) = next;
+        // Release-ordered so a reader that sees the new version also sees
+        // the slot assignment above.
+        self.version.store(version, Ordering::Release);
+        taxo_obs::counter!("serve.snapshot.swaps").inc();
+        taxo_obs::gauge!("serve.snapshot.version").set(version as i64);
+    }
+
+    /// Version of the currently published snapshot.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Clones the current snapshot handle (locks; use a
+    /// [`SnapshotReader`] on request paths).
+    pub fn load(&self) -> Arc<ServeSnapshot> {
+        Arc::clone(&self.slot.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// A caching reader handle for one worker thread.
+    pub fn reader(self: &Arc<Self>) -> SnapshotReader {
+        SnapshotReader {
+            cached: self.load(),
+            store: Arc::clone(self),
+        }
+    }
+}
+
+/// Per-worker snapshot cache: [`SnapshotReader::current`] is one atomic
+/// load unless a swap happened since the last call.
+#[derive(Debug)]
+pub struct SnapshotReader {
+    store: Arc<SnapshotStore>,
+    cached: Arc<ServeSnapshot>,
+}
+
+impl SnapshotReader {
+    /// The current snapshot, revalidated against the store's version.
+    pub fn current(&mut self) -> &Arc<ServeSnapshot> {
+        if self.store.version() != self.cached.version {
+            self.cached = self.store.load();
+        }
+        &self.cached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_snapshot(version: u64, pairs: &[CandidatePair]) -> ServeSnapshot {
+        let mut vocab = Vocabulary::new();
+        let a = vocab.intern("a");
+        let b = vocab.intern("b");
+        let c = vocab.intern("c");
+        let mut tax = Taxonomy::new();
+        tax.add_node(a);
+        tax.add_node(b);
+        tax.add_node(c);
+        tax.add_edge(a, b).unwrap();
+        let relational = taxo_expand::RelationalModel::vanilla(
+            &vocab,
+            &[],
+            &taxo_expand::RelationalConfig::tiny(1),
+        );
+        let detector = HypoDetector::new(
+            Some(relational),
+            None,
+            &taxo_expand::DetectorConfig::tiny(1),
+        );
+        ServeSnapshot::build(version, Arc::new(vocab), Arc::new(detector), tax, pairs)
+    }
+
+    fn pair(query: u32, item: u32, clicks: u64) -> CandidatePair {
+        CandidatePair {
+            query: ConceptId(query),
+            item: ConceptId(item),
+            clicks,
+        }
+    }
+
+    #[test]
+    fn eligible_caps_and_drops_self_pairs() {
+        let snap = tiny_snapshot(0, &[pair(0, 1, 9), pair(0, 2, 5), pair(0, 0, 99)]);
+        assert_eq!(
+            snap.eligible(ConceptId(0), 8),
+            vec![ConceptId(1), ConceptId(2)]
+        );
+        assert_eq!(snap.eligible(ConceptId(0), 2), vec![ConceptId(1)]);
+        assert!(snap.eligible(ConceptId(7), 8).is_empty());
+    }
+
+    #[test]
+    fn rank_orders_by_score_then_id_and_flags_attached() {
+        let snap = tiny_snapshot(0, &[]);
+        let items = [ConceptId(2), ConceptId(1)];
+        let ranked = snap.rank(ConceptId(0), &items, &[0.5, 0.5], 5);
+        // Equal scores: lower id first.
+        assert_eq!(ranked[0].item, ConceptId(1));
+        assert!(ranked[0].attached, "edge a->b exists in the fixture");
+        assert!(!ranked[1].attached);
+        let top1 = snap.rank(ConceptId(0), &items, &[0.9, 0.1], 1);
+        assert_eq!(top1.len(), 1);
+        assert_eq!(top1[0].item, ConceptId(2));
+    }
+
+    #[test]
+    fn store_publishes_and_readers_refresh() {
+        let store = Arc::new(SnapshotStore::new(tiny_snapshot(0, &[pair(0, 1, 3)])));
+        let mut reader = store.reader();
+        assert_eq!(reader.current().version, 0);
+        store.publish(Arc::new(tiny_snapshot(1, &[pair(0, 2, 3)])));
+        assert_eq!(store.version(), 1);
+        assert_eq!(reader.current().version, 1);
+        assert_eq!(
+            reader.current().eligible(ConceptId(0), 8),
+            vec![ConceptId(2)]
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! End-to-end round trips against a live server on a loopback port:
+//! bit-identical scoring vs. the offline baseline, error codes, health
+//! and stats introspection, backpressure shedding, graceful shutdown.
+
+use std::sync::Arc;
+use taxo_core::{ConceptId, Vocabulary};
+use taxo_expand::{
+    DetectorConfig, ExpansionConfig, HypoDetector, IncrementalExpander, RelationalConfig,
+    RelationalModel,
+};
+use taxo_serve::{candidate_key, expected_key, Client, Reply, ServeConfig, Server};
+use taxo_synth::{ClickConfig, ClickLog, World, WorldConfig};
+
+/// A deterministic serving fixture: a synthetic world, a vanilla
+/// (untrained) detector — cheap but fully deterministic — and an
+/// expander pre-seeded with half the click log so version 0 has a real
+/// candidate store.
+fn fixture(seed: u64) -> (Arc<Vocabulary>, IncrementalExpander, ClickLog) {
+    let world = World::generate(&WorldConfig {
+        target_nodes: 120,
+        ..WorldConfig::tiny(seed)
+    });
+    let log = ClickLog::generate(
+        &world,
+        &ClickConfig {
+            n_events: 4_000,
+            ..ClickConfig::tiny(seed)
+        },
+    );
+    let relational = RelationalModel::vanilla(&world.vocab, &[], &RelationalConfig::tiny(seed));
+    let detector = HypoDetector::new(Some(relational), None, &DetectorConfig::tiny(seed));
+    let cfg = ExpansionConfig::builder().threshold(0.6).build().unwrap();
+    let mut expander = IncrementalExpander::new(detector, world.existing.clone(), cfg);
+    let half = log.records.len() / 2;
+    expander.ingest(&world.vocab, &log.records[..half]);
+    (Arc::new(world.vocab), expander, log)
+}
+
+/// Queries the version-0 snapshot can actually score.
+fn scorable_queries(
+    snapshot: &taxo_serve::ServeSnapshot,
+    expander_pairs: &[taxo_expand::CandidatePair],
+    cap: usize,
+) -> Vec<ConceptId> {
+    let mut queries: Vec<ConceptId> = expander_pairs.iter().map(|p| p.query).collect();
+    queries.sort_unstable();
+    queries.dedup();
+    queries.retain(|&q| !snapshot.eligible(q, cap).is_empty());
+    queries
+}
+
+#[test]
+fn scores_are_bit_identical_to_offline_baseline() {
+    let (vocab, expander, _) = fixture(11);
+    let pairs = expander.candidate_pairs();
+    let cfg = ServeConfig::default();
+    let cap = cfg.max_candidates;
+    let k = cfg.default_k;
+    let handle = Server::start(expander, Arc::clone(&vocab), cfg, "127.0.0.1:0").unwrap();
+    let snapshot = handle.store().load();
+    let queries = scorable_queries(&snapshot, &pairs, cap);
+    assert!(
+        queries.len() >= 10,
+        "fixture must produce a non-trivial query universe, got {}",
+        queries.len()
+    );
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for &q in queries.iter().take(40) {
+        let name = vocab.name(q);
+        let reply = client.score(name, Some(k)).unwrap();
+        let Reply::Ok(v) = reply else {
+            panic!("score {name:?} failed: {reply:?}");
+        };
+        assert_eq!(
+            v.get("version").and_then(taxo_serve::json::Value::as_u64),
+            Some(0)
+        );
+        let offline = expected_key(&vocab, &snapshot.score_query(q, cap, k));
+        assert_eq!(
+            candidate_key(&v).as_deref(),
+            Some(offline.as_slice()),
+            "served candidates for {name:?} must be bit-identical to offline scoring"
+        );
+    }
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn unknown_terms_and_garbage_lines_error_cleanly() {
+    let (vocab, expander, _) = fixture(12);
+    let handle = Server::start(expander, vocab, ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let reply = client.score("definitely-not-a-term", None).unwrap();
+    assert_eq!(reply.error_code(), Some("unknown_term"));
+
+    let raw = client.call_raw("this is not json").unwrap();
+    let v = taxo_serve::json::parse(&raw).unwrap();
+    assert_eq!(
+        v.get("error").and_then(taxo_serve::json::Value::as_str),
+        Some("bad_request")
+    );
+
+    // The connection survives both errors.
+    let reply = client.health().unwrap();
+    assert!(matches!(reply, Reply::Ok(_)));
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn health_and_stats_report_server_state() {
+    let (vocab, expander, _) = fixture(13);
+    let nodes = expander.taxonomy().node_count();
+    let edges = expander.taxonomy().edge_count();
+    let handle = Server::start(expander, vocab, ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let Reply::Ok(h) = client.health().unwrap() else {
+        panic!("health failed");
+    };
+    let get_u64 = |v: &taxo_serve::json::Value, key: &str| {
+        v.get(key).and_then(taxo_serve::json::Value::as_u64)
+    };
+    assert_eq!(
+        h.get("status").and_then(taxo_serve::json::Value::as_str),
+        Some("serving")
+    );
+    assert_eq!(get_u64(&h, "version"), Some(0));
+    assert_eq!(get_u64(&h, "nodes"), Some(nodes as u64));
+    assert_eq!(get_u64(&h, "edges"), Some(edges as u64));
+    assert_eq!(
+        get_u64(&h, "batches"),
+        Some(1),
+        "fixture pre-seeds one batch"
+    );
+
+    let Reply::Ok(s) = client.stats().unwrap() else {
+        panic!("stats failed");
+    };
+    // The metrics registry is process-global (other tests record too), so
+    // only assert our own request counters are present and counted.
+    let health_count = s
+        .get("counters")
+        .and_then(|c| c.get("serve.requests.health"))
+        .and_then(taxo_serve::json::Value::as_u64)
+        .expect("health counter present");
+    assert!(health_count >= 1);
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn overload_sheds_with_busy_and_never_corrupts_responses() {
+    let (vocab, expander, _) = fixture(14);
+    let pairs = expander.candidate_pairs();
+    let cfg = ServeConfig {
+        workers: 4,
+        batch_max: 2,
+        score_queue_cap: 2,
+        conn_backlog: 4,
+        ..ServeConfig::default()
+    };
+    let cap = cfg.max_candidates;
+    let k = cfg.default_k;
+    let handle = Server::start(expander, Arc::clone(&vocab), cfg, "127.0.0.1:0").unwrap();
+    let snapshot = handle.store().load();
+    let queries = scorable_queries(&snapshot, &pairs, cap);
+    let addr = handle.addr();
+
+    // Hammer from several connections: every reply must be either a
+    // bit-identical score or an explicit busy shed — nothing else.
+    let shed = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for conn in 0..4usize {
+            let vocab = &vocab;
+            let snapshot = &snapshot;
+            let queries = &queries;
+            handles.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut busy = 0u64;
+                for i in 0..50usize {
+                    let q = queries[(conn * 31 + i * 7) % queries.len()];
+                    let reply = client.score(vocab.name(q), Some(k)).unwrap();
+                    match reply {
+                        Reply::Ok(v) => {
+                            let offline = expected_key(vocab, &snapshot.score_query(q, cap, k));
+                            assert_eq!(candidate_key(&v).as_deref(), Some(offline.as_slice()));
+                        }
+                        reply if reply.is_busy() => busy += 1,
+                        other => panic!("unexpected reply under load: {other:?}"),
+                    }
+                }
+                busy
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+    });
+    // Shedding is load-dependent; zero sheds is fine, corruption is not.
+    let _ = shed;
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn graceful_shutdown_acknowledges_then_stops_accepting() {
+    let (vocab, expander, _) = fixture(15);
+    let handle = Server::start(expander, vocab, ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).unwrap();
+    let reply = client.shutdown().unwrap();
+    assert!(
+        matches!(reply, Reply::Ok(_)),
+        "shutdown must be acknowledged"
+    );
+    handle.join();
+
+    // The listener is gone: a fresh connection either refuses outright or
+    // closes without serving.
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(mut c) => {
+            assert!(
+                c.health().is_err(),
+                "post-shutdown connection must not serve"
+            );
+        }
+    }
+}
