@@ -7,8 +7,11 @@
 //! ```
 //!
 //! Opens `--connections` concurrent connections and round-trips
-//! `--requests` successful `score` requests in total, retrying `busy`
-//! sheds until every request completes. Query terms are drawn by a
+//! `--requests` successful `score` requests in total. Each connection is
+//! a [`taxo_serve::RetryClient`]: `busy` sheds, dropped connections, and
+//! per-request timeouts (`--timeout-ms`) are retried with exponential
+//! backoff up to `--retries` attempts — so the generator survives a
+//! server running under `TAXO_FAULTS` chaos. Query terms are drawn by a
 //! seeded xorshift per connection from the same deterministic world the
 //! server trained on, so `--verify` can rebuild the server's version-0
 //! snapshot offline and check every response is **bit-identical**
@@ -24,7 +27,9 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use taxo_bench::{serving_expansion_config, serving_pipeline};
-use taxo_serve::{candidate_key, expected_key, Client, Reply, ServeSnapshot};
+use taxo_serve::{
+    candidate_key, expected_key, Client, Reply, RetryClient, RetryPolicy, ServeSnapshot,
+};
 
 /// Bucket upper bounds for `loadgen.latency_us`, in microseconds:
 /// 50µs .. ~1.6s, ×2 spaced.
@@ -40,7 +45,6 @@ type PlannedQuery = (String, Vec<(String, u32, bool)>);
 #[derive(Default)]
 struct ConnStats {
     ok: u64,
-    busy_retries: u64,
     protocol_errors: u64,
     verify_mismatches: u64,
 }
@@ -55,6 +59,8 @@ fn main() {
     let mut max_candidates = 16usize;
     let mut verify = false;
     let mut shutdown = false;
+    let mut retries = 8u32;
+    let mut timeout_ms = 5_000u64;
     let mut metrics_json: Option<std::path::PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
@@ -67,6 +73,8 @@ fn main() {
             "--max-candidates" => max_candidates = parse(&take(&args, &mut i, "--max-candidates")),
             "--verify" => verify = true,
             "--shutdown" => shutdown = true,
+            "--retries" => retries = parse(&take(&args, &mut i, "--retries")),
+            "--timeout-ms" => timeout_ms = parse(&take(&args, &mut i, "--timeout-ms")),
             "--metrics-json" => {
                 metrics_json = Some(std::path::PathBuf::from(take(
                     &args,
@@ -77,7 +85,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "loadgen [--addr HOST:PORT] [--seed N] [--connections N] [--requests N] \
-                     [--k N] [--max-candidates N] [--verify] [--shutdown] [--metrics-json PATH]"
+                     [--k N] [--max-candidates N] [--retries N] [--timeout-ms N] [--verify] \
+                     [--shutdown] [--metrics-json PATH]"
                 );
                 return;
             }
@@ -128,6 +137,11 @@ fn main() {
     let base = requests / connections as u64;
     let rem = requests % connections as u64;
     let latency = taxo_obs::registry().histogram_with("loadgen.latency_us", LATENCY_BOUNDS_US);
+    let policy = RetryPolicy {
+        max_attempts: retries.max(1),
+        request_timeout: Duration::from_millis(timeout_ms.max(1)),
+        ..RetryPolicy::default()
+    };
     let plan = Arc::new(plan);
     let t0 = Instant::now();
     let stats: Vec<ConnStats> = std::thread::scope(|scope| {
@@ -137,8 +151,9 @@ fn main() {
                 let plan = Arc::clone(&plan);
                 let latency = Arc::clone(&latency);
                 let addr = addr.clone();
+                let policy = policy.clone();
                 scope.spawn(move || {
-                    run_connection(&addr, seed, conn, quota, k, verify, &plan, &latency)
+                    run_connection(&addr, policy, seed, conn, quota, k, verify, &plan, &latency)
                 })
             })
             .collect();
@@ -150,11 +165,13 @@ fn main() {
     let elapsed = t0.elapsed();
 
     let ok: u64 = stats.iter().map(|s| s.ok).sum();
-    let busy: u64 = stats.iter().map(|s| s.busy_retries).sum();
     let proto: u64 = stats.iter().map(|s| s.protocol_errors).sum();
     let mismatches: u64 = stats.iter().map(|s| s.verify_mismatches).sum();
+    // Client-side resilience counters, bumped by RetryClient as it works
+    // around sheds, timeouts, and dropped connections.
+    let retries_used = taxo_obs::counter!("serve.retries").get();
+    let timeouts = taxo_obs::counter!("serve.timeouts").get();
     taxo_obs::counter!("loadgen.requests.ok").add(ok);
-    taxo_obs::counter!("loadgen.requests.busy_retries").add(busy);
     taxo_obs::counter!("loadgen.errors.protocol").add(proto);
     taxo_obs::counter!("loadgen.errors.verify_mismatch").add(mismatches);
 
@@ -192,7 +209,7 @@ fn main() {
     let (p50, p99) = percentiles(&latency_snapshot());
     println!(
         "loadgen: {ok}/{requests} ok over {connections} connections in {elapsed:.1?} \
-         ({:.0} req/s), {busy} busy retries, p50 <= {p50}, p99 <= {p99}",
+         ({:.0} req/s), {retries_used} retries, {timeouts} timeouts, p50 <= {p50}, p99 <= {p99}",
         ok as f64 / elapsed.as_secs_f64().max(1e-9),
     );
     if verify {
@@ -218,6 +235,7 @@ fn main() {
 #[allow(clippy::too_many_arguments)]
 fn run_connection(
     addr: &str,
+    policy: RetryPolicy,
     seed: u64,
     conn: usize,
     quota: u64,
@@ -226,15 +244,17 @@ fn run_connection(
     plan: &[PlannedQuery],
     latency: &taxo_obs::Histogram,
 ) -> ConnStats {
+    use std::net::ToSocketAddrs;
     let mut stats = ConnStats::default();
-    let mut client = match Client::connect_retry(addr, Duration::from_secs(10)) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("# conn {conn}: connect failed: {e}");
-            stats.protocol_errors += quota;
-            return stats;
-        }
+    let Some(sock) = addr.to_socket_addrs().ok().and_then(|mut a| a.next()) else {
+        eprintln!("# conn {conn}: unresolvable address {addr}");
+        stats.protocol_errors += quota;
+        return stats;
     };
+    // Backpressure, timeouts, and dropped connections are absorbed by
+    // the RetryClient's bounded retry loop; only a request that fails
+    // every attempt surfaces here.
+    let mut client = RetryClient::new(sock, policy);
     let mut rng = Xorshift::new(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(conn as u64 + 1)));
     while stats.ok < quota {
         let (query, expected) = &plan[(rng.next() % plan.len() as u64) as usize];
@@ -250,19 +270,13 @@ fn run_connection(
                     }
                 }
             }
-            Ok(reply) if reply.is_busy() => {
-                // Expected backpressure: back off briefly and retry the
-                // stream's next draw (fairness over strict replay).
-                stats.busy_retries += 1;
-                std::thread::sleep(Duration::from_micros(500));
-            }
             Ok(Reply::Err { code, detail }) => {
                 eprintln!("# conn {conn}: server error {code}: {detail:?}");
                 stats.protocol_errors += 1;
                 stats.ok += 1; // consume the slot so the run terminates
             }
             Err(e) => {
-                eprintln!("# conn {conn}: transport error: {e}");
+                eprintln!("# conn {conn}: request failed after retries: {e}");
                 stats.protocol_errors += quota - stats.ok;
                 break;
             }

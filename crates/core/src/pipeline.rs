@@ -366,6 +366,11 @@ mod tests {
         let (world, trained) = run(&PipelineConfig::tiny(71));
         assert!(!trained.mlm_losses.is_empty());
         assert!(!trained.train_losses.is_empty());
+        // Measured after the quick-config fix (60 detector epochs +
+        // latest-tie best-validation selection): seed 71 → 0.6944 on the
+        // 36-pair test split, and 0.57–0.77 across seeds {7, 13, 42, 51}.
+        // Before the fix the 30-epoch schedule froze an underfit early
+        // snapshot (same seed measured 0.5278).
         let acc = trained.test_accuracy(&world.vocab);
         assert!(acc > 0.55, "test accuracy {acc}");
 

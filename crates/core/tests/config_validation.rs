@@ -1,0 +1,176 @@
+//! Builder-validation coverage: every invalid field a
+//! [`PipelineConfig::builder`] or [`ExpansionConfig::builder`] can be
+//! handed must come back as [`TaxoError::InvalidConfig`] whose `field`
+//! names the offending knob — so a misconfigured run fails at build
+//! time with an actionable message instead of silently mistraining.
+
+use taxo_core::TaxoError;
+use taxo_expand::{DetectorConfig, ExpansionConfig, PipelineConfig};
+
+/// Asserts the result is `InvalidConfig` and that both the structured
+/// `field` and the rendered `Display` message name the expected field.
+fn assert_names_field<T: std::fmt::Debug>(result: Result<T, TaxoError>, expected_field: &str) {
+    match result {
+        Err(TaxoError::InvalidConfig { field, message }) => {
+            assert_eq!(
+                field, expected_field,
+                "wrong field blamed (message: {message})"
+            );
+            let err = TaxoError::InvalidConfig { field, message };
+            assert!(
+                err.to_string().contains(expected_field),
+                "Display output {:?} does not name {expected_field}",
+                err.to_string()
+            );
+        }
+        Err(other) => panic!("expected InvalidConfig for {expected_field}, got {other:?}"),
+        Ok(v) => panic!("expected InvalidConfig for {expected_field}, got Ok({v:?})"),
+    }
+}
+
+#[test]
+fn default_builders_build_clean() {
+    PipelineConfig::builder()
+        .build()
+        .expect("default pipeline config validates");
+    ExpansionConfig::builder()
+        .build()
+        .expect("default expansion config validates");
+}
+
+#[test]
+fn no_representation_enabled_is_rejected() {
+    assert_names_field(
+        PipelineConfig::builder()
+            .use_relational(false)
+            .use_structural(false)
+            .build(),
+        "use_relational/use_structural",
+    );
+}
+
+#[test]
+fn one_representation_suffices() {
+    PipelineConfig::builder()
+        .use_relational(false)
+        .build()
+        .expect("structural-only is a valid ablation");
+    PipelineConfig::builder()
+        .use_structural(false)
+        .build()
+        .expect("relational-only is a valid ablation");
+}
+
+#[test]
+fn zero_detector_epochs_is_rejected() {
+    assert_names_field(
+        PipelineConfig::builder().detector_epochs(0).build(),
+        "detector.epochs",
+    );
+}
+
+#[test]
+fn zero_detector_batch_is_rejected() {
+    let detector = DetectorConfig {
+        batch: 0,
+        ..Default::default()
+    };
+    assert_names_field(
+        PipelineConfig::builder().detector(detector).build(),
+        "detector.batch",
+    );
+}
+
+#[test]
+fn bad_learning_rates_are_rejected() {
+    for lr in [0.0, -0.01, f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+        let detector = DetectorConfig {
+            lr,
+            ..Default::default()
+        };
+        assert_names_field(
+            PipelineConfig::builder().detector(detector).build(),
+            "detector.lr",
+        );
+    }
+}
+
+#[test]
+fn out_of_range_input_dropout_is_rejected() {
+    // Dropout of exactly 1.0 zeroes every feature — rejected along with
+    // anything negative or non-finite. 0.0 (disabled) stays legal.
+    for input_dropout in [1.0, 1.5, -0.1, f32::NAN] {
+        let detector = DetectorConfig {
+            input_dropout,
+            ..Default::default()
+        };
+        assert_names_field(
+            PipelineConfig::builder().detector(detector).build(),
+            "detector.input_dropout",
+        );
+    }
+    let detector = DetectorConfig {
+        input_dropout: 0.0,
+        ..Default::default()
+    };
+    PipelineConfig::builder()
+        .detector(detector)
+        .build()
+        .expect("disabled dropout is valid");
+}
+
+#[test]
+fn zero_pretrain_epochs_only_matters_when_pretraining() {
+    assert_names_field(
+        PipelineConfig::builder().pretrain_epochs(0).build(),
+        "relational.pretrain_epochs",
+    );
+    PipelineConfig::builder()
+        .pretrain_epochs(0)
+        .pretrain_relational(false)
+        .build()
+        .expect("pretrain_epochs is ignored when pretraining is off");
+}
+
+#[test]
+fn out_of_range_threshold_is_rejected() {
+    for threshold in [-0.1, 1.5, f32::NAN, f32::INFINITY] {
+        assert_names_field(
+            ExpansionConfig::builder().threshold(threshold).build(),
+            "expansion.threshold",
+        );
+    }
+    // Both closed endpoints are legal ("attach everything" / "attach
+    // only certainties").
+    for threshold in [0.0, 1.0] {
+        ExpansionConfig::builder()
+            .threshold(threshold)
+            .build()
+            .expect("closed-interval endpoints are valid");
+    }
+}
+
+#[test]
+fn zero_candidate_cap_is_rejected() {
+    assert_names_field(
+        ExpansionConfig::builder()
+            .max_candidates_per_query(0)
+            .build(),
+        "expansion.max_candidates_per_query",
+    );
+}
+
+#[test]
+fn pipeline_validation_covers_nested_expansion_config() {
+    // PipelineConfig::validate() delegates to the embedded
+    // ExpansionConfig, so a bad nested threshold surfaces with the same
+    // field name at the top level.
+    let expansion = ExpansionConfig {
+        threshold: 2.0,
+        ..Default::default()
+    };
+    assert_names_field(
+        PipelineConfig::builder().expansion(expansion).build(),
+        "expansion.threshold",
+    );
+}

@@ -41,10 +41,21 @@ struct QueueState<T> {
 
 /// A bounded MPMC queue with explicit backpressure and close-then-drain
 /// shutdown. Producers never block; consumers block in [`BoundedQueue::drain`].
+///
+/// A queue built with [`BoundedQueue::with_fault_points`] carries two
+/// `taxo-fault` injection point names: the push point can simulate
+/// saturation (a fired `fail` rejects the push as if the queue were
+/// full — the caller sheds with `busy` exactly as under real overload),
+/// and the pop point can delay consumers (a fired `delay` stalls the
+/// drain, letting real saturation build behind it). Both are zero-cost
+/// while no fault plan is armed.
 pub struct BoundedQueue<T> {
     state: Mutex<QueueState<T>>,
     readable: Condvar,
     cap: usize,
+    /// `taxo-fault` point names consulted on push/pop (`None` = never).
+    fault_push: Option<&'static str>,
+    fault_pop: Option<&'static str>,
 }
 
 impl<T> BoundedQueue<T> {
@@ -57,12 +68,32 @@ impl<T> BoundedQueue<T> {
             }),
             readable: Condvar::new(),
             cap,
+            fault_push: None,
+            fault_pop: None,
+        }
+    }
+
+    /// A queue whose pushes and pops consult the named `taxo-fault`
+    /// injection points (see the type docs for the semantics).
+    pub fn with_fault_points(cap: usize, push: &'static str, pop: &'static str) -> Self {
+        BoundedQueue {
+            fault_push: Some(push),
+            fault_pop: Some(pop),
+            ..BoundedQueue::new(cap)
         }
     }
 
     /// Enqueues `item` unless the queue is full or closed. Returns the
     /// queue depth after the push.
     pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        if let Some(point) = self.fault_push {
+            // An injected failure is indistinguishable from saturation:
+            // the producer sheds with `busy` and the item never enters
+            // the queue, so close-then-drain accounting stays exact.
+            if taxo_fault::should_fail(point) {
+                return Err(PushError::Full(item));
+            }
+        }
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         if state.closed {
             return Err(PushError::Closed(item));
@@ -85,7 +116,16 @@ impl<T> BoundedQueue<T> {
         loop {
             if !state.items.is_empty() {
                 let take = state.items.len().min(max.max(1));
-                return Some(state.items.drain(..take).collect());
+                let items = Some(state.items.drain(..take).collect());
+                drop(state);
+                if let Some(point) = self.fault_pop {
+                    // Delay-only point: a stalled consumer is the fault
+                    // (dropping drained items would violate the exactly-
+                    // once delivery contract), so `fail`/`short` actions
+                    // configured here deliberately do nothing.
+                    let _ = taxo_fault::inject(point);
+                }
+                return items;
             }
             if state.closed {
                 return None;
@@ -136,6 +176,10 @@ pub struct ScoreJob {
 pub fn score_batch(jobs: Vec<ScoreJob>) {
     let _g = span!("serve.batch");
     histogram!("serve.batch.jobs").observe(jobs.len() as u64);
+    // Completion side of the `serve.score.accepted` ledger (see
+    // `score_request`): jobs reaching this function are guaranteed a
+    // reply-channel send below, even during shutdown drain.
+    taxo_obs::counter!("serve.score.completed").add(jobs.len() as u64);
 
     // Flatten: offsets[j] is the first flat index of job j's pairs.
     let mut offsets = Vec::with_capacity(jobs.len() + 1);

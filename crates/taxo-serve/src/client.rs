@@ -171,6 +171,208 @@ impl Client {
     }
 }
 
+impl Client {
+    /// Sets the per-read socket timeout (both halves share one socket).
+    /// `None` blocks forever.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.writer.set_read_timeout(timeout)
+    }
+}
+
+/// Retry/backoff/timeout knobs for [`RetryClient`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Attempts per request (first try included). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry up to
+    /// [`RetryPolicy::max_backoff`].
+    pub base_backoff: Duration,
+    pub max_backoff: Duration,
+    /// Socket read timeout per attempt; an attempt that exceeds it is
+    /// abandoned (connection dropped — a late response must never be
+    /// mistaken for the next request's).
+    pub request_timeout: Duration,
+    /// Total budget for (re)connecting to the server.
+    pub connect_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(64),
+            request_timeout: Duration::from_secs(5),
+            connect_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A self-healing client: bounded retry with exponential backoff over
+/// transport failures, `busy` shedding, and per-request timeouts. Used by
+/// the `loadgen` bench client and the chaos simulation harness — under
+/// fault injection, individual connections die constantly and this is
+/// the loop that proves the *service* stays correct anyway.
+///
+/// Retried operations are the idempotent ones (`score`, `health`,
+/// `stats`). [`RetryClient::ingest`] retries only `busy` replies — after
+/// the request has reached the server, a transport failure is returned
+/// to the caller, because blindly resending a batch that may have been
+/// applied would double its clicks.
+///
+/// Every retry increments the `serve.retries` counter and every
+/// abandoned-by-timeout attempt increments `serve.timeouts` (in this
+/// process's registry, not the server's).
+pub struct RetryClient {
+    addr: std::net::SocketAddr,
+    policy: RetryPolicy,
+    conn: Option<Client>,
+    next_id: u64,
+}
+
+impl RetryClient {
+    /// Creates a client for `addr`; connects lazily on first use.
+    pub fn new(addr: std::net::SocketAddr, policy: RetryPolicy) -> RetryClient {
+        RetryClient {
+            addr,
+            policy,
+            conn: None,
+            next_id: 0,
+        }
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    fn conn(&mut self) -> std::io::Result<&mut Client> {
+        if self.conn.is_none() {
+            let c = Client::connect_retry(self.addr, self.policy.connect_timeout)?;
+            c.set_read_timeout(Some(self.policy.request_timeout))?;
+            self.conn = Some(c);
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    fn backoff(&self, retry: u32) -> Duration {
+        let exp = self
+            .policy
+            .base_backoff
+            .saturating_mul(1u32 << retry.min(16));
+        exp.min(self.policy.max_backoff)
+    }
+
+    /// One request with the full retry loop. Returns the first non-`busy`
+    /// reply, or the last error once attempts are exhausted.
+    fn call_retrying(&mut self, line: &str, id: u64) -> std::io::Result<Reply> {
+        let mut last_err: Option<std::io::Error> = None;
+        for attempt in 0..self.policy.max_attempts.max(1) {
+            if attempt > 0 {
+                taxo_obs::counter!("serve.retries").inc();
+                std::thread::sleep(self.backoff(attempt - 1));
+            }
+            let conn = match self.conn() {
+                Ok(conn) => conn,
+                Err(e) => {
+                    last_err = Some(e);
+                    continue;
+                }
+            };
+            match conn.call(line, Some(id)) {
+                Ok(reply) if reply.is_busy() => {
+                    last_err = Some(std::io::Error::new(
+                        ErrorKind::WouldBlock,
+                        "server busy on every attempt",
+                    ));
+                }
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+                        taxo_obs::counter!("serve.timeouts").inc();
+                    }
+                    // Transport or framing failure: this connection can
+                    // no longer be trusted to pair requests with
+                    // responses, so drop it and reconnect on retry.
+                    self.conn = None;
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| std::io::Error::other("retry loop without attempts")))
+    }
+
+    /// `score` with retries.
+    pub fn score(&mut self, query: &str, k: Option<usize>) -> std::io::Result<Reply> {
+        let id = self.fresh_id();
+        let mut w = json::ObjWriter::new();
+        w.str("kind", "score").u64("id", id).str("query", query);
+        if let Some(k) = k {
+            w.u64("k", k as u64);
+        }
+        self.call_retrying(&w.finish(), id)
+    }
+
+    /// `health` with retries.
+    pub fn health(&mut self) -> std::io::Result<Reply> {
+        let id = self.fresh_id();
+        let mut w = json::ObjWriter::new();
+        w.str("kind", "health").u64("id", id);
+        self.call_retrying(&w.finish(), id)
+    }
+
+    /// `stats` with retries.
+    pub fn stats(&mut self) -> std::io::Result<Reply> {
+        let id = self.fresh_id();
+        let mut w = json::ObjWriter::new();
+        w.str("kind", "stats").u64("id", id);
+        self.call_retrying(&w.finish(), id)
+    }
+
+    /// `ingest`, retrying **only** `busy` replies. Any transport error is
+    /// surfaced: the batch may or may not have been applied, and only the
+    /// caller can resolve that (e.g. by checking the `health` version —
+    /// ingest replies are sent strictly after the batch is applied).
+    pub fn ingest(&mut self, records: &[(String, String, u64)]) -> std::io::Result<Reply> {
+        let id = self.fresh_id();
+        let mut arr = String::from("[");
+        for (i, (query, item, count)) in records.iter().enumerate() {
+            if i > 0 {
+                arr.push(',');
+            }
+            let mut r = json::ObjWriter::new();
+            r.str("query", query).str("item", item).u64("count", *count);
+            arr.push_str(&r.finish());
+        }
+        arr.push(']');
+        let mut w = json::ObjWriter::new();
+        w.str("kind", "ingest").u64("id", id).raw("records", &arr);
+        let line = w.finish();
+        let mut retry = 0u32;
+        loop {
+            let reply = match self.conn() {
+                Ok(conn) => conn.call(&line, Some(id)),
+                Err(e) => Err(e),
+            };
+            match reply {
+                Ok(r) if r.is_busy() && retry + 1 < self.policy.max_attempts => {
+                    taxo_obs::counter!("serve.retries").inc();
+                    std::thread::sleep(self.backoff(retry));
+                    retry += 1;
+                }
+                Ok(r) => return Ok(r),
+                Err(e) => {
+                    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+                        taxo_obs::counter!("serve.timeouts").inc();
+                    }
+                    self.conn = None;
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
 fn protocol_error(msg: String) -> std::io::Error {
     std::io::Error::new(ErrorKind::InvalidData, msg)
 }

@@ -292,6 +292,48 @@ pub fn encode_str(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Encodes any [`Value`] back to JSON text: object members in key order,
+/// [`Value::Num`] tokens verbatim, strings with exactly the escapes the
+/// parser understands. `parse(&encode(v))` returns `v` unchanged — the
+/// round-trip property the `json_props` suite pins down.
+pub fn encode(v: &Value) -> String {
+    let mut out = String::new();
+    encode_into(v, &mut out);
+    out
+}
+
+fn encode_into(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Num(n) => out.push_str(n),
+        Value::Str(s) => encode_str(s, out),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                encode_into(item, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(map) => {
+            out.push('{');
+            for (i, (key, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                encode_str(key, out);
+                out.push(':');
+                encode_into(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
 /// Incremental writer for one JSON object (the response shape); members
 /// are appended in call order.
 #[derive(Debug, Default)]

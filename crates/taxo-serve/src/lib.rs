@@ -51,7 +51,7 @@ pub mod server;
 pub mod snapshot;
 
 pub use batch::{BoundedQueue, PushError, ScoreJob};
-pub use client::{candidate_key, expected_key, Client, Reply};
+pub use client::{candidate_key, expected_key, Client, Reply, RetryClient, RetryPolicy};
 pub use protocol::{IngestRecord, IngestSummary, Request};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use snapshot::{ScoredCandidate, ServeSnapshot, SnapshotReader, SnapshotStore};

@@ -178,6 +178,10 @@ impl Server {
     ) -> std::io::Result<ServerHandle> {
         cfg.validate()
             .map_err(|e| std::io::Error::new(ErrorKind::InvalidInput, e))?;
+        // Honour a TAXO_FAULTS chaos plan (no-op when the variable is
+        // unset; harnesses that arm programmatically are unaffected
+        // because an empty env never disarms).
+        taxo_fault::arm_from_env();
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -193,9 +197,21 @@ impl Server {
             &expander.candidate_pairs(),
         );
         let shared = Arc::new(Shared {
-            score_queue: BoundedQueue::new(cfg.score_queue_cap),
-            ingest_queue: BoundedQueue::new(cfg.ingest_queue_cap),
-            conn_queue: BoundedQueue::new(cfg.conn_backlog),
+            score_queue: BoundedQueue::with_fault_points(
+                cfg.score_queue_cap,
+                "serve.queue.score.push",
+                "serve.queue.score.pop",
+            ),
+            ingest_queue: BoundedQueue::with_fault_points(
+                cfg.ingest_queue_cap,
+                "serve.queue.ingest.push",
+                "serve.queue.ingest.pop",
+            ),
+            conn_queue: BoundedQueue::with_fault_points(
+                cfg.conn_backlog,
+                "serve.queue.conn.push",
+                "serve.queue.conn.pop",
+            ),
             store: Arc::new(SnapshotStore::new(initial)),
             shutdown: AtomicBool::new(false),
             batches: AtomicU64::new(expander.batches() as u64),
@@ -249,6 +265,12 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
+                if taxo_fault::should_fail("serve.accept") {
+                    // Injected accept failure: the stream drops here and
+                    // the peer sees a closed connection before its first
+                    // byte — the "connection drop" chaos fault.
+                    continue;
+                }
                 counter!("serve.connections.accepted").inc();
                 match shared.conn_queue.try_push(stream) {
                     Ok(depth) => gauge!("serve.queue.conn_depth").set(depth as i64),
@@ -311,11 +333,21 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared, reader: &mut SnapshotRead
                 continue;
             }
             let (response, close) = handle_line(line, shared, reader);
-            if stream
-                .write_all(format!("{response}\n").as_bytes())
-                .is_err()
-                || close
-            {
+            let frame = format!("{response}\n");
+            let frame: &[u8] = match taxo_fault::inject("serve.conn.write") {
+                taxo_fault::Injection::Pass => frame.as_bytes(),
+                // Injected write failure: the response is lost and the
+                // connection drops — the client must retry elsewhere.
+                taxo_fault::Injection::Fail => return,
+                // Half-written frame: emit a prefix, then drop the
+                // connection so the tear is observable, not hidden.
+                taxo_fault::Injection::Short(n) => {
+                    let cut = n.min(frame.len());
+                    let _ = stream.write_all(&frame.as_bytes()[..cut]);
+                    return;
+                }
+            };
+            if stream.write_all(frame).is_err() || close {
                 return;
             }
         }
@@ -324,7 +356,18 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared, reader: &mut SnapshotRead
         }
         match stream.read(&mut chunk) {
             Ok(0) => return, // EOF
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => match taxo_fault::inject("serve.conn.read") {
+                taxo_fault::Injection::Pass => buf.extend_from_slice(&chunk[..n]),
+                // Injected read failure: drop the connection with the
+                // bytes unconsumed (a reset mid-request).
+                taxo_fault::Injection::Fail => return,
+                // Short read: keep a prefix of the chunk and drop the
+                // rest of the frame on the floor, then close.
+                taxo_fault::Injection::Short(keep) => {
+                    buf.extend_from_slice(&chunk[..keep.min(n)]);
+                    return;
+                }
+            },
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
             Err(_) => return,
         }
@@ -413,7 +456,15 @@ fn score_request(
         reply: tx,
     };
     match shared.score_queue.try_push(job) {
-        Ok(depth) => gauge!("serve.queue.score_depth").set(depth as i64),
+        Ok(depth) => {
+            // Accepted-work ledger: every increment here must be matched
+            // by a `serve.score.completed` increment in `score_batch` —
+            // the chaos harness asserts the two counters are equal after
+            // drain, which is the "shedding never drops an accepted job"
+            // invariant in counter form.
+            counter!("serve.score.accepted").inc();
+            gauge!("serve.queue.score_depth").set(depth as i64);
+        }
         Err(PushError::Full(_)) => {
             counter!("serve.shed.score").inc();
             return protocol::error_response(id, "busy", None);
@@ -441,7 +492,12 @@ fn ingest_request(id: Option<u64>, records: Vec<IngestRecord>, shared: &Shared) 
         .ingest_queue
         .try_push(IngestJob { records, reply: tx })
     {
-        Ok(depth) => gauge!("serve.queue.ingest_depth").set(depth as i64),
+        Ok(depth) => {
+            // Mirrors `serve.score.accepted`: paired with
+            // `serve.ingest.applied` in the ingest loop.
+            counter!("serve.ingest.accepted").inc();
+            gauge!("serve.queue.ingest_depth").set(depth as i64);
+        }
         Err(PushError::Full(_)) => {
             counter!("serve.shed.ingest").inc();
             return protocol::error_response(id, "busy", None);
@@ -474,6 +530,9 @@ fn ingest_loop(
 ) {
     while let Some(jobs) = shared.ingest_queue.drain(1) {
         for job in jobs {
+            // Delay-only chaos point: a slow rebuild stalls the single
+            // writer and backs pressure up into the ingest queue.
+            let _ = taxo_fault::inject("serve.ingest.apply");
             let _g = span!("serve.ingest.apply");
             let mut matched = 0u64;
             let mut skipped = 0u64;
@@ -519,6 +578,7 @@ fn ingest_loop(
                 total_relations: report.total_relations as u64,
                 version,
             };
+            counter!("serve.ingest.applied").inc();
             let _ = job.reply.send(summary);
         }
     }

@@ -141,6 +141,10 @@ impl SnapshotStore {
     /// already hold the previous `Arc` keep serving from it; new requests
     /// observe the version bump and refresh.
     pub fn publish(&self, next: Arc<ServeSnapshot>) {
+        // Delay-only chaos point: widens the window where readers hold
+        // the previous snapshot while the new one exists but is not yet
+        // visible — responses must stay version-pure throughout.
+        let _ = taxo_fault::inject("serve.snapshot.publish");
         let version = next.version;
         *self.slot.lock().unwrap_or_else(|e| e.into_inner()) = next;
         // Release-ordered so a reader that sees the new version also sees

@@ -1,0 +1,155 @@
+//! Property tests for the wire-format JSON module: encode→parse is the
+//! identity on every `Value` tree (including the `f32` shortest-decimal
+//! `Display` path the scoring contract rides on), and malformed inputs
+//! are rejected rather than misread.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use taxo_serve::json::{self, ObjWriter, Value};
+
+/// Generates arbitrary bounded-depth [`Value`] trees. Implemented by
+/// hand because the vendored proptest stub has no recursive combinator:
+/// depth shrinks by one per nesting level, so generation always
+/// terminates with scalars at the leaves.
+#[derive(Debug, Clone, Copy)]
+struct ArbValue {
+    depth: u32,
+}
+
+impl ArbValue {
+    fn gen_value(self, rng: &mut proptest::__rand::rngs::StdRng) -> Value {
+        use proptest::__rand::{RngCore, RngExt};
+        // Leaves only at depth 0; containers otherwise, with scalar
+        // choices mixed in so trees stay irregular.
+        let choice = if self.depth == 0 {
+            rng.random_range(0..5)
+        } else {
+            rng.random_range(0..7)
+        };
+        match choice {
+            0 => Value::Null,
+            1 => Value::Bool(rng.next_u64() & 1 == 1),
+            2 => Value::Num(arb_number_token(rng)),
+            3 | 4 => Value::Str(arb_string(rng)),
+            5 => {
+                let n = rng.random_range(0..4usize);
+                let inner = ArbValue {
+                    depth: self.depth - 1,
+                };
+                Value::Arr((0..n).map(|_| inner.gen_value(rng)).collect())
+            }
+            _ => {
+                let n = rng.random_range(0..4usize);
+                let inner = ArbValue {
+                    depth: self.depth - 1,
+                };
+                let mut map = BTreeMap::new();
+                for _ in 0..n {
+                    map.insert(arb_string(rng), inner.gen_value(rng));
+                }
+                Value::Obj(map)
+            }
+        }
+    }
+}
+
+impl Strategy for ArbValue {
+    type Value = Value;
+
+    fn generate(&self, rng: &mut proptest::__rand::rngs::StdRng) -> Value {
+        self.gen_value(rng)
+    }
+}
+
+/// A valid JSON number token. Sourced from real numbers so the token is
+/// always grammatical; kept as text exactly like the parser would.
+fn arb_number_token(rng: &mut proptest::__rand::rngs::StdRng) -> String {
+    use proptest::__rand::RngExt;
+    match rng.random_range(0..4) {
+        0 => format!("{}", rng.random_range(0u64..u64::MAX)),
+        1 => format!("{}", rng.random_range(i64::MIN..0)),
+        2 => format!("{}", f32::from_bits(rng.random_range(0u32..0x7f7f_ffff))),
+        _ => format!("{:e}", rng.random_range(-1.0e10f64..1.0e10)),
+    }
+}
+
+/// Strings over a hostile alphabet: quotes, backslashes, control
+/// characters, non-ASCII — everything the escaper must handle.
+fn arb_string(rng: &mut proptest::__rand::rngs::StdRng) -> String {
+    use proptest::__rand::RngExt;
+    const ALPHABET: &[char] = &[
+        'a', 'z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{8}', '\u{c}', '\u{1}', 'ü', '雪',
+        '🦀',
+    ];
+    let n = rng.random_range(0..12usize);
+    (0..n)
+        .map(|_| ALPHABET[rng.random_range(0..ALPHABET.len())])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// encode→parse is the identity on arbitrary value trees. Numbers are
+    /// raw tokens, so equality is textual — stricter than numeric.
+    #[test]
+    fn encode_parse_round_trips_value_trees(v in ArbValue { depth: 3 }) {
+        let text = json::encode(&v);
+        let back = json::parse(&text)
+            .unwrap_or_else(|e| panic!("encode produced unparseable {text:?}: {e}"));
+        prop_assert_eq!(back, v, "{}", text);
+    }
+
+    /// The scoring contract: an `f32` written through `ObjWriter::f32`
+    /// (shortest round-trip `Display`) parses back to the same bits.
+    #[test]
+    fn f32_display_path_is_bit_identical(bits in 0u32..u32::MAX) {
+        let x = f32::from_bits(bits);
+        prop_assume!(x.is_finite());
+        let mut w = ObjWriter::new();
+        w.f32("score", x);
+        let line = w.finish();
+        let back = json::parse(&line)
+            .expect("writer output parses")
+            .get("score")
+            .and_then(Value::as_f32)
+            .expect("score member survives");
+        prop_assert_eq!(back.to_bits(), x.to_bits(), "{}", line);
+    }
+
+    /// Any strict prefix of a document is rejected, never silently
+    /// completed — a torn frame (short write) must fail loudly.
+    #[test]
+    fn strict_prefixes_are_rejected(v in ArbValue { depth: 2 }, cut in 0.0f64..1.0) {
+        let text = json::encode(&v);
+        prop_assume!(text.len() > 1);
+        let mut at = 1 + ((text.len() - 1) as f64 * cut) as usize;
+        while !text.is_char_boundary(at) {
+            at -= 1;
+        }
+        prop_assume!(at > 0 && at < text.len());
+        let prefix = &text[..at];
+        // `7`'s prefix universe is empty after the slice above, but e.g.
+        // `70` has the valid strict prefix `7` — only *containers and
+        // strings* are prefix-free. Numbers and literals may reparse, so
+        // the property applies when the document starts structurally.
+        if matches!(v, Value::Arr(_) | Value::Obj(_) | Value::Str(_)) {
+            prop_assert!(
+                json::parse(prefix).is_err(),
+                "truncated {} -> {} parsed",
+                text,
+                prefix
+            );
+        }
+    }
+
+    /// Trailing garbage after a complete document is rejected — two
+    /// frames glued together must not parse as one. `e` is excluded from
+    /// the junk alphabet: `12` + `e3` would legitimately extend a number
+    /// token into one longer valid document.
+    #[test]
+    fn trailing_garbage_is_rejected(v in ArbValue { depth: 2 }, junk in "[a-df-z]{1,4}") {
+        let text = json::encode(&v) + &junk;
+        prop_assert!(json::parse(&text).is_err(), "{}", text);
+    }
+}

@@ -1,0 +1,124 @@
+//! Concurrency torture for [`BoundedQueue`]'s close-then-drain contract:
+//! many producers and consumers, the queue closed mid-run, and an exact
+//! accounting at the end — every successfully pushed item is consumed
+//! exactly once, every post-close push is rejected with its item handed
+//! back, and nobody panics or deadlocks.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use taxo_serve::{BoundedQueue, PushError};
+
+#[test]
+fn producers_and_consumers_survive_a_midrun_close_exactly_once() {
+    const PRODUCERS: usize = 4;
+    const CONSUMERS: usize = 3;
+    const PER_PRODUCER: u64 = 2_000;
+
+    let queue: Arc<BoundedQueue<u64>> = Arc::new(BoundedQueue::new(8));
+    let closed = Arc::new(AtomicBool::new(false));
+
+    let (pushed, consumed) = std::thread::scope(|scope| {
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|c| {
+                let queue = Arc::clone(&queue);
+                scope.spawn(move || {
+                    let mut got = Vec::new();
+                    // Varied batch sizes exercise both the single-item and
+                    // coalescing drain paths.
+                    while let Some(items) = queue.drain(1 + c) {
+                        assert!(!items.is_empty(), "drain never returns an empty batch");
+                        got.extend(items);
+                    }
+                    // `None` must mean closed AND empty — terminal.
+                    assert!(queue.is_empty(), "drain returned None with items left");
+                    got
+                })
+            })
+            .collect();
+
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let queue = Arc::clone(&queue);
+                let closed = Arc::clone(&closed);
+                scope.spawn(move || {
+                    let mut acknowledged = Vec::new();
+                    for i in 0..PER_PRODUCER {
+                        let item = ((p as u64) << 32) | i;
+                        loop {
+                            match queue.try_push(item) {
+                                Ok(depth) => {
+                                    assert!(
+                                        (1..=8).contains(&depth),
+                                        "depth {depth} outside capacity"
+                                    );
+                                    acknowledged.push(item);
+                                    break;
+                                }
+                                Err(PushError::Full(rejected)) => {
+                                    assert_eq!(rejected, item, "Full must hand the item back");
+                                    std::thread::yield_now();
+                                }
+                                Err(PushError::Closed(rejected)) => {
+                                    assert_eq!(rejected, item, "Closed must hand the item back");
+                                    assert!(
+                                        closed.load(Ordering::Acquire),
+                                        "Closed before anyone called close()"
+                                    );
+                                    return acknowledged; // shed the rest
+                                }
+                            }
+                        }
+                    }
+                    acknowledged
+                })
+            })
+            .collect();
+
+        // Let the pipeline run hot, then slam the door mid-traffic.
+        std::thread::sleep(Duration::from_millis(20));
+        closed.store(true, Ordering::Release);
+        queue.close();
+
+        let pushed: Vec<u64> = producers
+            .into_iter()
+            .flat_map(|p| p.join().expect("producer panicked"))
+            .collect();
+        let consumed: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().expect("consumer panicked"))
+            .collect();
+        (pushed, consumed)
+    });
+
+    // Exactly-once: what was acknowledged is what came out — no loss
+    // (close drains, never drops) and no duplication.
+    assert_eq!(
+        consumed.len(),
+        pushed.len(),
+        "accepted {} items but consumed {}",
+        pushed.len(),
+        consumed.len()
+    );
+    let pushed_set: HashSet<u64> = pushed.iter().copied().collect();
+    let consumed_set: HashSet<u64> = consumed.iter().copied().collect();
+    assert_eq!(pushed_set.len(), pushed.len(), "producer ids are unique");
+    assert_eq!(
+        consumed_set.len(),
+        consumed.len(),
+        "an item was delivered twice"
+    );
+    assert_eq!(
+        pushed_set, consumed_set,
+        "delivered set differs from accepted set"
+    );
+    assert!(
+        !pushed.is_empty(),
+        "the close fired before anything was accepted; raise the sleep"
+    );
+
+    // The queue is terminally closed: pushes reject, drains return None.
+    assert!(matches!(queue.try_push(9), Err(PushError::Closed(9))));
+    assert!(queue.drain(4).is_none());
+}
