@@ -1,0 +1,90 @@
+//! Benchmarks of the allocation-free inference fast path against the
+//! allocating twins it replaces: `*_into` kernels reusing warm buffers,
+//! the row-batched encoder forward, and end-to-end pair scoring through
+//! [`taxo_expand::BatchScorer`] vs the scalar loop.
+//!
+//! ```text
+//! cargo bench --bench fastpath
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use taxo_bench::build_snack;
+use taxo_eval::Scale;
+use taxo_expand::BatchScorer;
+use taxo_nn::Matrix;
+
+fn mat(rows: usize, cols: usize, seed: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        ((r * 31 + c * 7 + seed * 13) % 17) as f32 * 0.125 - 1.0
+    })
+}
+
+/// The arena twins of the encoder-shaped products: identical kernels,
+/// but writing into a warm output matrix instead of allocating one.
+fn bench_into_kernels(c: &mut Criterion) {
+    let seq = mat(40, 32, 0);
+    let w = mat(32, 32, 1);
+    c.bench_function("fastpath/matmul_alloc_40x32_32x32", |b| {
+        b.iter(|| black_box(seq.matmul(&w)))
+    });
+    let mut out = Matrix::zeros(40, 32);
+    c.bench_function("fastpath/matmul_into_40x32_32x32", |b| {
+        b.iter(|| {
+            seq.matmul_into(&w, &mut out);
+            black_box(out.data()[0])
+        })
+    });
+    let other = mat(40, 32, 2);
+    c.bench_function("fastpath/matmul_nt_alloc_40x32_40x32", |b| {
+        b.iter(|| black_box(seq.matmul_nt(&other)))
+    });
+    let mut out_nt = Matrix::zeros(40, 40);
+    c.bench_function("fastpath/matmul_nt_into_40x32_40x32", |b| {
+        b.iter(|| {
+            seq.matmul_nt_into(&other, &mut out_nt);
+            black_box(out_nt.data()[0])
+        })
+    });
+}
+
+/// End-to-end pair scoring on the trained snack-domain detector: the
+/// scalar per-pair loop vs one batched, length-bucketed pass.
+fn bench_batched_scoring(c: &mut Criterion) {
+    let ctx = build_snack(Scale::Test);
+    let detector = ctx.ours();
+    let vocab = &ctx.world.vocab;
+    let pairs: Vec<_> = ctx
+        .construction
+        .pairs
+        .iter()
+        .take(64)
+        .map(|p| (p.query, p.item))
+        .collect();
+
+    c.bench_function("fastpath/score_scalar_64_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for &(q, i) in &pairs {
+                acc += detector.score(vocab, q, i);
+            }
+            black_box(acc)
+        })
+    });
+
+    let mut scorer = BatchScorer::new();
+    let mut out = Vec::new();
+    c.bench_function("fastpath/score_batched_64_pairs", |b| {
+        b.iter(|| {
+            scorer.score_into(&detector, vocab, &pairs, &mut out);
+            black_box(out[0])
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_into_kernels, bench_batched_scoring
+);
+criterion_main!(benches);

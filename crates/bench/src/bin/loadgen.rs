@@ -4,6 +4,7 @@
 //! loadgen [--addr 127.0.0.1:7878] [--seed 42] [--connections 8]
 //!         [--requests 10000] [--k 8] [--max-candidates 16]
 //!         [--verify] [--shutdown] [--metrics-json PATH]
+//!         [--bench-json PATH] [--bench-label NAME]
 //! ```
 //!
 //! Opens `--connections` concurrent connections and round-trips
@@ -21,6 +22,9 @@
 //!
 //! Latencies are recorded into the `loadgen.latency_us` histogram;
 //! p50/p99 are reported as bucket upper bounds from its snapshot.
+//! `--bench-json` writes a one-object machine-readable summary of the
+//! run (throughput, latency quantiles, retries, verify outcome) for perf
+//! baselines such as the repo's `BENCH_serve.json`.
 //! Exits nonzero on any protocol error, verify mismatch, or incomplete
 //! run — `busy` sheds are expected backpressure, never a failure.
 
@@ -62,6 +66,8 @@ fn main() {
     let mut retries = 8u32;
     let mut timeout_ms = 5_000u64;
     let mut metrics_json: Option<std::path::PathBuf> = None;
+    let mut bench_json: Option<std::path::PathBuf> = None;
+    let mut bench_label = String::from("loadgen");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -82,11 +88,19 @@ fn main() {
                     "--metrics-json",
                 )));
             }
+            "--bench-json" => {
+                bench_json = Some(std::path::PathBuf::from(take(
+                    &args,
+                    &mut i,
+                    "--bench-json",
+                )));
+            }
+            "--bench-label" => bench_label = take(&args, &mut i, "--bench-label"),
             "--help" | "-h" => {
                 println!(
                     "loadgen [--addr HOST:PORT] [--seed N] [--connections N] [--requests N] \
                      [--k N] [--max-candidates N] [--retries N] [--timeout-ms N] [--verify] \
-                     [--shutdown] [--metrics-json PATH]"
+                     [--shutdown] [--metrics-json PATH] [--bench-json PATH] [--bench-label NAME]"
                 );
                 return;
             }
@@ -219,6 +233,26 @@ fn main() {
         println!("protocol errors: {proto}");
     }
 
+    if let Some(path) = &bench_json {
+        let snap = latency_snapshot();
+        let body = format!(
+            "{{\n  \"label\": {label:?},\n  \"requests\": {requests},\n  \"ok\": {ok},\n  \
+             \"connections\": {connections},\n  \"elapsed_s\": {elapsed_s:.3},\n  \
+             \"rps\": {rps:.1},\n  \"p50_us\": {p50},\n  \"p99_us\": {p99},\n  \
+             \"retries\": {retries_used},\n  \"timeouts\": {timeouts},\n  \
+             \"verify\": {verify},\n  \"verify_mismatches\": {mismatches}\n}}\n",
+            label = bench_label,
+            elapsed_s = elapsed.as_secs_f64(),
+            rps = ok as f64 / elapsed.as_secs_f64().max(1e-9),
+            p50 = quantile_bound_us(&snap, 0.50),
+            p99 = quantile_bound_us(&snap, 0.99),
+        );
+        match std::fs::write(path, body) {
+            Ok(()) => eprintln!("# bench summary written to {}", path.display()),
+            Err(e) => die(&format!("writing {}: {e}", path.display())),
+        }
+    }
+
     if let Some(path) = &metrics_json {
         match taxo_obs::report::write_json_lines(path) {
             Ok(()) => eprintln!("# metrics written to {}", path.display()),
@@ -310,6 +344,26 @@ fn latency_snapshot() -> taxo_obs::HistogramSnapshot {
         .into_iter()
         .find(|h| h.name == "loadgen.latency_us")
         .expect("latency histogram is registered before any observation")
+}
+
+/// The numeric bucket upper bound covering quantile `q`, in µs (the last
+/// bound when the quantile falls past it — good enough for a baseline).
+fn quantile_bound_us(h: &taxo_obs::HistogramSnapshot, q: f64) -> u64 {
+    if h.count == 0 {
+        return 0;
+    }
+    let target = (q * h.count as f64).ceil() as u64;
+    let mut cumulative = 0u64;
+    for (i, &bucket) in h.buckets.iter().enumerate() {
+        cumulative += bucket;
+        if cumulative >= target {
+            if let Some(&bound) = h.bounds.get(i) {
+                return bound;
+            }
+            break;
+        }
+    }
+    h.bounds.last().copied().unwrap_or(0)
 }
 
 /// Estimates (p50, p99) as the bucket upper bound covering each quantile;

@@ -1,0 +1,243 @@
+//! The batched inference fast path (no gradients, no per-pair
+//! allocations).
+//!
+//! [`BatchScorer`] scores many `(parent, child)` pairs with three
+//! amortisations over the scalar [`crate::HypoDetector::score`] loop:
+//!
+//! 1. **Length bucketing** — pair templates are grouped by (truncated)
+//!    token length, and every bucket runs *one* row-batched encoder
+//!    forward instead of one forward per pair. Attention never mixes rows
+//!    across sequences, and every other layer is row-wise, so each pair's
+//!    score is bitwise identical to scoring it alone.
+//! 2. **One MLP GEMM per bucket** — edge features are assembled into a
+//!    single `batch × edge_dim` matrix and classified in one pass.
+//! 3. **Arena reuse** — all intermediates live in a [`Scratch`] plus a few
+//!    staging vectors owned by the scorer; after the largest bucket shape
+//!    has been seen once, a scoring pass performs zero heap allocations.
+//!
+//! Determinism: scores are independent of batch composition, ordering,
+//! and thread count — the same guarantees the training kernels give,
+//! inherited from the `*_into` twins in `taxo_nn`.
+
+use std::sync::Mutex;
+
+use crate::HypoDetector;
+use taxo_core::{ConceptId, Vocabulary};
+use taxo_nn::Scratch;
+
+/// Reusable state for batched scoring. Create once (per thread) and feed
+/// it any number of `score_into` calls; buffers grow to the largest batch
+/// seen and are then reused allocation-free.
+#[derive(Debug, Default)]
+pub struct BatchScorer {
+    scratch: Scratch,
+    /// Staged template tokens of every pair in the current call, jagged;
+    /// pair `p` occupies `stage_ids[offsets[p]..offsets[p + 1]]`.
+    stage_ids: Vec<u32>,
+    stage_segs: Vec<u32>,
+    offsets: Vec<usize>,
+    /// Pair indices sorted by template length — consecutive runs of equal
+    /// length form the buckets.
+    order: Vec<usize>,
+    /// Rectangular token block of the current bucket.
+    flat_ids: Vec<u32>,
+    flat_segs: Vec<u32>,
+    /// Positive-class probabilities of the current bucket.
+    probs: Vec<f32>,
+    /// Result buffer for [`BatchScorer::score_one`].
+    single: Vec<f32>,
+}
+
+impl BatchScorer {
+    pub fn new() -> Self {
+        BatchScorer::default()
+    }
+
+    /// Scores every pair, writing probabilities into `out` (cleared first)
+    /// in input order. Bitwise identical to calling
+    /// [`crate::HypoDetector::score`] per pair.
+    pub fn score_into(
+        &mut self,
+        det: &HypoDetector,
+        vocab: &Vocabulary,
+        pairs: &[(ConceptId, ConceptId)],
+        out: &mut Vec<f32>,
+    ) {
+        self.score_with_features_into(
+            det,
+            vocab,
+            pairs,
+            |p, row| {
+                if let Some(st) = &det.structural {
+                    let (q, i) = pairs[p];
+                    st.pair_features_into(q, i, row);
+                }
+            },
+            out,
+        );
+    }
+
+    /// [`BatchScorer::score_into`] with the structural feature slice
+    /// supplied by the caller: `fill_structural(p, slice)` receives each
+    /// pair's **zeroed** structural slice (`feature_dim` wide, empty when
+    /// the detector has no structural model) and must write the same
+    /// bytes [`crate::StructuralModel::pair_features_into`] would — e.g.
+    /// copied from a table precomputed once per serving snapshot. Leaving
+    /// the slice untouched reproduces the unknown-concept zero vector.
+    pub fn score_with_features_into<F>(
+        &mut self,
+        det: &HypoDetector,
+        vocab: &Vocabulary,
+        pairs: &[(ConceptId, ConceptId)],
+        fill_structural: F,
+        out: &mut Vec<f32>,
+    ) where
+        F: Fn(usize, &mut [f32]),
+    {
+        out.clear();
+        if pairs.is_empty() {
+            return;
+        }
+        out.resize(pairs.len(), 0.0);
+        let BatchScorer {
+            scratch,
+            stage_ids,
+            stage_segs,
+            offsets,
+            order,
+            flat_ids,
+            flat_segs,
+            probs,
+            ..
+        } = self;
+        let rel_dim = det.relational.as_ref().map_or(0, |r| r.dim());
+        let edge_dim = det.edge_dim();
+
+        let Some(rel) = &det.relational else {
+            // Structural-only detector: no encoder, a single MLP batch.
+            debug_assert!(
+                det.structural.is_some(),
+                "detector has at least one representation"
+            );
+            scratch.features.reset(pairs.len(), edge_dim);
+            for r in 0..pairs.len() {
+                fill_structural(r, scratch.features.row_mut(r));
+            }
+            probs.clear();
+            det.mlp.predict_positive_batch_into(
+                &scratch.features,
+                &mut scratch.mlp_hidden,
+                &mut scratch.logits,
+                probs,
+            );
+            out.copy_from_slice(probs);
+            return;
+        };
+
+        // Stage every pair's (truncated) template once.
+        stage_ids.clear();
+        stage_segs.clear();
+        offsets.clear();
+        offsets.push(0);
+        for &(q, i) in pairs {
+            rel.append_pair_ids(vocab, q, i, stage_ids, stage_segs);
+            offsets.push(stage_ids.len());
+        }
+
+        // Bucket by template length. `sort_unstable` (no temp buffer) with
+        // the index as tiebreaker keeps the order reproducible; bucket
+        // composition cannot change any score regardless.
+        order.clear();
+        order.extend(0..pairs.len());
+        order.sort_unstable_by_key(|&p| (offsets[p + 1] - offsets[p], p));
+
+        let mut start = 0;
+        while start < order.len() {
+            let seq_len = offsets[order[start] + 1] - offsets[order[start]];
+            let mut end = start + 1;
+            while end < order.len() && offsets[order[end] + 1] - offsets[order[end]] == seq_len {
+                end += 1;
+            }
+            let bucket = &order[start..end];
+
+            // One rectangular token block, one encoder forward.
+            flat_ids.clear();
+            flat_segs.clear();
+            for &p in bucket {
+                flat_ids.extend_from_slice(&stage_ids[offsets[p]..offsets[p + 1]]);
+                flat_segs.extend_from_slice(&stage_segs[offsets[p]..offsets[p + 1]]);
+            }
+            rel.encoder
+                .forward_batch_into(flat_ids, flat_segs, seq_len, scratch);
+
+            // Assemble edge features: relational readout (Eq. 7 variant —
+            // the exact expression of `forward_pair`) then the structural
+            // slice (Eq. 13).
+            scratch.features.reset(bucket.len(), edge_dim);
+            for (r, &p) in bucket.iter().enumerate() {
+                let base = r * seq_len;
+                let row = scratch.features.row_mut(r);
+                for (c, slot) in row[..rel_dim].iter_mut().enumerate() {
+                    let mean: f32 = (0..seq_len)
+                        .map(|t| scratch.enc_out[(base + t, c)])
+                        .sum::<f32>()
+                        / seq_len as f32;
+                    *slot = 0.5 * scratch.enc_out[(base, c)] + 0.5 * mean;
+                }
+                fill_structural(p, &mut row[rel_dim..]);
+            }
+
+            // One MLP GEMM for the whole bucket; scatter back.
+            probs.clear();
+            det.mlp.predict_positive_batch_into(
+                &scratch.features,
+                &mut scratch.mlp_hidden,
+                &mut scratch.logits,
+                probs,
+            );
+            for (r, &p) in bucket.iter().enumerate() {
+                out[p] = probs[r];
+            }
+            start = end;
+        }
+    }
+
+    /// Scores a single pair through the same arena — the scalar fast path.
+    pub fn score_one(
+        &mut self,
+        det: &HypoDetector,
+        vocab: &Vocabulary,
+        parent: ConceptId,
+        child: ConceptId,
+    ) -> f32 {
+        let mut out = std::mem::take(&mut self.single);
+        self.score_into(det, vocab, &[(parent, child)], &mut out);
+        let score = out[0];
+        self.single = out; // keep the capacity for the next call
+        score
+    }
+}
+
+/// A lock-protected stack of warm [`BatchScorer`]s, shared across
+/// `par_map` workers: scoped worker threads are re-spawned per call, so a
+/// `thread_local` arena would never stay warm — popping from a pool does.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    pool: Mutex<Vec<BatchScorer>>,
+}
+
+impl ScratchPool {
+    pub fn new() -> Self {
+        ScratchPool::default()
+    }
+
+    /// Pops a warm scorer, or builds a cold one if the pool is empty.
+    pub fn take(&self) -> BatchScorer {
+        self.pool.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    /// Returns a scorer to the pool for reuse.
+    pub fn put(&self, scorer: BatchScorer) {
+        self.pool.lock().unwrap().push(scorer);
+    }
+}

@@ -68,6 +68,14 @@ impl DetectorConfig {
     }
 }
 
+thread_local! {
+    /// Per-thread inference arena backing [`HypoDetector::score`]: on any
+    /// long-lived thread (server scorer, test main thread) every score
+    /// after the first reuses warm buffers with zero heap allocations.
+    static SCORER: std::cell::RefCell<crate::BatchScorer> =
+        std::cell::RefCell::new(crate::BatchScorer::new());
+}
+
 /// The full hyponymy detection module (Section III-B): the relational
 /// representation `r`, the structural representation `s`, their
 /// concatenation `e = [r ⊕ s]` (Eq. 14), and the MLP classifier (Eq. 15).
@@ -126,9 +134,48 @@ impl HypoDetector {
     }
 
     /// Probability that `<parent, child>` is a hyponymy relation.
+    ///
+    /// Runs the allocation-free inference fast path (a thread-resident
+    /// [`crate::BatchScorer`] arena): no backward context is built and no
+    /// intermediate matrices are allocated after the thread's first call.
+    /// Bitwise identical to the gradient-capable
+    /// [`HypoDetector::edge_features`] + MLP path used in training.
     pub fn score(&self, vocab: &Vocabulary, parent: ConceptId, child: ConceptId) -> f32 {
-        let (e, _) = self.edge_features(vocab, parent, child);
-        self.mlp.predict_positive(&e)
+        SCORER.with(|s| s.borrow_mut().score_one(self, vocab, parent, child))
+    }
+
+    /// Scores many pairs through the batched fast path (one encoder
+    /// forward and one MLP GEMM per template-length bucket), fanning the
+    /// work across `par_map` workers in chunks. Workers reuse warm arenas
+    /// from `pool`; results come back in input order and are bitwise
+    /// identical to calling [`HypoDetector::score`] per pair at any
+    /// thread count.
+    pub fn score_batch(
+        &self,
+        vocab: &Vocabulary,
+        pairs: &[(ConceptId, ConceptId)],
+        pool: &crate::ScratchPool,
+    ) -> Vec<f32> {
+        // Large enough to amortise bucketing, small enough to spread over
+        // workers.
+        const CHUNK: usize = 64;
+        if pairs.len() <= CHUNK {
+            let mut scorer = pool.take();
+            let mut out = Vec::with_capacity(pairs.len());
+            scorer.score_into(self, vocab, pairs, &mut out);
+            pool.put(scorer);
+            return out;
+        }
+        let n_chunks = pairs.len().div_ceil(CHUNK);
+        let chunks = taxo_nn::parallel::par_map(n_chunks, |ci| {
+            let chunk = &pairs[ci * CHUNK..((ci + 1) * CHUNK).min(pairs.len())];
+            let mut scorer = pool.take();
+            let mut out = Vec::with_capacity(chunk.len());
+            scorer.score_into(self, vocab, chunk, &mut out);
+            pool.put(scorer);
+            out
+        });
+        chunks.concat()
     }
 
     /// Binary prediction at threshold 0.5.
@@ -396,6 +443,75 @@ mod tests {
     #[should_panic(expected = "at least one representation")]
     fn empty_detector_rejected() {
         let _ = HypoDetector::new(None, None, &DetectorConfig::tiny(0));
+    }
+
+    /// The fast path behind `score`/`score_batch` must reproduce the
+    /// gradient-capable `edge_features` + MLP path bit for bit — the
+    /// contract that lets serving cache and batch scores while staying
+    /// exactly equal to the offline twin.
+    #[test]
+    fn fast_path_scores_are_bitwise_identical_to_training_path() {
+        let f = fixture(true, true);
+        let vocab = &f.world.vocab;
+        let pairs: Vec<_> = f
+            .dataset
+            .train
+            .iter()
+            .take(40)
+            .map(|p| (p.parent, p.child))
+            .collect();
+
+        let reference: Vec<f32> = pairs
+            .iter()
+            .map(|&(p, c)| {
+                let (e, _) = f.detector.edge_features(vocab, p, c);
+                f.detector.mlp.predict_positive(&e)
+            })
+            .collect();
+
+        let scalar: Vec<f32> = pairs
+            .iter()
+            .map(|&(p, c)| f.detector.score(vocab, p, c))
+            .collect();
+        let pool = crate::ScratchPool::new();
+        let batched = f.detector.score_batch(vocab, &pairs, &pool);
+        // Second batched run through the now-warm pool arena: buffer reuse
+        // must not change a single bit either.
+        let warm = f.detector.score_batch(vocab, &pairs, &pool);
+
+        for (i, r) in reference.iter().enumerate() {
+            assert_eq!(r.to_bits(), scalar[i].to_bits(), "scalar pair {i}");
+            assert_eq!(r.to_bits(), batched[i].to_bits(), "batched pair {i}");
+            assert_eq!(r.to_bits(), warm[i].to_bits(), "warm pair {i}");
+        }
+    }
+
+    /// Ablated detectors (single representation) go through dedicated
+    /// fast-path branches; both must match the training path bit for bit.
+    #[test]
+    fn fast_path_matches_training_path_under_ablations() {
+        for (use_rel, use_st) in [(true, false), (false, true)] {
+            let f = fixture(use_rel, use_st);
+            let vocab = &f.world.vocab;
+            let pairs: Vec<_> = f
+                .dataset
+                .train
+                .iter()
+                .take(20)
+                .map(|p| (p.parent, p.child))
+                .collect();
+            let pool = crate::ScratchPool::new();
+            let batched = f.detector.score_batch(vocab, &pairs, &pool);
+            for (i, &(p, c)) in pairs.iter().enumerate() {
+                let (e, _) = f.detector.edge_features(vocab, p, c);
+                let reference = f.detector.mlp.predict_positive(&e);
+                assert_eq!(
+                    reference.to_bits(),
+                    batched[i].to_bits(),
+                    "rel={use_rel} st={use_st} pair {i}"
+                );
+            }
+        }
     }
 
     #[test]

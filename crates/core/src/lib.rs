@@ -39,6 +39,7 @@
 //! assert!(result.expanded.node_count() >= world.existing.node_count());
 //! ```
 
+mod batch_scorer;
 mod calibration;
 mod classifier;
 mod detector;
@@ -59,6 +60,7 @@ mod term_mining;
 /// see [`taxo_obs`] for the determinism contract.
 pub use taxo_obs as obs;
 
+pub use batch_scorer::{BatchScorer, ScratchPool};
 pub use calibration::threshold_for_precision;
 pub use classifier::EdgeClassifier;
 pub use detector::{DetectorConfig, HypoDetector};

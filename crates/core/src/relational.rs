@@ -1,7 +1,7 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
-use taxo_core::Vocabulary;
+use taxo_core::{ConceptId, Vocabulary};
 use taxo_nn::{Adam, EncoderConfig, EncoderCtx, Matrix, Module, TransformerEncoder};
 use taxo_obs::counter;
 use taxo_text::{ConceptMatcher, TokenVocab, CLS, MASK, SEP};
@@ -122,6 +122,12 @@ pub struct RelationalModel {
     pub use_template: bool,
     is_id: u32,
     a_id: u32,
+    /// Per-concept name tokenization, indexed by `ConceptId`, built once
+    /// at construction so repeated scores never re-tokenize. Concepts
+    /// interned into the vocabulary *after* construction fall back to
+    /// encoding on the fly (names of existing ids are immutable, so cached
+    /// entries can never go stale).
+    concept_tokens: Vec<Vec<u32>>,
 }
 
 impl RelationalModel {
@@ -138,7 +144,12 @@ impl RelationalModel {
         tokens
     }
 
-    fn from_parts(tokens: TokenVocab, cfg: &RelationalConfig, rng: &mut StdRng) -> Self {
+    fn from_parts(
+        tokens: TokenVocab,
+        vocab: &Vocabulary,
+        cfg: &RelationalConfig,
+        rng: &mut StdRng,
+    ) -> Self {
         let enc_cfg = EncoderConfig {
             vocab_size: tokens.len(),
             d_model: cfg.d_model,
@@ -150,12 +161,16 @@ impl RelationalModel {
         let encoder = TransformerEncoder::new(enc_cfg, rng);
         let is_id = tokens.get("is").expect("'is' interned");
         let a_id = tokens.get("a").expect("'a' interned");
+        // Ids are dense and in interning order, so position in `iter` is
+        // the `ConceptId` index.
+        let concept_tokens = vocab.iter().map(|(_, name)| tokens.encode(name)).collect();
         RelationalModel {
             encoder,
             tokens,
             use_template: cfg.use_template,
             is_id,
             a_id,
+            concept_tokens,
         }
     }
 
@@ -165,7 +180,7 @@ impl RelationalModel {
     pub fn vanilla(vocab: &Vocabulary, corpus: &[String], cfg: &RelationalConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let tokens = Self::build_token_vocab(vocab, corpus);
-        Self::from_parts(tokens, cfg, &mut rng)
+        Self::from_parts(tokens, vocab, cfg, &mut rng)
     }
 
     /// Pretrains C-BERT on the UGC corpus with (by default) concept-level
@@ -177,7 +192,7 @@ impl RelationalModel {
     ) -> (Self, Vec<f32>) {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let tokens = Self::build_token_vocab(vocab, corpus);
-        let mut model = Self::from_parts(tokens, cfg, &mut rng);
+        let mut model = Self::from_parts(tokens, vocab, cfg, &mut rng);
         let matcher = ConceptMatcher::new(vocab);
 
         let mut adam = Adam::new(cfg.lr);
@@ -284,6 +299,51 @@ impl RelationalModel {
         let boundary = 1 + i.len();
         let segments = (0..ids.len()).map(|t| u32::from(t >= boundary)).collect();
         (ids, segments)
+    }
+
+    /// Appends the cached name tokens of `c` to `out` without allocating;
+    /// concepts interned after construction are encoded on the fly (still
+    /// allocation-free via [`TokenVocab::encode_into`]).
+    fn concept_tokens_into(&self, vocab: &Vocabulary, c: ConceptId, out: &mut Vec<u32>) {
+        match self.concept_tokens.get(c.index()) {
+            Some(cached) => out.extend_from_slice(cached),
+            None => self.tokens.encode_into(vocab.name(c), out),
+        }
+    }
+
+    /// Id-based, cache-backed [`RelationalModel::pair_ids`] for the
+    /// inference fast path: appends the pair template — already truncated
+    /// to the encoder's `max_len` — to `ids`/`segments` and returns the
+    /// truncated length. Produces exactly the tokens `pair_ids` would
+    /// (then truncated the way the encoder truncates), so downstream
+    /// scores are bitwise identical.
+    pub fn append_pair_ids(
+        &self,
+        vocab: &Vocabulary,
+        query: ConceptId,
+        item: ConceptId,
+        ids: &mut Vec<u32>,
+        segments: &mut Vec<u32>,
+    ) -> usize {
+        let start = ids.len();
+        ids.push(CLS);
+        self.concept_tokens_into(vocab, item, ids);
+        let boundary = ids.len() - start; // = 1 + item_tokens.len()
+        if self.use_template {
+            ids.push(self.is_id);
+            ids.push(self.a_id);
+        } else {
+            ids.push(SEP);
+        }
+        self.concept_tokens_into(vocab, query, ids);
+        ids.push(SEP);
+        let max_len = self.encoder.config.max_len;
+        if ids.len() - start > max_len {
+            ids.truncate(start + max_len);
+        }
+        let len = ids.len() - start;
+        segments.extend((0..len).map(|t| u32::from(t >= boundary)));
+        len
     }
 
     /// Encodes a pair into its relational representation `r` (1 × d) and

@@ -186,6 +186,27 @@ impl StructuralModel {
         Matrix::row_vector(out)
     }
 
+    /// Allocation-free [`StructuralModel::pair_features`]: writes the
+    /// Eq. 13 layout `[h_q ⊕ p_parent ⊕ h_i ⊕ p_child]` into `out`, which
+    /// must be zeroed and exactly [`StructuralModel::feature_dim`] long
+    /// (unknown concepts keep their zero slice). Copies the same values in
+    /// the same layout, so scores downstream are bitwise identical.
+    pub fn pair_features_into(&self, query: ConceptId, item: ConceptId, out: &mut [f32]) {
+        assert_eq!(out.len(), self.feature_dim());
+        let d = self.h.cols();
+        let p = if self.use_position { self.pos.dim() } else { 0 };
+        if let Some(u) = self.graph.node_of(query) {
+            out[..d].copy_from_slice(self.h.row(u));
+        }
+        if let Some(u) = self.graph.node_of(item) {
+            out[d + p..2 * d + p].copy_from_slice(self.h.row(u));
+        }
+        if self.use_position {
+            out[d..d + p].copy_from_slice(self.pos.parent.value.row(0));
+            out[2 * d + p..].copy_from_slice(self.pos.child.value.row(0));
+        }
+    }
+
     /// Dimension of [`StructuralModel::pair_features`].
     pub fn feature_dim(&self) -> usize {
         2 * self.h.cols()

@@ -55,6 +55,27 @@ fn run_fixture() -> Vec<u32> {
     for p in dataset.test.iter().take(32) {
         bits.push(detector.score(&world.vocab, p.parent, p.child).to_bits());
     }
+
+    // The batched inference fast path must agree with the scalar path
+    // bit for bit — cold and warm — at every thread count.
+    let pairs: Vec<_> = dataset
+        .test
+        .iter()
+        .take(32)
+        .map(|p| (p.parent, p.child))
+        .collect();
+    let pool = taxo_expand::ScratchPool::new();
+    for round in 0..2 {
+        let batched = detector.score_batch(&world.vocab, &pairs, &pool);
+        for (p, s) in pairs.iter().zip(&batched) {
+            assert_eq!(
+                s.to_bits(),
+                detector.score(&world.vocab, p.0, p.1).to_bits(),
+                "batched round {round} diverged from scalar scoring on {p:?}"
+            );
+            bits.push(s.to_bits());
+        }
+    }
     let result = expand_taxonomy(
         &detector,
         &world.vocab,

@@ -98,6 +98,71 @@ impl MultiHeadSelfAttention {
         )
     }
 
+    /// Forward-only variant of [`MultiHeadSelfAttention::forward`] over a
+    /// batch of `x.rows() / seq_len` stacked equal-length sequences, writing
+    /// into caller-owned scratch buffers (`scores` is reused per head and
+    /// per sequence).
+    ///
+    /// Attention never mixes rows across sequences: within each `seq_len`
+    /// row slice the score/softmax/weighted-sum loops are the exact loops
+    /// of the allocating path, and the q/k/v/o projections are row-wise
+    /// GEMMs, so every sequence's output is bitwise identical to encoding
+    /// it alone.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_batch_into(
+        &self,
+        x: &Matrix,
+        seq_len: usize,
+        q: &mut Matrix,
+        k: &mut Matrix,
+        v: &mut Matrix,
+        scores: &mut Matrix,
+        concat: &mut Matrix,
+        out: &mut Matrix,
+    ) {
+        let rows = x.rows();
+        assert!(seq_len > 0 && rows.is_multiple_of(seq_len), "ragged batch");
+        let batch = rows / seq_len;
+        let dh = self.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        self.wq.forward_into(x, q);
+        self.wk.forward_into(x, k);
+        self.wv.forward_into(x, v);
+
+        concat.reset(rows, self.wq.output_dim());
+        for s in 0..batch {
+            let base = s * seq_len;
+            let n = seq_len;
+            for h in 0..self.n_heads {
+                let off = h * dh;
+                scores.reset(n, n);
+                for i in 0..n {
+                    for j in 0..n {
+                        let mut acc = 0.0;
+                        for c in 0..dh {
+                            acc += q[(base + i, off + c)] * k[(base + j, off + c)];
+                        }
+                        scores[(i, j)] = acc * scale;
+                    }
+                }
+                scores.softmax_rows();
+                for i in 0..n {
+                    for j in 0..n {
+                        let a = scores[(i, j)];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        for c in 0..dh {
+                            concat[(base + i, off + c)] += a * v[(base + j, off + c)];
+                        }
+                    }
+                }
+            }
+        }
+        self.wo.forward_into(concat, out);
+    }
+
     /// Accumulates all projection gradients and returns dx.
     pub fn backward(&mut self, ctx: &AttentionCtx, dy: &Matrix) -> Matrix {
         let n = dy.rows();

@@ -57,6 +57,36 @@ impl TransformerBlock {
         )
     }
 
+    /// Forward-only variant of [`TransformerBlock::forward`] over stacked
+    /// equal-length sequences, mutating `h` in place with caller-owned
+    /// scratch. The residual adds run in the same element order as the
+    /// allocating path (`x + attn_out`, then `a + ffn_out`), so the result
+    /// is bitwise identical per sequence.
+    pub fn forward_batch_in_place(
+        &self,
+        h: &mut Matrix,
+        seq_len: usize,
+        s: &mut crate::scratch::BlockScratch,
+    ) {
+        self.ln1.forward_into(h, &mut s.normed);
+        self.attn.forward_batch_into(
+            &s.normed,
+            seq_len,
+            &mut s.q,
+            &mut s.k,
+            &mut s.v,
+            &mut s.scores,
+            &mut s.concat,
+            &mut s.attn_out,
+        );
+        h.add_assign(&s.attn_out);
+
+        self.ln2.forward_into(h, &mut s.normed);
+        self.ffn
+            .forward_into(&s.normed, &mut s.ffn_hidden, &mut s.ffn_out);
+        h.add_assign(&s.ffn_out);
+    }
+
     pub fn backward(&mut self, ctx: &BlockCtx, dy: &Matrix) -> Matrix {
         // y = a + ffn(ln2(a)).
         let d_ffn_out = dy;

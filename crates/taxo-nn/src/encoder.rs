@@ -155,6 +155,58 @@ impl TransformerEncoder {
         )
     }
 
+    /// Forward-only, allocation-free variant of
+    /// [`TransformerEncoder::forward_with_segments`] over a batch of
+    /// stacked equal-length sequences.
+    ///
+    /// `ids`/`segments` hold `batch × seq_len` tokens row-major; the
+    /// caller has already truncated to `max_len` (so `1 ≤ seq_len ≤
+    /// max_len`) and bucketed by length. Per-token hidden states land in
+    /// `scratch.enc_out` (`batch·seq_len × d_model`); sequence `s` owns
+    /// rows `s*seq_len .. (s+1)*seq_len`.
+    ///
+    /// Embedding sums run tok → pos → seg per element like the allocating
+    /// path, blocks and the final LayerNorm are the `*_into` twins, so
+    /// each sequence's rows are bitwise identical to encoding it alone
+    /// with [`TransformerEncoder::forward_with_segments`].
+    pub fn forward_batch_into(
+        &self,
+        ids: &[u32],
+        segments: &[u32],
+        seq_len: usize,
+        scratch: &mut crate::scratch::Scratch,
+    ) {
+        assert_eq!(ids.len(), segments.len(), "one segment id per token");
+        assert!(
+            seq_len >= 1 && seq_len <= self.config.max_len,
+            "seq_len {} out of range 1..={}",
+            seq_len,
+            self.config.max_len
+        );
+        assert!(ids.len().is_multiple_of(seq_len), "ragged batch");
+        let rows = ids.len();
+        let d = self.config.d_model;
+
+        scratch.h.reset(rows, d);
+        for (r, (&id, &seg)) in ids.iter().zip(segments).enumerate() {
+            let row = scratch.h.row_mut(r);
+            row.copy_from_slice(self.tok.table.value.row(id as usize));
+            let pos_row = self.pos.table.value.row(r % seq_len);
+            for (a, &b) in row.iter_mut().zip(pos_row) {
+                *a += b;
+            }
+            let seg_row = self.seg.table.value.row(seg as usize);
+            for (a, &b) in row.iter_mut().zip(seg_row) {
+                *a += b;
+            }
+        }
+
+        for block in &self.blocks {
+            block.forward_batch_in_place(&mut scratch.h, seq_len, &mut scratch.block);
+        }
+        self.final_ln.forward_into(&scratch.h, &mut scratch.enc_out);
+    }
+
     /// Backpropagates `d_hidden` (gradient w.r.t. the forward output)
     /// through the whole encoder, accumulating parameter gradients.
     pub fn backward(&mut self, ctx: &EncoderCtx, d_hidden: &Matrix) {
@@ -333,6 +385,37 @@ mod tests {
             .unwrap()
             .0;
         assert_eq!(argmax, 11);
+    }
+
+    /// The batched allocation-free fast path must reproduce the
+    /// allocating forward bit for bit, per sequence, including on reuse of
+    /// a warm scratch with different shapes in between.
+    #[test]
+    fn batched_fast_path_matches_allocating_forward() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let enc = TransformerEncoder::new(EncoderConfig::tiny(24), &mut rng);
+        let seqs: [&[u32]; 3] = [&[1, 7, 9, 2], &[1, 12, 13, 2], &[1, 20, 5, 2]];
+        let segs: [&[u32]; 3] = [&[0, 0, 1, 1], &[0, 1, 1, 1], &[0, 0, 0, 1]];
+
+        let mut scratch = crate::Scratch::new();
+        // Warm the scratch on a different shape first: reuse must not leak
+        // stale contents into later calls.
+        enc.forward_batch_into(&[1, 2], &[0, 0], 2, &mut scratch);
+
+        let flat_ids: Vec<u32> = seqs.concat();
+        let flat_segs: Vec<u32> = segs.concat();
+        enc.forward_batch_into(&flat_ids, &flat_segs, 4, &mut scratch);
+
+        for (s, (ids, segments)) in seqs.iter().zip(&segs).enumerate() {
+            let (h, _) = enc.forward_with_segments(ids, segments);
+            for t in 0..4 {
+                let fast = scratch.enc_out.row(s * 4 + t);
+                let slow = h.row(t);
+                for (a, b) in fast.iter().zip(slow) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "seq {s} token {t}");
+                }
+            }
+        }
     }
 
     #[test]

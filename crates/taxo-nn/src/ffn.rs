@@ -40,6 +40,16 @@ impl FeedForward {
         )
     }
 
+    /// Forward-only variant of [`FeedForward::forward`]: `hidden` and
+    /// `out` are caller-owned scratch. GELU is applied in place over the
+    /// hidden buffer — same scalar function as `gelu_forward`, so the
+    /// result is bitwise identical to the allocating path.
+    pub fn forward_into(&self, x: &Matrix, hidden: &mut Matrix, out: &mut Matrix) {
+        self.lin1.forward_into(x, hidden);
+        hidden.map_in_place(crate::activations::gelu);
+        self.lin2.forward_into(hidden, out);
+    }
+
     pub fn backward(&mut self, ctx: &FeedForwardCtx, dy: &Matrix) -> Matrix {
         let d_act = self.lin2.backward(&ctx.ctx2, dy);
         let d_pre = gelu_backward(&ctx.pre_act, &d_act);

@@ -55,6 +55,26 @@ impl LayerNorm {
         )
     }
 
+    /// Forward-only variant of [`LayerNorm::forward`]: writes into a
+    /// caller-owned buffer and skips the saved statistics. Evaluates the
+    /// exact same per-row expressions in the same order, so the output is
+    /// bitwise identical.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        let (n, d) = (x.rows(), x.cols());
+        out.reset(n, d);
+        for r in 0..n {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|&v| (v - mean).powi(2)).sum::<f32>() / d as f32;
+            let istd = 1.0 / (var + self.eps).sqrt();
+            let out_row = out.row_mut(r);
+            for c in 0..d {
+                let xh = (row[c] - mean) * istd;
+                out_row[c] = xh * self.gamma.value[(0, c)] + self.beta.value[(0, c)];
+            }
+        }
+    }
+
     /// Accumulates dγ, dβ and returns dx.
     pub fn backward(&mut self, ctx: &LayerNormCtx, dout: &Matrix) -> Matrix {
         let (n, d) = (dout.rows(), dout.cols());

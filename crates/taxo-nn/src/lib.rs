@@ -43,6 +43,7 @@ mod optim;
 pub mod parallel;
 mod param;
 mod schedule;
+pub mod scratch;
 mod serialize;
 
 pub use attention::{AttentionCtx, MultiHeadSelfAttention};
@@ -58,4 +59,5 @@ pub use optim::{Adam, Sgd};
 pub use parallel::Parallelism;
 pub use param::{Module, Param};
 pub use schedule::{clip_grad_norm, LrSchedule};
+pub use scratch::{BlockScratch, Scratch};
 pub use serialize::{load_params, save_params, LoadError};

@@ -35,6 +35,14 @@ impl Linear {
         (y, LinearCtx { input: x.clone() })
     }
 
+    /// Forward-only variant of [`Linear::forward`]: writes into a
+    /// caller-owned buffer, saves no context, allocates nothing once `out`
+    /// is warm. Same kernels, bitwise-identical output.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_nt_into(&self.w.value, out);
+        out.add_row_broadcast(&self.b.value);
+    }
+
     /// Accumulates `dW`, `db` and returns `dx`.
     pub fn backward(&mut self, ctx: &LinearCtx, dy: &Matrix) -> Matrix {
         // dW = dyᵀ · x  (out × in), db = Σ rows of dy, dx = dy · W.

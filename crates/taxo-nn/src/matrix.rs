@@ -125,6 +125,26 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Reshapes `self` to `rows × cols`, reusing the existing buffer.
+    /// Contents are reset to zero. Allocates only when the new shape needs
+    /// more capacity than the buffer ever had — the warm-up contract of
+    /// the inference scratch arena: after the largest shape has been seen
+    /// once, every later reshape is allocation-free.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        let need = rows * cols;
+        self.data.clear();
+        self.data.resize(need, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Copies `other` into `self`, reshaping via [`Matrix::reset`] (so the
+    /// buffer is reused; see its warm-up contract).
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.reset(other.rows, other.cols);
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Matrix product `self · other`.
     ///
     /// Row-parallel above [`PAR_MIN_MACS`] multiply-accumulates: each
@@ -135,12 +155,22 @@ impl Matrix {
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] writing into a caller-owned output (reshaped via
+    /// [`Matrix::reset`], so warm buffers are reused without allocating).
+    /// Runs the identical row kernel with the identical parallel gating,
+    /// so the result is bitwise equal to `matmul` at any thread count.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul: {}x{} · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.reset(self.rows, other.cols);
         let cols = other.cols;
         let macs = self.rows * self.cols * cols;
         if parallel::threads() > 1 && macs >= PAR_MIN_MACS && self.rows > 1 {
@@ -156,7 +186,6 @@ impl Matrix {
                 matmul_row(self.row(i), other, out_row);
             }
         }
-        out
     }
 
     /// `self · otherᵀ` without materialising the transpose.
@@ -165,12 +194,20 @@ impl Matrix {
     /// output row is a set of dot products owned by one thread, bitwise
     /// identical to the sequential path.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_nt`] writing into a caller-owned output (reshaped
+    /// via [`Matrix::reset`]); same kernel, same gating, bitwise equal.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_nt: {}x{} · ({}x{})ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.rows);
+        out.reset(self.rows, other.rows);
         let cols = other.rows;
         let macs = self.rows * self.cols * cols;
         if parallel::threads() > 1 && macs >= PAR_MIN_MACS && self.rows > 1 {
@@ -185,7 +222,6 @@ impl Matrix {
                 matmul_nt_row(self.row(i), other, out_row);
             }
         }
-        out
     }
 
     /// `selfᵀ · other` without materialising the transpose.
@@ -414,6 +450,18 @@ pub fn softmax_in_place(xs: &mut [f32]) {
     if sum > 0.0 {
         for x in xs.iter_mut() {
             *x /= sum;
+        }
+    }
+}
+
+impl Default for Matrix {
+    /// An empty `0 × 0` matrix — the initial state of a scratch buffer,
+    /// which grows on first [`Matrix::reset`].
+    fn default() -> Self {
+        Matrix {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
         }
     }
 }

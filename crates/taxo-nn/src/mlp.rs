@@ -46,6 +46,34 @@ impl Mlp {
         )
     }
 
+    /// Forward-only variant of [`Mlp::forward`] with caller-owned scratch:
+    /// one GEMM per layer over the whole batch, sigmoid fused in place —
+    /// the exact operations of the allocating path, bitwise identical
+    /// per row.
+    pub fn forward_into(&self, x: &Matrix, hidden: &mut Matrix, logits: &mut Matrix) {
+        self.lin1.forward_into(x, hidden);
+        hidden.map_in_place(sigmoid);
+        self.lin2.forward_into(hidden, logits);
+    }
+
+    /// Batched [`Mlp::predict_positive`]: positive-class probability for
+    /// every row of `x`, appended to `out`. Each row's softmax is
+    /// independent, so row `r` equals `predict_positive` of that row alone
+    /// bit for bit. `logits` is left holding the per-row probabilities.
+    pub fn predict_positive_batch_into(
+        &self,
+        x: &Matrix,
+        hidden: &mut Matrix,
+        logits: &mut Matrix,
+        out: &mut Vec<f32>,
+    ) {
+        self.forward_into(x, hidden, logits);
+        logits.softmax_rows();
+        for r in 0..logits.rows() {
+            out.push(logits[(r, 1)]);
+        }
+    }
+
     /// Backpropagates `dlogits`, accumulating gradients; returns dx.
     pub fn backward(&mut self, ctx: &MlpCtx, dlogits: &Matrix) -> Matrix {
         // Fused: scale the owned d_hidden buffer by σ′ in place rather

@@ -1,0 +1,75 @@
+//! Reusable workspace buffers for the inference fast path.
+//!
+//! Every `*_into` / `*_in_place` forward variant in this crate writes into
+//! caller-owned [`Matrix`] buffers instead of allocating fresh ones. A
+//! [`Scratch`] bundles every buffer one encoder + MLP scoring pass needs,
+//! so a caller that keeps a `Scratch` alive performs **zero heap
+//! allocations after warm-up**: [`Matrix::reset`] only reallocates when a
+//! shape exceeds the largest capacity the buffer has ever held, so once
+//! the biggest bucket has been scored once, every later pass reuses the
+//! same memory.
+//!
+//! Lifetime rules:
+//! - A `Scratch` is tied to no particular model; it grows to fit whatever
+//!   shapes pass through it. Reusing one scratch across models is safe
+//!   (buffers are reshaped per call) but wastes capacity.
+//! - Buffers hold garbage between calls; every forward variant fully
+//!   overwrites what it reads. Never read a scratch field except the ones
+//!   documented as outputs of the call that just ran.
+//! - A `Scratch` is `Send` but not shareable: one scratch per thread.
+//!
+//! Bitwise contract: every fast-path variant runs the *same kernels in the
+//! same accumulation order* (ascending index) as its allocating twin, so
+//! results are bit-identical to the scalar path at any thread count.
+
+use crate::Matrix;
+
+/// Per-layer buffers for one [`crate::TransformerBlock`] forward pass.
+#[derive(Debug, Clone, Default)]
+pub struct BlockScratch {
+    /// LayerNorm output (reused for both LN1 and LN2).
+    pub normed: Matrix,
+    /// Attention block output before the residual add.
+    pub attn_out: Matrix,
+    /// Query projection.
+    pub q: Matrix,
+    /// Key projection.
+    pub k: Matrix,
+    /// Value projection.
+    pub v: Matrix,
+    /// Per-head attention scores (`seq_len × seq_len`, reused per head and
+    /// per sequence).
+    pub scores: Matrix,
+    /// Concatenated per-head attention outputs.
+    pub concat: Matrix,
+    /// FFN hidden activation.
+    pub ffn_hidden: Matrix,
+    /// FFN output before the residual add.
+    pub ffn_out: Matrix,
+}
+
+/// All buffers for one encoder + classifier scoring pass.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    /// Hidden states, mutated in place through the transformer blocks.
+    pub h: Matrix,
+    /// Shared per-block buffers.
+    pub block: BlockScratch,
+    /// Final-LayerNorm output: the encoder's result
+    /// (`batch·seq_len × d_model`).
+    pub enc_out: Matrix,
+    /// Edge-feature rows assembled by a batch scorer (`n × edge_dim`).
+    pub features: Matrix,
+    /// MLP hidden activation.
+    pub mlp_hidden: Matrix,
+    /// MLP logits (`n × 2`); after `predict_positive_batch_into`, holds
+    /// per-row class probabilities.
+    pub logits: Matrix,
+}
+
+impl Scratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+}

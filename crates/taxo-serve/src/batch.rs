@@ -2,12 +2,22 @@
 //!
 //! Connection workers never score candidates themselves: they enqueue a
 //! [`ScoreJob`] and wait on its reply channel. A dedicated scorer thread
-//! drains **every queued job at once** (up to `batch_max`), flattens all
-//! their candidate pairs into one index space, and scores the lot with a
-//! single [`taxo_nn::parallel::par_map`] call — so concurrent requests
-//! coalesce into one parallel kernel sweep instead of fighting for
-//! threads. Each job is scored against the snapshot `Arc` it arrived
-//! with, so coalescing never mixes taxonomy versions within a response.
+//! drains **every queued job at once** (up to `batch_max`) and runs the
+//! layered fast path over the coalesced pairs:
+//!
+//! 1. **Dedupe** — identical `(snapshot, query, item)` pairs across the
+//!    batch collapse to one unit of work; the single result fans back
+//!    out to every requester.
+//! 2. **Cache** — each unique pair probes the sharded LRU
+//!    [`crate::cache::ScoreCache`]; hits skip scoring entirely.
+//! 3. **Batched scoring** — the misses of each snapshot run through
+//!    [`taxo_expand::BatchScorer`] (length-bucketed encoder forwards,
+//!    one MLP GEMM per bucket, warm arenas from a [`ScratchPool`]),
+//!    chunked across [`taxo_nn::parallel::par_map`] workers, with
+//!    structural features copied from the snapshot's precomputed table.
+//!
+//! Each job is scored against the snapshot `Arc` it arrived with, so
+//! coalescing never mixes taxonomy versions within a response.
 //!
 //! Queues are bounded and never block producers: [`BoundedQueue::try_push`]
 //! fails fast when full (the server sheds with a `busy` response) or
@@ -16,11 +26,13 @@
 //! is closed **and** empty — which is exactly the graceful-shutdown
 //! contract: close, then keep draining until dry.
 
+use crate::cache::{ScoreCache, ScoreKey};
 use crate::snapshot::ServeSnapshot;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use taxo_core::ConceptId;
+use taxo_expand::ScratchPool;
 use taxo_obs::{histogram, span};
 
 /// Why [`BoundedQueue::try_push`] rejected an item; the item is handed
@@ -165,15 +177,15 @@ pub struct ScoreJob {
     pub reply: mpsc::Sender<Vec<f32>>,
 }
 
-/// Scores one coalesced batch of jobs with a single `par_map` sweep over
-/// the flattened (job, candidate) pairs, then routes each job's scores
-/// back on its reply channel.
+/// Scores one coalesced batch of jobs — dedupe, cache probe, batched
+/// scoring of the misses — then routes each job's scores back on its
+/// reply channel.
 ///
-/// `EdgeClassifier::score` is pure and `par_map` returns results in index
-/// order, so every score is bit-identical to scoring the same pair alone
-/// on one thread — batching and `TAXO_THREADS` are invisible in the
-/// responses.
-pub fn score_batch(jobs: Vec<ScoreJob>) {
+/// Scoring is pure given a snapshot and the fast path is bitwise
+/// identical to the scalar one, so every score is bit-identical to
+/// scoring the same pair alone on one thread — batching, deduplication,
+/// caching, and `TAXO_THREADS` are all invisible in the responses.
+pub fn score_batch(jobs: Vec<ScoreJob>, pool: &ScratchPool, cache: &ScoreCache) {
     let _g = span!("serve.batch");
     histogram!("serve.batch.jobs").observe(jobs.len() as u64);
     // Completion side of the `serve.score.accepted` ledger (see
@@ -181,37 +193,192 @@ pub fn score_batch(jobs: Vec<ScoreJob>) {
     // reply-channel send below, even during shutdown drain.
     taxo_obs::counter!("serve.score.completed").add(jobs.len() as u64);
 
-    // Flatten: offsets[j] is the first flat index of job j's pairs.
-    let mut offsets = Vec::with_capacity(jobs.len() + 1);
-    let mut total = 0usize;
-    for job in &jobs {
-        offsets.push(total);
-        total += job.items.len();
-    }
-    offsets.push(total);
+    let total: usize = jobs.iter().map(|j| j.items.len()).sum();
     histogram!("serve.batch.pairs").observe(total as u64);
 
-    let scores = taxo_nn::parallel::par_map(total, |flat| {
-        // Binary search the owning job; offsets is sorted and small.
-        let j = offsets.partition_point(|&o| o <= flat) - 1;
-        let job = &jobs[j];
-        let item = job.items[flat - offsets[j]];
-        job.snapshot
-            .detector
-            .score(&job.snapshot.vocab, job.query, item)
-    });
-
+    // Dedupe identical (snapshot, query, item) pairs across the whole
+    // batch: each unique pair is probed and scored exactly once, and the
+    // result fans back out to every job that asked for it. `uniq_jobs`
+    // remembers a job holding the key's snapshot `Arc`.
+    let mut index: HashMap<ScoreKey, usize> = HashMap::with_capacity(total);
+    let mut uniq_keys: Vec<ScoreKey> = Vec::with_capacity(total);
+    let mut uniq_jobs: Vec<usize> = Vec::with_capacity(total);
     for (j, job) in jobs.iter().enumerate() {
-        let slice = scores[offsets[j]..offsets[j + 1]].to_vec();
+        for &item in &job.items {
+            let key = (job.snapshot.version, job.query, item);
+            index.entry(key).or_insert_with(|| {
+                uniq_keys.push(key);
+                uniq_jobs.push(j);
+                uniq_keys.len() - 1
+            });
+        }
+    }
+    histogram!("serve.batch.unique_pairs").observe(uniq_keys.len() as u64);
+
+    // Cache probe per unique pair (counts serve.cache.hits/misses).
+    let mut scores = vec![0.0f32; uniq_keys.len()];
+    let mut missed: Vec<usize> = Vec::new();
+    for (u, key) in uniq_keys.iter().enumerate() {
+        match cache.get(key) {
+            Some(s) => scores[u] = s,
+            None => missed.push(u),
+        }
+    }
+
+    // Score the misses, grouped by snapshot (a batch usually spans one
+    // version, at most two around a swap). Sorting by version keeps each
+    // group contiguous; within a group order is irrelevant to the bits.
+    missed.sort_unstable_by_key(|&u| uniq_keys[u].0);
+    let mut start = 0;
+    while start < missed.len() {
+        let version = uniq_keys[missed[start]].0;
+        let mut end = start + 1;
+        while end < missed.len() && uniq_keys[missed[end]].0 == version {
+            end += 1;
+        }
+        let group = &missed[start..end];
+        let snap = &jobs[uniq_jobs[group[0]]].snapshot;
+        let pairs: Vec<(ConceptId, ConceptId)> = group
+            .iter()
+            .map(|&u| (uniq_keys[u].1, uniq_keys[u].2))
+            .collect();
+        let fresh = score_misses(snap, &pairs, pool);
+        for (&u, &s) in group.iter().zip(&fresh) {
+            scores[u] = s;
+            cache.insert(uniq_keys[u], s);
+        }
+        start = end;
+    }
+
+    for job in &jobs {
+        let out: Vec<f32> = job
+            .items
+            .iter()
+            .map(|&item| scores[index[&(job.snapshot.version, job.query, item)]])
+            .collect();
         // A dead receiver means the connection worker gave up (client
         // disconnected mid-request); nothing to do.
-        let _ = job.reply.send(slice);
+        let _ = job.reply.send(out);
     }
+}
+
+/// Batch-scores uncached pairs of one snapshot: chunks spread across
+/// `par_map` workers, each reusing a warm [`taxo_expand::BatchScorer`]
+/// from `pool`, with structural feature rows copied from the snapshot's
+/// build-time table (identical bytes to recomputing them).
+fn score_misses(
+    snap: &ServeSnapshot,
+    pairs: &[(ConceptId, ConceptId)],
+    pool: &ScratchPool,
+) -> Vec<f32> {
+    const CHUNK: usize = 64;
+    let run = |chunk: &[(ConceptId, ConceptId)]| -> Vec<f32> {
+        let mut scorer = pool.take();
+        let mut out = Vec::with_capacity(chunk.len());
+        scorer.score_with_features_into(
+            &snap.detector,
+            &snap.vocab,
+            chunk,
+            |p, row| {
+                let (q, i) = chunk[p];
+                match snap.structural_row(q, i) {
+                    Some(src) => row.copy_from_slice(src),
+                    // A pair outside the snapshot's candidate table (or a
+                    // structural-free detector, where rows are empty).
+                    None => {
+                        if let Some(st) = &snap.detector.structural {
+                            st.pair_features_into(q, i, row);
+                        }
+                    }
+                }
+            },
+            &mut out,
+        );
+        pool.put(scorer);
+        out
+    };
+    if pairs.len() <= CHUNK {
+        return run(pairs);
+    }
+    let n_chunks = pairs.len().div_ceil(CHUNK);
+    taxo_nn::parallel::par_map(n_chunks, |ci| {
+        run(&pairs[ci * CHUNK..((ci + 1) * CHUNK).min(pairs.len())])
+    })
+    .concat()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use taxo_core::{Taxonomy, Vocabulary};
+
+    /// A tiny served snapshot with a relational (vanilla) detector and a
+    /// real candidate set, enough to drive `score_batch` end to end.
+    fn tiny_snapshot() -> (Arc<ServeSnapshot>, Vec<ConceptId>) {
+        let mut vocab = Vocabulary::new();
+        let names = ["root", "snack food", "potato chips", "banana chips"];
+        let ids: Vec<ConceptId> = names.iter().map(|n| vocab.intern(n)).collect();
+        let mut tax = Taxonomy::new();
+        for &c in &ids {
+            tax.add_node(c);
+        }
+        tax.add_edge(ids[0], ids[1]).unwrap();
+        let relational = taxo_expand::RelationalModel::vanilla(
+            &vocab,
+            &[],
+            &taxo_expand::RelationalConfig::tiny(7),
+        );
+        let detector = taxo_expand::HypoDetector::new(
+            Some(relational),
+            None,
+            &taxo_expand::DetectorConfig::tiny(7),
+        );
+        let pairs: Vec<taxo_expand::CandidatePair> = [ids[2], ids[3]]
+            .iter()
+            .map(|&item| taxo_expand::CandidatePair {
+                query: ids[1],
+                item,
+                clicks: 3,
+            })
+            .collect();
+        let snap = ServeSnapshot::build(0, Arc::new(vocab), Arc::new(detector), tax, &pairs);
+        (Arc::new(snap), vec![ids[2], ids[3]])
+    }
+
+    #[test]
+    fn score_batch_dedupes_and_caches_bit_identically() {
+        let (snap, items) = tiny_snapshot();
+        let query = snap.vocab.get("snack food").unwrap();
+        let reference: Vec<u32> = items
+            .iter()
+            .map(|&i| snap.detector.score(&snap.vocab, query, i).to_bits())
+            .collect();
+
+        let pool = ScratchPool::new();
+        let cache = ScoreCache::new(1024);
+        let job = |tx: mpsc::Sender<Vec<f32>>| ScoreJob {
+            snapshot: Arc::clone(&snap),
+            query,
+            items: items.clone(),
+            reply: tx,
+        };
+
+        // Two identical jobs in one batch: the duplicate pairs collapse
+        // to one scoring unit, and both replies carry identical bits.
+        let (tx_a, rx_a) = mpsc::channel();
+        let (tx_b, rx_b) = mpsc::channel();
+        score_batch(vec![job(tx_a), job(tx_b)], &pool, &cache);
+        let bits = |v: Vec<f32>| v.into_iter().map(f32::to_bits).collect::<Vec<_>>();
+        let a = bits(rx_a.recv().unwrap());
+        assert_eq!(a, bits(rx_b.recv().unwrap()));
+        assert_eq!(a, reference, "batched path must match scalar scoring");
+        assert_eq!(cache.len(), items.len(), "every unique pair was cached");
+
+        // A warm batch is served from the cache — same bits again.
+        let (tx_c, rx_c) = mpsc::channel();
+        score_batch(vec![job(tx_c)], &pool, &cache);
+        assert_eq!(bits(rx_c.recv().unwrap()), reference);
+    }
 
     #[test]
     fn push_pop_and_backpressure() {

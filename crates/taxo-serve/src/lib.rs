@@ -11,7 +11,11 @@
 //!   `ingest` (new query–click evidence), `health`, `stats` (the
 //!   taxo-obs snapshot), and `shutdown`.
 //! * **Micro-batching** ([`batch`]): concurrent `score` requests
-//!   coalesce into one batched [`taxo_nn::parallel`] scoring sweep.
+//!   coalesce into one deduplicated, batched scoring sweep over the
+//!   [`taxo_expand::BatchScorer`] fast path.
+//! * **Score caching** ([`cache`]): a sharded LRU keyed by
+//!   `(snapshot_version, query, item)`; fully cached requests are
+//!   answered on the connection worker without touching the scorer.
 //! * **Hot-swapped snapshots** ([`snapshot`]): an immutable
 //!   model+taxonomy [`ServeSnapshot`] behind a version-stamped store;
 //!   the ingest thread rebuilds and atomically publishes, readers
@@ -44,6 +48,7 @@
 //! ```
 
 pub mod batch;
+pub mod cache;
 pub mod client;
 pub mod json;
 pub mod protocol;
@@ -51,6 +56,7 @@ pub mod server;
 pub mod snapshot;
 
 pub use batch::{BoundedQueue, PushError, ScoreJob};
+pub use cache::{ScoreCache, ScoreKey};
 pub use client::{candidate_key, expected_key, Client, Reply, RetryClient, RetryPolicy};
 pub use protocol::{IngestRecord, IngestSummary, Request};
 pub use server::{ServeConfig, Server, ServerHandle};

@@ -20,6 +20,7 @@
 //! request is ever dropped without a response.
 
 use crate::batch::{score_batch, BoundedQueue, PushError, ScoreJob};
+use crate::cache::ScoreCache;
 use crate::protocol::{self, IngestRecord, IngestSummary, Request};
 use crate::snapshot::{ServeSnapshot, SnapshotReader, SnapshotStore};
 use std::io::{ErrorKind, Read, Write};
@@ -53,6 +54,11 @@ pub struct ServeConfig {
     pub max_candidates: usize,
     /// Default `k` (returned candidates) when a request names none.
     pub default_k: usize,
+    /// Served-score LRU cache capacity in entries, keyed by
+    /// `(snapshot_version, query, item)`. Entries of retired snapshot
+    /// versions age out under LRU pressure; size this to a few times the
+    /// working set of hot pairs.
+    pub score_cache_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +71,7 @@ impl Default for ServeConfig {
             conn_backlog: 64,
             max_candidates: 16,
             default_k: 8,
+            score_cache_cap: 65_536,
         }
     }
 }
@@ -79,6 +86,7 @@ impl ServeConfig {
             ("conn_backlog", self.conn_backlog),
             ("max_candidates", self.max_candidates),
             ("default_k", self.default_k),
+            ("score_cache_cap", self.score_cache_cap),
         ] {
             if v == 0 {
                 return Err(format!("ServeConfig.{name} must be at least 1"));
@@ -96,6 +104,9 @@ struct IngestJob {
 struct Shared {
     cfg: ServeConfig,
     store: Arc<SnapshotStore>,
+    /// Served-score LRU: probed by connection workers (all-hit requests
+    /// skip the scorer round trip entirely) and filled by the scorer.
+    cache: ScoreCache,
     score_queue: BoundedQueue<ScoreJob>,
     ingest_queue: BoundedQueue<IngestJob>,
     conn_queue: BoundedQueue<TcpStream>,
@@ -213,6 +224,7 @@ impl Server {
                 "serve.queue.conn.pop",
             ),
             store: Arc::new(SnapshotStore::new(initial)),
+            cache: ScoreCache::new(cfg.score_cache_cap),
             shutdown: AtomicBool::new(false),
             batches: AtomicU64::new(expander.batches() as u64),
             cfg,
@@ -448,6 +460,21 @@ fn score_request(
         return protocol::score_response(id, query, snapshot.version, &snapshot.vocab, &[]);
     }
 
+    // Request fast path: when every pair is cached under this snapshot,
+    // answer on the worker thread — no queue, no scorer round trip. The
+    // cached scores are bit-identical to recomputing, so responses are
+    // indistinguishable from the slow path. The job never enters the
+    // accepted/completed ledger (it is never enqueued).
+    let mut cached = Vec::new();
+    if shared
+        .cache
+        .get_all(snapshot.version, query_id, &items, &mut cached)
+    {
+        counter!("serve.score.cached_requests").inc();
+        let ranked = snapshot.rank(query_id, &items, &cached, k);
+        return protocol::score_response(id, query, snapshot.version, &snapshot.vocab, &ranked);
+    }
+
     let (tx, rx) = mpsc::channel();
     let job = ScoreJob {
         snapshot: Arc::clone(&snapshot),
@@ -513,9 +540,12 @@ fn ingest_request(id: Option<u64>, records: Vec<IngestRecord>, shared: &Shared) 
 }
 
 fn scorer_loop(shared: &Shared) {
+    // Arena pool for the batched fast path: scorers grow to the largest
+    // bucket shape once, then every batch reuses warm buffers.
+    let pool = taxo_expand::ScratchPool::new();
     while let Some(jobs) = shared.score_queue.drain(shared.cfg.batch_max) {
         gauge!("serve.queue.score_depth").set(shared.score_queue.len() as i64);
-        score_batch(jobs);
+        score_batch(jobs, &pool, &shared.cache);
     }
 }
 

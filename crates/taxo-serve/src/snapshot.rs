@@ -42,11 +42,24 @@ pub struct ServeSnapshot {
     /// Candidate items per query, sorted by clicks desc then item id —
     /// the same order `taxo_expand::candidates_by_query` produces.
     by_query: HashMap<ConceptId, Vec<CandidatePair>>,
+    /// Structural feature rows (Eq. 13) of every mined candidate pair,
+    /// computed once at build instead of per request: `feat_index` maps a
+    /// pair to its row offset in the flat `feat_data` table. Empty when
+    /// the detector has no structural model.
+    feat_index: HashMap<(ConceptId, ConceptId), usize>,
+    feat_data: Vec<f32>,
+    feat_dim: usize,
 }
 
 impl ServeSnapshot {
     /// Freezes one serving state from its parts. `pairs` is the full
     /// mined candidate set (e.g. [`taxo_expand::IncrementalExpander::candidate_pairs`]).
+    ///
+    /// Build is where serving pays its one-time costs: the per-query
+    /// candidate index and the structural feature row of every candidate
+    /// pair (the relational side needs no equivalent — concept
+    /// tokenizations are cached inside the detector itself). Requests
+    /// then copy precomputed rows instead of re-deriving them.
     pub fn build(
         version: u64,
         vocab: Arc<Vocabulary>,
@@ -54,13 +67,44 @@ impl ServeSnapshot {
         taxonomy: Taxonomy,
         pairs: &[CandidatePair],
     ) -> ServeSnapshot {
+        let feat_dim = detector
+            .structural
+            .as_ref()
+            .map_or(0, |st| st.feature_dim());
+        let mut feat_index = HashMap::new();
+        let mut feat_data = Vec::new();
+        if let Some(st) = &detector.structural {
+            for p in pairs {
+                if let std::collections::hash_map::Entry::Vacant(e) =
+                    feat_index.entry((p.query, p.item))
+                {
+                    let off = feat_data.len();
+                    feat_data.resize(off + feat_dim, 0.0);
+                    st.pair_features_into(p.query, p.item, &mut feat_data[off..]);
+                    e.insert(off);
+                }
+            }
+        }
         ServeSnapshot {
             version,
             vocab,
             detector,
             taxonomy,
             by_query: taxo_expand::candidates_by_query(pairs),
+            feat_index,
+            feat_data,
+            feat_dim,
         }
+    }
+
+    /// The precomputed structural feature row of a mined candidate pair,
+    /// or `None` for pairs outside the candidate set (the scorer falls
+    /// back to computing those on the fly) — and always `None` without a
+    /// structural model, where rows are zero-width anyway.
+    pub fn structural_row(&self, query: ConceptId, item: ConceptId) -> Option<&[f32]> {
+        self.feat_index
+            .get(&(query, item))
+            .map(|&off| &self.feat_data[off..off + self.feat_dim])
     }
 
     /// The scoring workload for `query`: its most-clicked candidate items,

@@ -87,6 +87,48 @@ fn scores_are_bit_identical_to_offline_baseline() {
 }
 
 #[test]
+fn repeated_queries_hit_the_cache_and_stay_bit_identical() {
+    let (vocab, expander, _) = fixture(16);
+    let pairs = expander.candidate_pairs();
+    let cfg = ServeConfig::default();
+    let cap = cfg.max_candidates;
+    let k = cfg.default_k;
+    let handle = Server::start(expander, Arc::clone(&vocab), cfg, "127.0.0.1:0").unwrap();
+    let snapshot = handle.store().load();
+    let queries = scorable_queries(&snapshot, &pairs, cap);
+    let q = queries[0];
+    let name = vocab.name(q);
+    let n_items = snapshot.eligible(q, cap).len() as u64;
+    let offline = expected_key(&vocab, &snapshot.score_query(q, cap, k));
+
+    // The metrics registry is process-global and other tests bump the
+    // cache counters too, so only a monotonic lower bound is asserted.
+    let hits_before = taxo_obs::counter!("serve.cache.hits").get();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for round in 0..3 {
+        let reply = client.score(name, Some(k)).unwrap();
+        let Reply::Ok(v) = reply else {
+            panic!("round {round}: score {name:?} failed: {reply:?}");
+        };
+        assert_eq!(
+            candidate_key(&v).as_deref(),
+            Some(offline.as_slice()),
+            "round {round}: cold and cache-served responses must be bit-identical"
+        );
+    }
+    // Round 1 misses and fills; rounds 2 and 3 are all-hit requests
+    // answered on the worker (n_items hits each).
+    let hits_after = taxo_obs::counter!("serve.cache.hits").get();
+    assert!(
+        hits_after >= hits_before + 2 * n_items,
+        "expected at least {} cache hits, saw {}",
+        2 * n_items,
+        hits_after - hits_before
+    );
+    handle.shutdown_and_join();
+}
+
+#[test]
 fn unknown_terms_and_garbage_lines_error_cleanly() {
     let (vocab, expander, _) = fixture(12);
     let handle = Server::start(expander, vocab, ServeConfig::default(), "127.0.0.1:0").unwrap();

@@ -84,6 +84,14 @@ impl TokenVocab {
             .collect()
     }
 
+    /// Allocation-free [`TokenVocab::encode`]: appends the ids of `text`
+    /// to `out` (which the caller typically clears and reuses).
+    pub fn encode_into(&self, text: &str, out: &mut Vec<TokenId>) {
+        for t in text.split_ascii_whitespace() {
+            out.push(self.index.get(t).copied().unwrap_or(UNK));
+        }
+    }
+
     /// Id of a single token if known.
     pub fn get(&self, token: &str) -> Option<TokenId> {
         self.index.get(token).copied()
