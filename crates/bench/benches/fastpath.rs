@@ -1,18 +1,24 @@
 //! Benchmarks of the allocation-free inference fast path against the
 //! allocating twins it replaces: `*_into` kernels reusing warm buffers,
-//! the row-batched encoder forward, and end-to-end pair scoring through
-//! [`taxo_expand::BatchScorer`] vs the scalar loop.
+//! the 8-wide lane primitives under them, the int8 serving tier, and
+//! end-to-end pair scoring through [`taxo_expand::BatchScorer`] vs the
+//! scalar loop.
+//!
+//! Kernel benches declare their multiply-accumulate count as
+//! `Throughput::Elements`, so every summary line carries a MACs/s
+//! column (`Melem/s` = million MACs per second) next to the times.
 //!
 //! ```text
 //! cargo bench --bench fastpath
 //! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use std::sync::Arc;
 use taxo_bench::build_snack;
 use taxo_eval::Scale;
-use taxo_expand::BatchScorer;
-use taxo_nn::Matrix;
+use taxo_expand::{BatchScorer, QuantizedDetector};
+use taxo_nn::{lanes, Matrix};
 
 fn mat(rows: usize, cols: usize, seed: usize) -> Matrix {
     Matrix::from_fn(rows, cols, |r, c| {
@@ -20,36 +26,69 @@ fn mat(rows: usize, cols: usize, seed: usize) -> Matrix {
     })
 }
 
+fn vec_f32(len: usize, seed: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| ((i * 31 + seed * 13) % 17) as f32 * 0.125 - 1.0)
+        .collect()
+}
+
 /// The arena twins of the encoder-shaped products: identical kernels,
 /// but writing into a warm output matrix instead of allocating one.
+/// Elements = m·n·k MACs per call.
 fn bench_into_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fastpath");
     let seq = mat(40, 32, 0);
     let w = mat(32, 32, 1);
-    c.bench_function("fastpath/matmul_alloc_40x32_32x32", |b| {
+    g.throughput(Throughput::Elements(40 * 32 * 32));
+    g.bench_function("matmul_alloc_40x32_32x32", |b| {
         b.iter(|| black_box(seq.matmul(&w)))
     });
     let mut out = Matrix::zeros(40, 32);
-    c.bench_function("fastpath/matmul_into_40x32_32x32", |b| {
+    g.bench_function("matmul_into_40x32_32x32", |b| {
         b.iter(|| {
             seq.matmul_into(&w, &mut out);
             black_box(out.data()[0])
         })
     });
     let other = mat(40, 32, 2);
-    c.bench_function("fastpath/matmul_nt_alloc_40x32_40x32", |b| {
+    g.throughput(Throughput::Elements(40 * 40 * 32));
+    g.bench_function("matmul_nt_alloc_40x32_40x32", |b| {
         b.iter(|| black_box(seq.matmul_nt(&other)))
     });
     let mut out_nt = Matrix::zeros(40, 40);
-    c.bench_function("fastpath/matmul_nt_into_40x32_40x32", |b| {
+    g.bench_function("matmul_nt_into_40x32_40x32", |b| {
         b.iter(|| {
             seq.matmul_nt_into(&other, &mut out_nt);
             black_box(out_nt.data()[0])
         })
     });
+    g.finish();
+}
+
+/// The 8-wide lane primitives every hot kernel now reduces through, on a
+/// ragged (non-multiple-of-8) length to include the tail path.
+fn bench_lane_kernels(c: &mut Criterion) {
+    const N: usize = 4_093;
+    let a = vec_f32(N, 3);
+    let b1 = vec_f32(N, 4);
+    let b2 = vec_f32(N, 5);
+    let b3 = vec_f32(N, 6);
+    let b4 = vec_f32(N, 7);
+    let mut g = c.benchmark_group("lanes");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("dot_4093", |b| b.iter(|| black_box(lanes::dot(&a, &b1))));
+    // dot4 shares one pass over `a` across four rows: 4·N MACs per call.
+    g.throughput(Throughput::Elements(4 * N as u64));
+    g.bench_function("dot4_4093", |b| {
+        b.iter(|| black_box(lanes::dot4(&a, &b1, &b2, &b3, &b4)))
+    });
+    g.finish();
 }
 
 /// End-to-end pair scoring on the trained snack-domain detector: the
-/// scalar per-pair loop vs one batched, length-bucketed pass.
+/// scalar per-pair loop vs one batched, length-bucketed pass, and the
+/// same batched pass through the int8 weight-quantized tier.
+/// Elements = pairs scored per call.
 fn bench_batched_scoring(c: &mut Criterion) {
     let ctx = build_snack(Scale::Test);
     let detector = ctx.ours();
@@ -61,8 +100,11 @@ fn bench_batched_scoring(c: &mut Criterion) {
         .take(64)
         .map(|p| (p.query, p.item))
         .collect();
+    let n = pairs.len() as u64;
 
-    c.bench_function("fastpath/score_scalar_64_pairs", |b| {
+    let mut g = c.benchmark_group("fastpath");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("score_scalar_64_pairs", |b| {
         b.iter(|| {
             let mut acc = 0.0f32;
             for &(q, i) in &pairs {
@@ -74,17 +116,26 @@ fn bench_batched_scoring(c: &mut Criterion) {
 
     let mut scorer = BatchScorer::new();
     let mut out = Vec::new();
-    c.bench_function("fastpath/score_batched_64_pairs", |b| {
+    g.bench_function("score_batched_64_pairs", |b| {
         b.iter(|| {
             scorer.score_into(&detector, vocab, &pairs, &mut out);
             black_box(out[0])
         })
     });
+
+    let quant = QuantizedDetector::from_detector(Arc::new(detector.clone()));
+    g.bench_function("score_batched_int8_64_pairs", |b| {
+        b.iter(|| {
+            quant.score_into(&mut scorer, vocab, &pairs, &mut out);
+            black_box(out[0])
+        })
+    });
+    g.finish();
 }
 
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_into_kernels, bench_batched_scoring
+    targets = bench_into_kernels, bench_lane_kernels, bench_batched_scoring
 );
 criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Ad-hoc wall-clock breakdown of the batched scoring path. Not a
+//! benchmark — a debugging aid for kernel work: run with
+//! `cargo run --release -p taxo-bench --example profile_scoring`.
+
+use std::time::Instant;
+use taxo_bench::build_snack;
+use taxo_eval::Scale;
+use taxo_expand::BatchScorer;
+use taxo_nn::Scratch;
+
+fn main() {
+    let ctx = build_snack(Scale::Test);
+    let detector = ctx.ours();
+    let vocab = &ctx.world.vocab;
+    let pairs: Vec<_> = ctx
+        .construction
+        .pairs
+        .iter()
+        .take(64)
+        .map(|p| (p.query, p.item))
+        .collect();
+
+    let mut scorer = BatchScorer::new();
+    let mut out = Vec::new();
+    // Warm up.
+    for _ in 0..3 {
+        scorer.score_into(&detector, vocab, &pairs, &mut out);
+    }
+    const N: usize = 200;
+    let t = Instant::now();
+    for _ in 0..N {
+        scorer.score_into(&detector, vocab, &pairs, &mut out);
+    }
+    let total = t.elapsed().as_secs_f64() / N as f64;
+    println!("score_into total: {:.3} ms", total * 1e3);
+
+    // Encoder-only on the same token workload: rebuild the staged batch
+    // by hand (template tokenization) and push it through the encoder.
+    let rel = detector.relational.as_ref().expect("relational model");
+    let mut ids = Vec::new();
+    let mut segs = Vec::new();
+    let mut lens = Vec::new();
+    for &(q, i) in &pairs {
+        let before = ids.len();
+        let len = rel.append_pair_ids(vocab, q, i, &mut ids, &mut segs);
+        lens.push((before, len));
+    }
+    // Group by len like the bucketer does.
+    use std::collections::BTreeMap;
+    let mut buckets: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (p, &(_, len)) in lens.iter().enumerate() {
+        buckets.entry(len).or_default().push(p);
+    }
+    let mut scratch = Scratch::new();
+    let mut bucket_ids = Vec::new();
+    let mut bucket_segs = Vec::new();
+    let run_encoder =
+        |scratch: &mut Scratch, bucket_ids: &mut Vec<u32>, bucket_segs: &mut Vec<u32>| {
+            for (len, ps) in &buckets {
+                bucket_ids.clear();
+                bucket_segs.clear();
+                for &p in ps {
+                    let (start, l) = lens[p];
+                    bucket_ids.extend_from_slice(&ids[start..start + l]);
+                    bucket_segs.extend_from_slice(&segs[start..start + l]);
+                }
+                rel.encoder
+                    .forward_batch_into(bucket_ids, bucket_segs, *len, scratch);
+            }
+        };
+    run_encoder(&mut scratch, &mut bucket_ids, &mut bucket_segs);
+    let t = Instant::now();
+    for _ in 0..N {
+        run_encoder(&mut scratch, &mut bucket_ids, &mut bucket_segs);
+    }
+    let enc = t.elapsed().as_secs_f64() / N as f64;
+    println!("encoder-only:     {:.3} ms", enc * 1e3);
+
+    let n_tokens = ids.len();
+    let seq_hist: Vec<(usize, usize)> = buckets.iter().map(|(l, ps)| (*l, ps.len())).collect();
+    println!("tokens: {n_tokens}, buckets (len × pairs): {seq_hist:?}");
+
+    // Component breakdown on the biggest bucket's shape (seq 8 × 25 pairs
+    // = 200 rows × 32): one layernorm, one attention, one ffn.
+    use taxo_nn::{BlockScratch, Matrix};
+    let rows = 200;
+    let seq = 8;
+    let h = Matrix::from_fn(rows, 32, |r, c| ((r * 31 + c * 7) % 17) as f32 * 0.1 - 0.8);
+    let block = &rel.encoder.blocks[0];
+    let mut bs = BlockScratch::default();
+    let mut normed = Matrix::zeros(0, 0);
+    block.ln1.forward_into(&h, &mut normed);
+    let t = Instant::now();
+    for _ in 0..N {
+        block.ln1.forward_into(&h, &mut normed);
+    }
+    println!(
+        "layernorm 200x32: {:.1} us",
+        t.elapsed().as_secs_f64() / N as f64 * 1e6
+    );
+
+    block.attn.forward_batch_into(
+        &normed,
+        seq,
+        &mut bs.q,
+        &mut bs.k,
+        &mut bs.v,
+        &mut bs.scores,
+        &mut bs.concat,
+        &mut bs.attn_out,
+    );
+    let t = Instant::now();
+    for _ in 0..N {
+        block.attn.forward_batch_into(
+            &normed,
+            seq,
+            &mut bs.q,
+            &mut bs.k,
+            &mut bs.v,
+            &mut bs.scores,
+            &mut bs.concat,
+            &mut bs.attn_out,
+        );
+    }
+    println!(
+        "attention 200x32 seq8: {:.1} us",
+        t.elapsed().as_secs_f64() / N as f64 * 1e6
+    );
+
+    block
+        .ffn
+        .forward_into(&normed, &mut bs.ffn_hidden, &mut bs.ffn_out);
+    let t = Instant::now();
+    for _ in 0..N {
+        block
+            .ffn
+            .forward_into(&normed, &mut bs.ffn_hidden, &mut bs.ffn_out);
+    }
+    println!(
+        "ffn 200x32: {:.1} us",
+        t.elapsed().as_secs_f64() / N as f64 * 1e6
+    );
+
+    let w = Matrix::from_fn(32, 32, |r, c| ((r * 13 + c * 5) % 11) as f32 * 0.1 - 0.5);
+    let mut o = Matrix::zeros(0, 0);
+    normed.matmul_nt_into(&w, &mut o);
+    let t = Instant::now();
+    for _ in 0..N {
+        normed.matmul_nt_into(&w, &mut o);
+    }
+    println!(
+        "matmul_nt 200x32·(32x32)T: {:.1} us",
+        t.elapsed().as_secs_f64() / N as f64 * 1e6
+    );
+}

@@ -3,7 +3,8 @@
 //! ```text
 //! loadgen [--addr 127.0.0.1:7878] [--seed 42] [--connections 8]
 //!         [--requests 10000] [--k 8] [--max-candidates 16]
-//!         [--verify] [--shutdown] [--metrics-json PATH]
+//!         [--tier f32|int8] [--verify] [--tolerance T]
+//!         [--pipeline N] [--shutdown] [--metrics-json PATH]
 //!         [--bench-json PATH] [--bench-label NAME]
 //! ```
 //!
@@ -20,6 +21,24 @@
 //! score-only run against a freshly started server (no ingests have
 //! swapped the snapshot).
 //!
+//! `--tier int8` requests the server's weight-quantized serving tier.
+//! Exact `--verify` still holds there — the quant tier is just as
+//! deterministic as f32, checked against an offline quant replay.
+//! Adding `--tolerance T` switches verification to divergence mode:
+//! every served int8 score is compared against the offline **f32**
+//! baseline score for the same `(query, item)` pair, a response only
+//! counts as a mismatch when a candidate is missing from the baseline,
+//! its attached bit flips, or `|served − f32| > T`, and the largest
+//! observed divergence is reported (and written to `--bench-json`).
+//!
+//! `--pipeline N` (default 1) keeps N score requests in flight per
+//! connection: each burst is written in one frame and the N responses
+//! are read back in order, amortizing the per-round-trip syscall and
+//! scheduler cost. Verification works unchanged (responses still check
+//! per query). The pipelined path uses a plain [`Client`] — a transport
+//! error fails the remaining quota instead of retrying — so use
+//! `--pipeline 1` when load-testing a server under chaos.
+//!
 //! Latencies are recorded into the `loadgen.latency_us` histogram;
 //! p50/p99 are reported as bucket upper bounds from its snapshot.
 //! `--bench-json` writes a one-object machine-readable summary of the
@@ -32,7 +51,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use taxo_bench::{serving_expansion_config, serving_pipeline};
 use taxo_serve::{
-    candidate_key, expected_key, Client, Reply, RetryClient, RetryPolicy, ServeSnapshot,
+    candidate_key, expected_key, Client, Reply, RetryClient, RetryPolicy, ServeSnapshot, Tier,
 };
 
 /// Bucket upper bounds for `loadgen.latency_us`, in microseconds:
@@ -44,6 +63,8 @@ const LATENCY_BOUNDS_US: &[u64] = &[
 
 /// One planned query: its term and (under `--verify`) the expected
 /// response key — `(term, score bits, attached)` per ranked candidate.
+/// In tolerance mode the vector instead holds the f32 baseline for
+/// **every** eligible candidate (unranked lookup table, not a key).
 type PlannedQuery = (String, Vec<(String, u32, bool)>);
 
 #[derive(Default)]
@@ -51,6 +72,8 @@ struct ConnStats {
     ok: u64,
     protocol_errors: u64,
     verify_mismatches: u64,
+    /// Largest |served − f32 baseline| seen in tolerance mode.
+    max_divergence: f32,
 }
 
 fn main() {
@@ -61,10 +84,13 @@ fn main() {
     let mut requests = 10_000u64;
     let mut k = 8usize;
     let mut max_candidates = 16usize;
+    let mut tier = Tier::F32;
     let mut verify = false;
+    let mut tolerance: Option<f32> = None;
     let mut shutdown = false;
     let mut retries = 8u32;
     let mut timeout_ms = 5_000u64;
+    let mut pipeline = 1usize;
     let mut metrics_json: Option<std::path::PathBuf> = None;
     let mut bench_json: Option<std::path::PathBuf> = None;
     let mut bench_label = String::from("loadgen");
@@ -77,10 +103,13 @@ fn main() {
             "--requests" => requests = parse(&take(&args, &mut i, "--requests")),
             "--k" => k = parse(&take(&args, &mut i, "--k")),
             "--max-candidates" => max_candidates = parse(&take(&args, &mut i, "--max-candidates")),
+            "--tier" => tier = parse(&take(&args, &mut i, "--tier")),
             "--verify" => verify = true,
+            "--tolerance" => tolerance = Some(parse(&take(&args, &mut i, "--tolerance"))),
             "--shutdown" => shutdown = true,
             "--retries" => retries = parse(&take(&args, &mut i, "--retries")),
             "--timeout-ms" => timeout_ms = parse(&take(&args, &mut i, "--timeout-ms")),
+            "--pipeline" => pipeline = parse(&take(&args, &mut i, "--pipeline")),
             "--metrics-json" => {
                 metrics_json = Some(std::path::PathBuf::from(take(
                     &args,
@@ -99,7 +128,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "loadgen [--addr HOST:PORT] [--seed N] [--connections N] [--requests N] \
-                     [--k N] [--max-candidates N] [--retries N] [--timeout-ms N] [--verify] \
+                     [--k N] [--max-candidates N] [--retries N] [--timeout-ms N] \
+                     [--tier f32|int8] [--verify] [--tolerance T] [--pipeline N] \
                      [--shutdown] [--metrics-json PATH] [--bench-json PATH] [--bench-label NAME]"
                 );
                 return;
@@ -110,6 +140,17 @@ fn main() {
     }
     if connections == 0 || requests == 0 {
         die("--connections and --requests must be at least 1");
+    }
+    if pipeline == 0 {
+        die("--pipeline must be at least 1");
+    }
+    if tolerance.is_some() && !verify {
+        die("--tolerance only makes sense with --verify");
+    }
+    if let Some(t) = tolerance {
+        if !(t.is_finite() && t >= 0.0) {
+            die("--tolerance must be a finite non-negative number");
+        }
     }
 
     // Rebuild the server's exact version-0 serving state offline: the
@@ -137,15 +178,26 @@ fn main() {
     let plan: Vec<PlannedQuery> = queries
         .iter()
         .map(|&q| {
-            let expected = if verify {
-                expected_key(&vocab, &snapshot.score_query(q, max_candidates, k))
+            let expected = if verify && tolerance.is_some() {
+                // Divergence mode: the f32 score of every eligible
+                // candidate, so any served top-k is a subset.
+                expected_key(
+                    &vocab,
+                    &snapshot.score_query(q, max_candidates, max_candidates),
+                )
+            } else if verify {
+                // Exact mode: bitwise replay of the requested tier.
+                expected_key(
+                    &vocab,
+                    &snapshot.score_query_tier(q, max_candidates, k, tier),
+                )
             } else {
                 Vec::new()
             };
             (vocab.name(q).to_owned(), expected)
         })
         .collect();
-    eprintln!("# {} scorable queries", plan.len());
+    eprintln!("# {} scorable queries (tier {tier})", plan.len());
 
     // Fan out: each connection gets its own quota and xorshift stream.
     let base = requests / connections as u64;
@@ -167,7 +219,10 @@ fn main() {
                 let addr = addr.clone();
                 let policy = policy.clone();
                 scope.spawn(move || {
-                    run_connection(&addr, policy, seed, conn, quota, k, verify, &plan, &latency)
+                    run_connection(
+                        &addr, policy, seed, conn, quota, k, tier, verify, tolerance, pipeline,
+                        &plan, &latency,
+                    )
                 })
             })
             .collect();
@@ -181,6 +236,7 @@ fn main() {
     let ok: u64 = stats.iter().map(|s| s.ok).sum();
     let proto: u64 = stats.iter().map(|s| s.protocol_errors).sum();
     let mismatches: u64 = stats.iter().map(|s| s.verify_mismatches).sum();
+    let max_divergence = stats.iter().map(|s| s.max_divergence).fold(0.0, f32::max);
     // Client-side resilience counters, bumped by RetryClient as it works
     // around sheds, timeouts, and dropped connections.
     let retries_used = taxo_obs::counter!("serve.retries").get();
@@ -222,12 +278,19 @@ fn main() {
 
     let (p50, p99) = percentiles(&latency_snapshot());
     println!(
-        "loadgen: {ok}/{requests} ok over {connections} connections in {elapsed:.1?} \
-         ({:.0} req/s), {retries_used} retries, {timeouts} timeouts, p50 <= {p50}, p99 <= {p99}",
+        "loadgen: {ok}/{requests} ok over {connections} connections (pipeline {pipeline}) \
+         in {elapsed:.1?} ({:.0} req/s), {retries_used} retries, {timeouts} timeouts, \
+         p50 <= {p50}, p99 <= {p99}",
         ok as f64 / elapsed.as_secs_f64().max(1e-9),
     );
     if verify {
-        println!("verify: {mismatches} mismatches across {ok} responses");
+        match tolerance {
+            Some(t) => println!(
+                "verify: {mismatches} mismatches across {ok} responses, \
+                 max |served - f32| = {max_divergence:.3e} (tolerance {t})"
+            ),
+            None => println!("verify: {mismatches} mismatches across {ok} responses"),
+        }
     }
     if proto > 0 {
         println!("protocol errors: {proto}");
@@ -236,16 +299,19 @@ fn main() {
     if let Some(path) = &bench_json {
         let snap = latency_snapshot();
         let body = format!(
-            "{{\n  \"label\": {label:?},\n  \"requests\": {requests},\n  \"ok\": {ok},\n  \
-             \"connections\": {connections},\n  \"elapsed_s\": {elapsed_s:.3},\n  \
-             \"rps\": {rps:.1},\n  \"p50_us\": {p50},\n  \"p99_us\": {p99},\n  \
+            "{{\n  \"label\": {label:?},\n  \"tier\": \"{tier}\",\n  \
+             \"requests\": {requests},\n  \"ok\": {ok},\n  \
+             \"connections\": {connections},\n  \"pipeline\": {pipeline},\n  \
+             \"elapsed_s\": {elapsed_s:.3},\n  \"rps\": {rps:.1},\n  \"p50_us\": {p50},\n  \"p99_us\": {p99},\n  \
              \"retries\": {retries_used},\n  \"timeouts\": {timeouts},\n  \
-             \"verify\": {verify},\n  \"verify_mismatches\": {mismatches}\n}}\n",
+             \"verify\": {verify},\n  \"verify_mismatches\": {mismatches},\n  \
+             \"tolerance\": {tol},\n  \"max_abs_divergence\": {max_divergence:.3e}\n}}\n",
             label = bench_label,
             elapsed_s = elapsed.as_secs_f64(),
             rps = ok as f64 / elapsed.as_secs_f64().max(1e-9),
             p50 = quantile_bound_us(&snap, 0.50),
             p99 = quantile_bound_us(&snap, 0.99),
+            tol = tolerance.map_or_else(|| String::from("null"), |t| format!("{t}")),
         );
         match std::fs::write(path, body) {
             Ok(()) => eprintln!("# bench summary written to {}", path.display()),
@@ -274,11 +340,19 @@ fn run_connection(
     conn: usize,
     quota: u64,
     k: usize,
+    tier: Tier,
     verify: bool,
+    tolerance: Option<f32>,
+    pipeline: usize,
     plan: &[PlannedQuery],
     latency: &taxo_obs::Histogram,
 ) -> ConnStats {
     use std::net::ToSocketAddrs;
+    if pipeline > 1 {
+        return run_connection_pipelined(
+            addr, seed, conn, quota, k, tier, verify, tolerance, pipeline, plan, latency,
+        );
+    }
     let mut stats = ConnStats::default();
     let Some(sock) = addr.to_socket_addrs().ok().and_then(|mut a| a.next()) else {
         eprintln!("# conn {conn}: unresolvable address {addr}");
@@ -290,19 +364,17 @@ fn run_connection(
     // every attempt surfaces here.
     let mut client = RetryClient::new(sock, policy);
     let mut rng = Xorshift::new(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(conn as u64 + 1)));
+    // Only a non-default tier goes on the wire, so the f32 run also
+    // exercises the server-side default.
+    let wire_tier = (tier != Tier::default()).then_some(tier);
     while stats.ok < quota {
         let (query, expected) = &plan[(rng.next() % plan.len() as u64) as usize];
         let t = Instant::now();
-        match client.score(query, Some(k)) {
+        match client.score_tier(query, Some(k), wire_tier) {
             Ok(Reply::Ok(v)) => {
                 latency.observe(t.elapsed().as_micros() as u64);
                 stats.ok += 1;
-                if verify && candidate_key(&v).as_deref() != Some(expected.as_slice()) {
-                    stats.verify_mismatches += 1;
-                    if stats.verify_mismatches == 1 {
-                        eprintln!("# conn {conn}: first mismatch on query {query:?}");
-                    }
-                }
+                note_ok_reply(&v, expected, verify, tolerance, conn, query, &mut stats);
             }
             Ok(Reply::Err { code, detail }) => {
                 eprintln!("# conn {conn}: server error {code}: {detail:?}");
@@ -317,6 +389,131 @@ fn run_connection(
         }
     }
     stats
+}
+
+/// Applies `--verify` to one `ok` response, updating mismatch and
+/// divergence counters (shared by the synchronous and pipelined paths).
+fn note_ok_reply(
+    v: &taxo_serve::json::Value,
+    expected: &[(String, u32, bool)],
+    verify: bool,
+    tolerance: Option<f32>,
+    conn: usize,
+    query: &str,
+    stats: &mut ConnStats,
+) {
+    let mismatch = if !verify {
+        false
+    } else if let Some(tol) = tolerance {
+        match divergence_from_baseline(v, expected) {
+            Some(d) => {
+                stats.max_divergence = stats.max_divergence.max(d);
+                d > tol
+            }
+            None => true,
+        }
+    } else {
+        candidate_key(v).as_deref() != Some(expected)
+    };
+    if mismatch {
+        stats.verify_mismatches += 1;
+        if stats.verify_mismatches == 1 {
+            eprintln!("# conn {conn}: first mismatch on query {query:?}");
+        }
+    }
+}
+
+/// `--pipeline N` connection loop: windows of N requests written as one
+/// frame, responses read back in order. A plain [`Client`] with no retry
+/// — only `busy` sheds are absorbed (the slot is redrawn in a later
+/// burst); any transport error fails the connection's remaining quota.
+#[allow(clippy::too_many_arguments)]
+fn run_connection_pipelined(
+    addr: &str,
+    seed: u64,
+    conn: usize,
+    quota: u64,
+    k: usize,
+    tier: Tier,
+    verify: bool,
+    tolerance: Option<f32>,
+    pipeline: usize,
+    plan: &[PlannedQuery],
+    latency: &taxo_obs::Histogram,
+) -> ConnStats {
+    let mut stats = ConnStats::default();
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("# conn {conn}: connect failed: {e}");
+            stats.protocol_errors += quota;
+            return stats;
+        }
+    };
+    let mut rng = Xorshift::new(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(conn as u64 + 1)));
+    let wire_tier = (tier != Tier::default()).then_some(tier);
+    while stats.ok < quota {
+        let burst = pipeline.min((quota - stats.ok) as usize);
+        let picks: Vec<usize> = (0..burst)
+            .map(|_| (rng.next() % plan.len() as u64) as usize)
+            .collect();
+        let queries: Vec<&str> = picks.iter().map(|&p| plan[p].0.as_str()).collect();
+        let t = Instant::now();
+        match client.score_burst(&queries, Some(k), wire_tier) {
+            Ok(replies) => {
+                // The window's wall time bounds every member's latency.
+                let us = t.elapsed().as_micros() as u64;
+                for (reply, &p) in replies.iter().zip(&picks) {
+                    match reply {
+                        Reply::Ok(v) => {
+                            latency.observe(us);
+                            stats.ok += 1;
+                            note_ok_reply(
+                                v, &plan[p].1, verify, tolerance, conn, &plan[p].0, &mut stats,
+                            );
+                        }
+                        Reply::Err { code, .. } if code == "busy" => {}
+                        Reply::Err { code, detail } => {
+                            eprintln!("# conn {conn}: server error {code}: {detail:?}");
+                            stats.protocol_errors += 1;
+                            stats.ok += 1; // consume the slot so the run terminates
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("# conn {conn}: pipelined burst failed: {e}");
+                stats.protocol_errors += quota - stats.ok;
+                break;
+            }
+        }
+    }
+    stats
+}
+
+/// Tolerance-mode check: every served candidate must appear in the f32
+/// baseline table with the same attached bit; returns the largest
+/// |served − baseline| score gap, or `None` when a candidate is missing
+/// or its attached bit flipped (a structural mismatch, not a rounding
+/// one).
+fn divergence_from_baseline(
+    v: &taxo_serve::json::Value,
+    baseline: &[(String, u32, bool)],
+) -> Option<f32> {
+    let served = candidate_key(v)?;
+    let mut worst = 0.0f32;
+    for (term, bits, attached) in &served {
+        let (_, base_bits, base_attached) = baseline.iter().find(|(t, _, _)| t == term)?;
+        if attached != base_attached {
+            return None;
+        }
+        let d = (f32::from_bits(*bits) - f32::from_bits(*base_bits)).abs();
+        if !d.is_finite() {
+            return None;
+        }
+        worst = worst.max(d);
+    }
+    Some(worst)
 }
 
 /// xorshift64* — tiny deterministic stream, one per connection.

@@ -4,7 +4,7 @@
 //! ```text
 //! serve [--addr 127.0.0.1:7878] [--seed 42] [--threads N]
 //!       [--workers N] [--batch-max N] [--queue-cap N]
-//!       [--max-candidates N] [--metrics-json PATH]
+//!       [--max-candidates N] [--tier f32|int8] [--metrics-json PATH]
 //! ```
 //!
 //! Prints `taxo-serve listening on <addr>` once ready, then serves until
@@ -36,6 +36,7 @@ fn main() {
             "--max-candidates" => {
                 cfg.max_candidates = parse(&take(&args, &mut i, "--max-candidates"));
             }
+            "--tier" => cfg.default_tier = parse(&take(&args, &mut i, "--tier")),
             "--metrics-json" => {
                 metrics_json = Some(std::path::PathBuf::from(take(
                     &args,
@@ -46,7 +47,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "serve [--addr HOST:PORT] [--seed N] [--threads N] [--workers N] \
-                     [--batch-max N] [--queue-cap N] [--max-candidates N] [--metrics-json PATH]"
+                     [--batch-max N] [--queue-cap N] [--max-candidates N] [--tier f32|int8] \
+                     [--metrics-json PATH]"
                 );
                 return;
             }

@@ -21,9 +21,72 @@
 
 use std::sync::Mutex;
 
-use crate::HypoDetector;
+use crate::relational::RelationalModel;
+use crate::{HypoDetector, StructuralModel};
 use taxo_core::{ConceptId, Vocabulary};
-use taxo_nn::Scratch;
+use taxo_nn::{Matrix, Scratch};
+
+/// The model stack a batched scoring pass runs through: the
+/// full-precision [`HypoDetector`] or its int8 twin
+/// [`crate::QuantizedDetector`]. The backend supplies tokenization
+/// metadata and the two forward stages; all staging, length bucketing,
+/// feature assembly, and scatter logic in [`BatchScorer`] is
+/// tier-independent, so both tiers share one allocation-free arena and
+/// inherit the same determinism guarantees.
+pub trait ScoreBackend {
+    /// The relational model used for templates and tokenization
+    /// (`None` → structural-only detector).
+    fn relational(&self) -> Option<&RelationalModel>;
+    /// The structural feature source, if any.
+    fn structural(&self) -> Option<&StructuralModel>;
+    /// Width of the assembled edge-feature vector.
+    fn edge_dim(&self) -> usize;
+    /// One row-batched encoder forward over a rectangular token block,
+    /// leaving per-token hidden states in `scratch.enc_out`.
+    fn encode_batch(&self, ids: &[u32], segs: &[u32], seq_len: usize, scratch: &mut Scratch);
+    /// One classifier pass over assembled edge features, appending the
+    /// positive-class probability of each row to `probs`.
+    fn classify_batch(
+        &self,
+        features: &Matrix,
+        hidden: &mut Matrix,
+        logits: &mut Matrix,
+        probs: &mut Vec<f32>,
+    );
+}
+
+impl ScoreBackend for HypoDetector {
+    fn relational(&self) -> Option<&RelationalModel> {
+        self.relational.as_ref()
+    }
+
+    fn structural(&self) -> Option<&StructuralModel> {
+        self.structural.as_ref()
+    }
+
+    fn edge_dim(&self) -> usize {
+        HypoDetector::edge_dim(self)
+    }
+
+    fn encode_batch(&self, ids: &[u32], segs: &[u32], seq_len: usize, scratch: &mut Scratch) {
+        self.relational
+            .as_ref()
+            .expect("encode_batch requires a relational model")
+            .encoder
+            .forward_batch_into(ids, segs, seq_len, scratch);
+    }
+
+    fn classify_batch(
+        &self,
+        features: &Matrix,
+        hidden: &mut Matrix,
+        logits: &mut Matrix,
+        probs: &mut Vec<f32>,
+    ) {
+        self.mlp
+            .predict_positive_batch_into(features, hidden, logits, probs);
+    }
+}
 
 /// Reusable state for batched scoring. Create once (per thread) and feed
 /// it any number of `score_into` calls; buffers grow to the largest batch
@@ -54,11 +117,11 @@ impl BatchScorer {
     }
 
     /// Scores every pair, writing probabilities into `out` (cleared first)
-    /// in input order. Bitwise identical to calling
-    /// [`crate::HypoDetector::score`] per pair.
-    pub fn score_into(
+    /// in input order. For the full-precision backend this is bitwise
+    /// identical to calling [`crate::HypoDetector::score`] per pair.
+    pub fn score_into<B: ScoreBackend>(
         &mut self,
-        det: &HypoDetector,
+        det: &B,
         vocab: &Vocabulary,
         pairs: &[(ConceptId, ConceptId)],
         out: &mut Vec<f32>,
@@ -68,7 +131,7 @@ impl BatchScorer {
             vocab,
             pairs,
             |p, row| {
-                if let Some(st) = &det.structural {
+                if let Some(st) = det.structural() {
                     let (q, i) = pairs[p];
                     st.pair_features_into(q, i, row);
                 }
@@ -84,9 +147,9 @@ impl BatchScorer {
     /// bytes [`crate::StructuralModel::pair_features_into`] would — e.g.
     /// copied from a table precomputed once per serving snapshot. Leaving
     /// the slice untouched reproduces the unknown-concept zero vector.
-    pub fn score_with_features_into<F>(
+    pub fn score_with_features_into<B: ScoreBackend, F>(
         &mut self,
-        det: &HypoDetector,
+        det: &B,
         vocab: &Vocabulary,
         pairs: &[(ConceptId, ConceptId)],
         fill_structural: F,
@@ -110,13 +173,13 @@ impl BatchScorer {
             probs,
             ..
         } = self;
-        let rel_dim = det.relational.as_ref().map_or(0, |r| r.dim());
+        let rel_dim = det.relational().map_or(0, |r| r.dim());
         let edge_dim = det.edge_dim();
 
-        let Some(rel) = &det.relational else {
+        let Some(rel) = det.relational() else {
             // Structural-only detector: no encoder, a single MLP batch.
             debug_assert!(
-                det.structural.is_some(),
+                det.structural().is_some(),
                 "detector has at least one representation"
             );
             scratch.features.reset(pairs.len(), edge_dim);
@@ -124,7 +187,7 @@ impl BatchScorer {
                 fill_structural(r, scratch.features.row_mut(r));
             }
             probs.clear();
-            det.mlp.predict_positive_batch_into(
+            det.classify_batch(
                 &scratch.features,
                 &mut scratch.mlp_hidden,
                 &mut scratch.logits,
@@ -167,8 +230,7 @@ impl BatchScorer {
                 flat_ids.extend_from_slice(&stage_ids[offsets[p]..offsets[p + 1]]);
                 flat_segs.extend_from_slice(&stage_segs[offsets[p]..offsets[p + 1]]);
             }
-            rel.encoder
-                .forward_batch_into(flat_ids, flat_segs, seq_len, scratch);
+            det.encode_batch(flat_ids, flat_segs, seq_len, scratch);
 
             // Assemble edge features: relational readout (Eq. 7 variant —
             // the exact expression of `forward_pair`) then the structural
@@ -189,7 +251,7 @@ impl BatchScorer {
 
             // One MLP GEMM for the whole bucket; scatter back.
             probs.clear();
-            det.mlp.predict_positive_batch_into(
+            det.classify_batch(
                 &scratch.features,
                 &mut scratch.mlp_hidden,
                 &mut scratch.logits,
@@ -203,9 +265,9 @@ impl BatchScorer {
     }
 
     /// Scores a single pair through the same arena — the scalar fast path.
-    pub fn score_one(
+    pub fn score_one<B: ScoreBackend>(
         &mut self,
-        det: &HypoDetector,
+        det: &B,
         vocab: &Vocabulary,
         parent: ConceptId,
         child: ConceptId,

@@ -76,6 +76,13 @@ thread_local! {
         std::cell::RefCell::new(crate::BatchScorer::new());
 }
 
+/// Runs `f` with this thread's warm scoring arena — shared by every
+/// backend tier so singles through [`HypoDetector::score`] and
+/// [`crate::QuantizedDetector::score`] reuse the same buffers.
+pub(crate) fn with_thread_scorer<R>(f: impl FnOnce(&mut crate::BatchScorer) -> R) -> R {
+    SCORER.with(|s| f(&mut s.borrow_mut()))
+}
+
 /// The full hyponymy detection module (Section III-B): the relational
 /// representation `r`, the structural representation `s`, their
 /// concatenation `e = [r ⊕ s]` (Eq. 14), and the MLP classifier (Eq. 15).
@@ -409,7 +416,7 @@ mod tests {
         let mut f = fixture(true, true);
         let losses = f
             .detector
-            .train(&f.world.vocab, &f.dataset.train, &DetectorConfig::tiny(51));
+            .train(&f.world.vocab, &f.dataset.train, &DetectorConfig::tiny(54));
         assert!(
             losses.last().unwrap() < losses.first().unwrap(),
             "{losses:?}"

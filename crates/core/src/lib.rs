@@ -48,6 +48,7 @@ mod graph_construction;
 mod incremental;
 mod inference;
 mod pipeline;
+mod quantized;
 pub mod relational;
 mod report;
 mod selfsup;
@@ -60,7 +61,7 @@ mod term_mining;
 /// see [`taxo_obs`] for the determinism contract.
 pub use taxo_obs as obs;
 
-pub use batch_scorer::{BatchScorer, ScratchPool};
+pub use batch_scorer::{BatchScorer, ScoreBackend, ScratchPool};
 pub use calibration::threshold_for_precision;
 pub use classifier::EdgeClassifier;
 pub use detector::{DetectorConfig, HypoDetector};
@@ -72,6 +73,7 @@ pub use graph_construction::{
 pub use incremental::{IncrementalExpander, IngestReport};
 pub use inference::{expand_taxonomy, ExpansionConfig, ExpansionConfigBuilder, ExpansionResult};
 pub use pipeline::{PipelineConfig, PipelineConfigBuilder, TrainedPipeline};
+pub use quantized::QuantizedDetector;
 // `relational::PairCtx` (the encoder's backward context) is deliberately
 // *not* re-exported at the top level: it is an implementation detail of
 // encoder fine-tuning, reachable under [`relational`] for the rare caller

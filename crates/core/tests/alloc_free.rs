@@ -43,9 +43,11 @@ static ALLOCATOR: CountingAlloc = CountingAlloc;
 fn warm_batch_scoring_performs_zero_heap_allocations() {
     taxo_nn::parallel::set_threads(1);
 
+    use std::sync::Arc;
+
     use taxo_expand::{
-        construct_graph, BatchScorer, DetectorConfig, HypoDetector, RelationalConfig,
-        RelationalModel, StructuralConfig, StructuralModel,
+        construct_graph, BatchScorer, DetectorConfig, HypoDetector, QuantizedDetector,
+        RelationalConfig, RelationalModel, StructuralConfig, StructuralModel,
     };
     use taxo_graph::WeightScheme;
     use taxo_synth::{ClickConfig, ClickLog, World, WorldConfig};
@@ -102,5 +104,28 @@ fn warm_batch_scoring_performs_zero_heap_allocations() {
     assert_eq!(
         out.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
         reference
+    );
+
+    // The int8 tier runs through the same arena and must uphold the same
+    // contract: after warm-up, quant scoring never touches the heap.
+    let quant = QuantizedDetector::from_detector(Arc::new(detector));
+    quant.score_into(&mut scorer, &world.vocab, &pairs, &mut out);
+    let quant_reference: Vec<u32> = out.iter().map(|s| s.to_bits()).collect();
+    quant.score_into(&mut scorer, &world.vocab, &pairs, &mut out);
+
+    ARMED.store(true, Ordering::SeqCst);
+    for _ in 0..5 {
+        quant.score_into(&mut scorer, &world.vocab, &pairs, &mut out);
+    }
+    ARMED.store(false, Ordering::SeqCst);
+
+    let quant_allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        quant_allocs, 0,
+        "warm quant scoring passes must not touch the heap, saw {quant_allocs} allocations"
+    );
+    assert_eq!(
+        out.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+        quant_reference
     );
 }

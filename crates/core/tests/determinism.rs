@@ -5,10 +5,12 @@
 //! The whole comparison lives in one `#[test]` so the global thread-count
 //! override never races with another test in this binary.
 
+use std::sync::Arc;
+
 use taxo_expand::{
     construct_graph, expand_taxonomy, generate_dataset, DatasetConfig, DetectorConfig,
-    ExpansionConfig, HypoDetector, RelationalConfig, RelationalModel, StructuralConfig,
-    StructuralModel,
+    ExpansionConfig, HypoDetector, QuantizedDetector, RelationalConfig, RelationalModel,
+    StructuralConfig, StructuralModel,
 };
 use taxo_graph::WeightScheme;
 use taxo_nn::parallel;
@@ -76,6 +78,23 @@ fn run_fixture() -> Vec<u32> {
             bits.push(s.to_bits());
         }
     }
+    // The int8 serving tier must be exactly as deterministic as the f32
+    // tier: quantization is a pure function of the trained weights and
+    // quant scoring shares the canonical lane order, so its scores
+    // fingerprint identically across thread counts too.
+    let quant = QuantizedDetector::from_detector(Arc::new(detector.clone()));
+    let mut scorer = taxo_expand::BatchScorer::new();
+    let mut quant_scores = Vec::new();
+    quant.score_into(&mut scorer, &world.vocab, &pairs, &mut quant_scores);
+    for (p, s) in pairs.iter().zip(&quant_scores) {
+        assert_eq!(
+            s.to_bits(),
+            quant.score(&world.vocab, p.0, p.1).to_bits(),
+            "quant batch diverged from quant scalar scoring on {p:?}"
+        );
+        bits.push(s.to_bits());
+    }
+
     let result = expand_taxonomy(
         &detector,
         &world.vocab,

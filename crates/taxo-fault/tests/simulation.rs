@@ -33,7 +33,7 @@ use taxo_expand::{
 use taxo_fault::{FaultAction, FaultPlan, Trigger};
 use taxo_serve::{
     candidate_key, expected_key, Reply, RetryClient, RetryPolicy, ServeConfig, ServeSnapshot,
-    Server,
+    Server, Tier,
 };
 use taxo_synth::{ClickConfig, ClickLog, ClickRecord, World, WorldConfig};
 
@@ -53,6 +53,9 @@ struct SimConfig {
     requests_per_client: u64,
     ingest_batches: usize,
     retry: RetryPolicy,
+    /// Serving tier every score request asks for (and the offline
+    /// replay scores with). Chaos invariants are tier-independent.
+    tier: Tier,
 }
 
 #[derive(Debug)]
@@ -213,6 +216,7 @@ fn simulate(cfg: SimConfig) -> SimReport {
                         cfg.seed,
                         c,
                         cfg.requests_per_client,
+                        cfg.tier,
                         expected,
                         queries,
                         vocab_ref,
@@ -286,6 +290,7 @@ fn score_client(
     seed: u64,
     index: usize,
     requests: u64,
+    tier: Tier,
     expected: &[ServeSnapshot],
     queries: &[ConceptId],
     vocab: &Arc<taxo_core::Vocabulary>,
@@ -296,10 +301,11 @@ fn score_client(
     let mut rng = Xorshift::new(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index as u64 + 1)));
     let mut ok = 0u64;
     let mut violations = Vec::new();
+    let wire_tier = (tier != Tier::default()).then_some(tier);
     for _ in 0..requests {
         let q = queries[(rng.next() % queries.len() as u64) as usize];
         let term = vocab.name(q);
-        match client.score(term, Some(k)) {
+        match client.score_tier(term, Some(k), wire_tier) {
             Ok(Reply::Ok(v)) => {
                 ok += 1;
                 let version = v
@@ -314,7 +320,7 @@ fn score_client(
                     continue;
                 };
                 let key = candidate_key(&v);
-                let want = expected_key(vocab, &reference.score_query(q, cap, k));
+                let want = expected_key(vocab, &reference.score_query_tier(q, cap, k, tier));
                 if key.as_deref() != Some(want.as_slice()) {
                     violations.push(format!(
                         "response for {term:?} at version {version} is not bit-identical \
@@ -446,6 +452,7 @@ fn chaos_seeds_hold_all_invariants() {
             requests_per_client: 40,
             ingest_batches: 3,
             retry: chaos_retry_policy(),
+            tier: Tier::F32,
         });
         // Optional CI artifact: the full metrics registry (fault counts,
         // ledgers, retries) as JSON lines, one file per seed.
@@ -473,6 +480,39 @@ fn chaos_seeds_hold_all_invariants() {
 }
 
 #[test]
+fn quant_tier_chaos_holds_exactly_once_and_bit_identity() {
+    let _g = sim_lock();
+    // Same invariants, second serving tier: under a seeded chaos plan
+    // every int8 response must still be answered exactly once
+    // (accepted == completed ledgers, checked inside `simulate`), name
+    // only versions the offline replay built, and be bit-identical to
+    // that version's offline **quant** replay — quantization changes the
+    // scores, never the serving semantics.
+    let report = simulate(SimConfig {
+        seed: 2,
+        plan: Some(chaos_plan(2)),
+        score_clients: 3,
+        requests_per_client: 30,
+        ingest_batches: 2,
+        retry: chaos_retry_policy(),
+        tier: Tier::Int8,
+    });
+    assert_eq!(
+        report.violations,
+        Vec::<String>::new(),
+        "int8 tier violated serving invariants under chaos"
+    );
+    assert_eq!(report.ok_responses, 3 * 30);
+    assert_eq!(report.final_version, 2);
+    assert!(
+        report.distinct_faults_fired() >= 4,
+        "fired only {:?}",
+        report.injected
+    );
+    assert!(report.retries > 0, "chaos this dense must force retries");
+}
+
+#[test]
 fn per_request_timeouts_recover_from_stalled_responses() {
     let _g = sim_lock();
     let report = simulate(SimConfig {
@@ -494,6 +534,7 @@ fn per_request_timeouts_recover_from_stalled_responses() {
             request_timeout: Duration::from_millis(50),
             connect_timeout: Duration::from_secs(5),
         },
+        tier: Tier::F32,
     });
     assert_eq!(report.violations, Vec::<String>::new());
     assert_eq!(report.ok_responses, 5);
@@ -519,6 +560,7 @@ fn same_seed_and_plan_give_identical_injection_counts() {
             requests_per_client: 60,
             ingest_batches: 0,
             retry: chaos_retry_policy(),
+            tier: Tier::F32,
         })
     };
     let first = run();
@@ -547,6 +589,7 @@ fn faultless_simulation_is_clean_and_injects_nothing() {
         requests_per_client: 25,
         ingest_batches: 2,
         retry: chaos_retry_policy(),
+        tier: Tier::F32,
     });
     assert_eq!(report.violations, Vec::<String>::new());
     assert_eq!(report.ok_responses, 50);

@@ -38,6 +38,11 @@ impl MultiHeadSelfAttention {
         }
     }
 
+    /// Number of attention heads.
+    pub fn n_heads(&self) -> usize {
+        self.n_heads
+    }
+
     fn head_dim(&self) -> usize {
         self.wq.output_dim() / self.n_heads
     }
@@ -56,27 +61,28 @@ impl MultiHeadSelfAttention {
         let mut probs = Vec::with_capacity(self.n_heads);
         for h in 0..self.n_heads {
             let off = h * dh;
-            // scores = Qh · Khᵀ * scale
+            // scores = Qh · Khᵀ * scale — canonical lane-order dots.
             let mut scores = Matrix::zeros(n, n);
             for i in 0..n {
-                for j in 0..n {
-                    let mut acc = 0.0;
-                    for c in 0..dh {
-                        acc += q[(i, off + c)] * k[(j, off + c)];
-                    }
-                    scores[(i, j)] = acc * scale;
+                let qi = &q.row(i)[off..off + dh];
+                let srow = scores.row_mut(i);
+                for (j, s) in srow.iter_mut().enumerate() {
+                    let kj = &k.row(j)[off..off + dh];
+                    *s = crate::lanes::dot(qi, kj) * scale;
                 }
             }
             scores.softmax_rows();
             // Oh = A · Vh
             for i in 0..n {
-                for j in 0..n {
-                    let a = scores[(i, j)];
+                let srow = scores.row(i);
+                let crow = &mut concat.row_mut(i)[off..off + dh];
+                for (j, &a) in srow.iter().enumerate() {
                     if a == 0.0 {
                         continue;
                     }
-                    for c in 0..dh {
-                        concat[(i, off + c)] += a * v[(j, off + c)];
+                    let vj = &v.row(j)[off..off + dh];
+                    for (o, &vv) in crow.iter_mut().zip(vj) {
+                        *o += a * vv;
                     }
                 }
             }
@@ -136,25 +142,26 @@ impl MultiHeadSelfAttention {
             let n = seq_len;
             for h in 0..self.n_heads {
                 let off = h * dh;
-                scores.reset(n, n);
+                scores.reset_for_overwrite(n, n);
                 for i in 0..n {
-                    for j in 0..n {
-                        let mut acc = 0.0;
-                        for c in 0..dh {
-                            acc += q[(base + i, off + c)] * k[(base + j, off + c)];
-                        }
-                        scores[(i, j)] = acc * scale;
+                    let qi = &q.row(base + i)[off..off + dh];
+                    let srow = scores.row_mut(i);
+                    for (j, s) in srow.iter_mut().enumerate() {
+                        let kj = &k.row(base + j)[off..off + dh];
+                        *s = crate::lanes::dot(qi, kj) * scale;
                     }
                 }
                 scores.softmax_rows();
                 for i in 0..n {
-                    for j in 0..n {
-                        let a = scores[(i, j)];
+                    let srow = scores.row(i);
+                    let crow = &mut concat.row_mut(base + i)[off..off + dh];
+                    for (j, &a) in srow.iter().enumerate() {
                         if a == 0.0 {
                             continue;
                         }
-                        for c in 0..dh {
-                            concat[(base + i, off + c)] += a * v[(base + j, off + c)];
+                        let vj = &v.row(base + j)[off..off + dh];
+                        for (o, &vv) in crow.iter_mut().zip(vj) {
+                            *o += a * vv;
                         }
                     }
                 }

@@ -187,7 +187,7 @@ impl TransformerEncoder {
         let rows = ids.len();
         let d = self.config.d_model;
 
-        scratch.h.reset(rows, d);
+        scratch.h.reset_for_overwrite(rows, d);
         for (r, (&id, &seg)) in ids.iter().zip(segments).enumerate() {
             let row = scratch.h.row_mut(r);
             row.copy_from_slice(self.tok.table.value.row(id as usize));

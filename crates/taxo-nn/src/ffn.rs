@@ -41,12 +41,13 @@ impl FeedForward {
     }
 
     /// Forward-only variant of [`FeedForward::forward`]: `hidden` and
-    /// `out` are caller-owned scratch. GELU is applied in place over the
-    /// hidden buffer — same scalar function as `gelu_forward`, so the
-    /// result is bitwise identical to the allocating path.
+    /// `out` are caller-owned scratch. GELU runs in place over the hidden
+    /// buffer through the 8-wide lane kernel — the same elementwise
+    /// function as `gelu_forward`, so the result is bitwise identical to
+    /// the allocating path.
     pub fn forward_into(&self, x: &Matrix, hidden: &mut Matrix, out: &mut Matrix) {
         self.lin1.forward_into(x, hidden);
-        hidden.map_in_place(crate::activations::gelu);
+        crate::activations::gelu_in_place(hidden.data_mut());
         self.lin2.forward_into(hidden, out);
     }
 

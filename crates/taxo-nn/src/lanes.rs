@@ -1,0 +1,327 @@
+//! Fixed-order 8-wide f32 lane primitives — the workspace's canonical
+//! reduction kernels.
+//!
+//! # Why explicit lanes
+//!
+//! LLVM will happily auto-vectorize *elementwise* loops, but it must not
+//! (and does not) auto-vectorize `f32` *reductions*: reassociating a sum
+//! changes its rounding, so a scalar `acc += a[k] * b[k]` loop compiles
+//! to a serial dependency chain, one multiply-add per iteration. Every
+//! dot product behind [`crate::Matrix::matmul_nt`], every LayerNorm
+//! mean/variance, and every softmax denominator in this crate used to pay
+//! that chain.
+//!
+//! These kernels restructure each reduction around an explicit
+//! `[f32; LANES]` accumulator: lane `l` sums elements `l, l+8, l+16, …`
+//! (a strided partition of the input), and the partials collapse through
+//! the fixed pairwise tree [`hsum8`]. Elements past the last full chunk
+//! accumulate in ascending order into a separate tail sum, added after
+//! the tree. The lane loop has no cross-iteration dependency, so it
+//! vectorizes on any SIMD width that divides 8 — two 4-wide ops on
+//! baseline x86-64, one 8-wide op under AVX.
+//!
+//! # Determinism contract
+//!
+//! The lane partition and the reduction tree are *defined by index
+//! arithmetic only*: they do not depend on thread count, batch shape,
+//! SIMD width, or buffer reuse. Each input element joins exactly one
+//! partial sum, in a position fixed by its index, so every call site
+//! computes one canonical result — bit-identical at `TAXO_THREADS=1` and
+//! `TAXO_THREADS=8`, scalar or batched. The `*_ref` twins below compute
+//! the same partials with plain strided scalar loops (no slice chunking,
+//! nothing for the vectorizer to work with) and must agree bit for bit;
+//! property tests in this module and in `matrix.rs` pin that down on
+//! ragged (non-multiple-of-8) lengths.
+
+/// Lane width of every canonical reduction in this crate.
+pub const LANES: usize = 8;
+
+/// The fixed pairwise reduction tree over one lane accumulator:
+/// `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`. This exact association is
+/// part of the workspace's numeric contract; do not "simplify" it into a
+/// sequential fold.
+#[inline(always)]
+pub fn hsum8(l: [f32; LANES]) -> f32 {
+    ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+}
+
+/// Canonical dot product `Σ a[k]·b[k]` in lane order.
+///
+/// Panics in debug builds if the lengths differ; callers pass
+/// equal-length rows.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let split = a.len() - a.len() % LANES;
+    let mut acc = [0.0f32; LANES];
+    for (ca, cb) in a[..split]
+        .chunks_exact(LANES)
+        .zip(b[..split].chunks_exact(LANES))
+    {
+        for l in 0..LANES {
+            acc[l] += ca[l] * cb[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (&x, &y) in a[split..].iter().zip(&b[split..]) {
+        tail += x * y;
+    }
+    hsum8(acc) + tail
+}
+
+/// Four canonical dot products of one activation row against four weight
+/// rows in a single pass: `[dot(a,b0), dot(a,b1), dot(a,b2), dot(a,b3)]`,
+/// bit for bit.
+///
+/// This is register blocking, not a numeric change: each output keeps
+/// its own lane accumulator, fed in the same chunk order as [`dot`] and
+/// collapsed through the same [`hsum8`] tree. Blocking amortizes the
+/// loads of `a` across four reductions and — the real win — gives the
+/// CPU four independent add chains where the single-chain [`dot`] is
+/// bound by floating-point add latency.
+///
+/// On x86-64 the lane loop is written with SSE2 intrinsics (baseline
+/// features, no runtime detection needed): LLVM's SLP vectorizer insists
+/// on transposing the four symmetric streams into shuffle-heavy code,
+/// while the intrinsic form pins the plain 8-accumulator loop. The
+/// intrinsics perform the same IEEE multiplies and adds in the same
+/// order as the portable fallback, so both are bit-identical; a property
+/// test pins `dot4` to four independent `dot` calls.
+pub fn dot4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    let n = a.len();
+    assert!(b0.len() == n && b1.len() == n && b2.len() == n && b3.len() == n);
+    #[cfg(target_arch = "x86_64")]
+    {
+        use core::arch::x86_64::{
+            _mm_add_ps, _mm_loadu_ps, _mm_mul_ps, _mm_setzero_ps, _mm_storeu_ps,
+        };
+        let split = n - n % LANES;
+        // SAFETY: every pointer read below is within `..split <= n`, and
+        // all five slices were just asserted to have length `n`.
+        unsafe {
+            let mut lo = [_mm_setzero_ps(); 4];
+            let mut hi = [_mm_setzero_ps(); 4];
+            let rows = [b0.as_ptr(), b1.as_ptr(), b2.as_ptr(), b3.as_ptr()];
+            let mut k = 0;
+            while k < split {
+                let alo = _mm_loadu_ps(a.as_ptr().add(k));
+                let ahi = _mm_loadu_ps(a.as_ptr().add(k + 4));
+                for (r, row) in rows.iter().enumerate() {
+                    let blo = _mm_loadu_ps(row.add(k));
+                    let bhi = _mm_loadu_ps(row.add(k + 4));
+                    lo[r] = _mm_add_ps(lo[r], _mm_mul_ps(alo, blo));
+                    hi[r] = _mm_add_ps(hi[r], _mm_mul_ps(ahi, bhi));
+                }
+                k += LANES;
+            }
+            let mut out = [0.0f32; 4];
+            for r in 0..4 {
+                let mut acc = [0.0f32; LANES];
+                _mm_storeu_ps(acc.as_mut_ptr(), lo[r]);
+                _mm_storeu_ps(acc.as_mut_ptr().add(4), hi[r]);
+                out[r] = hsum8(acc);
+            }
+            // Tail sums accumulate separately and join after the tree,
+            // exactly as in [`dot`].
+            let mut tail = [0.0f32; 4];
+            for k in split..n {
+                let x = a[k];
+                tail[0] += x * b0[k];
+                tail[1] += x * b1[k];
+                tail[2] += x * b2[k];
+                tail[3] += x * b3[k];
+            }
+            for r in 0..4 {
+                out[r] += tail[r];
+            }
+            out
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        [dot(a, b0), dot(a, b1), dot(a, b2), dot(a, b3)]
+    }
+}
+
+/// Canonical sum `Σ xs[k]` in lane order.
+#[inline]
+pub fn sum(xs: &[f32]) -> f32 {
+    let split = xs.len() - xs.len() % LANES;
+    let mut acc = [0.0f32; LANES];
+    for chunk in xs[..split].chunks_exact(LANES) {
+        for l in 0..LANES {
+            acc[l] += chunk[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for &x in &xs[split..] {
+        tail += x;
+    }
+    hsum8(acc) + tail
+}
+
+/// Canonical centered sum of squares `Σ (xs[k]-mean)²` in lane order —
+/// the LayerNorm variance numerator.
+#[inline]
+pub fn sum_sq_diff(xs: &[f32], mean: f32) -> f32 {
+    let split = xs.len() - xs.len() % LANES;
+    let mut acc = [0.0f32; LANES];
+    for chunk in xs[..split].chunks_exact(LANES) {
+        for l in 0..LANES {
+            let d = chunk[l] - mean;
+            acc[l] += d * d;
+        }
+    }
+    let mut tail = 0.0f32;
+    for &x in &xs[split..] {
+        let d = x - mean;
+        tail += d * d;
+    }
+    hsum8(acc) + tail
+}
+
+/// Maximum element (lane partials, pairwise-tree collapse). `f32::max`
+/// is associative and commutative over non-NaN inputs, so this equals
+/// the sequential fold bit for bit; the lane shape only removes the
+/// serial dependency chain. Returns `f32::NEG_INFINITY` on empty input.
+#[inline]
+pub fn max(xs: &[f32]) -> f32 {
+    let split = xs.len() - xs.len() % LANES;
+    let mut acc = [f32::NEG_INFINITY; LANES];
+    for chunk in xs[..split].chunks_exact(LANES) {
+        for l in 0..LANES {
+            acc[l] = acc[l].max(chunk[l]);
+        }
+    }
+    let mut m = ((acc[0].max(acc[1])).max(acc[2].max(acc[3])))
+        .max((acc[4].max(acc[5])).max(acc[6].max(acc[7])));
+    for &x in &xs[split..] {
+        m = m.max(x);
+    }
+    m
+}
+
+/// Scalar reference for [`dot`]: the same strided lane partition and the
+/// same reduction tree, written as a plain indexed loop the vectorizer
+/// has no chunked shape to exploit. Exists so tests can pin the lane
+/// kernels to an independently-written oracle.
+pub fn dot_ref(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let split = a.len() - a.len() % LANES;
+    let mut acc = [0.0f32; LANES];
+    for k in 0..split {
+        acc[k % LANES] += a[k] * b[k];
+    }
+    let mut tail = 0.0f32;
+    for k in split..a.len() {
+        tail += a[k] * b[k];
+    }
+    hsum8(acc) + tail
+}
+
+/// Scalar reference for [`sum`]; see [`dot_ref`].
+pub fn sum_ref(xs: &[f32]) -> f32 {
+    let split = xs.len() - xs.len() % LANES;
+    let mut acc = [0.0f32; LANES];
+    for k in 0..split {
+        acc[k % LANES] += xs[k];
+    }
+    let mut tail = 0.0f32;
+    for &x in &xs[split..] {
+        tail += x;
+    }
+    hsum8(acc) + tail
+}
+
+/// Scalar reference for [`sum_sq_diff`]; see [`dot_ref`].
+pub fn sum_sq_diff_ref(xs: &[f32], mean: f32) -> f32 {
+    let split = xs.len() - xs.len() % LANES;
+    let mut acc = [0.0f32; LANES];
+    for k in 0..split {
+        let d = xs[k] - mean;
+        acc[k % LANES] += d * d;
+    }
+    let mut tail = 0.0f32;
+    for &x in &xs[split..] {
+        let d = x - mean;
+        tail += d * d;
+    }
+    hsum8(acc) + tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pseudo_random(n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hsum8_is_the_documented_tree() {
+        let l = [1e8f32, -1e8, 3.0, 0.25, -7.5, 2.5, 1e-3, 4.0];
+        let want = ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]));
+        assert_eq!(hsum8(l).to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(sum(&[]), 0.0);
+        assert_eq!(max(&[]), f32::NEG_INFINITY);
+        assert_eq!(dot(&[2.0], &[3.0]), 6.0);
+        assert_eq!(sum(&[4.0, 0.5]), 4.5);
+        assert_eq!(max(&[-3.0, -1.0, -2.0]), -1.0);
+    }
+
+    proptest! {
+        /// Lane kernels must match their scalar-reference twins bit for
+        /// bit on ragged (non-multiple-of-8) lengths.
+        #[test]
+        fn lane_kernels_match_scalar_refs_on_ragged_lengths(
+            n in 1usize..70,
+            seed in 0u64..1000,
+        ) {
+            let a = pseudo_random(n, seed);
+            let b = pseudo_random(n, seed ^ 0xABCD);
+            prop_assert_eq!(dot(&a, &b).to_bits(), dot_ref(&a, &b).to_bits());
+            prop_assert_eq!(sum(&a).to_bits(), sum_ref(&a).to_bits());
+            let mean = sum(&a) / n as f32;
+            prop_assert_eq!(
+                sum_sq_diff(&a, mean).to_bits(),
+                sum_sq_diff_ref(&a, mean).to_bits()
+            );
+        }
+
+        /// `dot4` is pure register blocking: bit-identical to four
+        /// independent `dot` calls, including ragged lengths.
+        #[test]
+        fn dot4_matches_four_dots(n in 1usize..70, seed in 0u64..500) {
+            let a = pseudo_random(n, seed);
+            let bs: Vec<Vec<f32>> =
+                (0..4).map(|i| pseudo_random(n, seed ^ (0x1111 * (i + 1)))).collect();
+            let got = dot4(&a, &bs[0], &bs[1], &bs[2], &bs[3]);
+            for i in 0..4 {
+                prop_assert_eq!(got[i].to_bits(), dot(&a, &bs[i]).to_bits());
+            }
+        }
+
+        /// Lane max equals the sequential fold exactly (associativity of
+        /// max over non-NaN inputs).
+        #[test]
+        fn lane_max_matches_sequential_fold(n in 1usize..70, seed in 0u64..1000) {
+            let xs = pseudo_random(n, seed);
+            let seq = xs.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+            prop_assert_eq!(max(&xs).to_bits(), seq.to_bits());
+        }
+    }
+}

@@ -18,6 +18,17 @@ pub struct LayerNormCtx {
     inv_std: Vec<f32>,
 }
 
+/// Per-row mean and 1/σ in the canonical lane order of [`crate::lanes`].
+/// The single shared implementation is what makes `forward` and
+/// `forward_into` bitwise identical by construction.
+#[inline]
+pub(crate) fn row_stats(row: &[f32], eps: f32) -> (f32, f32) {
+    let d = row.len();
+    let mean = crate::lanes::sum(row) / d as f32;
+    let var = crate::lanes::sum_sq_diff(row, mean) / d as f32;
+    (mean, 1.0 / (var + eps).sqrt())
+}
+
 impl LayerNorm {
     /// γ=1, β=0 layer over vectors of size `dim`.
     pub fn new(dim: usize) -> Self {
@@ -36,9 +47,7 @@ impl LayerNorm {
         let mut out = Matrix::zeros(n, d);
         for r in 0..n {
             let row = x.row(r);
-            let mean = row.iter().sum::<f32>() / d as f32;
-            let var = row.iter().map(|&v| (v - mean).powi(2)).sum::<f32>() / d as f32;
-            let istd = 1.0 / (var + self.eps).sqrt();
+            let (mean, istd) = row_stats(row, self.eps);
             inv_std.push(istd);
             for c in 0..d {
                 let xh = (row[c] - mean) * istd;
@@ -56,17 +65,16 @@ impl LayerNorm {
     }
 
     /// Forward-only variant of [`LayerNorm::forward`]: writes into a
-    /// caller-owned buffer and skips the saved statistics. Evaluates the
-    /// exact same per-row expressions in the same order, so the output is
-    /// bitwise identical.
+    /// caller-owned buffer and skips the saved statistics. Row statistics
+    /// come from the shared [`row_stats`] kernel and the write loop
+    /// evaluates the exact same expressions in the same order, so the
+    /// output is bitwise identical.
     pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
         let (n, d) = (x.rows(), x.cols());
-        out.reset(n, d);
+        out.reset_for_overwrite(n, d);
         for r in 0..n {
             let row = x.row(r);
-            let mean = row.iter().sum::<f32>() / d as f32;
-            let var = row.iter().map(|&v| (v - mean).powi(2)).sum::<f32>() / d as f32;
-            let istd = 1.0 / (var + self.eps).sqrt();
+            let (mean, istd) = row_stats(row, self.eps);
             let out_row = out.row_mut(r);
             for c in 0..d {
                 let xh = (row[c] - mean) * istd;

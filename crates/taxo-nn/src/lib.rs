@@ -34,6 +34,7 @@ mod embedding;
 mod encoder;
 mod ffn;
 pub mod gradcheck;
+pub mod lanes;
 mod layernorm;
 mod linear;
 pub mod losses;
@@ -42,6 +43,7 @@ mod mlp;
 mod optim;
 pub mod parallel;
 mod param;
+pub mod quant;
 mod schedule;
 pub mod scratch;
 mod serialize;
@@ -58,6 +60,7 @@ pub use mlp::{Mlp, MlpCtx};
 pub use optim::{Adam, Sgd};
 pub use parallel::Parallelism;
 pub use param::{Module, Param};
+pub use quant::{QuantEncoder, QuantLinear, QuantMatrix, QuantMlp};
 pub use schedule::{clip_grad_norm, LrSchedule};
 pub use scratch::{BlockScratch, Scratch};
 pub use serialize::{load_params, save_params, LoadError};

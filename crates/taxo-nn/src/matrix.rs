@@ -29,18 +29,24 @@ fn matmul_row(a_row: &[f32], b: &Matrix, out_row: &mut [f32]) {
     }
 }
 
-/// One output row of `a · bᵀ`: independent dot products, ascending-index
-/// accumulation. Shared by the sequential and row-parallel `matmul_nt`
-/// paths.
+/// One output row of `a · bᵀ`: independent dot products in the canonical
+/// 8-wide lane order of [`crate::lanes::dot`]. Columns go four at a time
+/// through the register-blocked [`crate::lanes::dot4`] (bit-identical to
+/// four `dot` calls, one pass over `a_row`, four independent add chains),
+/// with a `dot` loop for the ragged remainder. Shared by the sequential
+/// and row-parallel `matmul_nt` paths, so thread count never changes the
+/// accumulation order of any output element.
 #[inline]
 fn matmul_nt_row(a_row: &[f32], b: &Matrix, out_row: &mut [f32]) {
-    for (j, o) in out_row.iter_mut().enumerate() {
-        let b_row = b.row(j);
-        let mut acc = 0.0;
-        for (&a, &bv) in a_row.iter().zip(b_row) {
-            acc += a * bv;
-        }
-        *o = acc;
+    let blocks = out_row.len() / 4 * 4;
+    let mut j = 0;
+    while j < blocks {
+        let d = crate::lanes::dot4(a_row, b.row(j), b.row(j + 1), b.row(j + 2), b.row(j + 3));
+        out_row[j..j + 4].copy_from_slice(&d);
+        j += 4;
+    }
+    for (o, jj) in out_row[blocks..].iter_mut().zip(blocks..) {
+        *o = crate::lanes::dot(a_row, b.row(jj));
     }
 }
 
@@ -138,6 +144,22 @@ impl Matrix {
         self.cols = cols;
     }
 
+    /// Reshapes like [`Matrix::reset`] but skips the zero fill when the
+    /// buffer already holds exactly `rows · cols` elements. For outputs
+    /// whose every element the caller assigns (`out[i][j] = …`) the
+    /// memset is pure waste on the hot serving path. Contents are
+    /// unspecified on return — callers must overwrite everything; any
+    /// kernel that *accumulates* (`+=`) keeps using [`Matrix::reset`].
+    pub fn reset_for_overwrite(&mut self, rows: usize, cols: usize) {
+        let need = rows * cols;
+        if self.data.len() != need {
+            self.data.clear();
+            self.data.resize(need, 0.0);
+        }
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// Copies `other` into `self`, reshaping via [`Matrix::reset`] (so the
     /// buffer is reused; see its warm-up contract).
     pub fn copy_from(&mut self, other: &Matrix) {
@@ -207,7 +229,7 @@ impl Matrix {
             "matmul_nt: {}x{} · ({}x{})ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
-        out.reset(self.rows, other.rows);
+        out.reset_for_overwrite(self.rows, other.rows);
         let cols = other.rows;
         let macs = self.rows * self.cols * cols;
         if parallel::threads() > 1 && macs >= PAR_MIN_MACS && self.rows > 1 {
@@ -439,14 +461,16 @@ impl Matrix {
     }
 }
 
-/// Numerically stable softmax over a slice, in place.
+/// Numerically stable softmax over a slice, in place. The max and the
+/// exponential sum run in the canonical lane order of [`crate::lanes`];
+/// the exp pass is the elementwise lane kernel
+/// [`crate::activations::exp_shifted_in_place`] (branch-free
+/// [`crate::activations::exp_approx`], so it vectorizes), and the
+/// denominator is a fixed-order lane reduction over the written values.
 pub fn softmax_in_place(xs: &mut [f32]) {
-    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let mut sum = 0.0;
-    for x in xs.iter_mut() {
-        *x = (*x - max).exp();
-        sum += *x;
-    }
+    let max = crate::lanes::max(xs);
+    crate::activations::exp_shifted_in_place(xs, max);
+    let sum = crate::lanes::sum(xs);
     if sum > 0.0 {
         for x in xs.iter_mut() {
             *x /= sum;

@@ -1,0 +1,565 @@
+//! Int8 weight-only quantization — the second serving tier.
+//!
+//! Every weight matrix is stored as `i8` with one `f32` scale per output
+//! row (`scale = max_abs(row) / 127`); activations stay `f32` and every
+//! accumulation runs in `f32`, in the same canonical 8-wide lane order as
+//! the full-precision kernels ([`crate::lanes`]). The result is a forward
+//! stack that:
+//!
+//! * touches 4× less weight memory per GEMM,
+//! * is **deterministic**: quantization is a pure function of the `f32`
+//!   weights, and scoring through it is bit-identical at any thread
+//!   count and any batch shape (same argument as the f32 tier — one
+//!   canonical accumulation order, defined by index arithmetic alone),
+//! * diverges from the f32 tier by a *bounded* amount: each weight's
+//!   round-trip error is at most `scale/2 = max_abs/254`, so each dot
+//!   product over `k` inputs diverges by at most
+//!   `Σ_k |x_k| · scale_row/2` before non-linearities. The serving layer
+//!   measures the realized end-to-end score divergence per snapshot and
+//!   reports it (`serve.quant.max_abs_divergence`); property tests here
+//!   pin the per-layer bound.
+//!
+//! Only the forward-only (`*_into`) paths exist in quantized form —
+//! training always runs full precision, and a [`QuantEncoder`] /
+//! [`QuantMlp`] is built *from* a trained f32 model, never trained
+//! itself.
+
+use crate::activations::gelu_in_place;
+use crate::activations::sigmoid;
+use crate::lanes::{self, LANES};
+use crate::scratch::{BlockScratch, Scratch};
+use crate::{
+    FeedForward, LayerNorm, Linear, Matrix, Mlp, MultiHeadSelfAttention, TransformerBlock,
+    TransformerEncoder,
+};
+
+/// Canonical lane-order dot of an `f32` activation row against an `i8`
+/// weight row: `Σ a[k] · f32::from(w[k])`, lane partition and reduction
+/// tree identical to [`lanes::dot`]. The caller applies the row scale
+/// once, outside the sum.
+#[inline]
+pub fn dot_i8(a: &[f32], w: &[i8]) -> f32 {
+    debug_assert_eq!(a.len(), w.len());
+    let split = a.len() - a.len() % LANES;
+    let mut acc = [0.0f32; LANES];
+    for (ca, cw) in a[..split]
+        .chunks_exact(LANES)
+        .zip(w[..split].chunks_exact(LANES))
+    {
+        for l in 0..LANES {
+            acc[l] += ca[l] * f32::from(cw[l]);
+        }
+    }
+    let mut tail = 0.0f32;
+    for (&x, &q) in a[split..].iter().zip(&w[split..]) {
+        tail += x * f32::from(q);
+    }
+    lanes::hsum8(acc) + tail
+}
+
+/// A row-major `i8` matrix with one `f32` scale per row:
+/// `original[r][c] ≈ data[r][c] · scales[r]`.
+#[derive(Debug, Clone)]
+pub struct QuantMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl QuantMatrix {
+    /// Symmetric per-row quantization: `scale_r = max_abs(row r) / 127`,
+    /// `q = round(x / scale_r)` clamped to `[-127, 127]`. An all-zero row
+    /// gets scale 0 and all-zero codes (round-trips exactly).
+    pub fn quantize(m: &Matrix) -> Self {
+        let (rows, cols) = (m.rows(), m.cols());
+        let mut data = Vec::with_capacity(rows * cols);
+        let mut scales = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = m.row(r);
+            let max_abs = row.iter().fold(0.0f32, |acc, &v| acc.max(v.abs()));
+            let scale = max_abs / 127.0;
+            let inv = if scale > 0.0 { 1.0 / scale } else { 0.0 };
+            scales.push(scale);
+            for &v in row {
+                data.push((v * inv).round().clamp(-127.0, 127.0) as i8);
+            }
+        }
+        QuantMatrix {
+            rows,
+            cols,
+            data,
+            scales,
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Quantized row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[i8] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Scale of row `r`.
+    #[inline]
+    pub fn scale(&self, r: usize) -> f32 {
+        self.scales[r]
+    }
+
+    /// Reconstructs the `f32` matrix (`q · scale` per element).
+    pub fn dequantize(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |r, c| {
+            f32::from(self.data[r * self.cols + c]) * self.scales[r]
+        })
+    }
+
+    /// `out = x · selfᵀ` with `self` as the weight matrix (`out × in`
+    /// layout, like [`Matrix::matmul_nt`] against a [`Linear`] weight):
+    /// f32 accumulation in canonical lane order, one scale multiply per
+    /// output element. Allocation-free once `out` is warm.
+    pub fn matmul_nt_into(&self, x: &Matrix, out: &mut Matrix) {
+        assert_eq!(x.cols(), self.cols, "inner dimensions must match");
+        out.reset_for_overwrite(x.rows(), self.rows);
+        for i in 0..x.rows() {
+            let a_row = x.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = self.scales[j] * dot_i8(a_row, self.row(j));
+            }
+        }
+    }
+}
+
+/// Quantized twin of [`Linear`]: int8 weights, f32 bias.
+#[derive(Debug, Clone)]
+pub struct QuantLinear {
+    pub w: QuantMatrix,
+    b: Matrix,
+}
+
+impl QuantLinear {
+    pub fn from_linear(lin: &Linear) -> Self {
+        QuantLinear {
+            w: QuantMatrix::quantize(&lin.w.value),
+            b: lin.b.value.clone(),
+        }
+    }
+
+    pub fn output_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Mirror of [`Linear::forward_into`].
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        self.w.matmul_nt_into(x, out);
+        out.add_row_broadcast(&self.b);
+    }
+}
+
+/// Quantized twin of [`MultiHeadSelfAttention`] (forward-only).
+#[derive(Debug, Clone)]
+pub struct QuantAttention {
+    wq: QuantLinear,
+    wk: QuantLinear,
+    wv: QuantLinear,
+    wo: QuantLinear,
+    n_heads: usize,
+}
+
+impl QuantAttention {
+    pub fn from_attention(attn: &MultiHeadSelfAttention) -> Self {
+        QuantAttention {
+            wq: QuantLinear::from_linear(&attn.wq),
+            wk: QuantLinear::from_linear(&attn.wk),
+            wv: QuantLinear::from_linear(&attn.wv),
+            wo: QuantLinear::from_linear(&attn.wo),
+            n_heads: attn.n_heads(),
+        }
+    }
+
+    /// Mirror of [`MultiHeadSelfAttention::forward_batch_into`]: same
+    /// loops, same lane-order score dots and softmax, quantized
+    /// projections.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_batch_into(
+        &self,
+        x: &Matrix,
+        seq_len: usize,
+        q: &mut Matrix,
+        k: &mut Matrix,
+        v: &mut Matrix,
+        scores: &mut Matrix,
+        concat: &mut Matrix,
+        out: &mut Matrix,
+    ) {
+        let rows = x.rows();
+        assert!(seq_len > 0 && rows.is_multiple_of(seq_len), "ragged batch");
+        let batch = rows / seq_len;
+        let dh = self.wq.output_dim() / self.n_heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        self.wq.forward_into(x, q);
+        self.wk.forward_into(x, k);
+        self.wv.forward_into(x, v);
+
+        concat.reset(rows, self.wq.output_dim());
+        for s in 0..batch {
+            let base = s * seq_len;
+            let n = seq_len;
+            for h in 0..self.n_heads {
+                let off = h * dh;
+                scores.reset_for_overwrite(n, n);
+                for i in 0..n {
+                    let qi = &q.row(base + i)[off..off + dh];
+                    let srow = scores.row_mut(i);
+                    for (j, s) in srow.iter_mut().enumerate() {
+                        let kj = &k.row(base + j)[off..off + dh];
+                        *s = lanes::dot(qi, kj) * scale;
+                    }
+                }
+                scores.softmax_rows();
+                for i in 0..n {
+                    let srow = scores.row(i);
+                    let crow = &mut concat.row_mut(base + i)[off..off + dh];
+                    for (j, &a) in srow.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let vj = &v.row(base + j)[off..off + dh];
+                        for (o, &vv) in crow.iter_mut().zip(vj) {
+                            *o += a * vv;
+                        }
+                    }
+                }
+            }
+        }
+        self.wo.forward_into(concat, out);
+    }
+}
+
+/// Quantized twin of [`FeedForward`] (forward-only).
+#[derive(Debug, Clone)]
+pub struct QuantFeedForward {
+    lin1: QuantLinear,
+    lin2: QuantLinear,
+}
+
+impl QuantFeedForward {
+    pub fn from_ffn(ffn: &FeedForward) -> Self {
+        QuantFeedForward {
+            lin1: QuantLinear::from_linear(&ffn.lin1),
+            lin2: QuantLinear::from_linear(&ffn.lin2),
+        }
+    }
+
+    /// Mirror of [`FeedForward::forward_into`].
+    pub fn forward_into(&self, x: &Matrix, hidden: &mut Matrix, out: &mut Matrix) {
+        self.lin1.forward_into(x, hidden);
+        gelu_in_place(hidden.data_mut());
+        self.lin2.forward_into(hidden, out);
+    }
+}
+
+/// Quantized twin of [`TransformerBlock`] (forward-only). LayerNorms stay
+/// full precision — they are parameter-light and their statistics are
+/// what keeps the quantization error from compounding across layers.
+#[derive(Debug, Clone)]
+pub struct QuantBlock {
+    ln1: LayerNorm,
+    attn: QuantAttention,
+    ln2: LayerNorm,
+    ffn: QuantFeedForward,
+}
+
+impl QuantBlock {
+    pub fn from_block(block: &TransformerBlock) -> Self {
+        QuantBlock {
+            ln1: block.ln1.clone(),
+            attn: QuantAttention::from_attention(&block.attn),
+            ln2: block.ln2.clone(),
+            ffn: QuantFeedForward::from_ffn(&block.ffn),
+        }
+    }
+
+    /// Mirror of [`TransformerBlock::forward_batch_in_place`].
+    pub fn forward_batch_in_place(&self, h: &mut Matrix, seq_len: usize, s: &mut BlockScratch) {
+        self.ln1.forward_into(h, &mut s.normed);
+        self.attn.forward_batch_into(
+            &s.normed,
+            seq_len,
+            &mut s.q,
+            &mut s.k,
+            &mut s.v,
+            &mut s.scores,
+            &mut s.concat,
+            &mut s.attn_out,
+        );
+        h.add_assign(&s.attn_out);
+
+        self.ln2.forward_into(h, &mut s.normed);
+        self.ffn
+            .forward_into(&s.normed, &mut s.ffn_hidden, &mut s.ffn_out);
+        h.add_assign(&s.ffn_out);
+    }
+}
+
+/// Quantized twin of [`TransformerEncoder`] (forward-only): embeddings
+/// and LayerNorms full precision, every projection int8.
+#[derive(Debug, Clone)]
+pub struct QuantEncoder {
+    d_model: usize,
+    max_len: usize,
+    tok: Matrix,
+    pos: Matrix,
+    seg: Matrix,
+    blocks: Vec<QuantBlock>,
+    final_ln: LayerNorm,
+}
+
+impl QuantEncoder {
+    pub fn from_encoder(enc: &TransformerEncoder) -> Self {
+        QuantEncoder {
+            d_model: enc.config.d_model,
+            max_len: enc.config.max_len,
+            tok: enc.tok.table.value.clone(),
+            pos: enc.pos.table.value.clone(),
+            seg: enc.seg.table.value.clone(),
+            blocks: enc.blocks.iter().map(QuantBlock::from_block).collect(),
+            final_ln: enc.final_ln.clone(),
+        }
+    }
+
+    pub fn d_model(&self) -> usize {
+        self.d_model
+    }
+
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Mirror of [`TransformerEncoder::forward_batch_into`]: per-token
+    /// hidden states land in `scratch.enc_out`.
+    pub fn forward_batch_into(
+        &self,
+        ids: &[u32],
+        segments: &[u32],
+        seq_len: usize,
+        scratch: &mut Scratch,
+    ) {
+        assert_eq!(ids.len(), segments.len(), "one segment id per token");
+        assert!(
+            seq_len >= 1 && seq_len <= self.max_len,
+            "seq_len {} out of range 1..={}",
+            seq_len,
+            self.max_len
+        );
+        assert!(ids.len().is_multiple_of(seq_len), "ragged batch");
+        let rows = ids.len();
+
+        scratch.h.reset_for_overwrite(rows, self.d_model);
+        for (r, (&id, &seg)) in ids.iter().zip(segments).enumerate() {
+            let row = scratch.h.row_mut(r);
+            row.copy_from_slice(self.tok.row(id as usize));
+            let pos_row = self.pos.row(r % seq_len);
+            for (a, &b) in row.iter_mut().zip(pos_row) {
+                *a += b;
+            }
+            let seg_row = self.seg.row(seg as usize);
+            for (a, &b) in row.iter_mut().zip(seg_row) {
+                *a += b;
+            }
+        }
+
+        for block in &self.blocks {
+            block.forward_batch_in_place(&mut scratch.h, seq_len, &mut scratch.block);
+        }
+        self.final_ln.forward_into(&scratch.h, &mut scratch.enc_out);
+    }
+}
+
+/// Quantized twin of [`Mlp`] (forward-only).
+#[derive(Debug, Clone)]
+pub struct QuantMlp {
+    lin1: QuantLinear,
+    lin2: QuantLinear,
+}
+
+impl QuantMlp {
+    pub fn from_mlp(mlp: &Mlp) -> Self {
+        QuantMlp {
+            lin1: QuantLinear::from_linear(&mlp.lin1),
+            lin2: QuantLinear::from_linear(&mlp.lin2),
+        }
+    }
+
+    /// Mirror of [`Mlp::forward_into`].
+    pub fn forward_into(&self, x: &Matrix, hidden: &mut Matrix, logits: &mut Matrix) {
+        self.lin1.forward_into(x, hidden);
+        hidden.map_in_place(sigmoid);
+        self.lin2.forward_into(hidden, logits);
+    }
+
+    /// Mirror of [`Mlp::predict_positive_batch_into`].
+    pub fn predict_positive_batch_into(
+        &self,
+        x: &Matrix,
+        hidden: &mut Matrix,
+        logits: &mut Matrix,
+        out: &mut Vec<f32>,
+    ) {
+        self.forward_into(x, hidden, logits);
+        logits.softmax_rows();
+        for r in 0..logits.rows() {
+            out.push(logits[(r, 1)]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pseudo_random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+    }
+
+    proptest! {
+        /// Per-row scale correctness: `scale = max_abs/127` exactly, the
+        /// max-magnitude element encodes to ±127, and every element's
+        /// round-trip error is within half a quantization step.
+        #[test]
+        fn quantize_dequantize_round_trip(
+            rows in 1usize..12,
+            cols in 1usize..40,
+            seed in 0u64..500,
+        ) {
+            let m = pseudo_random_matrix(rows, cols, seed);
+            let q = QuantMatrix::quantize(&m);
+            let back = q.dequantize();
+            for r in 0..rows {
+                let max_abs = m.row(r).iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+                prop_assert_eq!(q.scale(r).to_bits(), (max_abs / 127.0).to_bits());
+                let max_code = q.row(r).iter().map(|&c| c.unsigned_abs()).max().unwrap();
+                if max_abs > 0.0 {
+                    prop_assert_eq!(max_code, 127);
+                }
+                for c in 0..cols {
+                    let err = (back[(r, c)] - m[(r, c)]).abs();
+                    // Half a step, plus f32 slack on the scale arithmetic.
+                    let bound = q.scale(r) * 0.5 + max_abs * 1e-6;
+                    prop_assert!(err <= bound, "({r},{c}): err {err} > {bound}");
+                }
+            }
+        }
+
+        /// Divergence bound of the quantized GEMM vs f32 on random
+        /// weights: each output element differs by at most
+        /// `Σ_k |x_k| · scale_row/2` (plus accumulation slack).
+        #[test]
+        fn quant_matmul_divergence_is_bounded(
+            n in 1usize..6,
+            inner in 1usize..24,
+            out_dim in 1usize..10,
+            seed in 0u64..200,
+        ) {
+            let x = pseudo_random_matrix(n, inner, seed);
+            let w = pseudo_random_matrix(out_dim, inner, seed ^ 0x5555);
+            let q = QuantMatrix::quantize(&w);
+            let mut got = Matrix::zeros(0, 0);
+            q.matmul_nt_into(&x, &mut got);
+            let want = x.matmul_nt(&w);
+            for i in 0..n {
+                let abs_sum: f32 = x.row(i).iter().map(|v| v.abs()).sum();
+                for j in 0..out_dim {
+                    let err = (got[(i, j)] - want[(i, j)]).abs();
+                    let bound = abs_sum * (q.scale(j) * 0.5) + 1e-4;
+                    prop_assert!(err <= bound, "({i},{j}): err {err} > {bound}");
+                }
+            }
+        }
+
+        /// `dot_i8` follows the same lane partition as `lanes::dot`: on
+        /// codes converted back to f32 the two must agree bit for bit,
+        /// including ragged lengths.
+        #[test]
+        fn dot_i8_matches_lane_dot_on_converted_codes(
+            n in 1usize..70,
+            seed in 0u64..500,
+        ) {
+            let a: Vec<f32> = pseudo_random_matrix(1, n, seed).row(0).to_vec();
+            let codes: Vec<i8> = (0..n)
+                .map(|i| (((seed as usize + 31 * i) % 255) as i32 - 127) as i8)
+                .collect();
+            let wf: Vec<f32> = codes.iter().map(|&c| f32::from(c)).collect();
+            prop_assert_eq!(
+                dot_i8(&a, &codes).to_bits(),
+                lanes::dot(&a, &wf).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn quant_matmul_is_deterministic_and_alloc_free_when_warm() {
+        let x = pseudo_random_matrix(7, 33, 3);
+        let w = pseudo_random_matrix(9, 33, 4);
+        let q = QuantMatrix::quantize(&w);
+        let mut a = Matrix::zeros(0, 0);
+        let mut b = Matrix::zeros(0, 0);
+        q.matmul_nt_into(&x, &mut a);
+        q.matmul_nt_into(&x, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_rows_quantize_exactly() {
+        let mut m = pseudo_random_matrix(3, 8, 9);
+        for v in m.row_mut(1) {
+            *v = 0.0;
+        }
+        let q = QuantMatrix::quantize(&m);
+        assert_eq!(q.scale(1), 0.0);
+        assert!(q.row(1).iter().all(|&c| c == 0));
+        let back = q.dequantize();
+        assert!(back.row(1).iter().all(|&v| v == 0.0));
+    }
+
+    /// The full quantized encoder+MLP stack must stay close to the f32
+    /// stack on a real (randomly initialised) model.
+    #[test]
+    fn quant_encoder_tracks_f32_encoder() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let enc = TransformerEncoder::new(crate::EncoderConfig::tiny(24), &mut rng);
+        let qenc = QuantEncoder::from_encoder(&enc);
+        let ids: Vec<u32> = vec![1, 7, 9, 2, 1, 12, 13, 2];
+        let segs: Vec<u32> = vec![0, 0, 1, 1, 0, 1, 1, 1];
+        let mut scratch = Scratch::new();
+        let mut qscratch = Scratch::new();
+        enc.forward_batch_into(&ids, &segs, 4, &mut scratch);
+        qenc.forward_batch_into(&ids, &segs, 4, &mut qscratch);
+        let mut max_err = 0.0f32;
+        for r in 0..8 {
+            for (a, b) in qscratch.enc_out.row(r).iter().zip(scratch.enc_out.row(r)) {
+                max_err = max_err.max((a - b).abs());
+            }
+        }
+        assert!(max_err < 0.15, "quantized encoder drifted: {max_err}");
+        assert!(max_err > 0.0, "quantization must actually round something");
+    }
+}

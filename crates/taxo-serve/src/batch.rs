@@ -27,6 +27,7 @@
 //! contract: close, then keep draining until dry.
 
 use crate::cache::{ScoreCache, ScoreKey};
+use crate::protocol::Tier;
 use crate::snapshot::ServeSnapshot;
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc;
@@ -172,6 +173,8 @@ impl<T> BoundedQueue<T> {
 /// go back on (in `items` order).
 pub struct ScoreJob {
     pub snapshot: Arc<ServeSnapshot>,
+    /// Which weight tier answers this job (part of the cache identity).
+    pub tier: Tier,
     pub query: ConceptId,
     pub items: Vec<ConceptId>,
     pub reply: mpsc::Sender<Vec<f32>>,
@@ -205,7 +208,7 @@ pub fn score_batch(jobs: Vec<ScoreJob>, pool: &ScratchPool, cache: &ScoreCache) 
     let mut uniq_jobs: Vec<usize> = Vec::with_capacity(total);
     for (j, job) in jobs.iter().enumerate() {
         for &item in &job.items {
-            let key = (job.snapshot.version, job.query, item);
+            let key = (job.snapshot.version, job.tier, job.query, item);
             index.entry(key).or_insert_with(|| {
                 uniq_keys.push(key);
                 uniq_jobs.push(j);
@@ -225,24 +228,28 @@ pub fn score_batch(jobs: Vec<ScoreJob>, pool: &ScratchPool, cache: &ScoreCache) 
         }
     }
 
-    // Score the misses, grouped by snapshot (a batch usually spans one
-    // version, at most two around a swap). Sorting by version keeps each
-    // group contiguous; within a group order is irrelevant to the bits.
-    missed.sort_unstable_by_key(|&u| uniq_keys[u].0);
+    // Score the misses, grouped by (snapshot, tier) — a batch usually
+    // spans one version, at most two around a swap, times the tiers in
+    // play. Sorting keeps each group contiguous; within a group order is
+    // irrelevant to the bits.
+    missed.sort_unstable_by_key(|&u| (uniq_keys[u].0, uniq_keys[u].1));
     let mut start = 0;
     while start < missed.len() {
-        let version = uniq_keys[missed[start]].0;
+        let (version, tier) = (uniq_keys[missed[start]].0, uniq_keys[missed[start]].1);
         let mut end = start + 1;
-        while end < missed.len() && uniq_keys[missed[end]].0 == version {
+        while end < missed.len()
+            && uniq_keys[missed[end]].0 == version
+            && uniq_keys[missed[end]].1 == tier
+        {
             end += 1;
         }
         let group = &missed[start..end];
         let snap = &jobs[uniq_jobs[group[0]]].snapshot;
         let pairs: Vec<(ConceptId, ConceptId)> = group
             .iter()
-            .map(|&u| (uniq_keys[u].1, uniq_keys[u].2))
+            .map(|&u| (uniq_keys[u].2, uniq_keys[u].3))
             .collect();
-        let fresh = score_misses(snap, &pairs, pool);
+        let fresh = score_misses(snap, tier, &pairs, pool);
         for (&u, &s) in group.iter().zip(&fresh) {
             scores[u] = s;
             cache.insert(uniq_keys[u], s);
@@ -254,7 +261,7 @@ pub fn score_batch(jobs: Vec<ScoreJob>, pool: &ScratchPool, cache: &ScoreCache) 
         let out: Vec<f32> = job
             .items
             .iter()
-            .map(|&item| scores[index[&(job.snapshot.version, job.query, item)]])
+            .map(|&item| scores[index[&(job.snapshot.version, job.tier, job.query, item)]])
             .collect();
         // A dead receiver means the connection worker gave up (client
         // disconnected mid-request); nothing to do.
@@ -268,6 +275,7 @@ pub fn score_batch(jobs: Vec<ScoreJob>, pool: &ScratchPool, cache: &ScoreCache) 
 /// build-time table (identical bytes to recomputing them).
 fn score_misses(
     snap: &ServeSnapshot,
+    tier: Tier,
     pairs: &[(ConceptId, ConceptId)],
     pool: &ScratchPool,
 ) -> Vec<f32> {
@@ -275,25 +283,38 @@ fn score_misses(
     let run = |chunk: &[(ConceptId, ConceptId)]| -> Vec<f32> {
         let mut scorer = pool.take();
         let mut out = Vec::with_capacity(chunk.len());
-        scorer.score_with_features_into(
-            &snap.detector,
-            &snap.vocab,
-            chunk,
-            |p, row| {
-                let (q, i) = chunk[p];
-                match snap.structural_row(q, i) {
-                    Some(src) => row.copy_from_slice(src),
-                    // A pair outside the snapshot's candidate table (or a
-                    // structural-free detector, where rows are empty).
-                    None => {
-                        if let Some(st) = &snap.detector.structural {
-                            st.pair_features_into(q, i, row);
-                        }
+        // Structural feature rows are tier-independent (the structural
+        // model is not quantized), so both tiers share the snapshot's
+        // precomputed table.
+        let fill = |p: usize, row: &mut [f32]| {
+            let (q, i) = chunk[p];
+            match snap.structural_row(q, i) {
+                Some(src) => row.copy_from_slice(src),
+                // A pair outside the snapshot's candidate table (or a
+                // structural-free detector, where rows are empty).
+                None => {
+                    if let Some(st) = &snap.detector.structural {
+                        st.pair_features_into(q, i, row);
                     }
                 }
-            },
-            &mut out,
-        );
+            }
+        };
+        match tier {
+            Tier::F32 => scorer.score_with_features_into(
+                snap.detector.as_ref(),
+                &snap.vocab,
+                chunk,
+                fill,
+                &mut out,
+            ),
+            Tier::Int8 => scorer.score_with_features_into(
+                snap.quant.as_ref(),
+                &snap.vocab,
+                chunk,
+                fill,
+                &mut out,
+            ),
+        }
         pool.put(scorer);
         out
     };
@@ -358,6 +379,7 @@ mod tests {
         let cache = ScoreCache::new(1024);
         let job = |tx: mpsc::Sender<Vec<f32>>| ScoreJob {
             snapshot: Arc::clone(&snap),
+            tier: Tier::F32,
             query,
             items: items.clone(),
             reply: tx,
@@ -378,6 +400,56 @@ mod tests {
         let (tx_c, rx_c) = mpsc::channel();
         score_batch(vec![job(tx_c)], &pool, &cache);
         assert_eq!(bits(rx_c.recv().unwrap()), reference);
+    }
+
+    #[test]
+    fn mixed_tier_batch_scores_each_tier_with_its_own_weights() {
+        let (snap, items) = tiny_snapshot();
+        let query = snap.vocab.get("snack food").unwrap();
+        let f32_ref: Vec<u32> = items
+            .iter()
+            .map(|&i| snap.detector.score(&snap.vocab, query, i).to_bits())
+            .collect();
+        let int8_ref: Vec<u32> = items
+            .iter()
+            .map(|&i| snap.quant.score(&snap.vocab, query, i).to_bits())
+            .collect();
+
+        let pool = ScratchPool::new();
+        let cache = ScoreCache::new(1024);
+        let job = |tier: Tier, tx: mpsc::Sender<Vec<f32>>| ScoreJob {
+            snapshot: Arc::clone(&snap),
+            tier,
+            query,
+            items: items.clone(),
+            reply: tx,
+        };
+        let (tx_f, rx_f) = mpsc::channel();
+        let (tx_q, rx_q) = mpsc::channel();
+        score_batch(
+            vec![job(Tier::F32, tx_f), job(Tier::Int8, tx_q)],
+            &pool,
+            &cache,
+        );
+        let bits = |v: Vec<f32>| v.into_iter().map(f32::to_bits).collect::<Vec<_>>();
+        assert_eq!(bits(rx_f.recv().unwrap()), f32_ref);
+        assert_eq!(bits(rx_q.recv().unwrap()), int8_ref);
+        assert_eq!(
+            cache.len(),
+            2 * items.len(),
+            "each tier cached under its own keys"
+        );
+
+        // Warm both tiers from the cache — same bits again.
+        let (tx_f2, rx_f2) = mpsc::channel();
+        let (tx_q2, rx_q2) = mpsc::channel();
+        score_batch(
+            vec![job(Tier::F32, tx_f2), job(Tier::Int8, tx_q2)],
+            &pool,
+            &cache,
+        );
+        assert_eq!(bits(rx_f2.recv().unwrap()), f32_ref);
+        assert_eq!(bits(rx_q2.recv().unwrap()), int8_ref);
     }
 
     #[test]

@@ -18,18 +18,22 @@
 //! outcomes, `serve.cache.evictions` counts LRU displacements, and the
 //! `serve.cache.entries` gauge tracks residency.
 
+use crate::protocol::Tier;
+use std::sync::Arc;
 use taxo_core::ConceptId;
 use taxo_obs::{counter, gauge};
 
-/// Cache key: one scored pair under one published snapshot.
-pub type ScoreKey = (u64, ConceptId, ConceptId);
+/// Cache key: one scored pair under one published snapshot and tier.
+/// Tiered keys keep the two weight sets from ever cross-contaminating:
+/// an int8 score can only ever be served to an int8 request.
+pub type ScoreKey = (u64, Tier, ConceptId, ConceptId);
 
 const SHARDS: usize = 16;
 const NIL: u32 = u32::MAX;
 
-struct Node {
-    key: ScoreKey,
-    score: f32,
+struct Node<K, V> {
+    key: K,
+    value: V,
     prev: u32,
     next: u32,
 }
@@ -38,14 +42,14 @@ struct Node {
 /// most-recent-first from `head` to `tail`. The slab never shrinks and
 /// never exceeds `cap`, so once a shard has filled up, every insert
 /// recycles the tail node in place.
-struct Shard {
-    map: std::collections::HashMap<ScoreKey, u32>,
-    nodes: Vec<Node>,
+struct Shard<K, V> {
+    map: std::collections::HashMap<K, u32>,
+    nodes: Vec<Node<K, V>>,
     head: u32,
     tail: u32,
 }
 
-impl Shard {
+impl<K: std::hash::Hash + Eq + Copy, V: Clone> Shard<K, V> {
     fn new() -> Self {
         Shard {
             map: std::collections::HashMap::new(),
@@ -53,6 +57,51 @@ impl Shard {
             head: NIL,
             tail: NIL,
         }
+    }
+
+    fn lookup(&mut self, key: &K) -> Option<V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.touch(idx);
+                Some(self.nodes[idx as usize].value.clone())
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts or refreshes; returns `true` when an existing entry was
+    /// displaced to make room.
+    fn insert(&mut self, key: K, value: V, cap: usize) -> InsertOutcome {
+        if let Some(idx) = self.map.get(&key).copied() {
+            self.nodes[idx as usize].value = value;
+            self.touch(idx);
+            return InsertOutcome::Refreshed;
+        }
+        if self.nodes.len() < cap {
+            let idx = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.map.insert(key, idx);
+            self.push_front(idx);
+            return InsertOutcome::Grew;
+        }
+        // Full: recycle the LRU tail node in place.
+        let idx = self.tail;
+        let old = self.nodes[idx as usize].key;
+        self.map.remove(&old);
+        self.unlink(idx);
+        {
+            let n = &mut self.nodes[idx as usize];
+            n.key = key;
+            n.value = value;
+        }
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        InsertOutcome::Evicted
     }
 
     fn unlink(&mut self, idx: u32) {
@@ -92,10 +141,17 @@ impl Shard {
     }
 }
 
+/// What [`Shard::insert`] did with the entry.
+enum InsertOutcome {
+    Refreshed,
+    Grew,
+    Evicted,
+}
+
 /// The process-wide served-score cache (one per server). See the module
 /// docs for the keying, invalidation, and determinism story.
 pub struct ScoreCache {
-    shards: Vec<std::sync::Mutex<Shard>>,
+    shards: Vec<std::sync::Mutex<Shard<ScoreKey, f32>>>,
     /// Per-shard capacity (total capacity split evenly, rounded up).
     shard_cap: usize,
 }
@@ -123,21 +179,18 @@ impl ScoreCache {
 
     /// Deterministic shard choice — a fibonacci-style mix of the key, so
     /// shard load does not depend on `HashMap`'s per-process seed.
-    fn shard(&self, key: &ScoreKey) -> &std::sync::Mutex<Shard> {
-        let mixed = (key.0 ^ (u64::from(key.1 .0) << 32) ^ u64::from(key.2 .0))
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    fn shard(&self, key: &ScoreKey) -> &std::sync::Mutex<Shard<ScoreKey, f32>> {
+        let mixed =
+            (key.0 ^ ((key.1 as u64) << 48) ^ (u64::from(key.2 .0) << 32) ^ u64::from(key.3 .0))
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15);
         &self.shards[(mixed >> 56) as usize % SHARDS]
     }
 
     fn lookup(&self, key: &ScoreKey) -> Option<f32> {
-        let mut shard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
-        match shard.map.get(key).copied() {
-            Some(idx) => {
-                shard.touch(idx);
-                Some(shard.nodes[idx as usize].score)
-            }
-            None => None,
-        }
+        self.shard(key)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .lookup(key)
     }
 
     /// Counted single-key probe: bumps `serve.cache.hits` or
@@ -159,13 +212,14 @@ impl ScoreCache {
     pub fn get_all(
         &self,
         version: u64,
+        tier: Tier,
         query: ConceptId,
         items: &[ConceptId],
         scores: &mut Vec<f32>,
     ) -> bool {
         scores.clear();
         for &item in items {
-            match self.lookup(&(version, query, item)) {
+            match self.lookup(&(version, tier, query, item)) {
                 Some(s) => scores.push(s),
                 None => return false,
             }
@@ -177,42 +231,16 @@ impl ScoreCache {
     /// Inserts (or refreshes) one scored pair, evicting the shard's
     /// least-recently-used entry when full.
     pub fn insert(&self, key: ScoreKey, score: f32) {
-        let mut shard = self.shard(&key).lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(idx) = shard.map.get(&key).copied() {
-            shard.nodes[idx as usize].score = score;
-            shard.touch(idx);
-            return;
+        let outcome = self
+            .shard(&key)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, score, self.shard_cap);
+        match outcome {
+            InsertOutcome::Refreshed => {}
+            InsertOutcome::Grew => gauge!("serve.cache.entries").add(1),
+            InsertOutcome::Evicted => counter!("serve.cache.evictions").inc(),
         }
-        if shard.nodes.len() < self.shard_cap {
-            let idx = shard.nodes.len() as u32;
-            shard.nodes.push(Node {
-                key,
-                score,
-                prev: NIL,
-                next: NIL,
-            });
-            shard.map.insert(key, idx);
-            shard.push_front(idx);
-            gauge!("serve.cache.entries").add(1);
-            return;
-        }
-        // Full: recycle the LRU tail node in place.
-        let idx = shard.tail;
-        self.evict(&mut shard, idx);
-        {
-            let n = &mut shard.nodes[idx as usize];
-            n.key = key;
-            n.score = score;
-        }
-        shard.map.insert(key, idx);
-        shard.push_front(idx);
-    }
-
-    fn evict(&self, shard: &mut Shard, idx: u32) {
-        let key = shard.nodes[idx as usize].key;
-        shard.map.remove(&key);
-        shard.unlink(idx);
-        counter!("serve.cache.evictions").inc();
     }
 
     /// Total resident entries (sums shard lengths; racy by nature).
@@ -228,12 +256,86 @@ impl ScoreCache {
     }
 }
 
+/// Key of one cached rendered response: `(version, tier, query, k)`.
+pub type ResponseKey = (u64, Tier, ConceptId, u64);
+
+/// Sharded LRU of fully rendered `score` response tails.
+///
+/// Scoring is pure and ranking/rendering are deterministic, so one
+/// `(snapshot_version, tier, query, k)` always produces the same bytes
+/// after the request envelope. Caching that tail turns a repeat query
+/// into a hash probe plus one [`crate::protocol::splice_response`] —
+/// no eligibility scan, no score-cache probes, no ranking, and no float
+/// formatting on the hot path. Entries of retired snapshot versions age
+/// out under LRU pressure exactly like score-cache entries.
+///
+/// Observability: `serve.resp_cache.hits` / `serve.resp_cache.misses`
+/// count probe outcomes; `serve.resp_cache.evictions` counts LRU
+/// displacements.
+pub struct ResponseCache {
+    shards: Vec<std::sync::Mutex<Shard<ResponseKey, Arc<str>>>>,
+    shard_cap: usize,
+}
+
+impl std::fmt::Debug for ResponseCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResponseCache")
+            .field("shards", &self.shards.len())
+            .field("shard_cap", &self.shard_cap)
+            .finish()
+    }
+}
+
+impl ResponseCache {
+    /// A cache holding at least `capacity` rendered tails overall.
+    pub fn new(capacity: usize) -> Self {
+        ResponseCache {
+            shards: (0..SHARDS)
+                .map(|_| std::sync::Mutex::new(Shard::new()))
+                .collect(),
+            shard_cap: capacity.div_ceil(SHARDS).max(1),
+        }
+    }
+
+    fn shard(&self, key: &ResponseKey) -> &std::sync::Mutex<Shard<ResponseKey, Arc<str>>> {
+        let mixed = (key.0 ^ ((key.1 as u64) << 48) ^ (u64::from(key.2 .0) << 16) ^ key.3)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        &self.shards[(mixed >> 56) as usize % SHARDS]
+    }
+
+    /// Counted probe for a rendered tail.
+    pub fn get(&self, key: &ResponseKey) -> Option<Arc<str>> {
+        let hit = self
+            .shard(key)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .lookup(key);
+        match hit {
+            Some(_) => counter!("serve.resp_cache.hits").inc(),
+            None => counter!("serve.resp_cache.misses").inc(),
+        }
+        hit
+    }
+
+    /// Inserts (or refreshes) one rendered tail.
+    pub fn insert(&self, key: ResponseKey, tail: Arc<str>) {
+        let outcome = self
+            .shard(&key)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, tail, self.shard_cap);
+        if matches!(outcome, InsertOutcome::Evicted) {
+            counter!("serve.resp_cache.evictions").inc();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn key(v: u64, q: u32, i: u32) -> ScoreKey {
-        (v, ConceptId(q), ConceptId(i))
+        (v, Tier::F32, ConceptId(q), ConceptId(i))
     }
 
     #[test]
@@ -294,11 +396,39 @@ mod tests {
         let items = [ConceptId(1), ConceptId(2)];
         let mut scores = Vec::new();
         c.insert(key(3, 0, 1), 0.1);
-        assert!(!c.get_all(3, ConceptId(0), &items, &mut scores));
+        assert!(!c.get_all(3, Tier::F32, ConceptId(0), &items, &mut scores));
         c.insert(key(3, 0, 2), 0.2);
-        assert!(c.get_all(3, ConceptId(0), &items, &mut scores));
+        assert!(c.get_all(3, Tier::F32, ConceptId(0), &items, &mut scores));
         assert_eq!(scores, vec![0.1, 0.2]);
         // Wrong version misses even with both pairs resident.
-        assert!(!c.get_all(4, ConceptId(0), &items, &mut scores));
+        assert!(!c.get_all(4, Tier::F32, ConceptId(0), &items, &mut scores));
+    }
+
+    #[test]
+    fn tiers_never_cross_contaminate() {
+        let c = ScoreCache::new(64);
+        c.insert((0, Tier::F32, ConceptId(1), ConceptId(2)), 0.5);
+        assert_eq!(c.get(&(0, Tier::Int8, ConceptId(1), ConceptId(2))), None);
+        c.insert((0, Tier::Int8, ConceptId(1), ConceptId(2)), 0.25);
+        assert_eq!(
+            c.get(&(0, Tier::F32, ConceptId(1), ConceptId(2))),
+            Some(0.5)
+        );
+        assert_eq!(
+            c.get(&(0, Tier::Int8, ConceptId(1), ConceptId(2))),
+            Some(0.25)
+        );
+    }
+
+    #[test]
+    fn response_cache_round_trips_and_separates_keys() {
+        let c = ResponseCache::new(64);
+        let k_f32: ResponseKey = (1, Tier::F32, ConceptId(3), 8);
+        let k_int8: ResponseKey = (1, Tier::Int8, ConceptId(3), 8);
+        assert_eq!(c.get(&k_f32), None);
+        c.insert(k_f32, Arc::from("\"kind\":\"score\"}"));
+        assert_eq!(c.get(&k_f32).as_deref(), Some("\"kind\":\"score\"}"));
+        assert_eq!(c.get(&k_int8), None, "tier is part of the identity");
+        assert_eq!(c.get(&(2, Tier::F32, ConceptId(3), 8)), None, "version too");
     }
 }

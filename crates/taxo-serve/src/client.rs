@@ -2,6 +2,7 @@
 //! the integration tests, and anyone scripting against a server.
 
 use crate::json::{self, Value};
+use crate::protocol::Tier;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
@@ -44,6 +45,9 @@ impl Client {
     /// Connects once.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         let writer = TcpStream::connect(addr)?;
+        // One-line request/response framing: never let Nagle delay a
+        // request behind the previous response's ACK.
+        let _ = writer.set_nodelay(true);
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Client {
             writer,
@@ -86,30 +90,25 @@ impl Client {
         Ok(response.trim_end_matches(['\n', '\r']).to_owned())
     }
 
+    /// Reads one response line and parses it, checking the echoed `id`.
+    fn read_reply(&mut self, expect_id: Option<u64>) -> std::io::Result<Reply> {
+        let mut raw = String::new();
+        let n = self.reader.read_line(&mut raw)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let raw = raw.trim_end_matches(['\n', '\r']);
+        parse_reply(raw, expect_id)
+    }
+
     /// Sends a request line and parses the response, checking that the
     /// echoed `id` matches (frame integrity).
     pub fn call(&mut self, line: &str, expect_id: Option<u64>) -> std::io::Result<Reply> {
         let raw = self.call_raw(line)?;
-        let v = json::parse(&raw)
-            .map_err(|e| protocol_error(format!("unparseable response {raw:?}: {e}")))?;
-        let got_id = v.get("id").and_then(Value::as_u64);
-        if got_id != expect_id {
-            return Err(protocol_error(format!(
-                "response id {got_id:?} does not match request id {expect_id:?}: {raw}"
-            )));
-        }
-        match v.get("ok") {
-            Some(Value::Bool(true)) => Ok(Reply::Ok(v)),
-            Some(Value::Bool(false)) => Ok(Reply::Err {
-                code: v
-                    .get("error")
-                    .and_then(Value::as_str)
-                    .unwrap_or("unknown")
-                    .to_owned(),
-                detail: v.get("detail").and_then(Value::as_str).map(str::to_owned),
-            }),
-            _ => Err(protocol_error(format!("response without ok field: {raw}"))),
-        }
+        parse_reply(&raw, expect_id)
     }
 
     fn fresh_id(&mut self) -> u64 {
@@ -117,13 +116,59 @@ impl Client {
         self.next_id
     }
 
-    /// `score` round trip.
+    /// `score` round trip on the server's default tier.
     pub fn score(&mut self, query: &str, k: Option<usize>) -> std::io::Result<Reply> {
+        self.score_tier(query, k, None)
+    }
+
+    /// Sends every query as its own `score` request in **one** write,
+    /// then reads the responses in order — request pipelining. The
+    /// server answers a connection's requests strictly in order and
+    /// coalesces the burst's responses into one frame, so a window of
+    /// `queries.len()` in-flight requests amortizes the per-round-trip
+    /// cost (syscalls, wakeups) without any protocol change. Replies
+    /// come back position-for-position with `queries`.
+    pub fn score_burst(
+        &mut self,
+        queries: &[&str],
+        k: Option<usize>,
+        tier: Option<Tier>,
+    ) -> std::io::Result<Vec<Reply>> {
+        let mut frame = String::new();
+        let mut ids = Vec::with_capacity(queries.len());
+        for query in queries {
+            let id = self.fresh_id();
+            ids.push(id);
+            let mut w = json::ObjWriter::new();
+            w.str("kind", "score").u64("id", id).str("query", query);
+            if let Some(k) = k {
+                w.u64("k", k as u64);
+            }
+            if let Some(t) = tier {
+                w.str("tier", t.as_str());
+            }
+            frame.push_str(&w.finish());
+            frame.push('\n');
+        }
+        self.writer.write_all(frame.as_bytes())?;
+        ids.iter().map(|&id| self.read_reply(Some(id))).collect()
+    }
+
+    /// `score` round trip naming a weight tier (`None` = server default).
+    pub fn score_tier(
+        &mut self,
+        query: &str,
+        k: Option<usize>,
+        tier: Option<Tier>,
+    ) -> std::io::Result<Reply> {
         let id = self.fresh_id();
         let mut w = json::ObjWriter::new();
         w.str("kind", "score").u64("id", id).str("query", query);
         if let Some(k) = k {
             w.u64("k", k as u64);
+        }
+        if let Some(t) = tier {
+            w.str("tier", t.as_str());
         }
         self.call(&w.finish(), Some(id))
     }
@@ -302,13 +347,27 @@ impl RetryClient {
         Err(last_err.unwrap_or_else(|| std::io::Error::other("retry loop without attempts")))
     }
 
-    /// `score` with retries.
+    /// `score` with retries on the server's default tier.
     pub fn score(&mut self, query: &str, k: Option<usize>) -> std::io::Result<Reply> {
+        self.score_tier(query, k, None)
+    }
+
+    /// `score` with retries naming a weight tier (`None` = server
+    /// default).
+    pub fn score_tier(
+        &mut self,
+        query: &str,
+        k: Option<usize>,
+        tier: Option<Tier>,
+    ) -> std::io::Result<Reply> {
         let id = self.fresh_id();
         let mut w = json::ObjWriter::new();
         w.str("kind", "score").u64("id", id).str("query", query);
         if let Some(k) = k {
             w.u64("k", k as u64);
+        }
+        if let Some(t) = tier {
+            w.str("tier", t.as_str());
         }
         self.call_retrying(&w.finish(), id)
     }
@@ -375,6 +434,31 @@ impl RetryClient {
 
 fn protocol_error(msg: String) -> std::io::Error {
     std::io::Error::new(ErrorKind::InvalidData, msg)
+}
+
+/// Parses one response line into a [`Reply`], checking the echoed `id`
+/// against the request's (frame integrity).
+fn parse_reply(raw: &str, expect_id: Option<u64>) -> std::io::Result<Reply> {
+    let v = json::parse(raw)
+        .map_err(|e| protocol_error(format!("unparseable response {raw:?}: {e}")))?;
+    let got_id = v.get("id").and_then(Value::as_u64);
+    if got_id != expect_id {
+        return Err(protocol_error(format!(
+            "response id {got_id:?} does not match request id {expect_id:?}: {raw}"
+        )));
+    }
+    match v.get("ok") {
+        Some(Value::Bool(true)) => Ok(Reply::Ok(v)),
+        Some(Value::Bool(false)) => Ok(Reply::Err {
+            code: v
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown")
+                .to_owned(),
+            detail: v.get("detail").and_then(Value::as_str).map(str::to_owned),
+        }),
+        _ => Err(protocol_error(format!("response without ok field: {raw}"))),
+    }
 }
 
 /// The comparable content of a `score` response's candidate list:

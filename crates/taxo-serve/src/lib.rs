@@ -56,8 +56,8 @@ pub mod server;
 pub mod snapshot;
 
 pub use batch::{BoundedQueue, PushError, ScoreJob};
-pub use cache::{ScoreCache, ScoreKey};
+pub use cache::{ResponseCache, ScoreCache, ScoreKey};
 pub use client::{candidate_key, expected_key, Client, Reply, RetryClient, RetryPolicy};
-pub use protocol::{IngestRecord, IngestSummary, Request};
+pub use protocol::{IngestRecord, IngestSummary, Request, Tier};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use snapshot::{ScoredCandidate, ServeSnapshot, SnapshotReader, SnapshotStore};

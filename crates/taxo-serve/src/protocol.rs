@@ -26,6 +26,55 @@ use crate::snapshot::ScoredCandidate;
 use taxo_core::Vocabulary;
 use taxo_obs::MetricsSnapshot;
 
+/// Which detector weights answer a `score` request.
+///
+/// The f32 tier is the canonical one: bit-identical to offline scoring.
+/// The int8 tier serves the weight-quantized twin — ~4× smaller weights,
+/// still deterministic (bit-identical to the offline *quantized* replay
+/// at any thread count), but numerically divergent from f32 by a small
+/// measured bound (see the `serve.quant.max_abs_divergence` gauge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Tier {
+    /// Full-precision weights (default; exact-verify contract).
+    #[default]
+    F32,
+    /// Int8 per-row-scaled weights (tolerance-verify contract).
+    Int8,
+}
+
+impl Tier {
+    /// Wire spelling, also used as a metric/bench label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Tier::F32 => "f32",
+            Tier::Int8 => "int8",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<Tier> {
+        match s {
+            "f32" => Some(Tier::F32),
+            "int8" => Some(Tier::Int8),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Tier {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Tier, String> {
+        Tier::parse(s).ok_or_else(|| format!("unknown tier {s:?} (expected f32 or int8)"))
+    }
+}
+
 /// A decoded client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -34,6 +83,8 @@ pub enum Request {
         query: String,
         /// Maximum candidates to return (server default when absent).
         k: Option<usize>,
+        /// Scoring tier (server default when absent).
+        tier: Option<Tier>,
     },
     Ingest {
         id: Option<u64>,
@@ -107,7 +158,15 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                         .ok_or("\"k\" must be a positive integer")?,
                 ),
             };
-            Ok(Request::Score { id, query, k })
+            let tier = match v.get("tier") {
+                None | Some(Value::Null) => None,
+                Some(t) => Some(
+                    t.as_str()
+                        .and_then(Tier::parse)
+                        .ok_or("\"tier\" must be \"f32\" or \"int8\"")?,
+                ),
+            };
+            Ok(Request::Score { id, query, k, tier })
         }
         "ingest" => {
             let items = v
@@ -159,13 +218,18 @@ pub fn error_response(id: Option<u64>, code: &str, detail: Option<&str>) -> Stri
     w.finish()
 }
 
-/// Renders a `score` response. Candidate order is the ranked order
-/// produced by [`crate::snapshot::ServeSnapshot::rank`]; scores are
-/// emitted with `f32::Display` so they parse back bit-identical.
-pub fn score_response(
-    id: Option<u64>,
+/// Renders the request-independent tail of a `score` response — every
+/// byte after `"ok":true,`. One `(version, tier, query, k)` always
+/// produces the same tail (scoring is pure and ranking is
+/// deterministic), which is what lets the server cache rendered tails
+/// and answer repeat queries with [`splice_response`] alone. Candidate
+/// order is the ranked order produced by
+/// [`crate::snapshot::ServeSnapshot::rank`]; scores are emitted with
+/// `f32::Display` so they parse back bit-identical.
+pub fn score_response_tail(
     query: &str,
     version: u64,
+    tier: Tier,
     vocab: &Vocabulary,
     candidates: &[ScoredCandidate],
 ) -> String {
@@ -181,12 +245,38 @@ pub fn score_response(
         arr.push_str(&item.finish());
     }
     arr.push(']');
-    let mut w = base(id, true);
+    let mut w = ObjWriter::new();
     w.str("kind", "score")
         .str("query", query)
+        .str("tier", tier.as_str())
         .u64("version", version)
         .raw("candidates", &arr);
-    w.finish()
+    // Drop the opening brace: the tail is spliced after a per-request
+    // `{"id":…,"ok":true,` prefix.
+    w.finish().split_off(1)
+}
+
+/// Prepends the per-request envelope to a [`score_response_tail`].
+pub fn splice_response(id: Option<u64>, tail: &str) -> String {
+    match id {
+        Some(id) => format!("{{\"id\":{id},\"ok\":true,{tail}"),
+        None => format!("{{\"id\":null,\"ok\":true,{tail}"),
+    }
+}
+
+/// Renders a complete `score` response (tail + envelope in one call).
+pub fn score_response(
+    id: Option<u64>,
+    query: &str,
+    version: u64,
+    tier: Tier,
+    vocab: &Vocabulary,
+    candidates: &[ScoredCandidate],
+) -> String {
+    splice_response(
+        id,
+        &score_response_tail(query, version, tier, vocab, candidates),
+    )
 }
 
 /// Summary of what one ingest request changed, for its response.
@@ -317,7 +407,8 @@ mod tests {
             Request::Score {
                 id: Some(3),
                 query: "chips".into(),
-                k: Some(2)
+                k: Some(2),
+                tier: None
             }
         );
         assert_eq!(
@@ -325,7 +416,8 @@ mod tests {
             Request::Score {
                 id: None,
                 query: "chips".into(),
-                k: None
+                k: None,
+                tier: None
             }
         );
         let ingest = parse_request(
@@ -362,6 +454,7 @@ mod tests {
         assert!(parse_request(r#"{"kind":"nope"}"#).is_err());
         assert!(parse_request(r#"{"kind":"score"}"#).is_err());
         assert!(parse_request(r#"{"kind":"score","query":"x","k":0}"#).is_err());
+        assert!(parse_request(r#"{"kind":"score","query":"x","tier":"fp64"}"#).is_err());
         assert!(parse_request(r#"{"kind":"ingest"}"#).is_err());
         assert!(parse_request(r#"{"kind":"ingest","records":[{"item":"y"}]}"#).is_err());
     }
@@ -376,7 +469,7 @@ mod tests {
             attached: true,
         }];
         for line in [
-            score_response(Some(1), "snack", 2, &vocab, &cands),
+            score_response(Some(1), "snack", 2, Tier::F32, &vocab, &cands),
             error_response(None, "busy", None),
             error_response(Some(2), "bad_request", Some("nope")),
             health_response(Some(3), 1, 10, 9, 0, false),
@@ -387,11 +480,48 @@ mod tests {
             let v = crate::json::parse(&line).expect(&line);
             assert!(v.get("ok").is_some(), "{line}");
         }
-        let score = score_response(Some(1), "snack", 2, &vocab, &cands);
+        let score = score_response(Some(1), "snack", 2, Tier::Int8, &vocab, &cands);
         let v = crate::json::parse(&score).unwrap();
         let c = &v.get("candidates").unwrap().items().unwrap()[0];
         assert_eq!(c.get("term").unwrap().as_str(), Some("crisps"));
         assert_eq!(c.get("score").unwrap().as_f32(), Some(0.25));
         assert_eq!(c.get("attached"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("tier").unwrap().as_str(), Some("int8"));
+    }
+
+    #[test]
+    fn tier_parses_both_ways() {
+        assert_eq!(
+            parse_request(r#"{"kind":"score","query":"x","tier":"int8"}"#).unwrap(),
+            Request::Score {
+                id: None,
+                query: "x".into(),
+                k: None,
+                tier: Some(Tier::Int8)
+            }
+        );
+        assert_eq!("f32".parse::<Tier>().unwrap(), Tier::F32);
+        assert_eq!("int8".parse::<Tier>().unwrap(), Tier::Int8);
+        assert!("fp16".parse::<Tier>().is_err());
+    }
+
+    #[test]
+    fn spliced_tail_equals_direct_rendering() {
+        let mut vocab = Vocabulary::new();
+        let c = vocab.intern("crisps");
+        let cands = vec![ScoredCandidate {
+            item: c,
+            score: 0.75,
+            attached: false,
+        }];
+        let tail = score_response_tail("snack", 3, Tier::F32, &vocab, &cands);
+        assert_eq!(
+            splice_response(Some(9), &tail),
+            score_response(Some(9), "snack", 3, Tier::F32, &vocab, &cands)
+        );
+        assert_eq!(
+            splice_response(None, &tail),
+            score_response(None, "snack", 3, Tier::F32, &vocab, &cands)
+        );
     }
 }

@@ -20,8 +20,8 @@
 //! request is ever dropped without a response.
 
 use crate::batch::{score_batch, BoundedQueue, PushError, ScoreJob};
-use crate::cache::ScoreCache;
-use crate::protocol::{self, IngestRecord, IngestSummary, Request};
+use crate::cache::{ResponseCache, ScoreCache};
+use crate::protocol::{self, IngestRecord, IngestSummary, Request, Tier};
 use crate::snapshot::{ServeSnapshot, SnapshotReader, SnapshotStore};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -55,10 +55,16 @@ pub struct ServeConfig {
     /// Default `k` (returned candidates) when a request names none.
     pub default_k: usize,
     /// Served-score LRU cache capacity in entries, keyed by
-    /// `(snapshot_version, query, item)`. Entries of retired snapshot
-    /// versions age out under LRU pressure; size this to a few times the
-    /// working set of hot pairs.
+    /// `(snapshot_version, tier, query, item)`. Entries of retired
+    /// snapshot versions age out under LRU pressure; size this to a few
+    /// times the working set of hot pairs.
     pub score_cache_cap: usize,
+    /// Rendered-response LRU capacity in entries, keyed by
+    /// `(snapshot_version, tier, query, k)` — repeat queries splice a
+    /// cached tail instead of re-ranking and re-rendering.
+    pub resp_cache_cap: usize,
+    /// Tier answering `score` requests that name none.
+    pub default_tier: Tier,
 }
 
 impl Default for ServeConfig {
@@ -72,6 +78,8 @@ impl Default for ServeConfig {
             max_candidates: 16,
             default_k: 8,
             score_cache_cap: 65_536,
+            resp_cache_cap: 16_384,
+            default_tier: Tier::F32,
         }
     }
 }
@@ -87,6 +95,7 @@ impl ServeConfig {
             ("max_candidates", self.max_candidates),
             ("default_k", self.default_k),
             ("score_cache_cap", self.score_cache_cap),
+            ("resp_cache_cap", self.resp_cache_cap),
         ] {
             if v == 0 {
                 return Err(format!("ServeConfig.{name} must be at least 1"));
@@ -107,6 +116,8 @@ struct Shared {
     /// Served-score LRU: probed by connection workers (all-hit requests
     /// skip the scorer round trip entirely) and filled by the scorer.
     cache: ScoreCache,
+    /// Rendered-response LRU: a hit answers the request with one splice.
+    resp: ResponseCache,
     score_queue: BoundedQueue<ScoreJob>,
     ingest_queue: BoundedQueue<IngestJob>,
     conn_queue: BoundedQueue<TcpStream>,
@@ -198,12 +209,17 @@ impl Server {
         let addr = listener.local_addr()?;
 
         // The detector never changes after training: one Arc is shared by
-        // every snapshot the ingest thread will ever publish.
+        // every snapshot the ingest thread will ever publish — and so is
+        // its int8 twin, quantized exactly once here.
         let detector = Arc::new(expander.detector().clone());
-        let initial = ServeSnapshot::build(
+        let quant = Arc::new(taxo_expand::QuantizedDetector::from_detector(Arc::clone(
+            &detector,
+        )));
+        let initial = ServeSnapshot::build_with_quant(
             0,
             Arc::clone(&vocab),
             Arc::clone(&detector),
+            Arc::clone(&quant),
             expander.taxonomy().clone(),
             &expander.candidate_pairs(),
         );
@@ -225,6 +241,7 @@ impl Server {
             ),
             store: Arc::new(SnapshotStore::new(initial)),
             cache: ScoreCache::new(cfg.score_cache_cap),
+            resp: ResponseCache::new(cfg.resp_cache_cap),
             shutdown: AtomicBool::new(false),
             batches: AtomicU64::new(expander.batches() as u64),
             cfg,
@@ -261,7 +278,7 @@ impl Server {
             threads.push(
                 std::thread::Builder::new()
                     .name("serve-ingest".into())
-                    .spawn(move || ingest_loop(expander, &detector, &vocab, &shared))?,
+                    .spawn(move || ingest_loop(expander, &detector, &quant, &vocab, &shared))?,
             );
         }
 
@@ -284,6 +301,9 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
                     continue;
                 }
                 counter!("serve.connections.accepted").inc();
+                // Responses are one small frame each; Nagle would hold
+                // them hostage to the next request's ACK.
+                let _ = stream.set_nodelay(true);
                 match shared.conn_queue.try_push(stream) {
                     Ok(depth) => gauge!("serve.queue.conn_depth").set(depth as i64),
                     Err(PushError::Full(mut stream)) => {
@@ -334,9 +354,14 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared, reader: &mut SnapshotRead
     }
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
+    let mut out: Vec<u8> = Vec::new();
     loop {
         // Serve every complete line already buffered, even mid-shutdown:
-        // accepted bytes get responses.
+        // accepted bytes get responses. Responses for one burst of
+        // pipelined requests coalesce into a single write below — on a
+        // one-syscall-per-line protocol the write() count is a real
+        // throughput lever.
+        out.clear();
         while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
             let line: Vec<u8> = buf.drain(..=pos).collect();
             let line = String::from_utf8_lossy(&line);
@@ -346,22 +371,30 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared, reader: &mut SnapshotRead
             }
             let (response, close) = handle_line(line, shared, reader);
             let frame = format!("{response}\n");
-            let frame: &[u8] = match taxo_fault::inject("serve.conn.write") {
-                taxo_fault::Injection::Pass => frame.as_bytes(),
-                // Injected write failure: the response is lost and the
+            match taxo_fault::inject("serve.conn.write") {
+                taxo_fault::Injection::Pass => out.extend_from_slice(frame.as_bytes()),
+                // Injected write failure: this response is lost and the
                 // connection drops — the client must retry elsewhere.
-                taxo_fault::Injection::Fail => return,
+                // Earlier responses in the burst are still delivered.
+                taxo_fault::Injection::Fail => {
+                    let _ = stream.write_all(&out);
+                    return;
+                }
                 // Half-written frame: emit a prefix, then drop the
                 // connection so the tear is observable, not hidden.
                 taxo_fault::Injection::Short(n) => {
-                    let cut = n.min(frame.len());
-                    let _ = stream.write_all(&frame.as_bytes()[..cut]);
+                    out.extend_from_slice(&frame.as_bytes()[..n.min(frame.len())]);
+                    let _ = stream.write_all(&out);
                     return;
                 }
-            };
-            if stream.write_all(frame).is_err() || close {
+            }
+            if close {
+                let _ = stream.write_all(&out);
                 return;
             }
+        }
+        if !out.is_empty() && stream.write_all(&out).is_err() {
+            return;
         }
         if shared.is_shutdown() {
             return;
@@ -401,10 +434,10 @@ fn handle_line(line: &str, shared: &Shared, reader: &mut SnapshotReader) -> (Str
     };
     let id = req.id();
     match req {
-        Request::Score { query, k, .. } => {
+        Request::Score { query, k, tier, .. } => {
             counter!("serve.requests.score").inc();
             let _g = span!("serve.request.score");
-            (score_request(id, &query, k, shared, reader), false)
+            (score_request(id, &query, k, tier, shared, reader), false)
         }
         Request::Ingest { records, .. } => {
             counter!("serve.requests.ingest").inc();
@@ -445,39 +478,63 @@ fn score_request(
     id: Option<u64>,
     query: &str,
     k: Option<usize>,
+    tier: Option<Tier>,
     shared: &Shared,
     reader: &mut SnapshotReader,
 ) -> String {
+    let tier = tier.unwrap_or(shared.cfg.default_tier);
+    if tier == Tier::Int8 {
+        counter!("serve.quant.requests").inc();
+    }
     let snapshot = Arc::clone(reader.current());
     let Some(query_id) = snapshot.vocab.get(query) else {
         counter!("serve.errors.unknown_term").inc();
         return protocol::error_response(id, "unknown_term", Some(query));
     };
-    let items = snapshot.eligible(query_id, shared.cfg.max_candidates);
-    histogram!("serve.score.candidates").observe(items.len() as u64);
     let k = k.unwrap_or(shared.cfg.default_k);
-    if items.is_empty() {
-        return protocol::score_response(id, query, snapshot.version, &snapshot.vocab, &[]);
+
+    // Request fastest path: a previously rendered response for this
+    // exact (version, tier, query, k). Scoring is pure and rendering
+    // deterministic, so splicing the cached tail under this request's
+    // envelope is byte-identical to redoing the whole request.
+    let rkey = (snapshot.version, tier, query_id, k as u64);
+    if let Some(tail) = shared.resp.get(&rkey) {
+        return protocol::splice_response(id, &tail);
     }
 
-    // Request fast path: when every pair is cached under this snapshot,
-    // answer on the worker thread — no queue, no scorer round trip. The
-    // cached scores are bit-identical to recomputing, so responses are
-    // indistinguishable from the slow path. The job never enters the
-    // accepted/completed ledger (it is never enqueued).
+    let items = snapshot.eligible(query_id, shared.cfg.max_candidates);
+    histogram!("serve.score.candidates").observe(items.len() as u64);
+    if items.is_empty() {
+        let tail =
+            protocol::score_response_tail(query, snapshot.version, tier, &snapshot.vocab, &[]);
+        let response = protocol::splice_response(id, &tail);
+        shared.resp.insert(rkey, tail.into());
+        return response;
+    }
+
+    // Request fast path: when every pair is cached under this snapshot
+    // and tier, answer on the worker thread — no queue, no scorer round
+    // trip. The cached scores are bit-identical to recomputing, so
+    // responses are indistinguishable from the slow path. The job never
+    // enters the accepted/completed ledger (it is never enqueued).
     let mut cached = Vec::new();
     if shared
         .cache
-        .get_all(snapshot.version, query_id, &items, &mut cached)
+        .get_all(snapshot.version, tier, query_id, &items, &mut cached)
     {
         counter!("serve.score.cached_requests").inc();
         let ranked = snapshot.rank(query_id, &items, &cached, k);
-        return protocol::score_response(id, query, snapshot.version, &snapshot.vocab, &ranked);
+        let tail =
+            protocol::score_response_tail(query, snapshot.version, tier, &snapshot.vocab, &ranked);
+        let response = protocol::splice_response(id, &tail);
+        shared.resp.insert(rkey, tail.into());
+        return response;
     }
 
     let (tx, rx) = mpsc::channel();
     let job = ScoreJob {
         snapshot: Arc::clone(&snapshot),
+        tier,
         query: query_id,
         items: items.clone(),
         reply: tx,
@@ -504,7 +561,16 @@ fn score_request(
     match rx.recv() {
         Ok(scores) => {
             let ranked = snapshot.rank(query_id, &items, &scores, k);
-            protocol::score_response(id, query, snapshot.version, &snapshot.vocab, &ranked)
+            let tail = protocol::score_response_tail(
+                query,
+                snapshot.version,
+                tier,
+                &snapshot.vocab,
+                &ranked,
+            );
+            let response = protocol::splice_response(id, &tail);
+            shared.resp.insert(rkey, tail.into());
+            response
         }
         // The scorer drains every accepted job before exiting, so a dead
         // channel can only mean teardown raced us mid-drain.
@@ -555,6 +621,7 @@ fn scorer_loop(shared: &Shared) {
 fn ingest_loop(
     mut expander: IncrementalExpander,
     detector: &Arc<taxo_expand::HypoDetector>,
+    quant: &Arc<taxo_expand::QuantizedDetector>,
     vocab: &Arc<Vocabulary>,
     shared: &Shared,
 ) {
@@ -589,10 +656,11 @@ fn ingest_loop(
             let version = shared.store.version() + 1;
             let next = {
                 let _g = span!("serve.ingest.rebuild");
-                ServeSnapshot::build(
+                ServeSnapshot::build_with_quant(
                     version,
                     Arc::clone(vocab),
                     Arc::clone(detector),
+                    Arc::clone(quant),
                     expander.taxonomy().clone(),
                     &expander.candidate_pairs(),
                 )

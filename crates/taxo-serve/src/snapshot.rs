@@ -14,11 +14,17 @@
 //! touched only on the request *after* a swap (and swaps are rare —
 //! one per ingest batch).
 
+use crate::protocol::Tier;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use taxo_core::{ConceptId, Taxonomy, Vocabulary};
-use taxo_expand::{CandidatePair, HypoDetector};
+use taxo_expand::{CandidatePair, HypoDetector, QuantizedDetector};
+
+/// Candidate pairs sampled per snapshot build to measure the realized
+/// int8-vs-f32 score divergence published on the
+/// `serve.quant.max_abs_divergence` gauge.
+const DIVERGENCE_SAMPLE: usize = 64;
 
 /// One scored attachment candidate of a `score` response, ranked.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +44,14 @@ pub struct ServeSnapshot {
     pub version: u64,
     pub vocab: Arc<Vocabulary>,
     pub detector: Arc<HypoDetector>,
+    /// The int8 serving tier: quantized once from `detector` (weights
+    /// never change after training) and shared across snapshots.
+    pub quant: Arc<QuantizedDetector>,
+    /// Largest |int8 − f32| score difference over a fixed sample of this
+    /// snapshot's candidate pairs — the realized quantization divergence
+    /// on live data, also published as the
+    /// `serve.quant.max_abs_divergence` gauge in nano-units.
+    pub quant_divergence: f32,
     pub taxonomy: Taxonomy,
     /// Candidate items per query, sorted by clicks desc then item id —
     /// the same order `taxo_expand::candidates_by_query` produces.
@@ -67,6 +81,21 @@ impl ServeSnapshot {
         taxonomy: Taxonomy,
         pairs: &[CandidatePair],
     ) -> ServeSnapshot {
+        let quant = Arc::new(QuantizedDetector::from_detector(Arc::clone(&detector)));
+        ServeSnapshot::build_with_quant(version, vocab, detector, quant, taxonomy, pairs)
+    }
+
+    /// [`ServeSnapshot::build`] with a pre-quantized tier, so the server
+    /// quantizes once at startup and every rebuild shares the same
+    /// [`QuantizedDetector`] `Arc` (the detector never changes).
+    pub fn build_with_quant(
+        version: u64,
+        vocab: Arc<Vocabulary>,
+        detector: Arc<HypoDetector>,
+        quant: Arc<QuantizedDetector>,
+        taxonomy: Taxonomy,
+        pairs: &[CandidatePair],
+    ) -> ServeSnapshot {
         let feat_dim = detector
             .structural
             .as_ref()
@@ -85,10 +114,29 @@ impl ServeSnapshot {
                 }
             }
         }
+        // Measure the realized int8 divergence on a deterministic sample
+        // of this snapshot's own candidates and publish it: serving a
+        // lossy tier without a live bound on the loss would be flying
+        // blind. Nano-unit fixed point keeps the gauge integral.
+        let sample: Vec<(ConceptId, ConceptId)> = pairs
+            .iter()
+            .take(DIVERGENCE_SAMPLE)
+            .map(|p| (p.query, p.item))
+            .collect();
+        let quant_divergence = if sample.is_empty() {
+            0.0
+        } else {
+            quant.max_abs_divergence(&vocab, &sample)
+        };
+        taxo_obs::gauge!("serve.quant.max_abs_divergence")
+            .set((f64::from(quant_divergence) * 1e9) as i64);
+
         ServeSnapshot {
             version,
             vocab,
             detector,
+            quant,
+            quant_divergence,
             taxonomy,
             by_query: taxo_expand::candidates_by_query(pairs),
             feat_index,
@@ -154,10 +202,26 @@ impl ServeSnapshot {
     /// (both call the same pure [`taxo_expand::EdgeClassifier`] scoring
     /// per pair).
     pub fn score_query(&self, query: ConceptId, cap: usize, k: usize) -> Vec<ScoredCandidate> {
+        self.score_query_tier(query, cap, k, Tier::F32)
+    }
+
+    /// Tier-aware [`ServeSnapshot::score_query`]: the int8 tier is the
+    /// offline reference for quantized serving, bit-identical to the
+    /// server's quant responses the same way f32 is for exact ones.
+    pub fn score_query_tier(
+        &self,
+        query: ConceptId,
+        cap: usize,
+        k: usize,
+        tier: Tier,
+    ) -> Vec<ScoredCandidate> {
         let items = self.eligible(query, cap);
         let scores: Vec<f32> = items
             .iter()
-            .map(|&item| self.detector.score(&self.vocab, query, item))
+            .map(|&item| match tier {
+                Tier::F32 => self.detector.score(&self.vocab, query, item),
+                Tier::Int8 => self.quant.score(&self.vocab, query, item),
+            })
             .collect();
         self.rank(query, &items, &scores, k)
     }
@@ -294,6 +358,19 @@ mod tests {
         let top1 = snap.rank(ConceptId(0), &items, &[0.9, 0.1], 1);
         assert_eq!(top1.len(), 1);
         assert_eq!(top1[0].item, ConceptId(2));
+    }
+
+    #[test]
+    fn quant_tier_scores_are_close_but_distinct() {
+        let snap = tiny_snapshot(0, &[pair(0, 1, 9), pair(0, 2, 5)]);
+        let f = snap.score_query_tier(ConceptId(0), 8, 8, Tier::F32);
+        let q = snap.score_query_tier(ConceptId(0), 8, 8, Tier::Int8);
+        assert_eq!(f.len(), q.len());
+        assert!(snap.quant_divergence >= 0.0);
+        for (a, b) in f.iter().zip(&q) {
+            // Same candidate universe; scores within the published bound.
+            assert!((a.score - b.score).abs() <= snap.quant_divergence + 1e-6);
+        }
     }
 
     #[test]

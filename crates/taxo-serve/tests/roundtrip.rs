@@ -103,7 +103,8 @@ fn repeated_queries_hit_the_cache_and_stay_bit_identical() {
 
     // The metrics registry is process-global and other tests bump the
     // cache counters too, so only a monotonic lower bound is asserted.
-    let hits_before = taxo_obs::counter!("serve.cache.hits").get();
+    let _ = n_items;
+    let hits_before = taxo_obs::counter!("serve.resp_cache.hits").get();
     let mut client = Client::connect(handle.addr()).unwrap();
     for round in 0..3 {
         let reply = client.score(name, Some(k)).unwrap();
@@ -116,14 +117,64 @@ fn repeated_queries_hit_the_cache_and_stay_bit_identical() {
             "round {round}: cold and cache-served responses must be bit-identical"
         );
     }
-    // Round 1 misses and fills; rounds 2 and 3 are all-hit requests
-    // answered on the worker (n_items hits each).
-    let hits_after = taxo_obs::counter!("serve.cache.hits").get();
+    // Round 1 misses and fills the rendered-response cache; rounds 2 and
+    // 3 are answered by splicing the cached tail.
+    let hits_after = taxo_obs::counter!("serve.resp_cache.hits").get();
     assert!(
-        hits_after >= hits_before + 2 * n_items,
-        "expected at least {} cache hits, saw {}",
-        2 * n_items,
+        hits_after >= hits_before + 2,
+        "expected at least 2 rendered-response hits, saw {}",
         hits_after - hits_before
+    );
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn int8_tier_is_bit_identical_to_offline_quant_replay() {
+    let (vocab, expander, _) = fixture(17);
+    let pairs = expander.candidate_pairs();
+    let cfg = ServeConfig::default();
+    let cap = cfg.max_candidates;
+    let k = cfg.default_k;
+    let handle = Server::start(expander, Arc::clone(&vocab), cfg, "127.0.0.1:0").unwrap();
+    let snapshot = handle.store().load();
+    let queries = scorable_queries(&snapshot, &pairs, cap);
+    assert!(queries.len() >= 5, "fixture too small");
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let mut diverged = 0usize;
+    for &q in queries.iter().take(20) {
+        let name = vocab.name(q);
+        let reply = client
+            .score_tier(name, Some(k), Some(taxo_serve::Tier::Int8))
+            .unwrap();
+        let Reply::Ok(v) = reply else {
+            panic!("int8 score {name:?} failed: {reply:?}");
+        };
+        assert_eq!(
+            v.get("tier").and_then(taxo_serve::json::Value::as_str),
+            Some("int8"),
+            "response echoes the tier"
+        );
+        // The quant tier has its own offline reference, bit-identical the
+        // same way the f32 tier is to `score_query`.
+        let offline = expected_key(
+            &vocab,
+            &snapshot.score_query_tier(q, cap, k, taxo_serve::Tier::Int8),
+        );
+        assert_eq!(
+            candidate_key(&v).as_deref(),
+            Some(offline.as_slice()),
+            "served int8 candidates for {name:?} must match offline quant replay"
+        );
+        // And it really is a different tier, not f32 relabelled.
+        let f32_offline = expected_key(&vocab, &snapshot.score_query(q, cap, k));
+        if offline != f32_offline {
+            diverged += 1;
+        }
+    }
+    assert!(
+        diverged > 0,
+        "int8 scores never diverged from f32 — quantization is a no-op?"
     );
     handle.shutdown_and_join();
 }

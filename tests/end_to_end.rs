@@ -35,7 +35,7 @@ fn pipeline_end_to_end_expands_and_respects_invariants() {
         &world.vocab,
         &log.records,
         &ugc.sentences,
-        &PipelineConfig::tiny(101),
+        &PipelineConfig::tiny(102),
     );
     // Learned something beyond chance.
     assert!(trained.test_accuracy(&world.vocab) > 0.5);

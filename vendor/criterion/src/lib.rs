@@ -33,6 +33,16 @@ pub enum BatchSize {
     PerIteration,
 }
 
+/// Work performed per routine call, for throughput reporting — same
+/// surface as criterion's. `Elements` is a generic op count: a GEMM
+/// bench that sets `Elements(m * n * k)` gets its summary line reported
+/// in multiply-accumulates per second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
 /// Benchmark driver: collects samples and prints a summary line.
 pub struct Criterion {
     sample_size: usize,
@@ -84,9 +94,66 @@ impl Criterion {
             measurement_time: self.measurement_time,
         };
         f(&mut b);
-        report(name, &mut b.samples);
+        report(name, &mut b.samples, None);
         self
     }
+
+    /// Opens a named group whose benches share a prefix and an optional
+    /// throughput declaration, as with real criterion.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_owned(),
+            throughput: None,
+        }
+    }
+}
+
+/// A set of related benches reported as `group/bench`. Only the surface
+/// the workspace uses: `throughput`, `bench_function`, `finish`.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work per routine call for every subsequent bench in
+    /// this group; the summary line gains an ops-per-second column.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Number of timed samples per bench in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.parent.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark under this group's prefix and throughput.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{name}", self.name);
+        if let Some(filter) = &self.parent.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.parent.sample_size),
+            sample_size: self.parent.sample_size,
+            measurement_time: self.parent.measurement_time,
+        };
+        f(&mut b);
+        report(&full, &mut b.samples, self.throughput);
+        self
+    }
+
+    /// Criterion parity; the stand-in has no per-group state to flush.
+    pub fn finish(self) {}
 }
 
 /// Passed to each bench closure; runs and times the measured routine.
@@ -132,7 +199,7 @@ impl Bencher {
     }
 }
 
-fn report(name: &str, samples: &mut [Duration]) {
+fn report(name: &str, samples: &mut [Duration], throughput: Option<Throughput>) {
     if samples.is_empty() {
         println!("{name:<40} time: [no samples]");
         return;
@@ -141,12 +208,42 @@ fn report(name: &str, samples: &mut [Duration]) {
     let min = samples[0];
     let med = samples[samples.len() / 2];
     let max = samples[samples.len() - 1];
-    println!(
-        "{name:<40} time: [{} {} {}]",
+    let time = format!(
+        "time: [{} {} {}]",
         fmt_duration(min),
         fmt_duration(med),
         fmt_duration(max)
     );
+    match throughput {
+        // Criterion's column order: slowest rate first, so the columns
+        // line up with the time triple (max time = min rate).
+        Some(t) => println!(
+            "{name:<40} {time:<34} thrpt: [{} {} {}]",
+            fmt_rate(t, max),
+            fmt_rate(t, med),
+            fmt_rate(t, min)
+        ),
+        None => println!("{name:<40} {time}"),
+    }
+}
+
+/// Work per second for one sample, scaled like criterion: K/M/G prefixes,
+/// `elem/s` for op counts and `B/s` for bytes.
+fn fmt_rate(t: Throughput, d: Duration) -> String {
+    let (work, unit) = match t {
+        Throughput::Elements(n) => (n as f64, "elem/s"),
+        Throughput::Bytes(n) => (n as f64, "B/s"),
+    };
+    let rate = work / d.as_secs_f64().max(1e-12);
+    if rate >= 1e9 {
+        format!("{:.3} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.1} {unit}")
+    }
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -227,6 +324,33 @@ mod tests {
             )
         });
         assert_eq!(setups, 3);
+    }
+
+    #[test]
+    fn benchmark_group_prefixes_and_reports_throughput() {
+        let mut c = Criterion::default().sample_size(2);
+        c.filter = None;
+        let mut runs = 0;
+        let mut g = c.benchmark_group("group");
+        g.throughput(Throughput::Elements(1_000));
+        g.bench_function("inner", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        g.finish();
+        // 1 warm-up + 2 samples.
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn rates_format_by_magnitude() {
+        let e = Throughput::Elements(1_000_000);
+        assert!(fmt_rate(e, Duration::from_secs(1)).starts_with("1.000 Melem/s"));
+        assert!(fmt_rate(e, Duration::from_millis(1)).starts_with("1.000 Gelem/s"));
+        assert!(fmt_rate(Throughput::Bytes(2_048), Duration::from_secs(1)).ends_with("KB/s"));
+        assert!(fmt_rate(Throughput::Elements(500), Duration::from_secs(1)).ends_with("elem/s"));
     }
 
     #[test]
