@@ -10,10 +10,10 @@
 //!
 //! Opens `--connections` concurrent connections and round-trips
 //! `--requests` successful `score` requests in total. Each connection is
-//! a [`taxo_serve::RetryClient`]: `busy` sheds, dropped connections, and
-//! per-request timeouts (`--timeout-ms`) are retried with exponential
-//! backoff up to `--retries` attempts — so the generator survives a
-//! server running under `TAXO_FAULTS` chaos. Query terms are drawn by a
+//! a retry-enabled [`taxo_serve::Client`]: `busy` sheds, dropped
+//! connections, and per-request timeouts (`--timeout-ms`) are retried
+//! with exponential backoff up to `--retries` attempts — so the
+//! generator survives a server running under `TAXO_FAULTS` chaos. Query terms are drawn by a
 //! seeded xorshift per connection from the same deterministic world the
 //! server trained on, so `--verify` can rebuild the server's version-0
 //! snapshot offline and check every response is **bit-identical**
@@ -50,9 +50,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use taxo_bench::{serving_expansion_config, serving_pipeline};
-use taxo_serve::{
-    candidate_key, expected_key, Client, Reply, RetryClient, RetryPolicy, ServeSnapshot, Tier,
-};
+use taxo_serve::{candidate_key, expected_key, Client, Reply, RetryPolicy, ServeSnapshot, Tier};
 
 /// Bucket upper bounds for `loadgen.latency_us`, in microseconds:
 /// 50µs .. ~1.6s, ×2 spaced.
@@ -237,8 +235,8 @@ fn main() {
     let proto: u64 = stats.iter().map(|s| s.protocol_errors).sum();
     let mismatches: u64 = stats.iter().map(|s| s.verify_mismatches).sum();
     let max_divergence = stats.iter().map(|s| s.max_divergence).fold(0.0, f32::max);
-    // Client-side resilience counters, bumped by RetryClient as it works
-    // around sheds, timeouts, and dropped connections.
+    // Client-side resilience counters, bumped by the retry loop as it
+    // works around sheds, timeouts, and dropped connections.
     let retries_used = taxo_obs::counter!("serve.retries").get();
     let timeouts = taxo_obs::counter!("serve.timeouts").get();
     taxo_obs::counter!("loadgen.requests.ok").add(ok);
@@ -360,9 +358,9 @@ fn run_connection(
         return stats;
     };
     // Backpressure, timeouts, and dropped connections are absorbed by
-    // the RetryClient's bounded retry loop; only a request that fails
-    // every attempt surfaces here.
-    let mut client = RetryClient::new(sock, policy);
+    // the client's bounded retry loop; only a request that fails every
+    // attempt surfaces here.
+    let mut client = Client::builder(sock).retry(policy).build();
     let mut rng = Xorshift::new(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(conn as u64 + 1)));
     // Only a non-default tier goes on the wire, so the f32 run also
     // exercises the server-side default.

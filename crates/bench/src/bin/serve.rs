@@ -5,6 +5,8 @@
 //! serve [--addr 127.0.0.1:7878] [--seed 42] [--threads N]
 //!       [--workers N] [--batch-max N] [--queue-cap N]
 //!       [--max-candidates N] [--tier f32|int8] [--metrics-json PATH]
+//!       [--data-dir PATH] [--fsync always|batch|batch:<OPS>:<MS>]
+//!       [--snapshot-every N] [--recover]
 //! ```
 //!
 //! Prints `taxo-serve listening on <addr>` once ready, then serves until
@@ -12,10 +14,19 @@
 //! taxo-obs snapshot (request counters, queue gauges, batch-size
 //! histograms, per-kind latency spans) after shutdown. `--threads` sets
 //! the compute thread count unless `TAXO_THREADS` is set (env wins).
+//!
+//! `--data-dir` turns on durability: every ingest batch is appended to a
+//! CRC32-framed WAL and fsynced before it is acknowledged (`--fsync`
+//! picks the group-commit policy), with a durable snapshot checkpoint
+//! every `--snapshot-every` versions. After a crash, `--recover` (with
+//! the same `--data-dir` and `--seed`) loads the latest snapshot,
+//! replays the WAL tail — truncating any torn final record — and
+//! resumes serving the exact pre-crash state.
 
 use std::sync::Arc;
+use std::time::Duration;
 use taxo_bench::{serving_expansion_config, serving_pipeline};
-use taxo_serve::{ServeConfig, Server};
+use taxo_serve::{DurabilityConfig, FsyncPolicy, ServeConfig, Server};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,6 +35,10 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut cfg = ServeConfig::default();
     let mut metrics_json: Option<std::path::PathBuf> = None;
+    let mut data_dir: Option<std::path::PathBuf> = None;
+    let mut fsync = FsyncPolicy::default();
+    let mut snapshot_every = 8u64;
+    let mut recover = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -44,11 +59,18 @@ fn main() {
                     "--metrics-json",
                 )));
             }
+            "--data-dir" => {
+                data_dir = Some(std::path::PathBuf::from(take(&args, &mut i, "--data-dir")));
+            }
+            "--fsync" => fsync = parse_fsync(&take(&args, &mut i, "--fsync")),
+            "--snapshot-every" => snapshot_every = parse(&take(&args, &mut i, "--snapshot-every")),
+            "--recover" => recover = true,
             "--help" | "-h" => {
                 println!(
                     "serve [--addr HOST:PORT] [--seed N] [--threads N] [--workers N] \
                      [--batch-max N] [--queue-cap N] [--max-candidates N] [--tier f32|int8] \
-                     [--metrics-json PATH]"
+                     [--metrics-json PATH] [--data-dir PATH] \
+                     [--fsync always|batch|batch:<OPS>:<MS>] [--snapshot-every N] [--recover]"
                 );
                 return;
             }
@@ -63,13 +85,57 @@ fn main() {
         }
     }
 
+    if recover && data_dir.is_none() {
+        die("--recover requires --data-dir");
+    }
+
     eprintln!("# training tiny serving pipeline (seed {seed})…");
     let t0 = std::time::Instant::now();
     let (world, trained) = serving_pipeline(seed);
-    let expander = trained.into_expander(&world.existing, serving_expansion_config());
+    let expansion_cfg = serving_expansion_config();
+    let expander = trained.into_expander(&world.existing, expansion_cfg.clone());
     eprintln!("# trained in {:.1?}", t0.elapsed());
+    let vocab = Arc::new(world.vocab);
 
-    let handle = Server::start(expander, Arc::new(world.vocab), cfg, addr.as_str())
+    // `--recover` swaps the freshly trained expander for the durable
+    // state the previous run reached; the frozen detector and expansion
+    // config come from the (deterministic) training above.
+    let (expander, report) = if recover {
+        let dir = data_dir.as_deref().expect("checked above");
+        let detector = expander.detector().clone();
+        match Server::recover(dir, detector, expansion_cfg, &vocab) {
+            Ok((expander, report)) => {
+                eprintln!(
+                    "# recovered {}: snapshot v{}, {} ops / {} records replayed, \
+                     {} torn bytes truncated, resuming at v{}",
+                    dir.display(),
+                    report.snapshot_version,
+                    report.replayed_ops,
+                    report.replayed_records,
+                    report.truncated_bytes,
+                    report.final_version
+                );
+                (expander, Some(report))
+            }
+            Err(e) => die(&format!("recovering {}: {e}", dir.display())),
+        }
+    } else {
+        (expander, None)
+    };
+
+    let mut builder = Server::builder(expander, vocab).config(cfg);
+    if let Some(dir) = data_dir {
+        builder = builder.durability(DurabilityConfig::Wal {
+            dir,
+            fsync,
+            snapshot_every,
+        });
+    }
+    if let Some(report) = &report {
+        builder = builder.recovered(report);
+    }
+    let handle = builder
+        .bind(addr.as_str())
         .unwrap_or_else(|e| die(&format!("binding {addr}: {e}")));
     println!("taxo-serve listening on {}", handle.addr());
     handle.join();
@@ -94,6 +160,25 @@ fn take(args: &[String], i: &mut usize, flag: &str) -> String {
 fn parse<T: std::str::FromStr>(s: &str) -> T {
     s.parse()
         .unwrap_or_else(|_| die(&format!("invalid numeric value {s:?}")))
+}
+
+fn parse_fsync(s: &str) -> FsyncPolicy {
+    if s == "always" {
+        return FsyncPolicy::Always;
+    }
+    if s == "batch" {
+        return FsyncPolicy::default();
+    }
+    if let Some(rest) = s.strip_prefix("batch:") {
+        let parts: Vec<&str> = rest.split(':').collect();
+        if let [ops, ms] = parts[..] {
+            return FsyncPolicy::Batch {
+                max_ops: parse(ops),
+                max_delay: Duration::from_millis(parse(ms)),
+            };
+        }
+    }
+    die("--fsync takes always, batch, or batch:<OPS>:<MS>")
 }
 
 fn die(msg: &str) -> ! {

@@ -25,6 +25,22 @@ pub struct IncrementalExpander {
     batches: usize,
 }
 
+/// The complete durable state of a session — everything
+/// [`IncrementalExpander::ingest`] mutates, and nothing it doesn't (the
+/// detector and config are frozen at training time and travel
+/// separately). Extracted with [`IncrementalExpander::state`] for
+/// snapshot persistence and fed back through
+/// [`IncrementalExpander::restore`] during crash recovery.
+#[derive(Debug, Clone)]
+pub struct ExpanderState {
+    /// The maintained taxonomy.
+    pub taxonomy: Taxonomy,
+    /// The accumulated candidate store, sorted by (query, item).
+    pub pairs: Vec<CandidatePair>,
+    /// Batches ingested so far.
+    pub batches: usize,
+}
+
 /// What one ingested batch changed.
 #[derive(Debug, Clone)]
 pub struct IngestReport {
@@ -136,6 +152,37 @@ impl IncrementalExpander {
     /// Batches ingested so far.
     pub fn batches(&self) -> usize {
         self.batches
+    }
+
+    /// Extracts the session's durable state (see [`ExpanderState`]).
+    pub fn state(&self) -> ExpanderState {
+        ExpanderState {
+            taxonomy: self.taxonomy.clone(),
+            pairs: self.candidate_pairs(),
+            batches: self.batches,
+        }
+    }
+
+    /// Rebuilds a session from a previously extracted (or deserialized)
+    /// state plus the frozen detector and config it was running under.
+    ///
+    /// A restored session is behaviorally identical to the original:
+    /// scoring consults only the detector, and expansion consults the
+    /// taxonomy as an edge set and the pair store as a sorted list, so
+    /// neither depends on the in-memory insertion order lost and
+    /// recreated by the disk round trip.
+    pub fn restore(detector: HypoDetector, cfg: ExpansionConfig, state: ExpanderState) -> Self {
+        let mut pair_counts = HashMap::with_capacity(state.pairs.len());
+        for p in &state.pairs {
+            *pair_counts.entry((p.query, p.item)).or_insert(0) += p.clicks;
+        }
+        IncrementalExpander {
+            detector,
+            taxonomy: state.taxonomy,
+            pair_counts,
+            cfg,
+            batches: state.batches,
+        }
     }
 }
 
@@ -265,6 +312,40 @@ mod tests {
                 assert!(session.taxonomy().contains_edge(e.parent, e.child));
             }
         }
+    }
+
+    #[test]
+    fn state_restore_round_trip_is_behaviorally_identical() {
+        let (world, det, log) = trained_world();
+        let cfg = ExpansionConfig {
+            threshold: 0.6,
+            ..Default::default()
+        };
+        let mut live = IncrementalExpander::new(det.clone(), world.existing.clone(), cfg.clone());
+        let mid = log.records.len() / 2;
+        live.ingest(&world.vocab, &log.records[..mid]);
+
+        let mut restored = IncrementalExpander::restore(det, cfg, live.state());
+        assert_eq!(restored.batches(), live.batches());
+        assert_eq!(restored.candidate_pairs(), live.candidate_pairs());
+        assert_eq!(
+            restored.taxonomy().edge_count(),
+            live.taxonomy().edge_count()
+        );
+        for e in live.taxonomy().edges() {
+            assert!(restored.taxonomy().contains_edge(e.parent, e.child));
+        }
+
+        // Ingesting the same next batch produces identical outcomes:
+        // the disk round trip loses only insertion order, which neither
+        // expansion nor reporting observes.
+        let ra = live.ingest(&world.vocab, &log.records[mid..]);
+        let rb = restored.ingest(&world.vocab, &log.records[mid..]);
+        assert_eq!(ra.batch, rb.batch);
+        assert_eq!(ra.known_pairs, rb.known_pairs);
+        assert_eq!(ra.attached, rb.attached);
+        assert_eq!(ra.total_relations, rb.total_relations);
+        assert_eq!(live.candidate_pairs(), restored.candidate_pairs());
     }
 
     #[test]

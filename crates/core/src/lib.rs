@@ -70,7 +70,7 @@ pub use graph_construction::{
     candidates_by_query, collect_all_pairs, construct_graph, CandidatePair, ConstructionResult,
     ConstructionStats,
 };
-pub use incremental::{IncrementalExpander, IngestReport};
+pub use incremental::{ExpanderState, IncrementalExpander, IngestReport};
 pub use inference::{expand_taxonomy, ExpansionConfig, ExpansionConfigBuilder, ExpansionResult};
 pub use pipeline::{PipelineConfig, PipelineConfigBuilder, TrainedPipeline};
 pub use quantized::QuantizedDetector;
@@ -98,7 +98,7 @@ pub use term_mining::{mine_terms, MinedTerm, TermMiningConfig};
 /// ```
 pub mod prelude {
     pub use crate::classifier::EdgeClassifier;
-    pub use crate::incremental::{IncrementalExpander, IngestReport};
+    pub use crate::incremental::{ExpanderState, IncrementalExpander, IngestReport};
     pub use crate::inference::{
         expand_taxonomy, ExpansionConfig, ExpansionConfigBuilder, ExpansionResult,
     };

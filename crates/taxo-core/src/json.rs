@@ -1,11 +1,12 @@
-//! Minimal JSON for the wire protocol.
+//! Minimal JSON for the wire protocol and durable on-disk artifacts.
 //!
 //! The workspace is dependency-free (no serde), so this module provides
-//! just enough JSON to carry the line protocol: a recursive-descent
-//! parser into [`Value`] and an encoder. Numbers are kept as their raw
-//! source text ([`Value::Num`]) and parsed on demand, so an `f32` score
-//! encoded with Rust's shortest round-trip `Display` comes back
-//! bit-identical — the serving acceptance contract depends on that.
+//! just enough JSON to carry the serving line protocol and the
+//! write-ahead-log payloads: a recursive-descent parser into [`Value`]
+//! and an encoder. Numbers are kept as their raw source text
+//! ([`Value::Num`]) and parsed on demand, so an `f32` score encoded with
+//! Rust's shortest round-trip `Display` comes back bit-identical — both
+//! the serving acceptance contract and crash recovery depend on that.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

@@ -31,6 +31,7 @@ mod analysis;
 mod dot;
 mod error;
 mod id;
+pub mod json;
 mod reduction;
 mod taxonomy;
 mod traversal;

@@ -42,6 +42,7 @@
 //! seed=<u64>
 //! <point>=<trigger>:<action>
 //! trigger := always | nth:<K>     (every Kth hit, 1-based)
+//!          | once:<K>             (exactly hit K, then never again)
 //!          | prob:<P>             (P in [0,1], seeded per point+hit)
 //! action  := fail | delay:<MS> | short:<N>
 //! ```
@@ -90,6 +91,9 @@ pub enum Trigger {
     Always,
     /// Every `K`th hit (hit indices K, 2K, 3K, …).
     Nth(u64),
+    /// Exactly hit `K`, then never again — the crash-once trigger the
+    /// durability twin tests use to kill a server at a chosen operation.
+    Once(u64),
     /// Each hit independently with probability `p`, decided by a hash of
     /// `(plan seed, point name, hit index)`.
     Prob(f64),
@@ -100,6 +104,7 @@ impl Trigger {
         match *self {
             Trigger::Always => true,
             Trigger::Nth(k) => hit.is_multiple_of(k.max(1)),
+            Trigger::Once(k) => hit == k.max(1),
             Trigger::Prob(p) => {
                 let x = splitmix64(seed ^ fnv1a(point.as_bytes()) ^ hit.wrapping_mul(0x9e37));
                 ((x >> 11) as f64 / (1u64 << 53) as f64) < p
@@ -172,6 +177,13 @@ impl FaultPlan {
                         return Err(format!("{key}: nth:0 never fires; use nth:1"));
                     }
                     Trigger::Nth(k)
+                }
+                Some("once") => {
+                    let k: u64 = parse_field(parts.next(), "once wants once:<K>")?;
+                    if k == 0 {
+                        return Err(format!("{key}: once:0 never fires; use once:1"));
+                    }
+                    Trigger::Once(k)
                 }
                 Some("prob") => {
                     let p: f64 = parse_field(parts.next(), "prob wants prob:<P>")?;
@@ -372,12 +384,23 @@ mod tests {
     }
 
     #[test]
+    fn once_trigger_fires_exactly_one_hit() {
+        let plan = FaultPlan::parse("seed=5;w=once:3:fail").unwrap();
+        assert_eq!(
+            (1..=6).map(|_| plan.decide("w")).collect::<Vec<_>>(),
+            vec![None, None, Some(FaultAction::Fail), None, None, None],
+            "once:3 fires on hit 3 and never again"
+        );
+    }
+
+    #[test]
     fn parse_rejects_malformed_specs() {
         for bad in [
             "justapoint",
             "seed=notanumber",
             "p=sometimes:fail",
             "p=nth:0:fail",
+            "p=once:0:fail",
             "p=prob:1.5:fail",
             "p=nth:3:explode",
             "p=nth:3:fail:extra",

@@ -32,8 +32,8 @@ use taxo_expand::{
 };
 use taxo_fault::{FaultAction, FaultPlan, Trigger};
 use taxo_serve::{
-    candidate_key, expected_key, Reply, RetryClient, RetryPolicy, ServeConfig, ServeSnapshot,
-    Server, Tier,
+    candidate_key, expected_key, Client, Reply, RetryPolicy, ServeConfig, ServeSnapshot, Server,
+    Tier,
 };
 use taxo_synth::{ClickConfig, ClickLog, ClickRecord, World, WorldConfig};
 
@@ -191,7 +191,9 @@ fn simulate(cfg: SimConfig) -> SimReport {
     queries.retain(|&q| !expected[0].eligible(q, cap).is_empty());
     assert!(queries.len() >= 8, "need a non-trivial query universe");
 
-    let handle = Server::start(server_exp, Arc::clone(&vocab), serve_cfg, "127.0.0.1:0")
+    let handle = Server::builder(server_exp, Arc::clone(&vocab))
+        .config(serve_cfg)
+        .bind("127.0.0.1:0")
         .expect("server starts");
     let addr = handle.addr();
     let store = handle.store();
@@ -297,7 +299,7 @@ fn score_client(
     cap: usize,
     k: usize,
 ) -> (u64, Vec<String>) {
-    let mut client = RetryClient::new(addr, retry);
+    let mut client = Client::builder(addr).retry(retry).build();
     let mut rng = Xorshift::new(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index as u64 + 1)));
     let mut ok = 0u64;
     let mut violations = Vec::new();
@@ -350,7 +352,7 @@ fn ingest_driver(
     batches: &[Vec<(String, String, u64)>],
 ) -> Vec<String> {
     let mut violations = Vec::new();
-    let mut client = RetryClient::new(addr, retry.clone());
+    let mut client = Client::builder(addr).retry(retry.clone()).build();
     for (i, batch) in batches.iter().enumerate() {
         let target = i as u64 + 1;
         loop {
@@ -387,7 +389,7 @@ fn ingest_driver(
 /// Polls `health` until the served version reaches `target` (applied) or
 /// stays behind it through the deadline (not applied). `None` means the
 /// server answered nothing at all within the deadline.
-fn confirm_applied(client: &mut RetryClient, target: u64) -> Option<bool> {
+fn confirm_applied(client: &mut Client, target: u64) -> Option<bool> {
     let deadline = Instant::now() + Duration::from_secs(5);
     let mut observed = None;
     loop {

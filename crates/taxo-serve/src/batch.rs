@@ -147,6 +147,25 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Non-blocking [`BoundedQueue::drain`]: takes up to `max` items if
+    /// any are pending, returning `Some(vec![])` when the queue is open
+    /// but empty and `None` once it is closed and dry. The WAL group
+    /// committer uses this to top up an fsync batch without sleeping on
+    /// the condvar past its delay window.
+    pub fn try_drain(&self, max: usize) -> Option<Vec<T>> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.items.is_empty() {
+            return if state.closed { None } else { Some(Vec::new()) };
+        }
+        let take = state.items.len().min(max.max(1));
+        let items: Vec<T> = state.items.drain(..take).collect();
+        drop(state);
+        if let Some(point) = self.fault_pop {
+            let _ = taxo_fault::inject(point);
+        }
+        Some(items)
+    }
+
     /// Closes the queue: further pushes fail, consumers drain what is
     /// left and then see `None`.
     pub fn close(&self) {
@@ -478,6 +497,19 @@ mod tests {
         assert_eq!(q.drain(1), Some(vec![1]));
         assert_eq!(q.drain(1), Some(vec![2]));
         assert_eq!(q.drain(1), None, "closed and dry");
+    }
+
+    #[test]
+    fn try_drain_never_blocks() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        assert_eq!(q.try_drain(2), Some(vec![]), "open + empty");
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.try_push(3).unwrap();
+        assert_eq!(q.try_drain(2), Some(vec![1, 2]));
+        q.close();
+        assert_eq!(q.try_drain(2), Some(vec![3]), "closed queues still drain");
+        assert_eq!(q.try_drain(2), None, "closed and dry");
     }
 
     #[test]

@@ -1,17 +1,58 @@
 //! A small blocking client for the line protocol, used by `loadgen`,
 //! the integration tests, and anyone scripting against a server.
+//!
+//! There is one client type. [`Client::connect`] gives the plain
+//! single-connection behavior (every transport error surfaces);
+//! [`Client::builder`] layers an optional [`RetryPolicy`] on the same
+//! type — bounded retry with exponential backoff over transport
+//! failures, `busy` shedding, and per-request timeouts, with lazy
+//! reconnects. Under fault injection individual connections die
+//! constantly; the retry loop is what proves the *service* stays
+//! correct anyway.
+//!
+//! Retried operations are the idempotent ones (`score`, `score_burst`,
+//! `health`, `stats`). [`Client::ingest`] retries only `busy` replies —
+//! after the request has reached the server, a transport failure is
+//! returned to the caller, because blindly resending a batch that may
+//! have been applied would double its clicks.
+//!
+//! Every retry increments the `serve.retries` counter and every
+//! abandoned-by-timeout attempt increments `serve.timeouts` (in this
+//! process's registry, not the server's).
 
 use crate::json::{self, Value};
 use crate::protocol::Tier;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
-/// One connection to a taxo-serve server.
-pub struct Client {
-    writer: TcpStream,
-    reader: BufReader<TcpStream>,
-    next_id: u64,
+/// Retry/backoff/timeout knobs for [`ClientBuilder::retry`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Attempts per request (first try included). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry up to
+    /// [`RetryPolicy::max_backoff`].
+    pub base_backoff: Duration,
+    pub max_backoff: Duration,
+    /// Socket read timeout per attempt; an attempt that exceeds it is
+    /// abandoned (connection dropped — a late response must never be
+    /// mistaken for the next request's).
+    pub request_timeout: Duration,
+    /// Total budget for (re)connecting to the server.
+    pub connect_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(64),
+            request_timeout: Duration::from_secs(5),
+            connect_timeout: Duration::from_secs(5),
+        }
+    }
 }
 
 /// A parsed response line.
@@ -41,23 +82,119 @@ impl Reply {
     }
 }
 
-impl Client {
-    /// Connects once.
-    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+/// One live connection: the raw stream plus its buffered read half.
+struct Conn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: SocketAddr, read_timeout: Option<Duration>) -> std::io::Result<Conn> {
         let writer = TcpStream::connect(addr)?;
         // One-line request/response framing: never let Nagle delay a
         // request behind the previous response's ACK.
         let _ = writer.set_nodelay(true);
+        writer.set_read_timeout(read_timeout)?;
         let reader = BufReader::new(writer.try_clone()?);
+        Ok(Conn { writer, reader })
+    }
+
+    fn read_line_trimmed(&mut self) -> std::io::Result<String> {
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end_matches(['\n', '\r']).to_owned())
+    }
+
+    fn call_raw(&mut self, line: &str) -> std::io::Result<String> {
+        debug_assert!(!line.contains('\n'));
+        self.writer.write_all(format!("{line}\n").as_bytes())?;
+        self.read_line_trimmed()
+    }
+}
+
+/// Builds a [`Client`]; construct via [`Client::builder`]. Building does
+/// no I/O — the client connects lazily on first use (and reconnects the
+/// same way after a transport failure).
+pub struct ClientBuilder {
+    addr: SocketAddr,
+    retry: Option<RetryPolicy>,
+    read_timeout: Option<Duration>,
+}
+
+impl ClientBuilder {
+    /// Enables the retry loop: idempotent requests retry transport
+    /// failures and `busy` shedding with exponential backoff; `ingest`
+    /// retries `busy` only. Also defaults the socket read timeout to the
+    /// policy's `request_timeout` unless one was named explicitly.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Per-read socket timeout (both halves share one socket).
+    pub fn read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = Some(timeout);
+        self
+    }
+
+    pub fn build(self) -> Client {
+        let read_timeout = self
+            .read_timeout
+            .or(self.retry.as_ref().map(|p| p.request_timeout));
+        Client {
+            addr: self.addr,
+            retry: self.retry,
+            read_timeout,
+            conn: None,
+            next_id: 0,
+        }
+    }
+}
+
+/// A client for one taxo-serve server; see the module docs for the
+/// plain-vs-retrying split.
+pub struct Client {
+    addr: SocketAddr,
+    retry: Option<RetryPolicy>,
+    read_timeout: Option<Duration>,
+    conn: Option<Conn>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Starts a builder for `addr` (no I/O until the first request).
+    pub fn builder(addr: SocketAddr) -> ClientBuilder {
+        ClientBuilder {
+            addr,
+            retry: None,
+            read_timeout: None,
+        }
+    }
+
+    /// Connects once, eagerly, with no retry policy — connection errors
+    /// and transport failures all surface to the caller.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream_addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(ErrorKind::InvalidInput, "address resolved empty")
+        })?;
+        let conn = Conn::open(stream_addr, None)?;
         Ok(Client {
-            writer,
-            reader,
+            addr: stream_addr,
+            retry: None,
+            read_timeout: None,
+            conn: Some(conn),
             next_id: 0,
         })
     }
 
-    /// Connects, retrying for up to `timeout` — for racing a server that
-    /// is still binding (CI smoke jobs).
+    /// Connects eagerly, retrying for up to `timeout` — for racing a
+    /// server that is still binding (CI smoke jobs).
     pub fn connect_retry(
         addr: impl ToSocketAddrs + Copy,
         timeout: Duration,
@@ -75,40 +212,15 @@ impl Client {
         }
     }
 
-    /// Sends one raw request line and reads one response line.
-    pub fn call_raw(&mut self, line: &str) -> std::io::Result<String> {
-        debug_assert!(!line.contains('\n'));
-        self.writer.write_all(format!("{line}\n").as_bytes())?;
-        let mut response = String::new();
-        let n = self.reader.read_line(&mut response)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
+    /// Sets the per-read socket timeout (both halves share one socket);
+    /// applies to the current connection and every reconnect. `None`
+    /// blocks forever.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.read_timeout = timeout;
+        if let Some(conn) = self.conn.as_ref() {
+            conn.writer.set_read_timeout(timeout)?;
         }
-        Ok(response.trim_end_matches(['\n', '\r']).to_owned())
-    }
-
-    /// Reads one response line and parses it, checking the echoed `id`.
-    fn read_reply(&mut self, expect_id: Option<u64>) -> std::io::Result<Reply> {
-        let mut raw = String::new();
-        let n = self.reader.read_line(&mut raw)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
-        }
-        let raw = raw.trim_end_matches(['\n', '\r']);
-        parse_reply(raw, expect_id)
-    }
-
-    /// Sends a request line and parses the response, checking that the
-    /// echoed `id` matches (frame integrity).
-    pub fn call(&mut self, line: &str, expect_id: Option<u64>) -> std::io::Result<Reply> {
-        let raw = self.call_raw(line)?;
-        parse_reply(&raw, expect_id)
+        Ok(())
     }
 
     fn fresh_id(&mut self) -> u64 {
@@ -116,42 +228,99 @@ impl Client {
         self.next_id
     }
 
+    /// The live connection, (re)established lazily. With a retry policy,
+    /// connecting itself retries up to the policy's `connect_timeout`.
+    fn conn(&mut self) -> std::io::Result<&mut Conn> {
+        if self.conn.is_none() {
+            let conn = match self.retry.as_ref() {
+                Some(policy) => {
+                    let deadline = Instant::now() + policy.connect_timeout;
+                    loop {
+                        match Conn::open(self.addr, self.read_timeout) {
+                            Ok(c) => break c,
+                            Err(e) if Instant::now() < deadline => {
+                                let _ = e;
+                                std::thread::sleep(Duration::from_millis(50));
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+                None => Conn::open(self.addr, self.read_timeout)?,
+            };
+            self.conn = Some(conn);
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    fn backoff(&self, retry: u32) -> Duration {
+        let Some(policy) = self.retry.as_ref() else {
+            return Duration::ZERO;
+        };
+        let exp = policy.base_backoff.saturating_mul(1u32 << retry.min(16));
+        exp.min(policy.max_backoff)
+    }
+
+    fn max_attempts(&self) -> u32 {
+        self.retry.as_ref().map_or(1, |p| p.max_attempts.max(1))
+    }
+
+    /// Drops the connection after a transport or framing failure: it can
+    /// no longer be trusted to pair requests with responses.
+    fn note_transport_error(&mut self, e: &std::io::Error) {
+        if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+            taxo_obs::counter!("serve.timeouts").inc();
+        }
+        self.conn = None;
+    }
+
+    /// Sends one raw request line and reads one response line on the
+    /// current connection (no retries, even with a policy — raw lines
+    /// carry caller-owned ids this client cannot regenerate).
+    pub fn call_raw(&mut self, line: &str) -> std::io::Result<String> {
+        match self.conn()?.call_raw(line) {
+            Ok(raw) => Ok(raw),
+            Err(e) => {
+                self.note_transport_error(&e);
+                Err(e)
+            }
+        }
+    }
+
+    /// Sends a request line and parses the response, checking that the
+    /// echoed `id` matches (frame integrity). Single attempt.
+    pub fn call(&mut self, line: &str, expect_id: Option<u64>) -> std::io::Result<Reply> {
+        let raw = self.call_raw(line)?;
+        parse_reply(&raw, expect_id)
+    }
+
+    /// One idempotent request with the full retry loop (a single attempt
+    /// without a policy). Returns the first non-`busy` reply, or the
+    /// last error once attempts are exhausted.
+    fn call_retrying(&mut self, line: &str, id: u64) -> std::io::Result<Reply> {
+        let mut last_err: Option<std::io::Error> = None;
+        for attempt in 0..self.max_attempts() {
+            if attempt > 0 {
+                taxo_obs::counter!("serve.retries").inc();
+                std::thread::sleep(self.backoff(attempt - 1));
+            }
+            match self.call(line, Some(id)) {
+                Ok(reply) if reply.is_busy() && self.retry.is_some() => {
+                    last_err = Some(std::io::Error::new(
+                        ErrorKind::WouldBlock,
+                        "server busy on every attempt",
+                    ));
+                }
+                Ok(reply) => return Ok(reply),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| std::io::Error::other("retry loop without attempts")))
+    }
+
     /// `score` round trip on the server's default tier.
     pub fn score(&mut self, query: &str, k: Option<usize>) -> std::io::Result<Reply> {
         self.score_tier(query, k, None)
-    }
-
-    /// Sends every query as its own `score` request in **one** write,
-    /// then reads the responses in order — request pipelining. The
-    /// server answers a connection's requests strictly in order and
-    /// coalesces the burst's responses into one frame, so a window of
-    /// `queries.len()` in-flight requests amortizes the per-round-trip
-    /// cost (syscalls, wakeups) without any protocol change. Replies
-    /// come back position-for-position with `queries`.
-    pub fn score_burst(
-        &mut self,
-        queries: &[&str],
-        k: Option<usize>,
-        tier: Option<Tier>,
-    ) -> std::io::Result<Vec<Reply>> {
-        let mut frame = String::new();
-        let mut ids = Vec::with_capacity(queries.len());
-        for query in queries {
-            let id = self.fresh_id();
-            ids.push(id);
-            let mut w = json::ObjWriter::new();
-            w.str("kind", "score").u64("id", id).str("query", query);
-            if let Some(k) = k {
-                w.u64("k", k as u64);
-            }
-            if let Some(t) = tier {
-                w.str("tier", t.as_str());
-            }
-            frame.push_str(&w.finish());
-            frame.push('\n');
-        }
-        self.writer.write_all(frame.as_bytes())?;
-        ids.iter().map(|&id| self.read_reply(Some(id))).collect()
     }
 
     /// `score` round trip naming a weight tier (`None` = server default).
@@ -162,184 +331,55 @@ impl Client {
         tier: Option<Tier>,
     ) -> std::io::Result<Reply> {
         let id = self.fresh_id();
-        let mut w = json::ObjWriter::new();
-        w.str("kind", "score").u64("id", id).str("query", query);
-        if let Some(k) = k {
-            w.u64("k", k as u64);
-        }
-        if let Some(t) = tier {
-            w.str("tier", t.as_str());
-        }
-        self.call(&w.finish(), Some(id))
+        let line = score_line(id, query, k, tier);
+        self.call_retrying(&line, id)
     }
 
-    /// `ingest` round trip.
-    pub fn ingest(&mut self, records: &[(String, String, u64)]) -> std::io::Result<Reply> {
-        let id = self.fresh_id();
-        let mut arr = String::from("[");
-        for (i, (query, item, count)) in records.iter().enumerate() {
-            if i > 0 {
-                arr.push(',');
-            }
-            let mut r = json::ObjWriter::new();
-            r.str("query", query).str("item", item).u64("count", *count);
-            arr.push_str(&r.finish());
-        }
-        arr.push(']');
-        let mut w = json::ObjWriter::new();
-        w.str("kind", "ingest").u64("id", id).raw("records", &arr);
-        self.call(&w.finish(), Some(id))
-    }
-
-    /// `health` round trip.
-    pub fn health(&mut self) -> std::io::Result<Reply> {
-        let id = self.fresh_id();
-        let mut w = json::ObjWriter::new();
-        w.str("kind", "health").u64("id", id);
-        self.call(&w.finish(), Some(id))
-    }
-
-    /// `stats` round trip.
-    pub fn stats(&mut self) -> std::io::Result<Reply> {
-        let id = self.fresh_id();
-        let mut w = json::ObjWriter::new();
-        w.str("kind", "stats").u64("id", id);
-        self.call(&w.finish(), Some(id))
-    }
-
-    /// `shutdown` round trip.
-    pub fn shutdown(&mut self) -> std::io::Result<Reply> {
-        let id = self.fresh_id();
-        let mut w = json::ObjWriter::new();
-        w.str("kind", "shutdown").u64("id", id);
-        self.call(&w.finish(), Some(id))
-    }
-}
-
-impl Client {
-    /// Sets the per-read socket timeout (both halves share one socket).
-    /// `None` blocks forever.
-    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
-        self.writer.set_read_timeout(timeout)
-    }
-}
-
-/// Retry/backoff/timeout knobs for [`RetryClient`].
-#[derive(Debug, Clone)]
-pub struct RetryPolicy {
-    /// Attempts per request (first try included). At least 1.
-    pub max_attempts: u32,
-    /// Backoff before the first retry; doubles per retry up to
-    /// [`RetryPolicy::max_backoff`].
-    pub base_backoff: Duration,
-    pub max_backoff: Duration,
-    /// Socket read timeout per attempt; an attempt that exceeds it is
-    /// abandoned (connection dropped — a late response must never be
-    /// mistaken for the next request's).
-    pub request_timeout: Duration,
-    /// Total budget for (re)connecting to the server.
-    pub connect_timeout: Duration,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy {
-            max_attempts: 8,
-            base_backoff: Duration::from_millis(1),
-            max_backoff: Duration::from_millis(64),
-            request_timeout: Duration::from_secs(5),
-            connect_timeout: Duration::from_secs(5),
-        }
-    }
-}
-
-/// A self-healing client: bounded retry with exponential backoff over
-/// transport failures, `busy` shedding, and per-request timeouts. Used by
-/// the `loadgen` bench client and the chaos simulation harness — under
-/// fault injection, individual connections die constantly and this is
-/// the loop that proves the *service* stays correct anyway.
-///
-/// Retried operations are the idempotent ones (`score`, `health`,
-/// `stats`). [`RetryClient::ingest`] retries only `busy` replies — after
-/// the request has reached the server, a transport failure is returned
-/// to the caller, because blindly resending a batch that may have been
-/// applied would double its clicks.
-///
-/// Every retry increments the `serve.retries` counter and every
-/// abandoned-by-timeout attempt increments `serve.timeouts` (in this
-/// process's registry, not the server's).
-pub struct RetryClient {
-    addr: std::net::SocketAddr,
-    policy: RetryPolicy,
-    conn: Option<Client>,
-    next_id: u64,
-}
-
-impl RetryClient {
-    /// Creates a client for `addr`; connects lazily on first use.
-    pub fn new(addr: std::net::SocketAddr, policy: RetryPolicy) -> RetryClient {
-        RetryClient {
-            addr,
-            policy,
-            conn: None,
-            next_id: 0,
-        }
-    }
-
-    fn fresh_id(&mut self) -> u64 {
-        self.next_id += 1;
-        self.next_id
-    }
-
-    fn conn(&mut self) -> std::io::Result<&mut Client> {
-        if self.conn.is_none() {
-            let c = Client::connect_retry(self.addr, self.policy.connect_timeout)?;
-            c.set_read_timeout(Some(self.policy.request_timeout))?;
-            self.conn = Some(c);
-        }
-        Ok(self.conn.as_mut().expect("just connected"))
-    }
-
-    fn backoff(&self, retry: u32) -> Duration {
-        let exp = self
-            .policy
-            .base_backoff
-            .saturating_mul(1u32 << retry.min(16));
-        exp.min(self.policy.max_backoff)
-    }
-
-    /// One request with the full retry loop. Returns the first non-`busy`
-    /// reply, or the last error once attempts are exhausted.
-    fn call_retrying(&mut self, line: &str, id: u64) -> std::io::Result<Reply> {
+    /// Sends every query as its own `score` request in **one** write,
+    /// then reads the responses in order — request pipelining. The
+    /// server answers a connection's requests strictly in order and
+    /// coalesces the burst's responses into one frame, so a window of
+    /// `queries.len()` in-flight requests amortizes the per-round-trip
+    /// cost (syscalls, wakeups) without any protocol change. Replies
+    /// come back position-for-position with `queries`.
+    ///
+    /// With a retry policy, a transport failure anywhere in the burst
+    /// reconnects and resends the **whole** burst under fresh ids —
+    /// scores are idempotent, so a double-served prefix is harmless.
+    pub fn score_burst(
+        &mut self,
+        queries: &[&str],
+        k: Option<usize>,
+        tier: Option<Tier>,
+    ) -> std::io::Result<Vec<Reply>> {
         let mut last_err: Option<std::io::Error> = None;
-        for attempt in 0..self.policy.max_attempts.max(1) {
+        for attempt in 0..self.max_attempts() {
             if attempt > 0 {
                 taxo_obs::counter!("serve.retries").inc();
                 std::thread::sleep(self.backoff(attempt - 1));
             }
-            let conn = match self.conn() {
-                Ok(conn) => conn,
-                Err(e) => {
-                    last_err = Some(e);
-                    continue;
+            let mut frame = String::new();
+            let mut ids = Vec::with_capacity(queries.len());
+            for query in queries {
+                let id = self.fresh_id();
+                ids.push(id);
+                frame.push_str(&score_line(id, query, k, tier));
+                frame.push('\n');
+            }
+            let burst = (|| {
+                let conn = self.conn()?;
+                conn.writer.write_all(frame.as_bytes())?;
+                let mut replies = Vec::with_capacity(ids.len());
+                for &id in &ids {
+                    let raw = conn.read_line_trimmed()?;
+                    replies.push(parse_reply(&raw, Some(id))?);
                 }
-            };
-            match conn.call(line, Some(id)) {
-                Ok(reply) if reply.is_busy() => {
-                    last_err = Some(std::io::Error::new(
-                        ErrorKind::WouldBlock,
-                        "server busy on every attempt",
-                    ));
-                }
-                Ok(reply) => return Ok(reply),
+                Ok(replies)
+            })();
+            match burst {
+                Ok(replies) => return Ok(replies),
                 Err(e) => {
-                    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
-                        taxo_obs::counter!("serve.timeouts").inc();
-                    }
-                    // Transport or framing failure: this connection can
-                    // no longer be trusted to pair requests with
-                    // responses, so drop it and reconnect on retry.
-                    self.conn = None;
+                    self.note_transport_error(&e);
                     last_err = Some(e);
                 }
             }
@@ -347,51 +387,11 @@ impl RetryClient {
         Err(last_err.unwrap_or_else(|| std::io::Error::other("retry loop without attempts")))
     }
 
-    /// `score` with retries on the server's default tier.
-    pub fn score(&mut self, query: &str, k: Option<usize>) -> std::io::Result<Reply> {
-        self.score_tier(query, k, None)
-    }
-
-    /// `score` with retries naming a weight tier (`None` = server
-    /// default).
-    pub fn score_tier(
-        &mut self,
-        query: &str,
-        k: Option<usize>,
-        tier: Option<Tier>,
-    ) -> std::io::Result<Reply> {
-        let id = self.fresh_id();
-        let mut w = json::ObjWriter::new();
-        w.str("kind", "score").u64("id", id).str("query", query);
-        if let Some(k) = k {
-            w.u64("k", k as u64);
-        }
-        if let Some(t) = tier {
-            w.str("tier", t.as_str());
-        }
-        self.call_retrying(&w.finish(), id)
-    }
-
-    /// `health` with retries.
-    pub fn health(&mut self) -> std::io::Result<Reply> {
-        let id = self.fresh_id();
-        let mut w = json::ObjWriter::new();
-        w.str("kind", "health").u64("id", id);
-        self.call_retrying(&w.finish(), id)
-    }
-
-    /// `stats` with retries.
-    pub fn stats(&mut self) -> std::io::Result<Reply> {
-        let id = self.fresh_id();
-        let mut w = json::ObjWriter::new();
-        w.str("kind", "stats").u64("id", id);
-        self.call_retrying(&w.finish(), id)
-    }
-
-    /// `ingest`, retrying **only** `busy` replies. Any transport error is
-    /// surfaced: the batch may or may not have been applied, and only the
-    /// caller can resolve that (e.g. by checking the `health` version —
-    /// ingest replies are sent strictly after the batch is applied).
+    /// `ingest`, retrying **only** `busy` replies even with a policy. A
+    /// transport error is surfaced: the batch may or may not have been
+    /// applied, and only the caller can resolve that (e.g. by checking
+    /// the `health` version — ingest replies are sent strictly after the
+    /// batch is applied).
     pub fn ingest(&mut self, records: &[(String, String, u64)]) -> std::io::Result<Reply> {
         let id = self.fresh_id();
         let mut arr = String::from("[");
@@ -409,27 +409,55 @@ impl RetryClient {
         let line = w.finish();
         let mut retry = 0u32;
         loop {
-            let reply = match self.conn() {
-                Ok(conn) => conn.call(&line, Some(id)),
-                Err(e) => Err(e),
-            };
-            match reply {
-                Ok(r) if r.is_busy() && retry + 1 < self.policy.max_attempts => {
+            match self.call(&line, Some(id)) {
+                Ok(r) if r.is_busy() && retry + 1 < self.max_attempts() => {
                     taxo_obs::counter!("serve.retries").inc();
                     std::thread::sleep(self.backoff(retry));
                     retry += 1;
                 }
-                Ok(r) => return Ok(r),
-                Err(e) => {
-                    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
-                        taxo_obs::counter!("serve.timeouts").inc();
-                    }
-                    self.conn = None;
-                    return Err(e);
-                }
+                reply => return reply,
             }
         }
     }
+
+    /// `health` round trip (retried under a policy).
+    pub fn health(&mut self) -> std::io::Result<Reply> {
+        let id = self.fresh_id();
+        let mut w = json::ObjWriter::new();
+        w.str("kind", "health").u64("id", id);
+        let line = w.finish();
+        self.call_retrying(&line, id)
+    }
+
+    /// `stats` round trip (retried under a policy).
+    pub fn stats(&mut self) -> std::io::Result<Reply> {
+        let id = self.fresh_id();
+        let mut w = json::ObjWriter::new();
+        w.str("kind", "stats").u64("id", id);
+        let line = w.finish();
+        self.call_retrying(&line, id)
+    }
+
+    /// `shutdown` round trip. Never retried: a dead channel after a
+    /// shutdown request usually *is* the shutdown.
+    pub fn shutdown(&mut self) -> std::io::Result<Reply> {
+        let id = self.fresh_id();
+        let mut w = json::ObjWriter::new();
+        w.str("kind", "shutdown").u64("id", id);
+        self.call(&w.finish(), Some(id))
+    }
+}
+
+fn score_line(id: u64, query: &str, k: Option<usize>, tier: Option<Tier>) -> String {
+    let mut w = json::ObjWriter::new();
+    w.str("kind", "score").u64("id", id).str("query", query);
+    if let Some(k) = k {
+        w.u64("k", k as u64);
+    }
+    if let Some(t) = tier {
+        w.str("tier", t.as_str());
+    }
+    w.finish()
 }
 
 fn protocol_error(msg: String) -> std::io::Error {

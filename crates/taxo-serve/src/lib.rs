@@ -24,6 +24,13 @@
 //!   overload sheds with a `busy` response instead of stalling sockets.
 //! * **Graceful shutdown**: queues close-then-drain, so every accepted
 //!   request gets a response before the threads exit.
+//! * **Durability** ([`durable`], `crates/taxo-wal`): with
+//!   [`DurabilityConfig::Wal`], ingest batches are appended to a
+//!   CRC32-framed write-ahead log *before* they are acknowledged
+//!   (append → fsync window → ack), snapshots of the expander state are
+//!   atomically published to disk, and [`Server::recover`] rebuilds the
+//!   exact pre-crash state — bit-identical scores included — from
+//!   snapshot + WAL tail replay.
 //!
 //! # Determinism contract
 //!
@@ -38,26 +45,33 @@
 //! use taxo_serve::{Client, Server, ServeConfig};
 //! # let (expander, vocab): (taxo_expand::IncrementalExpander, Arc<taxo_core::Vocabulary>) = todo!();
 //!
-//! let handle = Server::start(expander, vocab, ServeConfig::default(), "127.0.0.1:0")?;
+//! let handle = Server::builder(expander, vocab)
+//!     .config(ServeConfig::default())
+//!     .bind("127.0.0.1:0")?;
 //! let mut client = Client::connect(handle.addr())?;
 //! let reply = client.score("potato chips", Some(5))?;
 //! println!("{reply:?}");
 //! client.shutdown()?;
 //! handle.join();
-//! # Ok::<(), std::io::Error>(())
+//! # Ok::<(), taxo_serve::ServeError>(())
 //! ```
 
 pub mod batch;
 pub mod cache;
 pub mod client;
-pub mod json;
+pub mod durable;
 pub mod protocol;
 pub mod server;
 pub mod snapshot;
 
+/// JSON codec shared with the rest of the workspace (re-exported from
+/// `taxo_core` so existing `taxo_serve::json::...` paths keep working).
+pub use taxo_core::json;
+
 pub use batch::{BoundedQueue, PushError, ScoreJob};
 pub use cache::{ResponseCache, ScoreCache, ScoreKey};
-pub use client::{candidate_key, expected_key, Client, Reply, RetryClient, RetryPolicy};
+pub use client::{candidate_key, expected_key, Client, ClientBuilder, Reply, RetryPolicy};
+pub use durable::{DurabilityConfig, FsyncPolicy, RecoveryReport};
 pub use protocol::{IngestRecord, IngestSummary, Request, Tier};
-pub use server::{ServeConfig, Server, ServerHandle};
+pub use server::{ServeConfig, ServeError, Server, ServerBuilder, ServerHandle};
 pub use snapshot::{ScoredCandidate, ServeSnapshot, SnapshotReader, SnapshotStore};

@@ -1,7 +1,8 @@
 //! The TCP server: acceptor, connection-worker pool, micro-batching
 //! scorer, and the single ingest/rebuild thread.
 //!
-//! Thread layout (all plain `std::thread`, started by [`Server::start`]):
+//! Thread layout (all plain `std::thread`, started by
+//! [`ServerBuilder::bind`]):
 //!
 //! ```text
 //! acceptor ──► conn queue ──► worker 0..N   (parse + respond)
@@ -9,7 +10,8 @@
 //!                    score jobs ▼   │ scores (per-job mpsc)
 //!                            scorer thread   (one par_map per batch)
 //!                               ┆
-//! workers ──► ingest queue ──► ingest thread (IncrementalExpander +
+//! workers ──► ingest queue ──► ingest thread (WAL append+fsync →
+//!                                             IncrementalExpander +
 //!                                             snapshot rebuild + publish)
 //! ```
 //!
@@ -18,21 +20,30 @@
 //! Shutdown (a `shutdown` request or [`ServerHandle::shutdown`]) closes
 //! the queues; consumers drain what was already accepted, so no accepted
 //! request is ever dropped without a response.
+//!
+//! With [`DurabilityConfig::Wal`], the ingest thread is also the WAL's
+//! single writer: it appends every batch of a commit group, fsyncs once
+//! (the ack barrier), and only then applies, rebuilds, publishes, and
+//! acks. An injected WAL failure is treated as a crash — the server
+//! halts exactly as if the process had died, and [`Server::recover`]
+//! rebuilds the durable state.
 
 use crate::batch::{score_batch, BoundedQueue, PushError, ScoreJob};
 use crate::cache::{ResponseCache, ScoreCache};
+use crate::durable::{self, DurabilityConfig, FsyncPolicy, RecoveryReport};
 use crate::protocol::{self, IngestRecord, IngestSummary, Request, Tier};
 use crate::snapshot::{ServeSnapshot, SnapshotReader, SnapshotStore};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Duration;
-use taxo_core::Vocabulary;
-use taxo_expand::IncrementalExpander;
+use std::time::{Duration, Instant};
+use taxo_core::{TaxoError, Vocabulary};
+use taxo_expand::{ExpansionConfig, HypoDetector, IncrementalExpander};
 use taxo_obs::{counter, gauge, histogram, span};
-use taxo_synth::ClickRecord;
+use taxo_wal::{WalError, WalWriter};
 
 /// Server sizing knobs. The defaults suit the tiny demo pipeline; every
 /// field must be at least 1.
@@ -85,23 +96,76 @@ impl Default for ServeConfig {
 }
 
 impl ServeConfig {
-    fn validate(&self) -> Result<(), String> {
+    /// Field-named validation, surfaced by [`ServerBuilder::bind`] as
+    /// [`ServeError::Config`] (the same `TaxoError::InvalidConfig` shape
+    /// the pipeline config builders use).
+    pub fn validate(&self) -> Result<(), TaxoError> {
         for (name, v) in [
-            ("workers", self.workers),
-            ("batch_max", self.batch_max),
-            ("score_queue_cap", self.score_queue_cap),
-            ("ingest_queue_cap", self.ingest_queue_cap),
-            ("conn_backlog", self.conn_backlog),
-            ("max_candidates", self.max_candidates),
-            ("default_k", self.default_k),
-            ("score_cache_cap", self.score_cache_cap),
-            ("resp_cache_cap", self.resp_cache_cap),
+            ("serve.workers", self.workers),
+            ("serve.batch_max", self.batch_max),
+            ("serve.score_queue_cap", self.score_queue_cap),
+            ("serve.ingest_queue_cap", self.ingest_queue_cap),
+            ("serve.conn_backlog", self.conn_backlog),
+            ("serve.max_candidates", self.max_candidates),
+            ("serve.default_k", self.default_k),
+            ("serve.score_cache_cap", self.score_cache_cap),
+            ("serve.resp_cache_cap", self.resp_cache_cap),
         ] {
             if v == 0 {
-                return Err(format!("ServeConfig.{name} must be at least 1"));
+                return Err(TaxoError::invalid_config(name, "must be at least 1"));
             }
         }
         Ok(())
+    }
+}
+
+/// Errors starting or recovering a server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A configuration field failed validation (carries the
+    /// field-naming [`TaxoError::InvalidConfig`]).
+    Config(TaxoError),
+    /// Binding the listener or spawning threads failed.
+    Io(std::io::Error),
+    /// Opening, replaying, or initializing the durable state failed.
+    Wal(WalError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Config(e) => write!(f, "{e}"),
+            ServeError::Io(e) => write!(f, "serve io error: {e}"),
+            ServeError::Wal(e) => write!(f, "serve durability error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Config(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+            ServeError::Wal(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<WalError> for ServeError {
+    fn from(e: WalError) -> Self {
+        ServeError::Wal(e)
+    }
+}
+
+impl From<TaxoError> for ServeError {
+    fn from(e: TaxoError) -> Self {
+        ServeError::Config(e)
     }
 }
 
@@ -122,6 +186,9 @@ struct Shared {
     ingest_queue: BoundedQueue<IngestJob>,
     conn_queue: BoundedQueue<TcpStream>,
     shutdown: AtomicBool,
+    /// Set when an injected WAL failure halted the server mid-flight —
+    /// the in-process stand-in for the process dying.
+    crashed: AtomicBool,
     /// Ingest batches applied so far (served in `health`).
     batches: AtomicU64,
 }
@@ -139,6 +206,22 @@ impl Shared {
         self.conn_queue.close();
         self.score_queue.close();
         self.ingest_queue.close();
+    }
+
+    /// Simulated crash: halt like a dying process would. In-flight
+    /// ingest acks are dropped (their clients see a dead channel, i.e.
+    /// an ambiguous outcome — exactly what a real crash leaves behind);
+    /// already-buffered score responses still flush.
+    fn crash(&self, point: &str) {
+        if !self.crashed.swap(true, Ordering::AcqRel) {
+            counter!("serve.wal.aborts").inc();
+            eprintln!("# taxo-serve: simulated crash at {point}");
+        }
+        self.begin_shutdown();
+    }
+
+    fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
     }
 }
 
@@ -160,6 +243,12 @@ impl ServerHandle {
     /// The snapshot store (for tests that publish or inspect directly).
     pub fn store(&self) -> Arc<SnapshotStore> {
         Arc::clone(&self.shared.store)
+    }
+
+    /// Whether an injected WAL fault crashed the server (tests read this
+    /// to distinguish a simulated crash from a graceful shutdown).
+    pub fn crashed(&self) -> bool {
+        self.shared.is_crashed()
     }
 
     /// Begins graceful shutdown: stop accepting, refuse new requests,
@@ -186,20 +275,112 @@ impl ServerHandle {
 pub struct Server;
 
 impl Server {
-    /// Starts serving `expander`'s taxonomy on `addr` (use port 0 for an
-    /// ephemeral port; read it back from [`ServerHandle::addr`]).
+    /// Starts a validating builder for a server over `expander`'s
+    /// taxonomy (the [`taxo_expand::PipelineConfig::builder`] style).
     ///
-    /// The expander is consumed: it moves onto the ingest thread, which
-    /// owns all mutable state. The initial snapshot (version 0) is built
-    /// from the expander's current taxonomy and candidate store.
+    /// The expander is consumed at [`ServerBuilder::bind`]: it moves
+    /// onto the ingest thread, which owns all mutable state.
+    pub fn builder(expander: IncrementalExpander, vocab: Arc<Vocabulary>) -> ServerBuilder {
+        ServerBuilder {
+            expander,
+            vocab,
+            cfg: ServeConfig::default(),
+            durability: DurabilityConfig::Volatile,
+            initial_version: 0,
+            recovered: false,
+        }
+    }
+
+    /// Rebuilds the expander state a durable server had reached before a
+    /// crash (or clean stop): loads the manifest's snapshot, truncates
+    /// any torn final WAL record, and replays the WAL tail. Pass the
+    /// result to [`ServerBuilder::recovered`] to resume serving.
+    ///
+    /// `detector` and `cfg` are the frozen training-time artifacts the
+    /// original server ran with; they are not persisted.
+    pub fn recover(
+        dir: &Path,
+        detector: HypoDetector,
+        cfg: ExpansionConfig,
+        vocab: &Vocabulary,
+    ) -> Result<(IncrementalExpander, RecoveryReport), ServeError> {
+        Ok(durable::recover(dir, detector, cfg, vocab)?)
+    }
+
+    /// Starts serving with defaults — the pre-builder entry point.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Server::builder(expander, vocab).config(cfg).bind(addr)"
+    )]
     pub fn start(
         expander: IncrementalExpander,
         vocab: Arc<Vocabulary>,
         cfg: ServeConfig,
         addr: impl ToSocketAddrs,
     ) -> std::io::Result<ServerHandle> {
-        cfg.validate()
-            .map_err(|e| std::io::Error::new(ErrorKind::InvalidInput, e))?;
+        Server::builder(expander, vocab)
+            .config(cfg)
+            .bind(addr)
+            .map_err(|e| match e {
+                ServeError::Io(io) => io,
+                other => std::io::Error::new(ErrorKind::InvalidInput, other.to_string()),
+            })
+    }
+}
+
+/// Validating builder for a server; construct via [`Server::builder`].
+pub struct ServerBuilder {
+    expander: IncrementalExpander,
+    vocab: Arc<Vocabulary>,
+    cfg: ServeConfig,
+    durability: DurabilityConfig,
+    initial_version: u64,
+    recovered: bool,
+}
+
+impl ServerBuilder {
+    /// Replaces the sizing configuration (validated at bind).
+    pub fn config(mut self, cfg: ServeConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Selects the durability mode (validated at bind). Defaults to
+    /// [`DurabilityConfig::Volatile`].
+    pub fn durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Marks this server as resuming from a [`Server::recover`] run: the
+    /// snapshot version ledger continues from the recovered version, and
+    /// an existing manifest in the durability directory is expected
+    /// rather than refused.
+    pub fn recovered(mut self, report: &RecoveryReport) -> Self {
+        self.initial_version = report.final_version;
+        self.recovered = true;
+        self
+    }
+
+    /// Binds the listener and starts every server thread (use port 0
+    /// for an ephemeral port; read it back from [`ServerHandle::addr`]).
+    ///
+    /// With [`DurabilityConfig::Wal`], also initializes the durability
+    /// directory: persists the starting state as a durable snapshot,
+    /// opens the WAL for appending, and publishes a manifest — so a
+    /// crash at any later point recovers at least the state served at
+    /// bind time.
+    pub fn bind(self, addr: impl ToSocketAddrs) -> Result<ServerHandle, ServeError> {
+        let ServerBuilder {
+            expander,
+            vocab,
+            cfg,
+            durability,
+            initial_version,
+            recovered,
+        } = self;
+        cfg.validate()?;
+        durability.validate()?;
         // Honour a TAXO_FAULTS chaos plan (no-op when the variable is
         // unset; harnesses that arm programmatically are unaffected
         // because an empty env never disarms).
@@ -207,6 +388,23 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+
+        let wal = match durability {
+            DurabilityConfig::Volatile => None,
+            DurabilityConfig::Wal {
+                dir,
+                fsync,
+                snapshot_every,
+            } => Some(init_durability(
+                dir,
+                fsync,
+                snapshot_every,
+                &vocab,
+                &expander,
+                initial_version,
+                recovered,
+            )?),
+        };
 
         // The detector never changes after training: one Arc is shared by
         // every snapshot the ingest thread will ever publish — and so is
@@ -216,7 +414,7 @@ impl Server {
             &detector,
         )));
         let initial = ServeSnapshot::build_with_quant(
-            0,
+            initial_version,
             Arc::clone(&vocab),
             Arc::clone(&detector),
             Arc::clone(&quant),
@@ -243,6 +441,7 @@ impl Server {
             cache: ScoreCache::new(cfg.score_cache_cap),
             resp: ResponseCache::new(cfg.resp_cache_cap),
             shutdown: AtomicBool::new(false),
+            crashed: AtomicBool::new(false),
             batches: AtomicU64::new(expander.batches() as u64),
             cfg,
         });
@@ -278,7 +477,9 @@ impl Server {
             threads.push(
                 std::thread::Builder::new()
                     .name("serve-ingest".into())
-                    .spawn(move || ingest_loop(expander, &detector, &quant, &vocab, &shared))?,
+                    .spawn(move || {
+                        ingest_loop(expander, &detector, &quant, &vocab, &shared, wal)
+                    })?,
             );
         }
 
@@ -288,6 +489,53 @@ impl Server {
             threads,
         })
     }
+}
+
+/// The ingest thread's durability state: the open WAL writer plus the
+/// policy knobs.
+struct WalState {
+    writer: WalWriter,
+    dir: PathBuf,
+    fsync: FsyncPolicy,
+    snapshot_every: u64,
+}
+
+/// Prepares a durability directory at bind time: refuses to silently
+/// shadow an existing manifest (that is what [`Server::recover`] is
+/// for), opens the WAL, and publishes the starting snapshot+manifest.
+fn init_durability(
+    dir: PathBuf,
+    fsync: FsyncPolicy,
+    snapshot_every: u64,
+    vocab: &Vocabulary,
+    expander: &IncrementalExpander,
+    initial_version: u64,
+    recovered: bool,
+) -> Result<WalState, ServeError> {
+    std::fs::create_dir_all(&dir).map_err(WalError::Io)?;
+    if !recovered && taxo_wal::Manifest::read(&dir)?.is_some() {
+        return Err(ServeError::Config(TaxoError::invalid_config(
+            "durability.dir",
+            "already contains a manifest; recover with Server::recover(...) and \
+             resume via ServerBuilder::recovered(...), or point at a fresh directory",
+        )));
+    }
+    let writer = WalWriter::open(&dir.join(durable::WAL_FILE))?
+        .with_fault_points(durable::FAULT_APPEND, durable::FAULT_FSYNC);
+    durable::persist_state(
+        &dir,
+        initial_version,
+        vocab,
+        &expander.state(),
+        writer.offset(),
+    )?;
+    gauge!("serve.wal.offset").set(writer.offset() as i64);
+    Ok(WalState {
+        writer,
+        dir,
+        fsync,
+        snapshot_every,
+    })
 }
 
 fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
@@ -587,7 +835,9 @@ fn ingest_request(id: Option<u64>, records: Vec<IngestRecord>, shared: &Shared) 
     {
         Ok(depth) => {
             // Mirrors `serve.score.accepted`: paired with
-            // `serve.ingest.applied` in the ingest loop.
+            // `serve.ingest.applied` in the ingest loop. A simulated
+            // crash breaks the pairing on purpose — accepted batches the
+            // crash dropped are exactly the ones recovery re-resolves.
             counter!("serve.ingest.accepted").inc();
             gauge!("serve.queue.ingest_depth").set(depth as i64);
         }
@@ -615,38 +865,114 @@ fn scorer_loop(shared: &Shared) {
     }
 }
 
-/// The single writer: applies ingest batches to the owned
-/// [`IncrementalExpander`], rebuilds an immutable snapshot, and publishes
-/// it. Readers keep serving the previous snapshot throughout.
+/// Collects one WAL commit group: the jobs already drained, topped up
+/// from the queue until `max_ops` or `max_delay` under a
+/// [`FsyncPolicy::Batch`] policy.
+fn fill_commit_group(
+    jobs: &mut Vec<IngestJob>,
+    queue: &BoundedQueue<IngestJob>,
+    fsync: FsyncPolicy,
+) {
+    let FsyncPolicy::Batch { max_ops, max_delay } = fsync else {
+        return;
+    };
+    let deadline = Instant::now() + max_delay;
+    while jobs.len() < max_ops {
+        match queue.try_drain(max_ops - jobs.len()) {
+            Some(more) if !more.is_empty() => jobs.extend(more),
+            Some(_) => {
+                if Instant::now() >= deadline {
+                    return;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            // Closed and dry: commit what we have.
+            None => return,
+        }
+    }
+}
+
+/// Appends and fsyncs one commit group. Returns the fault point name on
+/// an injected failure (the caller crashes the server), with all
+/// successfully appended frames possibly durable — recovery semantics,
+/// not rollback semantics.
+fn wal_commit_group(
+    wal: &mut WalState,
+    jobs: &[IngestJob],
+    base_version: u64,
+) -> Result<(), &'static str> {
+    for (i, job) in jobs.iter().enumerate() {
+        let payload = durable::encode_ingest_op(base_version + 1 + i as u64, &job.records);
+        let before = wal.writer.offset();
+        match wal.writer.append(payload.as_bytes()) {
+            Ok(after) => {
+                counter!("serve.wal.appends").inc();
+                counter!("serve.wal.bytes").add(after - before);
+            }
+            Err(WalError::Injected(point)) => return Err(point),
+            Err(e) => {
+                eprintln!("# taxo-serve: wal append failed: {e}");
+                return Err(durable::FAULT_APPEND);
+            }
+        }
+    }
+    match wal.writer.sync() {
+        Ok(()) => {
+            counter!("serve.wal.fsyncs").inc();
+            histogram!("serve.wal.group_ops").observe(jobs.len() as u64);
+            gauge!("serve.wal.offset").set(wal.writer.offset() as i64);
+            Ok(())
+        }
+        Err(WalError::Injected(point)) => Err(point),
+        Err(e) => {
+            eprintln!("# taxo-serve: wal fsync failed: {e}");
+            Err(durable::FAULT_FSYNC)
+        }
+    }
+}
+
+/// The single writer: appends+fsyncs each commit group to the WAL (when
+/// durable), applies the batches to the owned [`IncrementalExpander`],
+/// rebuilds an immutable snapshot, and publishes it. Readers keep
+/// serving the previous snapshot throughout.
 fn ingest_loop(
     mut expander: IncrementalExpander,
     detector: &Arc<taxo_expand::HypoDetector>,
     quant: &Arc<taxo_expand::QuantizedDetector>,
     vocab: &Arc<Vocabulary>,
     shared: &Shared,
+    mut wal: Option<WalState>,
 ) {
-    while let Some(jobs) = shared.ingest_queue.drain(1) {
+    let group_max = match wal.as_ref().map(|w| w.fsync) {
+        Some(FsyncPolicy::Batch { max_ops, .. }) => max_ops.max(1),
+        _ => 1,
+    };
+    while let Some(mut jobs) = shared.ingest_queue.drain(group_max) {
+        // Durable path: collect the commit group, append every frame,
+        // fsync once — the ack barrier — and only then apply and ack.
+        if let Some(w) = wal.as_mut() {
+            fill_commit_group(&mut jobs, &shared.ingest_queue, w.fsync);
+            if let Err(point) = wal_commit_group(w, &jobs, shared.store.version()) {
+                // Simulated crash. Dropping `jobs` (and everything still
+                // queued) drops their reply senders: clients see a dead
+                // channel, the ambiguous no-ack a real crash produces.
+                shared.crash(point);
+                drop(jobs);
+                while let Some(orphans) = shared.ingest_queue.try_drain(usize::MAX) {
+                    if orphans.is_empty() {
+                        break;
+                    }
+                    drop(orphans);
+                }
+                return;
+            }
+        }
         for job in jobs {
             // Delay-only chaos point: a slow rebuild stalls the single
             // writer and backs pressure up into the ingest queue.
             let _ = taxo_fault::inject("serve.ingest.apply");
             let _g = span!("serve.ingest.apply");
-            let mut matched = 0u64;
-            let mut skipped = 0u64;
-            let mut records = Vec::with_capacity(job.records.len());
-            for r in &job.records {
-                match vocab.get(&r.query) {
-                    Some(query) => {
-                        matched += 1;
-                        records.push(ClickRecord {
-                            query,
-                            item_text: r.item.clone(),
-                            count: r.count,
-                        });
-                    }
-                    None => skipped += 1,
-                }
-            }
+            let (records, matched, skipped) = durable::match_records(vocab, &job.records);
             counter!("serve.ingest.records_matched").add(matched);
             counter!("serve.ingest.records_skipped").add(skipped);
 
@@ -678,6 +1004,41 @@ fn ingest_loop(
             };
             counter!("serve.ingest.applied").inc();
             let _ = job.reply.send(summary);
+
+            if let Some(w) = wal.as_mut() {
+                if version.is_multiple_of(w.snapshot_every) {
+                    // A failed (or injected) snapshot publish is
+                    // tolerable: the WAL still holds every acked batch,
+                    // so recovery just replays a longer tail.
+                    match durable::persist_state(
+                        &w.dir,
+                        version,
+                        vocab,
+                        &expander.state(),
+                        w.writer.offset(),
+                    ) {
+                        Ok(()) => {}
+                        Err(e) => {
+                            counter!("serve.wal.snapshot_errors").inc();
+                            eprintln!("# taxo-serve: snapshot publish skipped: {e}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Graceful shutdown: checkpoint the final state so a restart
+    // replays nothing. Skipped after a simulated crash — that is the
+    // whole point of the crash.
+    if let Some(w) = wal.as_mut() {
+        if !shared.is_crashed() {
+            let version = shared.store.version();
+            if let Err(e) =
+                durable::persist_state(&w.dir, version, vocab, &expander.state(), w.writer.offset())
+            {
+                counter!("serve.wal.snapshot_errors").inc();
+                eprintln!("# taxo-serve: final snapshot publish skipped: {e}");
+            }
         }
     }
 }

@@ -56,7 +56,10 @@ fn scores_are_bit_identical_to_offline_baseline() {
     let cfg = ServeConfig::default();
     let cap = cfg.max_candidates;
     let k = cfg.default_k;
-    let handle = Server::start(expander, Arc::clone(&vocab), cfg, "127.0.0.1:0").unwrap();
+    let handle = Server::builder(expander, Arc::clone(&vocab))
+        .config(cfg)
+        .bind("127.0.0.1:0")
+        .unwrap();
     let snapshot = handle.store().load();
     let queries = scorable_queries(&snapshot, &pairs, cap);
     assert!(
@@ -93,7 +96,10 @@ fn repeated_queries_hit_the_cache_and_stay_bit_identical() {
     let cfg = ServeConfig::default();
     let cap = cfg.max_candidates;
     let k = cfg.default_k;
-    let handle = Server::start(expander, Arc::clone(&vocab), cfg, "127.0.0.1:0").unwrap();
+    let handle = Server::builder(expander, Arc::clone(&vocab))
+        .config(cfg)
+        .bind("127.0.0.1:0")
+        .unwrap();
     let snapshot = handle.store().load();
     let queries = scorable_queries(&snapshot, &pairs, cap);
     let q = queries[0];
@@ -135,7 +141,10 @@ fn int8_tier_is_bit_identical_to_offline_quant_replay() {
     let cfg = ServeConfig::default();
     let cap = cfg.max_candidates;
     let k = cfg.default_k;
-    let handle = Server::start(expander, Arc::clone(&vocab), cfg, "127.0.0.1:0").unwrap();
+    let handle = Server::builder(expander, Arc::clone(&vocab))
+        .config(cfg)
+        .bind("127.0.0.1:0")
+        .unwrap();
     let snapshot = handle.store().load();
     let queries = scorable_queries(&snapshot, &pairs, cap);
     assert!(queries.len() >= 5, "fixture too small");
@@ -182,7 +191,9 @@ fn int8_tier_is_bit_identical_to_offline_quant_replay() {
 #[test]
 fn unknown_terms_and_garbage_lines_error_cleanly() {
     let (vocab, expander, _) = fixture(12);
-    let handle = Server::start(expander, vocab, ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let handle = Server::builder(expander, vocab)
+        .bind("127.0.0.1:0")
+        .unwrap();
     let mut client = Client::connect(handle.addr()).unwrap();
 
     let reply = client.score("definitely-not-a-term", None).unwrap();
@@ -206,7 +217,9 @@ fn health_and_stats_report_server_state() {
     let (vocab, expander, _) = fixture(13);
     let nodes = expander.taxonomy().node_count();
     let edges = expander.taxonomy().edge_count();
-    let handle = Server::start(expander, vocab, ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let handle = Server::builder(expander, vocab)
+        .bind("127.0.0.1:0")
+        .unwrap();
     let mut client = Client::connect(handle.addr()).unwrap();
 
     let Reply::Ok(h) = client.health().unwrap() else {
@@ -255,7 +268,10 @@ fn overload_sheds_with_busy_and_never_corrupts_responses() {
     };
     let cap = cfg.max_candidates;
     let k = cfg.default_k;
-    let handle = Server::start(expander, Arc::clone(&vocab), cfg, "127.0.0.1:0").unwrap();
+    let handle = Server::builder(expander, Arc::clone(&vocab))
+        .config(cfg)
+        .bind("127.0.0.1:0")
+        .unwrap();
     let snapshot = handle.store().load();
     let queries = scorable_queries(&snapshot, &pairs, cap);
     let addr = handle.addr();
@@ -296,7 +312,9 @@ fn overload_sheds_with_busy_and_never_corrupts_responses() {
 #[test]
 fn graceful_shutdown_acknowledges_then_stops_accepting() {
     let (vocab, expander, _) = fixture(15);
-    let handle = Server::start(expander, vocab, ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let handle = Server::builder(expander, vocab)
+        .bind("127.0.0.1:0")
+        .unwrap();
     let addr = handle.addr();
     let mut client = Client::connect(addr).unwrap();
     let reply = client.shutdown().unwrap();

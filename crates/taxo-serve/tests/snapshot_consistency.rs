@@ -52,7 +52,10 @@ fn concurrent_readers_see_whole_versions_never_a_mix() {
     let serve_cfg = ServeConfig::default();
     let cap = serve_cfg.max_candidates;
     let k = serve_cfg.default_k;
-    let handle = Server::start(expander, Arc::clone(&vocab), serve_cfg, "127.0.0.1:0").unwrap();
+    let handle = Server::builder(expander, Arc::clone(&vocab))
+        .config(serve_cfg)
+        .bind("127.0.0.1:0")
+        .unwrap();
     let addr = handle.addr();
 
     let old_snapshot = handle.store().load();

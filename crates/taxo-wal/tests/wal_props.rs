@@ -1,0 +1,182 @@
+//! Property tests for the WAL frame codec and replay/recover loop,
+//! mirroring the json.rs wire-format suite: append→replay is the
+//! identity on arbitrary payloads (including f32 score bits carried in
+//! JSON payloads), a torn final record truncates cleanly at **every**
+//! byte boundary, and trailing garbage is rejected rather than misread.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use taxo_core::json::{self, ObjWriter, Value};
+use taxo_wal::{encode_frame, recover, replay, WalWriter, MAX_FRAME};
+
+/// A unique scratch WAL file per test case (the vendored proptest runs
+/// cases sequentially, but names must survive reruns in one process).
+fn scratch(name: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "taxo-wal-props-{name}-{}-{}.log",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Arbitrary payload batches: `max_n` payloads of up to `max_len` bytes
+/// over the full byte alphabet (empty payloads included — a zero-length
+/// frame is legal and must survive replay).
+#[derive(Debug, Clone, Copy)]
+struct ArbPayloads {
+    max_n: usize,
+    max_len: usize,
+}
+
+impl Strategy for ArbPayloads {
+    type Value = Vec<Vec<u8>>;
+
+    fn generate(&self, rng: &mut proptest::__rand::rngs::StdRng) -> Vec<Vec<u8>> {
+        use proptest::__rand::RngExt;
+        let n = rng.random_range(1..=self.max_n);
+        (0..n)
+            .map(|_| {
+                let len = rng.random_range(0..=self.max_len);
+                (0..len)
+                    .map(|_| rng.random_range(0..256u32) as u8)
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Writes every payload as a complete frame and returns the raw bytes.
+fn frames_bytes(payloads: &[Vec<u8>]) -> Vec<u8> {
+    payloads.iter().flat_map(|p| encode_frame(p)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// append → sync → replay is the identity on arbitrary payloads, and
+    /// a fully synced log has no torn tail.
+    #[test]
+    fn append_replay_is_identity(payloads in ArbPayloads { max_n: 6, max_len: 200 }) {
+        let path = scratch("identity");
+        let mut w = WalWriter::open(&path).expect("open");
+        for p in &payloads {
+            w.append(p).expect("append");
+        }
+        w.sync().expect("sync");
+        let end = w.offset();
+        drop(w);
+
+        let r = replay(&path, 0).expect("replay");
+        prop_assert_eq!(&r.payloads, &payloads);
+        prop_assert_eq!(r.valid_len, end);
+        prop_assert_eq!(r.torn_bytes, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The scoring contract holds through the log: an f32 written into a
+    /// JSON payload with `ObjWriter::f32` replays to the same bits.
+    #[test]
+    fn f32_bits_survive_a_wal_round_trip(bits in 0u32..u32::MAX, seq in 0u64..u64::MAX) {
+        let x = f32::from_bits(bits);
+        prop_assume!(x.is_finite());
+        let mut obj = ObjWriter::new();
+        obj.u64("seq", seq).f32("score", x);
+        let payload = obj.finish();
+
+        let path = scratch("f32");
+        let mut w = WalWriter::open(&path).expect("open");
+        w.append(payload.as_bytes()).expect("append");
+        w.sync().expect("sync");
+        drop(w);
+
+        let r = replay(&path, 0).expect("replay");
+        prop_assert_eq!(r.payloads.len(), 1);
+        let text = std::str::from_utf8(&r.payloads[0]).expect("utf8 payload");
+        let v = json::parse(text).expect("payload parses");
+        let back = v.get("score").and_then(Value::as_f32).expect("score member");
+        prop_assert_eq!(back.to_bits(), x.to_bits(), "{}", text);
+        prop_assert_eq!(v.get("seq").and_then(Value::as_u64), Some(seq));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A torn final record — cut at **every** byte boundary, from "frame
+    /// entirely missing" to "one byte short" — replays the intact prefix
+    /// and recovers by physically truncating the tear, after which the
+    /// log appends and replays as if the tear never happened.
+    #[test]
+    fn torn_final_record_truncates_at_every_cut(
+        payloads in ArbPayloads { max_n: 3, max_len: 24 },
+    ) {
+        let full = frames_bytes(&payloads);
+        let intact = frames_bytes(&payloads[..payloads.len() - 1]);
+        let path = scratch("torn");
+        for cut in intact.len()..full.len() {
+            std::fs::write(&path, &full[..cut]).expect("write torn log");
+
+            let r = replay(&path, 0).expect("replay tolerates the tear");
+            prop_assert_eq!(&r.payloads[..], &payloads[..payloads.len() - 1]);
+            prop_assert_eq!(r.valid_len, intact.len() as u64);
+            prop_assert_eq!(r.torn_bytes, (cut - intact.len()) as u64);
+
+            let r = recover(&path, 0).expect("recover");
+            prop_assert_eq!(r.torn_bytes, (cut - intact.len()) as u64);
+            prop_assert_eq!(
+                std::fs::metadata(&path).expect("metadata").len(),
+                intact.len() as u64
+            );
+
+            // The truncated log is a first-class log again: appends land
+            // exactly where the tear was and replay sees everything.
+            let mut w = WalWriter::open(&path).expect("reopen");
+            prop_assert_eq!(w.offset(), intact.len() as u64);
+            w.append(b"after the tear").expect("append");
+            w.sync().expect("sync");
+            drop(w);
+            let r = replay(&path, 0).expect("replay after heal");
+            prop_assert_eq!(r.payloads.len(), payloads.len());
+            prop_assert_eq!(&r.payloads[payloads.len() - 1][..], b"after the tear");
+            prop_assert_eq!(r.torn_bytes, 0);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Trailing garbage after the last intact frame is rejected, not
+    /// interpreted: replay stops at the last valid frame and recovery
+    /// drops the garbage. The garbage's length prefix is forced past
+    /// `MAX_FRAME`, the guard that keeps random bytes from masquerading
+    /// as a plausible frame header.
+    #[test]
+    fn trailing_garbage_is_rejected(
+        payloads in ArbPayloads { max_n: 4, max_len: 64 },
+        garbage in ArbPayloads { max_n: 1, max_len: 40 },
+    ) {
+        let mut garbage = garbage.into_iter().next().expect("one garbage blob");
+        garbage.resize(garbage.len().max(4), 0xAB);
+        // Little-endian length prefix: pinning the top byte makes the
+        // implied frame length exceed MAX_FRAME no matter the rest.
+        garbage[3] |= 0xF0;
+        let implied = u32::from_le_bytes([garbage[0], garbage[1], garbage[2], garbage[3]]);
+        prop_assume!(implied as usize > MAX_FRAME);
+
+        let intact = frames_bytes(&payloads);
+        let mut bytes = intact.clone();
+        bytes.extend_from_slice(&garbage);
+        let path = scratch("garbage");
+        std::fs::write(&path, &bytes).expect("write log with garbage tail");
+
+        let r = replay(&path, 0).expect("replay tolerates garbage");
+        prop_assert_eq!(&r.payloads, &payloads);
+        prop_assert_eq!(r.valid_len, intact.len() as u64);
+        prop_assert_eq!(r.torn_bytes, garbage.len() as u64);
+
+        let r = recover(&path, 0).expect("recover");
+        prop_assert_eq!(r.torn_bytes, garbage.len() as u64);
+        prop_assert_eq!(
+            std::fs::metadata(&path).expect("metadata").len(),
+            intact.len() as u64
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}
