@@ -1,7 +1,8 @@
 //! `loadgen` — deterministic load generator for a taxo-serve server.
 //!
 //! ```text
-//! loadgen [--addr 127.0.0.1:7878] [--seed 42] [--connections 8]
+//! loadgen [--addr 127.0.0.1:7878[,HOST:PORT,...]] [--router]
+//!         [--seed 42] [--connections 8]
 //!         [--requests 10000] [--k 8] [--max-candidates 16]
 //!         [--tier f32|int8] [--verify] [--tolerance T]
 //!         [--pipeline N] [--shutdown] [--metrics-json PATH]
@@ -9,7 +10,16 @@
 //! ```
 //!
 //! Opens `--connections` concurrent connections and round-trips
-//! `--requests` successful `score` requests in total. Each connection is
+//! `--requests` successful `score` requests in total. `--addr` accepts
+//! a comma-separated list; connections round-robin across the targets
+//! (useful for comparing N standalone shards against one router
+//! fronting them). `--router` declares the target a taxo-router tier:
+//! the post-run health check reports the merged shard count, and the
+//! `--bench-json` summary records the topology. `--verify` works
+//! unchanged through a router when every shard trained from the same
+//! `--seed` (their version-0 snapshots are identical, so the routed
+//! response is bit-identical to the offline baseline regardless of
+//! which shard answered). Each connection is
 //! a retry-enabled [`taxo_serve::Client`]: `busy` sheds, dropped
 //! connections, and per-request timeouts (`--timeout-ms`) are retried
 //! with exponential backoff up to `--retries` attempts — so the
@@ -42,8 +52,11 @@
 //! Latencies are recorded into the `loadgen.latency_us` histogram;
 //! p50/p99 are reported as bucket upper bounds from its snapshot.
 //! `--bench-json` writes a one-object machine-readable summary of the
-//! run (throughput, latency quantiles, retries, verify outcome) for perf
-//! baselines such as the repo's `BENCH_serve.json`.
+//! run (throughput, latency quantiles, retries, verify outcome, the
+//! **effective** connection count — connections that actually carried
+//! quota, which is less than `--connections` when `--requests` is
+//! smaller — and the resolved target list) for perf baselines such as
+//! the repo's `BENCH_serve.json`.
 //! Exits nonzero on any protocol error, verify mismatch, or incomplete
 //! run — `busy` sheds are expected backpressure, never a failure.
 
@@ -77,6 +90,7 @@ struct ConnStats {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = String::from("127.0.0.1:7878");
+    let mut router = false;
     let mut seed = 42u64;
     let mut connections = 8usize;
     let mut requests = 10_000u64;
@@ -96,6 +110,7 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--addr" => addr = take(&args, &mut i, "--addr"),
+            "--router" => router = true,
             "--seed" => seed = parse(&take(&args, &mut i, "--seed")),
             "--connections" => connections = parse(&take(&args, &mut i, "--connections")),
             "--requests" => requests = parse(&take(&args, &mut i, "--requests")),
@@ -125,7 +140,8 @@ fn main() {
             "--bench-label" => bench_label = take(&args, &mut i, "--bench-label"),
             "--help" | "-h" => {
                 println!(
-                    "loadgen [--addr HOST:PORT] [--seed N] [--connections N] [--requests N] \
+                    "loadgen [--addr HOST:PORT[,HOST:PORT,...]] [--router] [--seed N] \
+                     [--connections N] [--requests N] \
                      [--k N] [--max-candidates N] [--retries N] [--timeout-ms N] \
                      [--tier f32|int8] [--verify] [--tolerance T] [--pipeline N] \
                      [--shutdown] [--metrics-json PATH] [--bench-json PATH] [--bench-label NAME]"
@@ -138,6 +154,16 @@ fn main() {
     }
     if connections == 0 || requests == 0 {
         die("--connections and --requests must be at least 1");
+    }
+    // `--addr` is a comma-separated target list; connections
+    // round-robin across it.
+    let addrs: Vec<String> = addr
+        .split(',')
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if addrs.is_empty() {
+        die("--addr needs at least one target");
     }
     if pipeline == 0 {
         die("--pipeline must be at least 1");
@@ -198,8 +224,16 @@ fn main() {
     eprintln!("# {} scorable queries (tier {tier})", plan.len());
 
     // Fan out: each connection gets its own quota and xorshift stream.
+    // With fewer requests than connections, the tail connections carry
+    // no quota and never open — `effective` is the count that do, and
+    // it (not the requested `--connections`) is what the bench summary
+    // records as the run's concurrency.
     let base = requests / connections as u64;
     let rem = requests % connections as u64;
+    let quotas: Vec<u64> = (0..connections)
+        .map(|conn| base + u64::from((conn as u64) < rem))
+        .collect();
+    let effective = quotas.iter().filter(|&&q| q > 0).count();
     let latency = taxo_obs::registry().histogram_with("loadgen.latency_us", LATENCY_BOUNDS_US);
     let policy = RetryPolicy {
         max_attempts: retries.max(1),
@@ -209,12 +243,12 @@ fn main() {
     let plan = Arc::new(plan);
     let t0 = Instant::now();
     let stats: Vec<ConnStats> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..connections)
+        let handles: Vec<_> = (0..effective)
             .map(|conn| {
-                let quota = base + u64::from((conn as u64) < rem);
+                let quota = quotas[conn];
                 let plan = Arc::clone(&plan);
                 let latency = Arc::clone(&latency);
-                let addr = addr.clone();
+                let addr = addrs[conn % addrs.len()].clone();
                 let policy = policy.clone();
                 scope.spawn(move || {
                     run_connection(
@@ -245,7 +279,7 @@ fn main() {
 
     // Final health + stats over a fresh connection, and the optional
     // shutdown request.
-    match Client::connect(addr.as_str()) {
+    match Client::connect(addrs[0].as_str()) {
         Ok(mut c) => {
             if let Ok(Reply::Ok(h)) = c.health() {
                 eprintln!(
@@ -254,6 +288,20 @@ fn main() {
                     fmt_u64(h.get("nodes")),
                     fmt_u64(h.get("edges"))
                 );
+                if router {
+                    match h.get("shards") {
+                        Some(s) => eprintln!(
+                            "# router tier: {} shard(s) behind {}",
+                            fmt_u64(Some(s)),
+                            addrs[0]
+                        ),
+                        None => eprintln!(
+                            "# warning: --router set but {} reports no shards \
+                             (plain taxo-serve?)",
+                            addrs[0]
+                        ),
+                    }
+                }
             }
             if let Ok(Reply::Ok(s)) = c.stats() {
                 let batches = s
@@ -276,9 +324,10 @@ fn main() {
 
     let (p50, p99) = percentiles(&latency_snapshot());
     println!(
-        "loadgen: {ok}/{requests} ok over {connections} connections (pipeline {pipeline}) \
-         in {elapsed:.1?} ({:.0} req/s), {retries_used} retries, {timeouts} timeouts, \
-         p50 <= {p50}, p99 <= {p99}",
+        "loadgen: {ok}/{requests} ok over {effective} connections (pipeline {pipeline}) \
+         against {} target(s) in {elapsed:.1?} ({:.0} req/s), {retries_used} retries, \
+         {timeouts} timeouts, p50 <= {p50}, p99 <= {p99}",
+        addrs.len(),
         ok as f64 / elapsed.as_secs_f64().max(1e-9),
     );
     if verify {
@@ -296,10 +345,19 @@ fn main() {
 
     if let Some(path) = &bench_json {
         let snap = latency_snapshot();
+        let addrs_json = format!(
+            "[{}]",
+            addrs
+                .iter()
+                .map(|a| format!("{a:?}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
         let body = format!(
             "{{\n  \"label\": {label:?},\n  \"tier\": \"{tier}\",\n  \
              \"requests\": {requests},\n  \"ok\": {ok},\n  \
-             \"connections\": {connections},\n  \"pipeline\": {pipeline},\n  \
+             \"connections\": {effective},\n  \"pipeline\": {pipeline},\n  \
+             \"router\": {router},\n  \"addrs\": {addrs_json},\n  \
              \"elapsed_s\": {elapsed_s:.3},\n  \"rps\": {rps:.1},\n  \"p50_us\": {p50},\n  \"p99_us\": {p99},\n  \
              \"retries\": {retries_used},\n  \"timeouts\": {timeouts},\n  \
              \"verify\": {verify},\n  \"verify_mismatches\": {mismatches},\n  \

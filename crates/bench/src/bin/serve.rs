@@ -4,7 +4,8 @@
 //! ```text
 //! serve [--addr 127.0.0.1:7878] [--seed 42] [--threads N]
 //!       [--workers N] [--batch-max N] [--queue-cap N]
-//!       [--max-candidates N] [--tier f32|int8] [--metrics-json PATH]
+//!       [--max-candidates N] [--tier f32|int8]
+//!       [--score-cache N] [--resp-cache N] [--metrics-json PATH]
 //!       [--data-dir PATH] [--fsync always|batch|batch:<OPS>:<MS>]
 //!       [--snapshot-every N] [--recover]
 //! ```
@@ -52,6 +53,8 @@ fn main() {
                 cfg.max_candidates = parse(&take(&args, &mut i, "--max-candidates"));
             }
             "--tier" => cfg.default_tier = parse(&take(&args, &mut i, "--tier")),
+            "--score-cache" => cfg.score_cache_cap = parse(&take(&args, &mut i, "--score-cache")),
+            "--resp-cache" => cfg.resp_cache_cap = parse(&take(&args, &mut i, "--resp-cache")),
             "--metrics-json" => {
                 metrics_json = Some(std::path::PathBuf::from(take(
                     &args,
@@ -69,7 +72,8 @@ fn main() {
                 println!(
                     "serve [--addr HOST:PORT] [--seed N] [--threads N] [--workers N] \
                      [--batch-max N] [--queue-cap N] [--max-candidates N] [--tier f32|int8] \
-                     [--metrics-json PATH] [--data-dir PATH] \
+                     [--score-cache N] [--resp-cache N] [--metrics-json PATH] \
+                     [--data-dir PATH] \
                      [--fsync always|batch|batch:<OPS>:<MS>] [--snapshot-every N] [--recover]"
                 );
                 return;

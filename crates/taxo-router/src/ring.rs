@@ -1,0 +1,189 @@
+//! The consistent-hash ring that assigns parent-concept keys to shards.
+//!
+//! Placement is pure arithmetic over `(seed, shard id, vnode index)` —
+//! no `RandomState`, no process-local salt — so every process that
+//! builds a ring from the same membership and seed routes every key
+//! identically. That is what lets the router, the offline baseline
+//! builder in tests, and a restarted router twin agree on ownership
+//! without ever exchanging ring state.
+//!
+//! Each shard contributes `vnodes` points on a `u64` circle; a key is
+//! owned by the shard of the first point at or after the key's hash
+//! (wrapping). Because a shard's points depend only on its own id,
+//! removing one of `N` shards leaves every other point in place: only
+//! keys whose successor point belonged to the removed shard move —
+//! an expected `1/N` of them (proptested in `tests/ring_props.rs`).
+
+/// SplitMix64 finalizer: the avalanche step used for every placement.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over the key bytes — stable across processes and platforms.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Circle position of one virtual node. Depends only on
+/// `(seed, shard, vnode)`: membership changes never move it.
+fn vnode_position(seed: u64, shard: u32, vnode: u32) -> u64 {
+    let ident = (u64::from(shard) << 32) | u64::from(vnode);
+    splitmix64(splitmix64(seed ^ ident) ^ 0xd6e8_feb8_6659_fd93)
+}
+
+/// Circle position of a key.
+fn key_position(seed: u64, key: &str) -> u64 {
+    splitmix64(seed ^ fnv1a64(key.as_bytes()))
+}
+
+/// A consistent-hash ring over shard ids.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    seed: u64,
+    vnodes: usize,
+    members: Vec<u32>,
+    /// `(position, shard id)`, sorted — ties broken by shard id so the
+    /// ring is a pure function of `(members, vnodes, seed)`.
+    points: Vec<(u64, u32)>,
+}
+
+impl HashRing {
+    /// A ring over shard ids `0..shards`.
+    ///
+    /// # Panics
+    /// If `shards` or `vnodes` is zero.
+    pub fn new(shards: usize, vnodes: usize, seed: u64) -> HashRing {
+        let members: Vec<u32> = (0..shards as u32).collect();
+        HashRing::with_members(&members, vnodes, seed)
+    }
+
+    /// A ring over an explicit membership (ids need not be contiguous —
+    /// a removed shard simply isn't listed).
+    ///
+    /// # Panics
+    /// If `members` is empty, contains duplicates, or `vnodes` is zero.
+    pub fn with_members(members: &[u32], vnodes: usize, seed: u64) -> HashRing {
+        assert!(!members.is_empty(), "ring needs at least one shard");
+        assert!(vnodes >= 1, "ring needs at least one vnode per shard");
+        let mut sorted = members.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), members.len(), "duplicate shard id in ring");
+        let mut points = Vec::with_capacity(members.len() * vnodes);
+        for &shard in &sorted {
+            for vnode in 0..vnodes as u32 {
+                points.push((vnode_position(seed, shard, vnode), shard));
+            }
+        }
+        points.sort_unstable();
+        HashRing {
+            seed,
+            vnodes,
+            members: sorted,
+            points,
+        }
+    }
+
+    /// The owning shard id for a key (total: every key maps somewhere).
+    pub fn shard_for(&self, key: &str) -> u32 {
+        let h = key_position(self.seed, key);
+        let i = self.points.partition_point(|&(p, _)| p < h);
+        let (_, shard) = self.points[i % self.points.len()];
+        shard
+    }
+
+    /// The ring with one shard removed — every other shard's points are
+    /// untouched, so only keys the removed shard owned remap.
+    ///
+    /// # Panics
+    /// If `shard` is the only member.
+    pub fn without(&self, shard: u32) -> HashRing {
+        let members: Vec<u32> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| m != shard)
+            .collect();
+        HashRing::with_members(&members, self.vnodes, self.seed)
+    }
+
+    /// Sorted member shard ids.
+    pub fn members(&self) -> &[u32] {
+        &self.members
+    }
+
+    /// Number of member shards.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Always false: a ring cannot be constructed empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Virtual nodes per shard.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// The placement seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let ring = HashRing::new(1, 16, 7);
+        for key in ["a", "b", "potato chips", ""] {
+            assert_eq!(ring.shard_for(key), 0);
+        }
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_seed_sensitive() {
+        let a = HashRing::new(4, 64, 42);
+        let b = HashRing::new(4, 64, 42);
+        let c = HashRing::new(4, 64, 43);
+        let keys: Vec<String> = (0..500).map(|i| format!("concept-{i}")).collect();
+        assert!(keys.iter().all(|k| a.shard_for(k) == b.shard_for(k)));
+        assert!(
+            keys.iter().any(|k| a.shard_for(k) != c.shard_for(k)),
+            "a different seed should shuffle at least one key"
+        );
+    }
+
+    #[test]
+    fn removal_only_remaps_keys_of_the_removed_shard() {
+        let full = HashRing::new(4, 64, 42);
+        let less = full.without(2);
+        for i in 0..2000 {
+            let key = format!("concept-{i}");
+            let before = full.shard_for(&key);
+            if before != 2 {
+                assert_eq!(less.shard_for(&key), before, "{key} moved needlessly");
+            } else {
+                assert_ne!(less.shard_for(&key), 2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn empty_ring_is_refused() {
+        let _ = HashRing::with_members(&[], 8, 0);
+    }
+}

@@ -1,0 +1,1183 @@
+//! The router tier: accepts client connections on the same wire
+//! protocol as `taxo-serve` and routes each request to the shard that
+//! owns it.
+//!
+//! Thread layout mirrors the shard server (all plain `std::thread`):
+//!
+//! ```text
+//! acceptor ──► conn queue ──► worker 0..N
+//!                               │  each worker owns one lazy
+//!                               ▼  connection per shard
+//!                        shard 0 … shard M   (taxo-serve processes)
+//! ```
+//!
+//! **Routing.** `score` routes by the query (parent-concept) term
+//! through the [`HashRing`]; `ingest` partitions its records the same
+//! way. `health`, `stats`, and multi-shard score bursts fan out and
+//! merge. Responses a shard renders are forwarded byte-for-byte — the
+//! router never re-renders a score, so the end-to-end bit-identity
+//! contract survives the extra tier.
+//!
+//! **Consistency.** Every forwarded `score` is stamped with the
+//! [`VectorStore`] entry the router read for the owning shard; shards
+//! reject mismatches with `stale_epoch`. A burst is answered entirely
+//! from one vector read — any stale rejection or transport failure
+//! discards the attempt and retries the whole burst — so no client
+//! write ever mixes epochs. Multi-shard ingest runs as a two-phase
+//! swap under the vector's swap lock: every shard prepares (durable,
+//! unpublished), then every shard commits, then the vector advances in
+//! one atomic publication.
+
+use crate::ring::HashRing;
+use crate::upstream::Upstream;
+use crate::vector::VectorStore;
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use taxo_core::json::{self, ObjWriter, Value};
+use taxo_core::TaxoError;
+use taxo_obs::{counter, gauge};
+use taxo_serve::protocol::{self, IngestPhase, IngestRecord, Request, Tier};
+use taxo_serve::{BoundedQueue, PushError};
+
+/// Router sizing and behaviour knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Connection-worker pool size (each worker serves one client
+    /// connection at a time and owns one connection per shard).
+    pub workers: usize,
+    /// Accepted-connection backlog; beyond it connections are refused
+    /// with a single `busy` line.
+    pub conn_backlog: usize,
+    /// Virtual nodes per shard on the consistent-hash ring.
+    pub vnodes: usize,
+    /// Ring placement seed — every router over the same shard list must
+    /// use the same seed.
+    pub ring_seed: u64,
+    /// Transport retries per burst before giving up with `busy`.
+    pub shard_retries: usize,
+    /// Read timeout on shard connections; an expiry counts as a
+    /// transport failure (drop, reconnect, retry).
+    pub upstream_read_timeout: Duration,
+    /// Whether a client `shutdown` is forwarded to every shard before
+    /// the router itself shuts down.
+    pub forward_shutdown: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            workers: 8,
+            conn_backlog: 64,
+            vnodes: 64,
+            ring_seed: 0x7461_786f_2d72_6f75, // "taxo-rou"
+            shard_retries: 3,
+            upstream_read_timeout: Duration::from_secs(5),
+            forward_shutdown: true,
+        }
+    }
+}
+
+impl RouterConfig {
+    /// Field-named validation, surfaced by [`RouterBuilder::bind`].
+    pub fn validate(&self) -> Result<(), TaxoError> {
+        for (name, v) in [
+            ("router.workers", self.workers),
+            ("router.conn_backlog", self.conn_backlog),
+            ("router.vnodes", self.vnodes),
+        ] {
+            if v == 0 {
+                return Err(TaxoError::invalid_config(name, "must be at least 1"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Errors starting a router.
+#[derive(Debug)]
+pub enum RouterError {
+    /// A configuration field failed validation.
+    Config(TaxoError),
+    /// Binding the listener, spawning threads, or probing a shard
+    /// failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::Config(e) => write!(f, "{e}"),
+            RouterError::Io(e) => write!(f, "router io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RouterError::Config(e) => Some(e),
+            RouterError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for RouterError {
+    fn from(e: std::io::Error) -> Self {
+        RouterError::Io(e)
+    }
+}
+
+impl From<TaxoError> for RouterError {
+    fn from(e: TaxoError) -> Self {
+        RouterError::Config(e)
+    }
+}
+
+struct RouterShared {
+    cfg: RouterConfig,
+    shards: Vec<SocketAddr>,
+    ring: HashRing,
+    vector: VectorStore,
+    conn_queue: BoundedQueue<TcpStream>,
+    shutdown: AtomicBool,
+}
+
+impl RouterShared {
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.conn_queue.close();
+    }
+}
+
+/// Handle to a running router. Dropping it does **not** stop the
+/// router; call [`RouterHandle::shutdown_and_join`] (or send a
+/// `shutdown` request).
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The address the listener actually bound (resolves `:0` ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The current version vector (one coherent publication).
+    pub fn vector(&self) -> Arc<Vec<u64>> {
+        self.shared.vector.read()
+    }
+
+    /// The ring, for tests that mirror the router's partitioning.
+    pub fn ring(&self) -> &HashRing {
+        &self.shared.ring
+    }
+
+    /// Begins graceful shutdown (does not contact the shards).
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until every router thread has exited.
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// [`RouterHandle::shutdown`] then [`RouterHandle::join`].
+    pub fn shutdown_and_join(self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+/// The router entry point.
+pub struct Router;
+
+impl Router {
+    /// Starts a validating builder for a router over `shards` (in shard
+    /// id order: shard `i` of the ring is `shards[i]`).
+    pub fn builder(shards: Vec<SocketAddr>) -> RouterBuilder {
+        RouterBuilder {
+            shards,
+            cfg: RouterConfig::default(),
+        }
+    }
+}
+
+/// Validating builder for a router; construct via [`Router::builder`].
+pub struct RouterBuilder {
+    shards: Vec<SocketAddr>,
+    cfg: RouterConfig,
+}
+
+impl RouterBuilder {
+    /// Replaces the configuration (validated at bind).
+    pub fn config(mut self, cfg: RouterConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Binds the listener, probes every shard's `health` to seed the
+    /// version vector (a dead shard fails the bind — start shards
+    /// first), and starts the acceptor and worker threads.
+    pub fn bind(self, addr: impl ToSocketAddrs) -> Result<RouterHandle, RouterError> {
+        let RouterBuilder { shards, cfg } = self;
+        cfg.validate()?;
+        if shards.is_empty() {
+            return Err(RouterError::Config(TaxoError::invalid_config(
+                "router.shards",
+                "must name at least one shard",
+            )));
+        }
+        taxo_fault::arm_from_env();
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        // Seed the vector from each shard's live version. Probing also
+        // fails fast on an unreachable or misconfigured shard.
+        let mut initial = Vec::with_capacity(shards.len());
+        for &shard in &shards {
+            let mut up = Upstream::new(shard, cfg.upstream_read_timeout);
+            let line = up.call(&plain_line("health")).map_err(|e| {
+                RouterError::Io(std::io::Error::new(
+                    e.kind(),
+                    format!("shard {shard} health probe failed: {e}"),
+                ))
+            })?;
+            let version = json::parse(&line)
+                .ok()
+                .filter(|v| v.get("ok") == Some(&Value::Bool(true)))
+                .and_then(|v| v.get("version").and_then(Value::as_u64))
+                .ok_or_else(|| {
+                    RouterError::Io(std::io::Error::new(
+                        ErrorKind::InvalidData,
+                        format!("shard {shard} health probe returned {line:?}"),
+                    ))
+                })?;
+            initial.push(version);
+        }
+
+        let ring = HashRing::new(shards.len(), cfg.vnodes, cfg.ring_seed);
+        let shared = Arc::new(RouterShared {
+            conn_queue: BoundedQueue::new(cfg.conn_backlog),
+            vector: VectorStore::new(initial),
+            ring,
+            shards,
+            shutdown: AtomicBool::new(false),
+            cfg,
+        });
+
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("router-acceptor".into())
+                    .spawn(move || acceptor_loop(&listener, &shared))?,
+            );
+        }
+        for i in 0..shared.cfg.workers {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("router-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+
+        Ok(RouterHandle {
+            addr,
+            shared,
+            threads,
+        })
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &RouterShared) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                counter!("serve.router.connections.accepted").inc();
+                let _ = stream.set_nodelay(true);
+                match shared.conn_queue.try_push(stream) {
+                    Ok(depth) => gauge!("serve.router.conn_depth").set(depth as i64),
+                    Err(PushError::Full(mut stream)) => {
+                        counter!("serve.router.shed.conn").inc();
+                        let line =
+                            protocol::error_response(None, "busy", Some("connection backlog full"));
+                        let _ = stream.write_all(format!("{line}\n").as_bytes());
+                    }
+                    Err(PushError::Closed(_)) => return,
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if shared.is_shutdown() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                if shared.is_shutdown() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &RouterShared) {
+    // One lazy connection per shard, reused across all the client
+    // connections this worker will ever serve.
+    let mut ups: Vec<Upstream> = shared
+        .shards
+        .iter()
+        .map(|&addr| Upstream::new(addr, shared.cfg.upstream_read_timeout))
+        .collect();
+    while let Some(mut conns) = shared.conn_queue.drain(1) {
+        let stream = conns.pop().expect("drain(1) returns one item");
+        handle_conn(stream, shared, &mut ups);
+    }
+}
+
+/// Serves one client connection. All complete lines buffered at each
+/// wake-up are handled as one burst, so a pipelined client frame fans
+/// out to the shards as pipelined per-shard frames.
+fn handle_conn(mut stream: TcpStream, shared: &RouterShared, ups: &mut [Upstream]) {
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+    {
+        return;
+    }
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        let mut lines: Vec<String> = Vec::new();
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line);
+            let line = line.trim_end_matches(['\n', '\r']);
+            if !line.is_empty() {
+                lines.push(line.to_owned());
+            }
+        }
+        if !lines.is_empty() {
+            let (out, close) = handle_burst(&lines, shared, ups);
+            if stream.write_all(&out).is_err() || close {
+                return;
+            }
+        }
+        if shared.is_shutdown() {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // EOF
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// One parsed request line of a burst.
+enum Slot {
+    /// Response already determined locally (parse failure).
+    Ready(String),
+    /// A score to route; consecutive runs are fanned out together.
+    Score(ScoreItem),
+    /// Anything else, handled one at a time.
+    Other(Request),
+}
+
+struct ScoreItem {
+    id: Option<u64>,
+    query: String,
+    k: Option<usize>,
+    tier: Option<Tier>,
+}
+
+/// Handles every line of one client burst, preserving response order.
+fn handle_burst(lines: &[String], shared: &RouterShared, ups: &mut [Upstream]) -> (Vec<u8>, bool) {
+    let slots: Vec<Slot> = lines
+        .iter()
+        .map(|line| match protocol::parse_request(line) {
+            // The router owns epoch stamping: a client-supplied epoch is
+            // discarded and replaced with the vector entry read here.
+            Ok(Request::Score {
+                id, query, k, tier, ..
+            }) => Slot::Score(ScoreItem { id, query, k, tier }),
+            Ok(req) => Slot::Other(req),
+            Err(e) => {
+                counter!("serve.router.errors.bad_request").inc();
+                Slot::Ready(protocol::error_response(None, "bad_request", Some(&e)))
+            }
+        })
+        .collect();
+    let mut out: Vec<u8> = Vec::new();
+    let mut close = false;
+    let mut i = 0;
+    while i < slots.len() {
+        match &slots[i] {
+            Slot::Ready(resp) => {
+                out.extend_from_slice(resp.as_bytes());
+                out.push(b'\n');
+                i += 1;
+            }
+            Slot::Score(_) => {
+                let mut j = i;
+                let mut items: Vec<&ScoreItem> = Vec::new();
+                while let Some(Slot::Score(item)) = slots.get(j) {
+                    items.push(item);
+                    j += 1;
+                }
+                for resp in route_scores(&items, shared, ups) {
+                    out.extend_from_slice(resp.as_bytes());
+                    out.push(b'\n');
+                }
+                i = j;
+            }
+            Slot::Other(req) => {
+                let (resp, c) = route_other(req, shared, ups);
+                out.extend_from_slice(resp.as_bytes());
+                out.push(b'\n');
+                i += 1;
+                if c {
+                    close = true;
+                    break;
+                }
+            }
+        }
+    }
+    (out, close)
+}
+
+fn plain_line(kind: &str) -> String {
+    let mut w = ObjWriter::new();
+    w.str("kind", kind);
+    w.finish()
+}
+
+fn kind_line(kind: &str, id: Option<u64>) -> String {
+    let mut w = ObjWriter::new();
+    w.str("kind", kind);
+    write_id(&mut w, id);
+    w.finish()
+}
+
+fn write_id(w: &mut ObjWriter, id: Option<u64>) {
+    match id {
+        Some(id) => w.u64("id", id),
+        None => w.raw("id", "null"),
+    };
+}
+
+fn render_score_line(item: &ScoreItem, epoch: u64, frame: &mut String) {
+    let mut w = ObjWriter::new();
+    w.str("kind", "score");
+    write_id(&mut w, item.id);
+    w.str("query", &item.query);
+    if let Some(k) = item.k {
+        w.u64("k", k as u64);
+    }
+    if let Some(t) = item.tier {
+        w.str("tier", t.as_str());
+    }
+    w.u64("epoch", epoch);
+    frame.push_str(&w.finish());
+    frame.push('\n');
+}
+
+/// Parses a line into its JSON value if it is an `ok:true` response.
+fn parse_ok(line: &str) -> Option<Value> {
+    json::parse(line)
+        .ok()
+        .filter(|v| v.get("ok") == Some(&Value::Bool(true)))
+}
+
+/// Routes one run of consecutive score requests. Every response the
+/// client sees comes from a single attempt against a single vector
+/// read: a stale-epoch rejection or transport failure anywhere discards
+/// the whole attempt, so one burst can never mix epochs.
+fn route_scores(items: &[&ScoreItem], shared: &RouterShared, ups: &mut [Upstream]) -> Vec<String> {
+    let mut transport_budget = shared.cfg.shard_retries;
+    // Stale retries resolve by waiting out the in-flight swap; a small
+    // bound only guards against a pathological commit storm.
+    let mut stale_budget = 8usize;
+    loop {
+        let vector = shared.vector.read();
+        let mut groups: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        for (i, item) in items.iter().enumerate() {
+            groups
+                .entry(shared.ring.shard_for(&item.query))
+                .or_default()
+                .push(i);
+        }
+        let multi = groups.len() > 1;
+        if multi {
+            counter!("serve.router.fanout").inc();
+        }
+        // Send every shard its frame before reading any response, so
+        // the shards overlap their work during a fan-out.
+        let mut failure = false;
+        for (&shard, idxs) in &groups {
+            let mut frame = String::new();
+            for &i in idxs {
+                render_score_line(items[i], vector[shard as usize], &mut frame);
+            }
+            if ups[shard as usize].send(&frame).is_err() {
+                failure = true;
+                break;
+            }
+        }
+        let mut replies: Vec<Option<String>> = vec![None; items.len()];
+        if !failure {
+            for (&shard, idxs) in &groups {
+                match ups[shard as usize].recv(idxs.len()) {
+                    Ok(lines) => {
+                        for (&i, line) in idxs.iter().zip(lines) {
+                            replies[i] = Some(line);
+                        }
+                    }
+                    Err(_) => {
+                        failure = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if failure {
+            // Any shard of the group may still owe responses from this
+            // attempt; reset them all so no orphan can desynchronize
+            // the retry.
+            for &shard in groups.keys() {
+                ups[shard as usize].reset();
+            }
+            if transport_budget == 0 {
+                // `busy` is what retrying clients already understand.
+                return items
+                    .iter()
+                    .map(|it| protocol::error_response(it.id, "busy", Some("shard unavailable")))
+                    .collect();
+            }
+            transport_budget -= 1;
+            counter!("serve.router.shard_retries").inc();
+            continue;
+        }
+        let mut stale: Vec<(usize, u64)> = Vec::new();
+        for (&shard, idxs) in &groups {
+            for &i in idxs {
+                let line = replies[i].as_ref().expect("filled above");
+                if line.contains("stale_epoch") {
+                    if let Ok(v) = json::parse(line) {
+                        if v.get("error").and_then(Value::as_str) == Some("stale_epoch") {
+                            if let Some(cur) = v.get("version").and_then(Value::as_u64) {
+                                stale.push((shard as usize, cur));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !stale.is_empty() {
+            counter!("serve.router.stale_epoch").add(stale.len() as u64);
+            if stale_budget == 0 {
+                return items
+                    .iter()
+                    .map(|it| protocol::error_response(it.id, "busy", Some("epoch churn")))
+                    .collect();
+            }
+            stale_budget -= 1;
+            {
+                // Wait out any in-flight coordinated swap, then adopt
+                // the rejecting shards' current versions.
+                let _g = shared.vector.swap_guard();
+                shared.vector.publish(&stale);
+            }
+            continue;
+        }
+        counter!("serve.router.routed").add(items.len() as u64);
+        if multi {
+            counter!("serve.router.merged").inc();
+        }
+        return replies
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect();
+    }
+}
+
+/// Routes one non-score request; returns the response and whether the
+/// connection closes afterwards.
+fn route_other(req: &Request, shared: &RouterShared, ups: &mut [Upstream]) -> (String, bool) {
+    match req {
+        Request::Ingest { id, records, phase } => {
+            if *phase != IngestPhase::Auto {
+                // Phases are the router↔shard coordination protocol;
+                // accepting one from a client would corrupt the swap
+                // discipline.
+                return (
+                    protocol::error_response(
+                        *id,
+                        "bad_request",
+                        Some("ingest phase is router-managed"),
+                    ),
+                    false,
+                );
+            }
+            (route_ingest(*id, records, shared, ups), false)
+        }
+        Request::Health { id } => (fanout_health(*id, shared, ups), false),
+        Request::Stats { id } => (fanout_stats(*id, shared, ups), false),
+        Request::Shutdown { id } => {
+            if shared.cfg.forward_shutdown {
+                for up in ups.iter_mut() {
+                    let _ = up.call(&kind_line("shutdown", *id));
+                }
+            }
+            shared.begin_shutdown();
+            (protocol::shutdown_response(*id), true)
+        }
+        Request::Score { .. } => unreachable!("scores are routed in runs"),
+    }
+}
+
+fn render_ingest_line(
+    id: Option<u64>,
+    records: &[&IngestRecord],
+    phase: Option<&'static str>,
+) -> String {
+    let mut arr = String::from("[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            arr.push(',');
+        }
+        let mut item = ObjWriter::new();
+        item.str("query", &r.query)
+            .str("item", &r.item)
+            .u64("count", r.count);
+        arr.push_str(&item.finish());
+    }
+    arr.push(']');
+    let mut w = ObjWriter::new();
+    w.str("kind", "ingest");
+    write_id(&mut w, id);
+    if let Some(p) = phase {
+        w.str("phase", p);
+    }
+    w.raw("records", &arr);
+    w.finish()
+}
+
+/// Routes one ingest. Records partition by owning shard; a single-shard
+/// batch forwards as-is, a multi-shard batch runs the two-phase
+/// coordinated swap. Either way the vector's swap lock serializes all
+/// version movement through this router.
+fn route_ingest(
+    id: Option<u64>,
+    records: &[IngestRecord],
+    shared: &RouterShared,
+    ups: &mut [Upstream],
+) -> String {
+    let _swap = shared.vector.swap_guard();
+    let mut parts: BTreeMap<u32, Vec<&IngestRecord>> = BTreeMap::new();
+    for r in records {
+        parts
+            .entry(shared.ring.shard_for(&r.query))
+            .or_default()
+            .push(r);
+    }
+    if parts.len() <= 1 {
+        // Single-phase: one shard applies and publishes on its own. An
+        // empty batch still goes somewhere (shard 0) so the client gets
+        // the version bump it asked for.
+        let (shard, recs) = parts.into_iter().next().unwrap_or_else(|| (0, Vec::new()));
+        counter!("serve.router.routed").inc();
+        let line = render_ingest_line(id, &recs, None);
+        // Pre-flight: a failed health ping resets a stale connection (a
+        // restarted shard, an idle drop) so the non-retryable ingest
+        // below starts on a fresh one instead of dying on the reset.
+        if ups[shard as usize].call(&plain_line("health")).is_err() {
+            counter!("serve.router.shard_retries").inc();
+        }
+        return match ups[shard as usize].call(&line) {
+            Ok(reply) => {
+                if let Some(v) = parse_ok(&reply) {
+                    if let Some(version) = v.get("version").and_then(Value::as_u64) {
+                        shared.vector.update_if_newer(shard as usize, version);
+                    }
+                }
+                reply
+            }
+            // Non-`busy` error: the outcome is ambiguous (the shard may
+            // have applied), so the client must not blindly retry. A
+            // stale vector entry self-heals through the stale_epoch
+            // refresh path once the shard is reachable again.
+            Err(e) => protocol::error_response(
+                id,
+                "upstream",
+                Some(&format!(
+                    "shard {} unreachable: {e}",
+                    shared.shards[shard as usize]
+                )),
+            ),
+        };
+    }
+
+    counter!("serve.router.fanout").inc();
+    // Phase 1: every shard prepares — applies, makes the batch durable,
+    // builds its next snapshot, publishes nothing.
+    let mut prepared: Vec<(u32, u64, Value)> = Vec::new();
+    let mut committed: Vec<(usize, u64)> = Vec::new();
+    let mut failed: Option<String> = None;
+    for (&shard, recs) in &parts {
+        let line = render_ingest_line(id, recs, Some("prepare"));
+        match prepare_shard(
+            &mut ups[shard as usize],
+            id,
+            &line,
+            shared.cfg.shard_retries,
+        ) {
+            Ok((version, v)) => prepared.push((shard, version, v)),
+            Err(outcome) => {
+                // A commit-probe may have resolved a lost-reply prepare
+                // as actually committed; its version still belongs in
+                // the vector publication.
+                if let Some(version) = outcome.committed {
+                    committed.push((shard as usize, version));
+                }
+                failed = Some(format!(
+                    "shard {}: {}",
+                    shared.shards[shard as usize], outcome.detail
+                ));
+                break;
+            }
+        }
+    }
+    // Phase 2: commit every successful prepare — even when a later
+    // prepare failed. The partitions are independent evidence, and a
+    // shard must never be left holding an unpublished snapshot (it
+    // would refuse every future prepare).
+    let mut commit_failed = false;
+    for &(shard, version, _) in &prepared {
+        if commit_shard(
+            &mut ups[shard as usize],
+            id,
+            version,
+            shared.cfg.shard_retries,
+        ) {
+            committed.push((shard as usize, version));
+        } else {
+            commit_failed = true;
+        }
+    }
+    // One atomic vector publication for the whole swap: readers move
+    // from the all-old vector to the all-new one in a single step.
+    shared.vector.publish(&committed);
+    if let Some(detail) = failed {
+        return protocol::error_response(id, "partial_ingest", Some(&detail));
+    }
+    if commit_failed {
+        return protocol::error_response(
+            id,
+            "partial_ingest",
+            Some("a shard's commit could not be confirmed"),
+        );
+    }
+    counter!("serve.router.merged").inc();
+
+    // Merge the per-shard summaries: counts sum across disjoint
+    // partitions; `version` is the vector maximum and `versions` lists
+    // each shard's committed version in shard order.
+    let sum = |field: &str| -> u64 {
+        prepared
+            .iter()
+            .filter_map(|(_, _, v)| v.get(field).and_then(Value::as_u64))
+            .sum()
+    };
+    let max_field = |field: &str| -> u64 {
+        prepared
+            .iter()
+            .filter_map(|(_, _, v)| v.get(field).and_then(Value::as_u64))
+            .max()
+            .unwrap_or(0)
+    };
+    let mut versions = String::from("[");
+    for (i, &(_, version)) in committed.iter().enumerate() {
+        if i > 0 {
+            versions.push(',');
+        }
+        versions.push_str(&version.to_string());
+    }
+    versions.push(']');
+    let mut w = ObjWriter::new();
+    write_id(&mut w, id);
+    w.bool("ok", true)
+        .str("kind", "ingest")
+        .u64("batch", max_field("batch"))
+        .u64("matched", sum("matched"))
+        .u64("skipped", sum("skipped"))
+        .u64("attached", sum("attached"))
+        .u64("known_pairs", sum("known_pairs"))
+        .u64("total_relations", sum("total_relations"))
+        .u64("version", max_field("version"))
+        .u64("shards", committed.len() as u64)
+        .raw("versions", &versions);
+    w.finish()
+}
+
+/// Why a shard's prepare did not yield a pending snapshot.
+struct PrepareFailure {
+    detail: String,
+    /// Set when the commit-probe resolved a lost-reply prepare as
+    /// actually committed at this version.
+    committed: Option<u64>,
+}
+
+/// Runs one shard's prepare, resolving the ways it can wedge or
+/// stay ambiguous:
+///
+/// * **Lost reply** — the shard may have prepared (durably) without the
+///   router learning its version. Left alone, the orphaned pending
+///   snapshot would reject every future prepare. A commit-probe either
+///   lands it (reported via `committed` so the vector can adopt it) or
+///   answers `no_prepared` — proof the prepare never landed, which
+///   makes resending it safe (the one transport failure that is *not*
+///   ambiguous). A stale connection to a restarted shard resolves this
+///   way on the first attempt.
+/// * **Leftover pending** — a `prepare_pending` rejection from an
+///   earlier wedge is cleared the same way (that batch was durably
+///   prepared, so committing it is the correct resolution — acked
+///   history is a prefix of it), then the prepare is retried.
+fn prepare_shard(
+    up: &mut Upstream,
+    id: Option<u64>,
+    line: &str,
+    retries: usize,
+) -> Result<(u64, Value), PrepareFailure> {
+    let commit = {
+        let mut w = ObjWriter::new();
+        w.str("kind", "ingest");
+        write_id(&mut w, id);
+        w.str("phase", "commit");
+        w.finish()
+    };
+    for _ in 0..=retries {
+        match up.call(line) {
+            Ok(reply) => {
+                if let Some((version, v)) = parse_ok(&reply).and_then(|v| {
+                    v.get("version")
+                        .and_then(Value::as_u64)
+                        .map(|version| (version, v))
+                }) {
+                    return Ok((version, v));
+                }
+                let code = json::parse(&reply)
+                    .ok()
+                    .and_then(|v| v.get("error").and_then(Value::as_str).map(str::to_owned));
+                if code.as_deref() == Some("prepare_pending") {
+                    let _ = up.call(&commit);
+                    continue;
+                }
+                return Err(PrepareFailure {
+                    detail: format!("refused prepare: {reply}"),
+                    committed: None,
+                });
+            }
+            Err(e) => {
+                counter!("serve.router.shard_retries").inc();
+                match up.call(&commit) {
+                    Ok(reply) => {
+                        if let Some(version) =
+                            parse_ok(&reply).and_then(|v| v.get("version").and_then(Value::as_u64))
+                        {
+                            // The lost prepare had landed; the probe
+                            // committed it.
+                            return Err(PrepareFailure {
+                                detail: format!("prepare failed: {e}"),
+                                committed: Some(version),
+                            });
+                        }
+                        // `no_prepared`: the prepare never reached the
+                        // shard, so resending cannot double-apply.
+                        continue;
+                    }
+                    Err(_) => {
+                        return Err(PrepareFailure {
+                            detail: format!("prepare failed: {e}"),
+                            committed: None,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Err(PrepareFailure {
+        detail: "prepare retries exhausted".to_owned(),
+        committed: None,
+    })
+}
+
+/// Confirms one shard's commit, resolving ambiguity through its health
+/// version: a lost commit acknowledgement and a commit that genuinely
+/// landed are indistinguishable on the wire, but the shard's published
+/// version answers which one happened.
+fn commit_shard(up: &mut Upstream, id: Option<u64>, version: u64, retries: usize) -> bool {
+    let commit = {
+        let mut w = ObjWriter::new();
+        w.str("kind", "ingest");
+        write_id(&mut w, id);
+        w.str("phase", "commit");
+        w.finish()
+    };
+    for attempt in 0..=retries {
+        let outcome = up.call(&commit);
+        match outcome {
+            Ok(reply) => {
+                if parse_ok(&reply).is_some() {
+                    return true;
+                }
+                // `no_prepared` after a lost ack means an earlier send
+                // landed; the health version settles it.
+                if shard_version_at_least(up, version) {
+                    return true;
+                }
+                return false;
+            }
+            Err(_) => {
+                counter!("serve.router.shard_retries").inc();
+                if shard_version_at_least(up, version) {
+                    return true;
+                }
+                if attempt == retries {
+                    return false;
+                }
+            }
+        }
+    }
+    false
+}
+
+fn shard_version_at_least(up: &mut Upstream, version: u64) -> bool {
+    match up.call(&plain_line("health")) {
+        Ok(line) => parse_ok(&line)
+            .and_then(|v| v.get("version").and_then(Value::as_u64))
+            .is_some_and(|v| v >= version),
+        Err(_) => false,
+    }
+}
+
+/// Fans `health` out to every shard and merges: sizes sum, versions
+/// surface as the vector, and status degrades pessimistically.
+fn fanout_health(id: Option<u64>, shared: &RouterShared, ups: &mut [Upstream]) -> String {
+    counter!("serve.router.fanout").inc();
+    let mut nodes = 0u64;
+    let mut edges = 0u64;
+    let mut batches = 0u64;
+    let mut draining = false;
+    let mut degraded = false;
+    let mut observed: Vec<(usize, u64)> = Vec::new();
+    for (shard, up) in ups.iter_mut().enumerate() {
+        match up
+            .call(&plain_line("health"))
+            .ok()
+            .and_then(|l| parse_ok(&l))
+        {
+            Some(v) => {
+                nodes += v.get("nodes").and_then(Value::as_u64).unwrap_or(0);
+                edges += v.get("edges").and_then(Value::as_u64).unwrap_or(0);
+                batches += v.get("batches").and_then(Value::as_u64).unwrap_or(0);
+                if v.get("status").and_then(Value::as_str) == Some("draining") {
+                    draining = true;
+                }
+                if let Some(version) = v.get("version").and_then(Value::as_u64) {
+                    observed.push((shard, version));
+                }
+            }
+            None => degraded = true,
+        }
+    }
+    // Publish the observed versions only under the swap lock: a probe
+    // racing a two-phase ingest may have observed a mid-swap version,
+    // and publishing it immediately would leak a vector state the swap
+    // never published (letting one burst mix epochs). Waiting out the
+    // swap makes mid-swap observations harmless no-ops (monotonic max
+    // against the swap's own publication).
+    {
+        let _g = shared.vector.swap_guard();
+        shared.vector.publish(&observed);
+    }
+    let vector = shared.vector.read();
+    let mut vec_arr = String::from("[");
+    for (i, v) in vector.iter().enumerate() {
+        if i > 0 {
+            vec_arr.push(',');
+        }
+        vec_arr.push_str(&v.to_string());
+    }
+    vec_arr.push(']');
+    let status = if degraded {
+        "degraded"
+    } else if draining || shared.is_shutdown() {
+        "draining"
+    } else {
+        "serving"
+    };
+    counter!("serve.router.merged").inc();
+    let mut w = ObjWriter::new();
+    write_id(&mut w, id);
+    w.bool("ok", true)
+        .str("kind", "health")
+        .str("status", status)
+        .u64("version", vector.iter().copied().max().unwrap_or(0))
+        .u64("nodes", nodes)
+        .u64("edges", edges)
+        .u64("batches", batches)
+        .u64("shards", shared.shards.len() as u64)
+        .raw("vector", &vec_arr);
+    w.finish()
+}
+
+/// Fans `stats` out to every shard and merges the metric families with
+/// the router's own registry: counters, histogram counts/sums, and span
+/// counts/totals sum; span maxima take the max; gauges sum (depths and
+/// offsets add meaningfully across shards).
+fn fanout_stats(id: Option<u64>, _shared: &RouterShared, ups: &mut [Upstream]) -> String {
+    counter!("serve.router.fanout").inc();
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut gauges: BTreeMap<String, i64> = BTreeMap::new();
+    let mut hists: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    let mut spans: BTreeMap<String, (u64, f64, f64)> = BTreeMap::new();
+
+    let own = taxo_obs::snapshot();
+    for c in &own.counters {
+        *counters.entry(c.name.clone()).or_default() += c.value;
+    }
+    for g in &own.gauges {
+        *gauges.entry(g.name.clone()).or_default() += g.value;
+    }
+    for h in &own.histograms {
+        let e = hists.entry(h.name.clone()).or_default();
+        e.0 += h.count;
+        e.1 += h.sum;
+    }
+    for s in &own.spans {
+        let e = spans.entry(s.path.clone()).or_default();
+        e.0 += s.count;
+        e.1 += s.total_ms();
+        e.2 = e.2.max(s.max_ns as f64 / 1e6);
+    }
+
+    let mut reporting = 0u64;
+    for up in ups.iter_mut() {
+        let Some(v) = up
+            .call(&plain_line("stats"))
+            .ok()
+            .and_then(|l| parse_ok(&l))
+        else {
+            continue;
+        };
+        reporting += 1;
+        if let Some(Value::Obj(map)) = v.get("counters") {
+            for (name, val) in map {
+                *counters.entry(name.clone()).or_default() += val.as_u64().unwrap_or(0);
+            }
+        }
+        if let Some(Value::Obj(map)) = v.get("gauges") {
+            for (name, val) in map {
+                let parsed = match val {
+                    Value::Num(tok) => tok.parse::<i64>().unwrap_or(0),
+                    _ => 0,
+                };
+                *gauges.entry(name.clone()).or_default() += parsed;
+            }
+        }
+        if let Some(Value::Obj(map)) = v.get("histograms") {
+            for (name, val) in map {
+                let e = hists.entry(name.clone()).or_default();
+                e.0 += val.get("count").and_then(Value::as_u64).unwrap_or(0);
+                e.1 += val.get("sum").and_then(Value::as_u64).unwrap_or(0);
+            }
+        }
+        if let Some(Value::Obj(map)) = v.get("spans") {
+            for (name, val) in map {
+                let num = |field: &str| -> f64 {
+                    match val.get(field) {
+                        Some(Value::Num(tok)) => tok.parse().unwrap_or(0.0),
+                        _ => 0.0,
+                    }
+                };
+                let e = spans.entry(name.clone()).or_default();
+                e.0 += val.get("count").and_then(Value::as_u64).unwrap_or(0);
+                e.1 += num("total_ms");
+                e.2 = e.2.max(num("max_ms"));
+            }
+        }
+    }
+
+    let mut counters_obj = String::from("{");
+    for (i, (name, value)) in counters.iter().enumerate() {
+        if i > 0 {
+            counters_obj.push(',');
+        }
+        json::encode_str(name, &mut counters_obj);
+        counters_obj.push_str(&format!(":{value}"));
+    }
+    counters_obj.push('}');
+    let mut gauges_obj = String::from("{");
+    for (i, (name, value)) in gauges.iter().enumerate() {
+        if i > 0 {
+            gauges_obj.push(',');
+        }
+        json::encode_str(name, &mut gauges_obj);
+        gauges_obj.push_str(&format!(":{value}"));
+    }
+    gauges_obj.push('}');
+    let mut hists_obj = String::from("{");
+    for (i, (name, (count, sum))) in hists.iter().enumerate() {
+        if i > 0 {
+            hists_obj.push(',');
+        }
+        json::encode_str(name, &mut hists_obj);
+        hists_obj.push_str(&format!(":{{\"count\":{count},\"sum\":{sum}}}"));
+    }
+    hists_obj.push('}');
+    let mut spans_obj = String::from("{");
+    for (i, (name, (count, total_ms, max_ms))) in spans.iter().enumerate() {
+        if i > 0 {
+            spans_obj.push(',');
+        }
+        json::encode_str(name, &mut spans_obj);
+        spans_obj.push_str(&format!(
+            ":{{\"count\":{count},\"total_ms\":{total_ms:.3},\"max_ms\":{max_ms:.3}}}"
+        ));
+    }
+    spans_obj.push('}');
+
+    counter!("serve.router.merged").inc();
+    let mut w = ObjWriter::new();
+    write_id(&mut w, id);
+    w.bool("ok", true)
+        .str("kind", "stats")
+        .u64("shards", reporting)
+        .raw("counters", &counters_obj)
+        .raw("gauges", &gauges_obj)
+        .raw("histograms", &hists_obj)
+        .raw("spans", &spans_obj);
+    w.finish()
+}

@@ -1,0 +1,141 @@
+//! Per-worker shard connections with chaos injection points.
+//!
+//! Each router worker owns one lazy connection per shard, reused across
+//! the client connections it serves. A transport failure anywhere —
+//! injected or real — resets the connection; the routing layer retries
+//! the *whole* burst against fresh connections, so a half-exchanged
+//! pipeline can never leave orphaned responses to desynchronize the
+//! next request.
+//!
+//! Fault points (see `taxo-fault`):
+//! * [`FAULT_CONNECT`] — upstream connect refused.
+//! * [`FAULT_WRITE`] — forwarded frame lost (`fail`) or torn
+//!   mid-line (`short:N`), then the connection drops.
+//! * [`FAULT_READ`] — shard response lost; connection drops.
+//! * [`FAULT_SLOW`] — a slow shard (`delay:MS` stalls the exchange).
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Injected connect refusal.
+pub const FAULT_CONNECT: &str = "router.upstream.connect";
+/// Injected forwarded-frame loss or tear.
+pub const FAULT_WRITE: &str = "router.upstream.write";
+/// Injected response loss.
+pub const FAULT_READ: &str = "router.upstream.read";
+/// Delay-only point modelling a slow shard.
+pub const FAULT_SLOW: &str = "router.upstream.slow";
+
+fn injected(what: &str) -> std::io::Error {
+    std::io::Error::other(format!("injected {what} fault"))
+}
+
+struct Conn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// One shard connection, owned by one router worker.
+pub struct Upstream {
+    addr: SocketAddr,
+    read_timeout: Duration,
+    conn: Option<Conn>,
+}
+
+impl Upstream {
+    pub fn new(addr: SocketAddr, read_timeout: Duration) -> Upstream {
+        Upstream {
+            addr,
+            read_timeout,
+            conn: None,
+        }
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Drops the connection; the next exchange reconnects.
+    pub fn reset(&mut self) {
+        self.conn = None;
+    }
+
+    fn ensure(&mut self) -> std::io::Result<&mut Conn> {
+        if self.conn.is_none() {
+            if taxo_fault::should_fail(FAULT_CONNECT) {
+                return Err(injected("upstream connect"));
+            }
+            let writer = TcpStream::connect(self.addr)?;
+            let _ = writer.set_nodelay(true);
+            writer.set_read_timeout(Some(self.read_timeout))?;
+            let reader = BufReader::new(writer.try_clone()?);
+            self.conn = Some(Conn { writer, reader });
+        }
+        Ok(self.conn.as_mut().expect("just ensured"))
+    }
+
+    /// Writes one frame of newline-terminated request lines. On any
+    /// failure (injected or real) the connection is dropped so no
+    /// half-written line can linger.
+    pub fn send(&mut self, frame: &str) -> std::io::Result<()> {
+        debug_assert!(frame.ends_with('\n'));
+        let result = (|| {
+            let conn = self.ensure()?;
+            match taxo_fault::inject(FAULT_WRITE) {
+                taxo_fault::Injection::Pass => conn.writer.write_all(frame.as_bytes()),
+                taxo_fault::Injection::Fail => Err(injected("upstream write")),
+                // Torn shard connection: a prefix reaches the shard,
+                // then the socket drops — the shard never sees a
+                // complete line, the router never gets a response.
+                taxo_fault::Injection::Short(n) => {
+                    let _ = conn
+                        .writer
+                        .write_all(&frame.as_bytes()[..n.min(frame.len())]);
+                    Err(injected("upstream short write"))
+                }
+            }
+        })();
+        if result.is_err() {
+            self.reset();
+        }
+        result
+    }
+
+    /// Reads `expect` response lines (trimmed). Drops the connection on
+    /// any failure, including timeout — the caller retries the burst.
+    pub fn recv(&mut self, expect: usize) -> std::io::Result<Vec<String>> {
+        let result = (|| {
+            let conn = self.ensure()?;
+            // Slow-shard chaos point: the delay stalls this exchange
+            // (and therefore the whole fan-out it belongs to).
+            let _ = taxo_fault::inject(FAULT_SLOW);
+            if taxo_fault::should_fail(FAULT_READ) {
+                return Err(injected("upstream read"));
+            }
+            let mut lines = Vec::with_capacity(expect);
+            for _ in 0..expect {
+                let mut line = String::new();
+                if conn.reader.read_line(&mut line)? == 0 {
+                    return Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "shard closed the connection",
+                    ));
+                }
+                lines.push(line.trim_end_matches(['\n', '\r']).to_owned());
+            }
+            Ok(lines)
+        })();
+        if result.is_err() {
+            self.reset();
+        }
+        result
+    }
+
+    /// One request line, one response line.
+    pub fn call(&mut self, line: &str) -> std::io::Result<String> {
+        debug_assert!(!line.contains('\n'));
+        self.send(&format!("{line}\n"))?;
+        Ok(self.recv(1)?.pop().expect("recv(1) returns one line"))
+    }
+}

@@ -1,0 +1,90 @@
+//! The coordinated per-shard version vector.
+//!
+//! The router's consistency discipline extends the single-process
+//! [`taxo_serve::SnapshotStore`] rule — readers never observe a
+//! half-published snapshot — across shards: every fan-out is stamped
+//! with the vector the router read at dispatch time, shards reject any
+//! request whose epoch is not their current version, and a coordinated
+//! swap moves every affected entry in one atomic publication.
+//!
+//! The vector itself follows the `SnapshotStore` pattern: one
+//! `Arc<Vec<u64>>` behind a mutex, replaced wholesale on every write,
+//! so a reader always sees *some* complete vector — never a blend of
+//! two. Entry updates are monotonic (`max`), which makes concurrent
+//! health refreshes and commit publications commute.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Shared store for the per-shard version vector.
+pub struct VectorStore {
+    slot: Mutex<Arc<Vec<u64>>>,
+    /// Held across a coordinated two-phase swap (and any ingest): score
+    /// paths that hit `stale_epoch` briefly take it to wait out an
+    /// in-flight commit before refreshing, so retries observe the
+    /// post-swap vector instead of spinning on a half-committed one.
+    swap: Mutex<()>,
+}
+
+impl VectorStore {
+    /// A store seeded with each shard's bind-time version.
+    pub fn new(initial: Vec<u64>) -> VectorStore {
+        VectorStore {
+            slot: Mutex::new(Arc::new(initial)),
+            swap: Mutex::new(()),
+        }
+    }
+
+    /// The current vector — one coherent publication, never a blend.
+    pub fn read(&self) -> Arc<Vec<u64>> {
+        Arc::clone(&self.slot.lock().expect("vector store poisoned"))
+    }
+
+    /// Raises one entry to `version` if it is newer. Stale observations
+    /// (an old health response racing a commit) are no-ops.
+    pub fn update_if_newer(&self, shard: usize, version: u64) {
+        self.publish(&[(shard, version)]);
+    }
+
+    /// Raises several entries in one atomic publication — the commit
+    /// step of a coordinated swap: no reader ever sees a vector with
+    /// only some of the entries advanced.
+    pub fn publish(&self, entries: &[(usize, u64)]) {
+        let mut slot = self.slot.lock().expect("vector store poisoned");
+        let mut next = slot.as_ref().clone();
+        let mut changed = false;
+        for &(shard, version) in entries {
+            if version > next[shard] {
+                next[shard] = version;
+                changed = true;
+            }
+        }
+        if changed {
+            *slot = Arc::new(next);
+        }
+    }
+
+    /// Serializes coordinated swaps (and lets stale-epoch retries wait
+    /// for an in-flight one to finish).
+    pub fn swap_guard(&self) -> MutexGuard<'_, ()> {
+        self.swap.lock().expect("vector swap lock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publication_is_atomic_and_monotonic() {
+        let store = VectorStore::new(vec![0, 0, 5]);
+        let before = store.read();
+        store.publish(&[(0, 2), (1, 3), (2, 1)]);
+        let after = store.read();
+        assert_eq!(*before, vec![0, 0, 5], "readers keep their old vector");
+        assert_eq!(*after, vec![2, 3, 5], "entry 2 never regresses");
+        store.update_if_newer(1, 2);
+        assert_eq!(*store.read(), vec![2, 3, 5]);
+        store.update_if_newer(1, 4);
+        assert_eq!(*store.read(), vec![2, 4, 5]);
+    }
+}

@@ -1,0 +1,577 @@
+//! Seeded chaos for the router tier.
+//!
+//! Two scenarios, serialized on one lock (fault plans and the metrics
+//! registry are process-global):
+//!
+//! * **Upstream transport chaos** — injected connect refusals, lost
+//!   responses, and slow shards on the router→shard connections. Scores
+//!   are idempotent, so the router's whole-burst retry must absorb every
+//!   injected failure: each non-busy response is bit-identical to the
+//!   offline baseline, with zero tolerance for desynchronized frames.
+//! * **Shard crash mid-run** — a WAL fsync fault crashes one durable
+//!   shard mid two-phase ingest while a reader hammers scores through
+//!   the router. The shard recovers via [`Server::recover`] and rebinds
+//!   the same address; the ledgers must be exactly-once per shard
+//!   (dense versions, nothing lost below an ack, nothing applied
+//!   twice) and every served score — during the chaos and after the
+//!   recovery — bit-identical to an offline twin replaying the same
+//!   applied partitions.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+use taxo_core::json::Value;
+use taxo_core::{ConceptId, Vocabulary};
+use taxo_expand::{
+    DetectorConfig, ExpansionConfig, HypoDetector, IncrementalExpander, RelationalConfig,
+    RelationalModel,
+};
+use taxo_router::{HashRing, Router, RouterConfig};
+use taxo_serve::{
+    candidate_key, expected_key, Client, DurabilityConfig, FsyncPolicy, Reply, RetryPolicy,
+    ServeConfig, ServeSnapshot, Server,
+};
+use taxo_synth::{ClickConfig, ClickLog, ClickRecord, World, WorldConfig};
+
+fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "taxo-router-chaos-{name}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const SEED: u64 = 33;
+
+fn fixture() -> (Arc<Vocabulary>, World, ClickLog) {
+    let world = World::generate(&WorldConfig {
+        target_nodes: 120,
+        ..WorldConfig::tiny(SEED)
+    });
+    let log = ClickLog::generate(
+        &world,
+        &ClickConfig {
+            n_events: 4_000,
+            ..ClickConfig::tiny(SEED)
+        },
+    );
+    let vocab = Arc::new(world.vocab.clone());
+    (vocab, world, log)
+}
+
+fn shard_expander(world: &World, records: &[ClickRecord]) -> IncrementalExpander {
+    let relational = RelationalModel::vanilla(&world.vocab, &[], &RelationalConfig::tiny(SEED));
+    let detector = HypoDetector::new(Some(relational), None, &DetectorConfig::tiny(SEED));
+    let cfg = ExpansionConfig::builder().threshold(0.6).build().unwrap();
+    let mut expander = IncrementalExpander::new(detector, world.existing.clone(), cfg);
+    expander.ingest(&world.vocab, records);
+    expander
+}
+
+/// One query per shard, eligible at version 0 under `ring`.
+fn pick_queries(
+    ring: &HashRing,
+    vocab: &Vocabulary,
+    expander: &IncrementalExpander,
+    snapshot: &ServeSnapshot,
+    cap: usize,
+) -> (ConceptId, ConceptId) {
+    let mut queries: Vec<ConceptId> = expander.candidate_pairs().iter().map(|p| p.query).collect();
+    queries.sort_unstable();
+    queries.dedup();
+    let pick = |shard: u32| -> ConceptId {
+        *queries
+            .iter()
+            .find(|&&q| {
+                ring.shard_for(vocab.name(q)) == shard && !snapshot.eligible(q, cap).is_empty()
+            })
+            .expect("each shard owns an eligible query")
+    };
+    (pick(0), pick(1))
+}
+
+fn counter_value(name: &str) -> u64 {
+    taxo_obs::snapshot()
+        .counters
+        .iter()
+        .find(|c| c.name == name)
+        .map_or(0, |c| c.value)
+}
+
+/// Injected transport failures on the shard connections must be
+/// invisible in the payloads: every non-busy score response the router
+/// returns is bit-identical to the version-0 baseline, even while
+/// connects are refused, responses are dropped mid-pipeline, and shards
+/// stall. A dropped response that desynchronized a reused connection
+/// would pair query A with query B's candidates — the baseline check
+/// catches exactly that.
+#[test]
+fn scores_absorb_injected_upstream_faults_bit_identically() {
+    let _g = test_lock();
+    taxo_fault::disarm();
+    let (vocab, world, log) = fixture();
+    let half = log.records.len() / 2;
+    let exp0 = shard_expander(&world, &log.records[..half]);
+    let exp1 = shard_expander(&world, &log.records[..half]);
+
+    let serve_cfg = ServeConfig::default();
+    let cap = serve_cfg.max_candidates;
+    let k = serve_cfg.default_k;
+    let h0 = Server::builder(exp0, Arc::clone(&vocab))
+        .config(serve_cfg.clone())
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let h1 = Server::builder(exp1, Arc::clone(&vocab))
+        .config(serve_cfg)
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let router = Router::builder(vec![h0.addr(), h1.addr()])
+        .config(RouterConfig::default())
+        .bind("127.0.0.1:0")
+        .unwrap();
+
+    let s0 = h0.store().load();
+    let s1 = h1.store().load();
+    let exp_for_queries = shard_expander(&world, &log.records[..half]);
+    let (q0, q1) = pick_queries(router.ring(), &vocab, &exp_for_queries, &s0, cap);
+    let baseline0 = expected_key(&vocab, &s0.score_query(q0, cap, k));
+    let baseline1 = expected_key(&vocab, &s1.score_query(q1, cap, k));
+
+    let retries_before = counter_value("serve.router.shard_retries");
+    taxo_fault::arm(
+        taxo_fault::FaultPlan::parse(
+            "seed=5;router.upstream.read=nth:7:fail;\
+             router.upstream.connect=nth:9:fail;\
+             router.upstream.slow=nth:5:delay:2",
+        )
+        .unwrap(),
+    );
+
+    // Pipelined two-shard bursts on one raw connection: the hardest
+    // shape for a desync bug to hide in.
+    let stream = TcpStream::connect(router.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let frame = format!(
+        "{{\"kind\":\"score\",\"id\":1,\"query\":{}}}\n\
+         {{\"kind\":\"score\",\"id\":2,\"query\":{}}}\n",
+        taxo_core::json::encode(&Value::Str(vocab.name(q0).to_owned())),
+        taxo_core::json::encode(&Value::Str(vocab.name(q1).to_owned())),
+    );
+    let mut ok_bursts = 0usize;
+    let mut busy = 0usize;
+    for _ in 0..150 {
+        writer.write_all(frame.as_bytes()).unwrap();
+        let mut keys = Vec::new();
+        for _ in 0..2 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let v = taxo_core::json::parse(line.trim()).unwrap();
+            if v.get("ok") == Some(&Value::Bool(true)) {
+                assert_eq!(v.get("version").and_then(Value::as_u64), Some(0));
+                keys.push(candidate_key(&v));
+            } else {
+                assert_eq!(
+                    v.get("error").and_then(Value::as_str),
+                    Some("busy"),
+                    "only busy is an acceptable surface for injected faults: {line}"
+                );
+                keys.push(None);
+            }
+        }
+        match (&keys[0], &keys[1]) {
+            (Some(k0), Some(k1)) => {
+                ok_bursts += 1;
+                assert_eq!(k0, &baseline0, "shard0 response corrupted under chaos");
+                assert_eq!(k1, &baseline1, "shard1 response corrupted under chaos");
+            }
+            _ => busy += 1,
+        }
+    }
+    taxo_fault::disarm();
+    let retries = counter_value("serve.router.shard_retries") - retries_before;
+    assert!(
+        retries > 0,
+        "the plan must actually exercise the retry path"
+    );
+    assert!(
+        ok_bursts >= 100,
+        "most bursts must survive the chaos (ok {ok_bursts}, busy {busy})"
+    );
+
+    // Chaos off: the connection and both shards are fully usable again.
+    let mut client = Client::connect(router.addr()).unwrap();
+    let Reply::Ok(v) = client.score(vocab.name(q0), Some(k)).unwrap() else {
+        panic!("post-chaos score failed");
+    };
+    assert_eq!(candidate_key(&v).as_deref(), Some(baseline0.as_slice()));
+    client.shutdown().unwrap();
+    router.join();
+    h0.join();
+    h1.join();
+}
+
+/// The crash scenario. A `serve.wal.fsync` fault kills shard 0 at the
+/// prepare of batch 4 (hit 7 = batch 4's first prepare; shard 0
+/// prepares first). The driver never resends the ambiguous batch —
+/// exactly-once is the client contract — so the ledgers must come out:
+///
+/// * shard 1 (survivor): versions dense `1..=acked`, batch 4 never
+///   applied (the swap broke before its prepare);
+/// * shard 0 (crashed): recovery lands in `[acked, sent]` — batches
+///   1–3 guaranteed, batch 4 iff its unsynced append reached the disk —
+///   and resumes densely from there.
+#[test]
+fn shard_crash_mid_burst_recovers_exactly_once_and_bit_identical() {
+    let _g = test_lock();
+    taxo_fault::disarm();
+    let (vocab, world, log) = fixture();
+    let half = log.records.len() / 2;
+    let exp0 = shard_expander(&world, &log.records[..half]);
+    let exp1 = shard_expander(&world, &log.records[..half]);
+    let detector = exp0.detector().clone();
+    let expansion_cfg = exp0.expansion_config().clone();
+    let dir0 = scratch_dir("shard0");
+    let dir1 = scratch_dir("shard1");
+
+    let serve_cfg = ServeConfig::default();
+    let cap = serve_cfg.max_candidates;
+    let k = serve_cfg.default_k;
+    let durability = |dir: &PathBuf| DurabilityConfig::Wal {
+        dir: dir.clone(),
+        fsync: FsyncPolicy::Always,
+        snapshot_every: 100, // recovery must come from WAL replay
+    };
+    let h0 = Server::builder(exp0, Arc::clone(&vocab))
+        .config(serve_cfg.clone())
+        .durability(durability(&dir0))
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let h1 = Server::builder(exp1, Arc::clone(&vocab))
+        .config(serve_cfg.clone())
+        .durability(durability(&dir1))
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let shard0_addr = h0.addr();
+    let router = Router::builder(vec![shard0_addr, h1.addr()])
+        .config(RouterConfig::default())
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let addr = router.addr();
+    let ring = router.ring().clone();
+
+    // Ten multi-shard batches from the unseen half of the log, split by
+    // stride (contiguous chunks can be single-query and so single-shard);
+    // every batch must genuinely span both shards so the fsync-hit
+    // arithmetic in the plan (2 prepares per batch, shard 0 first) holds.
+    let tail = &log.records[half..];
+    let batches: Vec<Vec<ClickRecord>> = (0..10)
+        .map(|j| tail.iter().skip(j).step_by(10).cloned().collect())
+        .collect();
+    let partition = |batch: &[ClickRecord], shard: u32| -> Vec<ClickRecord> {
+        batch
+            .iter()
+            .filter(|r| ring.shard_for(world.vocab.name(r.query)) == shard)
+            .cloned()
+            .collect()
+    };
+    for (j, b) in batches.iter().enumerate() {
+        assert!(
+            !partition(b, 0).is_empty() && !partition(b, 1).is_empty(),
+            "batch {j} must span both shards"
+        );
+    }
+    let wire = |batch: &[ClickRecord]| -> Vec<(String, String, u64)> {
+        batch
+            .iter()
+            .map(|r| (vocab.name(r.query).to_owned(), r.item_text.clone(), r.count))
+            .collect()
+    };
+
+    let s0_v0 = h0.store().load();
+    let exp_for_queries = shard_expander(&world, &log.records[..half]);
+    let (q0, q1) = pick_queries(&ring, &vocab, &exp_for_queries, &s0_v0, cap);
+
+    // Reader hammering both shards through the router for the whole
+    // run, including the crash window; busy (dead shard) is the only
+    // acceptable failure surface. Observations are judged afterwards
+    // against per-version offline baselines.
+    let stop = AtomicBool::new(false);
+    type Observation = (u32, u64, Vec<(String, u32, bool)>);
+    /// Stops the reader even when an assertion unwinds the scope body —
+    /// otherwise `thread::scope` would join a loop that never exits.
+    struct StopGuard<'a>(&'a AtomicBool);
+    impl Drop for StopGuard<'_> {
+        fn drop(&mut self) {
+            self.0.store(true, Ordering::Relaxed);
+        }
+    }
+    std::thread::scope(|scope| {
+        let _stop_guard = StopGuard(&stop);
+        let reader = scope.spawn(|| {
+            let mut client = Client::builder(addr)
+                .retry(RetryPolicy {
+                    max_attempts: 3,
+                    request_timeout: Duration::from_secs(10),
+                    ..RetryPolicy::default()
+                })
+                .build();
+            let mut seen: Vec<Observation> = Vec::new();
+            let mut flip = false;
+            while !stop.load(Ordering::Relaxed) {
+                flip = !flip;
+                let (shard, q) = if flip { (0u32, q0) } else { (1u32, q1) };
+                match client.score(vocab.name(q), Some(k)) {
+                    Ok(Reply::Ok(v)) => {
+                        let version = v
+                            .get("version")
+                            .and_then(Value::as_u64)
+                            .expect("score carries version");
+                        let key = candidate_key(&v).expect("score carries candidates");
+                        seen.push((shard, version, key));
+                    }
+                    Ok(reply) if reply.is_busy() => continue,
+                    Ok(other) => panic!("unexpected reply under chaos: {other:?}"),
+                    Err(_) => continue, // router conn hiccup: reconnect via retry policy
+                }
+            }
+            seen
+        });
+
+        // Crash at batch 4: fsync hits 1..6 are batches 1–3 (two
+        // prepares each), hit 7 is shard 0's prepare of batch 4.
+        taxo_fault::arm(
+            taxo_fault::FaultPlan::parse("seed=77;serve.wal.fsync=once:7:fail").unwrap(),
+        );
+
+        let mut ingester = Client::connect(addr).unwrap();
+        let mut acked: Vec<(usize, Vec<u64>)> = Vec::new(); // (batch idx, per-shard versions)
+        let mut crashed_at = None;
+        for (j, batch) in batches.iter().enumerate() {
+            match ingester.ingest(&wire(batch)) {
+                Ok(Reply::Ok(v)) => {
+                    let versions: Vec<u64> = v
+                        .get("versions")
+                        .and_then(Value::items)
+                        .expect("merged ingest carries versions")
+                        .iter()
+                        .filter_map(Value::as_u64)
+                        .collect();
+                    acked.push((j, versions));
+                }
+                Ok(Reply::Err { .. }) | Err(_) => {
+                    crashed_at = Some(j);
+                    break;
+                }
+            }
+        }
+        let crashed_at = crashed_at.expect("the fault plan must fire before all batches land");
+        assert_eq!(crashed_at, 3, "hit 7 is batch 4 (index 3)");
+        // The crash flag is set by the dying ingest thread; give it a
+        // beat to land after the router surfaced the transport error.
+        for _ in 0..100 {
+            if h0.crashed() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(h0.crashed(), "shard 0 must be the crash victim");
+        assert!(!h1.crashed(), "shard 1 must survive");
+        taxo_fault::disarm();
+
+        // SIGKILL analog complete: reap the dead shard, then recover
+        // its durability directory and rebind the *same* address so the
+        // router's shard list stays valid.
+        h0.shutdown_and_join();
+        let (recovered, report) =
+            Server::recover(&dir0, detector.clone(), expansion_cfg.clone(), &vocab)
+                .expect("crashed shard recovers");
+        assert!(
+            report.final_version >= 3 && report.final_version <= 4,
+            "recovery lands in [acked, sent]: got {}",
+            report.final_version
+        );
+        let mut rebind = Server::builder(recovered, Arc::clone(&vocab))
+            .config(serve_cfg.clone())
+            .durability(durability(&dir0))
+            .recovered(&report)
+            .bind(shard0_addr);
+        for _ in 0..100 {
+            match rebind {
+                Ok(_) => break,
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(50));
+                    let (again, _) =
+                        Server::recover(&dir0, detector.clone(), expansion_cfg.clone(), &vocab)
+                            .expect("re-recovery");
+                    rebind = Server::builder(again, Arc::clone(&vocab))
+                        .config(serve_cfg.clone())
+                        .durability(durability(&dir0))
+                        .recovered(&report)
+                        .bind(shard0_addr);
+                }
+            }
+        }
+        let h0b = rebind.expect("recovered twin rebinds the crashed shard's address");
+
+        // The ambiguous batch 4 is never resent; the rest of the
+        // traffic flows through the recovered twin.
+        for (j, batch) in batches.iter().enumerate().skip(crashed_at + 1) {
+            match ingester.ingest(&wire(batch)).expect("post-recovery ingest") {
+                Reply::Ok(v) => {
+                    let versions: Vec<u64> = v
+                        .get("versions")
+                        .and_then(Value::items)
+                        .expect("merged ingest carries versions")
+                        .iter()
+                        .filter_map(Value::as_u64)
+                        .collect();
+                    acked.push((j, versions));
+                }
+                other => panic!("post-recovery ingest failed for batch {j}: {other:?}"),
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        stop.store(true, Ordering::Relaxed);
+        let observations = reader.join().expect("reader panicked");
+
+        // --- exactly-once ledgers ---
+        // Survivor: dense 1..=n in ack order, batch 4 absent.
+        let survivor_versions: Vec<u64> = acked.iter().map(|(_, v)| v[1]).collect();
+        let expect_survivor: Vec<u64> = (1..=acked.len() as u64).collect();
+        assert_eq!(
+            survivor_versions, expect_survivor,
+            "survivor ledger must be dense — nothing lost, nothing doubled"
+        );
+        // Crashed shard: dense 1..=3 before the crash, then dense from
+        // the recovered version.
+        let crashed_versions: Vec<u64> = acked.iter().map(|(_, v)| v[0]).collect();
+        let mut expect_crashed: Vec<u64> = vec![1, 2, 3];
+        expect_crashed
+            .extend(report.final_version + 1..report.final_version + 1 + (acked.len() - 3) as u64);
+        assert_eq!(
+            crashed_versions, expect_crashed,
+            "crashed-shard ledger must resume densely from the recovered version"
+        );
+
+        // --- bit-identical scores, per served version ---
+        // Offline twins replay exactly the applied partitions: for the
+        // crashed shard batches 1–3 (+4 iff recovery found it), then
+        // 5–10; for the survivor batches 1–3, 5–10.
+        let applied = |shard: u32, include_batch4: bool| -> Vec<Vec<ClickRecord>> {
+            let mut seq = Vec::new();
+            for (j, b) in batches.iter().enumerate() {
+                if j == 3 && !include_batch4 {
+                    continue;
+                }
+                seq.push(partition(b, shard));
+            }
+            seq
+        };
+        let baselines =
+            |shard: u32, q: ConceptId, include_batch4: bool| -> Vec<Vec<(String, u32, bool)>> {
+                let mut twin = shard_expander(&world, &log.records[..half]);
+                let mut per_version = Vec::new();
+                let snapshot_of = |version: u64, twin: &IncrementalExpander| {
+                    let pairs = twin.candidate_pairs();
+                    ServeSnapshot::build(
+                        version,
+                        Arc::clone(&vocab),
+                        Arc::new(detector.clone()),
+                        twin.taxonomy().clone(),
+                        &pairs,
+                    )
+                };
+                per_version.push(expected_key(
+                    &vocab,
+                    &snapshot_of(0, &twin).score_query(q, cap, k),
+                ));
+                for (v, part) in applied(shard, include_batch4).iter().enumerate() {
+                    twin.ingest(&vocab, part);
+                    per_version.push(expected_key(
+                        &vocab,
+                        &snapshot_of(v as u64 + 1, &twin).score_query(q, cap, k),
+                    ));
+                }
+                per_version
+            };
+        let base0 = baselines(0, q0, report.final_version == 4);
+        let base1 = baselines(1, q1, false);
+        assert!(!observations.is_empty(), "reader must observe scores");
+        let mut crash_window_scores = 0usize;
+        for (shard, version, key) in &observations {
+            let base = if *shard == 0 { &base0 } else { &base1 };
+            assert!(
+                (*version as usize) < base.len(),
+                "impossible version {version} for shard {shard}"
+            );
+            assert_eq!(
+                key, &base[*version as usize],
+                "shard {shard} served a non-baseline payload at version {version}"
+            );
+            if *version > 0 && *version < 4 {
+                crash_window_scores += 1;
+            }
+        }
+        assert!(
+            crash_window_scores > 0,
+            "the reader must have observed mid-run versions"
+        );
+
+        // Post-recovery scores through the router hit the recovered
+        // twin and must be bit-identical to its offline baseline.
+        let mut client = Client::connect(addr).unwrap();
+        let Reply::Ok(v) = client.score(vocab.name(q0), Some(k)).unwrap() else {
+            panic!("post-recovery score failed");
+        };
+        assert_eq!(
+            v.get("version").and_then(Value::as_u64),
+            Some((base0.len() - 1) as u64),
+            "recovered shard serves its final version"
+        );
+        assert_eq!(
+            candidate_key(&v).as_deref(),
+            Some(base0.last().unwrap().as_slice()),
+            "recovered twin must serve bit-identical scores"
+        );
+        let Reply::Ok(v) = client.score(vocab.name(q1), Some(k)).unwrap() else {
+            panic!("survivor score failed");
+        };
+        assert_eq!(
+            candidate_key(&v).as_deref(),
+            Some(base1.last().unwrap().as_slice())
+        );
+
+        // Merged health sees both shards serving again.
+        let Reply::Ok(health) = client.health().unwrap() else {
+            panic!("health failed");
+        };
+        assert_eq!(
+            health.get("status").and_then(Value::as_str),
+            Some("serving")
+        );
+
+        client.shutdown().unwrap();
+        router.join();
+        h0b.join();
+        h1.join();
+    });
+    let _ = std::fs::remove_dir_all(&dir0);
+    let _ = std::fs::remove_dir_all(&dir1);
+}

@@ -1,0 +1,208 @@
+//! The router's `serve.router.*` counters are deterministic under a
+//! fixed seed and a fixed traffic trace: replaying the identical
+//! single-threaded trace against a fresh two-shard deployment produces
+//! the identical counter deltas. This is what makes the counters
+//! usable as regression oracles in the router-smoke CI job.
+//!
+//! Lives in its own test binary: the metrics registry is
+//! process-global, so sharing a process with other router tests would
+//! make the deltas depend on test interleaving.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use taxo_core::json::Value;
+use taxo_core::ConceptId;
+use taxo_expand::{
+    DetectorConfig, ExpansionConfig, HypoDetector, IncrementalExpander, RelationalConfig,
+    RelationalModel,
+};
+use taxo_router::{Router, RouterConfig};
+use taxo_serve::{Client, Reply, ServeConfig, Server};
+use taxo_synth::{ClickConfig, ClickLog, World, WorldConfig};
+
+const SEED: u64 = 91;
+
+const ROUTER_COUNTERS: [&str; 5] = [
+    "serve.router.routed",
+    "serve.router.fanout",
+    "serve.router.merged",
+    "serve.router.stale_epoch",
+    "serve.router.shard_retries",
+];
+
+fn counters_now() -> BTreeMap<&'static str, u64> {
+    let snap = taxo_obs::snapshot();
+    ROUTER_COUNTERS
+        .iter()
+        .map(|&name| {
+            let value = snap
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.value)
+                .unwrap_or(0);
+            (name, value)
+        })
+        .collect()
+}
+
+fn shard_expander(world: &World, records: &[taxo_synth::ClickRecord]) -> IncrementalExpander {
+    let relational = RelationalModel::vanilla(&world.vocab, &[], &RelationalConfig::tiny(SEED));
+    let detector = HypoDetector::new(Some(relational), None, &DetectorConfig::tiny(SEED));
+    let cfg = ExpansionConfig::builder().threshold(0.6).build().unwrap();
+    let mut expander = IncrementalExpander::new(detector, world.existing.clone(), cfg);
+    expander.ingest(&world.vocab, records);
+    expander
+}
+
+/// Runs the fixed trace against a fresh deployment and returns the
+/// `serve.router.*` counter deltas it produced.
+fn run_trace() -> BTreeMap<&'static str, u64> {
+    taxo_fault::disarm();
+    let world = World::generate(&WorldConfig {
+        target_nodes: 120,
+        ..WorldConfig::tiny(SEED)
+    });
+    let log = ClickLog::generate(
+        &world,
+        &ClickConfig {
+            n_events: 4_000,
+            ..ClickConfig::tiny(SEED)
+        },
+    );
+    let half = log.records.len() / 2;
+    let exp0 = shard_expander(&world, &log.records[..half]);
+    let exp1 = shard_expander(&world, &log.records[..half]);
+    let pairs = exp0.candidate_pairs();
+    let swap_batch: Vec<(String, String, u64)> = log.records[half..]
+        .iter()
+        .map(|r| {
+            (
+                world.vocab.name(r.query).to_owned(),
+                r.item_text.clone(),
+                r.count,
+            )
+        })
+        .collect();
+    let vocab = Arc::new(world.vocab);
+
+    let serve_cfg = ServeConfig::default();
+    let cap = serve_cfg.max_candidates;
+    let h0 = Server::builder(exp0, Arc::clone(&vocab))
+        .config(serve_cfg.clone())
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let h1 = Server::builder(exp1, Arc::clone(&vocab))
+        .config(serve_cfg)
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let router = Router::builder(vec![h0.addr(), h1.addr()])
+        .config(RouterConfig::default())
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let addr = router.addr();
+    let ring = router.ring().clone();
+
+    let snap0 = h0.store().load();
+    let mut queries: Vec<ConceptId> = pairs.iter().map(|p| p.query).collect();
+    queries.sort_unstable();
+    queries.dedup();
+    let pick = |shard: u32| -> ConceptId {
+        *queries
+            .iter()
+            .find(|&&q| {
+                ring.shard_for(vocab.name(q)) == shard && !snap0.eligible(q, cap).is_empty()
+            })
+            .expect("each shard owns at least one eligible query")
+    };
+    let q0 = pick(0);
+    let q1 = pick(1);
+
+    let before = counters_now();
+
+    // The trace, single-threaded so arrival order is fixed:
+    // 10 two-shard pipelined bursts, 10 single-shard scores per shard,
+    // one multi-shard ingest, one health, one stats, one shutdown.
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut expect_ok = |line: &str, n_responses: usize| {
+        writer.write_all(line.as_bytes()).unwrap();
+        for _ in 0..n_responses {
+            let mut resp = String::new();
+            reader.read_line(&mut resp).unwrap();
+            let v = taxo_core::json::parse(resp.trim()).unwrap();
+            assert_eq!(
+                v.get("ok"),
+                Some(&Value::Bool(true)),
+                "trace request failed: {resp}"
+            );
+        }
+    };
+    let score_line = |id: u64, q: ConceptId| {
+        format!(
+            "{{\"kind\":\"score\",\"id\":{id},\"query\":{}}}\n",
+            taxo_core::json::encode(&Value::Str(vocab.name(q).to_owned()))
+        )
+    };
+    for i in 0..10u64 {
+        let burst = format!("{}{}", score_line(2 * i, q0), score_line(2 * i + 1, q1));
+        expect_ok(&burst, 2);
+    }
+    for i in 0..10u64 {
+        expect_ok(&score_line(100 + i, q0), 1);
+        expect_ok(&score_line(200 + i, q1), 1);
+    }
+    drop(writer);
+    drop(reader);
+
+    let mut client = Client::connect(addr).unwrap();
+    let Reply::Ok(summary) = client.ingest(&swap_batch).unwrap() else {
+        panic!("routed ingest failed");
+    };
+    assert_eq!(summary.get("shards").and_then(Value::as_u64), Some(2));
+    let Reply::Ok(_) = client.health().unwrap() else {
+        panic!("routed health failed");
+    };
+    let Reply::Ok(_) = client.stats().unwrap() else {
+        panic!("routed stats failed");
+    };
+    client.shutdown().unwrap();
+    router.join();
+    h0.join();
+    h1.join();
+
+    let after = counters_now();
+    ROUTER_COUNTERS
+        .iter()
+        .map(|&name| (name, after[name] - before[name]))
+        .collect()
+}
+
+#[test]
+fn router_counters_are_deterministic_under_fixed_trace() {
+    let first = run_trace();
+    let second = run_trace();
+    assert_eq!(
+        first, second,
+        "identical traces against fresh deployments must produce \
+         identical serve.router.* counter deltas"
+    );
+
+    // The deltas are also exactly predictable from the trace shape.
+    // Routed counts forwarded score items: 20 burst items + 20 single
+    // scores. Fanout counts multi-shard operations: 10 bursts + 1
+    // ingest + 1 health + 1 stats; merged completes once for each.
+    // Nothing injects faults, so stale_epoch and shard_retries stay
+    // zero.
+    assert_eq!(first["serve.router.routed"], 40, "{first:?}");
+    assert_eq!(first["serve.router.fanout"], 13, "{first:?}");
+    assert_eq!(first["serve.router.merged"], 13, "{first:?}");
+    assert_eq!(first["serve.router.stale_epoch"], 0, "{first:?}");
+    assert_eq!(first["serve.router.shard_retries"], 0, "{first:?}");
+}

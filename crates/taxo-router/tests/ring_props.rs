@@ -1,0 +1,116 @@
+//! Property tests for the consistent-hash ring: assignment is total and
+//! a pure function of `(members, vnodes, seed)`, placement is stable
+//! across processes (pinned golden assignments), and removing one of
+//! `N` shards remaps only the removed shard's keys — an expected `1/N`
+//! of the keyspace.
+
+use proptest::prelude::*;
+use taxo_router::HashRing;
+
+/// One arbitrary ring shape. Hand-rolled strategy (the vendored
+/// proptest stub has no tuple/range composition for structs).
+#[derive(Debug, Clone, Copy)]
+struct RingCase;
+
+#[derive(Debug, Clone, Copy)]
+struct Case {
+    seed: u64,
+    shards: usize,
+    vnodes: usize,
+}
+
+impl Strategy for RingCase {
+    type Value = Case;
+
+    fn generate(&self, rng: &mut proptest::__rand::rngs::StdRng) -> Case {
+        use proptest::__rand::{RngCore, RngExt};
+        Case {
+            seed: rng.next_u64(),
+            shards: rng.random_range(2..=8usize),
+            vnodes: rng.random_range(16..=128usize),
+        }
+    }
+}
+
+fn keys(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("concept-{i}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Totality + determinism: every key maps to a member shard, and an
+    /// independently built ring over the same parameters agrees on
+    /// every key (the ring is a pure function of its parameters).
+    #[test]
+    fn assignment_is_total_and_deterministic(case in RingCase) {
+        let a = HashRing::new(case.shards, case.vnodes, case.seed);
+        let b = HashRing::new(case.shards, case.vnodes, case.seed);
+        for key in keys(500) {
+            let shard = a.shard_for(&key);
+            prop_assert!((shard as usize) < case.shards, "{key} -> non-member {shard}");
+            prop_assert_eq!(b.shard_for(&key), shard, "twin ring disagrees on {}", key);
+        }
+    }
+
+    /// Removing one of `N` shards remaps *only* the keys the removed
+    /// shard owned (every other key keeps its shard), and those keys
+    /// are an expected `1/N` of the keyspace (bounded loosely at
+    /// `3/N` to keep the statistical check robust to unlucky seeds).
+    #[test]
+    fn removal_remaps_about_one_nth(case in RingCase) {
+        let full = HashRing::new(case.shards, case.vnodes, case.seed);
+        let removed = (case.seed % case.shards as u64) as u32;
+        let less = full.without(removed);
+        let keys = keys(3000);
+        let mut remapped = 0usize;
+        for key in &keys {
+            let before = full.shard_for(key);
+            let after = less.shard_for(key);
+            if before == removed {
+                remapped += 1;
+                prop_assert_ne!(after, removed, "{} still maps to the removed shard", key);
+            } else {
+                prop_assert_eq!(after, before, "{} moved although its shard survived", key);
+            }
+        }
+        let fraction = remapped as f64 / keys.len() as f64;
+        let bound = (3.0 / case.shards as f64).min(1.0);
+        prop_assert!(
+            fraction <= bound,
+            "removing 1 of {} shards remapped {:.3} of keys (bound {:.3})",
+            case.shards,
+            fraction,
+            bound
+        );
+    }
+}
+
+/// Cross-process (and cross-build) stability: the placement arithmetic
+/// is pure, so these assignments are pinned forever. A router, its
+/// restarted twin, and an offline baseline builder in another process
+/// all route these keys identically — this is the contract the
+/// router-smoke CI job and the consistency tests lean on.
+#[test]
+fn golden_assignments_are_pinned() {
+    let ring = HashRing::new(4, 64, 42);
+    let golden: &[(&str, u32)] = &[
+        ("concept-0", GOLDEN[0]),
+        ("concept-1", GOLDEN[1]),
+        ("concept-2", GOLDEN[2]),
+        ("potato chips", GOLDEN[3]),
+        ("", GOLDEN[4]),
+        ("雪", GOLDEN[5]),
+    ];
+    for &(key, shard) in golden {
+        assert_eq!(
+            ring.shard_for(key),
+            shard,
+            "pinned assignment for {key:?} drifted — the placement \
+             arithmetic must never change"
+        );
+    }
+}
+
+/// The pinned shard ids for `golden_assignments_are_pinned`.
+const GOLDEN: [u32; 6] = [3, 3, 0, 2, 0, 2];

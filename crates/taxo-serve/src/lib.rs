@@ -72,6 +72,6 @@ pub use batch::{BoundedQueue, PushError, ScoreJob};
 pub use cache::{ResponseCache, ScoreCache, ScoreKey};
 pub use client::{candidate_key, expected_key, Client, ClientBuilder, Reply, RetryPolicy};
 pub use durable::{DurabilityConfig, FsyncPolicy, RecoveryReport};
-pub use protocol::{IngestRecord, IngestSummary, Request, Tier};
+pub use protocol::{IngestPhase, IngestRecord, IngestSummary, Request, Tier};
 pub use server::{ServeConfig, ServeError, Server, ServerBuilder, ServerHandle};
 pub use snapshot::{ScoredCandidate, ServeSnapshot, SnapshotReader, SnapshotStore};

@@ -75,6 +75,40 @@ impl std::str::FromStr for Tier {
     }
 }
 
+/// Which step of the snapshot-publish protocol an `ingest` request
+/// drives.
+///
+/// Single-process clients never set a phase: [`IngestPhase::Auto`]
+/// applies and publishes in one step. The sharded router uses the
+/// two-phase pair for coordinated cross-shard swaps: `prepare` makes the
+/// batch durable and builds the next snapshot without publishing it;
+/// `commit` atomically publishes the prepared snapshot. Between the two,
+/// readers keep serving the old version — so the router can move every
+/// shard's version in lockstep and no client ever observes a half-swapped
+/// vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IngestPhase {
+    /// Apply and publish in one step (the single-shard path).
+    #[default]
+    Auto,
+    /// Append to the WAL, apply, build the next snapshot — hold it
+    /// unpublished.
+    Prepare,
+    /// Publish the snapshot held by the previous `prepare`.
+    Commit,
+}
+
+impl IngestPhase {
+    /// Wire spelling (`Auto` has none — the field is simply absent).
+    pub fn as_str(self) -> Option<&'static str> {
+        match self {
+            IngestPhase::Auto => None,
+            IngestPhase::Prepare => Some("prepare"),
+            IngestPhase::Commit => Some("commit"),
+        }
+    }
+}
+
 /// A decoded client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -85,10 +119,16 @@ pub enum Request {
         k: Option<usize>,
         /// Scoring tier (server default when absent).
         tier: Option<Tier>,
+        /// Router-stamped snapshot version this request must be served
+        /// at. A mismatch is rejected with `stale_epoch` rather than
+        /// silently served at another version — the cross-shard
+        /// consistency guard.
+        epoch: Option<u64>,
     },
     Ingest {
         id: Option<u64>,
         records: Vec<IngestRecord>,
+        phase: IngestPhase,
     },
     Health {
         id: Option<u64>,
@@ -166,13 +206,35 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                         .ok_or("\"tier\" must be \"f32\" or \"int8\"")?,
                 ),
             };
-            Ok(Request::Score { id, query, k, tier })
+            let epoch = match v.get("epoch") {
+                None | Some(Value::Null) => None,
+                Some(e) => Some(
+                    e.as_u64()
+                        .ok_or("\"epoch\" must be a non-negative integer")?,
+                ),
+            };
+            Ok(Request::Score {
+                id,
+                query,
+                k,
+                tier,
+                epoch,
+            })
         }
         "ingest" => {
-            let items = v
-                .get("records")
-                .and_then(Value::items)
-                .ok_or("ingest needs a \"records\" array")?;
+            let phase = match v.get("phase").and_then(Value::as_str) {
+                None => IngestPhase::Auto,
+                Some("prepare") => IngestPhase::Prepare,
+                Some("commit") => IngestPhase::Commit,
+                Some(_) => return Err("\"phase\" must be \"prepare\" or \"commit\"".into()),
+            };
+            // A commit names no records — it publishes what the matching
+            // prepare already applied.
+            let items = match (v.get("records").and_then(Value::items), phase) {
+                (Some(items), _) => items,
+                (None, IngestPhase::Commit) => &[][..],
+                (None, _) => return Err("ingest needs a \"records\" array".into()),
+            };
             let mut records = Vec::with_capacity(items.len());
             for r in items {
                 records.push(IngestRecord {
@@ -189,7 +251,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     count: r.get("count").and_then(Value::as_u64).unwrap_or(1),
                 });
             }
-            Ok(Request::Ingest { id, records })
+            Ok(Request::Ingest { id, records, phase })
         }
         "health" => Ok(Request::Health { id }),
         "stats" => Ok(Request::Stats { id }),
@@ -215,6 +277,15 @@ pub fn error_response(id: Option<u64>, code: &str, detail: Option<&str>) -> Stri
     if let Some(d) = detail {
         w.str("detail", d);
     }
+    w.finish()
+}
+
+/// Renders a `stale_epoch` rejection: the request named a snapshot
+/// version this shard no longer serves. Carries the shard's current
+/// version so the router can refresh its vector entry and retry.
+pub fn stale_epoch_response(id: Option<u64>, version: u64) -> String {
+    let mut w = base(id, false);
+    w.str("error", "stale_epoch").u64("version", version);
     w.finish()
 }
 
@@ -309,6 +380,34 @@ pub fn ingest_response(id: Option<u64>, s: &IngestSummary) -> String {
         .u64("known_pairs", s.known_pairs)
         .u64("total_relations", s.total_relations)
         .u64("version", s.version);
+    w.finish()
+}
+
+/// Renders the acknowledgement of a `prepare`-phase ingest: the full
+/// summary of what was applied, with `version` naming the snapshot that
+/// is built and durable but **not yet published** — it becomes visible
+/// only at the matching commit.
+pub fn ingest_prepared_response(id: Option<u64>, s: &IngestSummary) -> String {
+    let mut w = base(id, true);
+    w.str("kind", "ingest")
+        .str("phase", "prepared")
+        .u64("batch", s.batch)
+        .u64("matched", s.matched)
+        .u64("skipped", s.skipped)
+        .u64("attached", s.attached)
+        .u64("known_pairs", s.known_pairs)
+        .u64("total_relations", s.total_relations)
+        .u64("version", s.version);
+    w.finish()
+}
+
+/// Renders the acknowledgement of a `commit`-phase ingest: the prepared
+/// snapshot at `version` is now the served one.
+pub fn ingest_committed_response(id: Option<u64>, version: u64) -> String {
+    let mut w = base(id, true);
+    w.str("kind", "ingest")
+        .str("phase", "committed")
+        .u64("version", version);
     w.finish()
 }
 
@@ -408,7 +507,8 @@ mod tests {
                 id: Some(3),
                 query: "chips".into(),
                 k: Some(2),
-                tier: None
+                tier: None,
+                epoch: None
             }
         );
         assert_eq!(
@@ -417,7 +517,18 @@ mod tests {
                 id: None,
                 query: "chips".into(),
                 k: None,
-                tier: None
+                tier: None,
+                epoch: None
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"kind":"score","query":"chips","epoch":7}"#).unwrap(),
+            Request::Score {
+                id: None,
+                query: "chips".into(),
+                k: None,
+                tier: None,
+                epoch: Some(7)
             }
         );
         let ingest = parse_request(
@@ -425,11 +536,12 @@ mod tests {
         )
         .unwrap();
         match ingest {
-            Request::Ingest { id, records } => {
+            Request::Ingest { id, records, phase } => {
                 assert_eq!(id, Some(1));
                 assert_eq!(records.len(), 2);
                 assert_eq!(records[0].count, 4);
                 assert_eq!(records[1].count, 1, "count defaults to 1");
+                assert_eq!(phase, IngestPhase::Auto);
             }
             other => panic!("{other:?}"),
         }
@@ -455,8 +567,58 @@ mod tests {
         assert!(parse_request(r#"{"kind":"score"}"#).is_err());
         assert!(parse_request(r#"{"kind":"score","query":"x","k":0}"#).is_err());
         assert!(parse_request(r#"{"kind":"score","query":"x","tier":"fp64"}"#).is_err());
+        assert!(parse_request(r#"{"kind":"score","query":"x","epoch":-1}"#).is_err());
         assert!(parse_request(r#"{"kind":"ingest"}"#).is_err());
         assert!(parse_request(r#"{"kind":"ingest","records":[{"item":"y"}]}"#).is_err());
+        assert!(parse_request(r#"{"kind":"ingest","records":[],"phase":"abort"}"#).is_err());
+        assert!(
+            parse_request(r#"{"kind":"ingest","phase":"prepare"}"#).is_err(),
+            "prepare still needs records"
+        );
+    }
+
+    #[test]
+    fn two_phase_ingest_parses_and_renders() {
+        match parse_request(
+            r#"{"kind":"ingest","id":4,"phase":"prepare","records":[{"query":"a","item":"b"}]}"#,
+        )
+        .unwrap()
+        {
+            Request::Ingest { phase, records, .. } => {
+                assert_eq!(phase, IngestPhase::Prepare);
+                assert_eq!(records.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_request(r#"{"kind":"ingest","id":5,"phase":"commit"}"#).unwrap() {
+            Request::Ingest { phase, records, .. } => {
+                assert_eq!(phase, IngestPhase::Commit);
+                assert!(records.is_empty(), "commit needs no records");
+            }
+            other => panic!("{other:?}"),
+        }
+        let s = IngestSummary {
+            batch: 2,
+            matched: 3,
+            skipped: 0,
+            attached: 1,
+            known_pairs: 10,
+            total_relations: 9,
+            version: 6,
+        };
+        let prepared = ingest_prepared_response(Some(4), &s);
+        let v = json::parse(&prepared).unwrap();
+        assert_eq!(v.get("phase").unwrap().as_str(), Some("prepared"));
+        assert_eq!(v.get("version").unwrap().as_u64(), Some(6));
+        let committed = ingest_committed_response(Some(5), 6);
+        let v = json::parse(&committed).unwrap();
+        assert_eq!(v.get("phase").unwrap().as_str(), Some("committed"));
+        assert_eq!(v.get("version").unwrap().as_u64(), Some(6));
+        let stale = stale_epoch_response(Some(9), 3);
+        let v = json::parse(&stale).unwrap();
+        assert_eq!(v.get("ok"), Some(&Value::Bool(false)));
+        assert_eq!(v.get("error").unwrap().as_str(), Some("stale_epoch"));
+        assert_eq!(v.get("version").unwrap().as_u64(), Some(3));
     }
 
     #[test]
@@ -497,7 +659,8 @@ mod tests {
                 id: None,
                 query: "x".into(),
                 k: None,
-                tier: Some(Tier::Int8)
+                tier: Some(Tier::Int8),
+                epoch: None
             }
         );
         assert_eq!("f32".parse::<Tier>().unwrap(), Tier::F32);

@@ -31,7 +31,7 @@
 use crate::batch::{score_batch, BoundedQueue, PushError, ScoreJob};
 use crate::cache::{ResponseCache, ScoreCache};
 use crate::durable::{self, DurabilityConfig, FsyncPolicy, RecoveryReport};
-use crate::protocol::{self, IngestRecord, IngestSummary, Request, Tier};
+use crate::protocol::{self, IngestPhase, IngestRecord, IngestSummary, Request, Tier};
 use crate::snapshot::{ServeSnapshot, SnapshotReader, SnapshotStore};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -171,7 +171,24 @@ impl From<TaxoError> for ServeError {
 
 struct IngestJob {
     records: Vec<IngestRecord>,
-    reply: mpsc::Sender<IngestSummary>,
+    phase: IngestPhase,
+    reply: mpsc::Sender<IngestReply>,
+}
+
+/// What the ingest thread tells the connection worker to render.
+enum IngestReply {
+    /// Single-phase: applied and published.
+    Applied(IngestSummary),
+    /// Two-phase step 1: applied, durable, snapshot built but held.
+    Prepared(IngestSummary),
+    /// Two-phase step 2: the held snapshot is now the served one.
+    Committed { version: u64 },
+    /// The phase was illegal in the current state (e.g. a commit with
+    /// nothing prepared). Nothing was applied or logged.
+    Rejected {
+        code: &'static str,
+        detail: &'static str,
+    },
 }
 
 struct Shared {
@@ -305,26 +322,6 @@ impl Server {
         vocab: &Vocabulary,
     ) -> Result<(IncrementalExpander, RecoveryReport), ServeError> {
         Ok(durable::recover(dir, detector, cfg, vocab)?)
-    }
-
-    /// Starts serving with defaults — the pre-builder entry point.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Server::builder(expander, vocab).config(cfg).bind(addr)"
-    )]
-    pub fn start(
-        expander: IncrementalExpander,
-        vocab: Arc<Vocabulary>,
-        cfg: ServeConfig,
-        addr: impl ToSocketAddrs,
-    ) -> std::io::Result<ServerHandle> {
-        Server::builder(expander, vocab)
-            .config(cfg)
-            .bind(addr)
-            .map_err(|e| match e {
-                ServeError::Io(io) => io,
-                other => std::io::Error::new(ErrorKind::InvalidInput, other.to_string()),
-            })
     }
 }
 
@@ -682,15 +679,24 @@ fn handle_line(line: &str, shared: &Shared, reader: &mut SnapshotReader) -> (Str
     };
     let id = req.id();
     match req {
-        Request::Score { query, k, tier, .. } => {
+        Request::Score {
+            query,
+            k,
+            tier,
+            epoch,
+            ..
+        } => {
             counter!("serve.requests.score").inc();
             let _g = span!("serve.request.score");
-            (score_request(id, &query, k, tier, shared, reader), false)
+            (
+                score_request(id, &query, k, tier, epoch, shared, reader),
+                false,
+            )
         }
-        Request::Ingest { records, .. } => {
+        Request::Ingest { records, phase, .. } => {
             counter!("serve.requests.ingest").inc();
             let _g = span!("serve.request.ingest");
-            (ingest_request(id, records, shared), false)
+            (ingest_request(id, records, phase, shared), false)
         }
         Request::Health { .. } => {
             counter!("serve.requests.health").inc();
@@ -727,6 +733,7 @@ fn score_request(
     query: &str,
     k: Option<usize>,
     tier: Option<Tier>,
+    epoch: Option<u64>,
     shared: &Shared,
     reader: &mut SnapshotReader,
 ) -> String {
@@ -735,6 +742,16 @@ fn score_request(
         counter!("serve.quant.requests").inc();
     }
     let snapshot = Arc::clone(reader.current());
+    // Epoch guard for sharded serving: the router stamps each forwarded
+    // request with the version vector entry it read. Serving it at any
+    // other version could mix epochs inside one client burst, so a
+    // mismatch bounces back with the current version instead.
+    if let Some(epoch) = epoch {
+        if epoch != snapshot.version {
+            counter!("serve.epoch.rejected").inc();
+            return protocol::stale_epoch_response(id, snapshot.version);
+        }
+    }
     let Some(query_id) = snapshot.vocab.get(query) else {
         counter!("serve.errors.unknown_term").inc();
         return protocol::error_response(id, "unknown_term", Some(query));
@@ -826,13 +843,19 @@ fn score_request(
     }
 }
 
-fn ingest_request(id: Option<u64>, records: Vec<IngestRecord>, shared: &Shared) -> String {
+fn ingest_request(
+    id: Option<u64>,
+    records: Vec<IngestRecord>,
+    phase: IngestPhase,
+    shared: &Shared,
+) -> String {
     counter!("serve.ingest.records_offered").add(records.len() as u64);
     let (tx, rx) = mpsc::channel();
-    match shared
-        .ingest_queue
-        .try_push(IngestJob { records, reply: tx })
-    {
+    match shared.ingest_queue.try_push(IngestJob {
+        records,
+        phase,
+        reply: tx,
+    }) {
         Ok(depth) => {
             // Mirrors `serve.score.accepted`: paired with
             // `serve.ingest.applied` in the ingest loop. A simulated
@@ -850,7 +873,12 @@ fn ingest_request(id: Option<u64>, records: Vec<IngestRecord>, shared: &Shared) 
         }
     }
     match rx.recv() {
-        Ok(summary) => protocol::ingest_response(id, &summary),
+        Ok(IngestReply::Applied(summary)) => protocol::ingest_response(id, &summary),
+        Ok(IngestReply::Prepared(summary)) => protocol::ingest_prepared_response(id, &summary),
+        Ok(IngestReply::Committed { version }) => protocol::ingest_committed_response(id, version),
+        Ok(IngestReply::Rejected { code, detail }) => {
+            protocol::error_response(id, code, Some(detail))
+        }
         Err(_) => protocol::error_response(id, "shutting_down", None),
     }
 }
@@ -892,20 +920,45 @@ fn fill_commit_group(
     }
 }
 
-/// Appends and fsyncs one commit group. Returns the fault point name on
-/// an injected failure (the caller crashes the server), with all
-/// successfully appended frames possibly durable — recovery semantics,
-/// not rollback semantics.
+/// What the ingest loop decided to do with one job of a commit group.
+/// Planned before the WAL write so that rejected jobs and commits (which
+/// re-publish already-logged records) never reach the log, keeping the
+/// WAL's version sequence dense for recovery.
+#[derive(Clone, Copy)]
+enum JobPlan {
+    /// Apply `records` and publish at this version (single-phase).
+    Apply(u64),
+    /// Apply `records` and hold the snapshot at this version.
+    Prepare(u64),
+    /// Publish the held snapshot at this version.
+    Commit(u64),
+    /// Refuse without side effects.
+    Reject {
+        code: &'static str,
+        detail: &'static str,
+    },
+}
+
+/// Appends and fsyncs one commit group (only the jobs whose plan applies
+/// records). Returns the fault point name on an injected failure (the
+/// caller crashes the server), with all successfully appended frames
+/// possibly durable — recovery semantics, not rollback semantics.
 fn wal_commit_group(
     wal: &mut WalState,
     jobs: &[IngestJob],
-    base_version: u64,
+    plans: &[JobPlan],
 ) -> Result<(), &'static str> {
-    for (i, job) in jobs.iter().enumerate() {
-        let payload = durable::encode_ingest_op(base_version + 1 + i as u64, &job.records);
+    let mut logged = 0u64;
+    for (job, plan) in jobs.iter().zip(plans) {
+        let version = match plan {
+            JobPlan::Apply(v) | JobPlan::Prepare(v) => *v,
+            JobPlan::Commit(_) | JobPlan::Reject { .. } => continue,
+        };
+        let payload = durable::encode_ingest_op(version, &job.records);
         let before = wal.writer.offset();
         match wal.writer.append(payload.as_bytes()) {
             Ok(after) => {
+                logged += 1;
                 counter!("serve.wal.appends").inc();
                 counter!("serve.wal.bytes").add(after - before);
             }
@@ -916,10 +969,13 @@ fn wal_commit_group(
             }
         }
     }
+    if logged == 0 {
+        return Ok(());
+    }
     match wal.writer.sync() {
         Ok(()) => {
             counter!("serve.wal.fsyncs").inc();
-            histogram!("serve.wal.group_ops").observe(jobs.len() as u64);
+            histogram!("serve.wal.group_ops").observe(logged);
             gauge!("serve.wal.offset").set(wal.writer.offset() as i64);
             Ok(())
         }
@@ -931,10 +987,22 @@ fn wal_commit_group(
     }
 }
 
+/// A prepared-but-unpublished snapshot held by the ingest thread
+/// between the two phases of a coordinated swap.
+struct PendingPublish {
+    version: u64,
+    snapshot: Arc<ServeSnapshot>,
+    batch: u64,
+}
+
 /// The single writer: appends+fsyncs each commit group to the WAL (when
 /// durable), applies the batches to the owned [`IncrementalExpander`],
 /// rebuilds an immutable snapshot, and publishes it. Readers keep
 /// serving the previous snapshot throughout.
+///
+/// The version ledger is thread-local (`ledger_version`), not re-read
+/// from the store: a prepared snapshot advances the expander past the
+/// published version, and the next version must follow the expander.
 fn ingest_loop(
     mut expander: IncrementalExpander,
     detector: &Arc<taxo_expand::HypoDetector>,
@@ -947,12 +1015,59 @@ fn ingest_loop(
         Some(FsyncPolicy::Batch { max_ops, .. }) => max_ops.max(1),
         _ => 1,
     };
+    let mut ledger_version = shared.store.version();
+    let mut pending: Option<PendingPublish> = None;
     while let Some(mut jobs) = shared.ingest_queue.drain(group_max) {
         // Durable path: collect the commit group, append every frame,
         // fsync once — the ack barrier — and only then apply and ack.
         if let Some(w) = wal.as_mut() {
             fill_commit_group(&mut jobs, &shared.ingest_queue, w.fsync);
-            if let Err(point) = wal_commit_group(w, &jobs, shared.store.version()) {
+        }
+        // Plan the whole group before touching the WAL: version
+        // assignment and phase legality are decided here, so rejected
+        // jobs never consume a version or a log record.
+        let mut next_version = ledger_version;
+        let mut planned_pending = pending.as_ref().map(|p| p.version);
+        let plans: Vec<JobPlan> = jobs
+            .iter()
+            .map(|job| match job.phase {
+                IngestPhase::Auto => {
+                    if planned_pending.is_some() {
+                        // Publishing here would expose the prepared (not
+                        // yet committed) state and regress the version
+                        // order at commit time.
+                        JobPlan::Reject {
+                            code: "prepare_pending",
+                            detail: "a prepared snapshot awaits commit",
+                        }
+                    } else {
+                        next_version += 1;
+                        JobPlan::Apply(next_version)
+                    }
+                }
+                IngestPhase::Prepare => {
+                    if planned_pending.is_some() {
+                        JobPlan::Reject {
+                            code: "prepare_pending",
+                            detail: "a prepared snapshot awaits commit",
+                        }
+                    } else {
+                        next_version += 1;
+                        planned_pending = Some(next_version);
+                        JobPlan::Prepare(next_version)
+                    }
+                }
+                IngestPhase::Commit => match planned_pending.take() {
+                    Some(v) => JobPlan::Commit(v),
+                    None => JobPlan::Reject {
+                        code: "no_prepared",
+                        detail: "commit without a prepared snapshot",
+                    },
+                },
+            })
+            .collect();
+        if let Some(w) = wal.as_mut() {
+            if let Err(point) = wal_commit_group(w, &jobs, &plans) {
                 // Simulated crash. Dropping `jobs` (and everything still
                 // queued) drops their reply senders: clients see a dead
                 // channel, the ambiguous no-ack a real crash produces.
@@ -967,7 +1082,27 @@ fn ingest_loop(
                 return;
             }
         }
-        for job in jobs {
+        for (job, plan) in jobs.into_iter().zip(plans) {
+            let (version, publish_now) = match plan {
+                JobPlan::Apply(v) => (v, true),
+                JobPlan::Prepare(v) => (v, false),
+                JobPlan::Commit(v) => {
+                    let held = pending.take().expect("plan guarantees a pending snapshot");
+                    debug_assert_eq!(held.version, v);
+                    shared.store.publish(Arc::clone(&held.snapshot));
+                    shared.batches.store(held.batch, Ordering::Relaxed);
+                    counter!("serve.ingest.applied").inc();
+                    counter!("serve.ingest.committed").inc();
+                    let _ = job.reply.send(IngestReply::Committed { version: v });
+                    checkpoint_state(wal.as_mut(), v, vocab, &expander);
+                    continue;
+                }
+                JobPlan::Reject { code, detail } => {
+                    counter!("serve.ingest.rejected").inc();
+                    let _ = job.reply.send(IngestReply::Rejected { code, detail });
+                    continue;
+                }
+            };
             // Delay-only chaos point: a slow rebuild stalls the single
             // writer and backs pressure up into the ingest queue.
             let _ = taxo_fault::inject("serve.ingest.apply");
@@ -977,22 +1112,19 @@ fn ingest_loop(
             counter!("serve.ingest.records_skipped").add(skipped);
 
             let report = expander.ingest(vocab, &records);
-            shared.batches.store(report.batch as u64, Ordering::Relaxed);
+            ledger_version = version;
 
-            let version = shared.store.version() + 1;
             let next = {
                 let _g = span!("serve.ingest.rebuild");
-                ServeSnapshot::build_with_quant(
+                Arc::new(ServeSnapshot::build_with_quant(
                     version,
                     Arc::clone(vocab),
                     Arc::clone(detector),
                     Arc::clone(quant),
                     expander.taxonomy().clone(),
                     &expander.candidate_pairs(),
-                )
+                ))
             };
-            shared.store.publish(Arc::new(next));
-
             let summary = IngestSummary {
                 batch: report.batch as u64,
                 matched,
@@ -1003,42 +1135,63 @@ fn ingest_loop(
                 version,
             };
             counter!("serve.ingest.applied").inc();
-            let _ = job.reply.send(summary);
-
-            if let Some(w) = wal.as_mut() {
-                if version.is_multiple_of(w.snapshot_every) {
-                    // A failed (or injected) snapshot publish is
-                    // tolerable: the WAL still holds every acked batch,
-                    // so recovery just replays a longer tail.
-                    match durable::persist_state(
-                        &w.dir,
-                        version,
-                        vocab,
-                        &expander.state(),
-                        w.writer.offset(),
-                    ) {
-                        Ok(()) => {}
-                        Err(e) => {
-                            counter!("serve.wal.snapshot_errors").inc();
-                            eprintln!("# taxo-serve: snapshot publish skipped: {e}");
-                        }
-                    }
-                }
+            if publish_now {
+                shared.store.publish(next);
+                shared.batches.store(report.batch as u64, Ordering::Relaxed);
+                let _ = job.reply.send(IngestReply::Applied(summary));
+                checkpoint_state(wal.as_mut(), version, vocab, &expander);
+            } else {
+                pending = Some(PendingPublish {
+                    version,
+                    snapshot: next,
+                    batch: report.batch as u64,
+                });
+                counter!("serve.ingest.prepared").inc();
+                let _ = job.reply.send(IngestReply::Prepared(summary));
             }
         }
     }
     // Graceful shutdown: checkpoint the final state so a restart
     // replays nothing. Skipped after a simulated crash — that is the
-    // whole point of the crash.
+    // whole point of the crash. The checkpoint is at `ledger_version`,
+    // not the published version: an uncommitted prepare is already in
+    // the expander (and the WAL), so a restart resumes past it — the
+    // same at-least-prepared outcome a crash would leave behind.
     if let Some(w) = wal.as_mut() {
         if !shared.is_crashed() {
-            let version = shared.store.version();
-            if let Err(e) =
-                durable::persist_state(&w.dir, version, vocab, &expander.state(), w.writer.offset())
-            {
+            if let Err(e) = durable::persist_state(
+                &w.dir,
+                ledger_version,
+                vocab,
+                &expander.state(),
+                w.writer.offset(),
+            ) {
                 counter!("serve.wal.snapshot_errors").inc();
                 eprintln!("# taxo-serve: final snapshot publish skipped: {e}");
             }
+        }
+    }
+}
+
+/// Periodic durable checkpoint after a publish (every
+/// `snapshot_every`th version). A failed (or injected) snapshot publish
+/// is tolerable: the WAL still holds every acked batch, so recovery just
+/// replays a longer tail.
+fn checkpoint_state(
+    wal: Option<&mut WalState>,
+    version: u64,
+    vocab: &Vocabulary,
+    expander: &IncrementalExpander,
+) {
+    let Some(w) = wal else { return };
+    if !version.is_multiple_of(w.snapshot_every) {
+        return;
+    }
+    match durable::persist_state(&w.dir, version, vocab, &expander.state(), w.writer.offset()) {
+        Ok(()) => {}
+        Err(e) => {
+            counter!("serve.wal.snapshot_errors").inc();
+            eprintln!("# taxo-serve: snapshot publish skipped: {e}");
         }
     }
 }
