@@ -5,6 +5,7 @@
 //!         [--seed 42] [--connections 8]
 //!         [--requests 10000] [--k 8] [--max-candidates 16]
 //!         [--tier f32|int8] [--verify] [--tolerance T]
+//!         [--drift N] [--drift-gap-ms N]
 //!         [--pipeline N] [--shutdown] [--metrics-json PATH]
 //!         [--bench-json PATH] [--bench-label NAME]
 //! ```
@@ -27,9 +28,25 @@
 //! seeded xorshift per connection from the same deterministic world the
 //! server trained on, so `--verify` can rebuild the server's version-0
 //! snapshot offline and check every response is **bit-identical**
-//! (scores compared via `f32::to_bits`). `--verify` assumes a
-//! score-only run against a freshly started server (no ingests have
-//! swapped the snapshot).
+//! (scores compared via `f32::to_bits`).
+//!
+//! `--verify` is **version-aware**: a response stamped with the
+//! baseline's snapshot version (0, a freshly started server) is checked
+//! bit-for-bit against the offline replay, while a response served from
+//! any later snapshot — the server took ingests, or `--retrain-every`
+//! promoted a retrained candidate mid-run — is checked for **version
+//! purity** instead: every response for the same `(query, version)`
+//! pair, across all connections, must be byte-identical. A torn swap or
+//! a shadow-contaminated response shows up as a purity mismatch; a
+//! clean promotion shows up only as the version range moving.
+//!
+//! `--drift N` adds an ingest driver to the run: a dedicated connection
+//! feeds N batches of *unseen* synthetic click evidence (a fresh
+//! deterministic `ClickLog` segment over the same world, derived from
+//! `--seed`), paced `--drift-gap-ms` apart, while the score connections
+//! keep hammering. Against `serve --retrain-every` this is the drift
+//! segment that accumulates versions until the control plane retrains
+//! and (when the gate clears) promotes — all under live verification.
 //!
 //! `--tier int8` requests the server's weight-quantized serving tier.
 //! Exact `--verify` still holds there — the quant tier is just as
@@ -56,7 +73,11 @@
 //! **effective** connection count — connections that actually carried
 //! quota, which is less than `--connections` when `--requests` is
 //! smaller — and the resolved target list) for perf baselines such as
-//! the repo's `BENCH_serve.json`.
+//! the repo's `BENCH_serve.json`. It also records the snapshot-version
+//! range each target served (`snapshot_versions`: first/last version
+//! per target): under `serve --retrain-every` background promotions can
+//! swap the snapshot mid-run, and a bench entry is only comparable to
+//! another if both record what was actually serving.
 //! Exits nonzero on any protocol error, verify mismatch, or incomplete
 //! run — `busy` sheds are expected backpressure, never a failure.
 
@@ -85,7 +106,28 @@ struct ConnStats {
     verify_mismatches: u64,
     /// Largest |served − f32 baseline| seen in tolerance mode.
     max_divergence: f32,
+    /// `(first, last)` snapshot version observed in this connection's
+    /// responses — under background retraining the server's version
+    /// advances mid-run, and a bench entry is only interpretable if it
+    /// records which snapshot range actually answered.
+    versions: Option<(u64, u64)>,
+    /// Responses bit-checked against the offline baseline (version 0).
+    exact_checked: u64,
+    /// Responses checked for cross-connection version purity instead
+    /// (served from a post-ingest or post-promotion snapshot).
+    purity_checked: u64,
 }
+
+/// Cross-connection version-purity ledger: the first observed response
+/// key for each `(query, snapshot version)` pair. Every later response
+/// for the same pair — from any connection — must match it exactly;
+/// anything else is a torn swap or shadow contamination, counted as a
+/// verify mismatch.
+type PurityLedger = std::sync::Mutex<std::collections::HashMap<(String, u64), ResponseKey>>;
+
+/// `(term, score bits, attached)` per ranked candidate — the exact
+/// byte-content of one response.
+type ResponseKey = Vec<(String, u32, bool)>;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -99,6 +141,8 @@ fn main() {
     let mut tier = Tier::F32;
     let mut verify = false;
     let mut tolerance: Option<f32> = None;
+    let mut drift = 0u64;
+    let mut drift_gap_ms = 150u64;
     let mut shutdown = false;
     let mut retries = 8u32;
     let mut timeout_ms = 5_000u64;
@@ -119,6 +163,8 @@ fn main() {
             "--tier" => tier = parse(&take(&args, &mut i, "--tier")),
             "--verify" => verify = true,
             "--tolerance" => tolerance = Some(parse(&take(&args, &mut i, "--tolerance"))),
+            "--drift" => drift = parse(&take(&args, &mut i, "--drift")),
+            "--drift-gap-ms" => drift_gap_ms = parse(&take(&args, &mut i, "--drift-gap-ms")),
             "--shutdown" => shutdown = true,
             "--retries" => retries = parse(&take(&args, &mut i, "--retries")),
             "--timeout-ms" => timeout_ms = parse(&take(&args, &mut i, "--timeout-ms")),
@@ -143,7 +189,8 @@ fn main() {
                     "loadgen [--addr HOST:PORT[,HOST:PORT,...]] [--router] [--seed N] \
                      [--connections N] [--requests N] \
                      [--k N] [--max-candidates N] [--retries N] [--timeout-ms N] \
-                     [--tier f32|int8] [--verify] [--tolerance T] [--pipeline N] \
+                     [--tier f32|int8] [--verify] [--tolerance T] \
+                     [--drift N] [--drift-gap-ms N] [--pipeline N] \
                      [--shutdown] [--metrics-json PATH] [--bench-json PATH] [--bench-label NAME]"
                 );
                 return;
@@ -184,6 +231,36 @@ fn main() {
     let (world, trained) = serving_pipeline(seed);
     let expander = trained.into_expander(&world.existing, serving_expansion_config());
     let pairs = expander.candidate_pairs();
+    // The drift segment is a *fresh* click-log over the same world (a
+    // seed the training pipeline never saw), split into `--drift`
+    // stride batches so each carries evidence across the query space.
+    let drift_batches: Vec<Vec<(String, String, u64)>> = if drift > 0 {
+        let log = taxo_synth::ClickLog::generate(
+            &world,
+            &taxo_synth::ClickConfig {
+                n_events: 2_000,
+                ..taxo_synth::ClickConfig::tiny(seed ^ 0xD21F)
+            },
+        );
+        (0..drift as usize)
+            .map(|j| {
+                log.records
+                    .iter()
+                    .skip(j)
+                    .step_by(drift as usize)
+                    .map(|r| {
+                        (
+                            world.vocab.name(r.query).to_owned(),
+                            r.item_text.clone(),
+                            r.count,
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
     let vocab = Arc::new(world.vocab);
     let snapshot = ServeSnapshot::build(
         0,
@@ -241,34 +318,68 @@ fn main() {
         ..RetryPolicy::default()
     };
     let plan = Arc::new(plan);
+    let purity: Arc<PurityLedger> = Arc::default();
     let t0 = Instant::now();
-    let stats: Vec<ConnStats> = std::thread::scope(|scope| {
+    let (stats, drift_errors): (Vec<ConnStats>, u64) = std::thread::scope(|scope| {
+        // The drift driver runs beside the score connections: versions
+        // advance while verification is live, which is exactly the
+        // regime `serve --retrain-every` promotes under.
+        let drift_handle = (drift > 0).then(|| {
+            let policy = policy.clone();
+            let addr = addrs[0].clone();
+            let batches = &drift_batches;
+            scope.spawn(move || {
+                run_drift(&addr, policy, batches, Duration::from_millis(drift_gap_ms))
+            })
+        });
         let handles: Vec<_> = (0..effective)
             .map(|conn| {
                 let quota = quotas[conn];
                 let plan = Arc::clone(&plan);
                 let latency = Arc::clone(&latency);
+                let purity = Arc::clone(&purity);
                 let addr = addrs[conn % addrs.len()].clone();
                 let policy = policy.clone();
                 scope.spawn(move || {
                     run_connection(
                         &addr, policy, seed, conn, quota, k, tier, verify, tolerance, pipeline,
-                        &plan, &latency,
+                        &plan, &purity, &latency,
                     )
                 })
             })
             .collect();
-        handles
+        let stats = handles
             .into_iter()
             .map(|h| h.join().expect("connection thread panicked"))
-            .collect()
+            .collect();
+        let drift_errors = drift_handle.map_or(0, |h| h.join().expect("drift thread panicked"));
+        (stats, drift_errors)
     });
     let elapsed = t0.elapsed();
 
     let ok: u64 = stats.iter().map(|s| s.ok).sum();
     let proto: u64 = stats.iter().map(|s| s.protocol_errors).sum();
     let mismatches: u64 = stats.iter().map(|s| s.verify_mismatches).sum();
+    let exact_checked: u64 = stats.iter().map(|s| s.exact_checked).sum();
+    let purity_checked: u64 = stats.iter().map(|s| s.purity_checked).sum();
     let max_divergence = stats.iter().map(|s| s.max_divergence).fold(0.0, f32::max);
+    // Per-target snapshot-version range: connections round-robin over
+    // the target list, so target `t` aggregates every connection with
+    // `conn % addrs.len() == t`. Versions are monotone per target, so
+    // min-of-firsts / max-of-lasts is the observed range.
+    let version_ranges: Vec<Option<(u64, u64)>> = (0..addrs.len())
+        .map(|t| {
+            stats
+                .iter()
+                .enumerate()
+                .filter(|(conn, _)| conn % addrs.len() == t)
+                .filter_map(|(_, s)| s.versions)
+                .fold(None, |acc: Option<(u64, u64)>, (first, last)| match acc {
+                    Some((f, l)) => Some((f.min(first), l.max(last))),
+                    None => Some((first, last)),
+                })
+        })
+        .collect();
     // Client-side resilience counters, bumped by the retry loop as it
     // works around sheds, timeouts, and dropped connections.
     let retries_used = taxo_obs::counter!("serve.retries").get();
@@ -338,9 +449,26 @@ fn main() {
             ),
             None => println!("verify: {mismatches} mismatches across {ok} responses"),
         }
+        if purity_checked > 0 {
+            eprintln!(
+                "# verify split: {exact_checked} bit-exact at the baseline version, \
+                 {purity_checked} purity-checked on later snapshots"
+            );
+        }
     }
     if proto > 0 {
         println!("protocol errors: {proto}");
+    }
+    for (t, range) in version_ranges.iter().enumerate() {
+        match range {
+            Some((first, last)) if first != last => eprintln!(
+                "# target {} served snapshot versions {first}..{last} \
+                 (snapshot swapped mid-run)",
+                addrs[t]
+            ),
+            Some((v, _)) => eprintln!("# target {} served snapshot version {v}", addrs[t]),
+            None => {}
+        }
     }
 
     if let Some(path) = &bench_json {
@@ -353,6 +481,26 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join(", ")
         );
+        // One `{addr, first_version, last_version}` object per target;
+        // nulls when a target answered no scores (e.g. zero quota).
+        let versions_json = format!(
+            "[{}]",
+            addrs
+                .iter()
+                .zip(&version_ranges)
+                .map(|(a, range)| match range {
+                    Some((first, last)) => format!(
+                        "{{\"addr\": {a:?}, \"first_version\": {first}, \
+                         \"last_version\": {last}}}"
+                    ),
+                    None => format!(
+                        "{{\"addr\": {a:?}, \"first_version\": null, \
+                         \"last_version\": null}}"
+                    ),
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
         let body = format!(
             "{{\n  \"label\": {label:?},\n  \"tier\": \"{tier}\",\n  \
              \"requests\": {requests},\n  \"ok\": {ok},\n  \
@@ -361,7 +509,9 @@ fn main() {
              \"elapsed_s\": {elapsed_s:.3},\n  \"rps\": {rps:.1},\n  \"p50_us\": {p50},\n  \"p99_us\": {p99},\n  \
              \"retries\": {retries_used},\n  \"timeouts\": {timeouts},\n  \
              \"verify\": {verify},\n  \"verify_mismatches\": {mismatches},\n  \
-             \"tolerance\": {tol},\n  \"max_abs_divergence\": {max_divergence:.3e}\n}}\n",
+             \"drift_batches\": {drift},\n  \
+             \"tolerance\": {tol},\n  \"max_abs_divergence\": {max_divergence:.3e},\n  \
+             \"snapshot_versions\": {versions_json}\n}}\n",
             label = bench_label,
             elapsed_s = elapsed.as_secs_f64(),
             rps = ok as f64 / elapsed.as_secs_f64().max(1e-9),
@@ -383,7 +533,7 @@ fn main() {
     }
     taxo_obs::report::report_if_configured();
 
-    if proto > 0 || mismatches > 0 || ok < requests {
+    if proto > 0 || mismatches > 0 || ok < requests || drift_errors > 0 {
         std::process::exit(1);
     }
 }
@@ -401,12 +551,13 @@ fn run_connection(
     tolerance: Option<f32>,
     pipeline: usize,
     plan: &[PlannedQuery],
+    purity: &PurityLedger,
     latency: &taxo_obs::Histogram,
 ) -> ConnStats {
     use std::net::ToSocketAddrs;
     if pipeline > 1 {
         return run_connection_pipelined(
-            addr, seed, conn, quota, k, tier, verify, tolerance, pipeline, plan, latency,
+            addr, seed, conn, quota, k, tier, verify, tolerance, pipeline, plan, purity, latency,
         );
     }
     let mut stats = ConnStats::default();
@@ -430,7 +581,9 @@ fn run_connection(
             Ok(Reply::Ok(v)) => {
                 latency.observe(t.elapsed().as_micros() as u64);
                 stats.ok += 1;
-                note_ok_reply(&v, expected, verify, tolerance, conn, query, &mut stats);
+                note_ok_reply(
+                    &v, expected, verify, tolerance, conn, query, purity, &mut stats,
+                );
             }
             Ok(Reply::Err { code, detail }) => {
                 eprintln!("# conn {conn}: server error {code}: {detail:?}");
@@ -449,6 +602,15 @@ fn run_connection(
 
 /// Applies `--verify` to one `ok` response, updating mismatch and
 /// divergence counters (shared by the synchronous and pipelined paths).
+///
+/// Version-aware: a response at the baseline version (0) is replayed
+/// bit-for-bit against the offline expectation; a response from any
+/// later snapshot (the server took ingests or promoted a retrained
+/// candidate) is instead held to cross-connection **version purity**
+/// via the shared ledger — same `(query, version)` must always produce
+/// the same bytes, no matter which connection or which side of a swap
+/// observed it.
+#[allow(clippy::too_many_arguments)]
 fn note_ok_reply(
     v: &taxo_serve::json::Value,
     expected: &[(String, u32, bool)],
@@ -456,11 +618,38 @@ fn note_ok_reply(
     tolerance: Option<f32>,
     conn: usize,
     query: &str,
+    purity: &PurityLedger,
     stats: &mut ConnStats,
 ) {
+    let version = v.get("version").and_then(taxo_serve::json::Value::as_u64);
+    if let Some(version) = version {
+        stats.versions = match stats.versions {
+            // Responses arrive in request order on a connection, so the
+            // latest reply's version is the range's `last`.
+            Some((first, _)) => Some((first, version)),
+            None => Some((version, version)),
+        };
+    }
     let mismatch = if !verify {
         false
+    } else if let Some(served_version) = version.filter(|&ver| ver > 0) {
+        stats.purity_checked += 1;
+        match candidate_key(v) {
+            None => true,
+            Some(key) => match purity
+                .lock()
+                .expect("purity ledger poisoned")
+                .entry((query.to_owned(), served_version))
+            {
+                std::collections::hash_map::Entry::Occupied(e) => *e.get() != key,
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(key);
+                    false
+                }
+            },
+        }
     } else if let Some(tol) = tolerance {
+        stats.exact_checked += 1;
         match divergence_from_baseline(v, expected) {
             Some(d) => {
                 stats.max_divergence = stats.max_divergence.max(d);
@@ -469,6 +658,7 @@ fn note_ok_reply(
             None => true,
         }
     } else {
+        stats.exact_checked += 1;
         candidate_key(v).as_deref() != Some(expected)
     };
     if mismatch {
@@ -477,6 +667,66 @@ fn note_ok_reply(
             eprintln!("# conn {conn}: first mismatch on query {query:?}");
         }
     }
+}
+
+/// The `--drift` ingest driver: feeds the pre-built unseen click
+/// batches to the first target, paced `gap` apart, over a retrying
+/// client. Returns the number of batches that failed outright (any
+/// nonzero fails the run — drift that silently vanished would make a
+/// "promotion happened" assertion meaningless).
+fn run_drift(
+    addr: &str,
+    policy: RetryPolicy,
+    batches: &[Vec<(String, String, u64)>],
+    gap: Duration,
+) -> u64 {
+    use std::net::ToSocketAddrs;
+    let Some(sock) = addr.to_socket_addrs().ok().and_then(|mut a| a.next()) else {
+        eprintln!("# drift: unresolvable address {addr}");
+        return batches.len() as u64;
+    };
+    let mut client = Client::builder(sock).retry(policy).build();
+    let (mut acked, mut errors) = (0u64, 0u64);
+    let mut final_version = 0u64;
+    for (j, batch) in batches.iter().enumerate() {
+        if j > 0 {
+            std::thread::sleep(gap);
+        }
+        match client.ingest(batch) {
+            Ok(Reply::Ok(v)) => {
+                acked += 1;
+                // A plain serve ack carries `version`; a router ack
+                // carries the per-shard `versions` vector.
+                let version = v
+                    .get("version")
+                    .and_then(taxo_serve::json::Value::as_u64)
+                    .or_else(|| {
+                        v.get("versions")
+                            .and_then(taxo_serve::json::Value::items)
+                            .and_then(|vs| {
+                                vs.iter().filter_map(taxo_serve::json::Value::as_u64).max()
+                            })
+                    });
+                if let Some(ver) = version {
+                    final_version = final_version.max(ver);
+                }
+            }
+            Ok(Reply::Err { code, detail }) => {
+                eprintln!("# drift batch {j}: server error {code}: {detail:?}");
+                errors += 1;
+            }
+            Err(e) => {
+                eprintln!("# drift batch {j}: failed after retries: {e}");
+                errors += (batches.len() - j) as u64;
+                break;
+            }
+        }
+    }
+    eprintln!(
+        "# drift: {acked}/{} ingest batch(es) acked, server reached version {final_version}",
+        batches.len()
+    );
+    errors
 }
 
 /// `--pipeline N` connection loop: windows of N requests written as one
@@ -495,6 +745,7 @@ fn run_connection_pipelined(
     tolerance: Option<f32>,
     pipeline: usize,
     plan: &[PlannedQuery],
+    purity: &PurityLedger,
     latency: &taxo_obs::Histogram,
 ) -> ConnStats {
     let mut stats = ConnStats::default();
@@ -525,7 +776,8 @@ fn run_connection_pipelined(
                             latency.observe(us);
                             stats.ok += 1;
                             note_ok_reply(
-                                v, &plan[p].1, verify, tolerance, conn, &plan[p].0, &mut stats,
+                                v, &plan[p].1, verify, tolerance, conn, &plan[p].0, purity,
+                                &mut stats,
                             );
                         }
                         Reply::Err { code, .. } if code == "busy" => {}

@@ -8,6 +8,7 @@
 //!       [--score-cache N] [--resp-cache N] [--metrics-json PATH]
 //!       [--data-dir PATH] [--fsync always|batch|batch:<OPS>:<MS>]
 //!       [--snapshot-every N] [--recover]
+//!       [--retrain-every N] [--shadow-sample N] [--promote-gate P[:LAT_US]]
 //! ```
 //!
 //! Prints `taxo-serve listening on <addr>` once ready, then serves until
@@ -23,11 +24,26 @@
 //! the same `--data-dir` and `--seed`) loads the latest snapshot,
 //! replays the WAL tail — truncating any torn final record — and
 //! resumes serving the exact pre-crash state.
+//!
+//! `--retrain-every N` (0 = off, the default) starts the taxo-train
+//! control plane: a background trainer that, every N acknowledged ingest
+//! versions, exports the live expander state, fine-tunes a clone of the
+//! detector on it, shadow-scores a deterministic 1-in-`--shadow-sample`
+//! mirror of live score traffic against the candidate, and promotes it
+//! through the serving hot-swap only when the synthetic judge panel's
+//! precision (and optional latency bound) clears `--promote-gate`
+//! (`P` or `P:LAT_US`, default `0.7`). A rejected candidate is a recorded
+//! rollback; the live snapshot keeps answering untouched. Decisions are
+//! summarized on shutdown and visible in `--metrics-json` as
+//! `train.epochs` / `train.promotions` / `train.rollbacks`.
 
 use std::sync::Arc;
 use std::time::Duration;
 use taxo_bench::{serving_expansion_config, serving_pipeline};
+use taxo_expand::DetectorConfig;
 use taxo_serve::{DurabilityConfig, FsyncPolicy, ServeConfig, Server};
+use taxo_synth::Panel;
+use taxo_train::{ControlPlane, GateConfig, LatencyProbe, PanelOracle, TrainConfig, Trainer};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +56,9 @@ fn main() {
     let mut fsync = FsyncPolicy::default();
     let mut snapshot_every = 8u64;
     let mut recover = false;
+    let mut retrain_every = 0u64;
+    let mut shadow_sample = 2u64;
+    let mut gate = GateConfig::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -68,13 +87,20 @@ fn main() {
             "--fsync" => fsync = parse_fsync(&take(&args, &mut i, "--fsync")),
             "--snapshot-every" => snapshot_every = parse(&take(&args, &mut i, "--snapshot-every")),
             "--recover" => recover = true,
+            "--retrain-every" => retrain_every = parse(&take(&args, &mut i, "--retrain-every")),
+            "--shadow-sample" => shadow_sample = parse(&take(&args, &mut i, "--shadow-sample")),
+            "--promote-gate" => {
+                gate = GateConfig::parse(&take(&args, &mut i, "--promote-gate"))
+                    .unwrap_or_else(|e| die(&format!("--promote-gate: {e}")));
+            }
             "--help" | "-h" => {
                 println!(
                     "serve [--addr HOST:PORT] [--seed N] [--threads N] [--workers N] \
                      [--batch-max N] [--queue-cap N] [--max-candidates N] [--tier f32|int8] \
                      [--score-cache N] [--resp-cache N] [--metrics-json PATH] \
                      [--data-dir PATH] \
-                     [--fsync always|batch|batch:<OPS>:<MS>] [--snapshot-every N] [--recover]"
+                     [--fsync always|batch|batch:<OPS>:<MS>] [--snapshot-every N] [--recover] \
+                     [--retrain-every N] [--shadow-sample N] [--promote-gate P[:LAT_US]]"
                 );
                 return;
             }
@@ -99,7 +125,9 @@ fn main() {
     let expansion_cfg = serving_expansion_config();
     let expander = trained.into_expander(&world.existing, expansion_cfg.clone());
     eprintln!("# trained in {:.1?}", t0.elapsed());
-    let vocab = Arc::new(world.vocab);
+    // Clone the vocabulary out so the `World` stays whole: the trainer's
+    // judge panel needs its ground truth as the promotion oracle.
+    let vocab = Arc::new(world.vocab.clone());
 
     // `--recover` swaps the freshly trained expander for the durable
     // state the previous run reached; the frozen detector and expansion
@@ -142,8 +170,58 @@ fn main() {
         .bind(addr.as_str())
         .unwrap_or_else(|e| die(&format!("binding {addr}: {e}")));
     println!("taxo-serve listening on {}", handle.addr());
+
+    // `--retrain-every` arms the continuous-learning control plane: a
+    // background trainer that retrains on accumulated ingest, shadow-
+    // scores mirrored traffic, and promotes through the serving
+    // hot-swap only when the judge panel clears the gate.
+    let trainer = (retrain_every > 0).then(|| {
+        let train_cfg = TrainConfig {
+            retrain_every,
+            shadow_sample,
+            gate,
+            seed,
+            // A short fine-tune per epoch: the candidate starts from the
+            // live detector's weights, so a few passes suffice and keep
+            // the control loop responsive.
+            detector: DetectorConfig {
+                epochs: 6,
+                ..DetectorConfig::tiny(seed)
+            },
+            ..TrainConfig::default()
+        };
+        eprintln!(
+            "# trainer armed: retrain every {retrain_every} version(s), \
+             shadow 1-in-{shadow_sample}, gate precision {:.2}",
+            gate.min_precision
+        );
+        let oracle = PanelOracle::new(Panel::new(3, 0.0, seed), move |parent, child| {
+            world.is_true_hypernym(parent, child)
+        });
+        Trainer::spawn(
+            handle.controller(),
+            ControlPlane::new(train_cfg),
+            Box::new(oracle),
+            LatencyProbe::Wall,
+        )
+    });
+
     handle.join();
     eprintln!("# shut down cleanly");
+    if let Some(trainer) = trainer {
+        let plane = trainer.stop();
+        let promoted = plane
+            .decisions()
+            .iter()
+            .filter(|d| matches!(d.verdict, taxo_train::Verdict::Promoted { .. }))
+            .count();
+        eprintln!(
+            "# trainer: {} epoch(s), {} promotion(s), {} rollback(s)",
+            plane.epoch(),
+            promoted,
+            plane.decisions().len() - promoted
+        );
+    }
 
     if let Some(path) = &metrics_json {
         match taxo_obs::report::write_json_lines(path) {

@@ -482,6 +482,10 @@ fn chaos_seeds_hold_all_invariants() {
 }
 
 #[test]
+// The heaviest seeded sweep in the suite (~10s debug): kept out of the
+// default tier-1 run and exercised by CI's `-- --ignored` lane (and any
+// local `cargo test -- --include-ignored`).
+#[ignore = "heavy seeded chaos sweep; run via -- --ignored"]
 fn quant_tier_chaos_holds_exactly_once_and_bit_identity() {
     let _g = sim_lock();
     // Same invariants, second serving tier: under a seeded chaos plan

@@ -16,6 +16,13 @@
 //!   twice) and every served score — during the chaos and after the
 //!   recovery — bit-identical to an offline twin replaying the same
 //!   applied partitions.
+//! * **Promotion under chaos** — the taxo-train control plane drives a
+//!   two-phase multi-shard promotion of a retrained detector and
+//!   `train.promote` kills one shard mid-commit (after its promotion op
+//!   is durable, before the swap publishes). The router's commit-probe
+//!   must resolve the survivor's wedged prepare, the crashed shard's
+//!   WAL replay must converge on the promoted version, and no burst —
+//!   score or ingest — may ever be accepted with mixed versions.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -35,6 +42,10 @@ use taxo_serve::{
     ServeConfig, ServeSnapshot, Server,
 };
 use taxo_synth::{ClickConfig, ClickLog, ClickRecord, World, WorldConfig};
+
+/// Canonical form of one scored response: `(item, count, attached)` per
+/// candidate, in rank order — enough to compare responses bit-for-bit.
+type ResponseKey = Vec<(String, u32, bool)>;
 
 fn test_lock() -> MutexGuard<'static, ()> {
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
@@ -313,7 +324,7 @@ fn shard_crash_mid_burst_recovers_exactly_once_and_bit_identical() {
     // acceptable failure surface. Observations are judged afterwards
     // against per-version offline baselines.
     let stop = AtomicBool::new(false);
-    type Observation = (u32, u64, Vec<(String, u32, bool)>);
+    type Observation = (u32, u64, ResponseKey);
     /// Stops the reader even when an assertion unwinds the scope body —
     /// otherwise `thread::scope` would join a loop that never exits.
     struct StopGuard<'a>(&'a AtomicBool);
@@ -484,33 +495,32 @@ fn shard_crash_mid_burst_recovers_exactly_once_and_bit_identical() {
             }
             seq
         };
-        let baselines =
-            |shard: u32, q: ConceptId, include_batch4: bool| -> Vec<Vec<(String, u32, bool)>> {
-                let mut twin = shard_expander(&world, &log.records[..half]);
-                let mut per_version = Vec::new();
-                let snapshot_of = |version: u64, twin: &IncrementalExpander| {
-                    let pairs = twin.candidate_pairs();
-                    ServeSnapshot::build(
-                        version,
-                        Arc::clone(&vocab),
-                        Arc::new(detector.clone()),
-                        twin.taxonomy().clone(),
-                        &pairs,
-                    )
-                };
+        let baselines = |shard: u32, q: ConceptId, include_batch4: bool| -> Vec<ResponseKey> {
+            let mut twin = shard_expander(&world, &log.records[..half]);
+            let mut per_version = Vec::new();
+            let snapshot_of = |version: u64, twin: &IncrementalExpander| {
+                let pairs = twin.candidate_pairs();
+                ServeSnapshot::build(
+                    version,
+                    Arc::clone(&vocab),
+                    Arc::new(detector.clone()),
+                    twin.taxonomy().clone(),
+                    &pairs,
+                )
+            };
+            per_version.push(expected_key(
+                &vocab,
+                &snapshot_of(0, &twin).score_query(q, cap, k),
+            ));
+            for (v, part) in applied(shard, include_batch4).iter().enumerate() {
+                twin.ingest(&vocab, part);
                 per_version.push(expected_key(
                     &vocab,
-                    &snapshot_of(0, &twin).score_query(q, cap, k),
+                    &snapshot_of(v as u64 + 1, &twin).score_query(q, cap, k),
                 ));
-                for (v, part) in applied(shard, include_batch4).iter().enumerate() {
-                    twin.ingest(&vocab, part);
-                    per_version.push(expected_key(
-                        &vocab,
-                        &snapshot_of(v as u64 + 1, &twin).score_query(q, cap, k),
-                    ));
-                }
-                per_version
-            };
+            }
+            per_version
+        };
         let base0 = baselines(0, q0, report.final_version == 4);
         let base1 = baselines(1, q1, false);
         assert!(!observations.is_empty(), "reader must observe scores");
@@ -572,6 +582,357 @@ fn shard_crash_mid_burst_recovers_exactly_once_and_bit_identical() {
         h0b.join();
         h1.join();
     });
+    let _ = std::fs::remove_dir_all(&dir0);
+    let _ = std::fs::remove_dir_all(&dir1);
+}
+
+/// Promotion under chaos. The trainer retrains a candidate from shard
+/// 0's exported state and drives a coordinated two-phase promotion:
+/// prepare on shard 0 (holds the promoted snapshot unpublished), prepare
+/// on shard 1 — where `train.promote=once:2:fail` crashes the shard
+/// *after* its promotion op is durable but *before* anything publishes.
+///
+/// Convergence is probe-resolved, using only machinery that already
+/// exists: shard 1's WAL replay lands exactly on the promoted version
+/// (the empty promotion op is past the ack barrier), and shard 0's
+/// wedged prepare is cleared by the router's commit-probe when the next
+/// multi-shard ingest arrives — `prepare_pending` → probe-commit (which
+/// finally publishes the promoted snapshot) → retried prepare.
+///
+/// Version-mix assertions along the way:
+/// * the prepared promotion never leaks: shard 0 serves version 3 with
+///   pre-promotion bits until the probe commits it;
+/// * every score burst returns a coherent fleet state — `(3,3)` before,
+///   `(3,4)` between recovery and the healing swap, `(5,5)` after —
+///   never a torn mid-swap pair;
+/// * every accepted multi-shard ingest acks one uniform version across
+///   shards (`[n,n]`), including the healing swap (`[5,5]`).
+#[test]
+fn trainer_promotion_under_chaos_probe_resolves_without_version_mixing() {
+    let _g = test_lock();
+    taxo_fault::disarm();
+    let (vocab, world, log) = fixture();
+    let half = log.records.len() / 2;
+    let exp0 = shard_expander(&world, &log.records[..half]);
+    let exp1 = shard_expander(&world, &log.records[..half]);
+    let detector = exp0.detector().clone();
+    let expansion_cfg = exp0.expansion_config().clone();
+    let dir0 = scratch_dir("promo0");
+    let dir1 = scratch_dir("promo1");
+
+    let serve_cfg = ServeConfig::default();
+    let cap = serve_cfg.max_candidates;
+    let k = serve_cfg.default_k;
+    let durability = |dir: &PathBuf| DurabilityConfig::Wal {
+        dir: dir.clone(),
+        fsync: FsyncPolicy::Always,
+        snapshot_every: 100, // recovery must come from WAL replay
+    };
+    let h0 = Server::builder(exp0, Arc::clone(&vocab))
+        .config(serve_cfg.clone())
+        .durability(durability(&dir0))
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let h1 = Server::builder(exp1, Arc::clone(&vocab))
+        .config(serve_cfg.clone())
+        .durability(durability(&dir1))
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let shard1_addr = h1.addr();
+    let router = Router::builder(vec![h0.addr(), h1.addr()])
+        .config(RouterConfig::default())
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let addr = router.addr();
+    let ring = router.ring().clone();
+    let ctl0 = h0.controller();
+    let ctl1 = h1.controller();
+
+    let s0_v0 = h0.store().load();
+    let exp_for_queries = shard_expander(&world, &log.records[..half]);
+    let (q0, q1) = pick_queries(&ring, &vocab, &exp_for_queries, &s0_v0, cap);
+
+    // Four stride batches from the unseen half, each spanning both
+    // shards: three establish the base, the fourth is the healing swap.
+    let tail = &log.records[half..];
+    let batches: Vec<Vec<ClickRecord>> = (0..4)
+        .map(|j| tail.iter().skip(j).step_by(4).cloned().collect())
+        .collect();
+    let partition = |batch: &[ClickRecord], shard: u32| -> Vec<ClickRecord> {
+        batch
+            .iter()
+            .filter(|r| ring.shard_for(world.vocab.name(r.query)) == shard)
+            .cloned()
+            .collect()
+    };
+    for (j, b) in batches.iter().enumerate() {
+        assert!(
+            !partition(b, 0).is_empty() && !partition(b, 1).is_empty(),
+            "batch {j} must span both shards"
+        );
+    }
+    let wire = |batch: &[ClickRecord]| -> Vec<(String, String, u64)> {
+        batch
+            .iter()
+            .map(|r| (vocab.name(r.query).to_owned(), r.item_text.clone(), r.count))
+            .collect()
+    };
+
+    // Base: three coordinated ingests; every accepted burst must ack one
+    // uniform version across shards.
+    let mut ingester = Client::connect(addr).unwrap();
+    for (j, batch) in batches.iter().take(3).enumerate() {
+        let Reply::Ok(v) = ingester.ingest(&wire(batch)).unwrap() else {
+            panic!("base ingest {j} failed");
+        };
+        let versions: Vec<u64> = v
+            .get("versions")
+            .and_then(Value::items)
+            .expect("merged ingest carries versions")
+            .iter()
+            .filter_map(Value::as_u64)
+            .collect();
+        assert_eq!(
+            versions,
+            vec![j as u64 + 1; 2],
+            "ingest burst {j} must commit one uniform version"
+        );
+    }
+
+    // Offline twins at version 3 and the per-checkpoint baselines.
+    let snapshot_of = |version: u64, det: &HypoDetector, exp: &IncrementalExpander| {
+        ServeSnapshot::build(
+            version,
+            Arc::clone(&vocab),
+            Arc::new(det.clone()),
+            exp.taxonomy().clone(),
+            &exp.candidate_pairs(),
+        )
+    };
+    let twin_at_v3 = |shard: u32| -> IncrementalExpander {
+        let mut twin = shard_expander(&world, &log.records[..half]);
+        for b in batches.iter().take(3) {
+            twin.ingest(&vocab, &partition(b, shard));
+        }
+        twin
+    };
+    let twin0 = twin_at_v3(0);
+    let mut twin1 = twin_at_v3(1);
+    let base0_v3 = expected_key(
+        &vocab,
+        &snapshot_of(3, &detector, &twin0).score_query(q0, cap, k),
+    );
+    let base1_v3 = expected_key(
+        &vocab,
+        &snapshot_of(3, &detector, &twin1).score_query(q1, cap, k),
+    );
+
+    // One score burst through the router; both answers parsed as
+    // `(version, key)`, errors as `None`.
+    let mut burst_client = Client::connect(addr).unwrap();
+    let burst = |burst_client: &mut Client| -> Vec<Option<(u64, ResponseKey)>> {
+        burst_client
+            .score_burst(&[vocab.name(q0), vocab.name(q1)], Some(k), None)
+            .expect("router stays reachable")
+            .iter()
+            .map(|reply| match reply {
+                Reply::Ok(v) => Some((
+                    v.get("version")
+                        .and_then(Value::as_u64)
+                        .expect("score carries version"),
+                    candidate_key(v).expect("score carries candidates"),
+                )),
+                _ => None,
+            })
+            .collect()
+    };
+    let obs = burst(&mut burst_client);
+    assert_eq!(
+        obs,
+        vec![Some((3, base0_v3.clone())), Some((3, base1_v3.clone()))],
+        "pre-promotion burst must serve version 3 on both shards"
+    );
+
+    // The trainer: retrain a candidate from shard 0's exported state.
+    let plane = taxo_train::ControlPlane::new(taxo_train::TrainConfig {
+        detector: DetectorConfig {
+            epochs: 3,
+            ..DetectorConfig::tiny(SEED)
+        },
+        seed: SEED,
+        ..taxo_train::TrainConfig::default()
+    });
+    let (base_version, state) = ctl0.export_state().expect("export serving state");
+    assert_eq!(base_version, 3);
+    let retrained = plane
+        .retrain(&vocab, &detector, &state)
+        .expect("unfaulted retrain produces a candidate");
+
+    // Two-phase promotion: shard 0 prepares cleanly (hit 1 passes),
+    // shard 1 crashes mid-promotion (hit 2 fails) — after its WAL op is
+    // durable, before anything publishes.
+    taxo_fault::arm(taxo_fault::FaultPlan::parse("seed=21;train.promote=once:2:fail").unwrap());
+    let det_arc = Arc::new(retrained.clone());
+    let out = ctl0
+        .promote(Arc::clone(&det_arc), taxo_serve::IngestPhase::Prepare)
+        .expect("shard 0 prepares the promotion");
+    assert_eq!((out.version, out.published), (4, false));
+    // The prepared snapshot must not leak: shard 0 still serves v3 bits.
+    let obs = burst(&mut burst_client);
+    assert_eq!(
+        obs[0],
+        Some((3, base0_v3.clone())),
+        "a prepared promotion must stay unpublished"
+    );
+    assert!(
+        ctl1.promote(det_arc, taxo_serve::IngestPhase::Prepare)
+            .is_err(),
+        "shard 1's promotion must die with the shard"
+    );
+    for _ in 0..100 {
+        if h1.crashed() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(h1.crashed(), "shard 1 must be the crash victim");
+    assert!(!h0.crashed(), "shard 0 must survive");
+    taxo_fault::disarm();
+
+    // The crash kills shard 1's ingest/durability spine, not its score
+    // workers: until reaped it may keep answering from its *published*
+    // snapshot. A burst may degrade (shed) but never invent a version —
+    // in particular the crashed promotion must never surface as v4.
+    let obs = burst(&mut burst_client);
+    if let Some((version, key)) = &obs[0] {
+        assert_eq!((version, key), (&3, &base0_v3));
+    }
+    if let Some((version, key)) = &obs[1] {
+        assert_eq!(
+            (version, key),
+            (&3, &base1_v3),
+            "a crashed shard may only serve its last published snapshot"
+        );
+    }
+
+    // Probe-resolved recovery, step 1: WAL replay converges shard 1 on
+    // the promoted version (the empty promotion op is durable), though —
+    // by design — under the operator-supplied original detector.
+    h1.shutdown_and_join();
+    let (recovered, report) =
+        Server::recover(&dir1, detector.clone(), expansion_cfg.clone(), &vocab)
+            .expect("crashed shard recovers");
+    assert_eq!(
+        report.final_version, 4,
+        "the durable promotion op must replay to the promoted version"
+    );
+    let mut rebind = Server::builder(recovered, Arc::clone(&vocab))
+        .config(serve_cfg.clone())
+        .durability(durability(&dir1))
+        .recovered(&report)
+        .bind(shard1_addr);
+    for _ in 0..100 {
+        match rebind {
+            Ok(_) => break,
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(50));
+                let (again, _) =
+                    Server::recover(&dir1, detector.clone(), expansion_cfg.clone(), &vocab)
+                        .expect("re-recovery");
+                rebind = Server::builder(again, Arc::clone(&vocab))
+                    .config(serve_cfg.clone())
+                    .durability(durability(&dir1))
+                    .recovered(&report)
+                    .bind(shard1_addr);
+            }
+        }
+    }
+    let h1b = rebind.expect("recovered shard rebinds its address");
+
+    // Post-recovery: the coherent fleet state is (3, 4) — shard 0's
+    // promotion still pending, shard 1 recovered at v4. The first
+    // bursts may shed while the router heals its stale upstream
+    // connection and vector entry; retry until both answer.
+    let base1_v4 = expected_key(
+        &vocab,
+        &snapshot_of(4, &detector, &twin1).score_query(q1, cap, k),
+    );
+    let mut healed = None;
+    for _ in 0..100 {
+        let obs = burst(&mut burst_client);
+        if obs.iter().all(Option::is_some) {
+            healed = Some(obs);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let obs = healed.expect("the router must heal its path to the recovered shard");
+    assert_eq!(
+        obs,
+        vec![Some((3, base0_v3.clone())), Some((4, base1_v4))],
+        "post-recovery state must be exactly (3 pending-prepare, 4 recovered)"
+    );
+
+    // Probe-resolved recovery, step 2: the next coordinated ingest heals
+    // the wedged prepare. Shard 0 answers `prepare_pending`, the
+    // router's commit-probe publishes the promoted snapshot, the
+    // retried prepare lands, and the burst commits uniformly at [5, 5].
+    let committed_before = counter_value("serve.ingest.committed");
+    let Reply::Ok(v) = ingester.ingest(&wire(&batches[3])).unwrap() else {
+        panic!("healing ingest failed");
+    };
+    let versions: Vec<u64> = v
+        .get("versions")
+        .and_then(Value::items)
+        .expect("merged ingest carries versions")
+        .iter()
+        .filter_map(Value::as_u64)
+        .collect();
+    assert_eq!(
+        versions,
+        vec![5, 5],
+        "the healing swap must commit one uniform version"
+    );
+    assert!(
+        counter_value("serve.ingest.committed") >= committed_before + 3,
+        "probe-commit of the pending promotion plus two swap commits"
+    );
+
+    // Final bit-identity. Shard 0 serves the *retrained* detector's
+    // scores (the promotion re-anchored its expander before batch 4 was
+    // attached); shard 1 serves the original detector's (recovery
+    // cannot resurrect unpersisted candidate weights — the operator
+    // re-promotes to heal that, which the sim suite covers).
+    let mut twin0p = IncrementalExpander::restore(retrained.clone(), expansion_cfg, state);
+    twin0p.ingest(&vocab, &partition(&batches[3], 0));
+    let base0_v5 = expected_key(
+        &vocab,
+        &snapshot_of(5, &retrained, &twin0p).score_query(q0, cap, k),
+    );
+    twin1.ingest(&vocab, &partition(&batches[3], 1));
+    let base1_v5 = expected_key(
+        &vocab,
+        &snapshot_of(5, &detector, &twin1).score_query(q1, cap, k),
+    );
+    let obs = burst(&mut burst_client);
+    assert_eq!(
+        obs,
+        vec![Some((5, base0_v5)), Some((5, base1_v5))],
+        "the converged fleet must serve version 5 bit-identically on both shards"
+    );
+
+    let mut client = Client::connect(addr).unwrap();
+    let Reply::Ok(health) = client.health().unwrap() else {
+        panic!("health failed");
+    };
+    assert_eq!(
+        health.get("status").and_then(Value::as_str),
+        Some("serving")
+    );
+    client.shutdown().unwrap();
+    router.join();
+    h0.join();
+    h1b.join();
     let _ = std::fs::remove_dir_all(&dir0);
     let _ = std::fs::remove_dir_all(&dir1);
 }

@@ -62,6 +62,7 @@ pub mod client;
 pub mod durable;
 pub mod protocol;
 pub mod server;
+pub mod shadow;
 pub mod snapshot;
 
 /// JSON codec shared with the rest of the workspace (re-exported from
@@ -73,5 +74,9 @@ pub use cache::{ResponseCache, ScoreCache, ScoreKey};
 pub use client::{candidate_key, expected_key, Client, ClientBuilder, Reply, RetryPolicy};
 pub use durable::{DurabilityConfig, FsyncPolicy, RecoveryReport};
 pub use protocol::{IngestPhase, IngestRecord, IngestSummary, Request, Tier};
-pub use server::{ServeConfig, ServeError, Server, ServerBuilder, ServerHandle};
+pub use server::{
+    ControlError, PromoteOutcome, ServeConfig, ServeController, ServeError, Server, ServerBuilder,
+    ServerHandle, FAULT_PROMOTE,
+};
+pub use shadow::{ShadowSample, ShadowTap};
 pub use snapshot::{ScoredCandidate, ServeSnapshot, SnapshotReader, SnapshotStore};

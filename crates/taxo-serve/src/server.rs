@@ -32,6 +32,7 @@ use crate::batch::{score_batch, BoundedQueue, PushError, ScoreJob};
 use crate::cache::{ResponseCache, ScoreCache};
 use crate::durable::{self, DurabilityConfig, FsyncPolicy, RecoveryReport};
 use crate::protocol::{self, IngestPhase, IngestRecord, IngestSummary, Request, Tier};
+use crate::shadow::{ShadowSample, ShadowTap};
 use crate::snapshot::{ServeSnapshot, SnapshotReader, SnapshotStore};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -41,7 +42,9 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use taxo_core::{TaxoError, Vocabulary};
-use taxo_expand::{ExpansionConfig, HypoDetector, IncrementalExpander};
+use taxo_expand::{
+    ExpanderState, ExpansionConfig, HypoDetector, IncrementalExpander, QuantizedDetector,
+};
 use taxo_obs::{counter, gauge, histogram, span};
 use taxo_wal::{WalError, WalWriter};
 
@@ -76,6 +79,9 @@ pub struct ServeConfig {
     pub resp_cache_cap: usize,
     /// Tier answering `score` requests that name none.
     pub default_tier: Tier,
+    /// Shadow-tap queue capacity: mirrored score samples awaiting the
+    /// trainer. A full queue sheds samples (never live requests).
+    pub shadow_queue_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +97,7 @@ impl Default for ServeConfig {
             score_cache_cap: 65_536,
             resp_cache_cap: 16_384,
             default_tier: Tier::F32,
+            shadow_queue_cap: 1024,
         }
     }
 }
@@ -110,6 +117,7 @@ impl ServeConfig {
             ("serve.default_k", self.default_k),
             ("serve.score_cache_cap", self.score_cache_cap),
             ("serve.resp_cache_cap", self.resp_cache_cap),
+            ("serve.shadow_queue_cap", self.shadow_queue_cap),
         ] {
             if v == 0 {
                 return Err(TaxoError::invalid_config(name, "must be at least 1"));
@@ -169,10 +177,31 @@ impl From<TaxoError> for ServeError {
     }
 }
 
-struct IngestJob {
-    records: Vec<IngestRecord>,
-    phase: IngestPhase,
-    reply: mpsc::Sender<IngestReply>,
+/// One unit of work for the single-writer ingest thread. Click batches
+/// arrive from the wire; promotions and state exports arrive from a
+/// [`ServeController`] (the continuous-learning control plane). Routing
+/// them through the same queue keeps every mutation of the expander —
+/// and every published version — serialized by one thread.
+enum IngestJob {
+    /// A click batch from the wire (`ingest` requests).
+    Batch {
+        records: Vec<IngestRecord>,
+        phase: IngestPhase,
+        reply: mpsc::Sender<IngestReply>,
+    },
+    /// Swap in a retrained detector and publish (or prepare) a snapshot
+    /// scored by it. Consumes a version like a batch does; an empty
+    /// ingest op is logged so the WAL's version sequence stays dense.
+    Promote {
+        detector: Arc<HypoDetector>,
+        phase: IngestPhase,
+        reply: mpsc::Sender<IngestReply>,
+    },
+    /// Consistent read of the expander state (the trainer's live
+    /// retraining source). No version consumed, nothing logged.
+    Export {
+        reply: mpsc::Sender<(u64, ExpanderState)>,
+    },
 }
 
 /// What the ingest thread tells the connection worker to render.
@@ -183,6 +212,10 @@ enum IngestReply {
     Prepared(IngestSummary),
     /// Two-phase step 2: the held snapshot is now the served one.
     Committed { version: u64 },
+    /// A promotion was applied and published at this version.
+    Promoted { version: u64 },
+    /// A promotion was applied and its snapshot held for commit.
+    PromotePrepared { version: u64 },
     /// The phase was illegal in the current state (e.g. a commit with
     /// nothing prepared). Nothing was applied or logged.
     Rejected {
@@ -208,6 +241,9 @@ struct Shared {
     crashed: AtomicBool,
     /// Ingest batches applied so far (served in `health`).
     batches: AtomicU64,
+    /// Shadow tap on the worker score path (disarmed until a control
+    /// plane arms it).
+    tap: Arc<ShadowTap>,
 }
 
 impl Shared {
@@ -285,6 +321,174 @@ impl ServerHandle {
     pub fn shutdown_and_join(self) {
         self.shutdown();
         self.join();
+    }
+
+    /// A cloneable control-plane handle: everything a background trainer
+    /// needs (shadow tap, state export, promotion) without owning the
+    /// server threads. Valid for the server's whole lifetime; calls
+    /// after shutdown fail with [`ControlError::ShuttingDown`].
+    pub fn controller(&self) -> ServeController {
+        ServeController {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// Why a control-plane call ([`ServeController`]) did not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlError {
+    /// The ingest queue is full; retry on the next trainer cycle.
+    Busy,
+    /// The server is shutting down (or crashed); no more control calls
+    /// will succeed.
+    ShuttingDown,
+    /// The ingest thread refused the request (e.g. a promotion commit
+    /// with nothing prepared).
+    Rejected {
+        code: &'static str,
+        detail: &'static str,
+    },
+}
+
+impl std::fmt::Display for ControlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControlError::Busy => write!(f, "ingest queue full"),
+            ControlError::ShuttingDown => write!(f, "server shutting down"),
+            ControlError::Rejected { code, detail } => write!(f, "rejected: {code} ({detail})"),
+        }
+    }
+}
+
+impl std::error::Error for ControlError {}
+
+/// Outcome of a [`ServeController::promote`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromoteOutcome {
+    /// The version the promotion consumed.
+    pub version: u64,
+    /// Whether the promoted snapshot is already the served one (`true`
+    /// for [`IngestPhase::Auto`] and [`IngestPhase::Commit`]; `false`
+    /// after a [`IngestPhase::Prepare`], which holds it for commit).
+    pub published: bool,
+}
+
+/// The control-plane face of a running server, handed to the background
+/// trainer (`crates/taxo-train`). All mutations route through the ingest
+/// queue, so the single-writer discipline — and the dense version
+/// ledger — survives a second control thread.
+#[derive(Clone)]
+pub struct ServeController {
+    shared: Arc<Shared>,
+}
+
+impl ServeController {
+    /// The currently served snapshot version.
+    pub fn version(&self) -> u64 {
+        self.shared.store.version()
+    }
+
+    /// The currently served snapshot.
+    pub fn snapshot(&self) -> Arc<ServeSnapshot> {
+        self.shared.store.load()
+    }
+
+    /// The shadow tap (arm/drain it to mirror live traffic).
+    pub fn shadow_tap(&self) -> Arc<ShadowTap> {
+        Arc::clone(&self.shared.tap)
+    }
+
+    /// Whether the server has begun shutting down or crashed.
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.is_shutdown()
+    }
+
+    /// Consistent export of the ingest thread's expander state and the
+    /// version it has reached (which may be ahead of the *published*
+    /// version while a prepared snapshot awaits commit). This is the
+    /// trainer's live retraining source.
+    pub fn export_state(&self) -> Result<(u64, ExpanderState), ControlError> {
+        let (tx, rx) = mpsc::channel();
+        self.push_job(IngestJob::Export { reply: tx })?;
+        rx.recv().map_err(|_| ControlError::ShuttingDown)
+    }
+
+    /// Swaps a retrained detector into the serving path: the ingest
+    /// thread re-scores its candidate pairs under the new detector,
+    /// rebuilds the snapshot (and its int8 twin), and publishes it —
+    /// immediately for [`IngestPhase::Auto`], or held/released across
+    /// [`IngestPhase::Prepare`]/[`IngestPhase::Commit`] for coordinated
+    /// multi-shard promotion. Counts into the exactly-once ingest
+    /// ledger (`serve.ingest.accepted` / `serve.ingest.applied`).
+    pub fn promote(
+        &self,
+        detector: Arc<HypoDetector>,
+        phase: IngestPhase,
+    ) -> Result<PromoteOutcome, ControlError> {
+        debug_assert!(
+            phase != IngestPhase::Commit,
+            "commit a prepared promotion with promote_commit()"
+        );
+        counter!("serve.promote.requests").inc();
+        let (tx, rx) = mpsc::channel();
+        self.push_job(IngestJob::Promote {
+            detector,
+            phase,
+            reply: tx,
+        })?;
+        counter!("serve.ingest.accepted").inc();
+        self.promote_reply(rx)
+    }
+
+    /// Publishes the snapshot held by a [`IngestPhase::Prepare`]
+    /// promotion (the second half of a coordinated multi-shard swap).
+    /// Shares the plan machinery — and the pending slot — with wire
+    /// `ingest` commits.
+    pub fn promote_commit(&self) -> Result<PromoteOutcome, ControlError> {
+        let (tx, rx) = mpsc::channel();
+        self.push_job(IngestJob::Batch {
+            records: Vec::new(),
+            phase: IngestPhase::Commit,
+            reply: tx,
+        })?;
+        counter!("serve.ingest.accepted").inc();
+        self.promote_reply(rx)
+    }
+
+    fn promote_reply(
+        &self,
+        rx: mpsc::Receiver<IngestReply>,
+    ) -> Result<PromoteOutcome, ControlError> {
+        match rx.recv() {
+            Ok(IngestReply::Promoted { version }) => Ok(PromoteOutcome {
+                version,
+                published: true,
+            }),
+            Ok(IngestReply::PromotePrepared { version }) => Ok(PromoteOutcome {
+                version,
+                published: false,
+            }),
+            Ok(IngestReply::Committed { version }) => Ok(PromoteOutcome {
+                version,
+                published: true,
+            }),
+            Ok(IngestReply::Rejected { code, detail }) => {
+                Err(ControlError::Rejected { code, detail })
+            }
+            Ok(_) => unreachable!("promote jobs only produce promote replies"),
+            Err(_) => Err(ControlError::ShuttingDown),
+        }
+    }
+
+    fn push_job(&self, job: IngestJob) -> Result<(), ControlError> {
+        match self.shared.ingest_queue.try_push(job) {
+            Ok(depth) => {
+                gauge!("serve.queue.ingest_depth").set(depth as i64);
+                Ok(())
+            }
+            Err(PushError::Full(_)) => Err(ControlError::Busy),
+            Err(PushError::Closed(_)) => Err(ControlError::ShuttingDown),
+        }
     }
 }
 
@@ -403,13 +607,11 @@ impl ServerBuilder {
             )?),
         };
 
-        // The detector never changes after training: one Arc is shared by
-        // every snapshot the ingest thread will ever publish — and so is
-        // its int8 twin, quantized exactly once here.
+        // The detector changes only when a promotion swaps in a retrained
+        // one: until then, one Arc is shared by every snapshot the ingest
+        // thread publishes — and so is its int8 twin, quantized once here.
         let detector = Arc::new(expander.detector().clone());
-        let quant = Arc::new(taxo_expand::QuantizedDetector::from_detector(Arc::clone(
-            &detector,
-        )));
+        let quant = Arc::new(QuantizedDetector::from_detector(Arc::clone(&detector)));
         let initial = ServeSnapshot::build_with_quant(
             initial_version,
             Arc::clone(&vocab),
@@ -440,6 +642,7 @@ impl ServerBuilder {
             shutdown: AtomicBool::new(false),
             crashed: AtomicBool::new(false),
             batches: AtomicU64::new(expander.batches() as u64),
+            tap: Arc::new(ShadowTap::new(cfg.shadow_queue_cap)),
             cfg,
         });
 
@@ -474,9 +677,7 @@ impl ServerBuilder {
             threads.push(
                 std::thread::Builder::new()
                     .name("serve-ingest".into())
-                    .spawn(move || {
-                        ingest_loop(expander, &detector, &quant, &vocab, &shared, wal)
-                    })?,
+                    .spawn(move || ingest_loop(expander, detector, quant, &vocab, &shared, wal))?,
             );
         }
 
@@ -758,6 +959,21 @@ fn score_request(
     };
     let k = k.unwrap_or(shared.cfg.default_k);
 
+    // Shadow tap: mirror a deterministic sample of live traffic for the
+    // control plane. The sample is taken before any caching decision so
+    // the trainer sees the same distribution the server does, and the
+    // live response below is computed exactly as if the tap were off —
+    // shadow scoring happens on the trainer thread, against a candidate
+    // snapshot, and its results never reach these caches.
+    if shared.tap.sampled(query_id) {
+        shared.tap.offer(ShadowSample {
+            version: snapshot.version,
+            tier,
+            query: query_id,
+            items: snapshot.eligible(query_id, shared.cfg.max_candidates),
+        });
+    }
+
     // Request fastest path: a previously rendered response for this
     // exact (version, tier, query, k). Scoring is pure and rendering
     // deterministic, so splicing the cached tail under this request's
@@ -851,7 +1067,7 @@ fn ingest_request(
 ) -> String {
     counter!("serve.ingest.records_offered").add(records.len() as u64);
     let (tx, rx) = mpsc::channel();
-    match shared.ingest_queue.try_push(IngestJob {
+    match shared.ingest_queue.try_push(IngestJob::Batch {
         records,
         phase,
         reply: tx,
@@ -876,6 +1092,9 @@ fn ingest_request(
         Ok(IngestReply::Applied(summary)) => protocol::ingest_response(id, &summary),
         Ok(IngestReply::Prepared(summary)) => protocol::ingest_prepared_response(id, &summary),
         Ok(IngestReply::Committed { version }) => protocol::ingest_committed_response(id, version),
+        Ok(IngestReply::Promoted { .. } | IngestReply::PromotePrepared { .. }) => {
+            unreachable!("wire ingest jobs never produce promote replies")
+        }
         Ok(IngestReply::Rejected { code, detail }) => {
             protocol::error_response(id, code, Some(detail))
         }
@@ -920,6 +1139,11 @@ fn fill_commit_group(
     }
 }
 
+/// Fault point that crashes the server mid-promotion (after the empty
+/// promotion op is durable, before the snapshot is published) — the
+/// control-plane chaos suite's crash window.
+pub const FAULT_PROMOTE: &str = "train.promote";
+
 /// What the ingest loop decided to do with one job of a commit group.
 /// Planned before the WAL write so that rejected jobs and commits (which
 /// re-publish already-logged records) never reach the log, keeping the
@@ -932,6 +1156,11 @@ enum JobPlan {
     Prepare(u64),
     /// Publish the held snapshot at this version.
     Commit(u64),
+    /// Swap in a promoted detector at this version; publish now or hold
+    /// like a prepare.
+    Promote { version: u64, publish: bool },
+    /// Reply with the expander state; no version, nothing logged.
+    Export,
     /// Refuse without side effects.
     Reject {
         code: &'static str,
@@ -952,9 +1181,18 @@ fn wal_commit_group(
     for (job, plan) in jobs.iter().zip(plans) {
         let version = match plan {
             JobPlan::Apply(v) | JobPlan::Prepare(v) => *v,
-            JobPlan::Commit(_) | JobPlan::Reject { .. } => continue,
+            JobPlan::Promote { version, .. } => *version,
+            JobPlan::Commit(_) | JobPlan::Export | JobPlan::Reject { .. } => continue,
         };
-        let payload = durable::encode_ingest_op(version, &job.records);
+        let records: &[IngestRecord] = match job {
+            IngestJob::Batch { records, .. } => records,
+            // A promotion consumes a version (caches and the epoch guard
+            // key on it), so the WAL sequence must stay dense — but there
+            // is nothing to replay: it logs an empty op.
+            IngestJob::Promote { .. } => &[],
+            IngestJob::Export { .. } => unreachable!("exports are never planned for the WAL"),
+        };
+        let payload = durable::encode_ingest_op(version, records);
         let before = wal.writer.offset();
         match wal.writer.append(payload.as_bytes()) {
             Ok(after) => {
@@ -1005,8 +1243,8 @@ struct PendingPublish {
 /// published version, and the next version must follow the expander.
 fn ingest_loop(
     mut expander: IncrementalExpander,
-    detector: &Arc<taxo_expand::HypoDetector>,
-    quant: &Arc<taxo_expand::QuantizedDetector>,
+    mut detector: Arc<HypoDetector>,
+    mut quant: Arc<QuantizedDetector>,
     vocab: &Arc<Vocabulary>,
     shared: &Shared,
     mut wal: Option<WalState>,
@@ -1030,40 +1268,61 @@ fn ingest_loop(
         let mut planned_pending = pending.as_ref().map(|p| p.version);
         let plans: Vec<JobPlan> = jobs
             .iter()
-            .map(|job| match job.phase {
-                IngestPhase::Auto => {
-                    if planned_pending.is_some() {
-                        // Publishing here would expose the prepared (not
-                        // yet committed) state and regress the version
-                        // order at commit time.
-                        JobPlan::Reject {
-                            code: "prepare_pending",
-                            detail: "a prepared snapshot awaits commit",
+            .map(|job| {
+                let phase = match job {
+                    IngestJob::Batch { phase, .. } | IngestJob::Promote { phase, .. } => *phase,
+                    IngestJob::Export { .. } => return JobPlan::Export,
+                };
+                let promote = matches!(job, IngestJob::Promote { .. });
+                match phase {
+                    IngestPhase::Auto => {
+                        if planned_pending.is_some() {
+                            // Publishing here would expose the prepared (not
+                            // yet committed) state and regress the version
+                            // order at commit time.
+                            JobPlan::Reject {
+                                code: "prepare_pending",
+                                detail: "a prepared snapshot awaits commit",
+                            }
+                        } else {
+                            next_version += 1;
+                            if promote {
+                                JobPlan::Promote {
+                                    version: next_version,
+                                    publish: true,
+                                }
+                            } else {
+                                JobPlan::Apply(next_version)
+                            }
                         }
-                    } else {
-                        next_version += 1;
-                        JobPlan::Apply(next_version)
                     }
-                }
-                IngestPhase::Prepare => {
-                    if planned_pending.is_some() {
-                        JobPlan::Reject {
-                            code: "prepare_pending",
-                            detail: "a prepared snapshot awaits commit",
+                    IngestPhase::Prepare => {
+                        if planned_pending.is_some() {
+                            JobPlan::Reject {
+                                code: "prepare_pending",
+                                detail: "a prepared snapshot awaits commit",
+                            }
+                        } else {
+                            next_version += 1;
+                            planned_pending = Some(next_version);
+                            if promote {
+                                JobPlan::Promote {
+                                    version: next_version,
+                                    publish: false,
+                                }
+                            } else {
+                                JobPlan::Prepare(next_version)
+                            }
                         }
-                    } else {
-                        next_version += 1;
-                        planned_pending = Some(next_version);
-                        JobPlan::Prepare(next_version)
                     }
-                }
-                IngestPhase::Commit => match planned_pending.take() {
-                    Some(v) => JobPlan::Commit(v),
-                    None => JobPlan::Reject {
-                        code: "no_prepared",
-                        detail: "commit without a prepared snapshot",
+                    IngestPhase::Commit => match planned_pending.take() {
+                        Some(v) => JobPlan::Commit(v),
+                        None => JobPlan::Reject {
+                            code: "no_prepared",
+                            detail: "commit without a prepared snapshot",
+                        },
                     },
-                },
+                }
             })
             .collect();
         if let Some(w) = wal.as_mut() {
@@ -1073,41 +1332,117 @@ fn ingest_loop(
                 // channel, the ambiguous no-ack a real crash produces.
                 shared.crash(point);
                 drop(jobs);
-                while let Some(orphans) = shared.ingest_queue.try_drain(usize::MAX) {
-                    if orphans.is_empty() {
-                        break;
-                    }
-                    drop(orphans);
-                }
+                drain_orphans(shared);
                 return;
             }
         }
         for (job, plan) in jobs.into_iter().zip(plans) {
-            let (version, publish_now) = match plan {
-                JobPlan::Apply(v) => (v, true),
-                JobPlan::Prepare(v) => (v, false),
-                JobPlan::Commit(v) => {
+            let (batch_records, reply, version, publish_now) = match (job, plan) {
+                (IngestJob::Export { reply }, _) => {
+                    counter!("serve.control.exports").inc();
+                    let _ = reply.send((ledger_version, expander.state()));
+                    continue;
+                }
+                (
+                    IngestJob::Batch { reply, .. } | IngestJob::Promote { reply, .. },
+                    JobPlan::Reject { code, detail },
+                ) => {
+                    counter!("serve.ingest.rejected").inc();
+                    let _ = reply.send(IngestReply::Rejected { code, detail });
+                    continue;
+                }
+                (
+                    IngestJob::Batch { reply, .. } | IngestJob::Promote { reply, .. },
+                    JobPlan::Commit(v),
+                ) => {
                     let held = pending.take().expect("plan guarantees a pending snapshot");
                     debug_assert_eq!(held.version, v);
                     shared.store.publish(Arc::clone(&held.snapshot));
                     shared.batches.store(held.batch, Ordering::Relaxed);
                     counter!("serve.ingest.applied").inc();
                     counter!("serve.ingest.committed").inc();
-                    let _ = job.reply.send(IngestReply::Committed { version: v });
+                    let _ = reply.send(IngestReply::Committed { version: v });
                     checkpoint_state(wal.as_mut(), v, vocab, &expander);
                     continue;
                 }
-                JobPlan::Reject { code, detail } => {
-                    counter!("serve.ingest.rejected").inc();
-                    let _ = job.reply.send(IngestReply::Rejected { code, detail });
+                (
+                    IngestJob::Promote {
+                        detector: promoted,
+                        reply,
+                        ..
+                    },
+                    JobPlan::Promote { version, publish },
+                ) => {
+                    if !matches!(
+                        taxo_fault::inject(FAULT_PROMOTE),
+                        taxo_fault::Injection::Pass
+                    ) {
+                        // Crash mid-promotion: the empty promotion op is
+                        // already durable but the snapshot never publishes.
+                        // Recovery replays the op and converges at
+                        // `version` — the client's ack (like any crashed
+                        // ingest ack) is dropped, never doubled.
+                        shared.crash(FAULT_PROMOTE);
+                        drop(reply);
+                        drain_orphans(shared);
+                        return;
+                    }
+                    let _g = span!("serve.promote.apply");
+                    detector = promoted;
+                    quant = Arc::new(QuantizedDetector::from_detector(Arc::clone(&detector)));
+                    // The expander re-anchors on the promoted detector:
+                    // future ingest attachment decisions are made by the
+                    // model that is actually serving.
+                    expander = IncrementalExpander::restore(
+                        (*detector).clone(),
+                        expander.expansion_config().clone(),
+                        expander.state(),
+                    );
+                    ledger_version = version;
+                    let next = Arc::new(ServeSnapshot::build_with_quant(
+                        version,
+                        Arc::clone(vocab),
+                        Arc::clone(&detector),
+                        Arc::clone(&quant),
+                        expander.taxonomy().clone(),
+                        &expander.candidate_pairs(),
+                    ));
+                    counter!("serve.ingest.applied").inc();
+                    counter!("serve.promote.applied").inc();
+                    if publish {
+                        shared.store.publish(next);
+                        shared
+                            .batches
+                            .store(expander.batches() as u64, Ordering::Relaxed);
+                        let _ = reply.send(IngestReply::Promoted { version });
+                        checkpoint_state(wal.as_mut(), version, vocab, &expander);
+                    } else {
+                        pending = Some(PendingPublish {
+                            version,
+                            snapshot: next,
+                            batch: expander.batches() as u64,
+                        });
+                        counter!("serve.ingest.prepared").inc();
+                        let _ = reply.send(IngestReply::PromotePrepared { version });
+                    }
                     continue;
+                }
+                (IngestJob::Batch { records, reply, .. }, JobPlan::Apply(v)) => {
+                    (records, reply, v, true)
+                }
+                (IngestJob::Batch { records, reply, .. }, JobPlan::Prepare(v)) => {
+                    (records, reply, v, false)
+                }
+                (IngestJob::Promote { .. }, _)
+                | (IngestJob::Batch { .. }, JobPlan::Export | JobPlan::Promote { .. }) => {
+                    unreachable!("job/plan pairing is decided by the planner")
                 }
             };
             // Delay-only chaos point: a slow rebuild stalls the single
             // writer and backs pressure up into the ingest queue.
             let _ = taxo_fault::inject("serve.ingest.apply");
             let _g = span!("serve.ingest.apply");
-            let (records, matched, skipped) = durable::match_records(vocab, &job.records);
+            let (records, matched, skipped) = durable::match_records(vocab, &batch_records);
             counter!("serve.ingest.records_matched").add(matched);
             counter!("serve.ingest.records_skipped").add(skipped);
 
@@ -1119,8 +1454,8 @@ fn ingest_loop(
                 Arc::new(ServeSnapshot::build_with_quant(
                     version,
                     Arc::clone(vocab),
-                    Arc::clone(detector),
-                    Arc::clone(quant),
+                    Arc::clone(&detector),
+                    Arc::clone(&quant),
                     expander.taxonomy().clone(),
                     &expander.candidate_pairs(),
                 ))
@@ -1138,7 +1473,7 @@ fn ingest_loop(
             if publish_now {
                 shared.store.publish(next);
                 shared.batches.store(report.batch as u64, Ordering::Relaxed);
-                let _ = job.reply.send(IngestReply::Applied(summary));
+                let _ = reply.send(IngestReply::Applied(summary));
                 checkpoint_state(wal.as_mut(), version, vocab, &expander);
             } else {
                 pending = Some(PendingPublish {
@@ -1147,7 +1482,7 @@ fn ingest_loop(
                     batch: report.batch as u64,
                 });
                 counter!("serve.ingest.prepared").inc();
-                let _ = job.reply.send(IngestReply::Prepared(summary));
+                let _ = reply.send(IngestReply::Prepared(summary));
             }
         }
     }
@@ -1170,6 +1505,17 @@ fn ingest_loop(
                 eprintln!("# taxo-serve: final snapshot publish skipped: {e}");
             }
         }
+    }
+}
+
+/// Post-crash cleanup: drains and drops everything still queued so
+/// blocked clients see a dead channel instead of hanging forever.
+fn drain_orphans(shared: &Shared) {
+    while let Some(orphans) = shared.ingest_queue.try_drain(usize::MAX) {
+        if orphans.is_empty() {
+            break;
+        }
+        drop(orphans);
     }
 }
 

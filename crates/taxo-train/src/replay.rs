@@ -1,0 +1,129 @@
+//! WAL replay as a training source: tail a serve write-ahead log into
+//! the same ingest batches the server applied.
+//!
+//! The live path retrains from
+//! [`taxo_serve::ServeController::export_state`]; this module is the
+//! cold path — a trainer process (or a post-crash restart) that has only
+//! the WAL on disk can rebuild the evidence stream batch by batch with a
+//! [`taxo_wal::WalCursor`] and feed it to a
+//! [`taxo_expand::IncrementalExpander`] exactly as the serving ingest
+//! thread did. Frames are decoded with the serve codec
+//! ([`taxo_serve::durable::decode_ingest_op`]) and record matching
+//! mirrors the server's: the query must resolve in the vocabulary, item
+//! text is left for the expander's concept matcher.
+
+use std::path::Path;
+use taxo_core::Vocabulary;
+use taxo_serve::durable::decode_ingest_op;
+use taxo_serve::IngestRecord;
+use taxo_synth::ClickRecord;
+use taxo_wal::{WalCursor, WalError};
+
+/// An incremental reader of a serve WAL, yielding each appended ingest
+/// operation exactly once as `(version, records)`.
+///
+/// Promotions appear in the log as empty-record operations (they consume
+/// a version to keep recovery's sequence dense); [`WalTail::poll`]
+/// returns them as empty batches so callers can track versions, and
+/// [`matched_clicks`] of an empty batch is naturally empty.
+pub struct WalTail {
+    cursor: WalCursor,
+}
+
+impl WalTail {
+    /// Tails `path` starting at byte `from` (0 for the whole log, or a
+    /// manifest's `wal_offset` to skip what a snapshot already covers).
+    pub fn new(path: &Path, from: u64) -> WalTail {
+        WalTail {
+            cursor: WalCursor::new(path, from),
+        }
+    }
+
+    /// Byte offset of the next unread frame.
+    pub fn offset(&self) -> u64 {
+        self.cursor.offset()
+    }
+
+    /// Decodes up to `max` newly appended ingest operations. Torn or
+    /// incomplete tail frames are invisible until completed; a frame
+    /// that decodes as something other than an ingest op is an error
+    /// (the serve WAL contains nothing else).
+    pub fn poll(&mut self, max: usize) -> Result<Vec<(u64, Vec<IngestRecord>)>, WalError> {
+        self.cursor
+            .poll(max)?
+            .iter()
+            .map(|payload| decode_ingest_op(payload))
+            .collect()
+    }
+}
+
+/// Matches one WAL batch's records the way the serving ingest thread
+/// does: drop records whose query is not in the vocabulary, keep item
+/// text raw for [`taxo_expand::IncrementalExpander::ingest`]'s concept
+/// matcher. Feeding the results to an expander restored from the same
+/// base state reproduces the server's post-batch state exactly.
+pub fn matched_clicks(vocab: &Vocabulary, records: &[IngestRecord]) -> Vec<ClickRecord> {
+    records
+        .iter()
+        .filter_map(|r| {
+            vocab.get(&r.query).map(|query| ClickRecord {
+                query,
+                item_text: r.item.clone(),
+                count: r.count,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxo_serve::durable::encode_ingest_op;
+    use taxo_wal::WalWriter;
+
+    fn record(query: &str, item: &str, count: u64) -> IngestRecord {
+        IngestRecord {
+            query: query.to_string(),
+            item: item.to_string(),
+            count,
+        }
+    }
+
+    #[test]
+    fn tail_decodes_appended_ops_exactly_once() {
+        let dir = std::env::temp_dir().join(format!("taxo-train-tail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let _ = std::fs::remove_file(&path);
+
+        let mut wal = WalWriter::open(&path).unwrap();
+        let mut tail = WalTail::new(&path, 0);
+        assert!(tail.poll(16).unwrap().is_empty());
+
+        wal.append(encode_ingest_op(1, &[record("a", "b", 3)]).as_bytes())
+            .unwrap();
+        wal.append(encode_ingest_op(2, &[]).as_bytes()).unwrap(); // promotion marker
+        wal.sync().unwrap();
+
+        let got = tail.poll(16).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, 1);
+        assert_eq!(got[0].1, vec![record("a", "b", 3)]);
+        assert_eq!(got[1], (2, Vec::new()));
+        assert!(tail.poll(16).unwrap().is_empty());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn matching_mirrors_the_server_rule() {
+        let mut vocab = Vocabulary::new();
+        let apple = vocab.intern("apple");
+        let records = [record("apple", "fuji apple", 2), record("ghost", "x", 1)];
+        let clicks = matched_clicks(&vocab, &records);
+        assert_eq!(clicks.len(), 1);
+        assert_eq!(clicks[0].query, apple);
+        assert_eq!(clicks[0].item_text, "fuji apple");
+        assert_eq!(clicks[0].count, 2);
+    }
+}

@@ -34,7 +34,7 @@ mod log;
 mod store;
 
 pub use frame::{crc32, decode_frame, encode_frame, FrameError, FRAME_HEADER, MAX_FRAME};
-pub use log::{recover, replay, Replay, WalWriter};
+pub use log::{recover, replay, Replay, WalCursor, WalWriter};
 pub use store::{atomic_write, Manifest, MANIFEST_FILE};
 
 use std::fmt;

@@ -105,7 +105,14 @@ proptest! {
     /// entirely missing" to "one byte short" — replays the intact prefix
     /// and recovers by physically truncating the tear, after which the
     /// log appends and replays as if the tear never happened.
+    ///
+    /// The exhaustive per-byte cut sweep makes this the slowest property
+    /// in the suite (~4s debug), so it sits behind `#[ignore]` and runs
+    /// in CI's `-- --ignored` lane; the unit test
+    /// `recover_truncates_a_torn_tail_and_appends_continue` keeps
+    /// single-cut coverage in tier 1.
     #[test]
+    #[ignore = "exhaustive torn-record cut sweep; run via -- --ignored"]
     fn torn_final_record_truncates_at_every_cut(
         payloads in ArbPayloads { max_n: 3, max_len: 24 },
     ) {
