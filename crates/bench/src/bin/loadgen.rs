@@ -6,7 +6,8 @@
 //!         [--requests 10000] [--k 8] [--max-candidates 16]
 //!         [--tier f32|int8] [--verify] [--tolerance T]
 //!         [--drift N] [--drift-gap-ms N]
-//!         [--pipeline N] [--shutdown] [--metrics-json PATH]
+//!         [--pipeline N] [--open-loop RPS]
+//!         [--shutdown] [--metrics-json PATH]
 //!         [--bench-json PATH] [--bench-label NAME]
 //! ```
 //!
@@ -57,6 +58,15 @@
 //! counts as a mismatch when a candidate is missing from the baseline,
 //! its attached bit flips, or `|served − f32| > T`, and the largest
 //! observed divergence is reported (and written to `--bench-json`).
+//!
+//! `--open-loop RPS` switches the closed request loop to an open-loop
+//! arrival schedule: the aggregate offered rate is fixed at RPS,
+//! spread evenly across the connections with staggered start offsets,
+//! and each request's latency is measured from its **scheduled** arrival
+//! time rather than its actual send time. A server that falls behind
+//! therefore accrues queueing delay into p99 instead of silently
+//! slowing the generator down (the coordinated-omission trap closed-loop
+//! benchmarks fall into). Incompatible with `--pipeline` > 1.
 //!
 //! `--pipeline N` (default 1) keeps N score requests in flight per
 //! connection: each burst is written in one frame and the N responses
@@ -129,6 +139,29 @@ type PurityLedger = std::sync::Mutex<std::collections::HashMap<(String, u64), Re
 /// byte-content of one response.
 type ResponseKey = Vec<(String, u32, bool)>;
 
+/// One connection's `--open-loop` arrival schedule: request `i` is due
+/// at `start + offset + i * interval`. The connection sleeps until each
+/// due time and measures latency **from it** — a backlogged server pays
+/// its queueing delay into the histogram instead of stalling the clock.
+#[derive(Clone, Copy)]
+struct Pace {
+    start: Instant,
+    offset: Duration,
+    interval: Duration,
+}
+
+impl Pace {
+    /// Due time of this connection's `sent`-th request; sleeps until it.
+    fn due(&self, sent: u64) -> Instant {
+        let due = self.start + self.offset + self.interval.mul_f64(sent as f64);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        due
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = String::from("127.0.0.1:7878");
@@ -147,6 +180,7 @@ fn main() {
     let mut retries = 8u32;
     let mut timeout_ms = 5_000u64;
     let mut pipeline = 1usize;
+    let mut open_loop: Option<f64> = None;
     let mut metrics_json: Option<std::path::PathBuf> = None;
     let mut bench_json: Option<std::path::PathBuf> = None;
     let mut bench_label = String::from("loadgen");
@@ -169,6 +203,7 @@ fn main() {
             "--retries" => retries = parse(&take(&args, &mut i, "--retries")),
             "--timeout-ms" => timeout_ms = parse(&take(&args, &mut i, "--timeout-ms")),
             "--pipeline" => pipeline = parse(&take(&args, &mut i, "--pipeline")),
+            "--open-loop" => open_loop = Some(parse(&take(&args, &mut i, "--open-loop"))),
             "--metrics-json" => {
                 metrics_json = Some(std::path::PathBuf::from(take(
                     &args,
@@ -190,7 +225,7 @@ fn main() {
                      [--connections N] [--requests N] \
                      [--k N] [--max-candidates N] [--retries N] [--timeout-ms N] \
                      [--tier f32|int8] [--verify] [--tolerance T] \
-                     [--drift N] [--drift-gap-ms N] [--pipeline N] \
+                     [--drift N] [--drift-gap-ms N] [--pipeline N] [--open-loop RPS] \
                      [--shutdown] [--metrics-json PATH] [--bench-json PATH] [--bench-label NAME]"
                 );
                 return;
@@ -217,6 +252,14 @@ fn main() {
     }
     if tolerance.is_some() && !verify {
         die("--tolerance only makes sense with --verify");
+    }
+    if let Some(rps) = open_loop {
+        if !(rps.is_finite() && rps > 0.0) {
+            die("--open-loop must be a positive request rate");
+        }
+        if pipeline > 1 {
+            die("--open-loop paces individual requests; it is incompatible with --pipeline > 1");
+        }
     }
     if let Some(t) = tolerance {
         if !(t.is_finite() && t >= 0.0) {
@@ -340,10 +383,18 @@ fn main() {
                 let purity = Arc::clone(&purity);
                 let addr = addrs[conn % addrs.len()].clone();
                 let policy = policy.clone();
+                // Open loop: the aggregate rate is spread evenly over
+                // the connections, with staggered offsets so arrivals
+                // interleave instead of bursting every interval.
+                let pace = open_loop.map(|rps| Pace {
+                    start: t0,
+                    offset: Duration::from_secs_f64(conn as f64 / rps),
+                    interval: Duration::from_secs_f64(effective as f64 / rps),
+                });
                 scope.spawn(move || {
                     run_connection(
                         &addr, policy, seed, conn, quota, k, tier, verify, tolerance, pipeline,
-                        &plan, &purity, &latency,
+                        pace, &plan, &purity, &latency,
                     )
                 })
             })
@@ -505,6 +556,7 @@ fn main() {
             "{{\n  \"label\": {label:?},\n  \"tier\": \"{tier}\",\n  \
              \"requests\": {requests},\n  \"ok\": {ok},\n  \
              \"connections\": {effective},\n  \"pipeline\": {pipeline},\n  \
+             \"open_loop_rps\": {open_loop_rps},\n  \
              \"router\": {router},\n  \"addrs\": {addrs_json},\n  \
              \"elapsed_s\": {elapsed_s:.3},\n  \"rps\": {rps:.1},\n  \"p50_us\": {p50},\n  \"p99_us\": {p99},\n  \
              \"retries\": {retries_used},\n  \"timeouts\": {timeouts},\n  \
@@ -518,6 +570,7 @@ fn main() {
             p50 = quantile_bound_us(&snap, 0.50),
             p99 = quantile_bound_us(&snap, 0.99),
             tol = tolerance.map_or_else(|| String::from("null"), |t| format!("{t}")),
+            open_loop_rps = open_loop.map_or_else(|| String::from("null"), |r| format!("{r}")),
         );
         match std::fs::write(path, body) {
             Ok(()) => eprintln!("# bench summary written to {}", path.display()),
@@ -550,6 +603,7 @@ fn run_connection(
     verify: bool,
     tolerance: Option<f32>,
     pipeline: usize,
+    pace: Option<Pace>,
     plan: &[PlannedQuery],
     purity: &PurityLedger,
     latency: &taxo_obs::Histogram,
@@ -574,9 +628,16 @@ fn run_connection(
     // Only a non-default tier goes on the wire, so the f32 run also
     // exercises the server-side default.
     let wire_tier = (tier != Tier::default()).then_some(tier);
+    let mut sent = 0u64;
     while stats.ok < quota {
         let (query, expected) = &plan[(rng.next() % plan.len() as u64) as usize];
-        let t = Instant::now();
+        // Open loop: wait for the request's scheduled arrival and clock
+        // latency from it, so a lagging server pays queueing delay.
+        let t = match &pace {
+            Some(pace) => pace.due(sent),
+            None => Instant::now(),
+        };
+        sent += 1;
         match client.score_tier(query, Some(k), wire_tier) {
             Ok(Reply::Ok(v)) => {
                 latency.observe(t.elapsed().as_micros() as u64);

@@ -5,6 +5,8 @@
 //! serve [--addr 127.0.0.1:7878] [--seed 42] [--threads N]
 //!       [--workers N] [--batch-max N] [--queue-cap N]
 //!       [--max-candidates N] [--tier f32|int8]
+//!       [--io-model blocking|reactor] [--reactor-threads N]
+//!       [--idle-timeout-ms N]
 //!       [--score-cache N] [--resp-cache N] [--metrics-json PATH]
 //!       [--data-dir PATH] [--fsync always|batch|batch:<OPS>:<MS>]
 //!       [--snapshot-every N] [--recover]
@@ -16,6 +18,11 @@
 //! taxo-obs snapshot (request counters, queue gauges, batch-size
 //! histograms, per-kind latency spans) after shutdown. `--threads` sets
 //! the compute thread count unless `TAXO_THREADS` is set (env wins).
+//!
+//! `--io-model reactor` (Linux) multiplexes all client connections over
+//! `--reactor-threads` epoll reactors instead of one blocking thread per
+//! connection; `--idle-timeout-ms` closes connections silent for that
+//! long in either model.
 //!
 //! `--data-dir` turns on durability: every ingest batch is appended to a
 //! CRC32-framed WAL and fsynced before it is acknowledged (`--fsync`
@@ -72,6 +79,14 @@ fn main() {
                 cfg.max_candidates = parse(&take(&args, &mut i, "--max-candidates"));
             }
             "--tier" => cfg.default_tier = parse(&take(&args, &mut i, "--tier")),
+            "--io-model" => cfg.io_model = parse(&take(&args, &mut i, "--io-model")),
+            "--reactor-threads" => {
+                cfg.reactor_threads = parse(&take(&args, &mut i, "--reactor-threads"));
+            }
+            "--idle-timeout-ms" => {
+                cfg.idle_timeout =
+                    Duration::from_millis(parse(&take(&args, &mut i, "--idle-timeout-ms")));
+            }
             "--score-cache" => cfg.score_cache_cap = parse(&take(&args, &mut i, "--score-cache")),
             "--resp-cache" => cfg.resp_cache_cap = parse(&take(&args, &mut i, "--resp-cache")),
             "--metrics-json" => {
@@ -97,6 +112,7 @@ fn main() {
                 println!(
                     "serve [--addr HOST:PORT] [--seed N] [--threads N] [--workers N] \
                      [--batch-max N] [--queue-cap N] [--max-candidates N] [--tier f32|int8] \
+                     [--io-model blocking|reactor] [--reactor-threads N] [--idle-timeout-ms N] \
                      [--score-cache N] [--resp-cache N] [--metrics-json PATH] \
                      [--data-dir PATH] \
                      [--fsync always|batch|batch:<OPS>:<MS>] [--snapshot-every N] [--recover] \

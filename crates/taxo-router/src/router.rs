@@ -29,7 +29,7 @@
 //! one atomic publication.
 
 use crate::ring::HashRing;
-use crate::upstream::Upstream;
+use crate::upstream::{self, Upstream};
 use crate::vector::VectorStore;
 use std::collections::BTreeMap;
 use std::io::{ErrorKind, Read, Write};
@@ -547,16 +547,36 @@ fn route_scores(items: &[&ScoreItem], shared: &RouterShared, ups: &mut [Upstream
         }
         let mut replies: Vec<Option<String>> = vec![None; items.len()];
         if !failure {
-            for (&shard, idxs) in &groups {
-                match ups[shard as usize].recv(idxs.len()) {
-                    Ok(lines) => {
-                        for (&i, line) in idxs.iter().zip(lines) {
-                            replies[i] = Some(line);
+            if multi {
+                // Drain all shards of the fan-out concurrently (one
+                // epoll instance on Linux): the burst costs the slowest
+                // shard, not the sum of all of them.
+                let plan: Vec<(u32, usize)> = groups
+                    .iter()
+                    .map(|(&shard, idxs)| (shard, idxs.len()))
+                    .collect();
+                match upstream::recv_multi(ups, &plan) {
+                    Ok(groups_lines) => {
+                        for (idxs, lines) in groups.values().zip(groups_lines) {
+                            for (&i, line) in idxs.iter().zip(lines) {
+                                replies[i] = Some(line);
+                            }
                         }
                     }
-                    Err(_) => {
-                        failure = true;
-                        break;
+                    Err(_) => failure = true,
+                }
+            } else {
+                for (&shard, idxs) in &groups {
+                    match ups[shard as usize].recv(idxs.len()) {
+                        Ok(lines) => {
+                            for (&i, line) in idxs.iter().zip(lines) {
+                                replies[i] = Some(line);
+                            }
+                        }
+                        Err(_) => {
+                            failure = true;
+                            break;
+                        }
                     }
                 }
             }

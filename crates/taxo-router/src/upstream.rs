@@ -1,22 +1,35 @@
 //! Per-worker shard connections with chaos injection points.
 //!
 //! Each router worker owns one lazy connection per shard, reused across
-//! the client connections it serves. A transport failure anywhere —
-//! injected or real — resets the connection; the routing layer retries
-//! the *whole* burst against fresh connections, so a half-exchanged
-//! pipeline can never leave orphaned responses to desynchronize the
-//! next request.
+//! the client connections *and bursts* it serves — reconnects happen
+//! only after a transport failure, counted by
+//! `serve.router.upstream_reconnects` (pinned at zero by the fixed-trace
+//! metrics determinism test: a healthy run never reopens). A transport
+//! failure anywhere — injected or real — resets the connection; the
+//! routing layer retries the *whole* burst against fresh connections, so
+//! a half-exchanged pipeline can never leave orphaned responses to
+//! desynchronize the next request.
+//!
+//! Responses are reassembled by the shared incremental
+//! [`FrameDecoder`] (no `BufReader`, no fd-duplicating `try_clone`),
+//! which is what lets [`recv_multi`] drain **all shards of a fan-out
+//! concurrently** over one epoll instance on Linux: the burst's
+//! wall-clock is the *slowest* shard, not the sum. Off Linux it
+//! degrades to the sequential drain.
 //!
 //! Fault points (see `taxo-fault`):
 //! * [`FAULT_CONNECT`] — upstream connect refused.
 //! * [`FAULT_WRITE`] — forwarded frame lost (`fail`) or torn
 //!   mid-line (`short:N`), then the connection drops.
-//! * [`FAULT_READ`] — shard response lost; connection drops.
+//! * [`FAULT_READ`] — shard response lost; connection drops. Consulted
+//!   once per shard per drain, in shard order, on both drain paths.
 //! * [`FAULT_SLOW`] — a slow shard (`delay:MS` stalls the exchange).
 
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use taxo_obs::counter;
+use taxo_serve::FrameDecoder;
 
 /// Injected connect refusal.
 pub const FAULT_CONNECT: &str = "router.upstream.connect";
@@ -32,8 +45,23 @@ fn injected(what: &str) -> std::io::Error {
 }
 
 struct Conn {
-    writer: TcpStream,
-    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+    dec: FrameDecoder,
+}
+
+impl Conn {
+    /// Pops already-buffered frames until `want` are collected or the
+    /// decoder runs dry.
+    fn pop_into(&mut self, lines: &mut Vec<String>, want: usize) -> std::io::Result<()> {
+        while lines.len() < want {
+            match self.dec.next_frame() {
+                Ok(Some(line)) => lines.push(line),
+                Ok(None) => return Ok(()),
+                Err(e) => return Err(std::io::Error::other(e.to_string())),
+            }
+        }
+        Ok(())
+    }
 }
 
 /// One shard connection, owned by one router worker.
@@ -41,6 +69,10 @@ pub struct Upstream {
     addr: SocketAddr,
     read_timeout: Duration,
     conn: Option<Conn>,
+    /// Whether this upstream has ever connected — distinguishes the
+    /// first lazy connect (free) from a *re*connect (a reuse failure,
+    /// counted).
+    ever_connected: bool,
 }
 
 impl Upstream {
@@ -49,6 +81,7 @@ impl Upstream {
             addr,
             read_timeout,
             conn: None,
+            ever_connected: false,
         }
     }
 
@@ -66,11 +99,17 @@ impl Upstream {
             if taxo_fault::should_fail(FAULT_CONNECT) {
                 return Err(injected("upstream connect"));
             }
-            let writer = TcpStream::connect(self.addr)?;
-            let _ = writer.set_nodelay(true);
-            writer.set_read_timeout(Some(self.read_timeout))?;
-            let reader = BufReader::new(writer.try_clone()?);
-            self.conn = Some(Conn { writer, reader });
+            let stream = TcpStream::connect(self.addr)?;
+            let _ = stream.set_nodelay(true);
+            stream.set_read_timeout(Some(self.read_timeout))?;
+            if self.ever_connected {
+                counter!("serve.router.upstream_reconnects").inc();
+            }
+            self.ever_connected = true;
+            self.conn = Some(Conn {
+                stream,
+                dec: FrameDecoder::new(),
+            });
         }
         Ok(self.conn.as_mut().expect("just ensured"))
     }
@@ -83,14 +122,14 @@ impl Upstream {
         let result = (|| {
             let conn = self.ensure()?;
             match taxo_fault::inject(FAULT_WRITE) {
-                taxo_fault::Injection::Pass => conn.writer.write_all(frame.as_bytes()),
+                taxo_fault::Injection::Pass => conn.stream.write_all(frame.as_bytes()),
                 taxo_fault::Injection::Fail => Err(injected("upstream write")),
                 // Torn shard connection: a prefix reaches the shard,
                 // then the socket drops — the shard never sees a
                 // complete line, the router never gets a response.
                 taxo_fault::Injection::Short(n) => {
                     let _ = conn
-                        .writer
+                        .stream
                         .write_all(&frame.as_bytes()[..n.min(frame.len())]);
                     Err(injected("upstream short write"))
                 }
@@ -105,6 +144,7 @@ impl Upstream {
     /// Reads `expect` response lines (trimmed). Drops the connection on
     /// any failure, including timeout — the caller retries the burst.
     pub fn recv(&mut self, expect: usize) -> std::io::Result<Vec<String>> {
+        let read_timeout = self.read_timeout;
         let result = (|| {
             let conn = self.ensure()?;
             // Slow-shard chaos point: the delay stalls this exchange
@@ -114,17 +154,32 @@ impl Upstream {
                 return Err(injected("upstream read"));
             }
             let mut lines = Vec::with_capacity(expect);
-            for _ in 0..expect {
-                let mut line = String::new();
-                if conn.reader.read_line(&mut line)? == 0 {
-                    return Err(std::io::Error::new(
-                        ErrorKind::UnexpectedEof,
-                        "shard closed the connection",
-                    ));
+            let mut chunk = [0u8; 4096];
+            // `SO_RCVTIMEO` bounds each read; the deadline bounds the
+            // whole drain so a trickling shard cannot stall forever.
+            let deadline = Instant::now() + read_timeout;
+            loop {
+                conn.pop_into(&mut lines, expect)?;
+                if lines.len() == expect {
+                    return Ok(lines);
                 }
-                lines.push(line.trim_end_matches(['\n', '\r']).to_owned());
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        return Err(std::io::Error::new(
+                            ErrorKind::UnexpectedEof,
+                            "shard closed the connection",
+                        ));
+                    }
+                    Ok(n) => conn.dec.push(&chunk[..n]),
+                    Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                        if Instant::now() >= deadline {
+                            return Err(ErrorKind::TimedOut.into());
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
             }
-            Ok(lines)
         })();
         if result.is_err() {
             self.reset();
@@ -138,4 +193,223 @@ impl Upstream {
         self.send(&format!("{line}\n"))?;
         Ok(self.recv(1)?.pop().expect("recv(1) returns one line"))
     }
+}
+
+/// Drains a fan-out: for each `(shard, expect)` in `plan`, reads
+/// `expect` response lines from `ups[shard]`, returning the line groups
+/// in plan order. On Linux all shards drain concurrently over one epoll
+/// instance; elsewhere they drain sequentially. Fault points fire per
+/// shard in plan order on both paths, so a seeded chaos plan replays
+/// identically.
+///
+/// Any failure resets the failed connection and returns the error; the
+/// caller discards the whole burst (resetting the rest of the group)
+/// and retries, exactly as with sequential [`Upstream::recv`] failures.
+pub fn recv_multi(
+    ups: &mut [Upstream],
+    plan: &[(u32, usize)],
+) -> std::io::Result<Vec<Vec<String>>> {
+    // Fault points first, in deterministic (plan) order — decoupled from
+    // readiness-arrival order so chaos seeds replay identically on both
+    // drain paths.
+    for &(shard, _) in plan {
+        let _ = taxo_fault::inject(FAULT_SLOW);
+        if taxo_fault::should_fail(FAULT_READ) {
+            ups[shard as usize].reset();
+            return Err(injected("upstream read"));
+        }
+    }
+    recv_multi_inner(ups, plan)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn recv_multi_inner(
+    ups: &mut [Upstream],
+    plan: &[(u32, usize)],
+) -> std::io::Result<Vec<Vec<String>>> {
+    // Portable fallback: sequential blocking drains (fault points
+    // already consulted by the caller).
+    let mut out = Vec::with_capacity(plan.len());
+    for &(shard, expect) in plan {
+        out.push(recv_sans_faults(&mut ups[shard as usize], expect)?);
+    }
+    Ok(out)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn recv_sans_faults(up: &mut Upstream, expect: usize) -> std::io::Result<Vec<String>> {
+    let read_timeout = up.read_timeout;
+    let result = (|| {
+        let conn = up.ensure()?;
+        let mut lines = Vec::with_capacity(expect);
+        let mut chunk = [0u8; 4096];
+        let deadline = Instant::now() + read_timeout;
+        loop {
+            conn.pop_into(&mut lines, expect)?;
+            if lines.len() == expect {
+                return Ok(lines);
+            }
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "shard closed the connection",
+                    ));
+                }
+                Ok(n) => conn.dec.push(&chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if Instant::now() >= deadline {
+                        return Err(ErrorKind::TimedOut.into());
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    })();
+    if result.is_err() {
+        up.reset();
+    }
+    result
+}
+
+#[cfg(target_os = "linux")]
+fn recv_multi_inner(
+    ups: &mut [Upstream],
+    plan: &[(u32, usize)],
+) -> std::io::Result<Vec<Vec<String>>> {
+    use std::os::unix::io::AsRawFd;
+    use taxo_serve::reactor::{Events, Poller, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLRDHUP};
+
+    /// Per-shard drain progress, indexed by plan position (= epoll
+    /// token).
+    struct SlotState {
+        shard: u32,
+        expect: usize,
+        got: Vec<String>,
+        done: bool,
+    }
+
+    // Restores every involved connection to blocking mode on exit, even
+    // on the error paths — `send`/`recv` assume blocking sockets.
+    struct RestoreBlocking<'a> {
+        ups: &'a mut [Upstream],
+        shards: Vec<u32>,
+    }
+    impl Drop for RestoreBlocking<'_> {
+        fn drop(&mut self) {
+            for &shard in &self.shards {
+                if let Some(conn) = self.ups[shard as usize].conn.as_mut() {
+                    // A connection that cannot return to blocking mode
+                    // is unusable for the next (blocking) exchange.
+                    if conn.stream.set_nonblocking(false).is_err() {
+                        self.ups[shard as usize].reset();
+                    }
+                }
+            }
+        }
+    }
+
+    let read_timeout = plan
+        .iter()
+        .map(|&(shard, _)| ups[shard as usize].read_timeout)
+        .max()
+        .unwrap_or(Duration::from_secs(5));
+    let guard = RestoreBlocking {
+        ups,
+        shards: plan.iter().map(|&(shard, _)| shard).collect(),
+    };
+    let ups = &mut *guard.ups;
+
+    let poller = Poller::new()?;
+    let mut states: Vec<SlotState> = Vec::with_capacity(plan.len());
+    for (pos, &(shard, expect)) in plan.iter().enumerate() {
+        let conn = ups[shard as usize].ensure()?;
+        conn.stream.set_nonblocking(true)?;
+        let mut state = SlotState {
+            shard,
+            expect,
+            got: Vec::with_capacity(expect),
+            done: false,
+        };
+        // Pipelined leftovers may already satisfy this shard without a
+        // single readiness event.
+        let popped = conn.pop_into(&mut state.got, expect);
+        if popped.is_err() {
+            ups[shard as usize].reset();
+            return Err(popped.expect_err("checked above"));
+        }
+        state.done = state.got.len() == expect;
+        if !state.done {
+            let fd = conn.stream.as_raw_fd();
+            poller.add(fd, pos as u64, EPOLLIN | EPOLLRDHUP)?;
+        }
+        states.push(state);
+    }
+
+    let deadline = Instant::now() + read_timeout;
+    let mut events = Events::with_capacity(plan.len().max(8));
+    let mut chunk = [0u8; 4096];
+    while states.iter().any(|s| !s.done) {
+        let now = Instant::now();
+        if now >= deadline {
+            for state in states.iter().filter(|s| !s.done) {
+                ups[state.shard as usize].reset();
+            }
+            return Err(ErrorKind::TimedOut.into());
+        }
+        let wait_ms = (deadline - now).as_millis().clamp(1, 500) as i32;
+        let fired = poller.wait(&mut events, wait_ms)?;
+        if fired == 0 {
+            continue;
+        }
+        for (token, readiness) in events.iter() {
+            let pos = token as usize;
+            if states[pos].done {
+                continue;
+            }
+            let shard = states[pos].shard as usize;
+            let result = (|| -> std::io::Result<()> {
+                let conn = ups[shard].conn.as_mut().expect("registered above");
+                if readiness & EPOLLERR != 0 {
+                    return Err(std::io::Error::other("shard connection error"));
+                }
+                // Read until WouldBlock (level-triggered: anything left
+                // re-fires next wait).
+                loop {
+                    match conn.stream.read(&mut chunk) {
+                        Ok(0) => {
+                            // EOF: fatal unless the buffered bytes
+                            // already complete the drain below.
+                            break;
+                        }
+                        Ok(n) => conn.dec.push(&chunk[..n]),
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                let state = &mut states[pos];
+                let want = state.expect;
+                conn.pop_into(&mut state.got, want)?;
+                if state.got.len() == want {
+                    state.done = true;
+                    let _ = poller.delete(conn.stream.as_raw_fd());
+                    return Ok(());
+                }
+                if readiness & (EPOLLRDHUP | EPOLLHUP) != 0 {
+                    return Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "shard closed the connection",
+                    ));
+                }
+                Ok(())
+            })();
+            if result.is_err() {
+                ups[shard].reset();
+                return result.map(|_| Vec::new());
+            }
+        }
+    }
+    Ok(states.into_iter().map(|s| s.got).collect())
 }

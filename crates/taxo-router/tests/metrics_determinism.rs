@@ -24,12 +24,13 @@ use taxo_synth::{ClickConfig, ClickLog, World, WorldConfig};
 
 const SEED: u64 = 91;
 
-const ROUTER_COUNTERS: [&str; 5] = [
+const ROUTER_COUNTERS: [&str; 6] = [
     "serve.router.routed",
     "serve.router.fanout",
     "serve.router.merged",
     "serve.router.stale_epoch",
     "serve.router.shard_retries",
+    "serve.router.upstream_reconnects",
 ];
 
 fn counters_now() -> BTreeMap<&'static str, u64> {
@@ -205,4 +206,8 @@ fn router_counters_are_deterministic_under_fixed_trace() {
     assert_eq!(first["serve.router.merged"], 13, "{first:?}");
     assert_eq!(first["serve.router.stale_epoch"], 0, "{first:?}");
     assert_eq!(first["serve.router.shard_retries"], 0, "{first:?}");
+    // A healthy run reuses every upstream connection across all bursts:
+    // only the first lazy connect per shard happens, and first connects
+    // are not reconnects.
+    assert_eq!(first["serve.router.upstream_reconnects"], 0, "{first:?}");
 }

@@ -187,8 +187,55 @@ impl<T> BoundedQueue<T> {
     }
 }
 
+/// Where one job's scores go back to. The scorer thread is agnostic to
+/// the I/O model serving the connection: a blocking worker parks on the
+/// receiving end of a channel, while a reactor connection gets its
+/// completion pushed to the owning reactor thread's inbox (waking its
+/// epoll loop), with the response rendered there.
+pub enum ScoreSink {
+    /// Blocking path: the connection worker waits on the paired
+    /// receiver.
+    Channel(mpsc::Sender<Vec<f32>>),
+    /// Reactor path: completion lands in the reactor thread's inbox.
+    #[cfg(target_os = "linux")]
+    Reactor(crate::reactor::CompletionSink),
+}
+
+impl ScoreSink {
+    /// A channel-backed sink plus its receiving end.
+    pub fn channel() -> (ScoreSink, mpsc::Receiver<Vec<f32>>) {
+        let (tx, rx) = mpsc::channel();
+        (ScoreSink::Channel(tx), rx)
+    }
+
+    /// Delivers the scores. A dead receiver (client gone) is ignored.
+    pub fn send(&self, scores: Vec<f32>) {
+        match self {
+            ScoreSink::Channel(tx) => {
+                let _ = tx.send(scores);
+            }
+            #[cfg(target_os = "linux")]
+            ScoreSink::Reactor(sink) => {
+                sink.deliver(crate::reactor::Payload::Score(scores));
+            }
+        }
+    }
+
+    /// Abandons the sink without signalling a lost completion — used
+    /// when a job bounced off a full queue and the caller answers the
+    /// request inline (`busy`), so the reactor slot must not also be
+    /// filled by a dead-sink completion.
+    pub fn cancel(&self) {
+        match self {
+            ScoreSink::Channel(_) => {}
+            #[cfg(target_os = "linux")]
+            ScoreSink::Reactor(sink) => sink.cancel(),
+        }
+    }
+}
+
 /// One queued `score` request: the snapshot it must be answered from,
-/// the query, its eligible candidate items, and the channel the scores
+/// the query, its eligible candidate items, and the sink the scores
 /// go back on (in `items` order).
 pub struct ScoreJob {
     pub snapshot: Arc<ServeSnapshot>,
@@ -196,7 +243,7 @@ pub struct ScoreJob {
     pub tier: Tier,
     pub query: ConceptId,
     pub items: Vec<ConceptId>,
-    pub reply: mpsc::Sender<Vec<f32>>,
+    pub reply: ScoreSink,
 }
 
 /// Scores one coalesced batch of jobs — dedupe, cache probe, batched
@@ -284,7 +331,7 @@ pub fn score_batch(jobs: Vec<ScoreJob>, pool: &ScratchPool, cache: &ScoreCache) 
             .collect();
         // A dead receiver means the connection worker gave up (client
         // disconnected mid-request); nothing to do.
-        let _ = job.reply.send(out);
+        job.reply.send(out);
     }
 }
 
@@ -401,7 +448,7 @@ mod tests {
             tier: Tier::F32,
             query,
             items: items.clone(),
-            reply: tx,
+            reply: ScoreSink::Channel(tx),
         };
 
         // Two identical jobs in one batch: the duplicate pairs collapse
@@ -441,7 +488,7 @@ mod tests {
             tier,
             query,
             items: items.clone(),
-            reply: tx,
+            reply: ScoreSink::Channel(tx),
         };
         let (tx_f, rx_f) = mpsc::channel();
         let (tx_q, rx_q) = mpsc::channel();

@@ -61,6 +61,8 @@ pub mod cache;
 pub mod client;
 pub mod durable;
 pub mod protocol;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod server;
 pub mod shadow;
 pub mod snapshot;
@@ -69,14 +71,16 @@ pub mod snapshot;
 /// `taxo_core` so existing `taxo_serve::json::...` paths keep working).
 pub use taxo_core::json;
 
-pub use batch::{BoundedQueue, PushError, ScoreJob};
+pub use batch::{BoundedQueue, PushError, ScoreJob, ScoreSink};
 pub use cache::{ResponseCache, ScoreCache, ScoreKey};
 pub use client::{candidate_key, expected_key, Client, ClientBuilder, Reply, RetryPolicy};
 pub use durable::{DurabilityConfig, FsyncPolicy, RecoveryReport};
-pub use protocol::{IngestPhase, IngestRecord, IngestSummary, Request, Tier};
+pub use protocol::{
+    FrameDecoder, FrameTooLong, IngestPhase, IngestRecord, IngestSummary, Request, Tier, MAX_FRAME,
+};
 pub use server::{
-    ControlError, PromoteOutcome, ServeConfig, ServeController, ServeError, Server, ServerBuilder,
-    ServerHandle, FAULT_PROMOTE,
+    ControlError, IoModel, PromoteOutcome, ServeConfig, ServeController, ServeError, Server,
+    ServerBuilder, ServerHandle, FAULT_PROMOTE,
 };
 pub use shadow::{ShadowSample, ShadowTap};
 pub use snapshot::{ScoredCandidate, ServeSnapshot, SnapshotReader, SnapshotStore};

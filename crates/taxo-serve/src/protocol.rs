@@ -26,6 +26,133 @@ use crate::snapshot::ScoredCandidate;
 use taxo_core::Vocabulary;
 use taxo_obs::MetricsSnapshot;
 
+/// Default [`FrameDecoder`] frame-size cap: no legitimate request line
+/// comes close, and an unterminated megabyte is either a broken client
+/// or an attack on the read buffer.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// The incremental line-frame decoder shared by every data plane: the
+/// blocking connection workers, the epoll reactor's per-connection
+/// state machines, and the router's multiplexed upstream pool.
+///
+/// Bytes arrive in arbitrary splits ([`FrameDecoder::push`]);
+/// [`FrameDecoder::next_frame`] yields each complete `\n`-terminated
+/// line exactly once, with the terminator (and any `\r`) stripped and
+/// empty lines skipped. A partial line is held until its terminator
+/// arrives, so a read boundary — or a read timeout — can never tear a
+/// frame. An unterminated line longer than the cap is rejected with
+/// [`FrameTooLong`], and the decoder stays poisoned: the connection is
+/// unrecoverable because the overlong line's tail would be misread as
+/// fresh frames.
+///
+/// The buffer is reused across frames: consumed bytes are compacted
+/// away lazily rather than drained per line, so a pipelined burst of
+/// `n` frames costs `O(bytes)` rather than `O(n · bytes)`.
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Start of the first unconsumed byte in `buf`.
+    start: usize,
+    /// Absolute index up to which `buf` has been scanned for `\n`.
+    scanned: usize,
+    max_frame: usize,
+    poisoned: bool,
+}
+
+/// An unterminated line exceeded the decoder's frame cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameTooLong {
+    /// The configured cap the pending line overran.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for FrameTooLong {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "frame exceeds {} bytes without a terminator", self.limit)
+    }
+}
+
+impl std::error::Error for FrameTooLong {}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        FrameDecoder::new()
+    }
+}
+
+impl FrameDecoder {
+    /// A decoder with the default [`MAX_FRAME`] cap.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::with_max_frame(MAX_FRAME)
+    }
+
+    /// A decoder with a custom cap (tests use tiny caps).
+    pub fn with_max_frame(max_frame: usize) -> FrameDecoder {
+        FrameDecoder {
+            buf: Vec::new(),
+            start: 0,
+            scanned: 0,
+            max_frame: max_frame.max(1),
+            poisoned: false,
+        }
+    }
+
+    /// Appends freshly read bytes. Consumed bytes are compacted away
+    /// first when they dominate the buffer, so long-lived connections
+    /// never grow the buffer past their largest in-flight burst.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+            self.scanned = 0;
+        } else if self.start > 4096 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.scanned -= self.start;
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// The next complete line, if one is buffered. `Ok(None)` means a
+    /// partial (or no) line is pending — read more bytes and retry.
+    pub fn next_frame(&mut self) -> Result<Option<String>, FrameTooLong> {
+        if self.poisoned {
+            return Err(FrameTooLong {
+                limit: self.max_frame,
+            });
+        }
+        loop {
+            match self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+                Some(off) => {
+                    let end = self.scanned + off;
+                    let line = String::from_utf8_lossy(&self.buf[self.start..end]);
+                    let line = line.trim_end_matches('\r').to_owned();
+                    self.start = end + 1;
+                    self.scanned = self.start;
+                    if line.is_empty() {
+                        continue;
+                    }
+                    return Ok(Some(line));
+                }
+                None => {
+                    self.scanned = self.buf.len();
+                    if self.buffered() > self.max_frame {
+                        self.poisoned = true;
+                        return Err(FrameTooLong {
+                            limit: self.max_frame,
+                        });
+                    }
+                    return Ok(None);
+                }
+            }
+        }
+    }
+}
+
 /// Which detector weights answer a `score` request.
 ///
 /// The f32 tier is the canonical one: bit-identical to offline scoring.
@@ -666,6 +793,43 @@ mod tests {
         assert_eq!("f32".parse::<Tier>().unwrap(), Tier::F32);
         assert_eq!("int8".parse::<Tier>().unwrap(), Tier::Int8);
         assert!("fp16".parse::<Tier>().is_err());
+    }
+
+    #[test]
+    fn frame_decoder_reassembles_split_and_pipelined_frames() {
+        let mut dec = FrameDecoder::new();
+        dec.push(b"{\"kind\":\"he");
+        assert_eq!(dec.next_frame().unwrap(), None, "partial line held");
+        dec.push(b"alth\"}\r\n{\"kind\":\"stats\"}\n\n{\"k");
+        assert_eq!(
+            dec.next_frame().unwrap().as_deref(),
+            Some("{\"kind\":\"health\"}"),
+            "\\r\\n terminator stripped"
+        );
+        assert_eq!(
+            dec.next_frame().unwrap().as_deref(),
+            Some("{\"kind\":\"stats\"}"),
+            "pipelined second frame, empty line skipped"
+        );
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert_eq!(dec.buffered(), 3);
+        dec.push(b"\n");
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some("{\"k"));
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_decoder_rejects_oversized_frames_and_stays_poisoned() {
+        let mut dec = FrameDecoder::with_max_frame(8);
+        dec.push(b"12345678");
+        assert_eq!(dec.next_frame().unwrap(), None, "exactly at the cap");
+        dec.push(b"9");
+        let err = dec.next_frame().unwrap_err();
+        assert_eq!(err.limit, 8);
+        // A later terminator cannot resurrect the stream: the overlong
+        // line's tail would otherwise be parsed as fresh frames.
+        dec.push(b"\nok\n");
+        assert!(dec.next_frame().is_err(), "decoder stays poisoned");
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! halts exactly as if the process had died, and [`Server::recover`]
 //! rebuilds the durable state.
 
-use crate::batch::{score_batch, BoundedQueue, PushError, ScoreJob};
+use crate::batch::{score_batch, BoundedQueue, PushError, ScoreJob, ScoreSink};
 use crate::cache::{ResponseCache, ScoreCache};
 use crate::durable::{self, DurabilityConfig, FsyncPolicy, RecoveryReport};
 use crate::protocol::{self, IngestPhase, IngestRecord, IngestSummary, Request, Tier};
@@ -47,6 +47,55 @@ use taxo_expand::{
 };
 use taxo_obs::{counter, gauge, histogram, span};
 use taxo_wal::{WalError, WalWriter};
+
+/// Which I/O engine drives client connections.
+///
+/// The scorer and ingest tiers are identical under both models — only
+/// the socket layer changes, so every snapshot-consistency, WAL, and
+/// exactly-once invariant is model-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoModel {
+    /// Thread-per-connection blocking reads (the portable default):
+    /// each of `workers` threads owns one connection at a time, so live
+    /// concurrency is capped at the worker count.
+    #[default]
+    Blocking,
+    /// Readiness-driven epoll reactor (Linux): `reactor_threads`
+    /// threads multiplex every connection through per-connection state
+    /// machines (see `crate::reactor`). On non-Linux targets this
+    /// silently falls back to [`IoModel::Blocking`].
+    Reactor,
+}
+
+impl IoModel {
+    /// Flag/metric spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IoModel::Blocking => "blocking",
+            IoModel::Reactor => "reactor",
+        }
+    }
+}
+
+impl std::fmt::Display for IoModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for IoModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<IoModel, String> {
+        match s {
+            "blocking" => Ok(IoModel::Blocking),
+            "reactor" => Ok(IoModel::Reactor),
+            other => Err(format!(
+                "unknown io model {other:?} (expected blocking or reactor)"
+            )),
+        }
+    }
+}
 
 /// Server sizing knobs. The defaults suit the tiny demo pipeline; every
 /// field must be at least 1.
@@ -82,6 +131,15 @@ pub struct ServeConfig {
     /// Shadow-tap queue capacity: mirrored score samples awaiting the
     /// trainer. A full queue sheds samples (never live requests).
     pub shadow_queue_cap: usize,
+    /// Which I/O engine drives client connections.
+    pub io_model: IoModel,
+    /// Reactor threads under [`IoModel::Reactor`] (each owns one epoll
+    /// instance and a share of the connections). Ignored when blocking.
+    pub reactor_threads: usize,
+    /// Close a connection after this long without a single received
+    /// byte, so a silent client cannot pin a blocking worker (or hold a
+    /// reactor slot) forever. Counted as `serve.conn.idle_closed`.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -98,6 +156,9 @@ impl Default for ServeConfig {
             resp_cache_cap: 16_384,
             default_tier: Tier::F32,
             shadow_queue_cap: 1024,
+            io_model: IoModel::Blocking,
+            reactor_threads: 2,
+            idle_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -118,10 +179,17 @@ impl ServeConfig {
             ("serve.score_cache_cap", self.score_cache_cap),
             ("serve.resp_cache_cap", self.resp_cache_cap),
             ("serve.shadow_queue_cap", self.shadow_queue_cap),
+            ("serve.reactor_threads", self.reactor_threads),
         ] {
             if v == 0 {
                 return Err(TaxoError::invalid_config(name, "must be at least 1"));
             }
+        }
+        if self.idle_timeout.is_zero() {
+            return Err(TaxoError::invalid_config(
+                "serve.idle_timeout",
+                "must be non-zero",
+            ));
         }
         Ok(())
     }
@@ -182,12 +250,12 @@ impl From<TaxoError> for ServeError {
 /// [`ServeController`] (the continuous-learning control plane). Routing
 /// them through the same queue keeps every mutation of the expander —
 /// and every published version — serialized by one thread.
-enum IngestJob {
+pub(crate) enum IngestJob {
     /// A click batch from the wire (`ingest` requests).
     Batch {
         records: Vec<IngestRecord>,
         phase: IngestPhase,
-        reply: mpsc::Sender<IngestReply>,
+        reply: IngestSink,
     },
     /// Swap in a retrained detector and publish (or prepare) a snapshot
     /// scored by it. Consumes a version like a batch does; an empty
@@ -195,7 +263,7 @@ enum IngestJob {
     Promote {
         detector: Arc<HypoDetector>,
         phase: IngestPhase,
-        reply: mpsc::Sender<IngestReply>,
+        reply: IngestSink,
     },
     /// Consistent read of the expander state (the trainer's live
     /// retraining source). No version consumed, nothing logged.
@@ -204,8 +272,51 @@ enum IngestJob {
     },
 }
 
+/// Where an ingest acknowledgement goes back to — the ingest twin of
+/// [`crate::batch::ScoreSink`]. A dropped-without-send sink (the
+/// simulated-crash path drops whole jobs) surfaces to the reactor as a
+/// dead completion, matching the dead channel a blocking worker sees.
+pub(crate) enum IngestSink {
+    /// Blocking path (and the [`ServeController`]): the caller waits on
+    /// the paired receiver.
+    Channel(mpsc::Sender<IngestReply>),
+    /// Reactor path: the ack lands in the reactor thread's inbox.
+    #[cfg(target_os = "linux")]
+    Reactor(crate::reactor::CompletionSink),
+}
+
+impl IngestSink {
+    fn channel() -> (IngestSink, mpsc::Receiver<IngestReply>) {
+        let (tx, rx) = mpsc::channel();
+        (IngestSink::Channel(tx), rx)
+    }
+
+    /// Delivers the acknowledgement (a dead receiver is ignored).
+    pub(crate) fn send(&self, reply: IngestReply) {
+        match self {
+            IngestSink::Channel(tx) => {
+                let _ = tx.send(reply);
+            }
+            #[cfg(target_os = "linux")]
+            IngestSink::Reactor(sink) => {
+                sink.deliver(crate::reactor::Payload::Ingest(Box::new(reply)));
+            }
+        }
+    }
+
+    /// Abandons the sink without a dead-completion signal (queue-full
+    /// bounces answered inline).
+    fn cancel(&self) {
+        match self {
+            IngestSink::Channel(_) => {}
+            #[cfg(target_os = "linux")]
+            IngestSink::Reactor(sink) => sink.cancel(),
+        }
+    }
+}
+
 /// What the ingest thread tells the connection worker to render.
-enum IngestReply {
+pub(crate) enum IngestReply {
     /// Single-phase: applied and published.
     Applied(IngestSummary),
     /// Two-phase step 1: applied, durable, snapshot built but held.
@@ -224,9 +335,9 @@ enum IngestReply {
     },
 }
 
-struct Shared {
-    cfg: ServeConfig,
-    store: Arc<SnapshotStore>,
+pub(crate) struct Shared {
+    pub(crate) cfg: ServeConfig,
+    pub(crate) store: Arc<SnapshotStore>,
     /// Served-score LRU: probed by connection workers (all-hit requests
     /// skip the scorer round trip entirely) and filled by the scorer.
     cache: ScoreCache,
@@ -244,10 +355,15 @@ struct Shared {
     /// Shadow tap on the worker score path (disarmed until a control
     /// plane arms it).
     tap: Arc<ShadowTap>,
+    /// One inbox per reactor thread (empty under [`IoModel::Blocking`]):
+    /// the acceptor round-robins fresh connections into them, and
+    /// shutdown rings every wakeup fd so a parked `epoll_wait` notices.
+    #[cfg(target_os = "linux")]
+    reactors: Vec<Arc<crate::reactor::Inbox>>,
 }
 
 impl Shared {
-    fn is_shutdown(&self) -> bool {
+    pub(crate) fn is_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
     }
 
@@ -259,6 +375,10 @@ impl Shared {
         self.conn_queue.close();
         self.score_queue.close();
         self.ingest_queue.close();
+        #[cfg(target_os = "linux")]
+        for inbox in &self.reactors {
+            inbox.wake();
+        }
     }
 
     /// Simulated crash: halt like a dying process would. In-flight
@@ -434,7 +554,7 @@ impl ServeController {
         self.push_job(IngestJob::Promote {
             detector,
             phase,
-            reply: tx,
+            reply: IngestSink::Channel(tx),
         })?;
         counter!("serve.ingest.accepted").inc();
         self.promote_reply(rx)
@@ -449,7 +569,7 @@ impl ServeController {
         self.push_job(IngestJob::Batch {
             records: Vec::new(),
             phase: IngestPhase::Commit,
-            reply: tx,
+            reply: IngestSink::Channel(tx),
         })?;
         counter!("serve.ingest.accepted").inc();
         self.promote_reply(rx)
@@ -553,6 +673,15 @@ impl ServerBuilder {
         self
     }
 
+    /// Selects the connection I/O model. Defaults to
+    /// [`IoModel::Blocking`]; [`IoModel::Reactor`] multiplexes
+    /// connections over epoll on Linux and falls back to the blocking
+    /// path on other platforms.
+    pub fn io_model(mut self, io_model: IoModel) -> Self {
+        self.cfg.io_model = io_model;
+        self
+    }
+
     /// Marks this server as resuming from a [`Server::recover`] run: the
     /// snapshot version ledger continues from the recovered version, and
     /// an existing manifest in the durability directory is expected
@@ -620,6 +749,20 @@ impl ServerBuilder {
             expander.taxonomy().clone(),
             &expander.candidate_pairs(),
         );
+        // Reactor mode: create every reactor's epoll instance and wake
+        // eventfd up front so kernel setup errors surface at bind time,
+        // not inside a detached thread. Off Linux, `IoModel::Reactor`
+        // falls back to the blocking path.
+        #[cfg(target_os = "linux")]
+        let reactor_parts: Vec<(crate::reactor::Poller, Arc<crate::reactor::Inbox>)> =
+            if cfg.io_model == IoModel::Reactor {
+                (0..cfg.reactor_threads)
+                    .map(|_| crate::reactor::reactor_parts())
+                    .collect::<std::io::Result<_>>()?
+            } else {
+                Vec::new()
+            };
+
         let shared = Arc::new(Shared {
             score_queue: BoundedQueue::with_fault_points(
                 cfg.score_queue_cap,
@@ -643,8 +786,18 @@ impl ServerBuilder {
             crashed: AtomicBool::new(false),
             batches: AtomicU64::new(expander.batches() as u64),
             tap: Arc::new(ShadowTap::new(cfg.shadow_queue_cap)),
+            #[cfg(target_os = "linux")]
+            reactors: reactor_parts
+                .iter()
+                .map(|(_, inbox)| Arc::clone(inbox))
+                .collect(),
             cfg,
         });
+
+        #[cfg(target_os = "linux")]
+        let use_reactor = !reactor_parts.is_empty();
+        #[cfg(not(target_os = "linux"))]
+        let use_reactor = false;
 
         let mut threads = Vec::new();
         {
@@ -655,12 +808,23 @@ impl ServerBuilder {
                     .spawn(move || acceptor_loop(&listener, &shared))?,
             );
         }
-        for i in 0..shared.cfg.workers {
+        if !use_reactor {
+            for i in 0..shared.cfg.workers {
+                let shared = Arc::clone(&shared);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("serve-worker-{i}"))
+                        .spawn(move || worker_loop(&shared))?,
+                );
+            }
+        }
+        #[cfg(target_os = "linux")]
+        for (i, (poller, inbox)) in reactor_parts.into_iter().enumerate() {
             let shared = Arc::clone(&shared);
             threads.push(
                 std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))?,
+                    .name(format!("serve-reactor-{i}"))
+                    .spawn(move || crate::reactor::run(poller, &inbox, &shared))?,
             );
         }
         {
@@ -737,6 +901,12 @@ fn init_durability(
 }
 
 fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
+    // Reactor mode: round-robin fresh connections across the reactor
+    // inboxes. There is no backlog shed here — multiplexing hundreds of
+    // idle connections is the reactor's whole job, so the listener
+    // backlog and the fd limit are the only caps.
+    #[cfg_attr(not(target_os = "linux"), allow(unused_mut, unused_variables))]
+    let mut next_reactor = 0usize;
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -750,6 +920,15 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
                 // Responses are one small frame each; Nagle would hold
                 // them hostage to the next request's ACK.
                 let _ = stream.set_nodelay(true);
+                #[cfg(target_os = "linux")]
+                if !shared.reactors.is_empty() {
+                    if shared.is_shutdown() {
+                        return;
+                    }
+                    shared.reactors[next_reactor % shared.reactors.len()].push_conn(stream);
+                    next_reactor += 1;
+                    continue;
+                }
                 match shared.conn_queue.try_push(stream) {
                     Ok(depth) => gauge!("serve.queue.conn_depth").set(depth as i64),
                     Err(PushError::Full(mut stream)) => {
@@ -788,19 +967,24 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Serves one connection until EOF, error, or shutdown. Frames are split
-/// on `\n` by hand so a read timeout can never tear a frame: bytes
-/// accumulate in `buf` across reads and only complete lines are parsed.
+/// Serves one connection until EOF, error, idle expiry, or shutdown.
+/// Frames are reassembled by the shared incremental
+/// [`protocol::FrameDecoder`] — the same decoder the reactor path uses —
+/// so a read timeout can never tear a frame.
 fn handle_conn(mut stream: TcpStream, shared: &Shared, reader: &mut SnapshotReader) {
+    // The short poll-ish timeout keeps the worker responsive to
+    // shutdown; the idle clock below is what actually bounds how long a
+    // silent client may pin this worker.
     if stream
         .set_read_timeout(Some(Duration::from_millis(100)))
         .is_err()
     {
         return;
     }
-    let mut buf: Vec<u8> = Vec::new();
+    let mut dec = protocol::FrameDecoder::new();
     let mut chunk = [0u8; 4096];
     let mut out: Vec<u8> = Vec::new();
+    let mut idle_since = Instant::now();
     loop {
         // Serve every complete line already buffered, even mid-shutdown:
         // accepted bytes get responses. Responses for one burst of
@@ -808,14 +992,21 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared, reader: &mut SnapshotRead
         // one-syscall-per-line protocol the write() count is a real
         // throughput lever.
         out.clear();
-        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-            let line: Vec<u8> = buf.drain(..=pos).collect();
-            let line = String::from_utf8_lossy(&line);
-            let line = line.trim_end_matches(['\n', '\r']);
-            if line.is_empty() {
-                continue;
-            }
-            let (response, close) = handle_line(line, shared, reader);
+        loop {
+            let line = match dec.next_frame() {
+                Ok(Some(line)) => line,
+                Ok(None) => break,
+                // Unterminated overlong line: refuse and drop the
+                // connection (the decoder cannot resynchronize).
+                Err(e) => {
+                    counter!("serve.errors.bad_request").inc();
+                    let line = protocol::error_response(None, "bad_request", Some(&e.to_string()));
+                    out.extend_from_slice(format!("{line}\n").as_bytes());
+                    let _ = stream.write_all(&out);
+                    return;
+                }
+            };
+            let (response, close) = handle_line(&line, shared, reader);
             let frame = format!("{response}\n");
             match taxo_fault::inject("serve.conn.write") {
                 taxo_fault::Injection::Pass => out.extend_from_slice(frame.as_bytes()),
@@ -847,35 +1038,141 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared, reader: &mut SnapshotRead
         }
         match stream.read(&mut chunk) {
             Ok(0) => return, // EOF
-            Ok(n) => match taxo_fault::inject("serve.conn.read") {
-                taxo_fault::Injection::Pass => buf.extend_from_slice(&chunk[..n]),
-                // Injected read failure: drop the connection with the
-                // bytes unconsumed (a reset mid-request).
-                taxo_fault::Injection::Fail => return,
-                // Short read: keep a prefix of the chunk and drop the
-                // rest of the frame on the floor, then close.
-                taxo_fault::Injection::Short(keep) => {
-                    buf.extend_from_slice(&chunk[..keep.min(n)]);
+            Ok(n) => {
+                idle_since = Instant::now();
+                match taxo_fault::inject("serve.conn.read") {
+                    taxo_fault::Injection::Pass => dec.push(&chunk[..n]),
+                    // Injected read failure: drop the connection with the
+                    // bytes unconsumed (a reset mid-request).
+                    taxo_fault::Injection::Fail => return,
+                    // Short read: keep a prefix of the chunk and drop the
+                    // rest of the frame on the floor, then close.
+                    taxo_fault::Injection::Short(keep) => {
+                        dec.push(&chunk[..keep.min(n)]);
+                        return;
+                    }
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // Idle-connection hazard: a silent keep-alive client
+                // would otherwise own this worker forever.
+                if idle_since.elapsed() >= shared.cfg.idle_timeout {
+                    counter!("serve.conn.idle_closed").inc();
                     return;
                 }
-            },
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            }
             Err(_) => return,
         }
     }
 }
 
+/// Sink factory handed to [`process_line`]: the I/O model decides how a
+/// queued job's completion travels back — a parked channel receiver for
+/// blocking workers, a reactor completion slot for the epoll path. Sinks
+/// are created lazily, only at queue-push time; cache-hit requests never
+/// touch one.
+pub(crate) trait RequestSinks {
+    fn score_sink(&mut self) -> ScoreSink;
+    fn ingest_sink(&mut self) -> IngestSink;
+}
+
+/// Blocking-path sinks: plain mpsc channels whose receivers the worker
+/// parks on right after dispatch.
+#[derive(Default)]
+struct BlockingSinks {
+    score_rx: Option<mpsc::Receiver<Vec<f32>>>,
+    ingest_rx: Option<mpsc::Receiver<IngestReply>>,
+}
+
+impl RequestSinks for BlockingSinks {
+    fn score_sink(&mut self) -> ScoreSink {
+        let (sink, rx) = ScoreSink::channel();
+        self.score_rx = Some(rx);
+        sink
+    }
+
+    fn ingest_sink(&mut self) -> IngestSink {
+        let (sink, rx) = IngestSink::channel();
+        self.ingest_rx = Some(rx);
+        sink
+    }
+}
+
+/// A score job accepted into the scorer queue: everything needed to
+/// rank, render, and cache the response once the scores come back.
+pub(crate) struct PendingScore {
+    pub(crate) id: Option<u64>,
+    pub(crate) query: String,
+    pub(crate) query_id: taxo_core::ConceptId,
+    pub(crate) k: usize,
+    pub(crate) tier: Tier,
+    pub(crate) snapshot: Arc<ServeSnapshot>,
+    pub(crate) items: Vec<taxo_core::ConceptId>,
+}
+
+/// What one request line resolved to.
+pub(crate) enum LineOutcome {
+    /// Respond now; `close` ends the connection after the flush.
+    Ready { response: String, close: bool },
+    /// A score job is in the queue carrying this factory's sink.
+    ScorePending(PendingScore),
+    /// An ingest job is in the queue carrying this factory's sink.
+    IngestPending { id: Option<u64> },
+}
+
 /// Dispatches one request line; returns the response line and whether to
-/// close the connection afterwards.
+/// close the connection afterwards. Blocking-path wrapper over
+/// [`process_line`] that parks on the reply channel when a job queued.
 fn handle_line(line: &str, shared: &Shared, reader: &mut SnapshotReader) -> (String, bool) {
+    let mut sinks = BlockingSinks::default();
+    match process_line(line, shared, reader, &mut sinks) {
+        LineOutcome::Ready { response, close } => (response, close),
+        LineOutcome::ScorePending(ps) => {
+            let rx = sinks
+                .score_rx
+                .take()
+                .expect("score dispatch created a channel sink");
+            let response = match rx.recv() {
+                Ok(scores) => render_score_reply(shared, &ps, &scores),
+                // The scorer drains every accepted job before exiting, so
+                // a dead channel can only mean teardown raced us
+                // mid-drain.
+                Err(_) => protocol::error_response(ps.id, "shutting_down", None),
+            };
+            (response, false)
+        }
+        LineOutcome::IngestPending { id } => {
+            let rx = sinks
+                .ingest_rx
+                .take()
+                .expect("ingest dispatch created a channel sink");
+            let response = match rx.recv() {
+                Ok(reply) => render_ingest_reply(id, reply),
+                Err(_) => protocol::error_response(id, "shutting_down", None),
+            };
+            (response, false)
+        }
+    }
+}
+
+/// Parses and dispatches one request line. Shared verbatim by both I/O
+/// models: everything up to (and including) the queue push — caches,
+/// epoch guard, shadow tap, ledger counters, shedding — is identical,
+/// and only the wait-for-completion differs per model.
+pub(crate) fn process_line(
+    line: &str,
+    shared: &Shared,
+    reader: &mut SnapshotReader,
+    sinks: &mut dyn RequestSinks,
+) -> LineOutcome {
     let req = match protocol::parse_request(line) {
         Ok(req) => req,
         Err(e) => {
             counter!("serve.errors.bad_request").inc();
-            return (
-                protocol::error_response(None, "bad_request", Some(&e)),
-                false,
-            );
+            return LineOutcome::Ready {
+                response: protocol::error_response(None, "bad_request", Some(&e)),
+                close: false,
+            };
         }
     };
     let id = req.id();
@@ -889,22 +1186,31 @@ fn handle_line(line: &str, shared: &Shared, reader: &mut SnapshotReader) -> (Str
         } => {
             counter!("serve.requests.score").inc();
             let _g = span!("serve.request.score");
-            (
-                score_request(id, &query, k, tier, epoch, shared, reader),
-                false,
-            )
+            match prepare_score(id, &query, k, tier, epoch, shared, reader, sinks) {
+                Ok(response) => LineOutcome::Ready {
+                    response,
+                    close: false,
+                },
+                Err(pending) => LineOutcome::ScorePending(pending),
+            }
         }
         Request::Ingest { records, phase, .. } => {
             counter!("serve.requests.ingest").inc();
             let _g = span!("serve.request.ingest");
-            (ingest_request(id, records, phase, shared), false)
+            match prepare_ingest(id, records, phase, shared, sinks) {
+                Some(response) => LineOutcome::Ready {
+                    response,
+                    close: false,
+                },
+                None => LineOutcome::IngestPending { id },
+            }
         }
         Request::Health { .. } => {
             counter!("serve.requests.health").inc();
             let _g = span!("serve.request.health");
             let snap = reader.current();
-            (
-                protocol::health_response(
+            LineOutcome::Ready {
+                response: protocol::health_response(
                     id,
                     snap.version,
                     snap.taxonomy.node_count(),
@@ -912,24 +1218,36 @@ fn handle_line(line: &str, shared: &Shared, reader: &mut SnapshotReader) -> (Str
                     shared.batches.load(Ordering::Relaxed),
                     shared.is_shutdown(),
                 ),
-                false,
-            )
+                close: false,
+            }
         }
         Request::Stats { .. } => {
             counter!("serve.requests.stats").inc();
             let _g = span!("serve.request.stats");
-            (protocol::stats_response(id, &taxo_obs::snapshot()), false)
+            LineOutcome::Ready {
+                response: protocol::stats_response(id, &taxo_obs::snapshot()),
+                close: false,
+            }
         }
         Request::Shutdown { .. } => {
             counter!("serve.requests.shutdown").inc();
             shared.begin_shutdown();
             // Respond, then close; other workers finish buffered work.
-            (protocol::shutdown_response(id), true)
+            LineOutcome::Ready {
+                response: protocol::shutdown_response(id),
+                close: true,
+            }
         }
     }
 }
 
-fn score_request(
+/// The score path up to (and including) the queue push. `Ok` carries a
+/// finished response (cache hit, error, shed); `Err` means a job was
+/// accepted into the scorer queue carrying `sinks.score_sink()` and the
+/// caller must wait for its completion before rendering via
+/// [`render_score_reply`].
+#[allow(clippy::too_many_arguments)]
+fn prepare_score(
     id: Option<u64>,
     query: &str,
     k: Option<usize>,
@@ -937,7 +1255,8 @@ fn score_request(
     epoch: Option<u64>,
     shared: &Shared,
     reader: &mut SnapshotReader,
-) -> String {
+    sinks: &mut dyn RequestSinks,
+) -> Result<String, PendingScore> {
     let tier = tier.unwrap_or(shared.cfg.default_tier);
     if tier == Tier::Int8 {
         counter!("serve.quant.requests").inc();
@@ -950,12 +1269,12 @@ fn score_request(
     if let Some(epoch) = epoch {
         if epoch != snapshot.version {
             counter!("serve.epoch.rejected").inc();
-            return protocol::stale_epoch_response(id, snapshot.version);
+            return Ok(protocol::stale_epoch_response(id, snapshot.version));
         }
     }
     let Some(query_id) = snapshot.vocab.get(query) else {
         counter!("serve.errors.unknown_term").inc();
-        return protocol::error_response(id, "unknown_term", Some(query));
+        return Ok(protocol::error_response(id, "unknown_term", Some(query)));
     };
     let k = k.unwrap_or(shared.cfg.default_k);
 
@@ -980,7 +1299,7 @@ fn score_request(
     // envelope is byte-identical to redoing the whole request.
     let rkey = (snapshot.version, tier, query_id, k as u64);
     if let Some(tail) = shared.resp.get(&rkey) {
-        return protocol::splice_response(id, &tail);
+        return Ok(protocol::splice_response(id, &tail));
     }
 
     let items = snapshot.eligible(query_id, shared.cfg.max_candidates);
@@ -990,7 +1309,7 @@ fn score_request(
             protocol::score_response_tail(query, snapshot.version, tier, &snapshot.vocab, &[]);
         let response = protocol::splice_response(id, &tail);
         shared.resp.insert(rkey, tail.into());
-        return response;
+        return Ok(response);
     }
 
     // Request fast path: when every pair is cached under this snapshot
@@ -1009,16 +1328,15 @@ fn score_request(
             protocol::score_response_tail(query, snapshot.version, tier, &snapshot.vocab, &ranked);
         let response = protocol::splice_response(id, &tail);
         shared.resp.insert(rkey, tail.into());
-        return response;
+        return Ok(response);
     }
 
-    let (tx, rx) = mpsc::channel();
     let job = ScoreJob {
         snapshot: Arc::clone(&snapshot),
         tier,
         query: query_id,
         items: items.clone(),
-        reply: tx,
+        reply: sinks.score_sink(),
     };
     match shared.score_queue.try_push(job) {
         Ok(depth) => {
@@ -1029,48 +1347,64 @@ fn score_request(
             // invariant in counter form.
             counter!("serve.score.accepted").inc();
             gauge!("serve.queue.score_depth").set(depth as i64);
-        }
-        Err(PushError::Full(_)) => {
-            counter!("serve.shed.score").inc();
-            return protocol::error_response(id, "busy", None);
-        }
-        Err(PushError::Closed(_)) => {
-            return protocol::error_response(id, "shutting_down", None);
-        }
-    }
-
-    match rx.recv() {
-        Ok(scores) => {
-            let ranked = snapshot.rank(query_id, &items, &scores, k);
-            let tail = protocol::score_response_tail(
-                query,
-                snapshot.version,
+            Err(PendingScore {
+                id,
+                query: query.to_owned(),
+                query_id,
+                k,
                 tier,
-                &snapshot.vocab,
-                &ranked,
-            );
-            let response = protocol::splice_response(id, &tail);
-            shared.resp.insert(rkey, tail.into());
-            response
+                snapshot,
+                items,
+            })
         }
-        // The scorer drains every accepted job before exiting, so a dead
-        // channel can only mean teardown raced us mid-drain.
-        Err(_) => protocol::error_response(id, "shutting_down", None),
+        Err(PushError::Full(job)) => {
+            // The bounced job still owns a sink; cancel it so a reactor
+            // completion slot is not filled twice (inline "busy" now plus
+            // a Dead payload when the job drops).
+            job.reply.cancel();
+            counter!("serve.shed.score").inc();
+            Ok(protocol::error_response(id, "busy", None))
+        }
+        Err(PushError::Closed(job)) => {
+            job.reply.cancel();
+            Ok(protocol::error_response(id, "shutting_down", None))
+        }
     }
 }
 
-fn ingest_request(
+/// Ranks, renders, and caches one completed score. Shared by both I/O
+/// models so the rendered bytes — and the response-cache insert — are
+/// identical regardless of how the completion travelled back.
+pub(crate) fn render_score_reply(shared: &Shared, ps: &PendingScore, scores: &[f32]) -> String {
+    let ranked = ps.snapshot.rank(ps.query_id, &ps.items, scores, ps.k);
+    let tail = protocol::score_response_tail(
+        &ps.query,
+        ps.snapshot.version,
+        ps.tier,
+        &ps.snapshot.vocab,
+        &ranked,
+    );
+    let response = protocol::splice_response(ps.id, &tail);
+    let rkey = (ps.snapshot.version, ps.tier, ps.query_id, ps.k as u64);
+    shared.resp.insert(rkey, tail.into());
+    response
+}
+
+/// The ingest path up to (and including) the queue push. `Some` carries
+/// a finished response (shed, shutdown); `None` means a batch was
+/// accepted carrying `sinks.ingest_sink()`.
+fn prepare_ingest(
     id: Option<u64>,
     records: Vec<IngestRecord>,
     phase: IngestPhase,
     shared: &Shared,
-) -> String {
+    sinks: &mut dyn RequestSinks,
+) -> Option<String> {
     counter!("serve.ingest.records_offered").add(records.len() as u64);
-    let (tx, rx) = mpsc::channel();
     match shared.ingest_queue.try_push(IngestJob::Batch {
         records,
         phase,
-        reply: tx,
+        reply: sinks.ingest_sink(),
     }) {
         Ok(depth) => {
             // Mirrors `serve.score.accepted`: paired with
@@ -1079,26 +1413,34 @@ fn ingest_request(
             // crash dropped are exactly the ones recovery re-resolves.
             counter!("serve.ingest.accepted").inc();
             gauge!("serve.queue.ingest_depth").set(depth as i64);
+            None
         }
-        Err(PushError::Full(_)) => {
+        Err(PushError::Full(job)) => {
+            if let IngestJob::Batch { reply, .. } = &job {
+                reply.cancel();
+            }
             counter!("serve.shed.ingest").inc();
-            return protocol::error_response(id, "busy", None);
+            Some(protocol::error_response(id, "busy", None))
         }
-        Err(PushError::Closed(_)) => {
-            return protocol::error_response(id, "shutting_down", None);
+        Err(PushError::Closed(job)) => {
+            if let IngestJob::Batch { reply, .. } = &job {
+                reply.cancel();
+            }
+            Some(protocol::error_response(id, "shutting_down", None))
         }
     }
-    match rx.recv() {
-        Ok(IngestReply::Applied(summary)) => protocol::ingest_response(id, &summary),
-        Ok(IngestReply::Prepared(summary)) => protocol::ingest_prepared_response(id, &summary),
-        Ok(IngestReply::Committed { version }) => protocol::ingest_committed_response(id, version),
-        Ok(IngestReply::Promoted { .. } | IngestReply::PromotePrepared { .. }) => {
+}
+
+/// Renders one ingest completion; shared by both I/O models.
+pub(crate) fn render_ingest_reply(id: Option<u64>, reply: IngestReply) -> String {
+    match reply {
+        IngestReply::Applied(summary) => protocol::ingest_response(id, &summary),
+        IngestReply::Prepared(summary) => protocol::ingest_prepared_response(id, &summary),
+        IngestReply::Committed { version } => protocol::ingest_committed_response(id, version),
+        IngestReply::Promoted { .. } | IngestReply::PromotePrepared { .. } => {
             unreachable!("wire ingest jobs never produce promote replies")
         }
-        Ok(IngestReply::Rejected { code, detail }) => {
-            protocol::error_response(id, code, Some(detail))
-        }
-        Err(_) => protocol::error_response(id, "shutting_down", None),
+        IngestReply::Rejected { code, detail } => protocol::error_response(id, code, Some(detail)),
     }
 }
 
@@ -1348,7 +1690,7 @@ fn ingest_loop(
                     JobPlan::Reject { code, detail },
                 ) => {
                     counter!("serve.ingest.rejected").inc();
-                    let _ = reply.send(IngestReply::Rejected { code, detail });
+                    reply.send(IngestReply::Rejected { code, detail });
                     continue;
                 }
                 (
@@ -1361,7 +1703,7 @@ fn ingest_loop(
                     shared.batches.store(held.batch, Ordering::Relaxed);
                     counter!("serve.ingest.applied").inc();
                     counter!("serve.ingest.committed").inc();
-                    let _ = reply.send(IngestReply::Committed { version: v });
+                    reply.send(IngestReply::Committed { version: v });
                     checkpoint_state(wal.as_mut(), v, vocab, &expander);
                     continue;
                 }
@@ -1414,7 +1756,7 @@ fn ingest_loop(
                         shared
                             .batches
                             .store(expander.batches() as u64, Ordering::Relaxed);
-                        let _ = reply.send(IngestReply::Promoted { version });
+                        reply.send(IngestReply::Promoted { version });
                         checkpoint_state(wal.as_mut(), version, vocab, &expander);
                     } else {
                         pending = Some(PendingPublish {
@@ -1423,7 +1765,7 @@ fn ingest_loop(
                             batch: expander.batches() as u64,
                         });
                         counter!("serve.ingest.prepared").inc();
-                        let _ = reply.send(IngestReply::PromotePrepared { version });
+                        reply.send(IngestReply::PromotePrepared { version });
                     }
                     continue;
                 }
@@ -1473,7 +1815,7 @@ fn ingest_loop(
             if publish_now {
                 shared.store.publish(next);
                 shared.batches.store(report.batch as u64, Ordering::Relaxed);
-                let _ = reply.send(IngestReply::Applied(summary));
+                reply.send(IngestReply::Applied(summary));
                 checkpoint_state(wal.as_mut(), version, vocab, &expander);
             } else {
                 pending = Some(PendingPublish {
@@ -1482,7 +1824,7 @@ fn ingest_loop(
                     batch: report.batch as u64,
                 });
                 counter!("serve.ingest.prepared").inc();
-                let _ = reply.send(IngestReply::Prepared(summary));
+                reply.send(IngestReply::Prepared(summary));
             }
         }
     }

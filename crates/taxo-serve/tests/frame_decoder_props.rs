@@ -1,0 +1,150 @@
+//! Property suite for the incremental [`FrameDecoder`] both I/O models
+//! share: no chunking of the byte stream may tear, duplicate, reorder,
+//! or invent frames; pipelined multi-frame reads decode in order; and
+//! oversized frames are rejected permanently (the decoder cannot
+//! resynchronize mid-stream).
+
+use proptest::collection;
+use proptest::prelude::*;
+use taxo_serve::{FrameDecoder, MAX_FRAME};
+
+/// Encodes frames to the wire, alternating `\n` and `\r\n` terminators
+/// and sprinkling empty lines (which the decoder must skip).
+fn encode(frames: &[String]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for (i, frame) in frames.iter().enumerate() {
+        wire.extend_from_slice(frame.as_bytes());
+        wire.extend_from_slice(if i % 2 == 0 { b"\n" } else { b"\r\n" });
+        if i % 3 == 0 {
+            wire.extend_from_slice(b"\n"); // empty line: skipped
+        }
+    }
+    wire
+}
+
+/// Drains every currently decodable frame.
+fn drain(dec: &mut FrameDecoder) -> Vec<String> {
+    let mut out = Vec::new();
+    while let Some(frame) = dec.next_frame().expect("within frame cap") {
+        out.push(frame);
+    }
+    out
+}
+
+/// The exhaustive single-boundary case the reactor depends on: for one
+/// pipelined payload, *every* byte position is exercised as a read
+/// boundary, and every split must decode to the identical frame
+/// sequence.
+#[test]
+fn every_byte_boundary_split_decodes_identically() {
+    let frames: Vec<String> = ["score", "x", "{\"kind\":\"health\",\"id\":7}", "last one"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let wire = encode(&frames);
+    for cut in 0..=wire.len() {
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        dec.push(&wire[..cut]);
+        got.extend(drain(&mut dec));
+        dec.push(&wire[cut..]);
+        got.extend(drain(&mut dec));
+        assert_eq!(got, frames, "split at byte {cut} of {}", wire.len());
+        assert_eq!(dec.buffered(), 0, "split at byte {cut}: no residue");
+    }
+}
+
+/// Interior `\r` is payload; only a terminator's `\r` is stripped.
+#[test]
+fn interior_carriage_returns_are_preserved() {
+    let mut dec = FrameDecoder::new();
+    dec.push(b"ab\rcd\r\n");
+    assert_eq!(dec.next_frame().unwrap().as_deref(), Some("ab\rcd"));
+    assert_eq!(dec.next_frame().unwrap(), None);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Feeding the wire bytes in fixed-size chunks — any size — yields
+    /// exactly the original frame sequence: nothing torn at chunk
+    /// boundaries, nothing duplicated by re-scanning, order preserved.
+    #[test]
+    fn chunked_reads_reassemble_the_exact_frame_sequence(
+        frames in collection::vec("[a-z0-9 :,{}]{1,24}", 1..8),
+        chunk in 1usize..16,
+    ) {
+        let wire = encode(&frames);
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for piece in wire.chunks(chunk) {
+            dec.push(piece);
+            got.extend(drain(&mut dec));
+        }
+        prop_assert_eq!(got, frames);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+
+    /// One pipelined read containing every frame decodes them all, in
+    /// order, without another byte arriving.
+    #[test]
+    fn pipelined_multi_frame_reads_decode_in_one_pass(
+        frames in collection::vec("[a-z0-9 ]{0,16}", 1..12),
+    ) {
+        let expect: Vec<String> = frames.iter().filter(|f| !f.is_empty()).cloned().collect();
+        let mut wire = Vec::new();
+        for frame in &frames {
+            wire.extend_from_slice(frame.as_bytes());
+            wire.push(b'\n');
+        }
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        prop_assert_eq!(drain(&mut dec), expect);
+    }
+
+    /// An unterminated line beyond the cap poisons the decoder: the
+    /// oversized frame errors, and so does everything after it — even
+    /// well-formed frames — because resynchronization is impossible.
+    #[test]
+    fn oversized_frames_are_rejected_and_poison_the_stream(
+        cap in 4usize..32,
+        over in 1usize..16,
+    ) {
+        let mut dec = FrameDecoder::with_max_frame(cap);
+        let big = vec![b'x'; cap + over];
+        dec.push(&big);
+        let err = dec.next_frame().expect_err("past the cap must error");
+        prop_assert_eq!(err.limit, cap);
+        // The terminator arriving later must not resurrect the stream.
+        dec.push(b"\nok\n");
+        prop_assert!(dec.next_frame().is_err(), "decoder must stay poisoned");
+    }
+
+    /// Frames exactly at the cap survive any chunking (no off-by-one at
+    /// the boundary the reactor's reused read buffers hit constantly).
+    #[test]
+    fn frames_at_the_cap_decode_under_any_chunking(
+        cap in 2usize..24,
+        chunk in 1usize..8,
+    ) {
+        let frame = "y".repeat(cap);
+        let mut wire = frame.clone().into_bytes();
+        wire.push(b'\n');
+        let mut dec = FrameDecoder::with_max_frame(cap);
+        let mut got = Vec::new();
+        for piece in wire.chunks(chunk) {
+            dec.push(piece);
+            got.extend(drain(&mut dec));
+        }
+        prop_assert_eq!(got, vec![frame]);
+    }
+}
+
+/// The default cap is the documented constant.
+#[test]
+fn default_cap_is_max_frame() {
+    let mut dec = FrameDecoder::new();
+    let big = vec![b'z'; MAX_FRAME + 1];
+    dec.push(&big);
+    assert_eq!(dec.next_frame().unwrap_err().limit, MAX_FRAME);
+}
